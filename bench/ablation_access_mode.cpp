@@ -1,0 +1,53 @@
+/// \file ablation_access_mode.cpp
+/// \brief Extension ablation: the paper characterizes the *retention* state
+/// (wordline low); during a read access the cell sits at its read-disturb
+/// point and is strictly weaker. This bench quantifies the gap — critical
+/// charge and static noise margin, retention vs read, across the Vdd sweep —
+/// the correction factor an SER budget needs for the fraction of time a row
+/// is being accessed. Micro-benchmark: SNM butterfly extraction cost.
+
+#include "bench_common.hpp"
+#include "finser/sram/characterize.hpp"
+#include "finser/sram/snm.hpp"
+
+namespace {
+
+using namespace finser;
+using sram::AccessMode;
+using sram::CellDesign;
+using sram::StrikeCharges;
+
+double qcrit(double vdd, AccessMode mode) {
+  sram::StrikeSimulator sim(CellDesign{}, vdd, mode);
+  return sram::bisect_critical_scale(sim, StrikeCharges{1, 0, 0},
+                                     sram::DeltaVt{}, 0.6, 1e-4,
+                                     spice::PulseShape::Kind::kRectangular);
+}
+
+void report() {
+  util::CsvTable t({"vdd_v", "qcrit_hold_fc", "qcrit_read_fc", "qcrit_ratio",
+                    "snm_hold_mv", "snm_read_mv"});
+  for (double vdd : {0.7, 0.8, 0.9, 1.0, 1.1}) {
+    const double qh = qcrit(vdd, AccessMode::kRetention);
+    const double qr = qcrit(vdd, AccessMode::kRead);
+    const auto sh = sram::static_noise_margin(CellDesign{}, vdd);
+    const auto sr =
+        sram::static_noise_margin(CellDesign{}, vdd, AccessMode::kRead);
+    t.add_row({vdd, qh, qr, qh > 0.0 ? qr / qh : 0.0, 1e3 * sh.snm_v,
+               1e3 * sr.snm_v});
+  }
+  bench::emit(t, "ablation_access_mode",
+              "Extension: retention vs read-access robustness");
+}
+
+void bm_snm_extraction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sram::static_noise_margin(CellDesign{}, 0.8));
+  }
+}
+BENCHMARK(bm_snm_extraction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+FINSER_BENCH_MAIN(report)

@@ -1,0 +1,58 @@
+/// \file ablation_pulse_shape.cpp
+/// \brief Reproduces the paper's Sec.-4 validation experiment: the cell POF
+/// depends on the *charge* of the parasitic current pulse, not its width or
+/// shape. We bisect the critical charge under rectangular and triangular
+/// pulses at widths from 0.5x to 8x the transit time — the paper's LUT
+/// design (charge-keyed) is sound iff these agree.
+/// Micro-benchmark: strike-transient throughput.
+
+#include "bench_common.hpp"
+#include "finser/sram/characterize.hpp"
+
+namespace {
+
+using namespace finser;
+
+double qcrit(sram::StrikeSimulator& sim, spice::PulseShape::Kind kind,
+             double width_scale) {
+  sim.set_pulse_width_scale(width_scale);
+  return sram::bisect_critical_scale(sim, sram::StrikeCharges{1, 0, 0},
+                                     sram::DeltaVt{}, 0.4, 1e-4, kind);
+}
+
+void report() {
+  util::CsvTable t({"vdd_v", "width_over_tau", "qcrit_rect_fc", "qcrit_tri_fc",
+                    "rect_vs_tau1_pct", "tri_vs_rect_pct"});
+  for (double vdd : {0.7, 0.9, 1.1}) {
+    sram::StrikeSimulator sim(sram::CellDesign{}, vdd);
+    const double ref = qcrit(sim, spice::PulseShape::Kind::kRectangular, 1.0);
+    for (double ws : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+      const double r = qcrit(sim, spice::PulseShape::Kind::kRectangular, ws);
+      const double tri = qcrit(sim, spice::PulseShape::Kind::kTriangular, ws);
+      t.add_row({vdd, ws, r, tri, 100.0 * (r - ref) / ref,
+                 100.0 * (tri - r) / r});
+    }
+  }
+  bench::emit(t, "ablation_pulse_shape",
+              "Sec. 4 claim: critical charge vs pulse width and shape");
+}
+
+void bm_strike_transient(benchmark::State& state) {
+  sram::StrikeSimulator sim(sram::CellDesign{}, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate(sram::StrikeCharges{0.1, 0.0, 0.0}));
+  }
+}
+BENCHMARK(bm_strike_transient)->Unit(benchmark::kMicrosecond);
+
+void bm_hold_solve(benchmark::State& state) {
+  sram::StrikeSimulator sim(sram::CellDesign{}, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.hold_state());
+  }
+}
+BENCHMARK(bm_hold_solve)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+FINSER_BENCH_MAIN(report)

@@ -1,0 +1,70 @@
+/// \file extension_logic_set.cpp
+/// \brief Combinational-logic counterpart of the paper's SRAM analysis
+/// (the territory of its refs [14][15]): single-event-transient critical
+/// charge, electrical masking vs chain depth, output glitch width vs
+/// deposited charge, and the latching-window derating that turns glitches
+/// into architectural errors. Together with the SRAM results this bounds
+/// the full-chip picture: memories dominate at low clock rates, logic
+/// catches up as frequency rises (more latching windows per second).
+/// Micro-benchmark: SET injection transients.
+
+#include "bench_common.hpp"
+#include "finser/logic/set_chain.hpp"
+
+namespace {
+
+using namespace finser;
+
+void report() {
+  // (a) Logic vs SRAM critical charge across the Vdd sweep.
+  {
+    util::CsvTable t({"vdd_v", "qcrit_logic_fc", "glitch_width_2q_ps"});
+    for (double vdd : {0.7, 0.8, 0.9, 1.0, 1.1}) {
+      logic::SetChainSimulator sim(logic::ChainDesign{}, vdd);
+      const double qc = sim.critical_charge_fc();
+      const auto out = sim.inject(2.0 * qc);
+      t.add_row({vdd, qc, out.width_out_s * 1e12});
+    }
+    bench::emit(t, "logic_qcrit_vs_vdd",
+                "Logic SET: critical charge and glitch width vs Vdd");
+  }
+
+  // (b) Electrical masking: Qcrit vs chain depth.
+  {
+    util::CsvTable t({"stages", "qcrit_fc"});
+    for (std::size_t stages : {1u, 2u, 4u, 8u, 12u, 16u, 24u}) {
+      logic::ChainDesign d;
+      d.stages = stages;
+      logic::SetChainSimulator sim(d, 0.8);
+      t.add_row({static_cast<double>(stages), sim.critical_charge_fc()});
+    }
+    bench::emit(t, "logic_electrical_masking",
+                "Logic SET: electrical masking (Qcrit vs chain depth, 0.8 V)");
+  }
+
+  // (c) Latching-window derating: capture probability of the glitch a
+  // 2x-critical alpha-class deposit produces, vs clock frequency.
+  {
+    logic::SetChainSimulator sim(logic::ChainDesign{}, 0.8);
+    const double qc = sim.critical_charge_fc();
+    const double w = sim.inject(2.0 * qc).width_out_s;
+    util::CsvTable t({"clock_ghz", "capture_probability"});
+    for (double ghz : {0.5, 1.0, 2.0, 3.0, 5.0}) {
+      t.add_row({ghz, logic::latch_capture_probability(w, 1e-9 / ghz, 5e-12)});
+    }
+    bench::emit(t, "logic_latching_window",
+                "Logic SET: latching-window capture vs clock frequency");
+  }
+}
+
+void bm_set_injection(benchmark::State& state) {
+  logic::SetChainSimulator sim(logic::ChainDesign{}, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.inject(0.2));
+  }
+}
+BENCHMARK(bm_set_injection)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+FINSER_BENCH_MAIN(report)

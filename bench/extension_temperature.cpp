@@ -1,0 +1,54 @@
+/// \file extension_temperature.cpp
+/// \brief Temperature extension: critical charge and static noise margin
+/// across the automotive junction-temperature range (−40 °C … +125 °C).
+/// The compact model scales the thermal voltage, applies the threshold
+/// tempco (|Vt| drops ~0.7 mV/K) and the phonon mobility law (kp·(300/T)^1.5).
+/// Expected and reproduced: hot cells have weaker restoring drive *and*
+/// lower Vt — the critical charge falls with temperature, compounding with
+/// the low-Vdd SER penalty the paper reports. Micro-benchmark: model
+/// evaluation with temperature scaling.
+
+#include "bench_common.hpp"
+#include "finser/sram/characterize.hpp"
+#include "finser/sram/snm.hpp"
+
+namespace {
+
+using namespace finser;
+
+void report() {
+  util::CsvTable t({"temp_c", "qcrit_fc_vdd0.7", "qcrit_fc_vdd1.1",
+                    "hold_snm_mv_vdd0.8", "ion_ua_vdd0.8"});
+  for (double temp_c : {-40.0, 0.0, 27.0, 85.0, 125.0}) {
+    sram::CellDesign design;
+    design.temp_k = temp_c + 273.15;
+
+    auto qcrit = [&](double vdd) {
+      sram::StrikeSimulator sim(design, vdd);
+      return sram::bisect_critical_scale(sim, sram::StrikeCharges{1, 0, 0},
+                                         sram::DeltaVt{}, 0.6, 1e-4,
+                                         spice::PulseShape::Kind::kRectangular);
+    };
+    const auto snm = sram::static_noise_margin(design, 0.8);
+    const auto on = spice::evaluate_finfet(spice::default_nfet(), 0.8, 0.8, 0.0,
+                                           0.0, 1.0, design.temp_k);
+    t.add_row({temp_c, qcrit(0.7), qcrit(1.1), 1e3 * snm.snm_v,
+               1e6 * on.ids});
+  }
+  bench::emit(t, "extension_temperature",
+              "Temperature extension: Qcrit, SNM and drive vs junction temp");
+}
+
+void bm_finfet_eval_hot(benchmark::State& state) {
+  double vg = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spice::evaluate_finfet(spice::default_nfet(), 0.8,
+                                                    vg, 0.0, 0.0, 1.0, 398.15));
+    vg = vg < 0.8 ? vg + 1e-3 : 0.0;
+  }
+}
+BENCHMARK(bm_finfet_eval_hot);
+
+}  // namespace
+
+FINSER_BENCH_MAIN(report)

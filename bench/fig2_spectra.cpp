@@ -1,0 +1,76 @@
+/// \file fig2_spectra.cpp
+/// \brief Reproduces paper Fig. 2: (a) the sea-level proton differential
+/// spectrum and (b) the package alpha emission spectrum normalized to
+/// 0.001 α/(cm²·h). Micro-benchmarks: spectrum interpolation, integration
+/// and inverse-CDF sampling throughput.
+
+#include "bench_common.hpp"
+#include "finser/env/spectrum.hpp"
+#include "finser/stats/rng.hpp"
+
+namespace {
+
+using namespace finser;
+
+void report() {
+  const env::Spectrum protons = env::sea_level_protons();
+  const env::Spectrum alphas = env::package_alphas();
+
+  {
+    util::CsvTable t({"energy_mev", "proton_flux_per_cm2_s_mev"});
+    for (double e = 0.1; e <= 1.01e7; e *= 2.0) {
+      t.add_row({e, protons.differential(e)});
+    }
+    bench::emit(t, "fig2a_proton_spectrum",
+                "Fig. 2a: sea-level proton differential spectrum");
+  }
+  {
+    util::CsvTable t({"energy_mev", "alpha_flux_per_cm2_s_mev"});
+    for (double e = 0.5; e <= 10.001; e += 0.5) {
+      t.add_row({e, alphas.differential(e)});
+    }
+    bench::emit(t, "fig2b_alpha_spectrum",
+                "Fig. 2b: package alpha emission spectrum (0.001 a/cm^2/h)");
+  }
+  {
+    util::CsvTable t({"quantity", "value"});
+    t.add_row({std::string("alpha emission [1/cm^2/h]"),
+               alphas.total_flux() * 3600.0});
+    t.add_row({std::string("proton integral flux 0.1-100 MeV [1/cm^2/h]"),
+               protons.integral_flux(0.1, 100.0) * 3600.0});
+    t.add_row({std::string("proton/alpha flux ratio (direct-ionization band)"),
+               protons.integral_flux(0.1, 100.0) / alphas.total_flux()});
+    bench::emit(t, "fig2_integral_fluxes", "Fig. 2: integral fluxes");
+  }
+}
+
+void bm_differential(benchmark::State& state) {
+  const env::Spectrum p = env::sea_level_protons();
+  double e = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.differential(e));
+    e = e < 1e6 ? e * 1.1 : 0.1;
+  }
+}
+BENCHMARK(bm_differential);
+
+void bm_integral_flux(benchmark::State& state) {
+  const env::Spectrum p = env::sea_level_protons();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.integral_flux(0.1, 100.0));
+  }
+}
+BENCHMARK(bm_integral_flux);
+
+void bm_sample_energy(benchmark::State& state) {
+  const env::Spectrum a = env::package_alphas();
+  finser::stats::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.sample_energy(rng));
+  }
+}
+BENCHMARK(bm_sample_energy);
+
+}  // namespace
+
+FINSER_BENCH_MAIN(report)

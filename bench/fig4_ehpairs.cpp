@@ -1,0 +1,96 @@
+/// \file fig4_ehpairs.cpp
+/// \brief Reproduces paper Fig. 4: the normalized mean number of electrons
+/// generated in a single fin by alpha-particle and proton strikes versus
+/// particle energy (the "Geant4 LUT" of the paper's device level, here
+/// produced by finser's analytic-stopping-power Monte Carlo).
+/// Micro-benchmarks: single-strike simulation and stopping-power kernels.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "finser/phys/collection.hpp"
+#include "finser/phys/fin_mc.hpp"
+#include "finser/phys/stopping.hpp"
+
+namespace {
+
+using namespace finser;
+
+geom::Aabb paper_fin() {
+  const phys::FinTechnology tech;
+  return geom::Aabb{{0.0, 0.0, 0.0},
+                    {tech.w_fin_nm, tech.l_fin_nm, tech.h_fin_nm}};
+}
+
+void report() {
+  phys::FinStrikeMc::Config cfg;
+  cfg.samples = static_cast<std::size_t>(20000 * core::mc_scale_from_env());
+  const phys::FinStrikeMc mc(paper_fin(), cfg);
+  stats::Rng rng(42);
+
+  // Paper Fig. 4 x-range: 0.1 to 100 MeV on a log axis.
+  std::vector<double> energies;
+  for (double e = 0.1; e <= 100.01; e *= std::pow(10.0, 0.25)) {
+    energies.push_back(e);
+  }
+
+  std::vector<double> alpha_pairs, proton_pairs, alpha_se, proton_se;
+  for (double e : energies) {
+    const auto a = mc.run(phys::Species::kAlpha, e, rng);
+    const auto p = mc.run(phys::Species::kProton, e, rng);
+    alpha_pairs.push_back(a.mean_eh_pairs);
+    proton_pairs.push_back(p.mean_eh_pairs);
+    alpha_se.push_back(a.stderr_eh_pairs);
+    proton_se.push_back(p.stderr_eh_pairs);
+  }
+
+  // The paper normalizes; normalize both curves by the same (alpha) maximum
+  // so their ratio — the headline of Fig. 4 — is preserved.
+  double norm = 0.0;
+  for (double v : alpha_pairs) norm = std::max(norm, v);
+
+  util::CsvTable t({"energy_mev", "alpha_pairs_norm", "proton_pairs_norm",
+                    "alpha_pairs", "proton_pairs", "alpha_se", "proton_se",
+                    "alpha_over_proton"});
+  for (std::size_t i = 0; i < energies.size(); ++i) {
+    t.add_row({energies[i], alpha_pairs[i] / norm, proton_pairs[i] / norm,
+               alpha_pairs[i], proton_pairs[i], alpha_se[i], proton_se[i],
+               proton_pairs[i] > 0.0 ? alpha_pairs[i] / proton_pairs[i] : 0.0});
+  }
+  bench::emit(t, "fig4_ehpairs",
+              "Fig. 4: mean e-h pairs in one fin vs energy (normalized)");
+}
+
+void bm_fin_strike(benchmark::State& state) {
+  phys::FinStrikeMc::Config cfg;
+  cfg.samples = 1000;
+  const phys::FinStrikeMc mc(paper_fin(), cfg);
+  stats::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.run(phys::Species::kAlpha, 1.0, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(bm_fin_strike);
+
+void bm_stopping_power(benchmark::State& state) {
+  double e = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        phys::electronic_stopping(phys::Species::kAlpha, e, phys::silicon()));
+    e = e < 100.0 ? e * 1.01 : 0.1;
+  }
+}
+BENCHMARK(bm_stopping_power);
+
+void bm_csda_loss(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phys::csda_energy_loss(phys::Species::kProton, 0.5,
+                                                    26.0, phys::silicon()));
+  }
+}
+BENCHMARK(bm_csda_loss);
+
+}  // namespace
+
+FINSER_BENCH_MAIN(report)

@@ -1,0 +1,117 @@
+/// \file kernel_perf.cpp
+/// \brief Performance characterization of the computational kernels behind
+/// the cross-layer flow (the paper quotes ~2 h for a 10M-strike campaign on
+/// its setup; this bench documents what finser achieves per kernel).
+/// Report: a runtime budget table for the paper-scale campaign.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "finser/phys/track.hpp"
+#include "finser/spice/dc.hpp"
+#include "finser/spice/devices.hpp"
+#include "finser/spice/transient.hpp"
+#include "finser/sram/cell.hpp"
+#include "finser/stats/direction.hpp"
+
+namespace {
+
+using namespace finser;
+
+void report() {
+  // Measure the two dominant costs directly and extrapolate the paper-scale
+  // campaign (10M strikes, 18 energy points, full characterization).
+  util::CsvTable t({"kernel", "per_op_us", "paper_scale_ops", "minutes"});
+
+  {
+    const sram::ArrayLayout layout(9, 9, sram::CellGeometry{});
+    phys::Transporter tr(layout.fins());
+    stats::Rng rng(1);
+    const auto start = std::chrono::steady_clock::now();
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      geom::Ray ray;
+      ray.origin = {rng.uniform(0.0, layout.width_nm()),
+                    rng.uniform(0.0, layout.height_nm()), 27.0};
+      ray.dir = stats::isotropic_hemisphere_down(rng);
+      if (ray.dir.z == 0.0) ray.dir.z = -1e-12;
+      benchmark::DoNotOptimize(tr.transport(ray, phys::Species::kAlpha, 2.0, rng));
+    }
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count() /
+                      n;
+    t.add_row({std::string("array-MC strike transport"), us, 1e7 * 22,
+               us * 1e7 * 22 / 60e6});
+  }
+  {
+    sram::StrikeSimulator sim(sram::CellDesign{}, 0.8);
+    const auto start = std::chrono::steady_clock::now();
+    const int n = 300;
+    for (int i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(sim.simulate(sram::StrikeCharges{0.1, 0, 0}));
+    }
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count() /
+                      n;
+    // Paper-scale characterization: 1000 PV samples x ~12 bisection sims x
+    // 3 currents x 5 Vdd + grids.
+    const double ops = 1000.0 * 12 * 3 * 5 + 5 * 4000;
+    t.add_row({std::string("SPICE strike transient"), us, ops,
+               us * ops / 60e6});
+  }
+  bench::emit(t, "kernel_perf",
+              "Runtime budget of the paper-scale campaign on this machine");
+}
+
+void bm_lu_solve_10x10(benchmark::State& state) {
+  for (auto _ : state) {
+    spice::Mna m(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+      for (std::size_t j = 0; j < 10; ++j) {
+        m.add(i, j, i == j ? 3.0 : 0.1 * static_cast<double>((i * 7 + j) % 5));
+      }
+      m.add_rhs(i, 1.0);
+    }
+    benchmark::DoNotOptimize(m.solve());
+  }
+}
+BENCHMARK(bm_lu_solve_10x10);
+
+void bm_finfet_eval(benchmark::State& state) {
+  double vg = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spice::evaluate_finfet(spice::default_nfet(), 0.8, vg, 0.0, 0.0, 1.0));
+    vg = vg < 0.8 ? vg + 1e-3 : 0.0;
+  }
+}
+BENCHMARK(bm_finfet_eval);
+
+void bm_dc_operating_point(benchmark::State& state) {
+  sram::StrikeSimulator sim(sram::CellDesign{}, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.hold_state());
+  }
+}
+BENCHMARK(bm_dc_operating_point)->Unit(benchmark::kMicrosecond);
+
+void bm_transport_single(benchmark::State& state) {
+  const sram::ArrayLayout layout(9, 9, sram::CellGeometry{});
+  phys::Transporter tr(layout.fins());
+  stats::Rng rng(2);
+  for (auto _ : state) {
+    geom::Ray ray;
+    ray.origin = {rng.uniform(0.0, layout.width_nm()),
+                  rng.uniform(0.0, layout.height_nm()), 27.0};
+    ray.dir = stats::isotropic_hemisphere_down(rng);
+    if (ray.dir.z == 0.0) ray.dir.z = -1e-12;
+    benchmark::DoNotOptimize(tr.transport(ray, phys::Species::kProton, 1.0, rng));
+  }
+}
+BENCHMARK(bm_transport_single);
+
+}  // namespace
+
+FINSER_BENCH_MAIN(report)

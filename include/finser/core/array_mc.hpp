@@ -1,0 +1,133 @@
+#pragma once
+/// \file array_mc.hpp
+/// \brief Array-level 3-D Monte Carlo (paper Sec. 5.1).
+///
+/// For one particle species and energy, strikes are sampled over the array
+/// footprint (random position on a source plane above the fins, random
+/// downward direction), ray-traced through the fin boxes with energy
+/// degradation, and converted per cell into the (I1, I2, I3) charge triple
+/// of that cell's sensitive transistors. Cell POFs come from the
+/// characterized LUTs and combine into the array POF via the paper's
+/// Eqs. 4–6:
+///
+///   POF_tot = 1 − Π_i (1 − POF(cell_i))                     (Eq. 4)
+///   POF_SEU = Σ_i POF(cell_i) · Π_{j≠i} (1 − POF(cell_j))   (Eq. 5)
+///   POF_MBU = POF_tot − POF_SEU                             (Eq. 6)
+///
+/// One geometry pass prices **all** supply voltages and both
+/// process-variation modes simultaneously (the deposits are electrical-
+/// state-independent) — the hierarchical trick that keeps the cross-layer
+/// analysis tractable (paper Sec. 2).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "finser/core/pof_combine.hpp"
+#include "finser/phys/track.hpp"
+#include "finser/sram/layout.hpp"
+#include "finser/sram/pof_table.hpp"
+#include "finser/stats/rng.hpp"
+
+namespace finser::core {
+
+/// Angular law of the particle source (see stats/direction.hpp).
+///  * kIsotropic — uniform over the downward hemisphere (package alphas);
+///  * kCosine    — flux-weighted arrivals (atmospheric particles);
+///  * kBeam      — fixed direction (accelerated beam testing; set
+///                 ArrayMcConfig::beam_direction, tilted beams are the
+///                 standard technique for probing MBU sensitivity).
+enum class SourceAngularLaw { kIsotropic, kCosine, kBeam };
+
+/// Position sampling over the source plane.
+enum class SourcePositionSampling {
+  kUniform,     ///< i.i.d. uniform positions.
+  kStratified,  ///< Jittered grid strata: same estimator mean, lower
+                ///< variance for the position-driven part of the POF.
+};
+
+/// Array-MC knobs.
+struct ArrayMcConfig {
+  std::size_t strikes = 40000;  ///< Strikes per (species, energy) point.
+  SourceAngularLaw angular = SourceAngularLaw::kIsotropic;
+  SourcePositionSampling position = SourcePositionSampling::kUniform;
+  /// Beam direction for SourceAngularLaw::kBeam (normalized internally;
+  /// must point downward, z < 0).
+  geom::Vec3 beam_direction{0.0, 0.0, -1.0};
+  phys::StragglingModel straggling = phys::StragglingModel::kAuto;
+  /// Lateral margin of the source plane around the array footprint [nm].
+  /// Grazing tracks that enter the fin layer from just outside the array
+  /// are real MBU contributors; the sampled area (and hence the FIT
+  /// normalization, see sampled_area_nm2()) grows accordingly.
+  double source_margin_nm = 400.0;
+  /// Source plane height above fin tops [nm]. Kept small so near-grazing
+  /// tracks (the ones that cross several cells and cause MBUs) enter the
+  /// fin layer while still above the array footprint.
+  double source_height_nm = 1.0;
+};
+
+/// Monte-Carlo POF estimate for one (species, energy, Vdd, PV-mode).
+struct PofEstimate {
+  double tot = 0.0;
+  double seu = 0.0;
+  double mbu = 0.0;
+  double tot_se = 0.0;  ///< Standard errors of the means above.
+  double seu_se = 0.0;
+  double mbu_se = 0.0;
+  double hit_fraction = 0.0;  ///< Strikes with any sensitive deposit.
+  std::size_t strikes = 0;
+
+  /// Exact per-strike upset-multiplicity distribution, averaged over
+  /// strikes: multiplicity[n] = P(exactly n cells flip) for n <
+  /// kMaxMultiplicity-1; the last bin aggregates "that many or more".
+  /// Computed by Poisson-binomial dynamic programming over the touched
+  /// cells' POFs, so multiplicity[1] ≡ seu and Σ_{n≥2} ≡ mbu by
+  /// construction — the extra information ECC/interleaving sizing needs
+  /// beyond the paper's binary SEU/MBU split.
+  std::array<double, kMaxMultiplicity> multiplicity{};
+};
+
+/// Index pair (0 = nominal, 1 = with process variation).
+inline constexpr std::size_t kModeNominal = 0;
+inline constexpr std::size_t kModeWithPv = 1;
+
+/// Result of one energy point: estimates for every (Vdd, mode).
+struct ArrayMcResult {
+  std::vector<double> vdds;
+  /// est[vdd_index][mode].
+  std::vector<std::array<PofEstimate, 2>> est;
+};
+
+/// The array-level Monte-Carlo engine.
+class ArrayMc {
+ public:
+  /// \param layout and \param model must outlive the engine.
+  ArrayMc(const sram::ArrayLayout& layout, const sram::CellSoftErrorModel& model,
+          const ArrayMcConfig& config);
+
+  ArrayMc(const ArrayMc&) = delete;
+  ArrayMc& operator=(const ArrayMc&) = delete;
+
+  /// Run the MC at a fixed particle energy.
+  ArrayMcResult run(phys::Species species, double e_mev, stats::Rng& rng);
+
+  const ArrayMcConfig& config() const { return config_; }
+
+  /// Area of the source-sampling plane [nm²]: (W + 2·margin)(H + 2·margin).
+  /// This — not the bare array footprint — is the area POF estimates are
+  /// normalized to, and therefore the area that enters the FIT integral.
+  double sampled_area_nm2() const;
+
+ private:
+  const sram::ArrayLayout* layout_;
+  const sram::CellSoftErrorModel* model_;
+  ArrayMcConfig config_;
+  geom::Vec3 beam_dir_;  ///< Normalized beam direction (kBeam law).
+  phys::Transporter transporter_;
+
+  // Scratch: per-cell charges of the current strike (touched list + slots).
+  std::vector<sram::StrikeCharges> cell_charges_;
+  std::vector<std::uint32_t> touched_cells_;
+};
+
+}  // namespace finser::core

@@ -1,0 +1,34 @@
+#pragma once
+/// \file fit.hpp
+/// \brief Failure-In-Time rate integration (paper Sec. 5.2, Eqs. 7–8).
+///
+/// SER(FIT) = Σ_bins POF(E_rep) · IntFlux(bin) · Lx · Ly, with the result
+/// expressed in FIT (failures per 10⁹ device-hours). POF here is the
+/// conditional failure probability per particle crossing the Lx·Ly
+/// footprint, which is exactly what ArrayMc estimates when strikes are
+/// sampled uniformly over that footprint.
+
+#include <vector>
+
+#include "finser/core/array_mc.hpp"
+#include "finser/env/spectrum.hpp"
+
+namespace finser::core {
+
+/// FIT-rate split of one (Vdd, mode).
+struct FitResult {
+  double fit_tot = 0.0;
+  double fit_seu = 0.0;
+  double fit_mbu = 0.0;
+};
+
+/// Integrate Eq. 8 over the discretized spectrum.
+/// \param bins           energy bins with per-bin integral flux.
+/// \param pof_per_bin    POF estimate at each bin's representative energy
+///                       (same ordering as \p bins).
+/// \param lx_nm, ly_nm   array footprint (paper's Lx, Ly).
+FitResult integrate_fit(const std::vector<env::EnergyBin>& bins,
+                        const std::vector<PofEstimate>& pof_per_bin,
+                        double lx_nm, double ly_nm);
+
+}  // namespace finser::core

@@ -1,0 +1,72 @@
+#pragma once
+/// \file neutron_mc.hpp
+/// \brief Array-level Monte Carlo for neutron indirect ionization
+/// (the paper's Sec.-7 future work, built on phys/neutron.hpp).
+///
+/// Neutrons interact so rarely (mean free path ~5 cm vs a ~2 µm die stack)
+/// that analog sampling would waste virtually every history. The engine
+/// uses the standard **forced-interaction** variance-reduction scheme:
+/// every sampled neutron is forced to interact somewhere along its chord
+/// through the interaction slab (the silicon within `interaction_depth_um`
+/// of the fin layer), and the history carries the weight
+///
+///   w = Σ(E_n) · L_chord   (the true interaction probability, « 1),
+///
+/// so the POF estimator stays unbiased per *incident* neutron — the same
+/// normalization the charged-particle ArrayMc uses, and therefore directly
+/// pluggable into the Eq.-8 FIT integral. Secondaries (Si/Mg recoils,
+/// alphas, protons) are transported with the ordinary charged-particle
+/// machinery; recoils deposit locally, (n,α) alphas range over many cells.
+
+#include "finser/core/array_mc.hpp"
+#include "finser/phys/neutron.hpp"
+
+namespace finser::core {
+
+/// Neutron-MC knobs.
+struct NeutronMcConfig {
+  std::size_t histories = 40000;  ///< Forced-interaction histories per energy.
+  SourceAngularLaw angular = SourceAngularLaw::kIsotropic;
+  phys::StragglingModel straggling = phys::StragglingModel::kAuto;
+  /// Depth of the forced-interaction slab below the fin tops [um]. Covers
+  /// the fins, the BOX and the top of the substrate/handle silicon from
+  /// which recoils and reaction alphas can still reach the fin layer.
+  double interaction_depth_um = 2.0;
+  /// Lateral margin of the source plane [nm]; (n,α) alphas travel ~10 µm,
+  /// so off-array interactions contribute and the default is generous.
+  double source_margin_nm = 2000.0;
+};
+
+/// Forced-interaction neutron array Monte Carlo.
+class NeutronArrayMc {
+ public:
+  NeutronArrayMc(const sram::ArrayLayout& layout,
+                 const sram::CellSoftErrorModel& model,
+                 const NeutronMcConfig& config);
+
+  NeutronArrayMc(const NeutronArrayMc&) = delete;
+  NeutronArrayMc& operator=(const NeutronArrayMc&) = delete;
+
+  /// Run at one neutron energy. The estimates are per *incident neutron*
+  /// on the sampled plane (weights applied), so the result feeds
+  /// integrate_fit() with the neutron spectrum exactly like the
+  /// charged-particle results do.
+  ArrayMcResult run(double e_n_mev, stats::Rng& rng);
+
+  /// Area of the source-sampling plane [nm²] (FIT normalization area).
+  double sampled_area_nm2() const;
+
+  const NeutronMcConfig& config() const { return config_; }
+
+ private:
+  const sram::ArrayLayout* layout_;
+  const sram::CellSoftErrorModel* model_;
+  NeutronMcConfig config_;
+  phys::NeutronInteractionModel interactions_;
+  phys::Transporter transporter_;
+
+  std::vector<sram::StrikeCharges> cell_charges_;
+  std::vector<std::uint32_t> touched_cells_;
+};
+
+}  // namespace finser::core

@@ -1,0 +1,37 @@
+#pragma once
+/// \file pof_combine.hpp
+/// \brief The paper's Eqs. 4-6: combining per-cell POFs into array POFs.
+///
+///   POF_tot = 1 − Π_i (1 − p_i)                      (Eq. 4)
+///   POF_SEU = Σ_i p_i · Π_{j≠i} (1 − p_j)            (Eq. 5)
+///   POF_MBU = POF_tot − POF_SEU                      (Eq. 6)
+///
+/// Shared by the charged-particle and neutron array Monte Carlos.
+
+#include <array>
+#include <vector>
+
+namespace finser::core {
+
+/// Upset-multiplicity histogram depth: P(0) .. P(kMaxMultiplicity-1 or more).
+inline constexpr std::size_t kMaxMultiplicity = 9;
+
+/// Combined array POFs of one strike.
+struct CombinedPof {
+  double tot = 0.0;
+  double seu = 0.0;
+  double mbu = 0.0;
+};
+
+/// Evaluate Eqs. 4-6 for the touched cells' POFs (each in [0, 1]).
+/// Exact also when some p_i = 1 (direct O(k²) products; k is tiny).
+CombinedPof combine_eqs_4_to_6(const std::vector<double>& p);
+
+/// Exact distribution of the number of flipped cells given independent
+/// per-cell flip probabilities \p p (Poisson-binomial, O(k²) DP). The last
+/// bin aggregates counts >= kMaxMultiplicity-1. Identities (tested):
+/// out[0] = 1 - POF_tot, out[1] = POF_SEU, Σ_{n>=2} out[n] = POF_MBU.
+std::array<double, kMaxMultiplicity> multiplicity_distribution(
+    const std::vector<double>& p);
+
+}  // namespace finser::core

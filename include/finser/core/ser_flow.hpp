@@ -1,0 +1,103 @@
+#pragma once
+/// \file ser_flow.hpp
+/// \brief End-to-end SER estimation flow (paper Fig. 6).
+///
+/// Orchestrates the three layers:
+///   1. cell characterization → POF LUTs (cached on disk when a cache path
+///      is configured — the paper builds its LUTs "only once" too);
+///   2. array-level 3-D MC per (species, energy bin) → POF(E);
+///   3. FIT integration over the environmental spectrum (Eq. 8).
+///
+/// All Monte-Carlo sizes scale with the FINSER_MC_SCALE environment
+/// variable (default 1.0) so the same binaries run as quick smoke tests or
+/// long high-fidelity campaigns.
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "finser/core/array_mc.hpp"
+#include "finser/core/fit.hpp"
+#include "finser/core/neutron_mc.hpp"
+#include "finser/env/spectrum.hpp"
+#include "finser/sram/characterize.hpp"
+#include "finser/sram/layout.hpp"
+
+namespace finser::core {
+
+/// Full flow configuration.
+struct SerFlowConfig {
+  std::size_t array_rows = 9;  ///< Paper Sec. 6: a 9×9 array suffices.
+  std::size_t array_cols = 9;
+  sram::CellGeometry cell_geometry;
+  sram::CellDesign cell_design;
+  sram::DataPattern pattern = sram::DataPattern::kCheckerboard;
+  std::uint64_t pattern_seed = 1;
+
+  sram::CharacterizerConfig characterization;
+  ArrayMcConfig array_mc;
+  NeutronMcConfig neutron_mc;
+
+  /// Energy discretization per species (paper Eq. 8's ranges).
+  std::size_t proton_bins = 12;
+  std::size_t alpha_bins = 10;
+  std::size_t neutron_bins = 8;
+  double proton_e_lo_mev = 0.1;  ///< Direct-ionization band.
+  double proton_e_hi_mev = 100.0;
+  double alpha_e_lo_mev = 0.5;
+  double alpha_e_hi_mev = 10.0;
+  double neutron_e_lo_mev = 1.0;  ///< Below ~1 MeV recoils are sub-critical.
+  double neutron_e_hi_mev = 1000.0;
+
+  /// Optional POF-LUT cache file (reused when the fingerprint matches).
+  std::string lut_cache_path;
+
+  std::uint64_t seed = 2024;
+};
+
+/// Result of sweeping one spectrum.
+struct EnergySweepResult {
+  phys::Species species = phys::Species::kProton;
+  std::vector<double> vdds;
+  std::vector<env::EnergyBin> bins;
+  std::vector<ArrayMcResult> per_bin;          ///< Aligned with bins.
+  std::vector<std::array<FitResult, 2>> fit;   ///< [vdd_index][mode].
+};
+
+/// The cross-layer flow.
+class SerFlow {
+ public:
+  explicit SerFlow(const SerFlowConfig& config);
+
+  /// Characterized cell model (built lazily; loaded from cache if valid).
+  const sram::CellSoftErrorModel& cell_model(const sram::ProgressFn& progress = {});
+
+  const sram::ArrayLayout& layout() const { return layout_; }
+  const SerFlowConfig& config() const { return config_; }
+
+  /// Array MC at one fixed energy (used by the Fig.-8 reproduction).
+  ArrayMcResult run_at_energy(phys::Species species, double e_mev,
+                              const sram::ProgressFn& progress = {});
+
+  /// Full spectrum sweep: POF(E) per bin + FIT integration (Figs. 9-11).
+  /// Neutron spectra are dispatched to the forced-interaction neutron MC
+  /// (indirect ionization — the paper's future-work extension); charged
+  /// species use the direct-ionization ArrayMc.
+  EnergySweepResult sweep(const env::Spectrum& spectrum,
+                          const sram::ProgressFn& progress = {});
+
+ private:
+  SerFlowConfig config_;
+  sram::ArrayLayout layout_;
+  std::optional<sram::CellSoftErrorModel> model_;
+  std::uint64_t mc_seed_cursor_;
+};
+
+/// FINSER_MC_SCALE environment variable (default 1.0, clamped to > 0).
+double mc_scale_from_env();
+
+/// Multiply every Monte-Carlo size in \p config by \p scale (≥ minimum 1).
+void apply_mc_scale(SerFlowConfig& config, double scale);
+
+}  // namespace finser::core

@@ -1,0 +1,94 @@
+#pragma once
+/// \file spectrum.hpp
+/// \brief Ground-level radiation environment (paper Sec. 3.1, Fig. 2).
+///
+/// Two direct-ionization sources matter at sea level:
+///  * **Protons** (atmospheric): a steeply falling differential spectrum
+///    (paper Fig. 2a, after Hagmann et al.'s CRY cosmic-ray cascades). The
+///    tabulated shape below follows CRY's sea-level proton curve; the
+///    absolute scale of the low-energy end (which dominates direct-
+///    ionization upsets) is calibrated as described in EXPERIMENTS.md.
+///  * **Alphas** (terrestrial, package contamination): 0–10 MeV emission
+///    spectrum (paper Fig. 2b, after Sai-Halasz et al.), normalized to the
+///    paper's assumed emission rate of 0.001 α/(cm²·h).
+///
+/// A Spectrum stores the omnidirectional differential flux in
+/// 1/(cm²·s·MeV) and provides the discretization used by the FIT integral
+/// (paper Eq. 8) plus inverse-CDF energy sampling for integrated-spectrum
+/// Monte Carlo.
+
+#include <string>
+#include <vector>
+
+#include "finser/phys/particle.hpp"
+#include "finser/stats/rng.hpp"
+#include "finser/util/interp.hpp"
+
+namespace finser::env {
+
+/// One energy bin of the discretized spectrum (paper Eq. 8).
+struct EnergyBin {
+  double e_rep_mev = 0.0;  ///< Representative energy (geometric bin center).
+  double e_lo_mev = 0.0;
+  double e_hi_mev = 0.0;
+  double integral_flux_per_cm2_s = 0.0;  ///< ∫ flux dE over the bin.
+};
+
+/// Tabulated omnidirectional differential particle flux.
+class Spectrum {
+ public:
+  /// \param energies_mev strictly increasing tabulation energies.
+  /// \param flux_per_cm2_s_mev differential flux at those energies.
+  Spectrum(phys::Species species, std::string name,
+           std::vector<double> energies_mev,
+           std::vector<double> flux_per_cm2_s_mev);
+
+  phys::Species species() const { return species_; }
+  const std::string& name() const { return name_; }
+
+  double e_min_mev() const;
+  double e_max_mev() const;
+
+  /// Differential flux at \p e_mev [1/(cm²·s·MeV)]; 0 outside the table.
+  double differential(double e_mev) const;
+
+  /// Integral flux over [e_lo, e_hi] [1/(cm²·s)].
+  double integral_flux(double e_lo_mev, double e_hi_mev) const;
+
+  /// Total integral flux over the tabulated range [1/(cm²·s)].
+  double total_flux() const { return integral_flux(e_min_mev(), e_max_mev()); }
+
+  /// Discretize [e_lo, e_hi] into \p bins logarithmic energy bins.
+  std::vector<EnergyBin> discretize(double e_lo_mev, double e_hi_mev,
+                                    std::size_t bins) const;
+
+  /// Sample an energy from the normalized spectrum (inverse CDF).
+  double sample_energy(stats::Rng& rng) const;
+
+  /// Rescale so that total_flux() equals \p flux [1/(cm²·s)].
+  void normalize_total_flux(double flux_per_cm2_s);
+
+ private:
+  void rebuild_cdf();
+
+  phys::Species species_;
+  std::string name_;
+  std::vector<double> energies_;
+  std::vector<double> flux_;
+  util::Grid1 grid_;          ///< Log-log interpolation of the flux.
+  std::vector<double> cdf_;   ///< Cumulative integral at tabulation points.
+};
+
+/// Sea-level atmospheric proton spectrum (paper Fig. 2a).
+Spectrum sea_level_protons();
+
+/// Package alpha emission spectrum normalized to \p emission_per_cm2_h
+/// (paper Fig. 2b; default 0.001 α/(cm²·h) per the paper's assumption).
+Spectrum package_alphas(double emission_per_cm2_h = 0.001);
+
+/// Sea-level atmospheric neutron spectrum (Gordon et al./JEDEC-class shape,
+/// ~13 n/(cm²·h) above 10 MeV at NYC reference conditions). Drives the
+/// indirect-ionization extension (the paper's Sec.-7 future work).
+Spectrum sea_level_neutrons();
+
+}  // namespace finser::env

@@ -1,0 +1,58 @@
+#pragma once
+/// \file aabb.hpp
+/// \brief Axis-aligned bounding boxes and ray-box intersection.
+///
+/// Fins, gates and well regions in the SRAM layout are modeled as AABBs
+/// (fins are literally rectangular boxes in SOI FinFET technology, paper
+/// Fig. 3a), so the "which fins does this particle track cross, and with
+/// what path length" query reduces to exact slab-method ray-box clipping.
+
+#include <optional>
+
+#include "finser/geom/vec3.hpp"
+
+namespace finser::geom {
+
+/// Parametric ray-box overlap: the ray is inside the box for t in [t_in, t_out].
+struct RayInterval {
+  double t_in = 0.0;
+  double t_out = 0.0;
+
+  double length() const { return t_out - t_in; }
+};
+
+/// Axis-aligned box [lo, hi] (all coordinates in nm).
+struct Aabb {
+  Vec3 lo;
+  Vec3 hi;
+
+  /// True when the box has non-negative extent on all axes.
+  bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+  Vec3 center() const { return (lo + hi) * 0.5; }
+  Vec3 extent() const { return hi - lo; }
+  double volume() const {
+    const Vec3 e = extent();
+    return e.x * e.y * e.z;
+  }
+
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z &&
+           p.z <= hi.z;
+  }
+
+  bool overlaps(const Aabb& o) const {
+    return lo.x <= o.hi.x && hi.x >= o.lo.x && lo.y <= o.hi.y && hi.y >= o.lo.y &&
+           lo.z <= o.hi.z && hi.z >= o.lo.z;
+  }
+
+  /// Grow to include \p o.
+  void expand(const Aabb& o);
+
+  /// Slab-method intersection with a ray for t >= \p t_min.
+  /// Returns the clipped [t_in, t_out] interval, or nullopt on a miss.
+  /// Grazing hits (t_in == t_out) are reported as hits with zero length.
+  std::optional<RayInterval> intersect(const Ray& ray, double t_min = 0.0) const;
+};
+
+}  // namespace finser::geom

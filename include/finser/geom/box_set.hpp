@@ -1,0 +1,79 @@
+#pragma once
+/// \file box_set.hpp
+/// \brief Collections of labeled AABBs with ray queries.
+///
+/// An SRAM array layout becomes a BoxSet of fin boxes (hundreds to a few
+/// thousand). Array-level Monte Carlo shoots millions of rays at it, so a
+/// 3-D DDA uniform-grid accelerator is provided next to the brute-force
+/// reference implementation (the two are property-tested to be equivalent).
+
+#include <cstdint>
+#include <vector>
+
+#include "finser/geom/aabb.hpp"
+
+namespace finser::geom {
+
+/// One ray-box crossing: which box, and the parametric [t_in, t_out].
+struct BoxHit {
+  std::uint32_t id = 0;
+  RayInterval interval;
+};
+
+/// A flat set of boxes identified by dense ids (insertion order).
+class BoxSet {
+ public:
+  /// Add a box; returns its id. The box must be valid().
+  std::uint32_t add(const Aabb& box);
+
+  std::size_t size() const { return boxes_.size(); }
+  bool empty() const { return boxes_.empty(); }
+  const Aabb& box(std::uint32_t id) const { return boxes_[id]; }
+  const std::vector<Aabb>& boxes() const { return boxes_; }
+
+  /// Bounding box of the whole set (throws if empty).
+  Aabb bounds() const;
+
+  /// Brute-force query: all boxes crossed by \p ray (t >= 0), sorted by t_in.
+  void query(const Ray& ray, std::vector<BoxHit>& out) const;
+
+ private:
+  std::vector<Aabb> boxes_;
+};
+
+/// Uniform-grid (3-D DDA) ray-query accelerator over an immutable BoxSet.
+class UniformGrid {
+ public:
+  /// Build over \p set (which must outlive the grid and stay unmodified).
+  /// \param target_boxes_per_cell controls grid resolution (default 4).
+  explicit UniformGrid(const BoxSet& set, double target_boxes_per_cell = 4.0);
+
+  /// Same contract as BoxSet::query, but accelerated.
+  /// Not thread-safe (uses per-query scratch state).
+  void query(const Ray& ray, std::vector<BoxHit>& out);
+
+  /// Grid resolution per axis (for diagnostics).
+  int nx() const { return n_[0]; }
+  int ny() const { return n_[1]; }
+  int nz() const { return n_[2]; }
+
+ private:
+  std::size_t cell_index(int ix, int iy, int iz) const {
+    return (static_cast<std::size_t>(iz) * static_cast<std::size_t>(n_[1]) +
+            static_cast<std::size_t>(iy)) *
+               static_cast<std::size_t>(n_[0]) +
+           static_cast<std::size_t>(ix);
+  }
+
+  const BoxSet* set_;
+  Aabb bounds_;
+  int n_[3] = {1, 1, 1};
+  Vec3 cell_size_;
+  std::vector<std::vector<std::uint32_t>> cells_;
+
+  // Per-query duplicate suppression (epoch-stamped).
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace finser::geom

@@ -1,0 +1,71 @@
+#pragma once
+/// \file vec3.hpp
+/// \brief 3-D vector algebra for layout geometry and particle tracks.
+///
+/// Coordinates throughout finser's geometry layer are in **nanometres**,
+/// x/y in the die plane (x along the wordline, y along the bitline) and
+/// z vertical (z = 0 at the top of the BOX, fins extend upward).
+
+#include <cmath>
+
+namespace finser::geom {
+
+/// Plain 3-vector of doubles (value type, constexpr-friendly).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double px, double py, double pz) : x(px), y(py), z(pz) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+
+  /// Unit vector in the same direction (undefined for the zero vector).
+  Vec3 normalized() const {
+    const double n = norm();
+    return {x / n, y / n, z / n};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// A half-line: origin + t * direction, t >= 0, direction unit-length.
+struct Ray {
+  Vec3 origin;
+  Vec3 dir;
+
+  constexpr Vec3 at(double t) const { return origin + dir * t; }
+};
+
+}  // namespace finser::geom

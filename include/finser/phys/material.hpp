@@ -1,0 +1,50 @@
+#pragma once
+/// \file material.hpp
+/// \brief Target materials of the SOI FinFET stack.
+///
+/// The stack the paper simulates (Fig. 3a) is: silicon fin on a buried
+/// oxide (BOX) over a silicon substrate, with oxide/dielectric filling
+/// between fins. Only energy deposited **inside a fin** produces collectable
+/// charge (the BOX blocks diffusion collection from the substrate —
+/// Sec. 3.3); other materials still slow the particle down, which matters
+/// for grazing multi-cell tracks (MBU).
+
+#include <string>
+
+namespace finser::phys {
+
+/// Bulk material description sufficient for stopping-power evaluation.
+struct Material {
+  std::string name;
+
+  /// Effective Z/A [mol/g] (sum of atomic numbers / molar mass for compounds).
+  double z_over_a = 0.0;
+
+  /// Mass density [g/cm^3].
+  double density_g_cm3 = 0.0;
+
+  /// Mean excitation energy I [eV].
+  double mean_excitation_ev = 0.0;
+
+  /// Energy per generated electron-hole pair [eV]; 0 when the material does
+  /// not produce collectable charge (insulators in this model).
+  double eh_pair_energy_ev = 0.0;
+
+  /// Atomic number of the (dominant) target element, used by the nuclear
+  /// stopping model.
+  double z_nuclear = 14.0;
+
+  /// Molar mass of the (dominant) target element [g/mol].
+  double a_nuclear = 28.0855;
+
+  /// True if deposited ionization energy converts to collectable e-h pairs.
+  bool collects_charge() const { return eh_pair_energy_ev > 0.0; }
+};
+
+/// Crystalline silicon (fin, substrate).
+const Material& silicon();
+
+/// Thermal SiO2 (BOX, STI, spacer fill). Treated as non-collecting.
+const Material& silicon_dioxide();
+
+}  // namespace finser::phys

@@ -1,0 +1,78 @@
+#pragma once
+/// \file neutron.hpp
+/// \brief Neutron-induced indirect ionization (the paper's Sec.-7 future work).
+///
+/// Atmospheric neutrons are uncharged: they upset SRAMs only through the
+/// charged secondaries of nuclear reactions with silicon (paper Sec. 3.1,
+/// "indirect ionization"). This module implements a compact n-28Si reaction
+/// model with the three channels that dominate the soft-error response:
+///
+///  * **elastic scattering** n + 28Si → n + 28Si*: isotropic-in-CM recoil,
+///    E_R ≤ 4·m_n·M/(m_n+M)² · E_n ≈ 0.133·E_n;
+///  * **(n,α)** 28Si(n,α)25Mg, Q = −2.654 MeV (threshold ≈ 2.75 MeV):
+///    an energetic alpha plus a heavy Mg recoil, emitted back-to-back in CM;
+///  * **(n,p)** 28Si(n,p)28Al, Q = −3.860 MeV (threshold ≈ 4.0 MeV):
+///    an energetic proton plus a slow Al recoil (transported with the Si
+///    recoil stopping model — 1 amu / 1 charge unit apart).
+///
+/// Cross sections are smooth log-log fits to the ENDF/B natSi evaluations
+/// (resonance structure averaged out — the array MC integrates over broad
+/// spectra anyway). Secondaries are handed to the standard charged-particle
+/// Transporter, so recoil straggling, Lindhard partition and multi-fin
+/// charge sharing all apply unchanged.
+
+#include <vector>
+
+#include "finser/geom/vec3.hpp"
+#include "finser/phys/particle.hpp"
+#include "finser/stats/rng.hpp"
+
+namespace finser::phys {
+
+/// One charged reaction product in the lab frame.
+struct NeutronSecondary {
+  Species species = Species::kSiRecoil;
+  double energy_mev = 0.0;
+  geom::Vec3 direction;  ///< Unit vector, lab frame.
+};
+
+/// Reaction channels of the model.
+enum class NeutronChannel { kElastic, kNAlpha, kNProton };
+
+/// Products of one sampled interaction.
+struct NeutronInteraction {
+  NeutronChannel channel = NeutronChannel::kElastic;
+  std::vector<NeutronSecondary> secondaries;
+};
+
+/// Compact n-28Si interaction model.
+class NeutronInteractionModel {
+ public:
+  NeutronInteractionModel();
+
+  /// Channel cross sections [barn] at neutron energy \p e_n_mev.
+  double elastic_barn(double e_n_mev) const;
+  double n_alpha_barn(double e_n_mev) const;
+  double n_proton_barn(double e_n_mev) const;
+  double total_barn(double e_n_mev) const;
+
+  /// Macroscopic cross section in silicon [1/cm].
+  double macroscopic_per_cm(double e_n_mev) const;
+
+  /// Mean free path in silicon [um].
+  double mean_free_path_um(double e_n_mev) const;
+
+  /// Sample one interaction of a neutron travelling along \p n_dir (unit).
+  /// Valid for e_n_mev within the tabulated range (20 keV .. 1 GeV).
+  NeutronInteraction sample(double e_n_mev, const geom::Vec3& n_dir,
+                            stats::Rng& rng) const;
+
+  /// Maximum elastic silicon-recoil energy [MeV] (kinematic limit).
+  static double max_recoil_energy_mev(double e_n_mev);
+
+  /// Reaction Q-values [MeV].
+  static constexpr double kQnAlphaMeV = -2.654;
+  static constexpr double kQnProtonMeV = -3.860;
+};
+
+}  // namespace finser::phys

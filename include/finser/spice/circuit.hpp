@@ -1,0 +1,107 @@
+#pragma once
+/// \file circuit.hpp
+/// \brief Netlist container and the device interface.
+///
+/// A Circuit owns named nodes and polymorphic devices. Unknown ordering in
+/// the MNA system is: node voltages (0 .. node_count-1, ground eliminated)
+/// followed by voltage-source branch currents. Devices are stamped through a
+/// uniform interface; stateful devices (capacitors) update their history
+/// only at commit(), so a rejected time step never corrupts state.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "finser/spice/mna.hpp"
+
+namespace finser::spice {
+
+/// Numerical integration scheme for reactive companion models.
+enum class Integrator { kBackwardEuler, kTrapezoidal };
+
+/// Per-stamp evaluation context handed to every device.
+struct StampContext {
+  const std::vector<double>* x = nullptr;  ///< Current Newton iterate.
+  bool transient = false;                  ///< False during DC analysis.
+  double time = 0.0;                       ///< End time of the current step [s].
+  double dt = 0.0;                         ///< Step size [s] (0 in DC).
+  Integrator method = Integrator::kBackwardEuler;
+  std::size_t branch_offset = 0;           ///< First branch unknown index.
+
+  /// Voltage of \p node under the current iterate (0 V for ground).
+  double v(std::size_t node) const {
+    return node == kGround ? 0.0 : (*x)[node];
+  }
+
+  /// Global unknown index of branch \p branch_id.
+  std::size_t branch_index(std::size_t branch_id) const {
+    return branch_offset + branch_id;
+  }
+};
+
+/// Abstract circuit element.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Contribute the linearized companion model at the context's iterate.
+  virtual void stamp(Mna& mna, const StampContext& ctx) const = 0;
+
+  /// Called once after the DC operating point, before transient stepping.
+  virtual void initialize_state(const std::vector<double>& /*x*/) {}
+
+  /// Called after a time step is accepted.
+  virtual void commit(const StampContext& /*ctx*/) {}
+
+  /// Append hard time points (source edges) within [0, t_end].
+  virtual void add_breakpoints(double /*t_end*/, std::vector<double>& /*out*/) const {}
+
+  /// Diagnostic type name.
+  virtual const char* kind() const = 0;
+};
+
+/// Netlist: node namespace + device list.
+class Circuit {
+ public:
+  /// Get or create a node by name. "0" and "gnd" map to the ground sentinel.
+  std::size_t node(const std::string& name);
+
+  /// Look up an existing node (throws InvalidArgument if absent).
+  std::size_t find_node(const std::string& name) const;
+
+  /// Name of node \p idx ("gnd" for the ground sentinel).
+  const std::string& node_name(std::size_t idx) const;
+
+  /// Number of non-ground nodes.
+  std::size_t node_count() const { return names_.size(); }
+
+  /// Allocate a voltage-source branch unknown; returns the branch id.
+  std::size_t alloc_branch() { return branch_count_++; }
+
+  std::size_t branch_count() const { return branch_count_; }
+
+  /// Total unknown count: nodes + branches.
+  std::size_t unknown_count() const { return node_count() + branch_count_; }
+
+  /// Construct a device in place and keep ownership; returns a reference
+  /// that stays valid for the circuit's lifetime.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *dev;
+    devices_.push_back(std::move(dev));
+    return ref;
+  }
+
+  const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+
+ private:
+  std::unordered_map<std::string, std::size_t> node_index_;
+  std::vector<std::string> names_;
+  std::size_t branch_count_ = 0;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace finser::spice

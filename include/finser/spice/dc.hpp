@@ -1,0 +1,38 @@
+#pragma once
+/// \file dc.hpp
+/// \brief Nonlinear DC operating-point solver.
+///
+/// Damped Newton–Raphson over the MNA companion linearization, globalized by
+/// gmin stepping (a conductance from every node to ground, stepped down to
+/// zero). SRAM cells are bistable: the solver converges to the stable state
+/// in whose basin the initial guess lies, which is exactly how the cell's
+/// logical state is selected before a strike simulation.
+
+#include <vector>
+
+#include "finser/spice/circuit.hpp"
+
+namespace finser::spice {
+
+/// Options for the operating-point solve.
+struct DcOptions {
+  int max_iterations = 200;       ///< Newton iterations per gmin stage.
+  double v_tol = 1e-9;            ///< Convergence: max |Δx| below this [V/A].
+  double damping_vmax = 0.3;      ///< Max per-iteration voltage move [V].
+  /// gmin continuation schedule. The final stage keeps a residual 1e-12 S
+  /// shunt (standard SPICE practice) so floating nodes — e.g. a capacitor
+  /// with no DC path — stay solvable; it is ~6 orders below any device
+  /// conductance that matters here.
+  std::vector<double> gmin_steps = {1e-3, 1e-5, 1e-7, 1e-9, 1e-12};
+};
+
+/// Solve the DC operating point of \p circuit.
+/// \param initial_guess optional starting vector (unknown_count() wide);
+///        pass the intended SRAM state to select the bistable branch.
+/// \returns the solution vector (node voltages then branch currents).
+/// \throws util::NumericalError if any gmin stage fails to converge.
+std::vector<double> solve_dc(const Circuit& circuit,
+                             const std::vector<double>& initial_guess = {},
+                             const DcOptions& options = {});
+
+}  // namespace finser::spice

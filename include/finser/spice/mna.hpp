@@ -1,0 +1,55 @@
+#pragma once
+/// \file mna.hpp
+/// \brief Modified nodal analysis system and dense LU solver.
+///
+/// SRAM-cell circuits are tiny (≈10 unknowns), so the system is a dense
+/// row-major matrix solved by in-place LU with partial pivoting. Unknowns
+/// are node voltages (ground eliminated) followed by voltage-source branch
+/// currents. The sentinel kGround marks the eliminated reference node;
+/// stamps touching it are silently dropped, which keeps device stamping
+/// branch-free at call sites.
+
+#include <cstddef>
+#include <vector>
+
+namespace finser::spice {
+
+/// Index of the eliminated reference node.
+inline constexpr std::size_t kGround = static_cast<std::size_t>(-1);
+
+/// Dense MNA system A·x = b.
+class Mna {
+ public:
+  explicit Mna(std::size_t size);
+
+  std::size_t size() const { return n_; }
+
+  /// Zero the matrix and right-hand side (reused across Newton iterations).
+  void clear();
+
+  /// A[i][j] += g  (no-op when either index is kGround).
+  void add(std::size_t i, std::size_t j, double g);
+
+  /// b[i] += v  (no-op for kGround).
+  void add_rhs(std::size_t i, double v);
+
+  /// Add \p gmin from each of the first \p n_nodes unknowns to ground
+  /// (Newton globalization aid).
+  void add_gmin(double gmin, std::size_t n_nodes);
+
+  double matrix_at(std::size_t i, std::size_t j) const { return a_[i * n_ + j]; }
+  double rhs_at(std::size_t i) const { return b_[i]; }
+
+  /// Solve in place; throws util::NumericalError on a (near-)singular matrix.
+  /// The system is destroyed by the factorization; call clear() + restamp
+  /// before the next solve.
+  std::vector<double> solve();
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_;  ///< Row-major n×n.
+  std::vector<double> b_;
+  std::vector<std::size_t> perm_;  ///< Pivot scratch.
+};
+
+}  // namespace finser::spice

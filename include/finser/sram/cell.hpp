@@ -1,0 +1,148 @@
+#pragma once
+/// \file cell.hpp
+/// \brief 6T SOI-FinFET SRAM cell: netlist construction and strike simulation.
+///
+/// The cell under study (paper Fig. 5a) holds Q=1/QB=0. The transistors
+/// sensitive to radiation are the three that are OFF with |Vds| = Vdd:
+///
+///   * the pull-down at Q        — strike current I1 pulls Q toward GND;
+///   * the pull-up at QB         — strike current I2 pulls QB toward VDD;
+///   * the pass-gate at QB       — strike current I3 injects from BLB (pre-
+///                                 charged to VDD) into QB.
+///
+/// A StrikeSimulator owns one cell circuit and answers "does this strike
+/// flip the cell?" for arbitrary charge combinations, supply voltages,
+/// pulse shapes and per-transistor threshold shifts. It is the SPICE step
+/// of the paper's flow (Sec. 4), executed tens of thousands of times during
+/// characterization.
+
+#include <array>
+#include <cstddef>
+
+#include "finser/phys/collection.hpp"
+#include "finser/spice/circuit.hpp"
+#include "finser/spice/devices.hpp"
+#include "finser/spice/transient.hpp"
+
+namespace finser::sram {
+
+/// The six transistors of a 6T cell. "L" is the Q side, "R" the QB side.
+enum class Role : std::size_t {
+  kPdL = 0,  ///< Pull-down NFET driving Q.
+  kPuL = 1,  ///< Pull-up PFET driving Q.
+  kPgL = 2,  ///< Pass-gate NFET at Q.
+  kPdR = 3,  ///< Pull-down NFET driving QB.
+  kPuR = 4,  ///< Pull-up PFET driving QB.
+  kPgR = 5,  ///< Pass-gate NFET at QB.
+};
+
+inline constexpr std::size_t kRoleCount = 6;
+
+/// Strike-current charge triple [fC] (paper Fig. 5a currents I1, I2, I3).
+struct StrikeCharges {
+  double i1_fc = 0.0;  ///< Into the OFF pull-down at the '1' node.
+  double i2_fc = 0.0;  ///< Into the OFF pull-up at the '0' node.
+  double i3_fc = 0.0;  ///< Into the OFF pass-gate at the '0' node.
+
+  bool any() const { return i1_fc > 0.0 || i2_fc > 0.0 || i3_fc > 0.0; }
+};
+
+/// Per-transistor threshold shifts [V], indexed by Role.
+using DeltaVt = std::array<double, kRoleCount>;
+
+/// Cell topology.
+enum class CellTopology {
+  k6T,  ///< The paper's cell: shared read/write port (Fig. 5a).
+  k8T,  ///< Read-decoupled cell: a 2-NFET read stack (gate on QB, gated by a
+        ///< separate read wordline) buffers the storage nodes from the read
+        ///< path. Retention SER is 6T-like; the read-disturb vulnerability
+        ///< (see ablation_access_mode) disappears. Read-stack transistors
+        ///< are not upset-sensitive — a strike there can only glitch the
+        ///< read bitline, a transient read error rather than a bit flip.
+};
+
+/// Electrical design of the cell.
+struct CellDesign {
+  CellTopology topology = CellTopology::k6T;
+  const spice::FinFetModel* nfet = nullptr;  ///< Default: default_nfet().
+  const spice::FinFetModel* pfet = nullptr;  ///< Default: default_pfet().
+  double nfin_pd = 1.0;  ///< Fins per pull-down.
+  double nfin_pg = 1.0;  ///< Fins per pass-gate.
+  double nfin_pu = 1.0;  ///< Fins per pull-up.
+  /// Explicit storage-node capacitance [F]. Calibrated so the cell's
+  /// critical charge spans ~0.11 fC (Vdd = 0.7 V) to ~0.18 fC (1.1 V):
+  /// alpha strikes near the Bragg peak (~1800 pairs through a full fin
+  /// chord) clear it at every Vdd, while low-energy-proton deposits (~800
+  /// pairs peak) only clear it at low Vdd — the regime that produces the
+  /// paper's Fig. 9 crossover (see EXPERIMENTS.md).
+  double cnode_f = 0.17e-15;
+  double sigma_vt = 0.050;    ///< Threshold-variation sigma [V] (Wang et al., 14 nm SOI).
+  double temp_k = 300.0;      ///< Junction temperature [K].
+  phys::FinTechnology tech;   ///< Fin geometry / mobility (pulse width).
+};
+
+/// Result of one strike transient.
+struct StrikeOutcome {
+  bool flipped = false;
+  double final_q_v = 0.0;
+  double final_qb_v = 0.0;
+};
+
+/// Operating condition of the cell during the strike.
+enum class AccessMode {
+  kRetention,  ///< Wordline low, bitlines precharged (the paper's scenario).
+  kRead,       ///< Wordline high, bitlines held at the precharge level: the
+               ///< read-disturb condition — the cell's weakest moment.
+};
+
+/// Reusable single-cell strike simulator at a fixed supply voltage.
+class StrikeSimulator {
+ public:
+  StrikeSimulator(const CellDesign& design, double vdd_v,
+                  AccessMode mode = AccessMode::kRetention);
+
+  StrikeSimulator(const StrikeSimulator&) = delete;
+  StrikeSimulator& operator=(const StrikeSimulator&) = delete;
+
+  /// Simulate a strike delivering \p charges with the given pulse shape
+  /// kind and threshold shifts. The pulse width is the transit time
+  /// τ = L²/(μ·Vdd) (paper Eq. 2).
+  StrikeOutcome simulate(
+      const StrikeCharges& charges, const DeltaVt& delta_vt = {},
+      spice::PulseShape::Kind kind = spice::PulseShape::Kind::kRectangular);
+
+  /// Static-noise-margin style diagnostic: the hold-state solution.
+  /// Returns {V(Q), V(QB)} of the DC operating point with no strike.
+  std::array<double, 2> hold_state(const DeltaVt& delta_vt = {});
+
+  double vdd() const { return vdd_v_; }
+  const CellDesign& design() const { return design_; }
+  AccessMode mode() const { return mode_; }
+
+  /// Scale the strike pulse width relative to the transit time τ (default
+  /// 1.0). The delivered charge is held constant, so this directly tests
+  /// the paper's Sec.-4 claim that POF depends only on pulse area — see the
+  /// pulse-shape ablation bench.
+  void set_pulse_width_scale(double scale);
+  double pulse_width_scale() const { return pulse_width_scale_; }
+
+ private:
+  void apply_delta_vt(const DeltaVt& delta_vt);
+  std::vector<double> solve_hold(const DeltaVt& delta_vt);
+
+  CellDesign design_;
+  double vdd_v_;
+  AccessMode mode_ = AccessMode::kRetention;
+  double tau_s_;  ///< Drift-collection pulse width [s].
+  double pulse_width_scale_ = 1.0;
+
+  spice::Circuit circuit_;
+  std::size_t n_q_, n_qb_, n_vdd_, n_bl_, n_blb_, n_wl_;
+  std::array<spice::Mosfet*, kRoleCount> fets_{};
+  spice::PulseISource* src_i1_ = nullptr;
+  spice::PulseISource* src_i2_ = nullptr;
+  spice::PulseISource* src_i3_ = nullptr;
+  spice::TransientOptions topt_;
+};
+
+}  // namespace finser::sram

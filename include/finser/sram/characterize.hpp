@@ -1,0 +1,100 @@
+#pragma once
+/// \file characterize.hpp
+/// \brief SRAM-cell soft-error characterization (paper Sec. 4).
+///
+/// Builds the POF LUTs by repeated strike simulation:
+///
+///  * **Single currents** — for each of I1/I2/I3 and each process-variation
+///    sample (6 i.i.d. N(0, σ_Vt) threshold shifts) the critical charge is
+///    bisected; the sorted sample set *is* the POF curve (an exact empirical
+///    CDF rather than the paper's fixed 1000-run grid — smoother for the
+///    same simulation budget).
+///  * **Current pairs / triple** — POF grids over charge combinations. The
+///    flip region is monotone (more charge never un-flips a cell — enforced
+///    by tests), so the nominal boundary is found with per-row binary
+///    search, and PV Monte Carlo is spent only on grid cells within ~4σ of
+///    that boundary; everything else is deterministically 0 or 1.
+///
+/// Characterization cost is dominated by SPICE transients; a full 5-voltage
+/// model is a few tens of seconds on one core and is cached on disk by the
+/// benches (CellSoftErrorModel::save / try_load).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "finser/sram/cell.hpp"
+#include "finser/sram/pof_table.hpp"
+#include "finser/stats/rng.hpp"
+
+namespace finser::sram {
+
+/// Knobs of the characterization campaign.
+struct CharacterizerConfig {
+  std::vector<double> vdds = {0.7, 0.8, 0.9, 1.0, 1.1};
+  std::size_t pv_samples_single = 200;  ///< Critical-charge samples per current.
+  std::size_t pair_grid_points = 9;     ///< Grid points per pair axis.
+  std::size_t triple_grid_points = 6;   ///< Grid points per triple axis.
+  std::size_t pv_samples_grid = 48;     ///< MC samples per near-boundary cell.
+  double q_max_fc = 0.4;                ///< Charge ceiling of all tables [fC].
+  double bisect_tol_fc = 2e-4;          ///< Critical-charge resolution [fC].
+  spice::PulseShape::Kind pulse_kind = spice::PulseShape::Kind::kRectangular;
+  std::uint64_t seed = 0x5EEDCAFEull;
+
+  /// Fingerprint of (config, design) for cache validation.
+  std::uint64_t fingerprint(const CellDesign& design) const;
+};
+
+/// Progress sink (characterization messages); may be empty.
+using ProgressFn = std::function<void(const std::string&)>;
+
+/// Critical-charge bisection along a fixed charge direction:
+/// returns the smallest scale s such that s·\p direction flips the cell,
+/// or SingleCdf::kNeverFlips if \p s_max·direction does not flip it.
+double bisect_critical_scale(StrikeSimulator& sim, const StrikeCharges& direction,
+                             const DeltaVt& delta_vt, double s_max, double tol,
+                             spice::PulseShape::Kind kind);
+
+/// Build a charge axis for the pair/triple POF grids: a zero anchor, a dense
+/// band bracketing the cell's critical-charge range [qc_lo, qc_hi], and a
+/// sparse tail out to \p q_max_fc. Dense placement keeps the bilinear/
+/// trilinear interpolation honest exactly where POF transitions 0 → 1
+/// (a uniform axis smears phantom POF onto near-zero charge combinations).
+util::Axis make_charge_axis(double qc_lo_fc, double qc_hi_fc, std::size_t points,
+                            double q_max_fc);
+
+/// Cell characterizer.
+class CellCharacterizer {
+ public:
+  CellCharacterizer(const CellDesign& design, const CharacterizerConfig& config);
+
+  /// Characterize every configured supply voltage.
+  CellSoftErrorModel characterize(const ProgressFn& progress = {}) const;
+
+  /// Characterize one supply voltage (deterministic given \p rng state).
+  PofTable characterize_at(double vdd_v, stats::Rng& rng,
+                           const ProgressFn& progress = {}) const;
+
+  /// Draw one process-variation sample (6 threshold shifts).
+  DeltaVt sample_delta_vt(stats::Rng& rng) const;
+
+  const CharacterizerConfig& config() const { return config_; }
+  const CellDesign& design() const { return design_; }
+
+ private:
+  SingleCdf characterize_single(StrikeSimulator& sim, int which,
+                                stats::Rng& rng) const;
+  void characterize_pair(StrikeSimulator& sim, int a, int b,
+                         const util::Axis& axis, double sigma_q_fc,
+                         stats::Rng& rng, util::Grid2& pv,
+                         util::Grid2& nominal) const;
+  void characterize_triple(StrikeSimulator& sim, const util::Axis& axis,
+                           double sigma_q_fc, stats::Rng& rng, util::Grid3& pv,
+                           util::Grid3& nominal) const;
+
+  CellDesign design_;
+  CharacterizerConfig config_;
+};
+
+}  // namespace finser::sram

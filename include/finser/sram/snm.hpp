@@ -1,0 +1,35 @@
+#pragma once
+/// \file snm.hpp
+/// \brief Static noise margin (SNM) of the 6T cell — butterfly-curve analysis.
+///
+/// The SNM is the side of the largest square that fits inside the lobes of
+/// the butterfly plot formed by the two cross-coupled inverter VTCs; it is
+/// *the* classic stability metric of an SRAM cell and correlates directly
+/// with the radiation-critical charge studied in the paper (a cell with a
+/// shallow lobe flips on less deposited charge). finser computes it the
+/// standard way: each half-cell VTC is swept with DC solves (pass gates
+/// loaded per the access mode), the curves are rotated by 45°, and the SNM
+/// of each lobe is the maximum rotated-axis separation divided by √2.
+
+#include "finser/sram/cell.hpp"
+
+namespace finser::sram {
+
+/// Butterfly-curve result.
+struct SnmResult {
+  double snm_v = 0.0;        ///< min(lobe_high, lobe_low): the cell SNM.
+  double lobe_high_v = 0.0;  ///< Square side of the upper-left lobe.
+  double lobe_low_v = 0.0;   ///< Square side of the lower-right lobe.
+};
+
+/// Compute the static noise margin of the cell at \p vdd_v.
+/// \param mode  kRetention → hold SNM; kRead → read SNM (pass gates on,
+///              bitlines at the precharge level — always the smaller one).
+/// \param delta_vt per-transistor threshold shifts (mismatch analysis).
+/// \param samples  VTC sweep resolution (default 121 points).
+SnmResult static_noise_margin(const CellDesign& design, double vdd_v,
+                              AccessMode mode = AccessMode::kRetention,
+                              const DeltaVt& delta_vt = {},
+                              std::size_t samples = 121);
+
+}  // namespace finser::sram

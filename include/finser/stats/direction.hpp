@@ -1,0 +1,28 @@
+#pragma once
+/// \file direction.hpp
+/// \brief Random direction sampling for particle sources.
+///
+/// The paper's array MC generates "a random particle with a random direction
+/// and position" (Sec. 5.1 step 1). finser supports two angular laws for the
+/// downward hemisphere source plane above the die:
+///  * isotropic — uniform on the solid angle (alpha emission from package
+///    material in close proximity);
+///  * cosine-law — flux-weighted arrival through a plane (appropriate for an
+///    external isotropic field such as atmospheric protons).
+/// Directions point *into* the die: dir.z < 0.
+
+#include "finser/geom/vec3.hpp"
+#include "finser/stats/rng.hpp"
+
+namespace finser::stats {
+
+/// Uniform direction on the full unit sphere.
+geom::Vec3 isotropic_sphere(Rng& rng);
+
+/// Uniform direction on the downward hemisphere (dir.z <= 0).
+geom::Vec3 isotropic_hemisphere_down(Rng& rng);
+
+/// Cosine-law direction on the downward hemisphere (pdf ∝ |cosθ|).
+geom::Vec3 cosine_hemisphere_down(Rng& rng);
+
+}  // namespace finser::stats

@@ -1,0 +1,46 @@
+#pragma once
+/// \file histogram.hpp
+/// \brief Weighted fixed-bin histogram for MC diagnostics and spectra checks.
+
+#include <cstddef>
+#include <vector>
+
+namespace finser::stats {
+
+/// Equal-width (linear or logarithmic) binning over [lo, hi] with
+/// underflow/overflow tracking and optional per-sample weights.
+class Histogram {
+ public:
+  enum class Binning { kLinear, kLog };
+
+  Histogram(double lo, double hi, std::size_t bins, Binning binning = Binning::kLinear);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double bin_center(std::size_t i) const;
+  double bin_width(std::size_t i) const { return bin_hi(i) - bin_lo(i); }
+
+  /// Accumulated weight in bin i.
+  double count(std::size_t i) const { return counts_[i]; }
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+
+  /// Total in-range weight.
+  double total() const;
+
+  /// Probability density estimate for bin i: weight / (total * bin width).
+  double density(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  Binning binning_;
+  double tlo_, thi_;  ///< Transformed bounds (log-space when kLog).
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+}  // namespace finser::stats

@@ -1,0 +1,52 @@
+#pragma once
+/// \file config.hpp
+/// \brief INI-style key=value configuration parser for the CLI driver.
+///
+/// Grammar: one `key = value` pair per line; `#` and `;` start comments;
+/// blank lines ignored; keys are dot-namespaced free-form strings
+/// (e.g. `array.rows = 9`). Values are accessed through typed getters with
+/// defaults; every access is recorded so unknown_keys() can flag typos —
+/// a config file that silently ignores a misspelled knob is how wrong
+/// simulation campaigns get published.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace finser::util {
+
+/// Parsed key=value configuration with typed, tracked access.
+class KeyValueConfig {
+ public:
+  KeyValueConfig() = default;
+
+  /// Parse from text; throws InvalidArgument on malformed lines.
+  static KeyValueConfig parse(const std::string& text);
+
+  /// Parse a file; throws Error if unreadable.
+  static KeyValueConfig parse_file(const std::string& path);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters: return the default when the key is absent; throw
+  /// InvalidArgument when the value does not parse as the requested type.
+  double get_double(const std::string& key, double fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  std::string get_string(const std::string& key, std::string fallback) const;
+
+  /// Comma-separated list of doubles (e.g. "0.7, 0.8, 0.9").
+  std::vector<double> get_double_list(const std::string& key,
+                                      std::vector<double> fallback) const;
+
+  /// Keys present in the file but never accessed through a getter.
+  std::vector<std::string> unknown_keys() const;
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> accessed_;
+};
+
+}  // namespace finser::util

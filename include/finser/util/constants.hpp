@@ -1,0 +1,77 @@
+#pragma once
+/// \file constants.hpp
+/// \brief Physical constants and material data used across finser.
+///
+/// All constants are given in the unit system stated in each comment. finser
+/// uses plain `double` with unit-suffixed names (energy_mev, length_nm, ...)
+/// rather than a unit-typing library; this header is the single source of
+/// truth for every physical number in the code base.
+
+namespace finser::util {
+
+// ---------------------------------------------------------------------------
+// Fundamental constants (CODATA 2018).
+// ---------------------------------------------------------------------------
+
+/// Elementary charge [C].
+inline constexpr double kElementaryChargeC = 1.602176634e-19;
+
+/// One electron-volt [J].
+inline constexpr double kElectronVoltJ = 1.602176634e-19;
+
+/// Avogadro constant [1/mol].
+inline constexpr double kAvogadro = 6.02214076e23;
+
+/// Electron rest energy [MeV].
+inline constexpr double kElectronMassMeV = 0.51099895;
+
+/// Proton rest energy [MeV].
+inline constexpr double kProtonMassMeV = 938.27208816;
+
+/// Alpha particle (4He nucleus) rest energy [MeV].
+inline constexpr double kAlphaMassMeV = 3727.3794066;
+
+/// Speed of light [cm/s].
+inline constexpr double kSpeedOfLightCmPerS = 2.99792458e10;
+
+/// Bethe-Bloch prefactor K = 4*pi*N_A*r_e^2*m_e*c^2 [MeV*cm^2/mol].
+inline constexpr double kBetheK = 0.307075;
+
+/// Boltzmann kT/q at T = 300 K [V] (thermal voltage).
+inline constexpr double kThermalVoltage300K = 0.025852;
+
+// ---------------------------------------------------------------------------
+// Silicon target data.
+// ---------------------------------------------------------------------------
+
+/// Silicon atomic number.
+inline constexpr double kSiliconZ = 14.0;
+
+/// Silicon molar mass [g/mol].
+inline constexpr double kSiliconA = 28.0855;
+
+/// Silicon density [g/cm^3].
+inline constexpr double kSiliconDensity = 2.329;
+
+/// Silicon mean excitation energy [eV] (ICRU-49).
+inline constexpr double kSiliconMeanExcitationEV = 173.0;
+
+/// Energy required to create one electron-hole pair in silicon [eV].
+/// The paper (Sec. 3.2): "For every 3.6 eV of particle energy lost in
+/// silicon, an electron-hole pair is generated."
+inline constexpr double kSiliconEhPairEnergyEV = 3.6;
+
+// ---------------------------------------------------------------------------
+// Silicon dioxide (BOX) target data.
+// ---------------------------------------------------------------------------
+
+/// SiO2 effective Z/A ratio [mol/g]  (Z_total / molar mass = 30 / 60.083).
+inline constexpr double kSio2ZOverA = 30.0 / 60.083;
+
+/// SiO2 density (thermal oxide) [g/cm^3].
+inline constexpr double kSio2Density = 2.20;
+
+/// SiO2 mean excitation energy [eV] (ICRU).
+inline constexpr double kSio2MeanExcitationEV = 139.2;
+
+}  // namespace finser::util

@@ -1,0 +1,44 @@
+#pragma once
+/// \file csv.hpp
+/// \brief Minimal CSV table writer for benchmark/experiment output.
+///
+/// Every bench binary emits the series behind one paper figure both to
+/// stdout (human-readable columns) and to a CSV file under `bench_out/`, so
+/// EXPERIMENTS.md can be regenerated mechanically.
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace finser::util {
+
+/// A simple rectangular table of doubles/strings with named columns.
+class CsvTable {
+ public:
+  using Cell = std::variant<double, std::string>;
+
+  /// \param columns header names (non-empty).
+  explicit CsvTable(std::vector<std::string> columns);
+
+  /// Append a row; must match the column count.
+  void add_row(std::vector<Cell> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return columns_.size(); }
+
+  /// Write as RFC-4180-ish CSV (numbers with %.9g precision).
+  void write_csv(std::ostream& os) const;
+
+  /// Write to a file path, creating parent directories if needed.
+  void write_csv_file(const std::string& path) const;
+
+  /// Write as an aligned human-readable text table.
+  void write_pretty(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace finser::util

@@ -1,0 +1,143 @@
+#pragma once
+/// \file interp.hpp
+/// \brief Tabulated-function interpolation used by every LUT in finser.
+///
+/// The cross-layer flow of the paper (Fig. 6) is LUT-driven: electron-hole
+/// pair yields, POF tables and flux spectra are all tabulated once and then
+/// interpolated millions of times inside Monte-Carlo loops. These classes
+/// provide 1-D, 2-D and 3-D multilinear interpolation over monotonically
+/// increasing (possibly non-uniform) axes, with selectable out-of-range and
+/// axis-scaling policies.
+
+#include <cstddef>
+#include <vector>
+
+namespace finser::util {
+
+/// What to do when a query falls outside the tabulated axis range.
+enum class OutOfRange {
+  kClamp,  ///< Evaluate at the nearest edge (default; matches LUT semantics).
+  kThrow,  ///< Throw DomainError.
+  kZero,   ///< Return 0 (useful for flux tails).
+};
+
+/// Axis/value scaling for interpolation.
+enum class Scale {
+  kLinear,  ///< Interpolate in the raw coordinate.
+  kLog,     ///< Interpolate in log-space (requires strictly positive data).
+};
+
+/// A strictly increasing coordinate axis with binary-search location.
+class Axis {
+ public:
+  Axis() = default;
+
+  /// \param points strictly increasing coordinates (size >= 2).
+  /// \param scale  interpolation space for this axis.
+  explicit Axis(std::vector<double> points, Scale scale = Scale::kLinear);
+
+  /// Number of grid points.
+  std::size_t size() const { return points_.size(); }
+
+  /// Grid coordinate i (in original, untransformed units).
+  double operator[](std::size_t i) const { return raw_[i]; }
+
+  double front() const { return raw_.front(); }
+  double back() const { return raw_.back(); }
+  Scale scale() const { return scale_; }
+
+  /// Original (untransformed) coordinates.
+  const std::vector<double>& points() const { return raw_; }
+
+  /// Result of locating a coordinate on the axis.
+  struct Location {
+    std::size_t index;  ///< Left grid index (in [0, size()-2]).
+    double frac;        ///< Fractional position in [0, 1] within the cell.
+    bool clamped;       ///< True if the query was outside the range.
+  };
+
+  /// Locate \p x on the axis, applying \p policy for out-of-range queries.
+  Location locate(double x, OutOfRange policy) const;
+
+ private:
+  std::vector<double> points_;  ///< In interpolation space (log-applied if kLog).
+  std::vector<double> raw_;     ///< Original coordinates.
+  Scale scale_ = Scale::kLinear;
+};
+
+/// 1-D tabulated function y(x) with linear/log interpolation.
+class Grid1 {
+ public:
+  Grid1() = default;
+  Grid1(Axis x, std::vector<double> values, Scale value_scale = Scale::kLinear,
+        OutOfRange policy = OutOfRange::kClamp);
+
+  double operator()(double x) const;
+
+  const Axis& x_axis() const { return x_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Trapezoidal integral of the tabulated function over its full range
+  /// (computed in *linear* space regardless of the interpolation scales).
+  double integrate() const;
+
+  /// Trapezoidal integral over [a, b] (clipped to the axis range).
+  double integrate(double a, double b) const;
+
+ private:
+  Axis x_;
+  std::vector<double> values_;      ///< In interpolation space.
+  std::vector<double> raw_values_;  ///< Original values.
+  Scale value_scale_ = Scale::kLinear;
+  OutOfRange policy_ = OutOfRange::kClamp;
+};
+
+/// 2-D tabulated function z(x, y), bilinear, row-major values (x outer).
+class Grid2 {
+ public:
+  Grid2() = default;
+  Grid2(Axis x, Axis y, std::vector<double> values,
+        OutOfRange policy = OutOfRange::kClamp);
+
+  double operator()(double x, double y) const;
+
+  const Axis& x_axis() const { return x_; }
+  const Axis& y_axis() const { return y_; }
+  double at(std::size_t ix, std::size_t iy) const { return values_[ix * y_.size() + iy]; }
+
+ private:
+  Axis x_, y_;
+  std::vector<double> values_;
+  OutOfRange policy_ = OutOfRange::kClamp;
+};
+
+/// 3-D tabulated function w(x, y, z), trilinear, row-major (x outermost).
+class Grid3 {
+ public:
+  Grid3() = default;
+  Grid3(Axis x, Axis y, Axis z, std::vector<double> values,
+        OutOfRange policy = OutOfRange::kClamp);
+
+  double operator()(double x, double y, double z) const;
+
+  const Axis& x_axis() const { return x_; }
+  const Axis& y_axis() const { return y_; }
+  const Axis& z_axis() const { return z_; }
+  double at(std::size_t ix, std::size_t iy, std::size_t iz) const {
+    return values_[(ix * y_.size() + iy) * z_.size() + iz];
+  }
+
+ private:
+  Axis x_, y_, z_;
+  std::vector<double> values_;
+  OutOfRange policy_ = OutOfRange::kClamp;
+};
+
+/// Build a uniformly spaced axis with \p n points over [lo, hi].
+Axis make_linear_axis(double lo, double hi, std::size_t n);
+
+/// Build a logarithmically spaced axis with \p n points over [lo, hi] (both > 0),
+/// interpolated in log-space.
+Axis make_log_axis(double lo, double hi, std::size_t n);
+
+}  // namespace finser::util

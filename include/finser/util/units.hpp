@@ -1,0 +1,50 @@
+#pragma once
+/// \file units.hpp
+/// \brief Unit-conversion helpers.
+///
+/// finser's domain spans ~12 orders of magnitude (femtosecond current pulses
+/// to hour-scale flux integrals, nanometre fins to centimetre dies). The
+/// convention is: every variable carries its unit in the name, and all
+/// conversions go through the constexpr helpers below so that no magic
+/// factors appear at call sites.
+
+namespace finser::util {
+
+// ----- length ---------------------------------------------------------------
+
+inline constexpr double nm_to_cm(double nm) { return nm * 1e-7; }
+inline constexpr double cm_to_nm(double cm) { return cm * 1e7; }
+inline constexpr double um_to_nm(double um) { return um * 1e3; }
+inline constexpr double nm_to_um(double nm) { return nm * 1e-3; }
+inline constexpr double um_to_cm(double um) { return um * 1e-4; }
+inline constexpr double cm_to_um(double cm) { return cm * 1e4; }
+
+// ----- energy ---------------------------------------------------------------
+
+inline constexpr double mev_to_ev(double mev) { return mev * 1e6; }
+inline constexpr double ev_to_mev(double ev) { return ev * 1e-6; }
+inline constexpr double kev_to_mev(double kev) { return kev * 1e-3; }
+inline constexpr double mev_to_kev(double mev) { return mev * 1e3; }
+
+// ----- time -----------------------------------------------------------------
+
+inline constexpr double fs_to_s(double fs) { return fs * 1e-15; }
+inline constexpr double s_to_fs(double s) { return s * 1e15; }
+inline constexpr double ps_to_s(double ps) { return ps * 1e-12; }
+inline constexpr double s_to_ps(double s) { return s * 1e12; }
+inline constexpr double ns_to_s(double ns) { return ns * 1e-9; }
+inline constexpr double hour_to_s(double h) { return h * 3600.0; }
+inline constexpr double s_to_hour(double s) { return s / 3600.0; }
+
+// ----- charge ---------------------------------------------------------------
+
+inline constexpr double fc_to_c(double fc) { return fc * 1e-15; }
+inline constexpr double c_to_fc(double c) { return c * 1e15; }
+inline constexpr double ac_to_c(double ac) { return ac * 1e-18; }
+
+// ----- rate -----------------------------------------------------------------
+
+/// Failures-in-time: failures per 1e9 device-hours.
+inline constexpr double per_hour_to_fit(double per_hour) { return per_hour * 1e9; }
+
+}  // namespace finser::util

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure / ablation CSV (bench_out/) and print the
+# series. Usage: scripts/run_benches.sh [build-dir]   (default: build)
+set -u
+BUILD="${1:-build}"
+for b in "$BUILD"/bench/*; do
+  case "$(basename "$b")" in CMakeFiles|*.cmake) continue ;; esac
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "===== $b ====="
+  "$b" || exit 1
+done

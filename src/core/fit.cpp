@@ -1,0 +1,34 @@
+#include "finser/core/fit.hpp"
+
+#include "finser/util/error.hpp"
+#include "finser/util/units.hpp"
+
+namespace finser::core {
+
+FitResult integrate_fit(const std::vector<env::EnergyBin>& bins,
+                        const std::vector<PofEstimate>& pof_per_bin,
+                        double lx_nm, double ly_nm) {
+  FINSER_REQUIRE(bins.size() == pof_per_bin.size(),
+                 "integrate_fit: bin/POF count mismatch");
+  FINSER_REQUIRE(lx_nm > 0.0 && ly_nm > 0.0, "integrate_fit: non-positive area");
+
+  const double area_cm2 = util::nm_to_cm(lx_nm) * util::nm_to_cm(ly_nm);
+
+  double tot_per_s = 0.0;
+  double seu_per_s = 0.0;
+  double mbu_per_s = 0.0;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const double weight = bins[i].integral_flux_per_cm2_s * area_cm2;
+    tot_per_s += pof_per_bin[i].tot * weight;
+    seu_per_s += pof_per_bin[i].seu * weight;
+    mbu_per_s += pof_per_bin[i].mbu * weight;
+  }
+
+  FitResult out;
+  out.fit_tot = util::per_hour_to_fit(tot_per_s * 3600.0);
+  out.fit_seu = util::per_hour_to_fit(seu_per_s * 3600.0);
+  out.fit_mbu = util::per_hour_to_fit(mbu_per_s * 3600.0);
+  return out;
+}
+
+}  // namespace finser::core

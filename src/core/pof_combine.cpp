@@ -1,0 +1,39 @@
+#include "finser/core/pof_combine.hpp"
+
+#include <algorithm>
+
+namespace finser::core {
+
+CombinedPof combine_eqs_4_to_6(const std::vector<double>& p) {
+  double prod = 1.0;
+  for (double pi : p) prod *= (1.0 - pi);
+  const double tot = 1.0 - prod;
+
+  double seu = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    double term = p[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      if (j != i) term *= (1.0 - p[j]);
+    }
+    seu += term;
+  }
+  return CombinedPof{tot, seu, std::max(tot - seu, 0.0)};
+}
+
+std::array<double, kMaxMultiplicity> multiplicity_distribution(
+    const std::vector<double>& p) {
+  std::array<double, kMaxMultiplicity> dist{};
+  dist[0] = 1.0;
+  for (double pi : p) {
+    // In-place DP, iterating counts downward; the last bin absorbs overflow.
+    dist[kMaxMultiplicity - 1] =
+        dist[kMaxMultiplicity - 1] + dist[kMaxMultiplicity - 2] * pi;
+    for (std::size_t n = kMaxMultiplicity - 2; n >= 1; --n) {
+      dist[n] = dist[n] * (1.0 - pi) + dist[n - 1] * pi;
+    }
+    dist[0] *= (1.0 - pi);
+  }
+  return dist;
+}
+
+}  // namespace finser::core

@@ -1,0 +1,139 @@
+#include "finser/core/ser_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "finser/util/error.hpp"
+
+namespace finser::core {
+
+SerFlow::SerFlow(const SerFlowConfig& config)
+    : config_(config),
+      layout_(config.array_rows, config.array_cols, config.cell_geometry,
+              config.pattern, config.pattern_seed),
+      mc_seed_cursor_(config.seed) {}
+
+const sram::CellSoftErrorModel& SerFlow::cell_model(const sram::ProgressFn& progress) {
+  if (model_.has_value()) return *model_;
+
+  const sram::CellCharacterizer characterizer(config_.cell_design,
+                                              config_.characterization);
+  const std::uint64_t fp =
+      config_.characterization.fingerprint(config_.cell_design);
+
+  if (!config_.lut_cache_path.empty()) {
+    sram::CellSoftErrorModel cached;
+    if (sram::CellSoftErrorModel::try_load(config_.lut_cache_path, fp, cached)) {
+      if (progress) progress("POF LUTs loaded from " + config_.lut_cache_path);
+      model_ = std::move(cached);
+      return *model_;
+    }
+  }
+
+  if (progress) progress("characterizing SRAM cell (POF LUTs)...");
+  model_ = characterizer.characterize(progress);
+  if (!config_.lut_cache_path.empty()) {
+    model_->save(config_.lut_cache_path);
+    if (progress) progress("POF LUTs cached to " + config_.lut_cache_path);
+  }
+  return *model_;
+}
+
+ArrayMcResult SerFlow::run_at_energy(phys::Species species, double e_mev,
+                                     const sram::ProgressFn& progress) {
+  const sram::CellSoftErrorModel& model = cell_model(progress);
+  ArrayMc mc(layout_, model, config_.array_mc);
+  stats::Rng rng(mc_seed_cursor_++);
+  return mc.run(species, e_mev, rng);
+}
+
+EnergySweepResult SerFlow::sweep(const env::Spectrum& spectrum,
+                                 const sram::ProgressFn& progress) {
+  const sram::CellSoftErrorModel& model = cell_model(progress);
+
+  std::size_t bins = config_.alpha_bins;
+  double e_lo = config_.alpha_e_lo_mev;
+  double e_hi = config_.alpha_e_hi_mev;
+  double margin = config_.array_mc.source_margin_nm;
+  switch (spectrum.species()) {
+    case phys::Species::kProton:
+      bins = config_.proton_bins;
+      e_lo = config_.proton_e_lo_mev;
+      e_hi = config_.proton_e_hi_mev;
+      break;
+    case phys::Species::kNeutron:
+      bins = config_.neutron_bins;
+      e_lo = config_.neutron_e_lo_mev;
+      e_hi = config_.neutron_e_hi_mev;
+      margin = config_.neutron_mc.source_margin_nm;
+      break;
+    default:
+      break;
+  }
+
+  EnergySweepResult result;
+  result.species = spectrum.species();
+  result.vdds = model.vdds();
+  result.bins = spectrum.discretize(e_lo, e_hi, bins);
+
+  const bool neutron = spectrum.species() == phys::Species::kNeutron;
+  std::optional<ArrayMc> charged_mc;
+  std::optional<NeutronArrayMc> neutron_mc;
+  if (neutron) {
+    neutron_mc.emplace(layout_, model, config_.neutron_mc);
+  } else {
+    charged_mc.emplace(layout_, model, config_.array_mc);
+  }
+
+  for (const env::EnergyBin& bin : result.bins) {
+    stats::Rng rng(mc_seed_cursor_++);
+    result.per_bin.push_back(
+        neutron ? neutron_mc->run(bin.e_rep_mev, rng)
+                : charged_mc->run(spectrum.species(), bin.e_rep_mev, rng));
+    if (progress) {
+      std::ostringstream os;
+      os << spectrum.name() << ": E=" << bin.e_rep_mev << " MeV done";
+      progress(os.str());
+    }
+  }
+
+  // Eq. 8 per (vdd, mode). The normalization area is the source-sampling
+  // plane (equals the array footprint when the margin is zero).
+  const double lx = layout_.width_nm() + 2.0 * margin;
+  const double ly = layout_.height_nm() + 2.0 * margin;
+  result.fit.resize(result.vdds.size());
+  for (std::size_t v = 0; v < result.vdds.size(); ++v) {
+    for (std::size_t mode = 0; mode < 2; ++mode) {
+      std::vector<PofEstimate> pofs;
+      pofs.reserve(result.bins.size());
+      for (const ArrayMcResult& r : result.per_bin) pofs.push_back(r.est[v][mode]);
+      result.fit[v][mode] = integrate_fit(result.bins, pofs, lx, ly);
+    }
+  }
+  return result;
+}
+
+double mc_scale_from_env() {
+  const char* raw = std::getenv("FINSER_MC_SCALE");
+  if (raw == nullptr) return 1.0;
+  const double v = std::atof(raw);
+  return v > 0.0 ? v : 1.0;
+}
+
+void apply_mc_scale(SerFlowConfig& config, double scale) {
+  FINSER_REQUIRE(scale > 0.0, "apply_mc_scale: scale must be positive");
+  auto scaled = [scale](std::size_t n) {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(static_cast<double>(n) * scale)));
+  };
+  config.array_mc.strikes = scaled(config.array_mc.strikes);
+  config.neutron_mc.histories = scaled(config.neutron_mc.histories);
+  config.characterization.pv_samples_single =
+      scaled(config.characterization.pv_samples_single);
+  config.characterization.pv_samples_grid =
+      scaled(config.characterization.pv_samples_grid);
+}
+
+}  // namespace finser::core

@@ -1,0 +1,148 @@
+#include "finser/env/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "finser/util/error.hpp"
+#include "finser/util/units.hpp"
+
+namespace finser::env {
+
+Spectrum::Spectrum(phys::Species species, std::string name,
+                   std::vector<double> energies_mev,
+                   std::vector<double> flux_per_cm2_s_mev)
+    : species_(species), name_(std::move(name)), energies_(std::move(energies_mev)),
+      flux_(std::move(flux_per_cm2_s_mev)) {
+  FINSER_REQUIRE(energies_.size() >= 2, "Spectrum: need at least two points");
+  FINSER_REQUIRE(energies_.size() == flux_.size(), "Spectrum: size mismatch");
+  for (double f : flux_) {
+    FINSER_REQUIRE(f > 0.0, "Spectrum: flux values must be positive");
+  }
+  grid_ = util::Grid1(util::Axis(energies_, util::Scale::kLog), flux_,
+                      util::Scale::kLog, util::OutOfRange::kZero);
+  rebuild_cdf();
+}
+
+void Spectrum::rebuild_cdf() {
+  cdf_.assign(energies_.size(), 0.0);
+  for (std::size_t i = 1; i < energies_.size(); ++i) {
+    cdf_[i] = cdf_[i - 1] + grid_.integrate(energies_[i - 1], energies_[i]);
+  }
+}
+
+double Spectrum::e_min_mev() const { return energies_.front(); }
+double Spectrum::e_max_mev() const { return energies_.back(); }
+
+double Spectrum::differential(double e_mev) const {
+  if (e_mev < e_min_mev() || e_mev > e_max_mev()) return 0.0;
+  return grid_(e_mev);
+}
+
+double Spectrum::integral_flux(double e_lo_mev, double e_hi_mev) const {
+  FINSER_REQUIRE(e_hi_mev >= e_lo_mev, "Spectrum::integral_flux: inverted range");
+  return grid_.integrate(std::max(e_lo_mev, e_min_mev()),
+                         std::min(e_hi_mev, e_max_mev()));
+}
+
+std::vector<EnergyBin> Spectrum::discretize(double e_lo_mev, double e_hi_mev,
+                                            std::size_t bins) const {
+  FINSER_REQUIRE(bins > 0, "Spectrum::discretize: need at least one bin");
+  FINSER_REQUIRE(e_lo_mev > 0.0 && e_hi_mev > e_lo_mev,
+                 "Spectrum::discretize: invalid energy range");
+  std::vector<EnergyBin> out;
+  out.reserve(bins);
+  const double llo = std::log(e_lo_mev);
+  const double lhi = std::log(e_hi_mev);
+  for (std::size_t i = 0; i < bins; ++i) {
+    EnergyBin b;
+    b.e_lo_mev = std::exp(llo + (lhi - llo) * static_cast<double>(i) /
+                                    static_cast<double>(bins));
+    b.e_hi_mev = std::exp(llo + (lhi - llo) * static_cast<double>(i + 1) /
+                                    static_cast<double>(bins));
+    b.e_rep_mev = std::sqrt(b.e_lo_mev * b.e_hi_mev);
+    b.integral_flux_per_cm2_s = integral_flux(b.e_lo_mev, b.e_hi_mev);
+    out.push_back(b);
+  }
+  return out;
+}
+
+double Spectrum::sample_energy(stats::Rng& rng) const {
+  const double total = cdf_.back();
+  FINSER_REQUIRE(total > 0.0, "Spectrum::sample_energy: zero total flux");
+  const double target = rng.uniform() * total;
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), target);
+  std::size_t hi = static_cast<std::size_t>(it - cdf_.begin());
+  if (hi == 0) hi = 1;
+  if (hi >= cdf_.size()) hi = cdf_.size() - 1;
+  const std::size_t lo = hi - 1;
+  const double seg = cdf_[hi] - cdf_[lo];
+  const double f = seg > 0.0 ? (target - cdf_[lo]) / seg : 0.5;
+  // Log-linear interpolation inside the segment (spectra are log-tabulated).
+  return energies_[lo] * std::pow(energies_[hi] / energies_[lo], f);
+}
+
+void Spectrum::normalize_total_flux(double flux_per_cm2_s) {
+  FINSER_REQUIRE(flux_per_cm2_s > 0.0,
+                 "Spectrum::normalize_total_flux: non-positive target");
+  const double current = total_flux();
+  FINSER_REQUIRE(current > 0.0, "Spectrum::normalize_total_flux: empty spectrum");
+  const double k = flux_per_cm2_s / current;
+  for (double& f : flux_) f *= k;
+  grid_ = util::Grid1(util::Axis(energies_, util::Scale::kLog), flux_,
+                      util::Scale::kLog, util::OutOfRange::kZero);
+  rebuild_cdf();
+}
+
+Spectrum sea_level_protons() {
+  // Shape after the CRY sea-level proton spectrum (paper Fig. 2a / ref [23]):
+  // roughly flat differential intensity from 1 to a few hundred MeV, then a
+  // power-law collapse (~E^-2.7 asymptotically). Tabulated in
+  // 1/(m²·s·sr·MeV) and converted to an omnidirectional 1/(cm²·s·MeV) flux
+  // with the downward-hemisphere factor 2π sr. The low-energy extension to
+  // 0.1 MeV covers the direct-ionization band (paper refs [20-22]).
+  const std::vector<double> e_mev = {0.1, 0.3,  1.0,  3.0,  10.0, 30.0,
+                                     100.0, 300.0, 1.0e3, 3.0e3, 1.0e4,
+                                     1.0e5, 1.0e6, 1.0e7};
+  const std::vector<double> j_m2_sr = {2.0e-3, 5.0e-3, 1.0e-2, 1.1e-2, 9.0e-3,
+                                       7.0e-3, 5.0e-3, 2.5e-3, 8.0e-4, 1.5e-4,
+                                       1.0e-5, 3.0e-8, 3.0e-11, 3.0e-14};
+  std::vector<double> flux(j_m2_sr.size());
+  const double to_cm2 = 2.0 * 3.14159265358979323846 * 1e-4;  // 2π sr, m²→cm².
+  for (std::size_t i = 0; i < flux.size(); ++i) flux[i] = j_m2_sr[i] * to_cm2;
+  return Spectrum(phys::Species::kProton, "sea-level protons", e_mev, flux);
+}
+
+Spectrum package_alphas(double emission_per_cm2_h) {
+  FINSER_REQUIRE(emission_per_cm2_h > 0.0,
+                 "package_alphas: emission rate must be positive");
+  // Shape after Sai-Halasz et al. (paper Fig. 2b / ref [24]): the 238U/232Th
+  // decay chains emit 4.2-8.8 MeV alphas; emission through a range of
+  // package-material depths smears this into a spectrum rising toward
+  // ~8 MeV and dropping beyond. Normalized below to the paper's assumed
+  // total emission rate (default 0.001 α/(cm²·h), ref [25]).
+  const std::vector<double> e_mev = {0.5, 1.0, 2.0, 3.0, 4.0, 5.0,
+                                     6.0, 7.0, 8.0, 9.0, 10.0};
+  const std::vector<double> shape = {2.0, 2.5, 3.5, 4.5, 6.0, 7.5,
+                                     9.0, 11.0, 13.0, 14.0, 8.0};
+  Spectrum s(phys::Species::kAlpha, "package alphas", e_mev, shape);
+  s.normalize_total_flux(emission_per_cm2_h / 3600.0);
+  return s;
+}
+
+Spectrum sea_level_neutrons() {
+  // Gordon et al. (2004) sea-level fit, power-law-with-evaporation-bump
+  // shape, anchored so the integral flux above 10 MeV is the canonical
+  // ~13 n/(cm²·h) = 3.6e-3 /(cm²·s) (JEDEC JESD89A reference conditions).
+  const std::vector<double> e_mev = {0.1,  0.5,  1.0,  2.0,   5.0,
+                                     10.0, 30.0, 100.0, 300.0, 1000.0};
+  std::vector<double> j = {1.2e-3, 6.0e-4, 4.5e-4, 3.0e-4, 8.0e-5,
+                           2.8e-5, 7.0e-6, 1.8e-6, 5.0e-7, 1.1e-7};
+  Spectrum s(phys::Species::kNeutron, "sea-level neutrons", e_mev, j);
+  // Anchor the absolute scale on the canonical integral flux above 10 MeV.
+  const double target_above_10mev = 13.0 / 3600.0;  // [1/(cm² s)]
+  const double current = s.integral_flux(10.0, 1000.0);
+  s.normalize_total_flux(s.total_flux() * target_above_10mev / current);
+  return s;
+}
+
+}  // namespace finser::env

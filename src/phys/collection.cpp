@@ -1,0 +1,40 @@
+#include "finser/phys/collection.hpp"
+
+#include "finser/util/constants.hpp"
+#include "finser/util/error.hpp"
+#include "finser/util/units.hpp"
+
+namespace finser::phys {
+
+double transit_time_fs(const FinTechnology& tech, double vds_v) {
+  FINSER_REQUIRE(vds_v > 0.0, "transit_time_fs: Vds must be positive");
+  FINSER_REQUIRE(tech.l_fin_nm > 0.0, "transit_time_fs: L_fin must be positive");
+  FINSER_REQUIRE(tech.electron_mobility_cm2_vs > 0.0,
+                 "transit_time_fs: mobility must be positive");
+  const double l_cm = util::nm_to_cm(tech.l_fin_nm);
+  const double tau_s = l_cm * l_cm / (tech.electron_mobility_cm2_vs * vds_v);
+  return util::s_to_fs(tau_s);
+}
+
+double eh_pairs_from_energy(double deposited_mev, const Material& m) {
+  FINSER_REQUIRE(deposited_mev >= 0.0, "eh_pairs_from_energy: negative deposit");
+  if (!m.collects_charge()) return 0.0;
+  return util::mev_to_ev(deposited_mev) / m.eh_pair_energy_ev;
+}
+
+double charge_fc_from_pairs(double eh_pairs) {
+  FINSER_REQUIRE(eh_pairs >= 0.0, "charge_fc_from_pairs: negative pair count");
+  return util::c_to_fc(eh_pairs * util::kElementaryChargeC);
+}
+
+double CurrentPulse::charge_fc() const {
+  return util::c_to_fc(amplitude_a * util::fs_to_s(width_fs));
+}
+
+CurrentPulse drift_pulse(double eh_pairs, const FinTechnology& tech, double vds_v) {
+  const double tau_fs = transit_time_fs(tech, vds_v);
+  const double q_c = eh_pairs * util::kElementaryChargeC;
+  return CurrentPulse{q_c / util::fs_to_s(tau_fs), tau_fs};
+}
+
+}  // namespace finser::phys

@@ -1,0 +1,33 @@
+#include "finser/phys/material.hpp"
+
+#include "finser/util/constants.hpp"
+
+namespace finser::phys {
+
+const Material& silicon() {
+  static const Material m{
+      /*name=*/"Si",
+      /*z_over_a=*/util::kSiliconZ / util::kSiliconA,
+      /*density_g_cm3=*/util::kSiliconDensity,
+      /*mean_excitation_ev=*/util::kSiliconMeanExcitationEV,
+      /*eh_pair_energy_ev=*/util::kSiliconEhPairEnergyEV,
+      /*z_nuclear=*/util::kSiliconZ,
+      /*a_nuclear=*/util::kSiliconA,
+  };
+  return m;
+}
+
+const Material& silicon_dioxide() {
+  static const Material m{
+      /*name=*/"SiO2",
+      /*z_over_a=*/util::kSio2ZOverA,
+      /*density_g_cm3=*/util::kSio2Density,
+      /*mean_excitation_ev=*/util::kSio2MeanExcitationEV,
+      /*eh_pair_energy_ev=*/0.0,  // insulator: deposited charge is not collected
+      /*z_nuclear=*/10.0,         // effective <Z> of SiO2
+      /*a_nuclear=*/20.03,        // effective <A> of SiO2
+  };
+  return m;
+}
+
+}  // namespace finser::phys

@@ -1,0 +1,185 @@
+#include "finser/phys/neutron.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "finser/util/constants.hpp"
+#include "finser/util/error.hpp"
+#include "finser/util/interp.hpp"
+#include "finser/util/units.hpp"
+
+namespace finser::phys {
+
+namespace {
+
+using geom::Vec3;
+
+/// Mass ratios used by the two-body kinematics (atomic mass units).
+constexpr double kMassN = 1.0087;
+constexpr double kMassSi = 27.977;
+constexpr double kMassAlpha = 4.0026;
+constexpr double kMassMg = 24.986;
+constexpr double kMassP = 1.0073;
+constexpr double kMassAl = 27.982;
+
+/// Smooth log-log fits of the ENDF/B natSi channel cross sections [barn].
+util::Grid1 make_elastic() {
+  // Broad average over the resonance region; ~2-3 b below 10 MeV, falling
+  // through the high-energy regime.
+  return util::Grid1(
+      util::Axis({0.02, 0.1, 0.5, 1.0, 3.0, 6.0, 14.0, 30.0, 100.0, 1000.0},
+                 util::Scale::kLog),
+      {4.5, 3.8, 3.2, 3.0, 2.8, 2.2, 1.7, 1.3, 0.9, 0.5}, util::Scale::kLog,
+      util::OutOfRange::kClamp);
+}
+
+util::Grid1 make_n_alpha() {
+  // Threshold ~2.75 MeV; rises to ~0.2-0.3 b by 10-14 MeV; slow decline.
+  return util::Grid1(
+      util::Axis({2.8, 4.0, 6.0, 8.0, 10.0, 14.0, 30.0, 100.0, 1000.0},
+                 util::Scale::kLog),
+      {1e-4, 0.02, 0.08, 0.14, 0.19, 0.25, 0.20, 0.15, 0.10}, util::Scale::kLog,
+      util::OutOfRange::kZero);
+}
+
+util::Grid1 make_n_proton() {
+  // Threshold ~4.0 MeV; peaks ~0.3 b near 8-14 MeV.
+  return util::Grid1(
+      util::Axis({4.1, 5.0, 6.0, 8.0, 10.0, 14.0, 30.0, 100.0, 1000.0},
+                 util::Scale::kLog),
+      {1e-4, 0.03, 0.10, 0.22, 0.28, 0.30, 0.22, 0.15, 0.10}, util::Scale::kLog,
+      util::OutOfRange::kZero);
+}
+
+/// Rotate a direction sampled around +z onto the given axis.
+Vec3 rotate_to_axis(const Vec3& axis, double cos_theta, double phi) {
+  const double sin_theta = std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
+  const Vec3 local{sin_theta * std::cos(phi), sin_theta * std::sin(phi),
+                   cos_theta};
+  // Orthonormal frame around `axis`.
+  const Vec3 helper =
+      std::abs(axis.x) < 0.9 ? Vec3{1.0, 0.0, 0.0} : Vec3{0.0, 1.0, 0.0};
+  const Vec3 u = axis.cross(helper).normalized();
+  const Vec3 v = axis.cross(u);
+  return (u * local.x + v * local.y + axis * local.z).normalized();
+}
+
+Vec3 isotropic(stats::Rng& rng) {
+  const double z = rng.uniform(-1.0, 1.0);
+  const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+  return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+struct Tables {
+  util::Grid1 elastic = make_elastic();
+  util::Grid1 n_alpha = make_n_alpha();
+  util::Grid1 n_proton = make_n_proton();
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+NeutronInteractionModel::NeutronInteractionModel() { (void)tables(); }
+
+double NeutronInteractionModel::elastic_barn(double e_n_mev) const {
+  FINSER_REQUIRE(e_n_mev > 0.0, "elastic_barn: non-positive energy");
+  return tables().elastic(e_n_mev);
+}
+
+double NeutronInteractionModel::n_alpha_barn(double e_n_mev) const {
+  FINSER_REQUIRE(e_n_mev > 0.0, "n_alpha_barn: non-positive energy");
+  return tables().n_alpha(e_n_mev);
+}
+
+double NeutronInteractionModel::n_proton_barn(double e_n_mev) const {
+  FINSER_REQUIRE(e_n_mev > 0.0, "n_proton_barn: non-positive energy");
+  return tables().n_proton(e_n_mev);
+}
+
+double NeutronInteractionModel::total_barn(double e_n_mev) const {
+  return elastic_barn(e_n_mev) + n_alpha_barn(e_n_mev) + n_proton_barn(e_n_mev);
+}
+
+double NeutronInteractionModel::macroscopic_per_cm(double e_n_mev) const {
+  // Atom density of silicon: rho * N_A / A  [1/cm^3]; 1 barn = 1e-24 cm^2.
+  const double n_atoms = util::kSiliconDensity * util::kAvogadro / util::kSiliconA;
+  return n_atoms * total_barn(e_n_mev) * 1e-24;
+}
+
+double NeutronInteractionModel::mean_free_path_um(double e_n_mev) const {
+  return util::cm_to_um(1.0 / macroscopic_per_cm(e_n_mev));
+}
+
+double NeutronInteractionModel::max_recoil_energy_mev(double e_n_mev) {
+  const double r = 4.0 * kMassN * kMassSi / ((kMassN + kMassSi) * (kMassN + kMassSi));
+  return r * e_n_mev;
+}
+
+NeutronInteraction NeutronInteractionModel::sample(double e_n_mev,
+                                                   const geom::Vec3& n_dir,
+                                                   stats::Rng& rng) const {
+  FINSER_REQUIRE(e_n_mev > 0.0, "NeutronInteractionModel::sample: bad energy");
+  FINSER_REQUIRE(std::abs(n_dir.norm() - 1.0) < 1e-9,
+                 "NeutronInteractionModel::sample: direction must be unit");
+
+  const double s_el = elastic_barn(e_n_mev);
+  const double s_a = n_alpha_barn(e_n_mev);
+  const double s_p = n_proton_barn(e_n_mev);
+  const double total = s_el + s_a + s_p;
+
+  NeutronInteraction out;
+  const double u = rng.uniform() * total;
+  const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  if (u < s_el) {
+    // Elastic: isotropic in CM (s-wave average). With mu = cos(theta_CM)
+    // uniform in [-1, 1], E_R = E_max (1 - mu)/2 is uniform in [0, E_max],
+    // and the lab recoil angle satisfies cos(phi_lab) = sqrt(E_R / E_max).
+    out.channel = NeutronChannel::kElastic;
+    const double e_max = max_recoil_energy_mev(e_n_mev);
+    const double frac = rng.uniform();
+    const double e_r = e_max * frac;
+    if (e_r > 1e-6) {  // Ignore sub-eV recoils.
+      const double cos_lab = std::sqrt(frac);
+      out.secondaries.push_back(NeutronSecondary{
+          Species::kSiRecoil, e_r, rotate_to_axis(n_dir, cos_lab, phi)});
+    }
+    return out;
+  }
+
+  // Two-body breakup channels: available CM kinetic energy is
+  // E_cm = E_n * M/(m_n + M) + Q, split between the products in inverse
+  // proportion to their masses (equal and opposite CM momenta). The CM
+  // emission direction is sampled isotropically; the CM boost is small for
+  // the heavy compound system and is neglected (documented approximation).
+  const bool is_alpha = (u < s_el + s_a);
+  out.channel = is_alpha ? NeutronChannel::kNAlpha : NeutronChannel::kNProton;
+  const double q = is_alpha ? kQnAlphaMeV : kQnProtonMeV;
+  const double m_light = is_alpha ? kMassAlpha : kMassP;
+  const double m_heavy = is_alpha ? kMassMg : kMassAl;
+  const Species light_species = is_alpha ? Species::kAlpha : Species::kProton;
+  const Species heavy_species = is_alpha ? Species::kMgRecoil : Species::kSiRecoil;
+
+  const double e_cm = e_n_mev * kMassSi / (kMassN + kMassSi) + q;
+  if (e_cm <= 0.0) {
+    // Below threshold (cross-section tail): treat as no visible products.
+    out.secondaries.clear();
+    return out;
+  }
+  const double e_light = e_cm * m_heavy / (m_light + m_heavy);
+  const double e_heavy = e_cm - e_light;
+
+  const Vec3 dir_light = isotropic(rng);
+  out.secondaries.push_back(NeutronSecondary{light_species, e_light, dir_light});
+  if (e_heavy > 1e-6) {
+    out.secondaries.push_back(NeutronSecondary{heavy_species, e_heavy, -dir_light});
+  }
+  return out;
+}
+
+}  // namespace finser::phys

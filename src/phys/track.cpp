@@ -1,0 +1,91 @@
+#include "finser/phys/track.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "finser/phys/collection.hpp"
+#include "finser/phys/stopping.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::phys {
+
+Transporter::Transporter(const geom::BoxSet& fins)
+    : Transporter(fins, Config{}) {}
+
+Transporter::Transporter(const geom::BoxSet& fins, const Config& config)
+    : fins_(&fins), config_(config) {
+  FINSER_REQUIRE(!fins.empty(), "Transporter: empty fin set");
+  FINSER_REQUIRE(config_.cutoff_mev > 0.0, "Transporter: cutoff must be positive");
+  if (config_.fin_material == nullptr) config_.fin_material = &silicon();
+  if (config_.background_material == nullptr) {
+    config_.background_material = &silicon_dioxide();
+  }
+  grid_ = std::make_unique<geom::UniformGrid>(fins);
+}
+
+TrackResult Transporter::transport(const geom::Ray& ray, Species s, double e_mev,
+                                   stats::Rng& rng) {
+  FINSER_REQUIRE(e_mev > 0.0, "transport: non-positive kinetic energy");
+  const double dir_norm = ray.dir.norm();
+  FINSER_REQUIRE(std::abs(dir_norm - 1.0) < 1e-9,
+                 "transport: ray direction must be unit length");
+
+  TrackResult result;
+  grid_->query(ray, scratch_hits_);
+
+  const Material& fin_mat = *config_.fin_material;
+  const Material& bg_mat = *config_.background_material;
+
+  double e = e_mev;
+  double t_cursor = 0.0;  // Track parameter [nm] processed so far.
+
+  for (const geom::BoxHit& hit : scratch_hits_) {
+    if (e <= config_.cutoff_mev) break;
+    // Fins are disjoint; clip defensively in case of touching boxes.
+    const double t_in = std::max(hit.interval.t_in, t_cursor);
+    const double t_out = std::max(hit.interval.t_out, t_in);
+    if (t_in < 0.0) continue;
+
+    // 1) Background segment up to the fin entry: degrades energy only.
+    const double bg_len = t_in - t_cursor;
+    if (bg_len > 0.0) {
+      const double mean_bg = csda_energy_loss(s, e, bg_len, bg_mat);
+      const double loss_bg = sample_energy_loss(config_.straggling, rng, s, e,
+                                                mean_bg, bg_len, bg_mat);
+      e -= loss_bg;
+      if (e <= config_.cutoff_mev) {
+        result.stopped_inside = true;
+        result.exit_energy_mev = 0.0;
+        return result;
+      }
+    }
+
+    // 2) Fin segment: deposit collectable ionizing energy.
+    const double fin_len = t_out - t_in;
+    if (fin_len > 0.0) {
+      const double mean_fin = csda_energy_loss(s, e, fin_len, fin_mat);
+      const double loss_fin = sample_energy_loss(config_.straggling, rng, s, e,
+                                                 mean_fin, fin_len, fin_mat);
+      if (loss_fin > 0.0) {
+        // Ionizing fraction: electronic loss plus the Lindhard share of the
+        // nuclear (recoil-cascade) loss.
+        const double ionizing_mev = loss_fin * ionizing_fraction(s, e, fin_mat);
+        result.deposits.push_back(FinDeposit{
+            hit.id, fin_len, ionizing_mev,
+            eh_pairs_from_energy(ionizing_mev, fin_mat)});
+      }
+      e -= loss_fin;
+      if (e <= config_.cutoff_mev) {
+        result.stopped_inside = true;
+        result.exit_energy_mev = 0.0;
+        return result;
+      }
+    }
+    t_cursor = t_out;
+  }
+
+  result.exit_energy_mev = std::max(e, 0.0);
+  return result;
+}
+
+}  // namespace finser::phys

@@ -1,0 +1,35 @@
+#include "finser/spice/circuit.hpp"
+
+#include "finser/util/error.hpp"
+
+namespace finser::spice {
+
+namespace {
+const std::string kGroundName = "gnd";
+}
+
+std::size_t Circuit::node(const std::string& name) {
+  FINSER_REQUIRE(!name.empty(), "Circuit::node: empty node name");
+  if (name == "0" || name == kGroundName) return kGround;
+  const auto it = node_index_.find(name);
+  if (it != node_index_.end()) return it->second;
+  const std::size_t idx = names_.size();
+  names_.push_back(name);
+  node_index_.emplace(name, idx);
+  return idx;
+}
+
+std::size_t Circuit::find_node(const std::string& name) const {
+  if (name == "0" || name == kGroundName) return kGround;
+  const auto it = node_index_.find(name);
+  FINSER_REQUIRE(it != node_index_.end(), "Circuit::find_node: unknown node " + name);
+  return it->second;
+}
+
+const std::string& Circuit::node_name(std::size_t idx) const {
+  if (idx == kGround) return kGroundName;
+  FINSER_REQUIRE(idx < names_.size(), "Circuit::node_name: index out of range");
+  return names_[idx];
+}
+
+}  // namespace finser::spice

@@ -1,0 +1,91 @@
+#include "finser/spice/dc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "finser/util/error.hpp"
+
+namespace finser::spice {
+
+namespace {
+
+/// One damped-Newton stage at fixed gmin. Returns true on convergence;
+/// \p x is updated in place with the best iterate either way.
+///
+/// The gmin shunt pulls node voltages toward \p anchor (the caller's initial
+/// guess) rather than toward ground: for bistable circuits such as SRAM
+/// cells this keeps the continuation inside the basin the caller selected
+/// instead of collapsing onto the symmetric metastable point.
+bool newton_stage(const Circuit& circuit, std::vector<double>& x,
+                  const std::vector<double>& anchor, double gmin,
+                  const DcOptions& opt) {
+  const std::size_t n = circuit.unknown_count();
+  Mna mna(n);
+  StampContext ctx;
+  ctx.transient = false;
+  ctx.branch_offset = circuit.node_count();
+
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    mna.clear();
+    ctx.x = &x;
+    for (const auto& dev : circuit.devices()) dev->stamp(mna, ctx);
+    if (gmin > 0.0) {
+      mna.add_gmin(gmin, circuit.node_count());
+      for (std::size_t i = 0; i < circuit.node_count(); ++i) {
+        mna.add_rhs(i, gmin * anchor[i]);
+      }
+    }
+
+    std::vector<double> x_new;
+    try {
+      x_new = mna.solve();
+    } catch (const util::NumericalError&) {
+      return false;  // Singular at this iterate: report stage failure so the
+                     // caller sees "failed to converge", not a raw LU error.
+    }
+
+    // Damping: limit the largest voltage move per iteration.
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < circuit.node_count(); ++i) {
+      max_dv = std::max(max_dv, std::abs(x_new[i] - x[i]));
+    }
+    double alpha = 1.0;
+    if (max_dv > opt.damping_vmax) alpha = opt.damping_vmax / max_dv;
+
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double step = alpha * (x_new[i] - x[i]);
+      x[i] += step;
+      max_delta = std::max(max_delta, std::abs(step));
+    }
+    if (alpha == 1.0 && max_delta < opt.v_tol) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<double> solve_dc(const Circuit& circuit,
+                             const std::vector<double>& initial_guess,
+                             const DcOptions& options) {
+  const std::size_t n = circuit.unknown_count();
+  FINSER_REQUIRE(n > 0, "solve_dc: circuit has no unknowns");
+  FINSER_REQUIRE(!options.gmin_steps.empty(), "solve_dc: empty gmin schedule");
+  FINSER_REQUIRE(initial_guess.empty() || initial_guess.size() == n,
+                 "solve_dc: initial guess size mismatch");
+
+  std::vector<double> x = initial_guess.empty() ? std::vector<double>(n, 0.0)
+                                                : initial_guess;
+  const std::vector<double> anchor = x;
+
+  for (double gmin : options.gmin_steps) {
+    if (!newton_stage(circuit, x, anchor, gmin, options)) {
+      throw util::NumericalError(
+          "solve_dc: Newton failed to converge at gmin = " + std::to_string(gmin));
+    }
+  }
+  return x;
+}
+
+}  // namespace finser::spice

@@ -1,0 +1,126 @@
+#include "finser/spice/finfet.hpp"
+
+#include <cmath>
+
+#include "finser/util/constants.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::spice {
+
+namespace {
+
+constexpr double kPhiT = util::kThermalVoltage300K;
+
+/// Softplus-squared EKV interpolation function F(u) = ln²(1 + e^{u/2}) and
+/// its derivative F'(u) = ln(1 + e^{u/2}) · sigmoid(u/2).
+struct FEval {
+  double f;
+  double df;
+};
+
+FEval ekv_f(double u) {
+  const double half = 0.5 * u;
+  double l;    // ln(1 + e^{u/2})
+  double sig;  // logistic(u/2)
+  if (half > 40.0) {
+    l = half;
+    sig = 1.0;
+  } else if (half < -40.0) {
+    // Deep subthreshold: l ~ e^{u/2} -> underflows harmlessly.
+    l = std::exp(half);
+    sig = l;
+  } else {
+    l = std::log1p(std::exp(half));
+    sig = 1.0 / (1.0 + std::exp(-half));
+  }
+  return {l * l, l * sig};
+}
+
+/// Core NMOS-convention evaluation for vds >= 0.
+MosOp evaluate_core(const FinFetModel& m, double vgs, double vds, double delta_vt,
+                    double nfin, double temp_k) {
+  // Temperature behaviour around T0 = 300 K: thermal voltage scales with T,
+  // |Vt| follows the linear tempco, mobility follows the phonon power law.
+  const double phi_t = kPhiT * temp_k / 300.0;
+  const double kp_t = m.kp * std::pow(300.0 / temp_k, m.mobility_exponent);
+  const double vt_eff =
+      m.vt0 + m.vt_tc_v_per_k * (temp_k - 300.0) + delta_vt - m.dibl * vds;
+  const double vp = (vgs - vt_eff) / m.n;
+  const double is = 2.0 * m.n * phi_t * phi_t * kp_t * nfin;
+
+  const FEval ff = ekv_f(vp / phi_t);
+  const FEval fr = ekv_f((vp - vds) / phi_t);
+  const double clm = 1.0 + m.lambda * vds;
+
+  MosOp op;
+  op.ids = is * (ff.f - fr.f) * clm;
+
+  // d(vp)/d(vgs) = 1/n ; d(vp)/d(vds) = dibl/n.
+  const double duf_dvgs = 1.0 / (m.n * phi_t);
+  const double duf_dvds = m.dibl / (m.n * phi_t);
+  const double dur_dvgs = duf_dvgs;
+  const double dur_dvds = duf_dvds - 1.0 / phi_t;
+
+  op.gm = is * clm * (ff.df * duf_dvgs - fr.df * dur_dvgs);
+  op.gds = is * clm * (ff.df * duf_dvds - fr.df * dur_dvds) +
+           is * m.lambda * (ff.f - fr.f);
+  return op;
+}
+
+}  // namespace
+
+MosOp evaluate_finfet(const FinFetModel& m, double vd, double vg, double vs,
+                      double delta_vt, double nfin, double temp_k) {
+  FINSER_REQUIRE(nfin > 0.0, "evaluate_finfet: nfin must be positive");
+  FINSER_REQUIRE(temp_k > 0.0, "evaluate_finfet: temperature must be positive");
+
+  if (m.type == MosType::kP) {
+    // Reflect to NMOS convention: a PFET with terminals (d,g,s) behaves as an
+    // NFET at (-d,-g,-s) with current sign flipped.
+    FinFetModel n_equiv = m;
+    n_equiv.type = MosType::kN;
+    MosOp op = evaluate_finfet(n_equiv, -vd, -vg, -vs, delta_vt, nfin, temp_k);
+    // I_P(vgs, vds) = -I_N(-vgs, -vds): both reflections flip twice in the
+    // chain rule, so gm and gds carry over unchanged; only the current flips.
+    op.ids = -op.ids;
+    return op;
+  }
+
+  const double vgs = vg - vs;
+  const double vds = vd - vs;
+  if (vds >= 0.0) {
+    return evaluate_core(m, vgs, vds, delta_vt, nfin, temp_k);
+  }
+  // Source-drain swap for vds < 0 (symmetric device): evaluate with the roles
+  // exchanged, then translate current & derivatives back to (d,g,s) frame.
+  // Writing I(vgs, vds) = -f(vgs - vds, -vds) with f = evaluate_core:
+  //   dI/dvgs = -f_a
+  //   dI/dvds = -(f_a·(-1) + f_b·(-1)) = f_a + f_b
+  const MosOp sw = evaluate_core(m, vg - vd, -vds, delta_vt, nfin, temp_k);
+  MosOp op;
+  op.ids = -sw.ids;
+  op.gm = -sw.gm;
+  op.gds = sw.gm + sw.gds;
+  return op;
+}
+
+const FinFetModel& default_nfet() {
+  static const FinFetModel m = [] {
+    FinFetModel n;
+    n.type = MosType::kN;
+    return n;
+  }();
+  return m;
+}
+
+const FinFetModel& default_pfet() {
+  static const FinFetModel m = [] {
+    FinFetModel p;
+    p.type = MosType::kP;
+    p.kp = 3.2e-4;  // Hole-mobility deficit vs the NFET card.
+    return p;
+  }();
+  return m;
+}
+
+}  // namespace finser::spice

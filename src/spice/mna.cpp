@@ -1,0 +1,87 @@
+#include "finser/spice/mna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "finser/util/error.hpp"
+
+namespace finser::spice {
+
+Mna::Mna(std::size_t size) : n_(size), a_(size * size, 0.0), b_(size, 0.0),
+                             perm_(size, 0) {
+  FINSER_REQUIRE(size > 0, "Mna: empty system");
+}
+
+void Mna::clear() {
+  std::fill(a_.begin(), a_.end(), 0.0);
+  std::fill(b_.begin(), b_.end(), 0.0);
+}
+
+void Mna::add(std::size_t i, std::size_t j, double g) {
+  if (i == kGround || j == kGround) return;
+  a_[i * n_ + j] += g;
+}
+
+void Mna::add_rhs(std::size_t i, double v) {
+  if (i == kGround) return;
+  b_[i] += v;
+}
+
+void Mna::add_gmin(double gmin, std::size_t n_nodes) {
+  for (std::size_t i = 0; i < n_nodes && i < n_; ++i) {
+    a_[i * n_ + i] += gmin;
+  }
+}
+
+std::vector<double> Mna::solve() {
+  // In-place LU with partial pivoting on the row-major matrix.
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  for (std::size_t col = 0; col < n_; ++col) {
+    // Pivot search.
+    std::size_t piv = col;
+    double best = std::abs(a_[perm_[col] * n_ + col]);
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const double v = std::abs(a_[perm_[r] * n_ + col]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (!(best > 1e-300)) {
+      throw util::NumericalError("Mna::solve: singular matrix at column " +
+                                 std::to_string(col));
+    }
+    std::swap(perm_[col], perm_[piv]);
+
+    const std::size_t prow = perm_[col];
+    const double diag = a_[prow * n_ + col];
+    for (std::size_t r = col + 1; r < n_; ++r) {
+      const std::size_t row = perm_[r];
+      const double factor = a_[row * n_ + col] / diag;
+      if (factor == 0.0) continue;
+      a_[row * n_ + col] = factor;  // Store L in place.
+      for (std::size_t c = col + 1; c < n_; ++c) {
+        a_[row * n_ + c] -= factor * a_[prow * n_ + c];
+      }
+      b_[row] -= factor * b_[prow];
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> x(n_, 0.0);
+  for (std::size_t ri = n_; ri-- > 0;) {
+    const std::size_t row = perm_[ri];
+    double acc = b_[row];
+    for (std::size_t c = ri + 1; c < n_; ++c) {
+      acc -= a_[row * n_ + c] * x[c];
+    }
+    x[ri] = acc / a_[row * n_ + ri];
+    if (!std::isfinite(x[ri])) {
+      throw util::NumericalError("Mna::solve: non-finite solution component");
+    }
+  }
+  return x;
+}
+
+}  // namespace finser::spice

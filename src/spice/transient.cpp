@@ -1,0 +1,217 @@
+#include "finser/spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "finser/util/error.hpp"
+
+namespace finser::spice {
+
+// ---------------------------------------------------------------------------
+// Waveform
+// ---------------------------------------------------------------------------
+
+Waveform::Waveform(std::vector<std::string> names, std::vector<std::size_t> nodes)
+    : names_(std::move(names)), nodes_(std::move(nodes)), data_(nodes_.size()) {
+  FINSER_REQUIRE(names_.size() == nodes_.size(), "Waveform: name/node mismatch");
+}
+
+void Waveform::append(double t, const std::vector<double>& x) {
+  times_.push_back(t);
+  for (std::size_t p = 0; p < nodes_.size(); ++p) {
+    const std::size_t n = nodes_[p];
+    data_[p].push_back(n == kGround ? 0.0 : x[n]);
+  }
+}
+
+std::size_t Waveform::probe(const std::string& name) const {
+  for (std::size_t p = 0; p < names_.size(); ++p) {
+    if (names_[p] == name) return p;
+  }
+  throw util::InvalidArgument("Waveform::probe: no probe named " + name);
+}
+
+double Waveform::at(std::size_t p, double t) const {
+  FINSER_REQUIRE(p < data_.size(), "Waveform::at: probe out of range");
+  FINSER_REQUIRE(!times_.empty(), "Waveform::at: empty waveform");
+  if (t <= times_.front()) return data_[p].front();
+  if (t >= times_.back()) return data_[p].back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double f = (t - times_[lo]) / (times_[hi] - times_[lo]);
+  return data_[p][lo] + f * (data_[p][hi] - data_[p][lo]);
+}
+
+double Waveform::final_value(std::size_t p) const {
+  FINSER_REQUIRE(p < data_.size() && !data_[p].empty(),
+                 "Waveform::final_value: empty probe");
+  return data_[p].back();
+}
+
+double Waveform::min_value(std::size_t p) const {
+  FINSER_REQUIRE(p < data_.size() && !data_[p].empty(),
+                 "Waveform::min_value: empty probe");
+  return *std::min_element(data_[p].begin(), data_[p].end());
+}
+
+double Waveform::max_value(std::size_t p) const {
+  FINSER_REQUIRE(p < data_.size() && !data_[p].empty(),
+                 "Waveform::max_value: empty probe");
+  return *std::max_element(data_[p].begin(), data_[p].end());
+}
+
+void Waveform::write_csv(std::ostream& os) const {
+  os << "time_s";
+  for (const std::string& name : names_) os << ',' << name;
+  os << '\n';
+  char buf[40];
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.9g", times_[i]);
+    os << buf;
+    for (std::size_t p = 0; p < data_.size(); ++p) {
+      std::snprintf(buf, sizeof(buf), "%.9g", data_[p][i]);
+      os << ',' << buf;
+    }
+    os << '\n';
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transient engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Newton solve of one implicit step; returns true on convergence and leaves
+/// the converged iterate in \p x.
+bool newton_step(const Circuit& circuit, Mna& mna, StampContext& ctx,
+                 std::vector<double>& x, const TransientOptions& opt) {
+  for (int iter = 0; iter < opt.max_newton; ++iter) {
+    mna.clear();
+    ctx.x = &x;
+    for (const auto& dev : circuit.devices()) dev->stamp(mna, ctx);
+
+    std::vector<double> x_new;
+    try {
+      x_new = mna.solve();
+    } catch (const util::NumericalError&) {
+      return false;  // Singular at this iterate: treat as convergence failure.
+    }
+
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < circuit.node_count(); ++i) {
+      max_dv = std::max(max_dv, std::abs(x_new[i] - x[i]));
+    }
+    const double alpha = max_dv > opt.damping_vmax ? opt.damping_vmax / max_dv : 1.0;
+
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double step = alpha * (x_new[i] - x[i]);
+      x[i] += step;
+      max_delta = std::max(max_delta, std::abs(step));
+    }
+    if (alpha == 1.0 && max_delta < opt.v_tol) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Waveform run_transient(const Circuit& circuit, const std::vector<double>& x0,
+                       const TransientOptions& opt,
+                       const std::vector<std::string>& probe_nodes) {
+  FINSER_REQUIRE(opt.t_end > 0.0, "run_transient: t_end must be positive");
+  FINSER_REQUIRE(x0.size() == circuit.unknown_count(),
+                 "run_transient: x0 size mismatch");
+  FINSER_REQUIRE(opt.dt_initial > 0.0 && opt.dt_min > 0.0 &&
+                     opt.dt_max >= opt.dt_initial,
+                 "run_transient: inconsistent step-size options");
+
+  // Resolve probes.
+  std::vector<std::string> names;
+  std::vector<std::size_t> nodes;
+  if (probe_nodes.empty()) {
+    for (std::size_t i = 0; i < circuit.node_count(); ++i) {
+      names.push_back(circuit.node_name(i));
+      nodes.push_back(i);
+    }
+  } else {
+    for (const std::string& p : probe_nodes) {
+      names.push_back(p);
+      nodes.push_back(circuit.find_node(p));
+    }
+  }
+  Waveform wave(std::move(names), std::move(nodes));
+
+  // Collect and sort hard breakpoints.
+  std::vector<double> breaks;
+  for (const auto& dev : circuit.devices()) dev->add_breakpoints(opt.t_end, breaks);
+  breaks.push_back(opt.t_end);
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end(),
+                           [](double a, double b) { return std::abs(a - b) < 1e-24; }),
+               breaks.end());
+
+  // Initialize device state from the operating point.
+  for (const auto& dev : circuit.devices()) dev->initialize_state(x0);
+
+  std::vector<double> x = x0;
+  Mna mna(circuit.unknown_count());
+  StampContext ctx;
+  ctx.transient = true;
+  ctx.method = opt.method;
+  ctx.branch_offset = circuit.node_count();
+
+  wave.append(0.0, x);
+
+  double t = 0.0;
+  double dt = opt.dt_initial;
+  std::size_t next_break = 0;
+
+  while (t < opt.t_end - 1e-24) {
+    // Clamp the step to land exactly on the next breakpoint.
+    while (next_break < breaks.size() && breaks[next_break] <= t + 1e-24) {
+      ++next_break;
+    }
+    bool hit_break = false;
+    double step = dt;
+    if (next_break < breaks.size() && t + step >= breaks[next_break] - 1e-24) {
+      step = breaks[next_break] - t;
+      hit_break = true;
+    }
+
+    ctx.time = t + step;
+    ctx.dt = step;
+    std::vector<double> x_try = x;  // Start Newton from the previous solution.
+    if (newton_step(circuit, mna, ctx, x_try, opt)) {
+      // Accept.
+      x = std::move(x_try);
+      ctx.x = &x;
+      for (const auto& dev : circuit.devices()) dev->commit(ctx);
+      t = ctx.time;
+      wave.append(t, x);
+      if (hit_break) {
+        dt = opt.dt_initial;  // Restart small after a source edge.
+        ++next_break;
+      } else {
+        dt = std::min(dt * opt.grow_factor, opt.dt_max);
+      }
+    } else {
+      // Reject: shrink and retry from the committed state.
+      dt *= opt.shrink_factor;
+      if (hit_break) {
+        // Can't reach the breakpoint in one step anymore; approach it.
+      }
+      if (dt < opt.dt_min) {
+        throw util::NumericalError(
+            "run_transient: Newton failed to converge at t = " + std::to_string(t));
+      }
+    }
+  }
+  return wave;
+}
+
+}  // namespace finser::spice

@@ -1,0 +1,153 @@
+#include "finser/sram/cell.hpp"
+
+#include "finser/spice/dc.hpp"
+#include "finser/util/error.hpp"
+#include "finser/util/units.hpp"
+
+namespace finser::sram {
+
+using spice::kGround;
+using spice::Mosfet;
+using spice::PulseISource;
+using spice::PulseShape;
+
+StrikeSimulator::StrikeSimulator(const CellDesign& design, double vdd_v,
+                                 AccessMode mode)
+    : design_(design), vdd_v_(vdd_v), mode_(mode) {
+  FINSER_REQUIRE(vdd_v > 0.0, "StrikeSimulator: Vdd must be positive");
+  if (design_.nfet == nullptr) design_.nfet = &spice::default_nfet();
+  if (design_.pfet == nullptr) design_.pfet = &spice::default_pfet();
+
+  tau_s_ = util::fs_to_s(phys::transit_time_fs(design_.tech, vdd_v_));
+
+  n_q_ = circuit_.node("q");
+  n_qb_ = circuit_.node("qb");
+  n_vdd_ = circuit_.node("vdd");
+  n_bl_ = circuit_.node("bl");
+  n_blb_ = circuit_.node("blb");
+  n_wl_ = circuit_.node("wl");
+
+  circuit_.add<spice::VSource>(circuit_, n_vdd_, kGround, vdd_v_);
+  circuit_.add<spice::VSource>(circuit_, n_bl_, kGround, vdd_v_);   // precharged
+  circuit_.add<spice::VSource>(circuit_, n_blb_, kGround, vdd_v_);  // precharged
+  // Write wordline: low in retention; high during a 6T read access (the
+  // read-disturb condition). The 8T cell reads through its dedicated read
+  // wordline instead, so its write wordline stays low in both modes.
+  const bool wl_high =
+      mode_ == AccessMode::kRead && design_.topology == CellTopology::k6T;
+  circuit_.add<spice::VSource>(circuit_, n_wl_, kGround, wl_high ? vdd_v_ : 0.0);
+
+  // Cross-coupled inverters.
+  fets_[static_cast<std::size_t>(Role::kPdL)] =
+      &circuit_.add<Mosfet>(n_q_, n_qb_, kGround, *design_.nfet, design_.nfin_pd);
+  fets_[static_cast<std::size_t>(Role::kPuL)] =
+      &circuit_.add<Mosfet>(n_q_, n_qb_, n_vdd_, *design_.pfet, design_.nfin_pu);
+  fets_[static_cast<std::size_t>(Role::kPdR)] =
+      &circuit_.add<Mosfet>(n_qb_, n_q_, kGround, *design_.nfet, design_.nfin_pd);
+  fets_[static_cast<std::size_t>(Role::kPuR)] =
+      &circuit_.add<Mosfet>(n_qb_, n_q_, n_vdd_, *design_.pfet, design_.nfin_pu);
+  // Pass gates (wordline low).
+  fets_[static_cast<std::size_t>(Role::kPgL)] =
+      &circuit_.add<Mosfet>(n_bl_, n_wl_, n_q_, *design_.nfet, design_.nfin_pg);
+  fets_[static_cast<std::size_t>(Role::kPgR)] =
+      &circuit_.add<Mosfet>(n_blb_, n_wl_, n_qb_, *design_.nfet, design_.nfin_pg);
+
+  for (spice::Mosfet* fet : fets_) fet->set_temperature(design_.temp_k);
+
+  // 8T read-decoupled topology: a 2-NFET read stack (M7 gated by QB, M8 by
+  // the read wordline) buffering the storage nodes from the read bitline.
+  // In retention the read wordline is low; in kRead mode *it* (not the
+  // write wordline) is asserted — the storage nodes never see the bitline.
+  if (design_.topology == CellTopology::k8T) {
+    const auto n_rbl = circuit_.node("rbl");
+    const auto n_rwl = circuit_.node("rwl");
+    const auto n_rint = circuit_.node("rint");
+    circuit_.add<spice::VSource>(circuit_, n_rbl, kGround, vdd_v_);  // precharge
+    circuit_.add<spice::VSource>(circuit_, n_rwl, kGround,
+                                 mode_ == AccessMode::kRead ? vdd_v_ : 0.0);
+    auto& m7 = circuit_.add<Mosfet>(n_rint, n_qb_, kGround, *design_.nfet,
+                                    design_.nfin_pd);
+    auto& m8 = circuit_.add<Mosfet>(n_rbl, n_rwl, n_rint, *design_.nfet,
+                                    design_.nfin_pg);
+    m7.set_temperature(design_.temp_k);
+    m8.set_temperature(design_.temp_k);
+    circuit_.add<spice::Capacitor>(n_rint, kGround, 0.02e-15);
+    // The write wordline stays low in both modes for the 8T cell; the
+    // VSource added above already encodes kRetention for it when 8T.
+  }
+
+  // Storage-node capacitances (gate + junction, lumped).
+  circuit_.add<spice::Capacitor>(n_q_, kGround, design_.cnode_f);
+  circuit_.add<spice::Capacitor>(n_qb_, kGround, design_.cnode_f);
+
+  // Strike current sources (paper Fig. 5a); shapes set per simulation.
+  const PulseShape zero{};
+  src_i1_ = &circuit_.add<PulseISource>(n_q_, kGround, zero);   // PD at Q.
+  src_i2_ = &circuit_.add<PulseISource>(n_vdd_, n_qb_, zero);   // PU at QB.
+  src_i3_ = &circuit_.add<PulseISource>(n_blb_, n_qb_, zero);   // PG at QB.
+
+  // Transient window: the pulse is ~10 fs; 50 ps comfortably covers the flip
+  // or recovery of a 14 nm cell (regeneration time constants are < 1 ps).
+  topt_.t_end = 50e-12;
+  topt_.dt_initial = 1e-15;
+  topt_.dt_max = 1e-12;
+}
+
+void StrikeSimulator::set_pulse_width_scale(double scale) {
+  FINSER_REQUIRE(scale > 0.0, "set_pulse_width_scale: scale must be positive");
+  pulse_width_scale_ = scale;
+}
+
+void StrikeSimulator::apply_delta_vt(const DeltaVt& delta_vt) {
+  for (std::size_t r = 0; r < kRoleCount; ++r) {
+    fets_[r]->set_delta_vt(delta_vt[r]);
+  }
+}
+
+std::vector<double> StrikeSimulator::solve_hold(const DeltaVt& delta_vt) {
+  apply_delta_vt(delta_vt);
+  std::vector<double> guess(circuit_.unknown_count(), 0.0);
+  guess[n_q_] = vdd_v_;
+  guess[n_qb_] = 0.0;
+  guess[n_vdd_] = vdd_v_;
+  guess[n_bl_] = vdd_v_;
+  guess[n_blb_] = vdd_v_;
+  return spice::solve_dc(circuit_, guess);
+}
+
+std::array<double, 2> StrikeSimulator::hold_state(const DeltaVt& delta_vt) {
+  const auto x = solve_hold(delta_vt);
+  return {x[n_q_], x[n_qb_]};
+}
+
+StrikeOutcome StrikeSimulator::simulate(const StrikeCharges& charges,
+                                        const DeltaVt& delta_vt,
+                                        PulseShape::Kind kind) {
+  const auto x0 = solve_hold(delta_vt);
+
+  // All three currents share the drift-collection width τ and start together
+  // 1 ps into the run (so the waveform shows the undisturbed hold level).
+  constexpr double kDelayS = 1e-12;
+  const double width_s = tau_s_ * pulse_width_scale_;
+  auto shape = [&](double q_fc) {
+    const double q_c = util::fc_to_c(q_fc);
+    return kind == PulseShape::Kind::kRectangular
+               ? PulseShape::rectangular_for_charge(q_c, width_s, kDelayS)
+               : PulseShape::triangular_for_charge(q_c, width_s, kDelayS);
+  };
+  src_i1_->set_shape(shape(charges.i1_fc));
+  src_i2_->set_shape(shape(charges.i2_fc));
+  src_i3_->set_shape(shape(charges.i3_fc));
+
+  const auto wave = spice::run_transient(circuit_, x0, topt_, {"q", "qb"});
+
+  StrikeOutcome out;
+  out.final_q_v = wave.final_value(0);
+  out.final_qb_v = wave.final_value(1);
+  // Flip detection: the '1' node fell below mid-rail and the '0' node rose
+  // above it (a regenerated cell returns to its rails within the window).
+  out.flipped = out.final_q_v < 0.5 * vdd_v_ && out.final_qb_v > 0.5 * vdd_v_;
+  return out;
+}
+
+}  // namespace finser::sram

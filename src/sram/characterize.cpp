@@ -1,0 +1,414 @@
+#include "finser/sram/characterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "finser/util/error.hpp"
+
+namespace finser::sram {
+
+namespace {
+
+StrikeCharges scale_direction(const StrikeCharges& dir, double s) {
+  return StrikeCharges{dir.i1_fc * s, dir.i2_fc * s, dir.i3_fc * s};
+}
+
+StrikeCharges unit_direction(int which) {
+  switch (which) {
+    case 0: return StrikeCharges{1.0, 0.0, 0.0};
+    case 1: return StrikeCharges{0.0, 1.0, 0.0};
+    case 2: return StrikeCharges{0.0, 0.0, 1.0};
+    default:
+      throw util::InvalidArgument("unit_direction: index out of range");
+  }
+}
+
+/// FNV-1a over raw double bytes.
+void hash_doubles(std::uint64_t& h, const double* data, std::size_t count) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < count * sizeof(double); ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+}
+
+void hash_value(std::uint64_t& h, double v) { hash_doubles(h, &v, 1); }
+
+}  // namespace
+
+std::uint64_t CharacterizerConfig::fingerprint(const CellDesign& design) const {
+  std::uint64_t h = 14695981039346656037ull;
+  for (double v : vdds) hash_value(h, v);
+  hash_value(h, static_cast<double>(pv_samples_single));
+  hash_value(h, static_cast<double>(pair_grid_points));
+  hash_value(h, static_cast<double>(triple_grid_points));
+  hash_value(h, static_cast<double>(pv_samples_grid));
+  hash_value(h, q_max_fc);
+  hash_value(h, bisect_tol_fc);
+  hash_value(h, static_cast<double>(static_cast<int>(pulse_kind)));
+  hash_value(h, static_cast<double>(seed));
+
+  const spice::FinFetModel& n = design.nfet ? *design.nfet : spice::default_nfet();
+  const spice::FinFetModel& p = design.pfet ? *design.pfet : spice::default_pfet();
+  for (const spice::FinFetModel* m : {&n, &p}) {
+    hash_value(h, m->vt0);
+    hash_value(h, m->n);
+    hash_value(h, m->kp);
+    hash_value(h, m->dibl);
+    hash_value(h, m->lambda);
+  }
+  hash_value(h, design.nfin_pd);
+  hash_value(h, design.nfin_pg);
+  hash_value(h, design.nfin_pu);
+  hash_value(h, design.cnode_f);
+  hash_value(h, design.sigma_vt);
+  hash_value(h, design.temp_k);
+  hash_value(h, static_cast<double>(static_cast<int>(design.topology)));
+  hash_value(h, design.tech.w_fin_nm);
+  hash_value(h, design.tech.l_fin_nm);
+  hash_value(h, design.tech.h_fin_nm);
+  hash_value(h, design.tech.electron_mobility_cm2_vs);
+  return h;
+}
+
+double bisect_critical_scale(StrikeSimulator& sim, const StrikeCharges& direction,
+                             const DeltaVt& delta_vt, double s_max, double tol,
+                             spice::PulseShape::Kind kind) {
+  FINSER_REQUIRE(s_max > 0.0 && tol > 0.0,
+                 "bisect_critical_scale: bad bracket parameters");
+  if (!sim.simulate(scale_direction(direction, s_max), delta_vt, kind).flipped) {
+    return SingleCdf::kNeverFlips;
+  }
+  double lo = 0.0;
+  double hi = s_max;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (sim.simulate(scale_direction(direction, mid), delta_vt, kind).flipped) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+CellCharacterizer::CellCharacterizer(const CellDesign& design,
+                                     const CharacterizerConfig& config)
+    : design_(design), config_(config) {
+  FINSER_REQUIRE(!config_.vdds.empty(), "CellCharacterizer: no supply voltages");
+  FINSER_REQUIRE(config_.pair_grid_points >= 2 && config_.triple_grid_points >= 2,
+                 "CellCharacterizer: grids need >= 2 points per axis");
+  FINSER_REQUIRE(config_.q_max_fc > 0.0, "CellCharacterizer: q_max must be positive");
+}
+
+DeltaVt CellCharacterizer::sample_delta_vt(stats::Rng& rng) const {
+  DeltaVt dvt{};
+  for (double& v : dvt) v = rng.normal(0.0, design_.sigma_vt);
+  return dvt;
+}
+
+SingleCdf CellCharacterizer::characterize_single(StrikeSimulator& sim, int which,
+                                                 stats::Rng& rng) const {
+  const StrikeCharges dir = unit_direction(which);
+  SingleCdf cdf;
+  cdf.nominal_qcrit_fc = bisect_critical_scale(
+      sim, dir, DeltaVt{}, config_.q_max_fc, config_.bisect_tol_fc,
+      config_.pulse_kind);
+
+  cdf.total_samples = config_.pv_samples_single;
+  cdf.qcrit_samples_fc.reserve(config_.pv_samples_single);
+  for (std::size_t k = 0; k < config_.pv_samples_single; ++k) {
+    const DeltaVt dvt = sample_delta_vt(rng);
+    const double q = bisect_critical_scale(sim, dir, dvt, config_.q_max_fc,
+                                           config_.bisect_tol_fc, config_.pulse_kind);
+    if (q < SingleCdf::kNeverFlips) cdf.qcrit_samples_fc.push_back(q);
+  }
+  std::sort(cdf.qcrit_samples_fc.begin(), cdf.qcrit_samples_fc.end());
+  return cdf;
+}
+
+namespace {
+
+/// Charges for a pair combo (a, b) at grid charges (qa, qb).
+StrikeCharges pair_charges(int a, int b, double qa, double qb) {
+  StrikeCharges c;
+  double* slots[3] = {&c.i1_fc, &c.i2_fc, &c.i3_fc};
+  *slots[a] = qa;
+  *slots[b] = qb;
+  return c;
+}
+
+}  // namespace
+
+namespace {
+
+/// Smallest spacing of an axis (controls the MC dilation radius).
+double min_spacing(const util::Axis& axis) {
+  double dq = axis.back() - axis.front();
+  for (std::size_t i = 1; i < axis.size(); ++i) {
+    dq = std::min(dq, axis[i] - axis[i - 1]);
+  }
+  return dq;
+}
+
+}  // namespace
+
+util::Axis make_charge_axis(double qc_lo_fc, double qc_hi_fc, std::size_t points,
+                            double q_max_fc) {
+  FINSER_REQUIRE(points >= 6, "make_charge_axis: need >= 6 points");
+  FINSER_REQUIRE(q_max_fc > 0.0, "make_charge_axis: q_max must be positive");
+  // Fall back to a mid-range dense band when the cell never flipped.
+  if (!(qc_lo_fc > 0.0) || qc_lo_fc >= q_max_fc) {
+    qc_lo_fc = 0.25 * q_max_fc;
+    qc_hi_fc = 0.5 * q_max_fc;
+  }
+  qc_hi_fc = std::min(std::max(qc_hi_fc, qc_lo_fc), q_max_fc);
+
+  double dense_lo = std::max(0.4 * qc_lo_fc, 1e-4 * q_max_fc);
+  double dense_hi = std::min(1.7 * qc_hi_fc, 0.95 * q_max_fc);
+  if (dense_hi <= dense_lo) dense_hi = std::min(2.0 * dense_lo, 0.95 * q_max_fc);
+
+  const std::size_t n_dense = points - 2;  // All but {0} and {q_max}.
+  std::vector<double> pts;
+  pts.reserve(points);
+  pts.push_back(0.0);
+  for (std::size_t i = 0; i < n_dense; ++i) {
+    pts.push_back(dense_lo + (dense_hi - dense_lo) * static_cast<double>(i) /
+                                 static_cast<double>(n_dense - 1));
+  }
+  pts.push_back(q_max_fc);
+  // Guard monotonicity against degenerate parameter combinations.
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i] <= pts[i - 1]) pts[i] = pts[i - 1] + 1e-6 * q_max_fc;
+  }
+  return util::Axis(std::move(pts));
+}
+
+void CellCharacterizer::characterize_pair(StrikeSimulator& sim, int a, int b,
+                                          const util::Axis& axis,
+                                          double sigma_q_fc, stats::Rng& rng,
+                                          util::Grid2& pv,
+                                          util::Grid2& nominal) const {
+  const std::size_t np = axis.size();
+  const double dq = min_spacing(axis);
+  const auto radius =
+      static_cast<std::ptrdiff_t>(std::ceil(4.0 * sigma_q_fc / dq)) + 1;
+
+  // Nominal boundary per row by binary search (flip region is monotone).
+  std::vector<std::size_t> boundary(np, np);  // First flipping column, np = none.
+  for (std::size_t i = 0; i < np; ++i) {
+    std::size_t lo = 0, hi = np;  // Search smallest j with flip in [lo, hi).
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const bool flips = sim.simulate(pair_charges(a, b, axis[i], axis[mid]),
+                                      DeltaVt{}, config_.pulse_kind)
+                             .flipped;
+      if (flips) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    boundary[i] = lo;
+  }
+
+  std::vector<double> nom_values(np * np);
+  for (std::size_t i = 0; i < np; ++i) {
+    for (std::size_t j = 0; j < np; ++j) {
+      nom_values[i * np + j] = j >= boundary[i] ? 1.0 : 0.0;
+    }
+  }
+
+  // PV values: Monte Carlo only within `radius` (Chebyshev) of the boundary.
+  std::vector<double> pv_values = nom_values;
+  for (std::size_t i = 0; i < np; ++i) {
+    for (std::size_t j = 0; j < np; ++j) {
+      bool near_boundary = false;
+      const auto si = static_cast<std::ptrdiff_t>(i);
+      const auto sj = static_cast<std::ptrdiff_t>(j);
+      for (std::ptrdiff_t di = -radius; di <= radius && !near_boundary; ++di) {
+        for (std::ptrdiff_t dj = -radius; dj <= radius && !near_boundary; ++dj) {
+          const std::ptrdiff_t ni = si + di;
+          const std::ptrdiff_t nj = sj + dj;
+          if (ni < 0 || nj < 0 || ni >= static_cast<std::ptrdiff_t>(np) ||
+              nj >= static_cast<std::ptrdiff_t>(np)) {
+            continue;
+          }
+          if (nom_values[static_cast<std::size_t>(ni) * np +
+                         static_cast<std::size_t>(nj)] != nom_values[i * np + j]) {
+            near_boundary = true;
+          }
+        }
+      }
+      if (!near_boundary) continue;
+      std::size_t flips = 0;
+      for (std::size_t k = 0; k < config_.pv_samples_grid; ++k) {
+        const DeltaVt dvt = sample_delta_vt(rng);
+        if (sim.simulate(pair_charges(a, b, axis[i], axis[j]), dvt,
+                         config_.pulse_kind)
+                .flipped) {
+          ++flips;
+        }
+      }
+      pv_values[i * np + j] = static_cast<double>(flips) /
+                              static_cast<double>(config_.pv_samples_grid);
+    }
+  }
+
+  nominal = util::Grid2(axis, axis, std::move(nom_values));
+  pv = util::Grid2(axis, axis, std::move(pv_values));
+}
+
+void CellCharacterizer::characterize_triple(StrikeSimulator& sim,
+                                            const util::Axis& axis,
+                                            double sigma_q_fc, stats::Rng& rng,
+                                            util::Grid3& pv,
+                                            util::Grid3& nominal) const {
+  const std::size_t np = axis.size();
+  const double dq = min_spacing(axis);
+  const auto radius =
+      static_cast<std::ptrdiff_t>(std::ceil(4.0 * sigma_q_fc / dq)) + 1;
+
+  const auto idx = [np](std::size_t i, std::size_t j, std::size_t k) {
+    return (i * np + j) * np + k;
+  };
+
+  // Nominal: binary search the first flipping k for each (i, j).
+  std::vector<double> nom_values(np * np * np);
+  for (std::size_t i = 0; i < np; ++i) {
+    for (std::size_t j = 0; j < np; ++j) {
+      std::size_t lo = 0, hi = np;
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        const bool flips =
+            sim.simulate(StrikeCharges{axis[i], axis[j], axis[mid]}, DeltaVt{},
+                         config_.pulse_kind)
+                .flipped;
+        if (flips) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      for (std::size_t k = 0; k < np; ++k) {
+        nom_values[idx(i, j, k)] = k >= lo ? 1.0 : 0.0;
+      }
+    }
+  }
+
+  std::vector<double> pv_values = nom_values;
+  const auto snp = static_cast<std::ptrdiff_t>(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    for (std::size_t j = 0; j < np; ++j) {
+      for (std::size_t k = 0; k < np; ++k) {
+        bool near_boundary = false;
+        for (std::ptrdiff_t di = -radius; di <= radius && !near_boundary; ++di) {
+          for (std::ptrdiff_t dj = -radius; dj <= radius && !near_boundary; ++dj) {
+            for (std::ptrdiff_t dk = -radius; dk <= radius && !near_boundary;
+                 ++dk) {
+              const std::ptrdiff_t ni = static_cast<std::ptrdiff_t>(i) + di;
+              const std::ptrdiff_t nj = static_cast<std::ptrdiff_t>(j) + dj;
+              const std::ptrdiff_t nk = static_cast<std::ptrdiff_t>(k) + dk;
+              if (ni < 0 || nj < 0 || nk < 0 || ni >= snp || nj >= snp ||
+                  nk >= snp) {
+                continue;
+              }
+              if (nom_values[idx(static_cast<std::size_t>(ni),
+                                 static_cast<std::size_t>(nj),
+                                 static_cast<std::size_t>(nk))] !=
+                  nom_values[idx(i, j, k)]) {
+                near_boundary = true;
+              }
+            }
+          }
+        }
+        if (!near_boundary) continue;
+        std::size_t flips = 0;
+        for (std::size_t s = 0; s < config_.pv_samples_grid; ++s) {
+          const DeltaVt dvt = sample_delta_vt(rng);
+          if (sim.simulate(StrikeCharges{axis[i], axis[j], axis[k]}, dvt,
+                           config_.pulse_kind)
+                  .flipped) {
+            ++flips;
+          }
+        }
+        pv_values[idx(i, j, k)] = static_cast<double>(flips) /
+                                  static_cast<double>(config_.pv_samples_grid);
+      }
+    }
+  }
+
+  nominal = util::Grid3(axis, axis, axis, std::move(nom_values));
+  pv = util::Grid3(axis, axis, axis, std::move(pv_values));
+}
+
+PofTable CellCharacterizer::characterize_at(double vdd_v, stats::Rng& rng,
+                                            const ProgressFn& progress) const {
+  StrikeSimulator sim(design_, vdd_v);
+  PofTable table;
+  table.vdd_v = vdd_v;
+  table.q_max_fc = config_.q_max_fc;
+
+  for (int which = 0; which < 3; ++which) {
+    table.singles[static_cast<std::size_t>(which)] =
+        characterize_single(sim, which, rng);
+    if (progress) {
+      std::ostringstream os;
+      const auto& s = table.singles[static_cast<std::size_t>(which)];
+      os << "vdd=" << vdd_v << " I" << which + 1
+         << ": qcrit_nom=" << s.nominal_qcrit_fc
+         << " fC, qcrit_mean=" << s.mean_qcrit_fc()
+         << " fC, sigma=" << s.stddev_qcrit_fc() << " fC";
+      progress(os.str());
+    }
+  }
+
+  // Smearing radius estimate for the grid MC placement.
+  double sigma_q = 0.0;
+  for (const auto& s : table.singles) sigma_q = std::max(sigma_q, s.stddev_qcrit_fc());
+  if (sigma_q <= 0.0) sigma_q = 0.02 * config_.q_max_fc;
+
+  // Charge axes densified around the cell's critical-charge band.
+  double qc_lo = SingleCdf::kNeverFlips;
+  double qc_hi = 0.0;
+  for (const auto& s : table.singles) {
+    if (s.nominal_qcrit_fc < SingleCdf::kNeverFlips) {
+      qc_lo = std::min(qc_lo, s.nominal_qcrit_fc);
+      qc_hi = std::max(qc_hi, s.nominal_qcrit_fc);
+    }
+  }
+  if (qc_hi == 0.0) qc_lo = 0.0;  // No flips observed: axis falls back.
+  const util::Axis pair_axis = make_charge_axis(
+      qc_lo, qc_hi, config_.pair_grid_points, config_.q_max_fc);
+  const util::Axis triple_axis = make_charge_axis(
+      qc_lo, qc_hi, config_.triple_grid_points, config_.q_max_fc);
+
+  const int pair_ids[3][2] = {{0, 1}, {0, 2}, {1, 2}};
+  for (int p = 0; p < 3; ++p) {
+    characterize_pair(sim, pair_ids[p][0], pair_ids[p][1], pair_axis, sigma_q, rng,
+                      table.pairs_pv[static_cast<std::size_t>(p)],
+                      table.pairs_nominal[static_cast<std::size_t>(p)]);
+  }
+  if (progress) progress("vdd=" + std::to_string(vdd_v) + ": pair grids done");
+
+  characterize_triple(sim, triple_axis, sigma_q, rng, table.triple_pv,
+                      table.triple_nominal);
+  if (progress) progress("vdd=" + std::to_string(vdd_v) + ": triple grid done");
+  return table;
+}
+
+CellSoftErrorModel CellCharacterizer::characterize(const ProgressFn& progress) const {
+  CellSoftErrorModel model;
+  model.config_fingerprint = config_.fingerprint(design_);
+  stats::Rng rng(config_.seed);
+  std::vector<double> vdds = config_.vdds;
+  std::sort(vdds.begin(), vdds.end());
+  for (double vdd : vdds) {
+    model.tables.push_back(characterize_at(vdd, rng, progress));
+  }
+  return model;
+}
+
+}  // namespace finser::sram

@@ -1,0 +1,283 @@
+#include "finser/sram/pof_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "finser/util/error.hpp"
+
+namespace finser::sram {
+
+// ---------------------------------------------------------------------------
+// SingleCdf
+// ---------------------------------------------------------------------------
+
+double SingleCdf::pof(double q_fc) const {
+  if (total_samples == 0) return 0.0;
+  const auto it = std::upper_bound(qcrit_samples_fc.begin(), qcrit_samples_fc.end(),
+                                   q_fc);
+  return static_cast<double>(it - qcrit_samples_fc.begin()) /
+         static_cast<double>(total_samples);
+}
+
+double SingleCdf::pof_nominal(double q_fc) const {
+  return q_fc >= nominal_qcrit_fc ? 1.0 : 0.0;
+}
+
+double SingleCdf::mean_qcrit_fc() const {
+  if (qcrit_samples_fc.empty()) return kNeverFlips;
+  double acc = 0.0;
+  for (double q : qcrit_samples_fc) acc += q;
+  return acc / static_cast<double>(qcrit_samples_fc.size());
+}
+
+double SingleCdf::stddev_qcrit_fc() const {
+  const std::size_t n = qcrit_samples_fc.size();
+  if (n < 2) return 0.0;
+  const double mu = mean_qcrit_fc();
+  double acc = 0.0;
+  for (double q : qcrit_samples_fc) acc += (q - mu) * (q - mu);
+  return std::sqrt(acc / static_cast<double>(n - 1));
+}
+
+// ---------------------------------------------------------------------------
+// PofTable
+// ---------------------------------------------------------------------------
+
+double PofTable::pof(const StrikeCharges& c, bool with_pv) const {
+  const bool has1 = c.i1_fc > kChargeEpsFc;
+  const bool has2 = c.i2_fc > kChargeEpsFc;
+  const bool has3 = c.i3_fc > kChargeEpsFc;
+  const int mask = (has1 ? 1 : 0) | (has2 ? 2 : 0) | (has3 ? 4 : 0);
+
+  switch (mask) {
+    case 0:
+      return 0.0;
+    case 1:
+      return with_pv ? singles[0].pof(c.i1_fc) : singles[0].pof_nominal(c.i1_fc);
+    case 2:
+      return with_pv ? singles[1].pof(c.i2_fc) : singles[1].pof_nominal(c.i2_fc);
+    case 4:
+      return with_pv ? singles[2].pof(c.i3_fc) : singles[2].pof_nominal(c.i3_fc);
+    case 3: {  // I1 + I2
+      const double p = with_pv ? pairs_pv[0](c.i1_fc, c.i2_fc)
+                               : pairs_nominal[0](c.i1_fc, c.i2_fc);
+      return with_pv ? p : std::round(p);
+    }
+    case 5: {  // I1 + I3
+      const double p = with_pv ? pairs_pv[1](c.i1_fc, c.i3_fc)
+                               : pairs_nominal[1](c.i1_fc, c.i3_fc);
+      return with_pv ? p : std::round(p);
+    }
+    case 6: {  // I2 + I3
+      const double p = with_pv ? pairs_pv[2](c.i2_fc, c.i3_fc)
+                               : pairs_nominal[2](c.i2_fc, c.i3_fc);
+      return with_pv ? p : std::round(p);
+    }
+    case 7: {
+      const double p = with_pv ? triple_pv(c.i1_fc, c.i2_fc, c.i3_fc)
+                               : triple_nominal(c.i1_fc, c.i2_fc, c.i3_fc);
+      return with_pv ? p : std::round(p);
+    }
+    default:
+      return 0.0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CellSoftErrorModel
+// ---------------------------------------------------------------------------
+
+const PofTable& CellSoftErrorModel::at_vdd(double vdd_v) const {
+  for (const PofTable& t : tables) {
+    if (std::abs(t.vdd_v - vdd_v) < 1e-3) return t;
+  }
+  throw util::DomainError("CellSoftErrorModel: no table characterized at Vdd = " +
+                          std::to_string(vdd_v));
+}
+
+double CellSoftErrorModel::pof(double vdd_v, const StrikeCharges& charges,
+                               bool with_pv) const {
+  return at_vdd(vdd_v).pof(charges, with_pv);
+}
+
+std::vector<double> CellSoftErrorModel::vdds() const {
+  std::vector<double> out;
+  out.reserve(tables.size());
+  for (const PofTable& t : tables) out.push_back(t.vdd_v);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'N', 'S', 'R', 'P', 'O', 'F', '2'};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_vec(std::ostream& os, const std::vector<double>& v) {
+  write_u64(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  FINSER_REQUIRE(is.good(), "PofTable: truncated file (u64)");
+  return v;
+}
+
+double read_f64(std::istream& is) {
+  double v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  FINSER_REQUIRE(is.good(), "PofTable: truncated file (f64)");
+  return v;
+}
+
+std::vector<double> read_vec(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  FINSER_REQUIRE(n < (1ull << 32), "PofTable: implausible vector length");
+  std::vector<double> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  FINSER_REQUIRE(is.good(), "PofTable: truncated file (vector)");
+  return v;
+}
+
+void write_grid2(std::ostream& os, const util::Grid2& g) {
+  write_vec(os, g.x_axis().points());
+  write_vec(os, g.y_axis().points());
+  std::vector<double> vals;
+  vals.reserve(g.x_axis().size() * g.y_axis().size());
+  for (std::size_t i = 0; i < g.x_axis().size(); ++i) {
+    for (std::size_t j = 0; j < g.y_axis().size(); ++j) vals.push_back(g.at(i, j));
+  }
+  write_vec(os, vals);
+}
+
+util::Grid2 read_grid2(std::istream& is) {
+  auto xs = read_vec(is);
+  auto ys = read_vec(is);
+  auto vals = read_vec(is);
+  return util::Grid2(util::Axis(std::move(xs)), util::Axis(std::move(ys)),
+                     std::move(vals));
+}
+
+void write_grid3(std::ostream& os, const util::Grid3& g) {
+  write_vec(os, g.x_axis().points());
+  write_vec(os, g.y_axis().points());
+  write_vec(os, g.z_axis().points());
+  std::vector<double> vals;
+  vals.reserve(g.x_axis().size() * g.y_axis().size() * g.z_axis().size());
+  for (std::size_t i = 0; i < g.x_axis().size(); ++i) {
+    for (std::size_t j = 0; j < g.y_axis().size(); ++j) {
+      for (std::size_t k = 0; k < g.z_axis().size(); ++k) {
+        vals.push_back(g.at(i, j, k));
+      }
+    }
+  }
+  write_vec(os, vals);
+}
+
+util::Grid3 read_grid3(std::istream& is) {
+  auto xs = read_vec(is);
+  auto ys = read_vec(is);
+  auto zs = read_vec(is);
+  auto vals = read_vec(is);
+  return util::Grid3(util::Axis(std::move(xs)), util::Axis(std::move(ys)),
+                     util::Axis(std::move(zs)), std::move(vals));
+}
+
+void write_single(std::ostream& os, const SingleCdf& s) {
+  write_f64(os, s.nominal_qcrit_fc);
+  write_u64(os, s.total_samples);
+  write_vec(os, s.qcrit_samples_fc);
+}
+
+SingleCdf read_single(std::istream& is) {
+  SingleCdf s;
+  s.nominal_qcrit_fc = read_f64(is);
+  s.total_samples = read_u64(is);
+  s.qcrit_samples_fc = read_vec(is);
+  return s;
+}
+
+}  // namespace
+
+void CellSoftErrorModel::save(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream os(path, std::ios::binary);
+  FINSER_REQUIRE(os.good(), "CellSoftErrorModel::save: cannot open " + path);
+  os.write(kMagic, sizeof(kMagic));
+  write_u64(os, config_fingerprint);
+  write_u64(os, tables.size());
+  for (const PofTable& t : tables) {
+    write_f64(os, t.vdd_v);
+    write_f64(os, t.q_max_fc);
+    for (const auto& s : t.singles) write_single(os, s);
+    for (const auto& g : t.pairs_pv) write_grid2(os, g);
+    for (const auto& g : t.pairs_nominal) write_grid2(os, g);
+    write_grid3(os, t.triple_pv);
+    write_grid3(os, t.triple_nominal);
+  }
+  FINSER_REQUIRE(os.good(), "CellSoftErrorModel::save: write failure to " + path);
+}
+
+CellSoftErrorModel CellSoftErrorModel::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) {
+    throw util::Error("CellSoftErrorModel::load: cannot open " + path);
+  }
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  FINSER_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                 "CellSoftErrorModel::load: bad magic in " + path);
+  CellSoftErrorModel model;
+  model.config_fingerprint = read_u64(is);
+  const std::uint64_t count = read_u64(is);
+  FINSER_REQUIRE(count < 1024, "CellSoftErrorModel::load: implausible table count");
+  model.tables.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PofTable t;
+    t.vdd_v = read_f64(is);
+    t.q_max_fc = read_f64(is);
+    for (auto& s : t.singles) s = read_single(is);
+    for (auto& g : t.pairs_pv) g = read_grid2(is);
+    for (auto& g : t.pairs_nominal) g = read_grid2(is);
+    t.triple_pv = read_grid3(is);
+    t.triple_nominal = read_grid3(is);
+    model.tables.push_back(std::move(t));
+  }
+  return model;
+}
+
+bool CellSoftErrorModel::try_load(const std::string& path,
+                                  std::uint64_t expected_fingerprint,
+                                  CellSoftErrorModel& out) {
+  try {
+    CellSoftErrorModel model = load(path);
+    if (model.config_fingerprint != expected_fingerprint) return false;
+    out = std::move(model);
+    return true;
+  } catch (const util::Error&) {
+    return false;
+  }
+}
+
+}  // namespace finser::sram

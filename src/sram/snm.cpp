@@ -1,0 +1,140 @@
+#include "finser/sram/snm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "finser/spice/dc.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::sram {
+
+namespace {
+
+using spice::kGround;
+
+/// Sweep the VTC of one half-cell: input voltage → output voltage, with the
+/// output loaded by its pass gate (bitline at the precharge level, wordline
+/// per access mode). \p pd/pu/pg index into delta_vt by Role.
+std::vector<double> sweep_vtc(const CellDesign& design, double vdd_v,
+                              AccessMode mode, const DeltaVt& delta_vt, Role pd,
+                              Role pu, Role pg, std::size_t samples) {
+  const spice::FinFetModel& nfet = design.nfet ? *design.nfet
+                                               : spice::default_nfet();
+  const spice::FinFetModel& pfet = design.pfet ? *design.pfet
+                                               : spice::default_pfet();
+
+  spice::Circuit c;
+  const auto n_in = c.node("in");
+  const auto n_out = c.node("out");
+  const auto n_vdd = c.node("vdd");
+  const auto n_bl = c.node("bl");
+  const auto n_wl = c.node("wl");
+  c.add<spice::VSource>(c, n_vdd, kGround, vdd_v);
+  c.add<spice::VSource>(c, n_bl, kGround, vdd_v);
+  c.add<spice::VSource>(c, n_wl, kGround,
+                        mode == AccessMode::kRead ? vdd_v : 0.0);
+  auto& vin = c.add<spice::VSource>(c, n_in, kGround, 0.0);
+
+  auto& m_pd = c.add<spice::Mosfet>(n_out, n_in, kGround, nfet, design.nfin_pd);
+  auto& m_pu = c.add<spice::Mosfet>(n_out, n_in, n_vdd, pfet, design.nfin_pu);
+  auto& m_pg = c.add<spice::Mosfet>(n_bl, n_wl, n_out, nfet, design.nfin_pg);
+  m_pd.set_delta_vt(delta_vt[static_cast<std::size_t>(pd)]);
+  m_pu.set_delta_vt(delta_vt[static_cast<std::size_t>(pu)]);
+  m_pg.set_delta_vt(delta_vt[static_cast<std::size_t>(pg)]);
+  m_pd.set_temperature(design.temp_k);
+  m_pu.set_temperature(design.temp_k);
+  m_pg.set_temperature(design.temp_k);
+
+  std::vector<double> vtc(samples);
+  std::vector<double> x;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double v = vdd_v * static_cast<double>(i) /
+                     static_cast<double>(samples - 1);
+    vin.set_voltage(v);
+    x = spice::solve_dc(c, x);  // Continuation from the previous point.
+    vtc[i] = x[n_out];
+  }
+  return vtc;
+}
+
+/// Linear interpolation of a sampled VTC at input voltage \p v.
+double vtc_at(const std::vector<double>& vtc, double vdd_v, double v) {
+  const double t = std::clamp(v / vdd_v, 0.0, 1.0) *
+                   static_cast<double>(vtc.size() - 1);
+  const std::size_t i =
+      std::min(static_cast<std::size_t>(t), vtc.size() - 2);
+  const double f = t - static_cast<double>(i);
+  return vtc[i] + f * (vtc[i + 1] - vtc[i]);
+}
+
+/// Inverse of a monotone-decreasing sampled VTC: input producing output \p w.
+double vtc_inverse(const std::vector<double>& vtc, double vdd_v, double w) {
+  if (w >= vtc.front()) return 0.0;
+  if (w <= vtc.back()) return vdd_v;
+  std::size_t lo = 0, hi = vtc.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (vtc[mid] > w) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double dv = vdd_v / static_cast<double>(vtc.size() - 1);
+  const double span = vtc[lo] - vtc[hi];
+  const double f = span > 0.0 ? (vtc[lo] - w) / span : 0.5;
+  return (static_cast<double>(lo) + f) * dv;
+}
+
+/// Largest square inside the lobe bounded left by F2^{-1}(w) and right by
+/// F1(w): find max s with  F2^{-1}(w0) + s ≤ F1(w0 + s)  over w0.
+double lobe_square(const std::vector<double>& vtc1, const std::vector<double>& vtc2,
+                   double vdd_v) {
+  double best = 0.0;
+  const std::size_t n = 161;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w0 = vdd_v * static_cast<double>(i) / static_cast<double>(n - 1);
+    const double left = vtc_inverse(vtc2, vdd_v, w0);
+    // g(s) = F1(w0 + s) − left − s is decreasing in s: bisect its root.
+    double lo = 0.0, hi = vdd_v;
+    if (vtc_at(vtc1, vdd_v, w0) - left <= 0.0) continue;  // No room at all.
+    for (int it = 0; it < 40; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const double g = vtc_at(vtc1, vdd_v, w0 + mid) - left - mid;
+      if (g >= 0.0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    best = std::max(best, lo);
+  }
+  return best;
+}
+
+}  // namespace
+
+SnmResult static_noise_margin(const CellDesign& design, double vdd_v,
+                              AccessMode mode, const DeltaVt& delta_vt,
+                              std::size_t samples) {
+  FINSER_REQUIRE(vdd_v > 0.0, "static_noise_margin: Vdd must be positive");
+  FINSER_REQUIRE(samples >= 16, "static_noise_margin: need >= 16 VTC samples");
+
+  // Inverter L (drives Q, input QB) and inverter R (drives QB, input Q),
+  // each loaded by its own pass gate.
+  const auto vtc_l = sweep_vtc(design, vdd_v, mode, delta_vt, Role::kPdL,
+                               Role::kPuL, Role::kPgL, samples);
+  const auto vtc_r = sweep_vtc(design, vdd_v, mode, delta_vt, Role::kPdR,
+                               Role::kPuR, Role::kPgR, samples);
+
+  SnmResult out;
+  // Lower-right lobe: V(Q) high / V(QB) low; bounded right by VTC_L and
+  // left by VTC_R^{-1}. The upper-left lobe is the transposed problem.
+  out.lobe_low_v = lobe_square(vtc_l, vtc_r, vdd_v);
+  out.lobe_high_v = lobe_square(vtc_r, vtc_l, vdd_v);
+  out.snm_v = std::min(out.lobe_low_v, out.lobe_high_v);
+  return out;
+}
+
+}  // namespace finser::sram

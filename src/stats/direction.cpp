@@ -1,0 +1,35 @@
+#include "finser/stats/direction.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace finser::stats {
+
+using geom::Vec3;
+
+Vec3 isotropic_sphere(Rng& rng) {
+  // Archimedes: z uniform in [-1, 1], azimuth uniform.
+  const double z = rng.uniform(-1.0, 1.0);
+  const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+  return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+Vec3 isotropic_hemisphere_down(Rng& rng) {
+  Vec3 v = isotropic_sphere(rng);
+  if (v.z > 0.0) v.z = -v.z;
+  return v;
+}
+
+Vec3 cosine_hemisphere_down(Rng& rng) {
+  // Malley's method: sample a disc, project up; flip to the -z hemisphere.
+  const double u = rng.uniform();
+  const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double r = std::sqrt(u);
+  const double x = r * std::cos(phi);
+  const double y = r * std::sin(phi);
+  const double z = -std::sqrt(std::max(0.0, 1.0 - u));
+  return {x, y, z};
+}
+
+}  // namespace finser::stats

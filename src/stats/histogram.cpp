@@ -1,0 +1,70 @@
+#include "finser/stats/histogram.hpp"
+
+#include <cmath>
+
+#include "finser/util/error.hpp"
+
+namespace finser::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins, Binning binning)
+    : lo_(lo), hi_(hi), binning_(binning), counts_(bins, 0.0) {
+  FINSER_REQUIRE(bins > 0, "Histogram: need at least one bin");
+  FINSER_REQUIRE(hi > lo, "Histogram: hi <= lo");
+  if (binning_ == Binning::kLog) {
+    FINSER_REQUIRE(lo > 0.0, "Histogram: log binning requires lo > 0");
+    tlo_ = std::log(lo_);
+    thi_ = std::log(hi_);
+  } else {
+    tlo_ = lo_;
+    thi_ = hi_;
+  }
+}
+
+void Histogram::add(double x, double weight) {
+  if (x < lo_ || (binning_ == Binning::kLog && x <= 0.0)) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const double t = binning_ == Binning::kLog ? std::log(x) : x;
+  const double f = (t - tlo_) / (thi_ - tlo_);
+  auto i = static_cast<std::size_t>(f * static_cast<double>(counts_.size()));
+  if (i >= counts_.size()) i = counts_.size() - 1;  // FP edge guard.
+  counts_[i] += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  FINSER_REQUIRE(i < counts_.size(), "Histogram: bin index out of range");
+  const double t = tlo_ + (thi_ - tlo_) * static_cast<double>(i) /
+                              static_cast<double>(counts_.size());
+  return binning_ == Binning::kLog ? std::exp(t) : t;
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  FINSER_REQUIRE(i < counts_.size(), "Histogram: bin index out of range");
+  const double t = tlo_ + (thi_ - tlo_) * static_cast<double>(i + 1) /
+                              static_cast<double>(counts_.size());
+  return binning_ == Binning::kLog ? std::exp(t) : t;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  if (binning_ == Binning::kLog) return std::sqrt(bin_lo(i) * bin_hi(i));
+  return 0.5 * (bin_lo(i) + bin_hi(i));
+}
+
+double Histogram::total() const {
+  double t = 0.0;
+  for (double c : counts_) t += c;
+  return t;
+}
+
+double Histogram::density(std::size_t i) const {
+  const double t = total();
+  if (t <= 0.0) return 0.0;
+  return count(i) / (t * bin_width(i));
+}
+
+}  // namespace finser::stats

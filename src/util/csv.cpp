@@ -1,0 +1,97 @@
+#include "finser/util/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "finser/util/error.hpp"
+
+namespace finser::util {
+
+namespace {
+
+std::string cell_to_string(const CsvTable::Cell& c) {
+  if (const double* d = std::get_if<double>(&c)) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", *d);
+    return buf;
+  }
+  return std::get<std::string>(c);
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  FINSER_REQUIRE(!columns_.empty(), "CsvTable needs at least one column");
+}
+
+void CsvTable::add_row(std::vector<Cell> row) {
+  FINSER_REQUIRE(row.size() == columns_.size(), "CsvTable row width != column count");
+  rows_.push_back(std::move(row));
+}
+
+void CsvTable::write_csv(std::ostream& os) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << ',';
+    os << csv_escape(columns_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(cell_to_string(row[i]));
+    }
+    os << '\n';
+  }
+}
+
+void CsvTable::write_csv_file(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream os(path);
+  FINSER_REQUIRE(os.good(), "cannot open CSV output file: " + path);
+  write_csv(os);
+}
+
+void CsvTable::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(cell_to_string(row[i]));
+      widths[i] = std::max(widths[i], r.back().size());
+    }
+    cells.push_back(std::move(r));
+  }
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << (i ? "  " : "");
+      os << r[i];
+      for (std::size_t pad = r[i].size(); pad < widths[i]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& r : cells) emit(r);
+}
+
+}  // namespace finser::util

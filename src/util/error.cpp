@@ -1,0 +1,14 @@
+#include "finser/util/error.hpp"
+
+#include <sstream>
+
+namespace finser::util::detail {
+
+void throw_require_failed(const char* expr, const char* file, int line,
+                          const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [requirement `" << expr << "` failed at " << file << ':' << line << ']';
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace finser::util::detail

@@ -1,0 +1,212 @@
+#include "finser/util/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "finser/util/error.hpp"
+
+namespace finser::util {
+
+namespace {
+
+double to_space(double v, Scale s) { return s == Scale::kLog ? std::log(v) : v; }
+double from_space(double v, Scale s) { return s == Scale::kLog ? std::exp(v) : v; }
+
+void check_strictly_increasing(const std::vector<double>& pts) {
+  FINSER_REQUIRE(pts.size() >= 2, "axis needs at least two points");
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    FINSER_REQUIRE(pts[i] > pts[i - 1], "axis points must be strictly increasing");
+  }
+}
+
+}  // namespace
+
+Axis::Axis(std::vector<double> points, Scale scale)
+    : raw_(std::move(points)), scale_(scale) {
+  check_strictly_increasing(raw_);
+  points_.resize(raw_.size());
+  for (std::size_t i = 0; i < raw_.size(); ++i) {
+    if (scale_ == Scale::kLog) {
+      FINSER_REQUIRE(raw_[i] > 0.0, "log-scaled axis requires positive coordinates");
+    }
+    points_[i] = to_space(raw_[i], scale_);
+  }
+}
+
+Axis::Location Axis::locate(double x, OutOfRange policy) const {
+  FINSER_REQUIRE(!points_.empty(), "locate() on an empty axis");
+  if (scale_ == Scale::kLog && x <= 0.0) {
+    if (policy == OutOfRange::kThrow) {
+      throw DomainError("non-positive query on log-scaled axis");
+    }
+    return {0, 0.0, true};
+  }
+  const double xs = to_space(x, scale_);
+  if (xs <= points_.front()) {
+    if (policy == OutOfRange::kThrow && xs < points_.front()) {
+      std::ostringstream os;
+      os << "axis query " << x << " below range [" << raw_.front() << ", "
+         << raw_.back() << ']';
+      throw DomainError(os.str());
+    }
+    return {0, 0.0, xs < points_.front()};
+  }
+  if (xs >= points_.back()) {
+    if (policy == OutOfRange::kThrow && xs > points_.back()) {
+      std::ostringstream os;
+      os << "axis query " << x << " above range [" << raw_.front() << ", "
+         << raw_.back() << ']';
+      throw DomainError(os.str());
+    }
+    return {points_.size() - 2, 1.0, xs > points_.back()};
+  }
+  const auto it = std::upper_bound(points_.begin(), points_.end(), xs);
+  const std::size_t hi = static_cast<std::size_t>(it - points_.begin());
+  const std::size_t lo = hi - 1;
+  const double frac = (xs - points_[lo]) / (points_[hi] - points_[lo]);
+  return {lo, frac, false};
+}
+
+Grid1::Grid1(Axis x, std::vector<double> values, Scale value_scale, OutOfRange policy)
+    : x_(std::move(x)), raw_values_(std::move(values)), value_scale_(value_scale),
+      policy_(policy) {
+  FINSER_REQUIRE(raw_values_.size() == x_.size(), "Grid1: value count != axis size");
+  values_.resize(raw_values_.size());
+  for (std::size_t i = 0; i < raw_values_.size(); ++i) {
+    if (value_scale_ == Scale::kLog) {
+      FINSER_REQUIRE(raw_values_[i] > 0.0, "log-scaled values must be positive");
+    }
+    values_[i] = (value_scale_ == Scale::kLog) ? std::log(raw_values_[i]) : raw_values_[i];
+  }
+}
+
+double Grid1::operator()(double x) const {
+  const auto loc = x_.locate(x, policy_);
+  if (loc.clamped && policy_ == OutOfRange::kZero) return 0.0;
+  const double v = values_[loc.index] +
+                   loc.frac * (values_[loc.index + 1] - values_[loc.index]);
+  return from_space(v, value_scale_);
+}
+
+double Grid1::integrate() const { return integrate(x_.front(), x_.back()); }
+
+double Grid1::integrate(double a, double b) const {
+  FINSER_REQUIRE(b >= a, "Grid1::integrate: b < a");
+  const auto& xs = x_.points();
+  const double lo = std::max(a, xs.front());
+  const double hi = std::min(b, xs.back());
+  if (hi <= lo) return 0.0;
+
+  // Integrate the *interpolant* (which may be curved in linear space when
+  // axis or values are log-scaled) by refined trapezoid within each
+  // tabulated segment. Sub-steps are uniform in the axis's interpolation
+  // space so steep power-law tails are resolved; this keeps
+  // sum-over-subranges consistent with the full-range integral.
+  constexpr int kRefine = 64;
+  const auto seg_integral = [this](double x0, double x1) {
+    const bool log_axis = x_.scale() == Scale::kLog;
+    const double t0 = log_axis ? std::log(x0) : x0;
+    const double t1 = log_axis ? std::log(x1) : x1;
+    double acc = 0.0;
+    double prev_x = x0;
+    double prev_y = (*this)(x0);
+    for (int k = 1; k <= kRefine; ++k) {
+      const double t = t0 + (t1 - t0) * k / kRefine;
+      const double x = log_axis ? std::exp(t) : t;
+      const double y = (*this)(x);
+      acc += 0.5 * (prev_y + y) * (x - prev_x);
+      prev_x = x;
+      prev_y = y;
+    }
+    return acc;
+  };
+
+  double acc = 0.0;
+  double cursor = lo;
+  for (std::size_t i = 0; i < xs.size() && cursor < hi; ++i) {
+    if (xs[i] <= cursor) continue;
+    const double seg_end = std::min(xs[i], hi);
+    acc += seg_integral(cursor, seg_end);
+    cursor = seg_end;
+  }
+  if (cursor < hi) acc += seg_integral(cursor, hi);
+  return acc;
+}
+
+Grid2::Grid2(Axis x, Axis y, std::vector<double> values, OutOfRange policy)
+    : x_(std::move(x)), y_(std::move(y)), values_(std::move(values)), policy_(policy) {
+  FINSER_REQUIRE(values_.size() == x_.size() * y_.size(),
+                 "Grid2: value count != |x|*|y|");
+}
+
+double Grid2::operator()(double x, double y) const {
+  const auto lx = x_.locate(x, policy_);
+  const auto ly = y_.locate(y, policy_);
+  if ((lx.clamped || ly.clamped) && policy_ == OutOfRange::kZero) return 0.0;
+  const double v00 = at(lx.index, ly.index);
+  const double v01 = at(lx.index, ly.index + 1);
+  const double v10 = at(lx.index + 1, ly.index);
+  const double v11 = at(lx.index + 1, ly.index + 1);
+  const double v0 = v00 + ly.frac * (v01 - v00);
+  const double v1 = v10 + ly.frac * (v11 - v10);
+  return v0 + lx.frac * (v1 - v0);
+}
+
+Grid3::Grid3(Axis x, Axis y, Axis z, std::vector<double> values, OutOfRange policy)
+    : x_(std::move(x)), y_(std::move(y)), z_(std::move(z)), values_(std::move(values)),
+      policy_(policy) {
+  FINSER_REQUIRE(values_.size() == x_.size() * y_.size() * z_.size(),
+                 "Grid3: value count != |x|*|y|*|z|");
+}
+
+double Grid3::operator()(double x, double y, double z) const {
+  const auto lx = x_.locate(x, policy_);
+  const auto ly = y_.locate(y, policy_);
+  const auto lz = z_.locate(z, policy_);
+  if ((lx.clamped || ly.clamped || lz.clamped) && policy_ == OutOfRange::kZero) {
+    return 0.0;
+  }
+  double plane[2];
+  for (int dx = 0; dx < 2; ++dx) {
+    const double v00 = at(lx.index + static_cast<std::size_t>(dx), ly.index, lz.index);
+    const double v01 =
+        at(lx.index + static_cast<std::size_t>(dx), ly.index, lz.index + 1);
+    const double v10 =
+        at(lx.index + static_cast<std::size_t>(dx), ly.index + 1, lz.index);
+    const double v11 =
+        at(lx.index + static_cast<std::size_t>(dx), ly.index + 1, lz.index + 1);
+    const double v0 = v00 + lz.frac * (v01 - v00);
+    const double v1 = v10 + lz.frac * (v11 - v10);
+    plane[dx] = v0 + ly.frac * (v1 - v0);
+  }
+  return plane[0] + lx.frac * (plane[1] - plane[0]);
+}
+
+Axis make_linear_axis(double lo, double hi, std::size_t n) {
+  FINSER_REQUIRE(hi > lo, "make_linear_axis: hi <= lo");
+  FINSER_REQUIRE(n >= 2, "make_linear_axis: need n >= 2");
+  std::vector<double> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  pts.back() = hi;
+  return Axis(std::move(pts), Scale::kLinear);
+}
+
+Axis make_log_axis(double lo, double hi, std::size_t n) {
+  FINSER_REQUIRE(lo > 0.0, "make_log_axis: lo must be positive");
+  FINSER_REQUIRE(hi > lo, "make_log_axis: hi <= lo");
+  FINSER_REQUIRE(n >= 2, "make_log_axis: need n >= 2");
+  std::vector<double> pts(n);
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i] = std::exp(llo + (lhi - llo) * static_cast<double>(i) /
+                                static_cast<double>(n - 1));
+  }
+  pts.back() = hi;
+  return Axis(std::move(pts), Scale::kLog);
+}
+
+}  // namespace finser::util

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "finser/core/fit.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::core {
+namespace {
+
+env::EnergyBin make_bin(double e, double flux) {
+  env::EnergyBin b;
+  b.e_rep_mev = e;
+  b.e_lo_mev = e * 0.9;
+  b.e_hi_mev = e * 1.1;
+  b.integral_flux_per_cm2_s = flux;
+  return b;
+}
+
+PofEstimate make_pof(double tot, double seu, double mbu) {
+  PofEstimate p;
+  p.tot = tot;
+  p.seu = seu;
+  p.mbu = mbu;
+  return p;
+}
+
+TEST(Fit, SingleBinHandComputation) {
+  // POF 0.5, flux 1e-6 /cm²/s, area 1e6 nm² = 1e-8 cm².
+  // rate = 0.5 * 1e-6 * 1e-8 = 5e-15 /s = 1.8e-11 /h = 1.8e-2 FIT.
+  const std::vector<env::EnergyBin> bins = {make_bin(1.0, 1e-6)};
+  const std::vector<PofEstimate> pofs = {make_pof(0.5, 0.4, 0.1)};
+  const FitResult r = integrate_fit(bins, pofs, 1000.0, 1000.0);
+  EXPECT_NEAR(r.fit_tot, 1.8e-2, 1e-6);
+  EXPECT_NEAR(r.fit_seu, 1.44e-2, 1e-6);
+  EXPECT_NEAR(r.fit_mbu, 0.36e-2, 1e-6);
+}
+
+TEST(Fit, LinearInFluxAndArea) {
+  const std::vector<env::EnergyBin> bins1 = {make_bin(1.0, 1e-6)};
+  const std::vector<env::EnergyBin> bins2 = {make_bin(1.0, 2e-6)};
+  const std::vector<PofEstimate> pofs = {make_pof(0.1, 0.1, 0.0)};
+  const double f1 = integrate_fit(bins1, pofs, 100.0, 100.0).fit_tot;
+  const double f2 = integrate_fit(bins2, pofs, 100.0, 100.0).fit_tot;
+  EXPECT_NEAR(f2, 2.0 * f1, 1e-15);
+  const double f4 = integrate_fit(bins1, pofs, 200.0, 200.0).fit_tot;
+  EXPECT_NEAR(f4, 4.0 * f1, 1e-12);
+}
+
+TEST(Fit, SumsOverBins) {
+  const std::vector<env::EnergyBin> bins = {make_bin(1.0, 1e-6),
+                                            make_bin(2.0, 3e-6)};
+  const std::vector<PofEstimate> pofs = {make_pof(0.5, 0.5, 0.0),
+                                         make_pof(0.25, 0.25, 0.0)};
+  const FitResult r = integrate_fit(bins, pofs, 1000.0, 1000.0);
+  const FitResult a =
+      integrate_fit({bins[0]}, {pofs[0]}, 1000.0, 1000.0);
+  const FitResult b =
+      integrate_fit({bins[1]}, {pofs[1]}, 1000.0, 1000.0);
+  EXPECT_NEAR(r.fit_tot, a.fit_tot + b.fit_tot, 1e-12);
+}
+
+TEST(Fit, TotEqualsSeuPlusMbu) {
+  const std::vector<env::EnergyBin> bins = {make_bin(1.0, 1e-6),
+                                            make_bin(5.0, 1e-7)};
+  const std::vector<PofEstimate> pofs = {make_pof(0.5, 0.45, 0.05),
+                                         make_pof(0.2, 0.19, 0.01)};
+  const FitResult r = integrate_fit(bins, pofs, 500.0, 500.0);
+  EXPECT_NEAR(r.fit_tot, r.fit_seu + r.fit_mbu, 1e-12 * r.fit_tot);
+}
+
+TEST(Fit, ZeroPofGivesZeroFit) {
+  const std::vector<env::EnergyBin> bins = {make_bin(1.0, 1e-3)};
+  const std::vector<PofEstimate> pofs = {make_pof(0.0, 0.0, 0.0)};
+  const FitResult r = integrate_fit(bins, pofs, 1e4, 1e4);
+  EXPECT_DOUBLE_EQ(r.fit_tot, 0.0);
+}
+
+TEST(Fit, RejectsBadInput) {
+  const std::vector<env::EnergyBin> bins = {make_bin(1.0, 1e-6)};
+  EXPECT_THROW(integrate_fit(bins, {}, 100.0, 100.0), util::InvalidArgument);
+  const std::vector<PofEstimate> pofs = {make_pof(0.1, 0.1, 0.0)};
+  EXPECT_THROW(integrate_fit(bins, pofs, 0.0, 100.0), util::InvalidArgument);
+  EXPECT_THROW(integrate_fit(bins, pofs, 100.0, -1.0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace finser::core

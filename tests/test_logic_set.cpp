@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "finser/logic/set_chain.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::logic {
+namespace {
+
+TEST(SetChain, NoChargeNoGlitch) {
+  SetChainSimulator sim(ChainDesign{}, 0.8);
+  const auto out = sim.inject(0.0);
+  EXPECT_FALSE(out.propagated);
+  EXPECT_DOUBLE_EQ(out.width_out_s, 0.0);
+  EXPECT_LT(out.peak_excursion_v, 0.05);
+}
+
+TEST(SetChain, LargeChargePropagates) {
+  SetChainSimulator sim(ChainDesign{}, 0.8);
+  const auto out = sim.inject(0.5);
+  EXPECT_TRUE(out.propagated);
+  EXPECT_GT(out.width_out_s, 1e-13);
+  EXPECT_GT(out.peak_excursion_v, 0.4);
+}
+
+TEST(SetChain, CriticalChargeBracketsPropagation) {
+  SetChainSimulator sim(ChainDesign{}, 0.8);
+  const double qc = sim.critical_charge_fc(1.0, 5e-4);
+  ASSERT_LT(qc, 1e29);
+  EXPECT_TRUE(sim.inject(qc + 1e-3).propagated);
+  EXPECT_FALSE(sim.inject(qc - 2e-3).propagated);
+}
+
+TEST(SetChain, GlitchWidthGrowsWithCharge) {
+  SetChainSimulator sim(ChainDesign{}, 0.8);
+  const double qc = sim.critical_charge_fc();
+  double prev = 0.0;
+  for (double scale : {1.2, 2.0, 3.0, 5.0}) {
+    const auto out = sim.inject(scale * qc);
+    ASSERT_TRUE(out.propagated) << scale;
+    EXPECT_GE(out.width_out_s, prev - 1e-13) << scale;
+    prev = out.width_out_s;
+  }
+}
+
+TEST(SetChain, ElectricalMaskingRaisesQcritWithDepth) {
+  // Narrow glitches attenuate stage by stage ([15]'s electrical masking):
+  // a longer chain needs more injected charge to disturb its output.
+  double prev = 0.0;
+  for (std::size_t stages : {2u, 4u, 8u, 16u}) {
+    ChainDesign d;
+    d.stages = stages;
+    SetChainSimulator sim(d, 0.8);
+    const double qc = sim.critical_charge_fc();
+    EXPECT_GT(qc, prev) << stages;
+    prev = qc;
+  }
+}
+
+TEST(SetChain, QcritGrowsWithVdd) {
+  double prev = 0.0;
+  for (double vdd : {0.7, 0.9, 1.1}) {
+    SetChainSimulator sim(ChainDesign{}, vdd);
+    const double qc = sim.critical_charge_fc();
+    EXPECT_GT(qc, prev) << vdd;
+    prev = qc;
+  }
+}
+
+TEST(SetChain, HeavierLoadRaisesQcrit) {
+  ChainDesign light;
+  ChainDesign heavy;
+  heavy.cload_f = 4.0 * light.cload_f;
+  SetChainSimulator sim_l(light, 0.8);
+  SetChainSimulator sim_h(heavy, 0.8);
+  EXPECT_GT(sim_h.critical_charge_fc(), sim_l.critical_charge_fc());
+}
+
+TEST(SetChain, NeverPropagatesReturnsSentinel) {
+  SetChainSimulator sim(ChainDesign{}, 0.8);
+  EXPECT_GT(sim.critical_charge_fc(1e-4, 1e-5), 1e29);  // Ceiling too low.
+}
+
+TEST(SetChain, RejectsBadInputs) {
+  EXPECT_THROW(SetChainSimulator(ChainDesign{}, 0.0), util::InvalidArgument);
+  ChainDesign d;
+  d.stages = 0;
+  EXPECT_THROW(SetChainSimulator(d, 0.8), util::InvalidArgument);
+  SetChainSimulator sim(ChainDesign{}, 0.8);
+  EXPECT_THROW(sim.inject(-1.0), util::InvalidArgument);
+  EXPECT_THROW(sim.critical_charge_fc(0.0), util::InvalidArgument);
+}
+
+TEST(LatchWindow, CaptureProbability) {
+  EXPECT_DOUBLE_EQ(latch_capture_probability(0.0, 1e-9, 10e-12), 0.0);
+  // 20 ps pulse + 10 ps window over a 1 ns period: 3 %.
+  EXPECT_NEAR(latch_capture_probability(20e-12, 1e-9, 10e-12), 0.03, 1e-12);
+  // Pulse longer than the period: always captured.
+  EXPECT_DOUBLE_EQ(latch_capture_probability(2e-9, 1e-9, 10e-12), 1.0);
+  EXPECT_THROW(latch_capture_probability(1e-12, 0.0, 0.0), util::InvalidArgument);
+}
+
+TEST(LatchWindow, FasterClockCapturesMore) {
+  const double w = 5e-12;
+  EXPECT_GT(latch_capture_probability(w, 0.5e-9, 5e-12),
+            latch_capture_probability(w, 2e-9, 5e-12));
+}
+
+}  // namespace
+}  // namespace finser::logic

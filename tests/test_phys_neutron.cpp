@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finser/phys/neutron.hpp"
+#include "finser/phys/stopping.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::phys {
+namespace {
+
+const geom::Vec3 kDown{0.0, 0.0, -1.0};
+
+// ---------------------------------------------------------------------------
+// Recoil species plumbing
+// ---------------------------------------------------------------------------
+
+TEST(RecoilSpecies, MassAndChargeOrdering) {
+  EXPECT_GT(mass_mev(Species::kSiRecoil), mass_mev(Species::kMgRecoil));
+  EXPECT_GT(mass_mev(Species::kMgRecoil), mass_mev(Species::kAlpha));
+  EXPECT_DOUBLE_EQ(charge_number(Species::kSiRecoil), 14.0);
+  EXPECT_DOUBLE_EQ(charge_number(Species::kMgRecoil), 12.0);
+  EXPECT_DOUBLE_EQ(charge_number(Species::kNeutron), 0.0);
+  EXPECT_EQ(species_name(Species::kSiRecoil), "Si-recoil");
+  EXPECT_EQ(species_name(Species::kNeutron), "neutron");
+}
+
+TEST(RecoilSpecies, NeutronHasNoStoppingPower) {
+  EXPECT_DOUBLE_EQ(electronic_stopping(Species::kNeutron, 10.0, silicon()), 0.0);
+  EXPECT_DOUBLE_EQ(nuclear_stopping(Species::kNeutron, 10.0, silicon()), 0.0);
+  EXPECT_DOUBLE_EQ(effective_charge(Species::kNeutron, 10.0), 0.0);
+}
+
+TEST(RecoilSpecies, SiRecoilStoppingIsHuge) {
+  // A 1 MeV Si recoil loses energy orders of magnitude faster than a 1 MeV
+  // proton — the basis of the neutron soft-error mechanism.
+  const double s_si = total_stopping(Species::kSiRecoil, 1.0, silicon());
+  const double s_p = total_stopping(Species::kProton, 1.0, silicon());
+  EXPECT_GT(s_si, 10.0 * s_p);
+}
+
+TEST(RecoilSpecies, SiRecoilRangeIsSubMicronScale) {
+  // SRIM: ~1.2-1.5 um at 1 MeV, ~150 nm at 100 keV.
+  const double r1 = csda_range_um(Species::kSiRecoil, 1.0, silicon());
+  EXPECT_GT(r1, 0.5);
+  EXPECT_LT(r1, 3.0);
+  const double r01 = csda_range_um(Species::kSiRecoil, 0.1, silicon());
+  EXPECT_LT(r01, 0.6);
+  EXPECT_GT(r1, r01);
+}
+
+TEST(Lindhard, PartitionLimitsAndAnchor) {
+  const Material& si = silicon();
+  // Classic anchor: ~50 % ionizing at 100 keV Si-in-Si.
+  EXPECT_NEAR(lindhard_partition(Species::kSiRecoil, 0.1, si), 0.49, 0.08);
+  // Fast recoils ionize nearly fully, slow ones barely.
+  EXPECT_GT(lindhard_partition(Species::kSiRecoil, 10.0, si), 0.8);
+  EXPECT_LT(lindhard_partition(Species::kSiRecoil, 0.001, si), 0.25);
+  // Monotone in energy.
+  double prev = 0.0;
+  for (double e : {0.001, 0.01, 0.1, 1.0, 10.0}) {
+    const double q = lindhard_partition(Species::kSiRecoil, e, si);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Lindhard, LightIonsNearlyFullyIonizing) {
+  // For protons/alphas above ~1 MeV, the overall ionizing fraction is ~1.
+  EXPECT_GT(ionizing_fraction(Species::kProton, 1.0, silicon()), 0.99);
+  EXPECT_GT(ionizing_fraction(Species::kAlpha, 2.0, silicon()), 0.99);
+  // For a slow Si recoil, it is far below 1 (nuclear channel dominates).
+  EXPECT_LT(ionizing_fraction(Species::kSiRecoil, 0.05, silicon()), 0.7);
+}
+
+// ---------------------------------------------------------------------------
+// Cross sections
+// ---------------------------------------------------------------------------
+
+TEST(NeutronModel, CrossSectionMagnitudes) {
+  NeutronInteractionModel m;
+  // Broad natSi scale: a few barn elastic at MeV energies.
+  EXPECT_GT(m.elastic_barn(1.0), 1.0);
+  EXPECT_LT(m.elastic_barn(1.0), 10.0);
+  // Reaction channels closed below threshold.
+  EXPECT_DOUBLE_EQ(m.n_alpha_barn(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.n_proton_barn(2.0), 0.0);
+  // Open and sub-barn above.
+  EXPECT_GT(m.n_alpha_barn(14.0), 0.05);
+  EXPECT_LT(m.n_alpha_barn(14.0), 1.0);
+  EXPECT_GT(m.n_proton_barn(14.0), 0.05);
+  EXPECT_DOUBLE_EQ(m.total_barn(14.0), m.elastic_barn(14.0) +
+                                            m.n_alpha_barn(14.0) +
+                                            m.n_proton_barn(14.0));
+}
+
+TEST(NeutronModel, MeanFreePathIsCentimeters) {
+  NeutronInteractionModel m;
+  for (double e : {1.0, 14.0, 100.0}) {
+    const double mfp_cm = m.mean_free_path_um(e) / 1e4;
+    EXPECT_GT(mfp_cm, 2.0) << e;
+    EXPECT_LT(mfp_cm, 50.0) << e;
+  }
+}
+
+TEST(NeutronModel, RejectsBadInput) {
+  NeutronInteractionModel m;
+  stats::Rng rng(1);
+  EXPECT_THROW(m.elastic_barn(0.0), util::InvalidArgument);
+  EXPECT_THROW(m.sample(0.0, kDown, rng), util::InvalidArgument);
+  EXPECT_THROW(m.sample(1.0, geom::Vec3{0, 0, -2}, rng), util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Kinematics
+// ---------------------------------------------------------------------------
+
+TEST(NeutronKinematics, ElasticRecoilBounded) {
+  NeutronInteractionModel m;
+  stats::Rng rng(7);
+  const double e_n = 5.0;
+  const double e_max = NeutronInteractionModel::max_recoil_energy_mev(e_n);
+  EXPECT_NEAR(e_max, 0.133 * e_n, 0.01 * e_n);
+  for (int i = 0; i < 2000; ++i) {
+    const auto out = m.sample(1.0, kDown, rng);  // Only elastic open at 1 MeV.
+    ASSERT_EQ(out.channel, NeutronChannel::kElastic);
+    for (const auto& sec : out.secondaries) {
+      EXPECT_EQ(sec.species, Species::kSiRecoil);
+      EXPECT_LE(sec.energy_mev,
+                NeutronInteractionModel::max_recoil_energy_mev(1.0) * (1 + 1e-9));
+      EXPECT_GT(sec.energy_mev, 0.0);
+      EXPECT_NEAR(sec.direction.norm(), 1.0, 1e-9);
+      // Elastic recoils go forward (into the hemisphere of the neutron).
+      EXPECT_GE(sec.direction.dot(kDown), -1e-9);
+    }
+  }
+}
+
+TEST(NeutronKinematics, RecoilEnergyIsUniformOverRange) {
+  // Isotropic-CM elastic scattering => E_R uniform in [0, E_max].
+  NeutronInteractionModel m;
+  stats::Rng rng(8);
+  const double e_max = NeutronInteractionModel::max_recoil_energy_mev(2.0);
+  double acc = 0.0;
+  int n = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto out = m.sample(2.0, kDown, rng);
+    for (const auto& sec : out.secondaries) {
+      acc += sec.energy_mev;
+      ++n;
+    }
+  }
+  EXPECT_NEAR(acc / n, 0.5 * e_max, 0.02 * e_max);
+}
+
+TEST(NeutronKinematics, NAlphaEnergySharing) {
+  // At 14 MeV the (n,alpha) channel is open; verify energy split and the
+  // back-to-back emission of alpha and Mg recoil.
+  NeutronInteractionModel m;
+  stats::Rng rng(9);
+  bool seen = false;
+  for (int i = 0; i < 5000 && !seen; ++i) {
+    const auto out = m.sample(14.0, kDown, rng);
+    if (out.channel != NeutronChannel::kNAlpha) continue;
+    seen = true;
+    ASSERT_EQ(out.secondaries.size(), 2u);
+    const auto& alpha = out.secondaries[0];
+    const auto& mg = out.secondaries[1];
+    EXPECT_EQ(alpha.species, Species::kAlpha);
+    EXPECT_EQ(mg.species, Species::kMgRecoil);
+    // Available CM energy: 14 * 28/29 - 2.654 ~ 10.86 MeV.
+    const double e_cm = 14.0 * 27.977 / 28.986 + NeutronInteractionModel::kQnAlphaMeV;
+    EXPECT_NEAR(alpha.energy_mev + mg.energy_mev, e_cm, 0.05);
+    // Inverse-mass split: alpha carries ~25/29 of it.
+    EXPECT_NEAR(alpha.energy_mev, e_cm * 24.986 / (4.0026 + 24.986), 0.05);
+    // Back-to-back.
+    EXPECT_NEAR(alpha.direction.dot(mg.direction), -1.0, 1e-9);
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(NeutronKinematics, ChannelFrequenciesMatchCrossSections) {
+  NeutronInteractionModel m;
+  stats::Rng rng(10);
+  int elastic = 0, nalpha = 0, nproton = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    switch (m.sample(14.0, kDown, rng).channel) {
+      case NeutronChannel::kElastic: ++elastic; break;
+      case NeutronChannel::kNAlpha: ++nalpha; break;
+      case NeutronChannel::kNProton: ++nproton; break;
+    }
+  }
+  const double total = m.total_barn(14.0);
+  EXPECT_NEAR(elastic / static_cast<double>(n), m.elastic_barn(14.0) / total, 0.01);
+  EXPECT_NEAR(nalpha / static_cast<double>(n), m.n_alpha_barn(14.0) / total, 0.01);
+  EXPECT_NEAR(nproton / static_cast<double>(n), m.n_proton_barn(14.0) / total,
+              0.01);
+}
+
+}  // namespace
+}  // namespace finser::phys

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finser/phys/particle.hpp"
+#include "finser/phys/stopping.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::phys {
+namespace {
+
+const Material& si = silicon();
+const Material& ox = silicon_dioxide();
+
+// ---------------------------------------------------------------------------
+// Kinematics
+// ---------------------------------------------------------------------------
+
+TEST(Particle, SpeciesData) {
+  EXPECT_DOUBLE_EQ(charge_number(Species::kProton), 1.0);
+  EXPECT_DOUBLE_EQ(charge_number(Species::kAlpha), 2.0);
+  EXPECT_EQ(species_name(Species::kProton), "proton");
+  EXPECT_EQ(species_name(Species::kAlpha), "alpha");
+  EXPECT_GT(mass_mev(Species::kAlpha), mass_mev(Species::kProton));
+}
+
+TEST(Particle, BetaGammaLimits) {
+  EXPECT_DOUBLE_EQ(beta(Species::kProton, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma(Species::kProton, 0.0), 1.0);
+  // 1 GeV proton: gamma ~ 2.066, beta ~ 0.875.
+  EXPECT_NEAR(gamma(Species::kProton, 1000.0), 2.0658, 1e-3);
+  EXPECT_NEAR(beta(Species::kProton, 1000.0), 0.875, 1e-3);
+  EXPECT_THROW(gamma(Species::kProton, -1.0), util::InvalidArgument);
+}
+
+TEST(Particle, NonRelativisticSpeed) {
+  // 1 MeV proton: v = c*sqrt(2E/M) to leading order ~ 1.38e9 cm/s.
+  EXPECT_NEAR(speed_cm_per_s(Species::kProton, 1.0), 1.383e9, 2e7);
+}
+
+TEST(Particle, PassageTimePaperEq1) {
+  // Paper Sec. 3.3: alpha passage time through the fin is < 1 fs; the proton
+  // of equal velocity-scaled energy is faster.
+  const double tau_alpha = passage_time_fs(Species::kAlpha, 5.0, 10.0);
+  EXPECT_LT(tau_alpha, 1.0);
+  EXPECT_GT(tau_alpha, 0.0);
+  const double tau_p = passage_time_fs(Species::kProton, 5.0, 10.0);
+  EXPECT_LT(tau_p, tau_alpha);  // Same energy, lighter -> faster.
+  EXPECT_THROW(passage_time_fs(Species::kProton, 0.0, 10.0),
+               util::InvalidArgument);
+}
+
+TEST(Particle, MaxEnergyTransferScale) {
+  // Non-relativistic: Tmax ~ 4 (m_e/M) E.
+  const double e = 1.0;
+  const double approx =
+      4.0 * (0.511 / mass_mev(Species::kProton)) * e;
+  EXPECT_NEAR(max_energy_transfer_mev(Species::kProton, e), approx, 0.1 * approx);
+  EXPECT_GT(max_energy_transfer_mev(Species::kProton, 10.0),
+            max_energy_transfer_mev(Species::kProton, 1.0));
+}
+
+// ---------------------------------------------------------------------------
+// Electronic stopping
+// ---------------------------------------------------------------------------
+
+TEST(Stopping, ProtonPstarAnchors) {
+  // PSTAR silicon anchors (MeV·cm²/g), tolerances ~15 %: the paper's results
+  // are normalized, so the *shape* matters more than absolute values.
+  EXPECT_NEAR(electronic_stopping(Species::kProton, 0.01, si), 285.0, 45.0);
+  EXPECT_NEAR(electronic_stopping(Species::kProton, 0.08, si), 530.0, 80.0);
+  EXPECT_NEAR(electronic_stopping(Species::kProton, 0.5, si), 270.0, 40.0);
+  EXPECT_NEAR(electronic_stopping(Species::kProton, 1.0, si), 175.0, 26.0);
+  EXPECT_NEAR(electronic_stopping(Species::kProton, 10.0, si), 36.5, 6.0);
+}
+
+TEST(Stopping, ProtonBraggPeakNear80keV) {
+  double best_e = 0.0, best_s = 0.0;
+  for (double e = 0.005; e < 2.0; e *= 1.05) {
+    const double s = electronic_stopping(Species::kProton, e, si);
+    if (s > best_s) {
+      best_s = s;
+      best_e = e;
+    }
+  }
+  EXPECT_GT(best_e, 0.03);
+  EXPECT_LT(best_e, 0.15);
+  EXPECT_GT(best_s, 450.0);
+  EXPECT_LT(best_s, 620.0);
+}
+
+TEST(Stopping, AlphaBraggPeakPosition) {
+  double best_e = 0.0, best_s = 0.0;
+  for (double e = 0.05; e < 10.0; e *= 1.05) {
+    const double s = electronic_stopping(Species::kAlpha, e, si);
+    if (s > best_s) {
+      best_s = s;
+      best_e = e;
+    }
+  }
+  // ASTAR peak ~0.7 MeV at ~1.4e3; effective-charge scaling lands within ~30 %.
+  EXPECT_GT(best_e, 0.3);
+  EXPECT_LT(best_e, 1.5);
+  EXPECT_GT(best_s, 900.0);
+}
+
+TEST(Stopping, AlphaExceedsProtonAtSameEnergy) {
+  // Paper Fig. 4: alpha generates roughly an order of magnitude more charge.
+  for (double e : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_GT(electronic_stopping(Species::kAlpha, e, si),
+              3.0 * electronic_stopping(Species::kProton, e, si))
+        << "at E = " << e;
+  }
+}
+
+TEST(Stopping, HighEnergyTailDecreases) {
+  double prev = electronic_stopping(Species::kProton, 1.0, si);
+  for (double e = 2.0; e <= 1000.0; e *= 2.0) {
+    const double s = electronic_stopping(Species::kProton, e, si);
+    EXPECT_LT(s, prev) << "at E = " << e;
+    prev = s;
+  }
+}
+
+TEST(Stopping, VelocityScalingLaw) {
+  // S_alpha(E) = z_eff^2 * S_p(E * m_p/m_alpha) by construction; verify the
+  // public API is self-consistent.
+  const double e_alpha = 4.0;
+  const double e_p = e_alpha * mass_mev(Species::kProton) / mass_mev(Species::kAlpha);
+  const double zeff = effective_charge(Species::kAlpha, e_alpha);
+  EXPECT_NEAR(electronic_stopping(Species::kAlpha, e_alpha, si),
+              zeff * zeff * electronic_stopping(Species::kProton, e_p, si),
+              1e-9);
+}
+
+TEST(Stopping, EffectiveChargeLimits) {
+  EXPECT_NEAR(effective_charge(Species::kAlpha, 100.0), 2.0, 0.01);
+  EXPECT_LT(effective_charge(Species::kAlpha, 0.05), 1.2);
+  EXPECT_NEAR(effective_charge(Species::kProton, 10.0), 1.0, 0.01);
+}
+
+TEST(Stopping, ZeroEnergyIsZero) {
+  EXPECT_DOUBLE_EQ(electronic_stopping(Species::kProton, 0.0, si), 0.0);
+  EXPECT_DOUBLE_EQ(nuclear_stopping(Species::kProton, 0.0, si), 0.0);
+  EXPECT_THROW(electronic_stopping(Species::kProton, -1.0, si),
+               util::InvalidArgument);
+}
+
+TEST(Stopping, OxideTracksSiliconShape) {
+  // SiO2 and Si have nearly equal Z/A; stopping should be within ~20 %.
+  for (double e : {0.1, 1.0, 10.0}) {
+    const double r = electronic_stopping(Species::kProton, e, ox) /
+                     electronic_stopping(Species::kProton, e, si);
+    EXPECT_GT(r, 0.8) << e;
+    EXPECT_LT(r, 1.2) << e;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Nuclear stopping
+// ---------------------------------------------------------------------------
+
+TEST(Stopping, NuclearNegligibleAboveMeV) {
+  for (double e : {1.0, 10.0, 100.0}) {
+    EXPECT_LT(nuclear_stopping(Species::kProton, e, si),
+              0.01 * electronic_stopping(Species::kProton, e, si))
+        << e;
+  }
+}
+
+TEST(Stopping, NuclearGrowsTowardLowEnergy) {
+  EXPECT_GT(nuclear_stopping(Species::kProton, 0.001, si),
+            nuclear_stopping(Species::kProton, 0.1, si));
+}
+
+TEST(Stopping, TotalIsSum) {
+  const double e = 0.05;
+  EXPECT_DOUBLE_EQ(total_stopping(Species::kAlpha, e, si),
+                   electronic_stopping(Species::kAlpha, e, si) +
+                       nuclear_stopping(Species::kAlpha, e, si));
+}
+
+// ---------------------------------------------------------------------------
+// CSDA
+// ---------------------------------------------------------------------------
+
+TEST(Csda, EnergyLossBoundedByEnergy) {
+  EXPECT_LE(csda_energy_loss(Species::kProton, 0.01, 1e6, si), 0.01);
+  EXPECT_DOUBLE_EQ(csda_energy_loss(Species::kProton, 1.0, 0.0, si), 0.0);
+}
+
+TEST(Csda, ThinPathMatchesLinearStopping) {
+  // Over 10 nm, the loss should be ~ S * rho * l within a few percent.
+  const double e = 1.0;
+  const double expected =
+      linear_electronic_stopping(Species::kProton, e, si) * 10e-7;
+  EXPECT_NEAR(csda_energy_loss(Species::kProton, e, 10.0, si), expected,
+              0.05 * expected);
+}
+
+TEST(Csda, FullStopForLongPath) {
+  // A 0.5 MeV proton has ~6 um range; 100 um absorbs everything.
+  EXPECT_NEAR(csda_energy_loss(Species::kProton, 0.5, 100e3, si), 0.5, 1e-3);
+}
+
+TEST(Csda, RangeAnchors) {
+  // PSTAR CSDA ranges in Si: 1 MeV proton ~16.6 um, 5 MeV alpha ~27 um.
+  EXPECT_NEAR(csda_range_um(Species::kProton, 1.0, si), 16.6, 4.0);
+  EXPECT_NEAR(csda_range_um(Species::kAlpha, 5.0, si), 27.0, 7.0);
+}
+
+TEST(Csda, RangeMonotoneInEnergy) {
+  double prev = 0.0;
+  for (double e : {0.1, 0.3, 1.0, 3.0, 10.0}) {
+    const double r = csda_range_um(Species::kProton, e, si);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Csda, RangeBelowCutoffIsZero) {
+  EXPECT_DOUBLE_EQ(csda_range_um(Species::kProton, 1e-4, si, 1e-3), 0.0);
+  EXPECT_THROW(csda_range_um(Species::kProton, 1.0, si, 0.0),
+               util::InvalidArgument);
+}
+
+// Property sweep: stopping power is positive and finite over the full band.
+class StoppingPositive : public ::testing::TestWithParam<double> {};
+
+TEST_P(StoppingPositive, ProtonPositiveFinite) {
+  const double s = electronic_stopping(Species::kProton, GetParam(), si);
+  EXPECT_GT(s, 0.0);
+  EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST_P(StoppingPositive, AlphaPositiveFinite) {
+  const double s = electronic_stopping(Species::kAlpha, GetParam(), si);
+  EXPECT_GT(s, 0.0);
+  EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST_P(StoppingPositive, NuclearNonNegative) {
+  EXPECT_GE(nuclear_stopping(Species::kAlpha, GetParam(), si), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(EnergySweep, StoppingPositive,
+                         ::testing::Values(1e-3, 1e-2, 0.05, 0.08, 0.2, 0.5,
+                                           0.7, 1.0, 2.0, 5.0, 10.0, 50.0,
+                                           100.0, 1000.0));
+
+}  // namespace
+}  // namespace finser::phys

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finser/phys/collection.hpp"
+#include "finser/phys/fin_mc.hpp"
+#include "finser/phys/straggling.hpp"
+#include "finser/phys/stopping.hpp"
+#include "finser/phys/track.hpp"
+#include "finser/stats/summary.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::phys {
+namespace {
+
+const Material& si = silicon();
+
+// ---------------------------------------------------------------------------
+// Straggling
+// ---------------------------------------------------------------------------
+
+TEST(Straggling, BohrSigmaScalesWithSqrtLength) {
+  const double s1 = bohr_sigma_mev(Species::kProton, 1.0, 10.0, si);
+  const double s4 = bohr_sigma_mev(Species::kProton, 1.0, 40.0, si);
+  EXPECT_NEAR(s4 / s1, 2.0, 1e-9);
+  EXPECT_GT(s1, 0.0);
+}
+
+TEST(Straggling, XiScalesLinearlyWithLength) {
+  const double x1 = landau_xi_mev(Species::kProton, 5.0, 10.0, si);
+  const double x3 = landau_xi_mev(Species::kProton, 5.0, 30.0, si);
+  EXPECT_NEAR(x3 / x1, 3.0, 1e-9);
+}
+
+TEST(Straggling, KappaRegimes) {
+  // Slow proton in a fin: many soft collisions -> kappa >> 1 (Gaussian).
+  EXPECT_GT(vavilov_kappa(Species::kProton, 0.2, 26.0, si), 1.0);
+  // Fast proton: rare hard collisions -> kappa << 1 (Landau/Moyal).
+  EXPECT_LT(vavilov_kappa(Species::kProton, 50.0, 26.0, si), 0.1);
+}
+
+TEST(Straggling, NoneModelIsDeterministic) {
+  stats::Rng rng(5);
+  const double loss = sample_energy_loss(StragglingModel::kNone, rng,
+                                         Species::kProton, 1.0, 0.01, 10.0, si);
+  EXPECT_DOUBLE_EQ(loss, 0.01);
+}
+
+TEST(Straggling, SamplesClampedToAvailableEnergy) {
+  stats::Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const double loss =
+        sample_energy_loss(StragglingModel::kGaussian, rng, Species::kProton,
+                           0.002, 0.0019, 26.0, si);
+    EXPECT_GE(loss, 0.0);
+    EXPECT_LE(loss, 0.002);
+  }
+}
+
+TEST(Straggling, GaussianMeanMatches) {
+  stats::Rng rng(7);
+  stats::RunningStats s;
+  const double mean = 0.003;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(sample_energy_loss(StragglingModel::kGaussian, rng, Species::kProton,
+                             1.0, mean, 26.0, si));
+  }
+  EXPECT_NEAR(s.mean(), mean, 5.0 * s.stderr_of_mean() + 1e-5);
+}
+
+TEST(Straggling, MoyalMeanMatchesAndIsSkewed) {
+  stats::Rng rng(8);
+  stats::RunningStats s;
+  // Use the physically consistent CSDA mean so the Moyal scale xi and the
+  // mean belong to the same segment.
+  const double e = 50.0;
+  const double mean = csda_energy_loss(Species::kProton, e, 26.0, si);
+  double max_seen = 0.0;
+  for (int i = 0; i < 30000; ++i) {
+    const double x = sample_energy_loss(StragglingModel::kMoyal, rng,
+                                        Species::kProton, e, mean, 26.0, si);
+    s.add(x);
+    max_seen = std::max(max_seen, x);
+  }
+  EXPECT_NEAR(s.mean(), mean, 8.0 * s.stderr_of_mean() + 1e-6);
+  EXPECT_GT(max_seen, 2.0 * mean);  // Heavy upper tail (delta rays).
+}
+
+TEST(Straggling, AutoSelectsRegimeByKappa) {
+  // At low energy the auto model must behave like Gaussian (no heavy tail):
+  // the 99.9th percentile stays within ~4 sigma of the mean.
+  stats::Rng rng(9);
+  const double e = 0.2;
+  const double mean = csda_energy_loss(Species::kProton, e, 26.0, si);
+  const double sigma = bohr_sigma_mev(Species::kProton, e, 26.0, si);
+  double max_seen = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    max_seen = std::max(max_seen, sample_energy_loss(StragglingModel::kAuto, rng,
+                                                     Species::kProton, e, mean,
+                                                     26.0, si));
+  }
+  EXPECT_LT(max_seen, mean + 6.0 * sigma);
+}
+
+TEST(Straggling, RejectsNegativeInputs) {
+  stats::Rng rng(10);
+  EXPECT_THROW(bohr_sigma_mev(Species::kProton, 1.0, -1.0, si),
+               util::InvalidArgument);
+  EXPECT_THROW(sample_energy_loss(StragglingModel::kNone, rng, Species::kProton,
+                                  1.0, -0.1, 10.0, si),
+               util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Collection model (paper Eqs. 1-3)
+// ---------------------------------------------------------------------------
+
+TEST(Collection, TransitTimePaperEq2) {
+  // Paper: tau > 10 fs for the Fig. 3a transistor at Vdd = 1 V, with
+  // L = 20 nm and mu_e = 400 cm^2/Vs giving exactly 10 fs.
+  FinTechnology tech;
+  EXPECT_NEAR(transit_time_fs(tech, 1.0), 10.0, 1e-9);
+  EXPECT_NEAR(transit_time_fs(tech, 0.7), 10.0 / 0.7, 1e-9);
+  EXPECT_THROW(transit_time_fs(tech, 0.0), util::InvalidArgument);
+}
+
+TEST(Collection, PassageMuchShorterThanTransit) {
+  // The separation tau_p << tau justifies the instantaneous-generation
+  // assumption (paper Sec. 3.3).
+  FinTechnology tech;
+  const double tau = transit_time_fs(tech, 1.0);
+  const double tau_p = passage_time_fs(Species::kAlpha, 5.0, tech.w_fin_nm);
+  EXPECT_LT(tau_p * 5.0, tau);
+}
+
+TEST(Collection, EhPairsFromEnergy) {
+  EXPECT_NEAR(eh_pairs_from_energy(3.6e-6, si), 1.0, 1e-9);
+  EXPECT_NEAR(eh_pairs_from_energy(1.0, si), 277778.0, 1.0);
+  EXPECT_DOUBLE_EQ(eh_pairs_from_energy(1.0, silicon_dioxide()), 0.0);
+  EXPECT_THROW(eh_pairs_from_energy(-1.0, si), util::InvalidArgument);
+}
+
+TEST(Collection, ChargeFromPairs) {
+  // 1 fC = 6242 electrons; 625 pairs ≈ 0.1001 fC.
+  EXPECT_NEAR(charge_fc_from_pairs(625.0), 625.0 * 1.602176634e-4, 1e-12);
+  EXPECT_NEAR(charge_fc_from_pairs(6241.5), 1.0, 1e-3);
+  EXPECT_DOUBLE_EQ(charge_fc_from_pairs(0.0), 0.0);
+}
+
+TEST(Collection, DriftPulseChargeConsistency) {
+  FinTechnology tech;
+  const double pairs = 1000.0;
+  const CurrentPulse p = drift_pulse(pairs, tech, 0.8);
+  EXPECT_NEAR(p.width_fs, transit_time_fs(tech, 0.8), 1e-12);
+  EXPECT_NEAR(p.charge_fc(), charge_fc_from_pairs(pairs), 1e-9);
+  EXPECT_GT(p.amplitude_a, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Track transport
+// ---------------------------------------------------------------------------
+
+geom::BoxSet single_fin() {
+  geom::BoxSet set;
+  set.add({{0, 0, 0}, {10, 20, 26}});
+  return set;
+}
+
+TEST(Transport, StraightThroughDepositMatchesCsda) {
+  const geom::BoxSet fins = single_fin();
+  Transporter::Config cfg;
+  cfg.straggling = StragglingModel::kNone;
+  Transporter t(fins, cfg);
+  stats::Rng rng(1);
+
+  const geom::Ray ray{{5, 10, 50}, {0, 0, -1}};
+  const auto res = t.transport(ray, Species::kAlpha, 2.0, rng);
+  ASSERT_EQ(res.deposits.size(), 1u);
+  EXPECT_NEAR(res.deposits[0].path_nm, 26.0, 1e-9);
+  const double expected = csda_energy_loss(Species::kAlpha, 2.0, 26.0, si);
+  EXPECT_NEAR(res.deposits[0].energy_mev, expected, 0.02 * expected);
+  EXPECT_NEAR(res.deposits[0].eh_pairs,
+              eh_pairs_from_energy(res.deposits[0].energy_mev, si),
+              res.deposits[0].eh_pairs * 0.05 + 1.0);
+}
+
+TEST(Transport, EnergyConservation) {
+  const geom::BoxSet fins = single_fin();
+  Transporter::Config cfg;
+  cfg.straggling = StragglingModel::kNone;
+  Transporter t(fins, cfg);
+  stats::Rng rng(2);
+  const geom::Ray ray{{5, 10, 50}, {0, 0, -1}};
+  const double e0 = 1.0;
+  const auto res = t.transport(ray, Species::kProton, e0, rng);
+  double deposited = 0.0;
+  for (const auto& d : res.deposits) deposited += d.energy_mev;
+  EXPECT_LE(deposited + res.exit_energy_mev, e0 + 1e-12);
+}
+
+TEST(Transport, MissProducesNoDeposit) {
+  const geom::BoxSet fins = single_fin();
+  Transporter t(fins);
+  stats::Rng rng(3);
+  const auto res = t.transport({{100, 100, 50}, {0, 0, -1}}, Species::kAlpha,
+                               5.0, rng);
+  EXPECT_TRUE(res.deposits.empty());
+  EXPECT_NEAR(res.exit_energy_mev, 5.0, 1e-9);
+}
+
+TEST(Transport, LowEnergyParticleStopsInside) {
+  // A 10 keV proton has ~0.15 um range; a 500 nm silicon slab absorbs it.
+  geom::BoxSet fins;
+  fins.add({{0, 0, 0}, {100, 100, 500}});
+  Transporter::Config cfg;
+  cfg.straggling = StragglingModel::kNone;
+  Transporter t(fins, cfg);
+  stats::Rng rng(4);
+  const auto res = t.transport({{50, 50, 501}, {0, 0, -1}}, Species::kProton,
+                               0.01, rng);
+  EXPECT_TRUE(res.stopped_inside);
+  EXPECT_DOUBLE_EQ(res.exit_energy_mev, 0.0);
+  ASSERT_EQ(res.deposits.size(), 1u);
+  // Essentially the whole kinetic energy ionizes (minus the nuclear share).
+  EXPECT_GT(res.deposits[0].energy_mev, 0.008);
+}
+
+TEST(Transport, MultiFinDepositsAreOrderedAndDegraded) {
+  geom::BoxSet fins;
+  fins.add({{0, 0, 0}, {10, 20, 26}});
+  fins.add({{100, 0, 0}, {110, 20, 26}});
+  Transporter::Config cfg;
+  cfg.straggling = StragglingModel::kNone;
+  Transporter t(fins, cfg);
+  stats::Rng rng(5);
+  // Horizontal ray through both fins at mid-height, low energy so dE/dx
+  // grows as the particle slows (below the Bragg peak the loss drops).
+  const geom::Ray ray{{-5, 10, 13}, {1, 0, 0}};
+  const auto res = t.transport(ray, Species::kAlpha, 3.0, rng);
+  ASSERT_EQ(res.deposits.size(), 2u);
+  EXPECT_EQ(res.deposits[0].fin_id, 0u);
+  EXPECT_EQ(res.deposits[1].fin_id, 1u);
+  // 3 MeV alpha is above the Bragg peak: slowing increases dE/dx, so the
+  // second fin receives more than the first.
+  EXPECT_GT(res.deposits[1].energy_mev, res.deposits[0].energy_mev);
+}
+
+TEST(Transport, RejectsBadInput) {
+  const geom::BoxSet fins = single_fin();
+  Transporter t(fins);
+  stats::Rng rng(6);
+  EXPECT_THROW(t.transport({{0, 0, 10}, {0, 0, -2}}, Species::kAlpha, 5.0, rng),
+               util::InvalidArgument);  // Non-unit direction.
+  EXPECT_THROW(t.transport({{0, 0, 10}, {0, 0, -1}}, Species::kAlpha, 0.0, rng),
+               util::InvalidArgument);
+  geom::BoxSet empty;
+  EXPECT_THROW(Transporter bad(empty), util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Single-fin strike MC (paper Fig. 4 machinery)
+// ---------------------------------------------------------------------------
+
+TEST(FinMc, MeanChordTheorem) {
+  // Isotropic chords through a convex body have mean length 4V/S.
+  const geom::Aabb fin{{0, 0, 0}, {10, 20, 26}};
+  FinStrikeMc::Config cfg;
+  cfg.samples = 40000;
+  cfg.straggling = StragglingModel::kNone;
+  FinStrikeMc mc(fin, cfg);
+  stats::Rng rng(7);
+  const auto stats = mc.run(Species::kAlpha, 5.0, rng);
+  const double v = 10.0 * 20.0 * 26.0;
+  const double s = 2.0 * (10 * 20 + 10 * 26 + 20 * 26);
+  EXPECT_NEAR(stats.mean_chord_nm, 4.0 * v / s, 0.15);
+  EXPECT_GT(stats.hit_fraction, 0.3);
+  EXPECT_LT(stats.hit_fraction, 0.8);
+}
+
+TEST(FinMc, AlphaYieldsMorePairsThanProton) {
+  const geom::Aabb fin{{0, 0, 0}, {10, 20, 26}};
+  FinStrikeMc::Config cfg;
+  cfg.samples = 8000;
+  FinStrikeMc mc(fin, cfg);
+  stats::Rng rng(8);
+  for (double e : {0.5, 1.0, 5.0}) {
+    const auto a = mc.run(Species::kAlpha, e, rng);
+    const auto p = mc.run(Species::kProton, e, rng);
+    EXPECT_GT(a.mean_eh_pairs, 2.0 * p.mean_eh_pairs) << e;
+  }
+}
+
+TEST(FinMc, PairsDecreaseAboveBraggPeak) {
+  const geom::Aabb fin{{0, 0, 0}, {10, 20, 26}};
+  FinStrikeMc::Config cfg;
+  cfg.samples = 8000;
+  FinStrikeMc mc(fin, cfg);
+  stats::Rng rng(9);
+  const auto lo = mc.run(Species::kAlpha, 1.0, rng);
+  const auto hi = mc.run(Species::kAlpha, 20.0, rng);
+  EXPECT_GT(lo.mean_eh_pairs, 2.0 * hi.mean_eh_pairs);
+}
+
+TEST(FinMc, LutCoversRangeAndClamps) {
+  const geom::Aabb fin{{0, 0, 0}, {10, 20, 26}};
+  FinStrikeMc::Config cfg;
+  cfg.samples = 2000;
+  FinStrikeMc mc(fin, cfg);
+  stats::Rng rng(10);
+  const auto lut = mc.build_lut(Species::kProton, 0.1, 100.0, 8, rng);
+  EXPECT_GT(lut(0.1), 0.0);
+  EXPECT_GT(lut(0.05), 0.0);   // Clamped below.
+  EXPECT_GT(lut(200.0), 0.0);  // Clamped above.
+  EXPECT_GT(lut(0.15), lut(50.0));
+}
+
+TEST(FinMc, RejectsBadConfig) {
+  const geom::Aabb fin{{0, 0, 0}, {10, 20, 26}};
+  FinStrikeMc::Config cfg;
+  cfg.samples = 0;
+  EXPECT_THROW(FinStrikeMc bad(fin, cfg), util::InvalidArgument);
+  FinStrikeMc mc(fin);
+  stats::Rng rng(11);
+  EXPECT_THROW(mc.run(Species::kAlpha, 0.0, rng), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace finser::phys

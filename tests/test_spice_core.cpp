@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finser/spice/circuit.hpp"
+#include "finser/spice/devices.hpp"
+#include "finser/spice/finfet.hpp"
+#include "finser/spice/mna.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::spice {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mna / LU solver
+// ---------------------------------------------------------------------------
+
+TEST(Mna, Solves2x2System) {
+  Mna m(2);
+  // [2 1; 1 3] x = [5; 10] -> x = [1, 3].
+  m.add(0, 0, 2.0);
+  m.add(0, 1, 1.0);
+  m.add(1, 0, 1.0);
+  m.add(1, 1, 3.0);
+  m.add_rhs(0, 5.0);
+  m.add_rhs(1, 10.0);
+  const auto x = m.solve();
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Mna, PivotingHandlesZeroDiagonal) {
+  Mna m(2);
+  // [0 1; 1 0] x = [2; 3] -> x = [3, 2]: requires a row swap.
+  m.add(0, 1, 1.0);
+  m.add(1, 0, 1.0);
+  m.add_rhs(0, 2.0);
+  m.add_rhs(1, 3.0);
+  const auto x = m.solve();
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Mna, SingularThrows) {
+  Mna m(2);
+  m.add(0, 0, 1.0);
+  m.add(0, 1, 1.0);
+  m.add(1, 0, 1.0);
+  m.add(1, 1, 1.0);
+  EXPECT_THROW(m.solve(), util::NumericalError);
+}
+
+TEST(Mna, GroundStampsIgnored) {
+  Mna m(1);
+  m.add(kGround, kGround, 5.0);
+  m.add(0, kGround, -1.0);
+  m.add(kGround, 0, -1.0);
+  m.add(0, 0, 2.0);
+  m.add_rhs(kGround, 9.0);
+  m.add_rhs(0, 4.0);
+  const auto x = m.solve();
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+}
+
+TEST(Mna, ClearResetsSystem) {
+  Mna m(1);
+  m.add(0, 0, 1.0);
+  m.add_rhs(0, 7.0);
+  EXPECT_NEAR(m.solve()[0], 7.0, 1e-12);
+  m.clear();
+  m.add(0, 0, 2.0);
+  m.add_rhs(0, 8.0);
+  EXPECT_NEAR(m.solve()[0], 4.0, 1e-12);
+}
+
+TEST(Mna, LargerRandomishSystemRoundTrip) {
+  // Build A from a known x, verify solve(A, A*x) == x.
+  const std::size_t n = 8;
+  Mna m(n);
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = std::sin(1.7 * (double)i) + 2.0;
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double a = (i == j) ? 10.0 + (double)i : std::cos((double)(i * 3 + j));
+      m.add(i, j, a);
+      b[i] += a * x_true[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) m.add_rhs(i, b[i]);
+  const auto x = m.solve();
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit plumbing
+// ---------------------------------------------------------------------------
+
+TEST(Circuit, NodeNamespace) {
+  Circuit c;
+  EXPECT_EQ(c.node("0"), kGround);
+  EXPECT_EQ(c.node("gnd"), kGround);
+  const auto a = c.node("a");
+  EXPECT_EQ(c.node("a"), a);
+  const auto b = c.node("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(c.node_count(), 2u);
+  EXPECT_EQ(c.node_name(a), "a");
+  EXPECT_EQ(c.node_name(kGround), "gnd");
+  EXPECT_EQ(c.find_node("b"), b);
+  EXPECT_THROW(c.find_node("missing"), util::InvalidArgument);
+  EXPECT_THROW(c.node(""), util::InvalidArgument);
+}
+
+TEST(Circuit, BranchAllocation) {
+  Circuit c;
+  c.node("n1");
+  c.add<VSource>(c, c.node("n1"), kGround, 1.0);
+  c.add<VSource>(c, c.node("n2"), kGround, 2.0);
+  EXPECT_EQ(c.branch_count(), 2u);
+  EXPECT_EQ(c.unknown_count(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// PulseShape
+// ---------------------------------------------------------------------------
+
+TEST(PulseShape, RectangularValueAndCharge) {
+  const auto p = PulseShape::rectangular_for_charge(1e-15, 1e-14, 2e-12);
+  EXPECT_DOUBLE_EQ(p.value(2e-12), 0.0);          // Edge exclusive at start.
+  EXPECT_DOUBLE_EQ(p.value(2.005e-12), 0.1);      // 1 fC / 10 fs = 0.1 A.
+  EXPECT_DOUBLE_EQ(p.value(2.02e-12), 0.0);
+  EXPECT_NEAR(p.charge_c(), 1e-15, 1e-27);
+}
+
+TEST(PulseShape, TriangularValueAndCharge) {
+  const auto p = PulseShape::triangular_for_charge(1e-15, 1e-14, 0.0);
+  EXPECT_NEAR(p.charge_c(), 1e-15, 1e-27);
+  EXPECT_NEAR(p.value(0.5e-14), p.amplitude_a, 1e-18);  // Peak at midpoint.
+  EXPECT_NEAR(p.value(0.25e-14), 0.5 * p.amplitude_a, 1e-12 * p.amplitude_a);
+  // Triangle peak is twice the equal-charge rectangle height.
+  const auto r = PulseShape::rectangular_for_charge(1e-15, 1e-14, 0.0);
+  EXPECT_NEAR(p.amplitude_a, 2.0 * r.amplitude_a, 1e-12 * p.amplitude_a);
+}
+
+TEST(PulseShape, ZeroWidthRejected) {
+  EXPECT_THROW(PulseShape::rectangular_for_charge(1e-15, 0.0), util::InvalidArgument);
+}
+
+TEST(PulseShape, BreakpointsReported) {
+  Circuit c;
+  const auto n = c.node("n");
+  auto& src = c.add<PulseISource>(
+      n, kGround, PulseShape::triangular_for_charge(1e-15, 1e-14, 1e-12));
+  std::vector<double> bp;
+  src.add_breakpoints(1e-9, bp);
+  ASSERT_EQ(bp.size(), 3u);  // Start, mid, end.
+  EXPECT_DOUBLE_EQ(bp[0], 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// FinFET model
+// ---------------------------------------------------------------------------
+
+TEST(FinFet, CutoffCurrentTiny) {
+  const auto op = evaluate_finfet(default_nfet(), 0.8, 0.0, 0.0, 0.0, 1.0);
+  EXPECT_LT(op.ids, 1e-7);  // Well below on-current.
+  EXPECT_GT(op.ids, 0.0);   // Finite subthreshold leakage.
+}
+
+TEST(FinFet, OnCurrentIn14nmClass) {
+  const auto op = evaluate_finfet(default_nfet(), 0.8, 0.8, 0.0, 0.0, 1.0);
+  EXPECT_GT(op.ids, 20e-6);
+  EXPECT_LT(op.ids, 200e-6);
+}
+
+TEST(FinFet, SubthresholdSlopeReasonable) {
+  // I(vg) ratio per 100 mV below threshold should be ~ a decade per 72 mV.
+  const auto lo = evaluate_finfet(default_nfet(), 0.8, 0.05, 0.0, 0.0, 1.0);
+  const auto hi = evaluate_finfet(default_nfet(), 0.8, 0.15, 0.0, 0.0, 1.0);
+  const double decades = std::log10(hi.ids / lo.ids);
+  EXPECT_GT(decades, 1.0);  // Slope steeper than 100 mV/dec.
+  EXPECT_LT(decades, 2.0);  // But not below the 60 mV/dec physical limit - n.
+}
+
+TEST(FinFet, ZeroVdsZeroCurrent) {
+  const auto op = evaluate_finfet(default_nfet(), 0.0, 0.8, 0.0, 0.0, 1.0);
+  EXPECT_NEAR(op.ids, 0.0, 1e-15);
+  EXPECT_GT(op.gds, 0.0);  // Linear-region conductance.
+}
+
+TEST(FinFet, MonotoneInVgsAndVds) {
+  double prev = 0.0;
+  for (double vg = 0.0; vg <= 0.8; vg += 0.05) {
+    const auto op = evaluate_finfet(default_nfet(), 0.8, vg, 0.0, 0.0, 1.0);
+    EXPECT_GE(op.ids, prev);
+    EXPECT_GE(op.gm, 0.0);
+    prev = op.ids;
+  }
+  prev = 0.0;
+  for (double vd = 0.0; vd <= 0.8; vd += 0.05) {
+    const auto op = evaluate_finfet(default_nfet(), vd, 0.8, 0.0, 0.0, 1.0);
+    EXPECT_GE(op.ids, prev - 1e-15);
+    EXPECT_GE(op.gds, 0.0);
+    prev = op.ids;
+  }
+}
+
+TEST(FinFet, SymmetryUnderSourceDrainSwap) {
+  // ids(d, g, s) == -ids(s, g, d) for a symmetric device.
+  const auto fwd = evaluate_finfet(default_nfet(), 0.5, 0.8, 0.1, 0.0, 1.0);
+  const auto rev = evaluate_finfet(default_nfet(), 0.1, 0.8, 0.5, 0.0, 1.0);
+  EXPECT_NEAR(fwd.ids, -rev.ids, 1e-12 + 1e-9 * std::abs(fwd.ids));
+}
+
+TEST(FinFet, DerivativesMatchFiniteDifferences) {
+  const double h = 1e-6;
+  for (double vd : {0.05, 0.4, 0.8, -0.3}) {
+    for (double vg : {0.1, 0.3, 0.6}) {
+      const auto op = evaluate_finfet(default_nfet(), vd, vg, 0.0, 0.0, 1.0);
+      const auto gp = evaluate_finfet(default_nfet(), vd, vg + h, 0.0, 0.0, 1.0);
+      const auto gm_fd = (gp.ids - op.ids) / h;
+      EXPECT_NEAR(op.gm, gm_fd, 1e-3 * std::abs(gm_fd) + 1e-9)
+          << "vd=" << vd << " vg=" << vg;
+      const auto dp = evaluate_finfet(default_nfet(), vd + h, vg, 0.0, 0.0, 1.0);
+      const auto gds_fd = (dp.ids - op.ids) / h;
+      EXPECT_NEAR(op.gds, gds_fd, 1e-3 * std::abs(gds_fd) + 1e-9)
+          << "vd=" << vd << " vg=" << vg;
+    }
+  }
+}
+
+TEST(FinFet, PmosMirrorsNmos) {
+  // A PFET conducts when its gate is low relative to source.
+  const auto off = evaluate_finfet(default_pfet(), 0.0, 0.8, 0.8, 0.0, 1.0);
+  const auto on = evaluate_finfet(default_pfet(), 0.0, 0.0, 0.8, 0.0, 1.0);
+  EXPECT_LT(std::abs(off.ids), 1e-7);
+  EXPECT_LT(on.ids, -20e-6);  // Current flows out of the drain (negative).
+  EXPECT_GT(std::abs(on.ids), std::abs(off.ids) * 100.0);
+}
+
+TEST(FinFet, PmosDerivativesMatchFiniteDifferences) {
+  const double h = 1e-6;
+  const auto op = evaluate_finfet(default_pfet(), 0.2, 0.1, 0.8, 0.0, 1.0);
+  const auto gp = evaluate_finfet(default_pfet(), 0.2, 0.1 + h, 0.8, 0.0, 1.0);
+  EXPECT_NEAR(op.gm, (gp.ids - op.ids) / h, 1e-3 * std::abs(op.gm) + 1e-9);
+  const auto dp = evaluate_finfet(default_pfet(), 0.2 + h, 0.1, 0.8, 0.0, 1.0);
+  EXPECT_NEAR(op.gds, (dp.ids - op.ids) / h, 1e-3 * std::abs(op.gds) + 1e-9);
+}
+
+TEST(FinFet, DeltaVtShiftsThreshold) {
+  const auto weak = evaluate_finfet(default_nfet(), 0.8, 0.3, 0.0, 0.05, 1.0);
+  const auto nom = evaluate_finfet(default_nfet(), 0.8, 0.3, 0.0, 0.0, 1.0);
+  const auto strong = evaluate_finfet(default_nfet(), 0.8, 0.3, 0.0, -0.05, 1.0);
+  EXPECT_LT(weak.ids, nom.ids);
+  EXPECT_GT(strong.ids, nom.ids);
+}
+
+TEST(FinFet, FinCountScalesCurrent) {
+  const auto one = evaluate_finfet(default_nfet(), 0.8, 0.8, 0.0, 0.0, 1.0);
+  const auto three = evaluate_finfet(default_nfet(), 0.8, 0.8, 0.0, 0.0, 3.0);
+  EXPECT_NEAR(three.ids, 3.0 * one.ids, 1e-9);
+  EXPECT_THROW(evaluate_finfet(default_nfet(), 0.8, 0.8, 0.0, 0.0, 0.0),
+               util::InvalidArgument);
+}
+
+TEST(FinFet, TemperatureScaling) {
+  // Hot device: lower |Vt| (more subthreshold leakage) but lower mobility
+  // (less on-current) — the classic crossover around the ZTC point.
+  const auto cold_off = evaluate_finfet(default_nfet(), 0.8, 0.0, 0.0, 0.0, 1.0,
+                                        233.15);
+  const auto hot_off = evaluate_finfet(default_nfet(), 0.8, 0.0, 0.0, 0.0, 1.0,
+                                       398.15);
+  EXPECT_GT(hot_off.ids, 10.0 * cold_off.ids);  // Leakage explodes with T.
+
+  const auto cold_on = evaluate_finfet(default_nfet(), 0.8, 0.8, 0.0, 0.0, 1.0,
+                                       233.15);
+  const auto hot_on = evaluate_finfet(default_nfet(), 0.8, 0.8, 0.0, 0.0, 1.0,
+                                      398.15);
+  EXPECT_LT(hot_on.ids, cold_on.ids);  // Mobility loss wins at strong inversion.
+
+  // Default argument == 300 K exactly.
+  const auto implicit = evaluate_finfet(default_nfet(), 0.8, 0.4, 0.0, 0.0, 1.0);
+  const auto explicit300 =
+      evaluate_finfet(default_nfet(), 0.8, 0.4, 0.0, 0.0, 1.0, 300.0);
+  EXPECT_DOUBLE_EQ(implicit.ids, explicit300.ids);
+  EXPECT_THROW(evaluate_finfet(default_nfet(), 0.8, 0.4, 0.0, 0.0, 1.0, 0.0),
+               util::InvalidArgument);
+}
+
+TEST(FinFet, TemperatureDerivativesStayConsistent) {
+  const double h = 1e-6;
+  const auto op = evaluate_finfet(default_nfet(), 0.6, 0.5, 0.0, 0.0, 1.0, 358.15);
+  const auto gp =
+      evaluate_finfet(default_nfet(), 0.6, 0.5 + h, 0.0, 0.0, 1.0, 358.15);
+  EXPECT_NEAR(op.gm, (gp.ids - op.ids) / h, 1e-3 * std::abs(op.gm) + 1e-9);
+}
+
+TEST(FinFet, DiblLowersThresholdAtHighVds) {
+  // Same vgs, higher vds -> more current than CLM alone would give.
+  const auto lo = evaluate_finfet(default_nfet(), 0.4, 0.3, 0.0, 0.0, 1.0);
+  const auto hi = evaluate_finfet(default_nfet(), 0.8, 0.3, 0.0, 0.0, 1.0);
+  EXPECT_GT(hi.ids, lo.ids * 1.1);
+}
+
+}  // namespace
+}  // namespace finser::spice

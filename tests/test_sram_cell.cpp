@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finser/sram/cell.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::sram {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hold state
+// ---------------------------------------------------------------------------
+
+TEST(SramCell, HoldStateIsFullSwing) {
+  for (double vdd : {0.7, 0.9, 1.1}) {
+    StrikeSimulator sim(CellDesign{}, vdd);
+    const auto hs = sim.hold_state();
+    EXPECT_NEAR(hs[0], vdd, 0.02) << vdd;   // Q at the rail.
+    EXPECT_NEAR(hs[1], 0.0, 0.02) << vdd;   // QB at ground.
+  }
+}
+
+TEST(SramCell, HoldStateSurvivesThresholdVariation) {
+  StrikeSimulator sim(CellDesign{}, 0.8);
+  DeltaVt dvt{0.05, -0.05, 0.03, -0.04, 0.05, -0.02};
+  const auto hs = sim.hold_state(dvt);
+  EXPECT_GT(hs[0], 0.7);
+  EXPECT_LT(hs[1], 0.1);
+}
+
+TEST(SramCell, NoStrikeNoFlip) {
+  StrikeSimulator sim(CellDesign{}, 0.8);
+  const auto out = sim.simulate(StrikeCharges{});
+  EXPECT_FALSE(out.flipped);
+  EXPECT_NEAR(out.final_q_v, 0.8, 0.02);
+  EXPECT_NEAR(out.final_qb_v, 0.0, 0.02);
+}
+
+TEST(SramCell, RejectsNonPositiveVdd) {
+  EXPECT_THROW(StrikeSimulator(CellDesign{}, 0.0), util::InvalidArgument);
+  EXPECT_THROW(StrikeSimulator(CellDesign{}, -0.8), util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Strike response
+// ---------------------------------------------------------------------------
+
+TEST(SramCell, LargeChargeFlipsThroughEachCurrent) {
+  StrikeSimulator sim(CellDesign{}, 0.8);
+  EXPECT_TRUE(sim.simulate(StrikeCharges{1.0, 0.0, 0.0}).flipped);
+  EXPECT_TRUE(sim.simulate(StrikeCharges{0.0, 1.0, 0.0}).flipped);
+  EXPECT_TRUE(sim.simulate(StrikeCharges{0.0, 0.0, 1.0}).flipped);
+}
+
+TEST(SramCell, TinyChargeDoesNotFlip) {
+  StrikeSimulator sim(CellDesign{}, 0.8);
+  EXPECT_FALSE(sim.simulate(StrikeCharges{0.001, 0.0, 0.0}).flipped);
+  EXPECT_FALSE(sim.simulate(StrikeCharges{0.0, 0.001, 0.0}).flipped);
+  EXPECT_FALSE(sim.simulate(StrikeCharges{0.0, 0.0, 0.001}).flipped);
+}
+
+TEST(SramCell, FlippedStateIsComplementary) {
+  StrikeSimulator sim(CellDesign{}, 0.8);
+  const auto out = sim.simulate(StrikeCharges{1.0, 0.0, 0.0});
+  ASSERT_TRUE(out.flipped);
+  EXPECT_LT(out.final_q_v, 0.05);
+  EXPECT_GT(out.final_qb_v, 0.75);
+}
+
+TEST(SramCell, CombinedCurrentsAreAtLeastAsEffective) {
+  StrikeSimulator sim(CellDesign{}, 0.8);
+  const double q = 0.2;
+  EXPECT_TRUE(sim.simulate(StrikeCharges{q, 0.0, 0.0}).flipped);
+  EXPECT_TRUE(sim.simulate(StrikeCharges{q, q, 0.0}).flipped);
+  EXPECT_TRUE(sim.simulate(StrikeCharges{q, q, q}).flipped);
+}
+
+TEST(SramCell, WeakerCellFlipsMoreEasily) {
+  StrikeSimulator sim(CellDesign{}, 0.8);
+  // Find a charge that does NOT flip the nominal cell.
+  double q = 0.2;
+  while (sim.simulate(StrikeCharges{q, 0.0, 0.0}).flipped) q *= 0.8;
+  // Strongly weaken the restoring devices.
+  DeltaVt weak{};
+  weak[static_cast<std::size_t>(Role::kPuL)] = 0.25;
+  weak[static_cast<std::size_t>(Role::kPdR)] = 0.25;
+  // Somewhere in the window above the nominal non-flip charge, the weak
+  // cell must flip while the nominal one does not.
+  bool separated = false;
+  for (double scale = 1.0; scale <= 1.35; scale += 0.05) {
+    const StrikeCharges c{q * scale, 0.0, 0.0};
+    if (sim.simulate(c, weak).flipped && !sim.simulate(c).flipped) {
+      separated = true;
+    }
+  }
+  EXPECT_TRUE(separated);
+}
+
+TEST(SramCell, PulseShapeInsensitivityPaperClaim) {
+  // Paper Sec. 4: POF depends on delivered charge, not pulse shape/width.
+  StrikeSimulator sim(CellDesign{}, 0.8);
+  for (double q : {0.05, 0.1, 0.2, 0.4}) {
+    const bool rect = sim.simulate(StrikeCharges{q, 0.0, 0.0}, DeltaVt{},
+                                   spice::PulseShape::Kind::kRectangular)
+                          .flipped;
+    const bool tri = sim.simulate(StrikeCharges{q, 0.0, 0.0}, DeltaVt{},
+                                  spice::PulseShape::Kind::kTriangular)
+                         .flipped;
+    EXPECT_EQ(rect, tri) << "q = " << q;
+  }
+}
+
+// Monotonicity sweep: once the cell flips at q, it flips at every q' > q.
+class StrikeMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(StrikeMonotone, FlipIsMonotoneInCharge) {
+  StrikeSimulator sim(CellDesign{}, GetParam());
+  bool flipped_before = false;
+  for (double q = 0.02; q <= 0.42; q += 0.04) {
+    const bool f = sim.simulate(StrikeCharges{q, 0.0, 0.0}).flipped;
+    if (flipped_before) {
+      EXPECT_TRUE(f) << "q = " << q << " vdd = " << GetParam();
+    }
+    flipped_before = flipped_before || f;
+  }
+  EXPECT_TRUE(flipped_before);  // 0.42 fC must flip at any studied Vdd.
+}
+
+INSTANTIATE_TEST_SUITE_P(VddSweep, StrikeMonotone,
+                         ::testing::Values(0.7, 0.8, 0.9, 1.0, 1.1));
+
+TEST(SramCell, HotterCellFlipsMoreEasily) {
+  // Temperature extension: at high junction temperature the restoring drive
+  // weakens (mobility) and |Vt| drops, so the critical charge falls.
+  CellDesign cold;
+  cold.temp_k = 233.15;
+  CellDesign hot;
+  hot.temp_k = 398.15;
+  auto qcrit = [](const CellDesign& d) {
+    StrikeSimulator sim(d, 0.8);
+    double lo = 0.0, hi = 0.5;
+    for (int i = 0; i < 18; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      (sim.simulate(StrikeCharges{mid, 0.0, 0.0}).flipped ? hi : lo) = mid;
+    }
+    return hi;
+  };
+  EXPECT_LT(qcrit(hot), qcrit(cold));
+}
+
+// Critical charge rises with Vdd (paper conclusion 1: SER higher at low Vdd).
+TEST(SramCell, HigherVddNeedsMoreCharge) {
+  double prev_flip_q = 0.0;
+  for (double vdd : {0.7, 0.9, 1.1}) {
+    StrikeSimulator sim(CellDesign{}, vdd);
+    double lo = 0.0, hi = 0.5;
+    for (int i = 0; i < 20; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (sim.simulate(StrikeCharges{mid, 0.0, 0.0}).flipped) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    EXPECT_GT(hi, prev_flip_q) << vdd;
+    prev_flip_q = hi;
+  }
+}
+
+}  // namespace
+}  // namespace finser::sram

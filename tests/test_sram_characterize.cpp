@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "finser/sram/characterize.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::sram {
+namespace {
+
+/// Small, fast configuration shared by the characterization tests.
+CharacterizerConfig fast_config() {
+  CharacterizerConfig cfg;
+  cfg.vdds = {0.8};
+  cfg.pv_samples_single = 24;
+  cfg.pair_grid_points = 6;
+  cfg.triple_grid_points = 6;
+  cfg.pv_samples_grid = 10;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// make_charge_axis
+// ---------------------------------------------------------------------------
+
+TEST(ChargeAxis, StartsAtZeroEndsAtMax) {
+  const auto axis = make_charge_axis(0.08, 0.12, 9, 0.4);
+  EXPECT_DOUBLE_EQ(axis.front(), 0.0);
+  EXPECT_DOUBLE_EQ(axis.back(), 0.4);
+  EXPECT_EQ(axis.size(), 9u);
+}
+
+TEST(ChargeAxis, DensifiesAroundCriticalBand) {
+  const auto axis = make_charge_axis(0.08, 0.12, 10, 0.4);
+  // Count points in [0.4*0.08, 1.7*0.12]: the dense band holds all interior
+  // points by construction.
+  int in_band = 0;
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    if (axis[i] >= 0.03 && axis[i] <= 0.21) ++in_band;
+  }
+  EXPECT_GE(in_band, 7);
+}
+
+TEST(ChargeAxis, FallsBackWhenCellNeverFlips) {
+  const auto axis = make_charge_axis(0.0, 0.0, 8, 0.4);
+  EXPECT_DOUBLE_EQ(axis.front(), 0.0);
+  EXPECT_DOUBLE_EQ(axis.back(), 0.4);
+  // Strictly increasing.
+  for (std::size_t i = 1; i < axis.size(); ++i) EXPECT_GT(axis[i], axis[i - 1]);
+}
+
+TEST(ChargeAxis, RejectsTooFewPoints) {
+  EXPECT_THROW(make_charge_axis(0.1, 0.1, 5, 0.4), util::InvalidArgument);
+  EXPECT_THROW(make_charge_axis(0.1, 0.1, 8, 0.0), util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Bisection
+// ---------------------------------------------------------------------------
+
+TEST(Bisect, FindsThresholdWithinTolerance) {
+  StrikeSimulator sim(CellDesign{}, 0.8);
+  const double qc = bisect_critical_scale(sim, StrikeCharges{1, 0, 0}, DeltaVt{},
+                                          0.4, 1e-3,
+                                          spice::PulseShape::Kind::kRectangular);
+  ASSERT_LT(qc, SingleCdf::kNeverFlips);
+  // Verify the bracket: qc flips, qc - 2 tol does not.
+  EXPECT_TRUE(sim.simulate(StrikeCharges{qc, 0, 0}).flipped);
+  EXPECT_FALSE(sim.simulate(StrikeCharges{qc - 2e-3, 0, 0}).flipped);
+}
+
+TEST(Bisect, ReturnsSentinelWhenNoFlipPossible) {
+  StrikeSimulator sim(CellDesign{}, 0.8);
+  const double qc = bisect_critical_scale(sim, StrikeCharges{1, 0, 0}, DeltaVt{},
+                                          0.01, 1e-3,  // Ceiling below Qcrit.
+                                          spice::PulseShape::Kind::kRectangular);
+  EXPECT_EQ(qc, SingleCdf::kNeverFlips);
+}
+
+TEST(Bisect, RejectsBadBracket) {
+  StrikeSimulator sim(CellDesign{}, 0.8);
+  EXPECT_THROW(bisect_critical_scale(sim, StrikeCharges{1, 0, 0}, DeltaVt{}, 0.0,
+                                     1e-3, spice::PulseShape::Kind::kRectangular),
+               util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Full characterization at one voltage
+// ---------------------------------------------------------------------------
+
+class CharacterizeFixture : public ::testing::Test {
+ protected:
+  static const PofTable& table() {
+    static const PofTable t = [] {
+      CellCharacterizer ch(CellDesign{}, fast_config());
+      stats::Rng rng(fast_config().seed);
+      return ch.characterize_at(0.8, rng);
+    }();
+    return t;
+  }
+};
+
+TEST_F(CharacterizeFixture, SinglesHaveConsistentStatistics) {
+  for (const auto& s : table().singles) {
+    ASSERT_GT(s.total_samples, 0u);
+    EXPECT_EQ(s.total_samples, 24u);
+    EXPECT_GT(s.qcrit_samples_fc.size(), 20u);  // Nearly all flip below 0.4 fC.
+    EXPECT_LT(s.nominal_qcrit_fc, 0.4);
+    EXPECT_GT(s.nominal_qcrit_fc, 0.01);
+    // Mean within a few sigma of nominal.
+    EXPECT_NEAR(s.mean_qcrit_fc(), s.nominal_qcrit_fc,
+                4.0 * s.stddev_qcrit_fc() + 1e-3);
+    // Samples sorted.
+    for (std::size_t i = 1; i < s.qcrit_samples_fc.size(); ++i) {
+      EXPECT_LE(s.qcrit_samples_fc[i - 1], s.qcrit_samples_fc[i]);
+    }
+  }
+}
+
+TEST_F(CharacterizeFixture, SingleCdfIsMonotoneFromZeroToOne) {
+  const auto& s = table().singles[0];
+  double prev = -1.0;
+  for (double q = 0.0; q <= 0.45; q += 0.01) {
+    const double p = s.pof(q);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(s.pof(0.0), 0.0);
+  EXPECT_GT(s.pof(0.4), 0.9);
+}
+
+TEST_F(CharacterizeFixture, NominalPofIsStep) {
+  const auto& s = table().singles[1];
+  EXPECT_DOUBLE_EQ(s.pof_nominal(s.nominal_qcrit_fc - 1e-6), 0.0);
+  EXPECT_DOUBLE_EQ(s.pof_nominal(s.nominal_qcrit_fc + 1e-6), 1.0);
+}
+
+TEST_F(CharacterizeFixture, PairGridsBracketZeroAndOne) {
+  for (const auto& g : table().pairs_nominal) {
+    EXPECT_DOUBLE_EQ(g(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(g(0.4, 0.4), 1.0);
+  }
+  for (const auto& g : table().pairs_pv) {
+    EXPECT_LT(g(0.0, 0.0), 0.05);
+    EXPECT_GT(g(0.4, 0.4), 0.95);
+  }
+}
+
+TEST_F(CharacterizeFixture, TripleGridBracketsZeroAndOne) {
+  EXPECT_DOUBLE_EQ(table().triple_nominal(0.0, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(table().triple_nominal(0.4, 0.4, 0.4), 1.0);
+  EXPECT_LT(table().triple_pv(0.0, 0.0, 0.0), 0.05);
+  EXPECT_GT(table().triple_pv(0.4, 0.4, 0.4), 0.95);
+}
+
+TEST_F(CharacterizeFixture, PofDispatchByChargePattern) {
+  const PofTable& t = table();
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{}, true), 0.0);
+  // A single huge charge uses the matching CDF.
+  EXPECT_GT(t.pof(StrikeCharges{0.4, 0.0, 0.0}, true), 0.9);
+  EXPECT_GT(t.pof(StrikeCharges{0.0, 0.4, 0.0}, true), 0.9);
+  EXPECT_GT(t.pof(StrikeCharges{0.0, 0.0, 0.4}, true), 0.9);
+  // Pairs and triple saturate too.
+  EXPECT_GT(t.pof(StrikeCharges{0.4, 0.4, 0.0}, true), 0.9);
+  EXPECT_GT(t.pof(StrikeCharges{0.4, 0.4, 0.4}, true), 0.9);
+  // Nominal mode is binary.
+  const double p = t.pof(StrikeCharges{0.4, 0.4, 0.0}, false);
+  EXPECT_TRUE(p == 0.0 || p == 1.0);
+}
+
+TEST_F(CharacterizeFixture, TinyChargesGiveNearZeroPof) {
+  // This is the regression test for the uniform-axis interpolation artifact:
+  // small multi-fin deposits must not inherit phantom POF from the first
+  // grid cell.
+  const PofTable& t = table();
+  EXPECT_LT(t.pof(StrikeCharges{0.005, 0.005, 0.0}, true), 0.02);
+  EXPECT_LT(t.pof(StrikeCharges{0.005, 0.005, 0.005}, true), 0.02);
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{0.005, 0.005, 0.0}, false), 0.0);
+}
+
+TEST(Characterizer, DeterministicGivenSeed) {
+  CellCharacterizer ch(CellDesign{}, fast_config());
+  stats::Rng r1(11), r2(11);
+  const PofTable a = ch.characterize_at(0.8, r1);
+  const PofTable b = ch.characterize_at(0.8, r2);
+  ASSERT_EQ(a.singles[0].qcrit_samples_fc.size(),
+            b.singles[0].qcrit_samples_fc.size());
+  for (std::size_t i = 0; i < a.singles[0].qcrit_samples_fc.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.singles[0].qcrit_samples_fc[i],
+                     b.singles[0].qcrit_samples_fc[i]);
+  }
+}
+
+TEST(Characterizer, FingerprintSensitivity) {
+  const CellDesign design;
+  CharacterizerConfig c1 = fast_config();
+  CharacterizerConfig c2 = fast_config();
+  EXPECT_EQ(c1.fingerprint(design), c2.fingerprint(design));
+  c2.q_max_fc *= 1.01;
+  EXPECT_NE(c1.fingerprint(design), c2.fingerprint(design));
+  CellDesign d2;
+  d2.cnode_f *= 1.01;
+  EXPECT_NE(c1.fingerprint(design), c1.fingerprint(d2));
+}
+
+TEST(Characterizer, SampleDeltaVtMatchesSigma) {
+  CellCharacterizer ch(CellDesign{}, fast_config());
+  stats::Rng rng(3);
+  double acc = 0.0, acc2 = 0.0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    const DeltaVt d = ch.sample_delta_vt(rng);
+    for (double v : d) {
+      acc += v;
+      acc2 += v * v;
+    }
+  }
+  const double mean = acc / (6.0 * n);
+  const double var = acc2 / (6.0 * n) - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.002);
+  EXPECT_NEAR(std::sqrt(var), CellDesign{}.sigma_vt, 0.003);
+}
+
+TEST(Characterizer, RejectsBadConfig) {
+  CharacterizerConfig bad = fast_config();
+  bad.vdds.clear();
+  EXPECT_THROW(CellCharacterizer(CellDesign{}, bad), util::InvalidArgument);
+  bad = fast_config();
+  bad.pair_grid_points = 1;
+  EXPECT_THROW(CellCharacterizer(CellDesign{}, bad), util::InvalidArgument);
+}
+
+// POF is monotone in supply voltage: at any fixed charge, a cell at lower
+// Vdd is at least as likely to flip (paper conclusion 1 at the LUT level).
+class PofVsVdd : public ::testing::TestWithParam<double> {};
+
+TEST_P(PofVsVdd, LowerVddNeverLessVulnerable) {
+  static const std::pair<PofTable, PofTable> tables = [] {
+    CellCharacterizer ch(CellDesign{}, fast_config());
+    stats::Rng rng(31);
+    PofTable lo = ch.characterize_at(0.7, rng);
+    PofTable hi = ch.characterize_at(1.1, rng);
+    return std::make_pair(std::move(lo), std::move(hi));
+  }();
+  const double q = GetParam();
+  const StrikeCharges c{q, 0.0, 0.0};
+  // Nominal tables are noise-free: strict ordering must hold.
+  EXPECT_GE(tables.first.pof(c, false), tables.second.pof(c, false)) << q;
+  // PV tables carry MC noise; allow a small tolerance.
+  EXPECT_GE(tables.first.pof(c, true), tables.second.pof(c, true) - 0.08) << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(ChargeSweep, PofVsVdd,
+                         ::testing::Values(0.05, 0.1, 0.13, 0.16, 0.2, 0.3));
+
+// POF monotone in each charge coordinate (flip region is upward closed).
+class PofMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PofMonotone, AlongEachAxis) {
+  CellCharacterizer ch(CellDesign{}, fast_config());
+  stats::Rng rng(fast_config().seed);
+  static const PofTable t = [] {
+    CellCharacterizer c(CellDesign{}, fast_config());
+    stats::Rng r(fast_config().seed);
+    return c.characterize_at(0.8, r);
+  }();
+  const int axis = GetParam();
+  for (double base : {0.0, 0.05, 0.15}) {
+    double prev = -1.0;
+    for (double q = 0.0; q <= 0.4; q += 0.02) {
+      StrikeCharges c{base, base, base};
+      if (axis == 0) c.i1_fc = q;
+      if (axis == 1) c.i2_fc = q;
+      if (axis == 2) c.i3_fc = q;
+      const double p = t.pof(c, true);
+      EXPECT_GE(p, prev - 0.06) << "axis " << axis << " base " << base
+                                << " q " << q;  // MC noise tolerance.
+      prev = std::max(prev, p);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, PofMonotone, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace finser::sram

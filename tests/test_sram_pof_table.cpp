@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "finser/sram/pof_table.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::sram {
+namespace {
+
+/// Hand-built table with known values (no SPICE needed).
+PofTable synthetic_table(double vdd) {
+  PofTable t;
+  t.vdd_v = vdd;
+  t.q_max_fc = 0.4;
+  for (int i = 0; i < 3; ++i) {
+    SingleCdf s;
+    s.nominal_qcrit_fc = 0.1 + 0.01 * i;
+    s.total_samples = 4;
+    s.qcrit_samples_fc = {0.08, 0.09, 0.11, 0.12};
+    t.singles[static_cast<std::size_t>(i)] = s;
+  }
+  const util::Axis axis({0.0, 0.1, 0.4});
+  const std::vector<double> pv = {0.0, 0.0, 0.5,   // Row q_a = 0.
+                                  0.0, 0.5, 1.0,   // Row q_a = 0.1.
+                                  0.5, 1.0, 1.0};  // Row q_a = 0.4.
+  const std::vector<double> nom = {0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  for (int p = 0; p < 3; ++p) {
+    t.pairs_pv[static_cast<std::size_t>(p)] = util::Grid2(axis, axis, pv);
+    t.pairs_nominal[static_cast<std::size_t>(p)] = util::Grid2(axis, axis, nom);
+  }
+  std::vector<double> pv3(27, 0.0), nom3(27, 0.0);
+  for (std::size_t i = 0; i < 27; ++i) {
+    pv3[i] = (i == 26) ? 1.0 : 0.2;
+    nom3[i] = (i >= 13) ? 1.0 : 0.0;
+  }
+  t.triple_pv = util::Grid3(axis, axis, axis, pv3);
+  t.triple_nominal = util::Grid3(axis, axis, axis, nom3);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// SingleCdf
+// ---------------------------------------------------------------------------
+
+TEST(SingleCdf, EmpiricalCdfSteps) {
+  SingleCdf s;
+  s.total_samples = 4;
+  s.qcrit_samples_fc = {0.08, 0.09, 0.11, 0.12};
+  EXPECT_DOUBLE_EQ(s.pof(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.pof(0.085), 0.25);
+  EXPECT_DOUBLE_EQ(s.pof(0.10), 0.5);
+  EXPECT_DOUBLE_EQ(s.pof(0.2), 1.0);
+}
+
+TEST(SingleCdf, NeverFlippedSamplesReducePof) {
+  SingleCdf s;
+  s.total_samples = 8;  // 4 of which never flipped (not in the list).
+  s.qcrit_samples_fc = {0.08, 0.09, 0.11, 0.12};
+  EXPECT_DOUBLE_EQ(s.pof(1.0), 0.5);
+}
+
+TEST(SingleCdf, EmptyIsZero) {
+  SingleCdf s;
+  EXPECT_DOUBLE_EQ(s.pof(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_qcrit_fc(), SingleCdf::kNeverFlips);
+  EXPECT_DOUBLE_EQ(s.stddev_qcrit_fc(), 0.0);
+}
+
+TEST(SingleCdf, Moments) {
+  SingleCdf s;
+  s.total_samples = 4;
+  s.qcrit_samples_fc = {0.08, 0.09, 0.11, 0.12};
+  EXPECT_NEAR(s.mean_qcrit_fc(), 0.1, 1e-12);
+  EXPECT_NEAR(s.stddev_qcrit_fc(), 0.0182574, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// PofTable dispatch
+// ---------------------------------------------------------------------------
+
+TEST(PofTableDispatch, NoChargeNoPof) {
+  const PofTable t = synthetic_table(0.8);
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{}, true), 0.0);
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{}, false), 0.0);
+  // Sub-epsilon charges count as zero.
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{1e-7, 1e-7, 1e-7}, true), 0.0);
+}
+
+TEST(PofTableDispatch, SinglesUseCdf) {
+  const PofTable t = synthetic_table(0.8);
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{0.10, 0, 0}, true), 0.5);
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{0, 0.10, 0}, true), 0.5);
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{0, 0, 0.10}, true), 0.5);
+  // Nominal mode: thresholds differ per current (0.10, 0.11, 0.12).
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{0.105, 0, 0}, false), 1.0);
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{0, 0.105, 0}, false), 0.0);
+}
+
+TEST(PofTableDispatch, PairsInterpolate) {
+  const PofTable t = synthetic_table(0.8);
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{0.1, 0.1, 0}, true), 0.5);
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{0.4, 0.4, 0}, true), 1.0);
+  // Nominal pairs round the bilinear value to a binary decision.
+  const double p = t.pof(StrikeCharges{0.1, 0.1, 0}, false);
+  EXPECT_TRUE(p == 0.0 || p == 1.0);
+}
+
+TEST(PofTableDispatch, TripleUsesGrid3) {
+  const PofTable t = synthetic_table(0.8);
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{0.4, 0.4, 0.4}, true), 1.0);
+  EXPECT_DOUBLE_EQ(t.pof(StrikeCharges{0.4, 0.4, 0.4}, false), 1.0);
+  EXPECT_NEAR(t.pof(StrikeCharges{0.05, 0.05, 0.05}, true), 0.2, 0.15);
+}
+
+// ---------------------------------------------------------------------------
+// CellSoftErrorModel
+// ---------------------------------------------------------------------------
+
+TEST(Model, VddLookup) {
+  CellSoftErrorModel m;
+  m.tables.push_back(synthetic_table(0.7));
+  m.tables.push_back(synthetic_table(0.8));
+  EXPECT_DOUBLE_EQ(m.at_vdd(0.8).vdd_v, 0.8);
+  EXPECT_DOUBLE_EQ(m.at_vdd(0.7 + 5e-4).vdd_v, 0.7);  // 1 mV tolerance.
+  EXPECT_THROW(m.at_vdd(0.9), util::DomainError);
+  const auto vs = m.vdds();
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_DOUBLE_EQ(vs[0], 0.7);
+}
+
+TEST(Model, SerializationRoundTrip) {
+  CellSoftErrorModel m;
+  m.config_fingerprint = 0xDEADBEEFCAFEull;
+  m.tables.push_back(synthetic_table(0.7));
+  m.tables.push_back(synthetic_table(1.1));
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "finser_pof_roundtrip.bin")
+          .string();
+  m.save(path);
+  const CellSoftErrorModel r = CellSoftErrorModel::load(path);
+  EXPECT_EQ(r.config_fingerprint, m.config_fingerprint);
+  ASSERT_EQ(r.tables.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.tables[1].vdd_v, 1.1);
+  EXPECT_DOUBLE_EQ(r.tables[0].q_max_fc, 0.4);
+
+  // Behaviour identical after the round trip.
+  for (const StrikeCharges c : {StrikeCharges{0.1, 0, 0}, StrikeCharges{0.1, 0.1, 0},
+                                StrikeCharges{0.2, 0.2, 0.2}}) {
+    EXPECT_DOUBLE_EQ(r.tables[0].pof(c, true), m.tables[0].pof(c, true));
+    EXPECT_DOUBLE_EQ(r.tables[0].pof(c, false), m.tables[0].pof(c, false));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Model, TryLoadValidatesFingerprint) {
+  CellSoftErrorModel m;
+  m.config_fingerprint = 111;
+  m.tables.push_back(synthetic_table(0.8));
+  const auto path =
+      (std::filesystem::temp_directory_path() / "finser_pof_fp.bin").string();
+  m.save(path);
+
+  CellSoftErrorModel out;
+  EXPECT_TRUE(CellSoftErrorModel::try_load(path, 111, out));
+  EXPECT_EQ(out.tables.size(), 1u);
+  EXPECT_FALSE(CellSoftErrorModel::try_load(path, 222, out));
+  EXPECT_FALSE(CellSoftErrorModel::try_load("/nonexistent/file.bin", 111, out));
+  std::filesystem::remove(path);
+}
+
+TEST(Model, LoadRejectsCorruptFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "finser_pof_bad.bin").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a pof file at all", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(CellSoftErrorModel::load(path), util::Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Model, LoadRejectsMissingFile) {
+  EXPECT_THROW(CellSoftErrorModel::load("/nonexistent/nope.bin"), util::Error);
+}
+
+TEST(Model, LoadRejectsTruncatedFile) {
+  CellSoftErrorModel m;
+  m.config_fingerprint = 7;
+  m.tables.push_back(synthetic_table(0.8));
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto full = (dir / "finser_pof_full.bin").string();
+  const auto cut = (dir / "finser_pof_cut.bin").string();
+  m.save(full);
+
+  // Truncate at several points: every cut must throw, never crash or
+  // silently return a partial model.
+  const auto size = std::filesystem::file_size(full);
+  for (const double frac : {0.3, 0.6, 0.9}) {
+    std::filesystem::copy_file(full, cut,
+                               std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(
+        cut, static_cast<std::uintmax_t>(frac * static_cast<double>(size)));
+    EXPECT_THROW(CellSoftErrorModel::load(cut), util::Error) << frac;
+  }
+  std::filesystem::remove(full);
+  std::filesystem::remove(cut);
+}
+
+TEST(Model, SaveCreatesParentDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "finser_pof_mkdir";
+  std::filesystem::remove_all(dir);
+  CellSoftErrorModel m;
+  m.tables.push_back(synthetic_table(0.8));
+  const auto path = (dir / "deep" / "cache.bin").string();
+  m.save(path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace finser::sram

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "finser/util/config.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::util {
+namespace {
+
+TEST(Config, ParsesKeysValuesAndComments) {
+  const auto cfg = KeyValueConfig::parse(
+      "# campaign setup\n"
+      "array.rows = 9\n"
+      "cell.sigma_vt = 0.05   ; inline comment\n"
+      "\n"
+      "output.dir = finser_out\n");
+  EXPECT_EQ(cfg.size(), 3u);
+  EXPECT_TRUE(cfg.has("array.rows"));
+  EXPECT_EQ(cfg.get_int("array.rows", 0), 9);
+  EXPECT_DOUBLE_EQ(cfg.get_double("cell.sigma_vt", 0.0), 0.05);
+  EXPECT_EQ(cfg.get_string("output.dir", ""), "finser_out");
+}
+
+TEST(Config, FallbacksWhenAbsent) {
+  const auto cfg = KeyValueConfig::parse("");
+  EXPECT_EQ(cfg.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(cfg.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+  EXPECT_EQ(cfg.get_string("missing", "x"), "x");
+  const auto list = cfg.get_double_list("missing", {1.0, 2.0});
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(Config, BoolSpellings) {
+  const auto cfg = KeyValueConfig::parse(
+      "a = true\nb = Yes\nc = 1\nd = off\ne = FALSE\nf = maybe\n");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_TRUE(cfg.get_bool("b", false));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+  EXPECT_FALSE(cfg.get_bool("e", true));
+  EXPECT_THROW(cfg.get_bool("f", true), InvalidArgument);
+}
+
+TEST(Config, DoubleLists) {
+  const auto cfg = KeyValueConfig::parse("vdds = 0.7, 0.8,0.9 , 1.1\n");
+  const auto v = cfg.get_double_list("vdds", {});
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[0], 0.7);
+  EXPECT_DOUBLE_EQ(v[3], 1.1);
+}
+
+TEST(Config, TypeErrorsThrow) {
+  const auto cfg = KeyValueConfig::parse("a = banana\nb = 1.5x\nl = 1, two\n");
+  EXPECT_THROW(cfg.get_double("a", 0.0), InvalidArgument);
+  EXPECT_THROW(cfg.get_int("b", 0), InvalidArgument);
+  EXPECT_THROW(cfg.get_double_list("l", {}), InvalidArgument);
+  // A numeric string still works as a string.
+  EXPECT_EQ(cfg.get_string("a", ""), "banana");
+}
+
+TEST(Config, MalformedLinesRejected) {
+  EXPECT_THROW(KeyValueConfig::parse("just some words\n"), InvalidArgument);
+  EXPECT_THROW(KeyValueConfig::parse("= value\n"), InvalidArgument);
+  EXPECT_THROW(KeyValueConfig::parse("a = 1\na = 2\n"), InvalidArgument);
+}
+
+TEST(Config, UnknownKeyTracking) {
+  const auto cfg = KeyValueConfig::parse("used = 1\ntypo.key = 2\n");
+  EXPECT_EQ(cfg.get_int("used", 0), 1);
+  const auto unknown = cfg.unknown_keys();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo.key");
+}
+
+TEST(Config, ParseFileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "finser_cfg_test.ini").string();
+  {
+    std::ofstream os(path);
+    os << "x = 3.5\n";
+  }
+  const auto cfg = KeyValueConfig::parse_file(path);
+  EXPECT_DOUBLE_EQ(cfg.get_double("x", 0.0), 3.5);
+  std::filesystem::remove(path);
+  EXPECT_THROW(KeyValueConfig::parse_file("/nonexistent/cfg.ini"), Error);
+}
+
+}  // namespace
+}  // namespace finser::util

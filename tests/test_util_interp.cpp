@@ -1,0 +1,250 @@
+#include "finser/util/interp.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "finser/util/error.hpp"
+
+namespace finser::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Axis
+// ---------------------------------------------------------------------------
+
+TEST(Axis, RejectsTooFewPoints) {
+  EXPECT_THROW(Axis(std::vector<double>{1.0}), InvalidArgument);
+  EXPECT_THROW(Axis(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Axis, RejectsNonIncreasing) {
+  EXPECT_THROW(Axis({0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(Axis({0.0, 2.0, 1.0}), InvalidArgument);
+}
+
+TEST(Axis, RejectsNonPositiveLogPoints) {
+  EXPECT_THROW(Axis({0.0, 1.0}, Scale::kLog), InvalidArgument);
+  EXPECT_THROW(Axis({-1.0, 1.0}, Scale::kLog), InvalidArgument);
+}
+
+TEST(Axis, AccessorsReturnRawCoordinates) {
+  Axis a({1.0, 10.0, 100.0}, Scale::kLog);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(a[1], 10.0);
+  EXPECT_DOUBLE_EQ(a[2], 100.0);
+  EXPECT_DOUBLE_EQ(a.front(), 1.0);
+  EXPECT_DOUBLE_EQ(a.back(), 100.0);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(Axis, LocateInterior) {
+  Axis a({0.0, 1.0, 3.0});
+  const auto loc = a.locate(2.0, OutOfRange::kThrow);
+  EXPECT_EQ(loc.index, 1u);
+  EXPECT_NEAR(loc.frac, 0.5, 1e-12);
+  EXPECT_FALSE(loc.clamped);
+}
+
+TEST(Axis, LocateExactGridPoint) {
+  Axis a({0.0, 1.0, 3.0});
+  const auto loc = a.locate(1.0, OutOfRange::kThrow);
+  EXPECT_EQ(loc.index, 1u);
+  EXPECT_NEAR(loc.frac, 0.0, 1e-12);
+}
+
+TEST(Axis, LocateClampsBelow) {
+  Axis a({0.0, 1.0});
+  const auto loc = a.locate(-5.0, OutOfRange::kClamp);
+  EXPECT_TRUE(loc.clamped);
+  EXPECT_EQ(loc.index, 0u);
+  EXPECT_DOUBLE_EQ(loc.frac, 0.0);
+}
+
+TEST(Axis, LocateClampsAbove) {
+  Axis a({0.0, 1.0});
+  const auto loc = a.locate(7.0, OutOfRange::kClamp);
+  EXPECT_TRUE(loc.clamped);
+  EXPECT_EQ(loc.index, 0u);
+  EXPECT_DOUBLE_EQ(loc.frac, 1.0);
+}
+
+TEST(Axis, LocateThrowsOutOfRange) {
+  Axis a({0.0, 1.0});
+  EXPECT_THROW(a.locate(-0.1, OutOfRange::kThrow), DomainError);
+  EXPECT_THROW(a.locate(1.1, OutOfRange::kThrow), DomainError);
+  EXPECT_NO_THROW(a.locate(0.0, OutOfRange::kThrow));
+  EXPECT_NO_THROW(a.locate(1.0, OutOfRange::kThrow));
+}
+
+TEST(Axis, LogLocateIsLogUniform) {
+  Axis a({1.0, 100.0}, Scale::kLog);
+  const auto loc = a.locate(10.0, OutOfRange::kThrow);
+  EXPECT_NEAR(loc.frac, 0.5, 1e-12);  // Geometric midpoint.
+}
+
+TEST(Axis, LogLocateNonPositiveQueryClamps) {
+  Axis a({1.0, 100.0}, Scale::kLog);
+  const auto loc = a.locate(-1.0, OutOfRange::kClamp);
+  EXPECT_TRUE(loc.clamped);
+  EXPECT_THROW(a.locate(0.0, OutOfRange::kThrow), DomainError);
+}
+
+TEST(MakeAxis, LinearEndpointsExact) {
+  Axis a = make_linear_axis(0.25, 0.75, 11);
+  EXPECT_EQ(a.size(), 11u);
+  EXPECT_DOUBLE_EQ(a.front(), 0.25);
+  EXPECT_DOUBLE_EQ(a.back(), 0.75);
+}
+
+TEST(MakeAxis, LogEndpointsExact) {
+  Axis a = make_log_axis(0.1, 100.0, 7);
+  EXPECT_EQ(a.size(), 7u);
+  EXPECT_DOUBLE_EQ(a.front(), 0.1);
+  EXPECT_DOUBLE_EQ(a.back(), 100.0);
+}
+
+TEST(MakeAxis, RejectsBadArguments) {
+  EXPECT_THROW(make_linear_axis(1.0, 1.0, 5), InvalidArgument);
+  EXPECT_THROW(make_linear_axis(0.0, 1.0, 1), InvalidArgument);
+  EXPECT_THROW(make_log_axis(0.0, 1.0, 5), InvalidArgument);
+  EXPECT_THROW(make_log_axis(2.0, 1.0, 5), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Grid1
+// ---------------------------------------------------------------------------
+
+TEST(Grid1, LinearInterpolationExactAtNodes) {
+  Grid1 g(Axis({0.0, 1.0, 2.0}), {5.0, 7.0, 11.0});
+  EXPECT_DOUBLE_EQ(g(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(g(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(g(2.0), 11.0);
+}
+
+TEST(Grid1, LinearInterpolationBetweenNodes) {
+  Grid1 g(Axis({0.0, 1.0, 2.0}), {5.0, 7.0, 11.0});
+  EXPECT_NEAR(g(0.5), 6.0, 1e-12);
+  EXPECT_NEAR(g(1.5), 9.0, 1e-12);
+}
+
+TEST(Grid1, ClampPolicyEvaluatesAtEdges) {
+  Grid1 g(Axis({0.0, 1.0}), {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(g(-10.0), 3.0);
+  EXPECT_DOUBLE_EQ(g(10.0), 4.0);
+}
+
+TEST(Grid1, ZeroPolicyReturnsZeroOutside) {
+  Grid1 g(Axis({0.0, 1.0}), {3.0, 4.0}, Scale::kLinear, OutOfRange::kZero);
+  EXPECT_DOUBLE_EQ(g(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(g(1.1), 0.0);
+  EXPECT_DOUBLE_EQ(g(0.5), 3.5);
+}
+
+TEST(Grid1, LogValuesInterpolateGeometrically) {
+  Grid1 g(Axis({0.0, 1.0}), {1.0, 100.0}, Scale::kLog);
+  EXPECT_NEAR(g(0.5), 10.0, 1e-9);
+}
+
+TEST(Grid1, LogValuesRejectNonPositive) {
+  EXPECT_THROW(Grid1(Axis({0.0, 1.0}), {0.0, 1.0}, Scale::kLog), InvalidArgument);
+}
+
+TEST(Grid1, SizeMismatchThrows) {
+  EXPECT_THROW(Grid1(Axis({0.0, 1.0}), {1.0, 2.0, 3.0}), InvalidArgument);
+}
+
+TEST(Grid1, IntegrateConstantFunction) {
+  Grid1 g(Axis({0.0, 2.0, 4.0}), {3.0, 3.0, 3.0});
+  EXPECT_NEAR(g.integrate(), 12.0, 1e-12);
+  EXPECT_NEAR(g.integrate(1.0, 3.0), 6.0, 1e-12);
+}
+
+TEST(Grid1, IntegrateLinearRamp) {
+  Grid1 g(Axis({0.0, 1.0}), {0.0, 2.0});
+  EXPECT_NEAR(g.integrate(), 1.0, 1e-12);       // Triangle area.
+  EXPECT_NEAR(g.integrate(0.5, 1.0), 0.75, 1e-12);
+}
+
+TEST(Grid1, IntegrateClipsToRange) {
+  Grid1 g(Axis({0.0, 1.0}), {1.0, 1.0});
+  EXPECT_NEAR(g.integrate(-5.0, 5.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(g.integrate(2.0, 3.0), 0.0);
+}
+
+TEST(Grid1, IntegrateInvertedRangeThrows) {
+  Grid1 g(Axis({0.0, 1.0}), {1.0, 1.0});
+  EXPECT_THROW(g.integrate(1.0, 0.0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Grid2 / Grid3
+// ---------------------------------------------------------------------------
+
+TEST(Grid2, BilinearReproducesPlane) {
+  // f(x, y) = 2x + 3y + 1 is reproduced exactly by bilinear interpolation.
+  Axis ax({0.0, 1.0, 2.0});
+  Axis ay({0.0, 2.0});
+  std::vector<double> v;
+  for (double x : {0.0, 1.0, 2.0}) {
+    for (double y : {0.0, 2.0}) v.push_back(2.0 * x + 3.0 * y + 1.0);
+  }
+  Grid2 g(ax, ay, v);
+  EXPECT_NEAR(g(0.5, 1.0), 2.0 * 0.5 + 3.0 * 1.0 + 1.0, 1e-12);
+  EXPECT_NEAR(g(1.7, 0.3), 2.0 * 1.7 + 3.0 * 0.3 + 1.0, 1e-12);
+}
+
+TEST(Grid2, ClampsAtCorners) {
+  Grid2 g(Axis({0.0, 1.0}), Axis({0.0, 1.0}), {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(g(-1.0, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(g(2.0, 2.0), 4.0);
+}
+
+TEST(Grid2, SizeMismatchThrows) {
+  EXPECT_THROW(Grid2(Axis({0.0, 1.0}), Axis({0.0, 1.0}), {1.0, 2.0, 3.0}),
+               InvalidArgument);
+}
+
+TEST(Grid3, TrilinearReproducesLinearField) {
+  Axis a({0.0, 1.0});
+  std::vector<double> v;
+  for (double x : {0.0, 1.0}) {
+    for (double y : {0.0, 1.0}) {
+      for (double z : {0.0, 1.0}) v.push_back(x + 10.0 * y + 100.0 * z);
+    }
+  }
+  Grid3 g(a, a, a, v);
+  EXPECT_NEAR(g(0.3, 0.6, 0.9), 0.3 + 6.0 + 90.0, 1e-12);
+  EXPECT_NEAR(g(1.0, 0.0, 0.5), 1.0 + 50.0, 1e-12);
+}
+
+TEST(Grid3, ZeroPolicy) {
+  Axis a({0.0, 1.0});
+  Grid3 g(a, a, a, std::vector<double>(8, 5.0), OutOfRange::kZero);
+  EXPECT_DOUBLE_EQ(g(0.5, 0.5, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(g(1.5, 0.5, 0.5), 0.0);
+}
+
+// Property sweep: interpolation is bounded by tabulated values and monotone
+// tables interpolate monotonically.
+class Grid1Property : public ::testing::TestWithParam<double> {};
+
+TEST_P(Grid1Property, BoundedByTableExtremes) {
+  Grid1 g(Axis({0.0, 0.3, 1.1, 2.0}), {1.0, 4.0, 2.0, 8.0});
+  const double x = GetParam();
+  const double y = g(x);
+  EXPECT_GE(y, 1.0);
+  EXPECT_LE(y, 8.0);
+}
+
+TEST_P(Grid1Property, MonotoneTableInterpolatesMonotonically) {
+  Grid1 g(Axis({0.0, 0.3, 1.1, 2.0}), {1.0, 2.0, 5.0, 9.0});
+  const double x = GetParam();
+  EXPECT_LE(g(x), g(std::min(x + 0.05, 2.0)) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(QuerySweep, Grid1Property,
+                         ::testing::Values(0.0, 0.1, 0.29, 0.3, 0.7, 1.0, 1.1,
+                                           1.5, 1.9, 2.0));
+
+}  // namespace
+}  // namespace finser::util

@@ -1,0 +1,183 @@
+/// \file finser_cli.cpp
+/// \brief Command-line driver of the finser cross-layer SER flow.
+///
+/// Usage:
+///   finser_cli run <config.ini>   full flow from a config file (see below)
+///   finser_cli run                ... with built-in paper defaults
+///   finser_cli cell [vdd]         one-voltage cell summary (Qcrit, SNM)
+///   finser_cli --help
+///
+/// Config keys (all optional; `#` comments allowed):
+///   array.rows = 9            array.cols = 9
+///   cell.vdds = 0.7, 0.8, 0.9, 1.0, 1.1
+///   cell.sigma_vt = 0.05      # [V]
+///   cell.cnode_ff = 0.17      # storage-node capacitance [fF]
+///   mc.strikes = 60000        mc.pv_samples = 200
+///   mc.seed = 20140601
+///   species = alpha, proton, neutron
+///   output.dir = finser_out
+///   lut_cache = finser_out/pof_luts.bin
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "finser/core/ser_flow.hpp"
+#include "finser/sram/snm.hpp"
+#include "finser/util/config.hpp"
+#include "finser/util/csv.hpp"
+
+namespace {
+
+using namespace finser;
+
+void print_help() {
+  std::printf(
+      "finser_cli — cross-layer SOI FinFET SRAM soft-error analysis\n\n"
+      "  finser_cli run [config.ini]   full characterization + spectrum sweeps\n"
+      "  finser_cli cell [vdd]         single-voltage cell summary\n"
+      "  finser_cli --help             this text\n\n"
+      "See the header of tools/finser_cli.cpp for the config-file keys.\n");
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const auto b = item.find_first_not_of(" \t");
+    const auto e = item.find_last_not_of(" \t");
+    if (b != std::string::npos) out.push_back(item.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+core::SerFlowConfig flow_config_from(const util::KeyValueConfig& cfg) {
+  core::SerFlowConfig flow;
+  flow.array_rows = static_cast<std::size_t>(cfg.get_int("array.rows", 9));
+  flow.array_cols = static_cast<std::size_t>(cfg.get_int("array.cols", 9));
+  flow.characterization.vdds =
+      cfg.get_double_list("cell.vdds", {0.7, 0.8, 0.9, 1.0, 1.1});
+  flow.cell_design.sigma_vt = cfg.get_double("cell.sigma_vt", 0.05);
+  flow.cell_design.cnode_f = cfg.get_double("cell.cnode_ff", 0.17) * 1e-15;
+  flow.characterization.pv_samples_single =
+      static_cast<std::size_t>(cfg.get_int("mc.pv_samples", 200));
+  flow.array_mc.strikes = static_cast<std::size_t>(cfg.get_int("mc.strikes", 60000));
+  flow.neutron_mc.histories = flow.array_mc.strikes;
+  flow.seed = static_cast<std::uint64_t>(cfg.get_int("mc.seed", 20140601));
+  flow.lut_cache_path = cfg.get_string("lut_cache", "");
+  core::apply_mc_scale(flow, core::mc_scale_from_env());
+  return flow;
+}
+
+int cmd_run(const std::string& config_path) {
+  util::KeyValueConfig cfg;
+  if (!config_path.empty()) {
+    cfg = util::KeyValueConfig::parse_file(config_path);
+  }
+  const std::string out_dir = cfg.get_string("output.dir", "finser_out");
+  const std::vector<std::string> species =
+      split_list(cfg.get_string("species", "alpha,proton"));
+
+  core::SerFlowConfig flow_cfg = flow_config_from(cfg);
+  if (flow_cfg.lut_cache_path.empty()) {
+    flow_cfg.lut_cache_path = out_dir + "/pof_luts.bin";
+  }
+
+  // Fail loudly on config typos before hours of Monte Carlo.
+  const auto unknown = cfg.unknown_keys();
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "error: unknown config keys:");
+    for (const auto& k : unknown) std::fprintf(stderr, " %s", k.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  core::SerFlow flow(flow_cfg);
+  const auto progress = [](const std::string& m) {
+    std::printf("  [%s]\n", m.c_str());
+  };
+  flow.cell_model(progress);
+
+  util::CsvTable fit_table({"species", "vdd_v", "fit_tot", "fit_seu", "fit_mbu",
+                            "fit_tot_no_pv"});
+  for (const std::string& name : species) {
+    env::Spectrum spectrum = name == "proton"    ? env::sea_level_protons()
+                             : name == "neutron" ? env::sea_level_neutrons()
+                             : name == "alpha"   ? env::package_alphas()
+                                                 : env::package_alphas();
+    if (name != "proton" && name != "neutron" && name != "alpha") {
+      std::fprintf(stderr, "error: unknown species `%s`\n", name.c_str());
+      return 2;
+    }
+    std::printf("sweeping %s...\n", spectrum.name().c_str());
+    const auto result = flow.sweep(spectrum, progress);
+
+    util::CsvTable pof_table({"energy_mev", "vdd_v", "pof_tot", "pof_seu",
+                              "pof_mbu", "pof_tot_se"});
+    for (std::size_t b = 0; b < result.bins.size(); ++b) {
+      for (std::size_t v = 0; v < result.vdds.size(); ++v) {
+        const auto& e = result.per_bin[b].est[v][core::kModeWithPv];
+        pof_table.add_row({result.bins[b].e_rep_mev, result.vdds[v], e.tot,
+                           e.seu, e.mbu, e.tot_se});
+      }
+    }
+    pof_table.write_csv_file(out_dir + "/pof_" + name + ".csv");
+
+    for (std::size_t v = 0; v < result.vdds.size(); ++v) {
+      const auto& pv = result.fit[v][core::kModeWithPv];
+      const auto& nom = result.fit[v][core::kModeNominal];
+      fit_table.add_row({name, result.vdds[v], pv.fit_tot, pv.fit_seu,
+                         pv.fit_mbu, nom.fit_tot});
+    }
+  }
+  fit_table.write_csv_file(out_dir + "/fit_summary.csv");
+  std::printf("\n");
+  fit_table.write_pretty(std::cout);
+  std::printf("\nresults written to %s/\n", out_dir.c_str());
+  return 0;
+}
+
+int cmd_cell(double vdd) {
+  const sram::CellDesign design;
+  std::printf("14 nm SOI FinFET 6T cell @ Vdd = %.2f V\n", vdd);
+
+  sram::StrikeSimulator sim(design, vdd);
+  const auto kind = spice::PulseShape::Kind::kRectangular;
+  const char* names[3] = {"I1 (pull-down)", "I2 (pull-up)", "I3 (pass-gate)"};
+  for (int i = 0; i < 3; ++i) {
+    sram::StrikeCharges dir;
+    (i == 0 ? dir.i1_fc : i == 1 ? dir.i2_fc : dir.i3_fc) = 1.0;
+    const double q = sram::bisect_critical_scale(sim, dir, sram::DeltaVt{}, 0.6,
+                                                 1e-4, kind);
+    std::printf("  Qcrit %-16s: %.4f fC (%.0f e-h pairs)\n", names[i], q,
+                q / 1.602176634e-4);
+  }
+  const auto hold = sram::static_noise_margin(design, vdd);
+  const auto read =
+      sram::static_noise_margin(design, vdd, sram::AccessMode::kRead);
+  std::printf("  hold SNM             : %.1f mV\n", 1e3 * hold.snm_v);
+  std::printf("  read SNM             : %.1f mV\n", 1e3 * read.snm_v);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "--help";
+    if (cmd == "run") {
+      return cmd_run(argc > 2 ? argv[2] : "");
+    }
+    if (cmd == "cell") {
+      return cmd_cell(argc > 2 ? std::stod(argv[2]) : 0.8);
+    }
+    print_help();
+    return cmd == "--help" || cmd == "-h" ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
