@@ -34,8 +34,7 @@ void report() {
     const double tilt = tilt_deg * std::numbers::pi / 180.0;
     mc_cfg.beam_direction = {std::sin(tilt), 0.0, -std::cos(tilt)};
     core::ArrayMc mc(flow.layout(), model, mc_cfg);
-    stats::Rng rng(777);
-    const auto est = mc.run(phys::Species::kAlpha, e_mev, rng)
+    const auto est = mc.run(phys::Species::kAlpha, e_mev, 777)
                          .est[0][core::kModeWithPv];  // Vdd = 0.7 V.
     t.add_row({tilt_deg, est.tot, est.mbu,
                est.seu > 0.0 ? 100.0 * est.mbu / est.seu : 0.0});
@@ -45,9 +44,8 @@ void report() {
   {
     core::ArrayMcConfig mc_cfg = cfg.array_mc;
     core::ArrayMc mc(flow.layout(), model, mc_cfg);
-    stats::Rng rng(778);
     const auto est =
-        mc.run(phys::Species::kAlpha, e_mev, rng).est[0][core::kModeWithPv];
+        mc.run(phys::Species::kAlpha, e_mev, 778).est[0][core::kModeWithPv];
     t.add_row({-1.0, est.tot, est.mbu,
                est.seu > 0.0 ? 100.0 * est.mbu / est.seu : 0.0});
   }

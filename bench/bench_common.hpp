@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "finser/core/ser_flow.hpp"
+#include "finser/exec/progress.hpp"
 #include "finser/util/csv.hpp"
 
 namespace finser::bench {
@@ -67,9 +68,10 @@ inline void emit(const util::CsvTable& table, const std::string& name,
   std::cout << "[csv] " << path << "\n";
 }
 
-/// Progress printer for long characterizations.
-inline sram::ProgressFn progress_printer() {
-  return [](const std::string& msg) { std::cout << "  [" << msg << "]\n"; };
+/// Progress printer for long characterizations (rate-limited sink).
+inline exec::ProgressSink progress_printer() {
+  return exec::ProgressSink(
+      [](const std::string& msg) { std::cout << "  [" << msg << "]\n"; });
 }
 
 }  // namespace finser::bench

@@ -64,9 +64,9 @@ void bm_array_mc_strikes(benchmark::State& state) {
   core::ArrayMcConfig mc_cfg = cfg.array_mc;
   mc_cfg.strikes = 2000;
   core::ArrayMc mc(flow.layout(), model, mc_cfg);
-  stats::Rng rng(3);
+  std::uint64_t seed = 3;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(mc.run(phys::Species::kAlpha, 2.0, rng));
+    benchmark::DoNotOptimize(mc.run(phys::Species::kAlpha, 2.0, seed++));
   }
   state.SetItemsProcessed(state.iterations() * 2000);
 }

@@ -64,9 +64,9 @@ void bm_neutron_histories(benchmark::State& state) {
   core::NeutronMcConfig mc_cfg = cfg.neutron_mc;
   mc_cfg.histories = 2000;
   core::NeutronArrayMc mc(flow.layout(), model, mc_cfg);
-  stats::Rng rng(2);
+  std::uint64_t seed = 2;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(mc.run(14.0, rng));
+    benchmark::DoNotOptimize(mc.run(14.0, seed++));
   }
   state.SetItemsProcessed(state.iterations() * 2000);
 }

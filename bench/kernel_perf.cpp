@@ -5,8 +5,12 @@
 /// Report: a runtime budget table for the paper-scale campaign.
 
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 
 #include "bench_common.hpp"
+#include "finser/core/array_mc.hpp"
+#include "finser/exec/exec.hpp"
 #include "finser/phys/track.hpp"
 #include "finser/spice/dc.hpp"
 #include "finser/spice/devices.hpp"
@@ -17,6 +21,110 @@
 namespace {
 
 using namespace finser;
+
+/// Threshold cell model (no SPICE): deposits above q_thresh flip. Keeps the
+/// thread-scaling sweep a pure measurement of the array-MC kernel.
+sram::CellSoftErrorModel threshold_model(double vdd, double q_thresh_fc) {
+  sram::PofTable t;
+  t.vdd_v = vdd;
+  t.q_max_fc = 0.4;
+  for (auto& s : t.singles) {
+    s.nominal_qcrit_fc = q_thresh_fc;
+    s.total_samples = 2;
+    s.qcrit_samples_fc = {0.9 * q_thresh_fc, 1.1 * q_thresh_fc};
+  }
+  const util::Axis axis({0.0, q_thresh_fc, 0.4});
+  std::vector<double> v(9, 1.0);
+  v[0] = 0.0;
+  for (int p = 0; p < 3; ++p) {
+    t.pairs_pv[static_cast<std::size_t>(p)] = util::Grid2(axis, axis, v);
+    t.pairs_nominal[static_cast<std::size_t>(p)] = util::Grid2(axis, axis, v);
+  }
+  std::vector<double> v3(27, 1.0);
+  v3[0] = 0.0;
+  t.triple_pv = util::Grid3(axis, axis, axis, v3);
+  t.triple_nominal = util::Grid3(axis, axis, axis, v3);
+  sram::CellSoftErrorModel m;
+  m.tables.push_back(std::move(t));
+  return m;
+}
+
+/// Thread-scaling sweep of the array-MC strike loop (1/2/4/8 threads, same
+/// seed). Emits the machine-readable bench_out/parallel_scaling.json and a
+/// human-readable CSV, and cross-checks the determinism contract: every
+/// thread count must reproduce the single-thread POF bit-for-bit.
+void report_parallel_scaling() {
+  const sram::ArrayLayout layout(9, 9, sram::CellGeometry{});
+  const sram::CellSoftErrorModel model = threshold_model(0.8, 0.02);
+
+  core::ArrayMcConfig cfg;
+  cfg.strikes = 40000;
+  cfg.chunk = 512;
+  const std::uint64_t seed = 20140601;
+
+  util::CsvTable t(
+      {"threads", "seconds", "strikes_per_s", "speedup_vs_1", "identical"});
+  double t1_seconds = 0.0;
+  double ref_tot = 0.0;
+  bool all_identical = true;
+  std::string rows_json;
+
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    cfg.threads = threads;
+    core::ArrayMc mc(layout, model, cfg);
+    // One warm-up run (spawns the worker threads, faults in the LUTs), then
+    // the timed run.
+    mc.run(phys::Species::kAlpha, 2.0, seed);
+    const auto start = std::chrono::steady_clock::now();
+    const auto res = mc.run(phys::Species::kAlpha, 2.0, seed);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    const double tot = res.est[0][core::kModeWithPv].tot;
+    if (threads == 1) {
+      t1_seconds = seconds;
+      ref_tot = tot;
+    }
+    const bool identical = tot == ref_tot;
+    all_identical = all_identical && identical;
+    const double speedup = seconds > 0.0 ? t1_seconds / seconds : 0.0;
+    const double rate = seconds > 0.0
+                            ? static_cast<double>(cfg.strikes) / seconds
+                            : 0.0;
+    t.add_row({static_cast<double>(threads), seconds, rate, speedup,
+               identical ? 1.0 : 0.0});
+
+    char row[256];
+    std::snprintf(row,
+                  sizeof row,
+                  "%s    {\"threads\": %zu, \"seconds\": %.6f, "
+                  "\"strikes_per_s\": %.1f, \"speedup_vs_1\": %.3f, "
+                  "\"identical_to_1_thread\": %s}",
+                  rows_json.empty() ? "" : ",\n", threads, seconds, rate,
+                  speedup, identical ? "true" : "false");
+    rows_json += row;
+  }
+
+  bench::emit(t, "parallel_scaling",
+              "Array-MC thread scaling (same seed; identical must be 1)");
+
+  std::filesystem::create_directories(bench::kOutDir);
+  const std::string path =
+      std::string(bench::kOutDir) + "/parallel_scaling.json";
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"kernel\": \"array_mc_strikes\",\n"
+     << "  \"strikes\": " << cfg.strikes << ",\n"
+     << "  \"chunk\": " << cfg.chunk << ",\n"
+     << "  \"seed\": " << seed << ",\n"
+     << "  \"hardware_threads\": " << exec::hardware_threads() << ",\n"
+     << "  \"deterministic_across_thread_counts\": "
+     << (all_identical ? "true" : "false") << ",\n"
+     << "  \"results\": [\n"
+     << rows_json << "\n  ]\n}\n";
+  std::cout << "[json] " << path << "\n";
+}
 
 void report() {
   // Measure the two dominant costs directly and extrapolate the paper-scale
@@ -63,6 +171,8 @@ void report() {
   }
   bench::emit(t, "kernel_perf",
               "Runtime budget of the paper-scale campaign on this machine");
+
+  report_parallel_scaling();
 }
 
 void bm_lu_solve_10x10(benchmark::State& state) {

@@ -32,9 +32,8 @@ void report() {
     stats::RunningStats runs;
     double reported_se = 0.0;
     for (std::uint64_t seed = 1; seed <= 12; ++seed) {
-      stats::Rng rng(seed);
       const auto est =
-          mc.run(phys::Species::kAlpha, 1.5, rng).est[0][core::kModeWithPv];
+          mc.run(phys::Species::kAlpha, 1.5, seed).est[0][core::kModeWithPv];
       runs.add(est.tot);
       reported_se = est.tot_se;
     }
@@ -56,9 +55,9 @@ void bm_default_throughput(benchmark::State& state) {
   core::ArrayMcConfig mc_cfg = cfg.array_mc;
   mc_cfg.strikes = 5000;
   core::ArrayMc mc(flow.layout(), model, mc_cfg);
-  stats::Rng rng(4);
+  std::uint64_t seed = 4;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(mc.run(phys::Species::kAlpha, 1.5, rng));
+    benchmark::DoNotOptimize(mc.run(phys::Species::kAlpha, 1.5, seed++));
   }
   state.SetItemsProcessed(state.iterations() * 5000);
 }

@@ -24,10 +24,12 @@
 #include <vector>
 
 #include "finser/core/pof_combine.hpp"
+#include "finser/exec/progress.hpp"
 #include "finser/phys/track.hpp"
 #include "finser/sram/layout.hpp"
 #include "finser/sram/pof_table.hpp"
 #include "finser/stats/rng.hpp"
+#include "finser/stats/summary.hpp"
 
 namespace finser::core {
 
@@ -64,6 +66,13 @@ struct ArrayMcConfig {
   /// tracks (the ones that cross several cells and cause MBUs) enter the
   /// fin layer while still above the array footprint.
   double source_height_nm = 1.0;
+  /// Worker threads for the strike loop; 0 = auto (FINSER_THREADS, else
+  /// hardware concurrency). Results never depend on this value.
+  std::size_t threads = 0;
+  /// Strikes per deterministic RNG chunk. Chunk *i* always consumes stream
+  /// stats::Rng::stream(seed, i), so results depend on (seed, strikes,
+  /// chunk) — and on nothing about the schedule or thread count.
+  std::size_t chunk = 1024;
 };
 
 /// Monte-Carlo POF estimate for one (species, energy, Vdd, PV-mode).
@@ -91,6 +100,37 @@ struct PofEstimate {
 inline constexpr std::size_t kModeNominal = 0;
 inline constexpr std::size_t kModeWithPv = 1;
 
+/// Merge-friendly (count, mean, M2) Welford accumulator behind one
+/// PofEstimate: three RunningStats channels (tot/seu/mbu) plus the
+/// multiplicity mass. Chunked engines keep one accumulator per (vdd, mode)
+/// per chunk and merge the partials pairwise in chunk order — the merge is
+/// exact for the mean and numerically stable for the variance, so the
+/// parallel reduction reproduces the serial statistics.
+class PofAccumulator {
+ public:
+  /// Add one strike's combined POFs (pre-weighted for weighted estimators).
+  void add(const CombinedPof& pof);
+
+  /// Add \p mass to multiplicity bin \p n (bins are plain sums).
+  void add_multiplicity(std::size_t n, double mass);
+
+  /// Fold \p other in (Chan et al. parallel Welford merge).
+  void merge(const PofAccumulator& other);
+
+  /// Number of strikes accumulated (via add()).
+  std::size_t count() const { return tot_.count(); }
+
+  /// Final estimate. \p strikes normalizes the multiplicity mass and is
+  /// recorded verbatim; \p hit_fraction is campaign-level bookkeeping.
+  PofEstimate finalize(std::size_t strikes, double hit_fraction) const;
+
+ private:
+  stats::RunningStats tot_;
+  stats::RunningStats seu_;
+  stats::RunningStats mbu_;
+  std::array<double, kMaxMultiplicity> mult_{};
+};
+
 /// Result of one energy point: estimates for every (Vdd, mode).
 struct ArrayMcResult {
   std::vector<double> vdds;
@@ -108,8 +148,13 @@ class ArrayMc {
   ArrayMc(const ArrayMc&) = delete;
   ArrayMc& operator=(const ArrayMc&) = delete;
 
-  /// Run the MC at a fixed particle energy.
-  ArrayMcResult run(phys::Species species, double e_mev, stats::Rng& rng);
+  /// Run the MC at a fixed particle energy. Strikes are processed in
+  /// fixed-size chunks on the exec thread pool; chunk *i* draws from
+  /// stats::Rng::stream(seed, i), so the result is bit-identical for any
+  /// thread count. run() is const and thread-safe: concurrent calls on one
+  /// engine (e.g. parallel energy bins) are fine.
+  ArrayMcResult run(phys::Species species, double e_mev, std::uint64_t seed,
+                    const exec::ProgressSink& progress = {}) const;
 
   const ArrayMcConfig& config() const { return config_; }
 
@@ -123,11 +168,6 @@ class ArrayMc {
   const sram::CellSoftErrorModel* model_;
   ArrayMcConfig config_;
   geom::Vec3 beam_dir_;  ///< Normalized beam direction (kBeam law).
-  phys::Transporter transporter_;
-
-  // Scratch: per-cell charges of the current strike (touched list + slots).
-  std::vector<sram::StrikeCharges> cell_charges_;
-  std::vector<std::uint32_t> touched_cells_;
 };
 
 }  // namespace finser::core

@@ -35,6 +35,11 @@ struct NeutronMcConfig {
   /// Lateral margin of the source plane [nm]; (n,α) alphas travel ~10 µm,
   /// so off-array interactions contribute and the default is generous.
   double source_margin_nm = 2000.0;
+  /// Worker threads for the history loop; 0 = auto (FINSER_THREADS, else
+  /// hardware concurrency). Results never depend on this value.
+  std::size_t threads = 0;
+  /// Histories per deterministic RNG chunk (see ArrayMcConfig::chunk).
+  std::size_t chunk = 1024;
 };
 
 /// Forced-interaction neutron array Monte Carlo.
@@ -50,8 +55,12 @@ class NeutronArrayMc {
   /// Run at one neutron energy. The estimates are per *incident neutron*
   /// on the sampled plane (weights applied), so the result feeds
   /// integrate_fit() with the neutron spectrum exactly like the
-  /// charged-particle results do.
-  ArrayMcResult run(double e_n_mev, stats::Rng& rng);
+  /// charged-particle results do. Histories run in deterministic RNG chunks
+  /// on the exec thread pool (chunk i ⇒ stats::Rng::stream(seed, i)), so
+  /// the result is bit-identical for any thread count; run() is const and
+  /// thread-safe.
+  ArrayMcResult run(double e_n_mev, std::uint64_t seed,
+                    const exec::ProgressSink& progress = {}) const;
 
   /// Area of the source-sampling plane [nm²] (FIT normalization area).
   double sampled_area_nm2() const;
@@ -63,10 +72,6 @@ class NeutronArrayMc {
   const sram::CellSoftErrorModel* model_;
   NeutronMcConfig config_;
   phys::NeutronInteractionModel interactions_;
-  phys::Transporter transporter_;
-
-  std::vector<sram::StrikeCharges> cell_charges_;
-  std::vector<std::uint32_t> touched_cells_;
 };
 
 }  // namespace finser::core

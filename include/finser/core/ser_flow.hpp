@@ -21,6 +21,7 @@
 #include "finser/core/fit.hpp"
 #include "finser/core/neutron_mc.hpp"
 #include "finser/env/spectrum.hpp"
+#include "finser/exec/progress.hpp"
 #include "finser/sram/characterize.hpp"
 #include "finser/sram/layout.hpp"
 
@@ -54,6 +55,13 @@ struct SerFlowConfig {
   std::string lut_cache_path;
 
   std::uint64_t seed = 2024;
+
+  /// Total thread budget of the flow; 0 = auto (FINSER_THREADS, else
+  /// hardware concurrency). sweep() splits it into an outer level over
+  /// energy bins and an inner level over strikes; stage configs with
+  /// explicit nonzero `threads` keep their own setting. Never affects
+  /// results.
+  std::size_t threads = 0;
 };
 
 /// Result of sweeping one spectrum.
@@ -71,21 +79,25 @@ class SerFlow {
   explicit SerFlow(const SerFlowConfig& config);
 
   /// Characterized cell model (built lazily; loaded from cache if valid).
-  const sram::CellSoftErrorModel& cell_model(const sram::ProgressFn& progress = {});
+  const sram::CellSoftErrorModel& cell_model(
+      const exec::ProgressSink& progress = {});
 
   const sram::ArrayLayout& layout() const { return layout_; }
   const SerFlowConfig& config() const { return config_; }
 
   /// Array MC at one fixed energy (used by the Fig.-8 reproduction).
   ArrayMcResult run_at_energy(phys::Species species, double e_mev,
-                              const sram::ProgressFn& progress = {});
+                              const exec::ProgressSink& progress = {});
 
   /// Full spectrum sweep: POF(E) per bin + FIT integration (Figs. 9-11).
   /// Neutron spectra are dispatched to the forced-interaction neutron MC
   /// (indirect ionization — the paper's future-work extension); charged
-  /// species use the direct-ionization ArrayMc.
+  /// species use the direct-ionization ArrayMc. Bins run in parallel as the
+  /// outer task level (per-bin seeds are pre-drawn in bin order, so results
+  /// are thread-count-invariant), with the strike loops nested inside on
+  /// the remaining thread budget.
   EnergySweepResult sweep(const env::Spectrum& spectrum,
-                          const sram::ProgressFn& progress = {});
+                          const exec::ProgressSink& progress = {});
 
  private:
   SerFlowConfig config_;

@@ -15,20 +15,32 @@
 ///    search, and PV Monte Carlo is spent only on grid cells within ~4σ of
 ///    that boundary; everything else is deterministically 0 or 1.
 ///
-/// Characterization cost is dominated by SPICE transients; a full 5-voltage
-/// model is a few tens of seconds on one core and is cached on disk by the
-/// benches (CellSoftErrorModel::save / try_load).
+/// Characterization cost is dominated by SPICE transients, so the expensive
+/// stages run on the exec thread pool: PV samples, boundary-search rows and
+/// near-boundary grid cells are independent work items, each drawing from
+/// its own counter-derived RNG stream (stats::Rng::stream), which keeps the
+/// model bit-identical for any thread count. A full 5-voltage model is a
+/// few tens of seconds on one core and is cached on disk by the benches
+/// (CellSoftErrorModel::save / try_load).
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "finser/exec/progress.hpp"
 #include "finser/sram/cell.hpp"
 #include "finser/sram/pof_table.hpp"
 #include "finser/stats/rng.hpp"
 
+namespace finser::exec {
+class ThreadPool;
+}  // namespace finser::exec
+
 namespace finser::sram {
+
+namespace detail {
+struct SimSlots;  // Per-worker StrikeSimulator instances (characterize.cpp).
+}  // namespace detail
 
 /// Knobs of the characterization campaign.
 struct CharacterizerConfig {
@@ -41,13 +53,16 @@ struct CharacterizerConfig {
   double bisect_tol_fc = 2e-4;          ///< Critical-charge resolution [fC].
   spice::PulseShape::Kind pulse_kind = spice::PulseShape::Kind::kRectangular;
   std::uint64_t seed = 0x5EEDCAFEull;
+  /// Worker threads for the SPICE-transient stages; 0 = auto
+  /// (FINSER_THREADS, else hardware concurrency). Deliberately NOT part of
+  /// the fingerprint: the thread count never changes the model.
+  std::size_t threads = 0;
 
-  /// Fingerprint of (config, design) for cache validation.
+  /// Fingerprint of (config, design) for cache validation. Includes a
+  /// characterization-scheme version, bumped whenever the RNG-consumption
+  /// scheme changes, so stale disk caches are rebuilt.
   std::uint64_t fingerprint(const CellDesign& design) const;
 };
-
-/// Progress sink (characterization messages); may be empty.
-using ProgressFn = std::function<void(const std::string&)>;
 
 /// Critical-charge bisection along a fixed charge direction:
 /// returns the smallest scale s such that s·\p direction flips the cell,
@@ -69,12 +84,14 @@ class CellCharacterizer {
  public:
   CellCharacterizer(const CellDesign& design, const CharacterizerConfig& config);
 
-  /// Characterize every configured supply voltage.
-  CellSoftErrorModel characterize(const ProgressFn& progress = {}) const;
+  /// Characterize every configured supply voltage. Voltage \p i (in sorted
+  /// order) runs under seed stats::Rng::derive_seed(config.seed, i).
+  CellSoftErrorModel characterize(const exec::ProgressSink& progress = {}) const;
 
-  /// Characterize one supply voltage (deterministic given \p rng state).
-  PofTable characterize_at(double vdd_v, stats::Rng& rng,
-                           const ProgressFn& progress = {}) const;
+  /// Characterize one supply voltage under \p seed. Deterministic in
+  /// (design, config, vdd_v, seed) — never in the thread count.
+  PofTable characterize_at(double vdd_v, std::uint64_t seed,
+                           const exec::ProgressSink& progress = {}) const;
 
   /// Draw one process-variation sample (6 threshold shifts).
   DeltaVt sample_delta_vt(stats::Rng& rng) const;
@@ -83,14 +100,15 @@ class CellCharacterizer {
   const CellDesign& design() const { return design_; }
 
  private:
-  SingleCdf characterize_single(StrikeSimulator& sim, int which,
-                                stats::Rng& rng) const;
-  void characterize_pair(StrikeSimulator& sim, int a, int b,
-                         const util::Axis& axis, double sigma_q_fc,
-                         stats::Rng& rng, util::Grid2& pv,
+  SingleCdf characterize_single(exec::ThreadPool& pool, detail::SimSlots& sims,
+                                int which, std::uint64_t seed) const;
+  void characterize_pair(exec::ThreadPool& pool, detail::SimSlots& sims, int a,
+                         int b, const util::Axis& axis, double sigma_q_fc,
+                         std::uint64_t seed, util::Grid2& pv,
                          util::Grid2& nominal) const;
-  void characterize_triple(StrikeSimulator& sim, const util::Axis& axis,
-                           double sigma_q_fc, stats::Rng& rng, util::Grid3& pv,
+  void characterize_triple(exec::ThreadPool& pool, detail::SimSlots& sims,
+                           const util::Axis& axis, double sigma_q_fc,
+                           std::uint64_t seed, util::Grid3& pv,
                            util::Grid3& nominal) const;
 
   CellDesign design_;

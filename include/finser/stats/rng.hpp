@@ -52,6 +52,18 @@ class Rng {
   /// advances this generator once.
   Rng split();
 
+  /// Counter-based stream derivation: a decorrelated 64-bit sub-seed for
+  /// stream \p stream_id under \p root_seed, built on SplitMix64 (the root
+  /// is mixed once, then the stream counter walks the SplitMix64 sequence).
+  /// Stream *i* of a given root is the same value no matter which thread
+  /// asks or in what order — the foundation of the exec layer's
+  /// thread-count-invariant reproducibility (docs/parallelism.md).
+  static std::uint64_t derive_seed(std::uint64_t root_seed,
+                                   std::uint64_t stream_id);
+
+  /// Generator seeded with derive_seed(root_seed, stream_id).
+  static Rng stream(std::uint64_t root_seed, std::uint64_t stream_id);
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "finser/core/pof_combine.hpp"
+#include "finser/exec/thread_pool.hpp"
 #include "finser/phys/collection.hpp"
 #include "finser/stats/direction.hpp"
-#include "finser/stats/summary.hpp"
 #include "finser/util/error.hpp"
+#include "mc_partial.hpp"
 
 namespace finser::core {
 
@@ -19,20 +21,70 @@ phys::Transporter::Config transporter_config(const ArrayMcConfig& cfg) {
   return tc;
 }
 
+/// Per-worker mutable state: the Transporter keeps internal scratch and the
+/// strike loop reuses per-cell charge slots, so each pool slot gets its own
+/// copy (created lazily on first chunk, on the worker's own thread).
+struct WorkerState {
+  phys::Transporter transporter;
+  std::vector<sram::StrikeCharges> cell_charges;
+  std::vector<std::uint32_t> touched_cells;
+  std::vector<double> pofs;  // Per-touched-cell POFs of the current strike.
+
+  WorkerState(const sram::ArrayLayout& layout,
+              const phys::Transporter::Config& tc)
+      : transporter(layout.fins(), tc),
+        cell_charges(layout.cell_count(), sram::StrikeCharges{}) {}
+};
+
 }  // namespace
+
+void PofAccumulator::add(const CombinedPof& pof) {
+  tot_.add(pof.tot);
+  seu_.add(pof.seu);
+  mbu_.add(pof.mbu);
+}
+
+void PofAccumulator::add_multiplicity(std::size_t n, double mass) {
+  mult_[std::min(n, kMaxMultiplicity - 1)] += mass;
+}
+
+void PofAccumulator::merge(const PofAccumulator& other) {
+  tot_.merge(other.tot_);
+  seu_.merge(other.seu_);
+  mbu_.merge(other.mbu_);
+  for (std::size_t n = 0; n < kMaxMultiplicity; ++n) mult_[n] += other.mult_[n];
+}
+
+PofEstimate PofAccumulator::finalize(std::size_t strikes,
+                                     double hit_fraction) const {
+  PofEstimate e;
+  e.tot = tot_.mean();
+  e.seu = seu_.mean();
+  e.mbu = mbu_.mean();
+  e.tot_se = tot_.stderr_of_mean();
+  e.seu_se = seu_.stderr_of_mean();
+  e.mbu_se = mbu_.stderr_of_mean();
+  e.hit_fraction = hit_fraction;
+  e.strikes = strikes;
+  if (strikes > 0) {
+    for (std::size_t n = 0; n < kMaxMultiplicity; ++n) {
+      e.multiplicity[n] = mult_[n] / static_cast<double>(strikes);
+    }
+  }
+  return e;
+}
 
 ArrayMc::ArrayMc(const sram::ArrayLayout& layout,
                  const sram::CellSoftErrorModel& model, const ArrayMcConfig& config)
-    : layout_(&layout), model_(&model), config_(config),
-      transporter_(layout.fins(), transporter_config(config)) {
+    : layout_(&layout), model_(&model), config_(config) {
   FINSER_REQUIRE(config_.strikes > 0, "ArrayMc: need at least one strike");
+  FINSER_REQUIRE(config_.chunk > 0, "ArrayMc: chunk must be positive");
   FINSER_REQUIRE(!model.tables.empty(), "ArrayMc: empty cell model");
   if (config_.angular == SourceAngularLaw::kBeam) {
     FINSER_REQUIRE(config_.beam_direction.z < 0.0,
                    "ArrayMc: beam direction must point downward");
     beam_dir_ = config_.beam_direction.normalized();
   }
-  cell_charges_.assign(layout.cell_count(), sram::StrikeCharges{});
 }
 
 double ArrayMc::sampled_area_nm2() const {
@@ -40,17 +92,13 @@ double ArrayMc::sampled_area_nm2() const {
          (layout_->height_nm() + 2.0 * config_.source_margin_nm);
 }
 
-ArrayMcResult ArrayMc::run(phys::Species species, double e_mev, stats::Rng& rng) {
+ArrayMcResult ArrayMc::run(phys::Species species, double e_mev,
+                           std::uint64_t seed,
+                           const exec::ProgressSink& progress) const {
   FINSER_REQUIRE(e_mev > 0.0, "ArrayMc::run: non-positive energy");
 
   const std::vector<double> vdds = model_->vdds();
   const std::size_t nv = vdds.size();
-
-  // Accumulators: [vdd][mode] × {tot, seu, mbu} + multiplicity sums.
-  std::vector<std::array<std::array<stats::RunningStats, 3>, 2>> acc(nv);
-  std::vector<std::array<std::array<double, kMaxMultiplicity>, 2>> mult_acc(
-      nv, {{{}, {}}});
-  std::size_t hits = 0;
 
   const geom::Aabb fin_bounds = layout_->bounds();
   const double z_source = fin_bounds.hi.z + config_.source_height_nm;
@@ -59,117 +107,132 @@ ArrayMcResult ArrayMc::run(phys::Species species, double e_mev, stats::Rng& rng)
   const double y_lo = -config_.source_margin_nm;
   const double y_hi = layout_->height_nm() + config_.source_margin_nm;
 
-  std::vector<double> pofs;  // Per-touched-cell POFs of the current strike.
-
-  // Stratification grid (jittered-grid sampling over the source plane).
+  // Stratification grid (jittered-grid sampling over the source plane). The
+  // stratum is a function of the *global* strike index, so the pattern is
+  // independent of how strikes are chunked across workers.
   const auto strata = static_cast<std::size_t>(
       std::ceil(std::sqrt(static_cast<double>(config_.strikes))));
 
-  for (std::size_t s = 0; s < config_.strikes; ++s) {
-    // Step 1 (paper Sec. 5.1): random particle position and direction.
-    geom::Ray ray;
-    if (config_.position == SourcePositionSampling::kStratified) {
-      const std::size_t ix = s % strata;
-      const std::size_t iy = (s / strata) % strata;
-      const double fx = (static_cast<double>(ix) + rng.uniform()) /
-                        static_cast<double>(strata);
-      const double fy = (static_cast<double>(iy) + rng.uniform()) /
-                        static_cast<double>(strata);
-      ray.origin = {x_lo + (x_hi - x_lo) * fx, y_lo + (y_hi - y_lo) * fy,
-                    z_source};
-    } else {
-      ray.origin = {rng.uniform(x_lo, x_hi), rng.uniform(y_lo, y_hi), z_source};
-    }
-    switch (config_.angular) {
-      case SourceAngularLaw::kIsotropic:
-        ray.dir = stats::isotropic_hemisphere_down(rng);
-        break;
-      case SourceAngularLaw::kCosine:
-        ray.dir = stats::cosine_hemisphere_down(rng);
-        break;
-      case SourceAngularLaw::kBeam:
-        ray.dir = beam_dir_;
-        break;
-    }
-    if (ray.dir.z == 0.0) ray.dir.z = -1e-12;  // Guard true horizontals.
+  const phys::Transporter::Config tc = transporter_config(config_);
 
-    // Step 2-3: transport, accumulate sensitive-transistor charges per cell.
-    const phys::TrackResult track = transporter_.transport(ray, species, e_mev, rng);
+  exec::ThreadPool pool(config_.threads);
+  std::vector<std::unique_ptr<WorkerState>> workers(pool.thread_count());
+  progress.start_phase("strikes", config_.strikes);
 
-    for (const std::uint32_t c : touched_cells_) {
-      cell_charges_[c] = sram::StrikeCharges{};
-    }
-    touched_cells_.clear();
+  // Chunk i consumes stats::Rng::stream(seed, i) and nothing else, and the
+  // partials merge in chunk-index order — so the result is bit-identical
+  // for any thread count.
+  McPartial total = exec::parallel_reduce<McPartial>(
+      pool, config_.strikes, config_.chunk,
+      [&](const exec::ChunkRange& r) {
+        std::unique_ptr<WorkerState>& slot = workers[r.worker];
+        if (!slot) slot = std::make_unique<WorkerState>(*layout_, tc);
+        WorkerState& ws = *slot;
+        stats::Rng rng = stats::Rng::stream(seed, r.index);
+        McPartial part(nv);
 
-    for (const phys::FinDeposit& dep : track.deposits) {
-      const sram::FinSite& site = layout_->site(dep.fin_id);
-      const bool bit = layout_->bit(site.cell_row, site.cell_col);
-      const auto idx = sram::ArrayLayout::strike_index(site.role, bit);
-      if (!idx) continue;  // Transistor not sensitive in this data state.
-      const std::uint32_t cell =
-          site.cell_row * static_cast<std::uint32_t>(layout_->cols()) +
-          site.cell_col;
-      sram::StrikeCharges& ch = cell_charges_[cell];
-      if (!ch.any()) touched_cells_.push_back(cell);
-      const double q_fc = phys::charge_fc_from_pairs(dep.eh_pairs) *
-                          layout_->collection_efficiency(dep.fin_id);
-      switch (*idx) {
-        case 0: ch.i1_fc += q_fc; break;
-        case 1: ch.i2_fc += q_fc; break;
-        case 2: ch.i3_fc += q_fc; break;
-        default: break;
-      }
-    }
-    if (!touched_cells_.empty()) ++hits;
-
-    // Steps 4-5: cell POFs from the LUTs, combined via Eqs. 4-6, for every
-    // supply voltage and both process-variation modes.
-    for (std::size_t v = 0; v < nv; ++v) {
-      const sram::PofTable& table = model_->at_vdd(vdds[v]);
-      for (std::size_t mode = 0; mode < 2; ++mode) {
-        const bool with_pv = (mode == kModeWithPv);
-        pofs.clear();
-        for (const std::uint32_t c : touched_cells_) {
-          const double p = table.pof(cell_charges_[c], with_pv);
-          if (p > 0.0) pofs.push_back(p);
-        }
-        const CombinedPof combined =
-            pofs.empty() ? CombinedPof{0.0, 0.0, 0.0} : combine_eqs_4_to_6(pofs);
-        acc[v][mode][0].add(combined.tot);
-        acc[v][mode][1].add(combined.seu);
-        acc[v][mode][2].add(combined.mbu);
-        if (!pofs.empty()) {
-          const auto dist = multiplicity_distribution(pofs);
-          for (std::size_t n = 0; n < kMaxMultiplicity; ++n) {
-            mult_acc[v][mode][n] += dist[n];
+        for (std::size_t s = r.begin; s < r.end; ++s) {
+          // Step 1 (paper Sec. 5.1): random particle position and direction.
+          geom::Ray ray;
+          if (config_.position == SourcePositionSampling::kStratified) {
+            const std::size_t ix = s % strata;
+            const std::size_t iy = (s / strata) % strata;
+            const double fx = (static_cast<double>(ix) + rng.uniform()) /
+                              static_cast<double>(strata);
+            const double fy = (static_cast<double>(iy) + rng.uniform()) /
+                              static_cast<double>(strata);
+            ray.origin = {x_lo + (x_hi - x_lo) * fx, y_lo + (y_hi - y_lo) * fy,
+                          z_source};
+          } else {
+            ray.origin = {rng.uniform(x_lo, x_hi), rng.uniform(y_lo, y_hi),
+                          z_source};
           }
-        } else {
-          mult_acc[v][mode][0] += 1.0;
+          switch (config_.angular) {
+            case SourceAngularLaw::kIsotropic:
+              ray.dir = stats::isotropic_hemisphere_down(rng);
+              break;
+            case SourceAngularLaw::kCosine:
+              ray.dir = stats::cosine_hemisphere_down(rng);
+              break;
+            case SourceAngularLaw::kBeam:
+              ray.dir = beam_dir_;
+              break;
+          }
+          if (ray.dir.z == 0.0) ray.dir.z = -1e-12;  // Guard true horizontals.
+
+          // Step 2-3: transport, accumulate sensitive-transistor charges per
+          // cell.
+          const phys::TrackResult track =
+              ws.transporter.transport(ray, species, e_mev, rng);
+
+          for (const std::uint32_t c : ws.touched_cells) {
+            ws.cell_charges[c] = sram::StrikeCharges{};
+          }
+          ws.touched_cells.clear();
+
+          for (const phys::FinDeposit& dep : track.deposits) {
+            const sram::FinSite& site = layout_->site(dep.fin_id);
+            const bool bit = layout_->bit(site.cell_row, site.cell_col);
+            const auto idx = sram::ArrayLayout::strike_index(site.role, bit);
+            if (!idx) continue;  // Transistor not sensitive in this data state.
+            const std::uint32_t cell =
+                site.cell_row * static_cast<std::uint32_t>(layout_->cols()) +
+                site.cell_col;
+            sram::StrikeCharges& ch = ws.cell_charges[cell];
+            if (!ch.any()) ws.touched_cells.push_back(cell);
+            const double q_fc = phys::charge_fc_from_pairs(dep.eh_pairs) *
+                                layout_->collection_efficiency(dep.fin_id);
+            switch (*idx) {
+              case 0: ch.i1_fc += q_fc; break;
+              case 1: ch.i2_fc += q_fc; break;
+              case 2: ch.i3_fc += q_fc; break;
+              default: break;
+            }
+          }
+          if (!ws.touched_cells.empty()) ++part.hits;
+
+          // Steps 4-5: cell POFs from the LUTs, combined via Eqs. 4-6, for
+          // every supply voltage and both process-variation modes.
+          for (std::size_t v = 0; v < nv; ++v) {
+            const sram::PofTable& table = model_->at_vdd(vdds[v]);
+            for (std::size_t mode = 0; mode < 2; ++mode) {
+              const bool with_pv = (mode == kModeWithPv);
+              ws.pofs.clear();
+              for (const std::uint32_t c : ws.touched_cells) {
+                const double p = table.pof(ws.cell_charges[c], with_pv);
+                if (p > 0.0) ws.pofs.push_back(p);
+              }
+              const CombinedPof combined = ws.pofs.empty()
+                                               ? CombinedPof{0.0, 0.0, 0.0}
+                                               : combine_eqs_4_to_6(ws.pofs);
+              PofAccumulator& a = part.acc[v][mode];
+              a.add(combined);
+              if (!ws.pofs.empty()) {
+                const auto dist = multiplicity_distribution(ws.pofs);
+                for (std::size_t n = 0; n < kMaxMultiplicity; ++n) {
+                  a.add_multiplicity(n, dist[n]);
+                }
+              } else {
+                a.add_multiplicity(0, 1.0);
+              }
+            }
+          }
         }
-      }
-    }
-  }
+
+        progress.tick(r.end - r.begin);
+        return part;
+      },
+      McPartial::merge);
 
   ArrayMcResult result;
   result.vdds = vdds;
   result.est.resize(nv);
   const double hit_fraction =
-      static_cast<double>(hits) / static_cast<double>(config_.strikes);
+      static_cast<double>(total.hits) / static_cast<double>(config_.strikes);
   for (std::size_t v = 0; v < nv; ++v) {
     for (std::size_t mode = 0; mode < 2; ++mode) {
-      PofEstimate& e = result.est[v][mode];
-      e.tot = acc[v][mode][0].mean();
-      e.seu = acc[v][mode][1].mean();
-      e.mbu = acc[v][mode][2].mean();
-      e.tot_se = acc[v][mode][0].stderr_of_mean();
-      e.seu_se = acc[v][mode][1].stderr_of_mean();
-      e.mbu_se = acc[v][mode][2].stderr_of_mean();
-      e.hit_fraction = hit_fraction;
-      e.strikes = config_.strikes;
-      for (std::size_t n = 0; n < kMaxMultiplicity; ++n) {
-        e.multiplicity[n] =
-            mult_acc[v][mode][n] / static_cast<double>(config_.strikes);
-      }
+      result.est[v][mode] =
+          total.acc[v][mode].finalize(config_.strikes, hit_fraction);
     }
   }
   return result;

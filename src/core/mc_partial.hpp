@@ -1,0 +1,40 @@
+#pragma once
+/// \file mc_partial.hpp
+/// \brief Per-chunk partial result shared by the chunked array Monte Carlos.
+///
+/// Both ArrayMc and NeutronMc reduce their strike/history loops over the
+/// same shape: one PofAccumulator per (vdd, mode) plus a hit counter. The
+/// partials are produced one per RNG chunk and merged pairwise in
+/// chunk-index order (exec::reduce_pairwise), which makes the reduction
+/// independent of the thread schedule.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "finser/core/array_mc.hpp"
+
+namespace finser::core {
+
+/// One chunk's worth of accumulated statistics.
+struct McPartial {
+  /// acc[vdd_index][mode] (mode: kModeNominal / kModeWithPv).
+  std::vector<std::array<PofAccumulator, 2>> acc;
+  /// Strikes (histories) with any sensitive deposit.
+  std::size_t hits = 0;
+
+  McPartial() = default;
+  explicit McPartial(std::size_t nv) : acc(nv) {}
+
+  /// Merge for exec::parallel_reduce (associative; a absorbs b).
+  static McPartial merge(McPartial a, McPartial b) {
+    if (a.acc.empty()) return b;
+    for (std::size_t v = 0; v < a.acc.size(); ++v) {
+      for (std::size_t m = 0; m < 2; ++m) a.acc[v][m].merge(b.acc[v][m]);
+    }
+    a.hits += b.hits;
+    return a;
+  }
+};
+
+}  // namespace finser::core

@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "finser/core/pof_combine.hpp"
+#include "finser/exec/thread_pool.hpp"
 #include "finser/phys/collection.hpp"
 #include "finser/stats/direction.hpp"
-#include "finser/stats/summary.hpp"
 #include "finser/util/error.hpp"
 #include "finser/util/units.hpp"
+#include "mc_partial.hpp"
 
 namespace finser::core {
 
@@ -20,18 +22,30 @@ phys::Transporter::Config transporter_config(const NeutronMcConfig& cfg) {
   return tc;
 }
 
+/// Per-worker mutable state (see array_mc.cpp — same rationale).
+struct WorkerState {
+  phys::Transporter transporter;
+  std::vector<sram::StrikeCharges> cell_charges;
+  std::vector<std::uint32_t> touched_cells;
+  std::vector<double> pofs;
+
+  WorkerState(const sram::ArrayLayout& layout,
+              const phys::Transporter::Config& tc)
+      : transporter(layout.fins(), tc),
+        cell_charges(layout.cell_count(), sram::StrikeCharges{}) {}
+};
+
 }  // namespace
 
 NeutronArrayMc::NeutronArrayMc(const sram::ArrayLayout& layout,
                                const sram::CellSoftErrorModel& model,
                                const NeutronMcConfig& config)
-    : layout_(&layout), model_(&model), config_(config),
-      transporter_(layout.fins(), transporter_config(config)) {
+    : layout_(&layout), model_(&model), config_(config) {
   FINSER_REQUIRE(config_.histories > 0, "NeutronArrayMc: need >= 1 history");
+  FINSER_REQUIRE(config_.chunk > 0, "NeutronArrayMc: chunk must be positive");
   FINSER_REQUIRE(config_.interaction_depth_um > 0.0,
                  "NeutronArrayMc: interaction depth must be positive");
   FINSER_REQUIRE(!model.tables.empty(), "NeutronArrayMc: empty cell model");
-  cell_charges_.assign(layout.cell_count(), sram::StrikeCharges{});
 }
 
 double NeutronArrayMc::sampled_area_nm2() const {
@@ -39,15 +53,12 @@ double NeutronArrayMc::sampled_area_nm2() const {
          (layout_->height_nm() + 2.0 * config_.source_margin_nm);
 }
 
-ArrayMcResult NeutronArrayMc::run(double e_n_mev, stats::Rng& rng) {
+ArrayMcResult NeutronArrayMc::run(double e_n_mev, std::uint64_t seed,
+                                  const exec::ProgressSink& progress) const {
   FINSER_REQUIRE(e_n_mev > 0.0, "NeutronArrayMc::run: non-positive energy");
 
   const std::vector<double> vdds = model_->vdds();
   const std::size_t nv = vdds.size();
-  std::vector<std::array<std::array<stats::RunningStats, 3>, 2>> acc(nv);
-  std::vector<std::array<std::array<double, kMaxMultiplicity>, 2>> mult_acc(
-      nv, {{{}, {}}});
-  std::size_t hits = 0;
 
   const geom::Aabb fin_bounds = layout_->bounds();
   const double z_top = fin_bounds.hi.z;
@@ -59,111 +70,120 @@ ArrayMcResult NeutronArrayMc::run(double e_n_mev, stats::Rng& rng) {
 
   const double sigma_per_cm = interactions_.macroscopic_per_cm(e_n_mev);
 
-  std::vector<double> pofs;
+  const phys::Transporter::Config tc = transporter_config(config_);
 
-  for (std::size_t h = 0; h < config_.histories; ++h) {
-    // Incident neutron on the source plane just above the fins.
-    geom::Vec3 dir = config_.angular == SourceAngularLaw::kIsotropic
-                         ? stats::isotropic_hemisphere_down(rng)
-                         : stats::cosine_hemisphere_down(rng);
-    if (dir.z >= -1e-6) dir.z = -1e-6;
-    dir = dir.normalized();
-    const geom::Vec3 entry{rng.uniform(x_lo, x_hi), rng.uniform(y_lo, y_hi),
-                           z_top};
+  exec::ThreadPool pool(config_.threads);
+  std::vector<std::unique_ptr<WorkerState>> workers(pool.thread_count());
+  progress.start_phase("histories", config_.histories);
 
-    // Forced interaction along the chord through the slab.
-    const double chord_nm = (z_top - z_bottom) / (-dir.z);
-    const double weight = sigma_per_cm * util::nm_to_cm(chord_nm);
-    const geom::Vec3 point = entry + dir * (rng.uniform() * chord_nm);
+  McPartial total = exec::parallel_reduce<McPartial>(
+      pool, config_.histories, config_.chunk,
+      [&](const exec::ChunkRange& r) {
+        std::unique_ptr<WorkerState>& slot = workers[r.worker];
+        if (!slot) slot = std::make_unique<WorkerState>(*layout_, tc);
+        WorkerState& ws = *slot;
+        stats::Rng rng = stats::Rng::stream(seed, r.index);
+        McPartial part(nv);
 
-    const phys::NeutronInteraction interaction =
-        interactions_.sample(e_n_mev, dir, rng);
+        for (std::size_t h = r.begin; h < r.end; ++h) {
+          // Incident neutron on the source plane just above the fins.
+          geom::Vec3 dir = config_.angular == SourceAngularLaw::kIsotropic
+                               ? stats::isotropic_hemisphere_down(rng)
+                               : stats::cosine_hemisphere_down(rng);
+          if (dir.z >= -1e-6) dir.z = -1e-6;
+          dir = dir.normalized();
+          const geom::Vec3 entry{rng.uniform(x_lo, x_hi),
+                                 rng.uniform(y_lo, y_hi), z_top};
 
-    // Transport every charged secondary, accumulating per-cell charges.
-    for (const std::uint32_t c : touched_cells_) {
-      cell_charges_[c] = sram::StrikeCharges{};
-    }
-    touched_cells_.clear();
+          // Forced interaction along the chord through the slab.
+          const double chord_nm = (z_top - z_bottom) / (-dir.z);
+          const double weight = sigma_per_cm * util::nm_to_cm(chord_nm);
+          const geom::Vec3 point = entry + dir * (rng.uniform() * chord_nm);
 
-    for (const phys::NeutronSecondary& sec : interaction.secondaries) {
-      if (sec.energy_mev <= 1e-5) continue;
-      const geom::Ray ray{point, sec.direction};
-      const phys::TrackResult track =
-          transporter_.transport(ray, sec.species, sec.energy_mev, rng);
-      for (const phys::FinDeposit& dep : track.deposits) {
-        const sram::FinSite& site = layout_->site(dep.fin_id);
-        const bool bit = layout_->bit(site.cell_row, site.cell_col);
-        const auto idx = sram::ArrayLayout::strike_index(site.role, bit);
-        if (!idx) continue;
-        const std::uint32_t cell =
-            site.cell_row * static_cast<std::uint32_t>(layout_->cols()) +
-            site.cell_col;
-        sram::StrikeCharges& ch = cell_charges_[cell];
-        if (!ch.any()) touched_cells_.push_back(cell);
-        const double q_fc = phys::charge_fc_from_pairs(dep.eh_pairs) *
-                            layout_->collection_efficiency(dep.fin_id);
-        switch (*idx) {
-          case 0: ch.i1_fc += q_fc; break;
-          case 1: ch.i2_fc += q_fc; break;
-          case 2: ch.i3_fc += q_fc; break;
-          default: break;
-        }
-      }
-    }
-    if (!touched_cells_.empty()) ++hits;
+          const phys::NeutronInteraction interaction =
+              interactions_.sample(e_n_mev, dir, rng);
 
-    for (std::size_t v = 0; v < nv; ++v) {
-      const sram::PofTable& table = model_->at_vdd(vdds[v]);
-      for (std::size_t mode = 0; mode < 2; ++mode) {
-        const bool with_pv = (mode == kModeWithPv);
-        pofs.clear();
-        for (const std::uint32_t c : touched_cells_) {
-          const double p = table.pof(cell_charges_[c], with_pv);
-          if (p > 0.0) pofs.push_back(p);
-        }
-        const CombinedPof combined =
-            pofs.empty() ? CombinedPof{} : combine_eqs_4_to_6(pofs);
-        // Weighted per-incident-neutron estimator.
-        acc[v][mode][0].add(weight * combined.tot);
-        acc[v][mode][1].add(weight * combined.seu);
-        acc[v][mode][2].add(weight * combined.mbu);
-        if (!pofs.empty()) {
-          const auto dist = multiplicity_distribution(pofs);
-          // The n >= 1 bins carry the interaction weight; the no-flip bin
-          // absorbs the rest so each history still contributes unit mass.
-          double flipped_mass = 0.0;
-          for (std::size_t n = 1; n < kMaxMultiplicity; ++n) {
-            mult_acc[v][mode][n] += weight * dist[n];
-            flipped_mass += weight * dist[n];
+          // Transport every charged secondary, accumulating per-cell charges.
+          for (const std::uint32_t c : ws.touched_cells) {
+            ws.cell_charges[c] = sram::StrikeCharges{};
           }
-          mult_acc[v][mode][0] += 1.0 - flipped_mass;
-        } else {
-          mult_acc[v][mode][0] += 1.0;
+          ws.touched_cells.clear();
+
+          for (const phys::NeutronSecondary& sec : interaction.secondaries) {
+            if (sec.energy_mev <= 1e-5) continue;
+            const geom::Ray ray{point, sec.direction};
+            const phys::TrackResult track =
+                ws.transporter.transport(ray, sec.species, sec.energy_mev, rng);
+            for (const phys::FinDeposit& dep : track.deposits) {
+              const sram::FinSite& site = layout_->site(dep.fin_id);
+              const bool bit = layout_->bit(site.cell_row, site.cell_col);
+              const auto idx = sram::ArrayLayout::strike_index(site.role, bit);
+              if (!idx) continue;
+              const std::uint32_t cell =
+                  site.cell_row * static_cast<std::uint32_t>(layout_->cols()) +
+                  site.cell_col;
+              sram::StrikeCharges& ch = ws.cell_charges[cell];
+              if (!ch.any()) ws.touched_cells.push_back(cell);
+              const double q_fc = phys::charge_fc_from_pairs(dep.eh_pairs) *
+                                  layout_->collection_efficiency(dep.fin_id);
+              switch (*idx) {
+                case 0: ch.i1_fc += q_fc; break;
+                case 1: ch.i2_fc += q_fc; break;
+                case 2: ch.i3_fc += q_fc; break;
+                default: break;
+              }
+            }
+          }
+          if (!ws.touched_cells.empty()) ++part.hits;
+
+          for (std::size_t v = 0; v < nv; ++v) {
+            const sram::PofTable& table = model_->at_vdd(vdds[v]);
+            for (std::size_t mode = 0; mode < 2; ++mode) {
+              const bool with_pv = (mode == kModeWithPv);
+              ws.pofs.clear();
+              for (const std::uint32_t c : ws.touched_cells) {
+                const double p = table.pof(ws.cell_charges[c], with_pv);
+                if (p > 0.0) ws.pofs.push_back(p);
+              }
+              const CombinedPof combined = ws.pofs.empty()
+                                               ? CombinedPof{}
+                                               : combine_eqs_4_to_6(ws.pofs);
+              PofAccumulator& a = part.acc[v][mode];
+              // Weighted per-incident-neutron estimator.
+              a.add(CombinedPof{weight * combined.tot, weight * combined.seu,
+                                weight * combined.mbu});
+              if (!ws.pofs.empty()) {
+                const auto dist = multiplicity_distribution(ws.pofs);
+                // The n >= 1 bins carry the interaction weight; the no-flip
+                // bin absorbs the rest so each history still contributes unit
+                // mass.
+                double flipped_mass = 0.0;
+                for (std::size_t n = 1; n < kMaxMultiplicity; ++n) {
+                  a.add_multiplicity(n, weight * dist[n]);
+                  flipped_mass += weight * dist[n];
+                }
+                a.add_multiplicity(0, 1.0 - flipped_mass);
+              } else {
+                a.add_multiplicity(0, 1.0);
+              }
+            }
+          }
         }
-      }
-    }
-  }
+
+        progress.tick(r.end - r.begin);
+        return part;
+      },
+      McPartial::merge);
 
   ArrayMcResult result;
   result.vdds = vdds;
   result.est.resize(nv);
   const double hit_fraction =
-      static_cast<double>(hits) / static_cast<double>(config_.histories);
+      static_cast<double>(total.hits) / static_cast<double>(config_.histories);
   for (std::size_t v = 0; v < nv; ++v) {
     for (std::size_t mode = 0; mode < 2; ++mode) {
-      PofEstimate& e = result.est[v][mode];
-      e.tot = acc[v][mode][0].mean();
-      e.seu = acc[v][mode][1].mean();
-      e.mbu = acc[v][mode][2].mean();
-      e.tot_se = acc[v][mode][0].stderr_of_mean();
-      e.seu_se = acc[v][mode][1].stderr_of_mean();
-      e.mbu_se = acc[v][mode][2].stderr_of_mean();
-      e.hit_fraction = hit_fraction;
-      e.strikes = config_.histories;
-      for (std::size_t n = 0; n < kMaxMultiplicity; ++n) {
-        e.multiplicity[n] =
-            mult_acc[v][mode][n] / static_cast<double>(config_.histories);
-      }
+      result.est[v][mode] =
+          total.acc[v][mode].finalize(config_.histories, hit_fraction);
     }
   }
   return result;

@@ -1,10 +1,14 @@
 #include "finser/core/ser_flow.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
+#include "finser/exec/exec.hpp"
+#include "finser/exec/thread_pool.hpp"
 #include "finser/util/error.hpp"
 
 namespace finser::core {
@@ -15,42 +19,45 @@ SerFlow::SerFlow(const SerFlowConfig& config)
               config.pattern, config.pattern_seed),
       mc_seed_cursor_(config.seed) {}
 
-const sram::CellSoftErrorModel& SerFlow::cell_model(const sram::ProgressFn& progress) {
+const sram::CellSoftErrorModel& SerFlow::cell_model(
+    const exec::ProgressSink& progress) {
   if (model_.has_value()) return *model_;
 
-  const sram::CellCharacterizer characterizer(config_.cell_design,
-                                              config_.characterization);
+  sram::CharacterizerConfig ccfg = config_.characterization;
+  if (ccfg.threads == 0) ccfg.threads = config_.threads;
+  const sram::CellCharacterizer characterizer(config_.cell_design, ccfg);
   const std::uint64_t fp =
       config_.characterization.fingerprint(config_.cell_design);
 
   if (!config_.lut_cache_path.empty()) {
     sram::CellSoftErrorModel cached;
     if (sram::CellSoftErrorModel::try_load(config_.lut_cache_path, fp, cached)) {
-      if (progress) progress("POF LUTs loaded from " + config_.lut_cache_path);
+      progress.message("POF LUTs loaded from " + config_.lut_cache_path);
       model_ = std::move(cached);
       return *model_;
     }
   }
 
-  if (progress) progress("characterizing SRAM cell (POF LUTs)...");
+  progress.message("characterizing SRAM cell (POF LUTs)...");
   model_ = characterizer.characterize(progress);
   if (!config_.lut_cache_path.empty()) {
     model_->save(config_.lut_cache_path);
-    if (progress) progress("POF LUTs cached to " + config_.lut_cache_path);
+    progress.message("POF LUTs cached to " + config_.lut_cache_path);
   }
   return *model_;
 }
 
 ArrayMcResult SerFlow::run_at_energy(phys::Species species, double e_mev,
-                                     const sram::ProgressFn& progress) {
+                                     const exec::ProgressSink& progress) {
   const sram::CellSoftErrorModel& model = cell_model(progress);
-  ArrayMc mc(layout_, model, config_.array_mc);
-  stats::Rng rng(mc_seed_cursor_++);
-  return mc.run(species, e_mev, rng);
+  ArrayMcConfig cfg = config_.array_mc;
+  if (cfg.threads == 0) cfg.threads = config_.threads;
+  ArrayMc mc(layout_, model, cfg);
+  return mc.run(species, e_mev, mc_seed_cursor_++, progress);
 }
 
 EnergySweepResult SerFlow::sweep(const env::Spectrum& spectrum,
-                                 const sram::ProgressFn& progress) {
+                                 const exec::ProgressSink& progress) {
   const sram::CellSoftErrorModel& model = cell_model(progress);
 
   std::size_t bins = config_.alpha_bins;
@@ -79,25 +86,47 @@ EnergySweepResult SerFlow::sweep(const env::Spectrum& spectrum,
   result.bins = spectrum.discretize(e_lo, e_hi, bins);
 
   const bool neutron = spectrum.species() == phys::Species::kNeutron;
-  std::optional<ArrayMc> charged_mc;
-  std::optional<NeutronArrayMc> neutron_mc;
-  if (neutron) {
-    neutron_mc.emplace(layout_, model, config_.neutron_mc);
-  } else {
-    charged_mc.emplace(layout_, model, config_.array_mc);
-  }
+  const std::size_t n_bins = result.bins.size();
 
-  for (const env::EnergyBin& bin : result.bins) {
-    stats::Rng rng(mc_seed_cursor_++);
-    result.per_bin.push_back(
-        neutron ? neutron_mc->run(bin.e_rep_mev, rng)
-                : charged_mc->run(spectrum.species(), bin.e_rep_mev, rng));
-    if (progress) {
-      std::ostringstream os;
-      os << spectrum.name() << ": E=" << bin.e_rep_mev << " MeV done";
-      progress(os.str());
+  // Per-bin seeds are drawn serially in bin order, exactly one cursor
+  // increment per bin — the sweep consumes the same cursor range no matter
+  // how the bins are scheduled.
+  std::vector<std::uint64_t> bin_seeds(n_bins);
+  for (std::uint64_t& s : bin_seeds) s = mc_seed_cursor_++;
+
+  // Two-level split of the thread budget: energy bins as the outer task
+  // level, the strike loop inside each bin on the remainder. Each bin gets
+  // its own engine instance (engines are cheap; the heavy state lives in
+  // the per-worker transporters inside run()).
+  const std::size_t budget = exec::resolve_threads(config_.threads);
+  const std::size_t outer = std::max<std::size_t>(1, std::min(n_bins, budget));
+  const std::size_t inner = std::max<std::size_t>(1, budget / outer);
+
+  ArrayMcConfig charged_cfg = config_.array_mc;
+  if (charged_cfg.threads == 0) charged_cfg.threads = inner;
+  NeutronMcConfig neutron_cfg = config_.neutron_mc;
+  if (neutron_cfg.threads == 0) neutron_cfg.threads = inner;
+
+  result.per_bin.resize(n_bins);
+  exec::ThreadPool outer_pool(outer);
+  outer_pool.parallel_for_chunks(n_bins, 1, [&](const exec::ChunkRange& r) {
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      const env::EnergyBin& bin = result.bins[i];
+      if (neutron) {
+        NeutronArrayMc mc(layout_, model, neutron_cfg);
+        result.per_bin[i] = mc.run(bin.e_rep_mev, bin_seeds[i]);
+      } else {
+        ArrayMc mc(layout_, model, charged_cfg);
+        result.per_bin[i] =
+            mc.run(spectrum.species(), bin.e_rep_mev, bin_seeds[i]);
+      }
+      if (progress) {
+        std::ostringstream os;
+        os << spectrum.name() << ": E=" << bin.e_rep_mev << " MeV done";
+        progress.message(os.str());
+      }
     }
-  }
+  });
 
   // Eq. 8 per (vdd, mode). The normalization area is the source-sampling
   // plane (equals the array footprint when the margin is zero).
@@ -118,8 +147,22 @@ EnergySweepResult SerFlow::sweep(const env::Spectrum& spectrum,
 double mc_scale_from_env() {
   const char* raw = std::getenv("FINSER_MC_SCALE");
   if (raw == nullptr) return 1.0;
-  const double v = std::atof(raw);
-  return v > 0.0 ? v : 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  // Tolerate trailing whitespace, but nothing else.
+  while (end != nullptr && *end != '\0' &&
+         std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  const bool parsed = end != nullptr && end != raw && *end == '\0';
+  if (!parsed || !std::isfinite(v) || v <= 0.0) {
+    std::fprintf(stderr,
+                 "finser: ignoring invalid FINSER_MC_SCALE=\"%s\" "
+                 "(expected a finite value > 0); using 1.0\n",
+                 raw);
+    return 1.0;
+  }
+  return v;
 }
 
 void apply_mc_scale(SerFlowConfig& config, double scale) {

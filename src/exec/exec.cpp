@@ -1,0 +1,42 @@
+#include "finser/exec/exec.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace finser::exec {
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<std::size_t>(n) : 1;
+}
+
+std::size_t threads_from_env() {
+  const char* raw = std::getenv("FINSER_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  bool ok = end != raw;
+  while (ok && *end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) ok = false;
+    ++end;
+  }
+  if (!ok || v <= 0) {
+    std::fprintf(stderr,
+                 "finser: ignoring invalid FINSER_THREADS=\"%s\" "
+                 "(want a positive integer)\n",
+                 raw);
+    return 0;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const std::size_t env = threads_from_env();
+  if (env > 0) return env;
+  return hardware_threads();
+}
+
+}  // namespace finser::exec

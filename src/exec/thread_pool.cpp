@@ -1,0 +1,128 @@
+#include "finser/exec/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "finser/exec/exec.hpp"
+
+namespace finser::exec {
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+
+  std::mutex m;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  std::uint64_t epoch = 0;   // Bumped once per region.
+  std::size_t busy = 0;      // Workers still inside the current region.
+  bool stop = false;
+
+  // Current region (valid between the epoch bump and busy == 0).
+  const std::function<void(const ChunkRange&)>* fn = nullptr;
+  std::size_t n_items = 0;
+  std::size_t chunk = 0;
+  std::size_t n_chunks = 0;
+  std::atomic<std::size_t> next_chunk{0};
+  std::exception_ptr error;
+
+  /// Claim and execute chunks until the region is drained. Any schedule is
+  /// fine: chunk indices, not threads, key the deterministic state.
+  void run_chunks(std::size_t slot) {
+    for (;;) {
+      const std::size_t i = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_chunks) return;
+      const ChunkRange r{i, i * chunk, std::min(n_items, (i + 1) * chunk), slot};
+      try {
+        (*fn)(r);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(m);
+        if (!error) error = std::current_exception();
+        // Drain the remaining chunks: fail fast instead of finishing a
+        // region whose result is already lost.
+        next_chunk.store(n_chunks, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void worker_main(std::size_t slot) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(m);
+        start_cv.wait(lk, [&] { return stop || epoch != seen; });
+        if (stop) return;
+        seen = epoch;
+      }
+      run_chunks(slot);
+      {
+        std::lock_guard<std::mutex> lk(m);
+        if (--busy == 0) done_cv.notify_one();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  const std::size_t n = resolve_threads(threads);
+  workers_count_ = n - 1;
+  impl_->workers.reserve(workers_count_);
+  for (std::size_t slot = 1; slot <= workers_count_; ++slot) {
+    impl_->workers.emplace_back([this, slot] { impl_->worker_main(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    impl_->stop = true;
+  }
+  impl_->start_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n_items, std::size_t chunk,
+    const std::function<void(const ChunkRange&)>& fn) {
+  FINSER_REQUIRE(chunk > 0, "ThreadPool: chunk size must be positive");
+  if (n_items == 0) return;
+  const std::size_t n_chunks = (n_items + chunk - 1) / chunk;
+
+  if (workers_count_ == 0) {
+    // Inline fast path: no synchronization, identical chunk decomposition.
+    for (std::size_t i = 0; i < n_chunks; ++i) {
+      fn({i, i * chunk, std::min(n_items, (i + 1) * chunk), 0});
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    impl_->fn = &fn;
+    impl_->n_items = n_items;
+    impl_->chunk = chunk;
+    impl_->n_chunks = n_chunks;
+    impl_->next_chunk.store(0, std::memory_order_relaxed);
+    impl_->error = nullptr;
+    impl_->busy = workers_count_;
+    ++impl_->epoch;
+  }
+  impl_->start_cv.notify_all();
+
+  impl_->run_chunks(0);  // The caller is worker slot 0.
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lk(impl_->m);
+    impl_->done_cv.wait(lk, [&] { return impl_->busy == 0; });
+    impl_->fn = nullptr;
+    error = impl_->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace finser::exec

@@ -3,13 +3,47 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <sstream>
 
+#include "finser/exec/thread_pool.hpp"
 #include "finser/util/error.hpp"
 
 namespace finser::sram {
 
+namespace detail {
+
+/// One StrikeSimulator per pool worker slot, created lazily on the worker's
+/// own thread (the simulator keeps transient-analysis scratch and is not
+/// shareable across threads).
+struct SimSlots {
+  const CellDesign* design;
+  double vdd_v;
+  std::vector<std::unique_ptr<StrikeSimulator>> sims;
+
+  SimSlots(const CellDesign& d, double vdd, std::size_t slots)
+      : design(&d), vdd_v(vdd), sims(slots) {}
+
+  StrikeSimulator& at(std::size_t worker) {
+    std::unique_ptr<StrikeSimulator>& s = sims[worker];
+    if (!s) s = std::make_unique<StrikeSimulator>(*design, vdd_v);
+    return *s;
+  }
+};
+
+}  // namespace detail
+
 namespace {
+
+/// Bumped whenever the characterization algorithm's RNG-consumption scheme
+/// changes (v2: counter-based per-stage / per-work-item streams); stale disk
+/// caches from older schemes then fail fingerprint validation and rebuild.
+constexpr std::uint64_t kSchemeVersion = 2;
+
+/// Stream-family ids under one per-voltage seed (stats::Rng::derive_seed).
+constexpr std::uint64_t kStreamSingleBase = 1;  // which = 0..2 -> 1..3.
+constexpr std::uint64_t kStreamPairBase = 4;    // pair p = 0..2 -> 4..6.
+constexpr std::uint64_t kStreamTriple = 7;
 
 StrikeCharges scale_direction(const StrikeCharges& dir, double s) {
   return StrikeCharges{dir.i1_fc * s, dir.i2_fc * s, dir.i3_fc * s};
@@ -40,6 +74,7 @@ void hash_value(std::uint64_t& h, double v) { hash_doubles(h, &v, 1); }
 
 std::uint64_t CharacterizerConfig::fingerprint(const CellDesign& design) const {
   std::uint64_t h = 14695981039346656037ull;
+  hash_value(h, static_cast<double>(kSchemeVersion));
   for (double v : vdds) hash_value(h, v);
   hash_value(h, static_cast<double>(pv_samples_single));
   hash_value(h, static_cast<double>(pair_grid_points));
@@ -49,6 +84,7 @@ std::uint64_t CharacterizerConfig::fingerprint(const CellDesign& design) const {
   hash_value(h, bisect_tol_fc);
   hash_value(h, static_cast<double>(static_cast<int>(pulse_kind)));
   hash_value(h, static_cast<double>(seed));
+  // `threads` is intentionally absent: it never changes the model.
 
   const spice::FinFetModel& n = design.nfet ? *design.nfet : spice::default_nfet();
   const spice::FinFetModel& p = design.pfet ? *design.pfet : spice::default_pfet();
@@ -109,20 +145,33 @@ DeltaVt CellCharacterizer::sample_delta_vt(stats::Rng& rng) const {
   return dvt;
 }
 
-SingleCdf CellCharacterizer::characterize_single(StrikeSimulator& sim, int which,
-                                                 stats::Rng& rng) const {
+SingleCdf CellCharacterizer::characterize_single(exec::ThreadPool& pool,
+                                                 detail::SimSlots& sims,
+                                                 int which,
+                                                 std::uint64_t seed) const {
   const StrikeCharges dir = unit_direction(which);
   SingleCdf cdf;
   cdf.nominal_qcrit_fc = bisect_critical_scale(
-      sim, dir, DeltaVt{}, config_.q_max_fc, config_.bisect_tol_fc,
+      sims.at(0), dir, DeltaVt{}, config_.q_max_fc, config_.bisect_tol_fc,
       config_.pulse_kind);
 
+  // PV samples are independent: sample k always draws from stream k of this
+  // stage's seed (~a dozen SPICE transients each, so chunk = 1).
   cdf.total_samples = config_.pv_samples_single;
+  std::vector<double> qcrit(config_.pv_samples_single);
+  pool.parallel_for_chunks(
+      config_.pv_samples_single, 1, [&](const exec::ChunkRange& r) {
+        StrikeSimulator& sim = sims.at(r.worker);
+        for (std::size_t k = r.begin; k < r.end; ++k) {
+          stats::Rng rng = stats::Rng::stream(seed, k);
+          const DeltaVt dvt = sample_delta_vt(rng);
+          qcrit[k] = bisect_critical_scale(sim, dir, dvt, config_.q_max_fc,
+                                           config_.bisect_tol_fc,
+                                           config_.pulse_kind);
+        }
+      });
   cdf.qcrit_samples_fc.reserve(config_.pv_samples_single);
-  for (std::size_t k = 0; k < config_.pv_samples_single; ++k) {
-    const DeltaVt dvt = sample_delta_vt(rng);
-    const double q = bisect_critical_scale(sim, dir, dvt, config_.q_max_fc,
-                                           config_.bisect_tol_fc, config_.pulse_kind);
+  for (double q : qcrit) {
     if (q < SingleCdf::kNeverFlips) cdf.qcrit_samples_fc.push_back(q);
   }
   std::sort(cdf.qcrit_samples_fc.begin(), cdf.qcrit_samples_fc.end());
@@ -139,10 +188,6 @@ StrikeCharges pair_charges(int a, int b, double qa, double qb) {
   *slots[b] = qb;
   return c;
 }
-
-}  // namespace
-
-namespace {
 
 /// Smallest spacing of an axis (controls the MC dilation radius).
 double min_spacing(const util::Axis& axis) {
@@ -186,9 +231,10 @@ util::Axis make_charge_axis(double qc_lo_fc, double qc_hi_fc, std::size_t points
   return util::Axis(std::move(pts));
 }
 
-void CellCharacterizer::characterize_pair(StrikeSimulator& sim, int a, int b,
+void CellCharacterizer::characterize_pair(exec::ThreadPool& pool,
+                                          detail::SimSlots& sims, int a, int b,
                                           const util::Axis& axis,
-                                          double sigma_q_fc, stats::Rng& rng,
+                                          double sigma_q_fc, std::uint64_t seed,
                                           util::Grid2& pv,
                                           util::Grid2& nominal) const {
   const std::size_t np = axis.size();
@@ -197,22 +243,26 @@ void CellCharacterizer::characterize_pair(StrikeSimulator& sim, int a, int b,
       static_cast<std::ptrdiff_t>(std::ceil(4.0 * sigma_q_fc / dq)) + 1;
 
   // Nominal boundary per row by binary search (flip region is monotone).
+  // Rows are independent and RNG-free — straight parallel rows.
   std::vector<std::size_t> boundary(np, np);  // First flipping column, np = none.
-  for (std::size_t i = 0; i < np; ++i) {
-    std::size_t lo = 0, hi = np;  // Search smallest j with flip in [lo, hi).
-    while (lo < hi) {
-      const std::size_t mid = lo + (hi - lo) / 2;
-      const bool flips = sim.simulate(pair_charges(a, b, axis[i], axis[mid]),
-                                      DeltaVt{}, config_.pulse_kind)
-                             .flipped;
-      if (flips) {
-        hi = mid;
-      } else {
-        lo = mid + 1;
+  pool.parallel_for_chunks(np, 1, [&](const exec::ChunkRange& r) {
+    StrikeSimulator& sim = sims.at(r.worker);
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      std::size_t lo = 0, hi = np;  // Search smallest j with flip in [lo, hi).
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        const bool flips = sim.simulate(pair_charges(a, b, axis[i], axis[mid]),
+                                        DeltaVt{}, config_.pulse_kind)
+                               .flipped;
+        if (flips) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
       }
+      boundary[i] = lo;
     }
-    boundary[i] = lo;
-  }
+  });
 
   std::vector<double> nom_values(np * np);
   for (std::size_t i = 0; i < np; ++i) {
@@ -222,7 +272,11 @@ void CellCharacterizer::characterize_pair(StrikeSimulator& sim, int a, int b,
   }
 
   // PV values: Monte Carlo only within `radius` (Chebyshev) of the boundary.
+  // Collect the near-boundary cells first, then run them in parallel; each
+  // cell draws from the stream keyed by its linear grid index, so the result
+  // does not depend on how many cells made the list.
   std::vector<double> pv_values = nom_values;
+  std::vector<std::size_t> mc_cells;
   for (std::size_t i = 0; i < np; ++i) {
     for (std::size_t j = 0; j < np; ++j) {
       bool near_boundary = false;
@@ -242,7 +296,16 @@ void CellCharacterizer::characterize_pair(StrikeSimulator& sim, int a, int b,
           }
         }
       }
-      if (!near_boundary) continue;
+      if (near_boundary) mc_cells.push_back(i * np + j);
+    }
+  }
+  pool.parallel_for_chunks(mc_cells.size(), 1, [&](const exec::ChunkRange& r) {
+    StrikeSimulator& sim = sims.at(r.worker);
+    for (std::size_t c = r.begin; c < r.end; ++c) {
+      const std::size_t cell = mc_cells[c];
+      const std::size_t i = cell / np;
+      const std::size_t j = cell % np;
+      stats::Rng rng = stats::Rng::stream(seed, cell);
       std::size_t flips = 0;
       for (std::size_t k = 0; k < config_.pv_samples_grid; ++k) {
         const DeltaVt dvt = sample_delta_vt(rng);
@@ -252,19 +315,20 @@ void CellCharacterizer::characterize_pair(StrikeSimulator& sim, int a, int b,
           ++flips;
         }
       }
-      pv_values[i * np + j] = static_cast<double>(flips) /
-                              static_cast<double>(config_.pv_samples_grid);
+      pv_values[cell] = static_cast<double>(flips) /
+                        static_cast<double>(config_.pv_samples_grid);
     }
-  }
+  });
 
   nominal = util::Grid2(axis, axis, std::move(nom_values));
   pv = util::Grid2(axis, axis, std::move(pv_values));
 }
 
-void CellCharacterizer::characterize_triple(StrikeSimulator& sim,
+void CellCharacterizer::characterize_triple(exec::ThreadPool& pool,
+                                            detail::SimSlots& sims,
                                             const util::Axis& axis,
-                                            double sigma_q_fc, stats::Rng& rng,
-                                            util::Grid3& pv,
+                                            double sigma_q_fc,
+                                            std::uint64_t seed, util::Grid3& pv,
                                             util::Grid3& nominal) const {
   const std::size_t np = axis.size();
   const double dq = min_spacing(axis);
@@ -275,10 +339,14 @@ void CellCharacterizer::characterize_triple(StrikeSimulator& sim,
     return (i * np + j) * np + k;
   };
 
-  // Nominal: binary search the first flipping k for each (i, j).
+  // Nominal: binary search the first flipping k for each (i, j) — RNG-free,
+  // one parallel item per (i, j) column.
   std::vector<double> nom_values(np * np * np);
-  for (std::size_t i = 0; i < np; ++i) {
-    for (std::size_t j = 0; j < np; ++j) {
+  pool.parallel_for_chunks(np * np, 1, [&](const exec::ChunkRange& r) {
+    StrikeSimulator& sim = sims.at(r.worker);
+    for (std::size_t ij = r.begin; ij < r.end; ++ij) {
+      const std::size_t i = ij / np;
+      const std::size_t j = ij % np;
       std::size_t lo = 0, hi = np;
       while (lo < hi) {
         const std::size_t mid = lo + (hi - lo) / 2;
@@ -296,9 +364,10 @@ void CellCharacterizer::characterize_triple(StrikeSimulator& sim,
         nom_values[idx(i, j, k)] = k >= lo ? 1.0 : 0.0;
       }
     }
-  }
+  });
 
   std::vector<double> pv_values = nom_values;
+  std::vector<std::size_t> mc_cells;
   const auto snp = static_cast<std::ptrdiff_t>(np);
   for (std::size_t i = 0; i < np; ++i) {
     for (std::size_t j = 0; j < np; ++j) {
@@ -324,36 +393,50 @@ void CellCharacterizer::characterize_triple(StrikeSimulator& sim,
             }
           }
         }
-        if (!near_boundary) continue;
-        std::size_t flips = 0;
-        for (std::size_t s = 0; s < config_.pv_samples_grid; ++s) {
-          const DeltaVt dvt = sample_delta_vt(rng);
-          if (sim.simulate(StrikeCharges{axis[i], axis[j], axis[k]}, dvt,
-                           config_.pulse_kind)
-                  .flipped) {
-            ++flips;
-          }
-        }
-        pv_values[idx(i, j, k)] = static_cast<double>(flips) /
-                                  static_cast<double>(config_.pv_samples_grid);
+        if (near_boundary) mc_cells.push_back(idx(i, j, k));
       }
     }
   }
+  pool.parallel_for_chunks(mc_cells.size(), 1, [&](const exec::ChunkRange& r) {
+    StrikeSimulator& sim = sims.at(r.worker);
+    for (std::size_t c = r.begin; c < r.end; ++c) {
+      const std::size_t cell = mc_cells[c];
+      const std::size_t k = cell % np;
+      const std::size_t j = (cell / np) % np;
+      const std::size_t i = cell / (np * np);
+      stats::Rng rng = stats::Rng::stream(seed, cell);
+      std::size_t flips = 0;
+      for (std::size_t s = 0; s < config_.pv_samples_grid; ++s) {
+        const DeltaVt dvt = sample_delta_vt(rng);
+        if (sim.simulate(StrikeCharges{axis[i], axis[j], axis[k]}, dvt,
+                         config_.pulse_kind)
+                .flipped) {
+          ++flips;
+        }
+      }
+      pv_values[cell] = static_cast<double>(flips) /
+                        static_cast<double>(config_.pv_samples_grid);
+    }
+  });
 
   nominal = util::Grid3(axis, axis, axis, std::move(nom_values));
   pv = util::Grid3(axis, axis, axis, std::move(pv_values));
 }
 
-PofTable CellCharacterizer::characterize_at(double vdd_v, stats::Rng& rng,
-                                            const ProgressFn& progress) const {
-  StrikeSimulator sim(design_, vdd_v);
+PofTable CellCharacterizer::characterize_at(double vdd_v, std::uint64_t seed,
+                                            const exec::ProgressSink& progress) const {
+  exec::ThreadPool pool(config_.threads);
+  detail::SimSlots sims(design_, vdd_v, pool.thread_count());
+
   PofTable table;
   table.vdd_v = vdd_v;
   table.q_max_fc = config_.q_max_fc;
 
   for (int which = 0; which < 3; ++which) {
-    table.singles[static_cast<std::size_t>(which)] =
-        characterize_single(sim, which, rng);
+    table.singles[static_cast<std::size_t>(which)] = characterize_single(
+        pool, sims, which,
+        stats::Rng::derive_seed(seed,
+                                kStreamSingleBase + static_cast<std::uint64_t>(which)));
     if (progress) {
       std::ostringstream os;
       const auto& s = table.singles[static_cast<std::size_t>(which)];
@@ -361,7 +444,7 @@ PofTable CellCharacterizer::characterize_at(double vdd_v, stats::Rng& rng,
          << ": qcrit_nom=" << s.nominal_qcrit_fc
          << " fC, qcrit_mean=" << s.mean_qcrit_fc()
          << " fC, sigma=" << s.stddev_qcrit_fc() << " fC";
-      progress(os.str());
+      progress.message(os.str());
     }
   }
 
@@ -387,26 +470,31 @@ PofTable CellCharacterizer::characterize_at(double vdd_v, stats::Rng& rng,
 
   const int pair_ids[3][2] = {{0, 1}, {0, 2}, {1, 2}};
   for (int p = 0; p < 3; ++p) {
-    characterize_pair(sim, pair_ids[p][0], pair_ids[p][1], pair_axis, sigma_q, rng,
-                      table.pairs_pv[static_cast<std::size_t>(p)],
-                      table.pairs_nominal[static_cast<std::size_t>(p)]);
+    characterize_pair(
+        pool, sims, pair_ids[p][0], pair_ids[p][1], pair_axis, sigma_q,
+        stats::Rng::derive_seed(seed,
+                                kStreamPairBase + static_cast<std::uint64_t>(p)),
+        table.pairs_pv[static_cast<std::size_t>(p)],
+        table.pairs_nominal[static_cast<std::size_t>(p)]);
   }
-  if (progress) progress("vdd=" + std::to_string(vdd_v) + ": pair grids done");
+  if (progress) progress.message("vdd=" + std::to_string(vdd_v) + ": pair grids done");
 
-  characterize_triple(sim, triple_axis, sigma_q, rng, table.triple_pv,
-                      table.triple_nominal);
-  if (progress) progress("vdd=" + std::to_string(vdd_v) + ": triple grid done");
+  characterize_triple(pool, sims, triple_axis, sigma_q,
+                      stats::Rng::derive_seed(seed, kStreamTriple),
+                      table.triple_pv, table.triple_nominal);
+  if (progress) progress.message("vdd=" + std::to_string(vdd_v) + ": triple grid done");
   return table;
 }
 
-CellSoftErrorModel CellCharacterizer::characterize(const ProgressFn& progress) const {
+CellSoftErrorModel CellCharacterizer::characterize(
+    const exec::ProgressSink& progress) const {
   CellSoftErrorModel model;
   model.config_fingerprint = config_.fingerprint(design_);
-  stats::Rng rng(config_.seed);
   std::vector<double> vdds = config_.vdds;
   std::sort(vdds.begin(), vdds.end());
-  for (double vdd : vdds) {
-    model.tables.push_back(characterize_at(vdd, rng, progress));
+  for (std::size_t v = 0; v < vdds.size(); ++v) {
+    model.tables.push_back(characterize_at(
+        vdds[v], stats::Rng::derive_seed(config_.seed, v), progress));
   }
   return model;
 }

@@ -109,4 +109,19 @@ bool Rng::bernoulli(double p) {
 
 Rng Rng::split() { return Rng((*this)()); }
 
+std::uint64_t Rng::derive_seed(std::uint64_t root_seed,
+                               std::uint64_t stream_id) {
+  // Mix the root once so nearby user seeds land far apart, then index the
+  // SplitMix64 sequence starting there by the stream counter. SplitMix64 is
+  // an invertible mix of a Weyl sequence, so distinct (root, stream) pairs
+  // with the same root always yield distinct sub-seeds.
+  std::uint64_t x = root_seed;
+  std::uint64_t cursor = splitmix64(x) + stream_id * 0x9E3779B97F4A7C15ull;
+  return splitmix64(cursor);
+}
+
+Rng Rng::stream(std::uint64_t root_seed, std::uint64_t stream_id) {
+  return Rng(derive_seed(root_seed, stream_id));
+}
+
 }  // namespace finser::stats

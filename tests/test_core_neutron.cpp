@@ -126,8 +126,7 @@ TEST(NeutronMc, ProducesWeightedPofEstimates) {
   const ArrayLayout layout(3, 3, CellGeometry{});
   const CellSoftErrorModel model = threshold_model(0.8, 0.02);
   NeutronArrayMc mc(layout, model, fast_config());
-  stats::Rng rng(1);
-  const auto res = mc.run(14.0, rng);
+  const auto res = mc.run(14.0, 1);
   const auto& e = res.est[0][kModeWithPv];
   // Forced-interaction weights make per-neutron POF tiny but nonzero.
   EXPECT_GT(e.tot, 0.0);
@@ -141,8 +140,7 @@ TEST(NeutronMc, ElasticOnlyEnergiesStillUpset) {
   const ArrayLayout layout(3, 3, CellGeometry{});
   const CellSoftErrorModel model = threshold_model(0.8, 0.02);
   NeutronArrayMc mc(layout, model, fast_config());
-  stats::Rng rng(2);
-  EXPECT_GT(mc.run(2.0, rng).est[0][kModeWithPv].tot, 0.0);
+  EXPECT_GT(mc.run(2.0, 2).est[0][kModeWithPv].tot, 0.0);
 }
 
 TEST(NeutronMc, HigherThresholdLowersPof) {
@@ -151,18 +149,16 @@ TEST(NeutronMc, HigherThresholdLowersPof) {
   const CellSoftErrorModel hard = threshold_model(0.8, 0.35);
   NeutronArrayMc mc_e(layout, easy, fast_config());
   NeutronArrayMc mc_h(layout, hard, fast_config());
-  stats::Rng r1(3), r2(3);
-  EXPECT_GT(mc_e.run(5.0, r1).est[0][kModeWithPv].tot,
-            mc_h.run(5.0, r2).est[0][kModeWithPv].tot);
+  EXPECT_GT(mc_e.run(5.0, 3).est[0][kModeWithPv].tot,
+            mc_h.run(5.0, 3).est[0][kModeWithPv].tot);
 }
 
 TEST(NeutronMc, DeterministicGivenSeed) {
   const ArrayLayout layout(2, 2, CellGeometry{});
   const CellSoftErrorModel model = threshold_model(0.8, 0.02);
   NeutronArrayMc mc(layout, model, fast_config(4000));
-  stats::Rng r1(4), r2(4);
-  EXPECT_DOUBLE_EQ(mc.run(14.0, r1).est[0][kModeWithPv].tot,
-                   mc.run(14.0, r2).est[0][kModeWithPv].tot);
+  EXPECT_DOUBLE_EQ(mc.run(14.0, 4).est[0][kModeWithPv].tot,
+                   mc.run(14.0, 4).est[0][kModeWithPv].tot);
 }
 
 TEST(NeutronMc, RejectsBadConfig) {
@@ -174,8 +170,7 @@ TEST(NeutronMc, RejectsBadConfig) {
   bad.interaction_depth_um = 0.0;
   EXPECT_THROW(NeutronArrayMc(layout, model, bad), util::InvalidArgument);
   NeutronArrayMc mc(layout, model, fast_config(100));
-  stats::Rng rng(5);
-  EXPECT_THROW(mc.run(0.0, rng), util::InvalidArgument);
+  EXPECT_THROW(mc.run(0.0, 5), util::InvalidArgument);
 }
 
 // ---------------------------------------------------------------------------

@@ -122,6 +122,22 @@ TEST(McScale, EnvParsingAndDefaults) {
   unsetenv("FINSER_MC_SCALE");
 }
 
+TEST(McScale, RejectsEveryMalformedEnvValue) {
+  // Each of these must fall back to 1.0 rather than poisoning downstream
+  // Monte-Carlo sizes with NaN/inf/zero scales.
+  for (const char* bad : {"nan", "NaN", "inf", "-inf", "1e999", "0", "0.0",
+                          "-0.25", "abc", "", "2.5x", "3,5", "--2"}) {
+    setenv("FINSER_MC_SCALE", bad, 1);
+    EXPECT_DOUBLE_EQ(mc_scale_from_env(), 1.0) << "value: \"" << bad << '"';
+  }
+  // Leading/trailing whitespace around a valid number is tolerated.
+  setenv("FINSER_MC_SCALE", "  0.5 ", 1);
+  EXPECT_DOUBLE_EQ(mc_scale_from_env(), 0.5);
+  setenv("FINSER_MC_SCALE", "4\t", 1);
+  EXPECT_DOUBLE_EQ(mc_scale_from_env(), 4.0);
+  unsetenv("FINSER_MC_SCALE");
+}
+
 TEST(McScale, AppliesToAllMonteCarloSizes) {
   SerFlowConfig cfg = tiny_config();
   apply_mc_scale(cfg, 3.0);

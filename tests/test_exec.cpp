@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "finser/core/array_mc.hpp"
+#include "finser/exec/exec.hpp"
+#include "finser/exec/progress.hpp"
+#include "finser/exec/thread_pool.hpp"
+#include "finser/stats/rng.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::exec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Thread-count resolution
+// ---------------------------------------------------------------------------
+
+TEST(ExecConfig, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(hardware_threads(), 1u);
+}
+
+TEST(ExecConfig, ExplicitRequestWins) {
+  setenv("FINSER_THREADS", "7", 1);
+  EXPECT_EQ(resolve_threads(3), 3u);
+  unsetenv("FINSER_THREADS");
+}
+
+TEST(ExecConfig, EnvUsedWhenRequestIsAuto) {
+  setenv("FINSER_THREADS", "5", 1);
+  EXPECT_EQ(resolve_threads(0), 5u);
+  unsetenv("FINSER_THREADS");
+  EXPECT_EQ(resolve_threads(0), hardware_threads());
+}
+
+TEST(ExecConfig, MalformedEnvIsRejected) {
+  for (const char* bad : {"0", "-2", "abc", "", "2.5", "3x"}) {
+    setenv("FINSER_THREADS", bad, 1);
+    EXPECT_EQ(threads_from_env(), 0u) << "value: \"" << bad << '"';
+  }
+  setenv("FINSER_THREADS", "4", 1);
+  EXPECT_EQ(threads_from_env(), 4u);
+  setenv("FINSER_THREADS", "4 ", 1);  // Trailing whitespace tolerated.
+  EXPECT_EQ(threads_from_env(), 4u);
+  unsetenv("FINSER_THREADS");
+  EXPECT_EQ(threads_from_env(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, CoversEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  const std::size_t n = 1237;  // Deliberately not a multiple of the chunk.
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for_chunks(n, 64, [&](const ChunkRange& r) {
+    EXPECT_LT(r.worker, pool.thread_count());
+    for (std::size_t i = r.begin; i < r.end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ChunkDecompositionIsThreadCountInvariant) {
+  auto ranges_with = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::array<std::size_t, 3>> out;
+    pool.parallel_for_chunks(1000, 96, [&](const ChunkRange& r) {
+      std::lock_guard<std::mutex> lock(mu);
+      out.push_back({r.index, r.begin, r.end});
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(ranges_with(1), ranges_with(4));
+}
+
+TEST(ThreadPool, EmptyRegionIsNoOp) {
+  ThreadPool pool(3);
+  bool called = false;
+  pool.parallel_for_chunks(0, 16, [&](const ChunkRange&) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for_chunks(10, 3, [&](const ChunkRange& r) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(r.worker, 0u);
+  });
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for_chunks(100, 1,
+                               [](const ChunkRange& r) {
+                                 if (r.index == 17)
+                                   throw std::runtime_error("chunk 17");
+                               }),
+      std::runtime_error);
+  // The pool survives the exception and runs subsequent regions.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for_chunks(50, 5, [&](const ChunkRange&) { ++count; });
+  EXPECT_EQ(count.load(), 10u);
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for_chunks(100, 7, [&](const ChunkRange& r) {
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        sum.fetch_add(static_cast<long>(i));
+      }
+    });
+  }
+  EXPECT_EQ(sum.load(), 20L * (99L * 100L / 2L));
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+TEST(Reduce, PairwiseMatchesFold) {
+  std::vector<double> parts(13);
+  std::iota(parts.begin(), parts.end(), 1.0);
+  const double got =
+      reduce_pairwise(parts, [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(got, 13.0 * 14.0 / 2.0);
+  EXPECT_THROW(reduce_pairwise(std::vector<double>{},
+                               [](double a, double b) { return a + b; }),
+               util::InvalidArgument);
+}
+
+TEST(Reduce, ParallelReduceSumsItems) {
+  ThreadPool pool(4);
+  const auto got = parallel_reduce<long>(
+      pool, 5000, 128,
+      [](const ChunkRange& r) {
+        long s = 0;
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          s += static_cast<long>(i);
+        }
+        return s;
+      },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(got, 4999L * 5000L / 2L);
+  EXPECT_THROW((parallel_reduce<long>(
+                   pool, 0, 16, [](const ChunkRange&) { return 0L; },
+                   [](long a, long b) { return a + b; })),
+               util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG streams
+// ---------------------------------------------------------------------------
+
+TEST(RngStream, SameStreamIdReproduces) {
+  stats::Rng a = stats::Rng::stream(42, 7);
+  stats::Rng b = stats::Rng::stream(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngStream, DistinctStreamsAndRootsDiffer) {
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t id = 0; id < 256; ++id) {
+    firsts.insert(stats::Rng::stream(42, id)());
+  }
+  EXPECT_EQ(firsts.size(), 256u);  // No collisions across stream ids.
+  EXPECT_NE(stats::Rng::stream(1, 0)(),
+            stats::Rng::stream(2, 0)());
+  EXPECT_EQ(stats::Rng::derive_seed(9, 3), stats::Rng::derive_seed(9, 3));
+  EXPECT_NE(stats::Rng::derive_seed(9, 3), stats::Rng::derive_seed(9, 4));
+}
+
+// ---------------------------------------------------------------------------
+// ProgressSink
+// ---------------------------------------------------------------------------
+
+TEST(Progress, DisabledSinkIsNoOp) {
+  const ProgressSink sink;
+  EXPECT_FALSE(static_cast<bool>(sink));
+  sink.message("ignored");
+  sink.start_phase("x", 10);
+  sink.tick(10);
+  EXPECT_EQ(sink.completed(), 0u);
+}
+
+TEST(Progress, CountsTicksFromManyThreads) {
+  std::vector<std::string> lines;
+  std::mutex mu;
+  const ProgressSink sink(
+      [&](const std::string& m) {
+        std::lock_guard<std::mutex> lock(mu);
+        lines.push_back(m);
+      },
+      std::chrono::milliseconds(0));
+  sink.start_phase("strikes", 1000);
+  ThreadPool pool(4);
+  pool.parallel_for_chunks(1000, 10,
+                           [&](const ChunkRange& r) { sink.tick(r.end - r.begin); });
+  EXPECT_EQ(sink.completed(), 1000u);
+  // The final line is always emitted, whatever the throttle swallowed.
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines.back().find("1000/1000"), std::string::npos);
+}
+
+TEST(Progress, ThrottleSuppressesFloodButKeepsFinalTick) {
+  int calls = 0;
+  const ProgressSink sink([&](const std::string&) { ++calls; },
+                          std::chrono::milliseconds(10000));
+  sink.start_phase("work", 500);
+  for (int i = 0; i < 500; ++i) sink.tick();
+  // First emission plus the guaranteed final one at most.
+  EXPECT_LE(calls, 2);
+  EXPECT_GE(calls, 1);
+  EXPECT_EQ(sink.completed(), 500u);
+}
+
+TEST(Progress, MessageNeverThrottled) {
+  int calls = 0;
+  const ProgressSink sink([&](const std::string&) { ++calls; },
+                          std::chrono::milliseconds(10000));
+  for (int i = 0; i < 5; ++i) sink.message("m");
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(Progress, ImplicitFromLambdaKeepsCallSitesWorking) {
+  std::string got;
+  const ProgressSink sink = [&](const std::string& m) { got = m; };
+  EXPECT_TRUE(static_cast<bool>(sink));
+  sink.message("hello");
+  EXPECT_EQ(got, "hello");
+}
+
+// ---------------------------------------------------------------------------
+// PofAccumulator: merged chunks must reproduce the single-pass statistics
+// ---------------------------------------------------------------------------
+
+TEST(PofAccumulator, MergedChunksEqualSinglePass) {
+  stats::Rng rng(123);
+  std::vector<core::CombinedPof> obs(4097);
+  for (auto& o : obs) {
+    o.tot = rng.uniform(0.0, 1.0);
+    o.seu = 0.8 * o.tot;
+    o.mbu = o.tot - o.seu;
+  }
+
+  core::PofAccumulator single;
+  for (const auto& o : obs) {
+    single.add(o);
+    single.add_multiplicity(o.tot > 0.5 ? 2 : 1, o.tot);
+  }
+
+  // Chunked accumulation with an uneven tail, merged pairwise.
+  const std::size_t chunk = 256;
+  std::vector<core::PofAccumulator> parts;
+  for (std::size_t b = 0; b < obs.size(); b += chunk) {
+    core::PofAccumulator acc;
+    for (std::size_t i = b; i < std::min(b + chunk, obs.size()); ++i) {
+      acc.add(obs[i]);
+      acc.add_multiplicity(obs[i].tot > 0.5 ? 2 : 1, obs[i].tot);
+    }
+    parts.push_back(acc);
+  }
+  const core::PofAccumulator merged = reduce_pairwise(
+      parts, [](core::PofAccumulator a, const core::PofAccumulator& b) {
+        a.merge(b);
+        return a;
+      });
+
+  EXPECT_EQ(merged.count(), single.count());
+  const core::PofEstimate es = single.finalize(obs.size(), 1.0);
+  const core::PofEstimate em = merged.finalize(obs.size(), 1.0);
+  // The Chan merge is exact for counts and near-exact for mean/M2; allow a
+  // few ulps of reassociation noise.
+  EXPECT_NEAR(em.tot, es.tot, 1e-13);
+  EXPECT_NEAR(em.seu, es.seu, 1e-13);
+  EXPECT_NEAR(em.mbu, es.mbu, 1e-13);
+  EXPECT_NEAR(em.tot_se, es.tot_se, 1e-13);
+  EXPECT_NEAR(em.seu_se, es.seu_se, 1e-13);
+  EXPECT_NEAR(em.mbu_se, es.mbu_se, 1e-13);
+  for (std::size_t n = 0; n < core::kMaxMultiplicity; ++n) {
+    EXPECT_NEAR(em.multiplicity[n], es.multiplicity[n], 1e-13) << n;
+  }
+}
+
+}  // namespace
+}  // namespace finser::exec

@@ -94,8 +94,7 @@ class CharacterizeFixture : public ::testing::Test {
   static const PofTable& table() {
     static const PofTable t = [] {
       CellCharacterizer ch(CellDesign{}, fast_config());
-      stats::Rng rng(fast_config().seed);
-      return ch.characterize_at(0.8, rng);
+      return ch.characterize_at(0.8, fast_config().seed);
     }();
     return t;
   }
@@ -183,9 +182,8 @@ TEST_F(CharacterizeFixture, TinyChargesGiveNearZeroPof) {
 
 TEST(Characterizer, DeterministicGivenSeed) {
   CellCharacterizer ch(CellDesign{}, fast_config());
-  stats::Rng r1(11), r2(11);
-  const PofTable a = ch.characterize_at(0.8, r1);
-  const PofTable b = ch.characterize_at(0.8, r2);
+  const PofTable a = ch.characterize_at(0.8, 11);
+  const PofTable b = ch.characterize_at(0.8, 11);
   ASSERT_EQ(a.singles[0].qcrit_samples_fc.size(),
             b.singles[0].qcrit_samples_fc.size());
   for (std::size_t i = 0; i < a.singles[0].qcrit_samples_fc.size(); ++i) {
@@ -240,9 +238,8 @@ class PofVsVdd : public ::testing::TestWithParam<double> {};
 TEST_P(PofVsVdd, LowerVddNeverLessVulnerable) {
   static const std::pair<PofTable, PofTable> tables = [] {
     CellCharacterizer ch(CellDesign{}, fast_config());
-    stats::Rng rng(31);
-    PofTable lo = ch.characterize_at(0.7, rng);
-    PofTable hi = ch.characterize_at(1.1, rng);
+    PofTable lo = ch.characterize_at(0.7, 31);
+    PofTable hi = ch.characterize_at(1.1, 31);
     return std::make_pair(std::move(lo), std::move(hi));
   }();
   const double q = GetParam();
@@ -260,12 +257,9 @@ INSTANTIATE_TEST_SUITE_P(ChargeSweep, PofVsVdd,
 class PofMonotone : public ::testing::TestWithParam<int> {};
 
 TEST_P(PofMonotone, AlongEachAxis) {
-  CellCharacterizer ch(CellDesign{}, fast_config());
-  stats::Rng rng(fast_config().seed);
   static const PofTable t = [] {
     CellCharacterizer c(CellDesign{}, fast_config());
-    stats::Rng r(fast_config().seed);
-    return c.characterize_at(0.8, r);
+    return c.characterize_at(0.8, fast_config().seed);
   }();
   const int axis = GetParam();
   for (double base : {0.0, 0.05, 0.15}) {

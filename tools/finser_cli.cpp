@@ -7,6 +7,10 @@
 ///   finser_cli cell [vdd]         one-voltage cell summary (Qcrit, SNM)
 ///   finser_cli --help
 ///
+/// The global `--threads N` flag caps the worker-thread count (default:
+/// FINSER_THREADS, else hardware concurrency). Results are bit-identical
+/// for any thread count (docs/parallelism.md).
+///
 /// Config keys (all optional; `#` comments allowed):
 ///   array.rows = 9            array.cols = 9
 ///   cell.vdds = 0.7, 0.8, 0.9, 1.0, 1.1
@@ -14,17 +18,21 @@
 ///   cell.cnode_ff = 0.17      # storage-node capacitance [fF]
 ///   mc.strikes = 60000        mc.pv_samples = 200
 ///   mc.seed = 20140601
+///   mc.threads = 0            # 0 = auto; --threads overrides
 ///   species = alpha, proton, neutron
 ///   output.dir = finser_out
 ///   lut_cache = finser_out/pof_luts.bin
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "finser/core/ser_flow.hpp"
+#include "finser/exec/progress.hpp"
 #include "finser/sram/snm.hpp"
 #include "finser/util/config.hpp"
 #include "finser/util/csv.hpp"
@@ -39,6 +47,9 @@ void print_help() {
       "  finser_cli run [config.ini]   full characterization + spectrum sweeps\n"
       "  finser_cli cell [vdd]         single-voltage cell summary\n"
       "  finser_cli --help             this text\n\n"
+      "Options:\n"
+      "  --threads N   worker threads (default: FINSER_THREADS, else all\n"
+      "                hardware threads); never changes the results\n\n"
       "See the header of tools/finser_cli.cpp for the config-file keys.\n");
 }
 
@@ -54,7 +65,8 @@ std::vector<std::string> split_list(const std::string& csv) {
   return out;
 }
 
-core::SerFlowConfig flow_config_from(const util::KeyValueConfig& cfg) {
+core::SerFlowConfig flow_config_from(const util::KeyValueConfig& cfg,
+                                     std::size_t cli_threads) {
   core::SerFlowConfig flow;
   flow.array_rows = static_cast<std::size_t>(cfg.get_int("array.rows", 9));
   flow.array_cols = static_cast<std::size_t>(cfg.get_int("array.cols", 9));
@@ -67,12 +79,16 @@ core::SerFlowConfig flow_config_from(const util::KeyValueConfig& cfg) {
   flow.array_mc.strikes = static_cast<std::size_t>(cfg.get_int("mc.strikes", 60000));
   flow.neutron_mc.histories = flow.array_mc.strikes;
   flow.seed = static_cast<std::uint64_t>(cfg.get_int("mc.seed", 20140601));
+  // CLI --threads wins over the config key; both 0 = auto.
+  flow.threads = cli_threads > 0
+                     ? cli_threads
+                     : static_cast<std::size_t>(cfg.get_int("mc.threads", 0));
   flow.lut_cache_path = cfg.get_string("lut_cache", "");
   core::apply_mc_scale(flow, core::mc_scale_from_env());
   return flow;
 }
 
-int cmd_run(const std::string& config_path) {
+int cmd_run(const std::string& config_path, std::size_t cli_threads) {
   util::KeyValueConfig cfg;
   if (!config_path.empty()) {
     cfg = util::KeyValueConfig::parse_file(config_path);
@@ -81,7 +97,7 @@ int cmd_run(const std::string& config_path) {
   const std::vector<std::string> species =
       split_list(cfg.get_string("species", "alpha,proton"));
 
-  core::SerFlowConfig flow_cfg = flow_config_from(cfg);
+  core::SerFlowConfig flow_cfg = flow_config_from(cfg, cli_threads);
   if (flow_cfg.lut_cache_path.empty()) {
     flow_cfg.lut_cache_path = out_dir + "/pof_luts.bin";
   }
@@ -96,9 +112,9 @@ int cmd_run(const std::string& config_path) {
   }
 
   core::SerFlow flow(flow_cfg);
-  const auto progress = [](const std::string& m) {
-    std::printf("  [%s]\n", m.c_str());
-  };
+  const exec::ProgressSink progress(
+      [](const std::string& m) { std::printf("  [%s]\n", m.c_str()); },
+      std::chrono::milliseconds(250));
   flow.cell_model(progress);
 
   util::CsvTable fit_table({"species", "vdd_v", "fit_tot", "fit_seu", "fit_mbu",
@@ -167,12 +183,38 @@ int cmd_cell(double vdd) {
 
 int main(int argc, char** argv) {
   try {
-    const std::string cmd = argc > 1 ? argv[1] : "--help";
+    // Extract the global --threads flag, keep the rest positional.
+    std::vector<std::string> args;
+    std::size_t threads = 0;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--threads") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: --threads needs a value\n");
+          return 2;
+        }
+        const char* raw = argv[++i];
+        char* end = nullptr;
+        const long v = std::strtol(raw, &end, 10);
+        if (end == raw || *end != '\0' || v <= 0) {
+          std::fprintf(stderr,
+                       "error: --threads expects a positive integer, got "
+                       "\"%s\"\n",
+                       raw);
+          return 2;
+        }
+        threads = static_cast<std::size_t>(v);
+      } else {
+        args.push_back(a);
+      }
+    }
+
+    const std::string cmd = !args.empty() ? args[0] : "--help";
     if (cmd == "run") {
-      return cmd_run(argc > 2 ? argv[2] : "");
+      return cmd_run(args.size() > 1 ? args[1] : "", threads);
     }
     if (cmd == "cell") {
-      return cmd_cell(argc > 2 ? std::stod(argv[2]) : 0.8);
+      return cmd_cell(args.size() > 1 ? std::stod(args[1]) : 0.8);
     }
     print_help();
     return cmd == "--help" || cmd == "-h" ? 0 : 2;
