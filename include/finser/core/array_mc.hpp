@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "finser/ckpt/checkpoint.hpp"
 #include "finser/core/pof_combine.hpp"
 #include "finser/exec/progress.hpp"
 #include "finser/phys/track.hpp"
@@ -30,6 +31,7 @@
 #include "finser/sram/pof_table.hpp"
 #include "finser/stats/rng.hpp"
 #include "finser/stats/summary.hpp"
+#include "finser/util/bytes.hpp"
 
 namespace finser::core {
 
@@ -124,6 +126,12 @@ class PofAccumulator {
   /// recorded verbatim; \p hit_fraction is campaign-level bookkeeping.
   PofEstimate finalize(std::size_t strikes, double hit_fraction) const;
 
+  /// Bit-exact serialization for checkpoint blobs: the raw Welford state
+  /// round-trips as IEEE-754 doubles, so a deserialized accumulator merges
+  /// identically to the original.
+  void write(util::ByteWriter& w) const;
+  static PofAccumulator read(util::ByteReader& r);
+
  private:
   stats::RunningStats tot_;
   stats::RunningStats seu_;
@@ -137,6 +145,12 @@ struct ArrayMcResult {
   /// est[vdd_index][mode].
   std::vector<std::array<PofEstimate, 2>> est;
 };
+
+/// Bit-exact ArrayMcResult codec, used for SerFlow sweep checkpoint blobs
+/// (one blob per energy bin). Doubles round-trip as raw IEEE-754, so a
+/// restored bin is indistinguishable from a recomputed one.
+std::vector<std::uint8_t> encode_result(const ArrayMcResult& result);
+ArrayMcResult decode_result(util::ByteReader& r);
 
 /// The array-level Monte-Carlo engine.
 class ArrayMc {
@@ -153,8 +167,15 @@ class ArrayMc {
   /// stats::Rng::stream(seed, i), so the result is bit-identical for any
   /// thread count. run() is const and thread-safe: concurrent calls on one
   /// engine (e.g. parallel energy bins) are fine.
+  ///
+  /// \p run adds checkpoint/cancel behaviour (ckpt::RunOptions): with a
+  /// checkpoint path, each chunk's partial is persisted and a resumed run
+  /// recomputes only the missing chunks — the pairwise reduction over the
+  /// full chunk set makes the result bit-identical to an uninterrupted run.
+  /// Cancellation throws util::Cancelled at a chunk boundary.
   ArrayMcResult run(phys::Species species, double e_mev, std::uint64_t seed,
-                    const exec::ProgressSink& progress = {}) const;
+                    const exec::ProgressSink& progress = {},
+                    const ckpt::RunOptions& run_opts = {}) const;
 
   const ArrayMcConfig& config() const { return config_; }
 

@@ -58,9 +58,11 @@ class NeutronArrayMc {
   /// charged-particle results do. Histories run in deterministic RNG chunks
   /// on the exec thread pool (chunk i ⇒ stats::Rng::stream(seed, i)), so
   /// the result is bit-identical for any thread count; run() is const and
-  /// thread-safe.
+  /// thread-safe. \p run_opts adds checkpoint/cancel behaviour with the
+  /// same resume-bit-identity contract as ArrayMc::run.
   ArrayMcResult run(double e_n_mev, std::uint64_t seed,
-                    const exec::ProgressSink& progress = {}) const;
+                    const exec::ProgressSink& progress = {},
+                    const ckpt::RunOptions& run_opts = {}) const;
 
   /// Area of the source-sampling plane [nm²] (FIT normalization area).
   double sampled_area_nm2() const;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "finser/ckpt/checkpoint.hpp"
 #include "finser/core/array_mc.hpp"
 #include "finser/core/fit.hpp"
 #include "finser/core/neutron_mc.hpp"
@@ -79,8 +80,14 @@ class SerFlow {
   explicit SerFlow(const SerFlowConfig& config);
 
   /// Characterized cell model (built lazily; loaded from cache if valid).
+  /// With \p run active the characterization campaign itself is
+  /// checkpointable/cancellable: its per-voltage checkpoint lives at
+  /// `<run.checkpoint_path>.cell` so it never collides with the sweep
+  /// checkpoint. A cache-save failure degrades to a warning — the model is
+  /// already in memory and the run continues.
   const sram::CellSoftErrorModel& cell_model(
-      const exec::ProgressSink& progress = {});
+      const exec::ProgressSink& progress = {},
+      const ckpt::RunOptions& run = {});
 
   const sram::ArrayLayout& layout() const { return layout_; }
   const SerFlowConfig& config() const { return config_; }
@@ -96,8 +103,15 @@ class SerFlow {
   /// outer task level (per-bin seeds are pre-drawn in bin order, so results
   /// are thread-count-invariant), with the strike loops nested inside on
   /// the remaining thread budget.
+  /// With \p run active the sweep is checkpointable and cancellable: the
+  /// unit of work is one energy bin (blob = serialized ArrayMcResult), and
+  /// run.cancel also interrupts *inside* a bin at strike-chunk granularity.
+  /// Resuming with the same config and seed state is bit-identical to an
+  /// uninterrupted sweep at any thread count. On cancellation throws
+  /// util::Cancelled after flushing finished bins.
   EnergySweepResult sweep(const env::Spectrum& spectrum,
-                          const exec::ProgressSink& progress = {});
+                          const exec::ProgressSink& progress = {},
+                          const ckpt::RunOptions& run = {});
 
  private:
   SerFlowConfig config_;

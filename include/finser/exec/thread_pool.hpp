@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "finser/exec/cancel.hpp"
 #include "finser/util/error.hpp"
 
 namespace finser::exec {
@@ -46,11 +47,19 @@ class ThreadPool {
   /// Total concurrency of a region (workers + the calling thread).
   std::size_t thread_count() const { return workers_count_ + 1; }
 
-  /// Run \p fn over ceil(n_items / chunk) chunks and block until all are
-  /// done. The first exception thrown by \p fn aborts the region (remaining
-  /// chunks are skipped) and is rethrown here.
-  void parallel_for_chunks(std::size_t n_items, std::size_t chunk,
-                           const std::function<void(const ChunkRange&)>& fn);
+  /// Run \p fn over ceil(n_items / chunk) chunks and block until the region
+  /// drains. The first exception thrown by \p fn aborts the region
+  /// (remaining chunks are skipped) and is rethrown here.
+  ///
+  /// If \p cancel is non-null, workers poll it before claiming each chunk
+  /// and stop at the next chunk boundary once it fires; chunks already
+  /// started still run to completion, so the region never leaves
+  /// partial-chunk state behind. Returns true iff every chunk executed
+  /// (false means the region was cancelled; the set of executed chunk
+  /// indices is whatever \p fn recorded).
+  bool parallel_for_chunks(std::size_t n_items, std::size_t chunk,
+                           const std::function<void(const ChunkRange&)>& fn,
+                           const CancelToken* cancel = nullptr);
 
  private:
   struct Impl;

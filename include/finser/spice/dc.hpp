@@ -24,6 +24,12 @@ struct DcOptions {
   /// with no DC path — stay solvable; it is ~6 orders below any device
   /// conductance that matters here.
   std::vector<double> gmin_steps = {1e-3, 1e-5, 1e-7, 1e-9, 1e-12};
+  /// Retry ladder: when a gmin stage fails, the solver restores the last
+  /// converged iterate and inserts an intermediate stage (the geometric
+  /// midpoint of the failed step), up to this many times across the whole
+  /// continuation, before giving up with NumericalError. 0 disables the
+  /// ladder (strict single-pass schedule).
+  int max_gmin_extensions = 8;
 };
 
 /// Solve the DC operating point of \p circuit.

@@ -68,6 +68,13 @@ struct TransientOptions {
   double v_tol = 1e-7;          ///< Newton convergence threshold [V].
   double damping_vmax = 0.4;    ///< Newton damping clamp [V].
   Integrator method = Integrator::kBackwardEuler;
+  /// Retry ladder: when the step size underflows dt_min, the run restarts
+  /// the failing step this many times with progressively more conservative
+  /// Newton settings (double max_newton, halve damping_vmax, re-enter with
+  /// a smaller fresh dt) before throwing NumericalError. The escalation is
+  /// deterministic — no randomness, no wall-clock — so retried runs stay
+  /// reproducible. 0 disables the ladder.
+  int max_restarts = 2;
 };
 
 /// Run a transient from the operating point \p x0 (from solve_dc).

@@ -27,14 +27,11 @@
 #include <string>
 #include <vector>
 
+#include "finser/ckpt/checkpoint.hpp"
 #include "finser/exec/progress.hpp"
 #include "finser/sram/cell.hpp"
 #include "finser/sram/pof_table.hpp"
 #include "finser/stats/rng.hpp"
-
-namespace finser::exec {
-class ThreadPool;
-}  // namespace finser::exec
 
 namespace finser::sram {
 
@@ -57,6 +54,13 @@ struct CharacterizerConfig {
   /// (FINSER_THREADS, else hardware concurrency). Deliberately NOT part of
   /// the fingerprint: the thread count never changes the model.
   std::size_t threads = 0;
+  /// Tolerated fraction of PV strike samples whose solve fails numerically.
+  /// Failed samples are counted and *excluded* from the LUT statistics
+  /// (never treated as flip or no-flip); if their fraction exceeds this,
+  /// characterization aborts with NumericalError — a solver that sick would
+  /// bias the model, not just thin its statistics. Not fingerprinted: it
+  /// gates, it never changes values.
+  double max_failure_fraction = 0.05;
 
   /// Fingerprint of (config, design) for cache validation. Includes a
   /// characterization-scheme version, bumped whenever the RNG-consumption
@@ -86,12 +90,24 @@ class CellCharacterizer {
 
   /// Characterize every configured supply voltage. Voltage \p i (in sorted
   /// order) runs under seed stats::Rng::derive_seed(config.seed, i).
-  CellSoftErrorModel characterize(const exec::ProgressSink& progress = {}) const;
+  ///
+  /// With \p run active the campaign is checkpointable: the unit of work is
+  /// one supply voltage (each checkpoint blob is a serialized PofTable), so
+  /// a cancelled or killed run resumes after its last finished voltage and
+  /// the final model is bit-identical to an uninterrupted run. Cancellation
+  /// via run.cancel also interrupts *inside* a voltage (between strike
+  /// simulations); only fully finished voltages are persisted.
+  CellSoftErrorModel characterize(const exec::ProgressSink& progress = {},
+                                  const ckpt::RunOptions& run = {}) const;
 
   /// Characterize one supply voltage under \p seed. Deterministic in
-  /// (design, config, vdd_v, seed) — never in the thread count.
+  /// (design, config, vdd_v, seed) — never in the thread count. Throws
+  /// util::Cancelled if \p cancel fires (partial tables are never returned)
+  /// and util::NumericalError if the failed-sample fraction exceeds
+  /// CharacterizerConfig::max_failure_fraction.
   PofTable characterize_at(double vdd_v, std::uint64_t seed,
-                           const exec::ProgressSink& progress = {}) const;
+                           const exec::ProgressSink& progress = {},
+                           const exec::CancelToken* cancel = nullptr) const;
 
   /// Draw one process-variation sample (6 threshold shifts).
   DeltaVt sample_delta_vt(stats::Rng& rng) const;
@@ -100,16 +116,23 @@ class CellCharacterizer {
   const CellDesign& design() const { return design_; }
 
  private:
+  // The expensive stages take the cancel token (polled between strike
+  // simulations) and accumulate per-sample solver-failure bookkeeping into
+  // attempted/failed (see PofTable::attempted_samples).
   SingleCdf characterize_single(exec::ThreadPool& pool, detail::SimSlots& sims,
-                                int which, std::uint64_t seed) const;
+                                int which, std::uint64_t seed,
+                                const exec::CancelToken* cancel,
+                                std::size_t& attempted, std::size_t& failed) const;
   void characterize_pair(exec::ThreadPool& pool, detail::SimSlots& sims, int a,
                          int b, const util::Axis& axis, double sigma_q_fc,
                          std::uint64_t seed, util::Grid2& pv,
-                         util::Grid2& nominal) const;
+                         util::Grid2& nominal, const exec::CancelToken* cancel,
+                         std::size_t& attempted, std::size_t& failed) const;
   void characterize_triple(exec::ThreadPool& pool, detail::SimSlots& sims,
                            const util::Axis& axis, double sigma_q_fc,
                            std::uint64_t seed, util::Grid3& pv,
-                           util::Grid3& nominal) const;
+                           util::Grid3& nominal, const exec::CancelToken* cancel,
+                           std::size_t& attempted, std::size_t& failed) const;
 
   CellDesign design_;
   CharacterizerConfig config_;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "finser/sram/cell.hpp"
+#include "finser/util/bytes.hpp"
 #include "finser/util/interp.hpp"
 
 namespace finser::sram {
@@ -41,6 +42,13 @@ struct SingleCdf {
   /// Total PV samples drawn (≥ qcrit_samples_fc.size(); the difference
   /// never flipped below the characterization ceiling).
   std::size_t total_samples = 0;
+
+  /// PV samples whose bisection failed to converge numerically. They are
+  /// *excluded* from the CDF (not counted as flips or survivals) and
+  /// reported up through PofTable / the characterizer's failure-fraction
+  /// check, so a solver hiccup degrades statistics honestly instead of
+  /// biasing the POF.
+  std::size_t failed_samples = 0;
 
   /// Sentinel critical charge for "does not flip below the ceiling".
   static constexpr double kNeverFlips = 1e30;
@@ -74,9 +82,22 @@ class PofTable {
   util::Grid3 triple_pv;
   util::Grid3 triple_nominal;
 
+  /// Characterization sample bookkeeping across every stage that built this
+  /// table (single CDFs + grid MC): attempted counts all strike
+  /// simulations, failed the ones the solver gave up on (excluded from the
+  /// LUT values; see CharacterizerConfig::max_failure_fraction).
+  std::size_t attempted_samples = 0;
+  std::size_t failed_samples = 0;
+
   /// POF for an arbitrary charge combination.
   /// \param with_pv true → process-variation tables; false → nominal cell.
   double pof(const StrikeCharges& charges, bool with_pv) const;
+
+  /// Byte codec shared by the cache file and the characterizer's
+  /// per-voltage checkpoints (util/bytes.hpp; read throws util::Error on a
+  /// malformed payload).
+  void write(util::ByteWriter& w) const;
+  static PofTable read(util::ByteReader& r);
 
   /// Charges below this are treated as "no strike" [fC] (≈0.06 electrons).
   static constexpr double kChargeEpsFc = 1e-5;
@@ -97,17 +118,26 @@ class CellSoftErrorModel {
 
   std::vector<double> vdds() const;
 
-  /// Binary serialization (atomic overwrite not attempted; callers own the
-  /// cache path). Throws util::Error on I/O failure.
+  /// Characterization failure bookkeeping summed over every table.
+  std::size_t attempted_samples() const;
+  std::size_t failed_samples() const;
+
+  /// Binary serialization: versioned magic, CRC-32 over the payload,
+  /// written atomically (temp + fsync + rename) so a crash mid-save can
+  /// never leave a torn cache. Throws util::Error on I/O failure.
   void save(const std::string& path) const;
 
-  /// Load a model; throws util::Error on I/O or format problems.
+  /// Load a model; throws util::Error on I/O problems, a failed CRC, or a
+  /// malformed payload.
   static CellSoftErrorModel load(const std::string& path);
 
-  /// Load if the file exists *and* its fingerprint matches; returns false
-  /// otherwise (caller re-characterizes).
+  /// Load if the file exists, passes its integrity checks, *and* matches
+  /// the fingerprint; returns false otherwise with the reject reason in
+  /// \p reason (if non-null) and logged to stderr — never throws. A
+  /// corrupted or stale cache therefore always degrades to
+  /// re-characterization.
   static bool try_load(const std::string& path, std::uint64_t expected_fingerprint,
-                       CellSoftErrorModel& out);
+                       CellSoftErrorModel& out, std::string* reason = nullptr);
 };
 
 }  // namespace finser::sram

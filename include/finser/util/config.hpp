@@ -42,10 +42,21 @@ class KeyValueConfig {
   /// Keys present in the file but never accessed through a getter.
   std::vector<std::string> unknown_keys() const;
 
+  /// 1-based source line of \p key (0 when absent). Getter errors embed it —
+  /// "config value for array.rows (line 12) is not an integer" points the
+  /// user at the offending line, not just the offending key.
+  int line_of(const std::string& key) const;
+
   std::size_t size() const { return values_.size(); }
 
  private:
-  std::map<std::string, std::string> values_;
+  /// One parsed `key = value` pair plus where it came from.
+  struct Entry {
+    std::string value;
+    int line = 0;  ///< 1-based line number in the parsed text.
+  };
+
+  std::map<std::string, Entry> values_;
   mutable std::map<std::string, bool> accessed_;
 };
 

@@ -36,6 +36,14 @@ class DomainError : public Error {
   explicit DomainError(const std::string& what) : Error(what) {}
 };
 
+/// Cooperative cancellation (SIGINT/SIGTERM or an exec::CancelToken). A run
+/// that throws this after flushing a checkpoint is resumable; the CLI maps
+/// it to exit code 4.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_require_failed(const char* expr, const char* file, int line,
                                        const std::string& msg);

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Fault-injection matrix for the CLI flow (docs/robustness.md).
+#
+# Runs `finser_cli run` end to end under every FINSER_FAULT site and requires
+# the *documented* degradation for each — warn-and-continue for I/O failures,
+# reject-and-regenerate for a corrupted cache, a clean exit code 3 (never a
+# crash) when the solver is driven past its retry ladder. The SIGKILL site is
+# covered separately by the KillResumeHarness ctest.
+#
+# Usage: scripts/fault_matrix.sh [build-dir]   (default: build)
+
+set -u
+
+BUILD=${1:-build}
+CLI="$BUILD/tools/finser_cli"
+if [[ ! -x "$CLI" ]]; then
+  echo "fault_matrix: $CLI not built" >&2
+  exit 1
+fi
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/finser_fault_matrix.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+# A deliberately tiny campaign: the matrix tests failure *paths*, not physics.
+CONFIG="$WORK/tiny.ini"
+cat > "$CONFIG" <<EOF
+array.rows = 2
+array.cols = 2
+cell.vdds = 0.8
+mc.pv_samples = 10
+mc.strikes = 1000
+mc.seed = 99
+species = alpha
+output.dir = $WORK/out
+lut_cache = $WORK/out/pof_luts.bin
+EOF
+
+unset FINSER_FAULT FINSER_MC_SCALE FINSER_THREADS
+FAILURES=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+run_cli() {
+  local fault=$1
+  shift
+  echo "=== FINSER_FAULT=${fault:-<none>} $*"
+  if [[ -n "$fault" ]]; then
+    FINSER_FAULT=$fault "$CLI" "$@" > "$WORK/stdout.log" 2> "$WORK/stderr.log"
+  else
+    "$CLI" "$@" > "$WORK/stdout.log" 2> "$WORK/stderr.log"
+  fi
+}
+
+# --- baseline: the tiny campaign must pass cleanly --------------------------
+run_cli "" run "$CONFIG" --threads 2
+[[ $? -eq 0 ]] || fail "baseline run exited non-zero"
+[[ -s "$WORK/out/fit_summary.csv" ]] || fail "baseline produced no fit_summary.csv"
+
+# --- io_write_fail: a failed cache/checkpoint write degrades to a warning ---
+rm -rf "$WORK/out"
+run_cli "io_write_fail:1" run "$CONFIG" --threads 2
+[[ $? -eq 0 ]] || fail "io_write_fail run did not warn-and-continue (exit != 0)"
+grep -qi "warning" "$WORK/stdout.log" "$WORK/stderr.log" ||
+  fail "io_write_fail run emitted no warning"
+
+# --- cache_flip: a corrupted LUT cache is rejected and regenerated ----------
+rm -rf "$WORK/out"
+run_cli "cache_flip:40" run "$CONFIG" --threads 2
+[[ $? -eq 0 ]] || fail "cache_flip seeding run exited non-zero"
+run_cli "" run "$CONFIG" --threads 2
+[[ $? -eq 0 ]] || fail "run with corrupted cache exited non-zero"
+grep -q "re-characterizing" "$WORK/stderr.log" ||
+  fail "corrupted cache was not rejected + regenerated"
+run_cli "" run "$CONFIG" --threads 2
+[[ $? -eq 0 ]] || fail "run with regenerated cache exited non-zero"
+grep -q "re-characterizing" "$WORK/stderr.log" &&
+  fail "regenerated cache was rejected again"
+
+# --- newton_diverge saturation: exit code 3, never a crash ------------------
+# Making *every* strike transient diverge must trip the failure-fraction gate
+# and exit with the documented code 3.
+rm -rf "$WORK/out"
+run_cli "newton_diverge:1:1000000000" run "$CONFIG" --threads 2
+status=$?
+[[ $status -eq 3 ]] ||
+  fail "saturated newton_diverge exited $status, expected 3"
+grep -qi "numerical failure" "$WORK/stderr.log" ||
+  fail "saturated newton_diverge did not report a numerical failure"
+
+if [[ $FAILURES -gt 0 ]]; then
+  echo "fault matrix: $FAILURES check(s) failed" >&2
+  exit 1
+fi
+echo "fault matrix: all checks passed"

@@ -1,0 +1,231 @@
+#include "finser/ckpt/checkpoint.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+
+#include "finser/util/bytes.hpp"
+#include "finser/util/checksum.hpp"
+#include "finser/util/error.hpp"
+#include "finser/util/fault.hpp"
+#include "finser/util/io.hpp"
+
+namespace finser::ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'N', 'S', 'R', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+void warn(const std::string& msg) {
+  std::fprintf(stderr, "[finser:ckpt] warning: %s\n", msg.c_str());
+}
+
+}  // namespace
+
+std::size_t Checkpoint::done_count() const {
+  std::size_t n = 0;
+  for (const auto& b : blobs) {
+    if (!b.empty()) ++n;
+  }
+  return n;
+}
+
+bool Checkpoint::save(const std::string& path, std::string* error) const {
+  util::ByteWriter payload;
+  payload.u32(kFormatVersion);
+  payload.u64(fingerprint);
+  payload.u64(blobs.size());
+  payload.u64(done_count());
+  for (std::size_t i = 0; i < blobs.size(); ++i) {
+    if (blobs[i].empty()) continue;
+    payload.u64(i);
+    payload.u64(blobs[i].size());
+    payload.bytes(blobs[i].data(), blobs[i].size());
+  }
+
+  util::ByteWriter file;
+  file.bytes(kMagic, sizeof(kMagic));
+  file.bytes(payload.data().data(), payload.size());
+  file.u32(util::crc32(payload.data().data(), payload.size()));
+
+  if (!util::atomic_write_file(path, file.data().data(), file.size(), error)) {
+    return false;
+  }
+  // The kill-and-resume test SIGKILLs the process *after* a flush has safely
+  // landed on disk — the checkpoint must survive exactly this death.
+  if (util::fault_fire(util::FaultSite::kKillAfterFlush)) {
+    std::raise(SIGKILL);
+  }
+  return true;
+}
+
+bool Checkpoint::try_load(const std::string& path,
+                          std::uint64_t expected_fingerprint,
+                          std::size_t expected_units, Checkpoint& out,
+                          std::string* reason) {
+  const auto reject = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return false;
+  };
+
+  std::vector<std::uint8_t> raw;
+  std::string io_error;
+  if (!util::read_file(path, raw, &io_error)) return reject(io_error);
+  if (raw.size() < sizeof(kMagic) + sizeof(std::uint32_t)) {
+    return reject("file too short to be a checkpoint (" +
+                  std::to_string(raw.size()) + " bytes)");
+  }
+  if (std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0) {
+    return reject("bad magic (not a finser checkpoint)");
+  }
+
+  const std::size_t payload_size =
+      raw.size() - sizeof(kMagic) - sizeof(std::uint32_t);
+  const std::uint8_t* payload = raw.data() + sizeof(kMagic);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, payload + payload_size, sizeof(stored_crc));
+  const std::uint32_t actual_crc = util::crc32(payload, payload_size);
+  if (stored_crc != actual_crc) {
+    return reject("CRC mismatch (stored " + std::to_string(stored_crc) +
+                  ", computed " + std::to_string(actual_crc) +
+                  "): torn or corrupted file");
+  }
+
+  try {
+    util::ByteReader r(payload, payload_size);
+    const std::uint32_t version = r.u32();
+    if (version != kFormatVersion) {
+      return reject("unsupported format version " + std::to_string(version));
+    }
+    const std::uint64_t fp = r.u64();
+    if (fp != expected_fingerprint) {
+      return reject("config fingerprint mismatch (checkpoint is from a "
+                    "different configuration)");
+    }
+    const std::uint64_t n_units = r.u64();
+    if (n_units != expected_units) {
+      return reject("unit count mismatch (checkpoint has " +
+                    std::to_string(n_units) + ", run expects " +
+                    std::to_string(expected_units) + ")");
+    }
+    const std::uint64_t n_blobs = r.u64();
+    if (n_blobs > n_units) {
+      return reject("blob count exceeds unit count");
+    }
+    Checkpoint ck;
+    ck.fingerprint = fp;
+    ck.blobs.assign(n_units, {});
+    for (std::uint64_t b = 0; b < n_blobs; ++b) {
+      const std::uint64_t index = r.u64();
+      const std::uint64_t size = r.u64();
+      if (index >= n_units) return reject("blob index out of range");
+      if (!ck.blobs[index].empty()) return reject("duplicate blob index");
+      if (size == 0 || size > r.remaining()) {
+        return reject("blob size out of range");
+      }
+      ck.blobs[index].resize(size);
+      r.bytes(ck.blobs[index].data(), size);
+    }
+    if (!r.exhausted()) return reject("trailing bytes after last blob");
+    out = std::move(ck);
+    return true;
+  } catch (const std::exception& e) {
+    return reject(std::string("malformed payload: ") + e.what());
+  }
+}
+
+UnitRunResult run_units(exec::ThreadPool& pool, std::size_t n_units,
+                        std::uint64_t fingerprint, const RunOptions& run,
+                        const UnitFn& compute) {
+  FINSER_REQUIRE(n_units > 0, "ckpt::run_units: no work units");
+
+  UnitRunResult out;
+  out.blobs.assign(n_units, {});
+
+  if (run.checkpointing()) {
+    Checkpoint restored;
+    std::string reason;
+    if (Checkpoint::try_load(run.checkpoint_path, fingerprint, n_units,
+                             restored, &reason)) {
+      out.blobs = std::move(restored.blobs);
+      for (const auto& b : out.blobs) {
+        if (!b.empty()) ++out.reused;
+      }
+    } else if (std::filesystem::exists(run.checkpoint_path)) {
+      warn("discarding checkpoint " + run.checkpoint_path + ": " + reason +
+           "; recomputing from scratch");
+    }
+  }
+
+  // Workers publish each finished blob under this mutex; the flusher
+  // snapshots the blob vector under the same mutex, so the periodic save
+  // never races a concurrent store.
+  std::mutex flush_m;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point last_flush = Clock::now();
+
+  const auto flush_locked = [&]() {
+    Checkpoint ck;
+    ck.fingerprint = fingerprint;
+    ck.blobs = out.blobs;
+    std::string error;
+    if (!ck.save(run.checkpoint_path, &error)) {
+      warn("checkpoint flush to " + run.checkpoint_path + " failed: " + error +
+           "; continuing without it");
+    }
+  };
+
+  const auto body = [&](const exec::ChunkRange& r) {
+    if (!out.blobs[r.index].empty()) return;  // Restored from the checkpoint.
+    std::vector<std::uint8_t> blob = compute(r);
+    FINSER_REQUIRE(!blob.empty(), "ckpt::run_units: unit produced empty blob");
+    std::lock_guard<std::mutex> lk(flush_m);
+    out.blobs[r.index] = std::move(blob);
+    if (run.checkpointing()) {
+      const Clock::time_point now = Clock::now();
+      const double elapsed =
+          std::chrono::duration<double>(now - last_flush).count();
+      if (run.checkpoint_interval_sec <= 0.0 ||
+          elapsed >= run.checkpoint_interval_sec) {
+        flush_locked();
+        last_flush = now;
+      }
+    }
+  };
+
+  bool completed = false;
+  try {
+    completed = pool.parallel_for_chunks(n_units, 1, body, run.cancel);
+  } catch (...) {
+    // Whatever finished before the failure is still valid, deterministic
+    // work — persist it so a retry does not repeat it.
+    if (run.checkpointing()) {
+      std::lock_guard<std::mutex> lk(flush_m);
+      flush_locked();
+    }
+    throw;
+  }
+
+  if (!completed) {
+    std::string msg = "run cancelled at a chunk boundary";
+    if (run.checkpointing()) {
+      std::lock_guard<std::mutex> lk(flush_m);
+      flush_locked();
+      msg += "; progress saved to " + run.checkpoint_path;
+    }
+    throw util::Cancelled(msg);
+  }
+
+  if (run.checkpointing()) {
+    std::error_code ec;
+    std::filesystem::remove(run.checkpoint_path, ec);  // Best-effort cleanup.
+  }
+  return out;
+}
+
+}  // namespace finser::ckpt

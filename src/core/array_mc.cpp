@@ -9,6 +9,7 @@
 #include "finser/phys/collection.hpp"
 #include "finser/stats/direction.hpp"
 #include "finser/util/error.hpp"
+#include "finser/util/fingerprint.hpp"
 #include "mc_partial.hpp"
 
 namespace finser::core {
@@ -36,7 +37,116 @@ struct WorkerState {
         cell_charges(layout.cell_count(), sram::StrikeCharges{}) {}
 };
 
+/// Fingerprint of everything an ArrayMc checkpoint's content depends on.
+/// Thread count and chunk *schedule* are excluded by construction; the chunk
+/// *size* is included because it defines the unit decomposition.
+std::uint64_t run_fingerprint(const ArrayMcConfig& cfg,
+                              const sram::ArrayLayout& layout,
+                              const sram::CellSoftErrorModel& model,
+                              phys::Species species, double e_mev,
+                              std::uint64_t seed) {
+  util::Fnv1a h;
+  h.str("finser.array_mc.ckpt.v1");
+  h.u64(model.config_fingerprint);
+  h.u64(static_cast<std::uint64_t>(species));
+  h.f64(e_mev);
+  h.u64(seed);
+  h.u64(cfg.strikes);
+  h.u64(cfg.chunk);
+  h.u64(static_cast<std::uint64_t>(cfg.angular));
+  h.u64(static_cast<std::uint64_t>(cfg.position));
+  h.f64(cfg.beam_direction.x).f64(cfg.beam_direction.y).f64(cfg.beam_direction.z);
+  h.u64(static_cast<std::uint64_t>(cfg.straggling));
+  h.f64(cfg.source_margin_nm);
+  h.f64(cfg.source_height_nm);
+  h.u64(layout.rows());
+  h.u64(layout.cols());
+  h.f64(layout.width_nm()).f64(layout.height_nm());
+  for (std::size_t row = 0; row < layout.rows(); ++row) {
+    for (std::size_t col = 0; col < layout.cols(); ++col) {
+      h.u64(layout.bit(row, col) ? 1 : 0);
+    }
+  }
+  return h.hash();
+}
+
 }  // namespace
+
+void PofAccumulator::write(util::ByteWriter& w) const {
+  const auto write_stats = [&w](const stats::RunningStats& s) {
+    const stats::RunningStats::Raw raw = s.raw();
+    w.u64(raw.n);
+    w.f64(raw.mean);
+    w.f64(raw.m2);
+    w.f64(raw.min);
+    w.f64(raw.max);
+  };
+  write_stats(tot_);
+  write_stats(seu_);
+  write_stats(mbu_);
+  for (const double m : mult_) w.f64(m);
+}
+
+PofAccumulator PofAccumulator::read(util::ByteReader& r) {
+  const auto read_stats = [&r]() {
+    stats::RunningStats::Raw raw;
+    raw.n = r.u64();
+    raw.mean = r.f64();
+    raw.m2 = r.f64();
+    raw.min = r.f64();
+    raw.max = r.f64();
+    return stats::RunningStats::from_raw(raw);
+  };
+  PofAccumulator a;
+  a.tot_ = read_stats();
+  a.seu_ = read_stats();
+  a.mbu_ = read_stats();
+  for (double& m : a.mult_) m = r.f64();
+  return a;
+}
+
+std::vector<std::uint8_t> encode_result(const ArrayMcResult& result) {
+  util::ByteWriter w;
+  w.f64_vec(result.vdds);
+  w.u64(result.est.size());
+  for (const auto& modes : result.est) {
+    for (const PofEstimate& e : modes) {
+      w.f64(e.tot);
+      w.f64(e.seu);
+      w.f64(e.mbu);
+      w.f64(e.tot_se);
+      w.f64(e.seu_se);
+      w.f64(e.mbu_se);
+      w.f64(e.hit_fraction);
+      w.u64(e.strikes);
+      for (const double m : e.multiplicity) w.f64(m);
+    }
+  }
+  return w.take();
+}
+
+ArrayMcResult decode_result(util::ByteReader& r) {
+  ArrayMcResult result;
+  result.vdds = r.f64_vec();
+  const std::uint64_t nv = r.u64();
+  FINSER_REQUIRE(nv == result.vdds.size(),
+                 "decode_result: estimate/vdd count mismatch");
+  result.est.resize(nv);
+  for (auto& modes : result.est) {
+    for (PofEstimate& e : modes) {
+      e.tot = r.f64();
+      e.seu = r.f64();
+      e.mbu = r.f64();
+      e.tot_se = r.f64();
+      e.seu_se = r.f64();
+      e.mbu_se = r.f64();
+      e.hit_fraction = r.f64();
+      e.strikes = static_cast<std::size_t>(r.u64());
+      for (double& m : e.multiplicity) m = r.f64();
+    }
+  }
+  return result;
+}
 
 void PofAccumulator::add(const CombinedPof& pof) {
   tot_.add(pof.tot);
@@ -94,7 +204,8 @@ double ArrayMc::sampled_area_nm2() const {
 
 ArrayMcResult ArrayMc::run(phys::Species species, double e_mev,
                            std::uint64_t seed,
-                           const exec::ProgressSink& progress) const {
+                           const exec::ProgressSink& progress,
+                           const ckpt::RunOptions& run_opts) const {
   FINSER_REQUIRE(e_mev > 0.0, "ArrayMc::run: non-positive energy");
 
   const std::vector<double> vdds = model_->vdds();
@@ -121,10 +232,9 @@ ArrayMcResult ArrayMc::run(phys::Species species, double e_mev,
 
   // Chunk i consumes stats::Rng::stream(seed, i) and nothing else, and the
   // partials merge in chunk-index order — so the result is bit-identical
-  // for any thread count.
-  McPartial total = exec::parallel_reduce<McPartial>(
-      pool, config_.strikes, config_.chunk,
-      [&](const exec::ChunkRange& r) {
+  // for any thread count, and a resumed run (which replays only the missing
+  // chunks and re-reduces the full set) for any interruption pattern.
+  const auto process_chunk = [&](const exec::ChunkRange& r) -> McPartial {
         std::unique_ptr<WorkerState>& slot = workers[r.worker];
         if (!slot) slot = std::make_unique<WorkerState>(*layout_, tc);
         WorkerState& ws = *slot;
@@ -221,8 +331,33 @@ ArrayMcResult ArrayMc::run(phys::Species species, double e_mev,
 
         progress.tick(r.end - r.begin);
         return part;
-      },
-      McPartial::merge);
+  };
+
+  McPartial total;
+  if (!run_opts.active()) {
+    total = exec::parallel_reduce<McPartial>(pool, config_.strikes,
+                                             config_.chunk, process_chunk,
+                                             McPartial::merge);
+  } else {
+    const std::size_t n_chunks =
+        (config_.strikes + config_.chunk - 1) / config_.chunk;
+    const std::uint64_t fp =
+        run_fingerprint(config_, *layout_, *model_, species, e_mev, seed);
+    const ckpt::UnitRunResult units = ckpt::run_units(
+        pool, n_chunks, fp, run_opts, [&](const exec::ChunkRange& u) {
+          const exec::ChunkRange r{
+              u.index, u.index * config_.chunk,
+              std::min(config_.strikes, (u.index + 1) * config_.chunk),
+              u.worker};
+          return process_chunk(r).encode();
+        });
+    std::vector<McPartial> parts;
+    parts.reserve(units.blobs.size());
+    for (const auto& blob : units.blobs) {
+      parts.push_back(McPartial::decode(blob, nv));
+    }
+    total = exec::reduce_pairwise(std::move(parts), McPartial::merge);
+  }
 
   ArrayMcResult result;
   result.vdds = vdds;

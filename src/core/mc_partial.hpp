@@ -35,6 +35,35 @@ struct McPartial {
     a.hits += b.hits;
     return a;
   }
+
+  /// Checkpoint-blob codec. The raw Welford state round-trips bit-exactly,
+  /// so decode(encode(p)) merges identically to p itself — the property the
+  /// resume-bit-identity guarantee rests on.
+  std::vector<std::uint8_t> encode() const {
+    util::ByteWriter w;
+    w.u64(acc.size());
+    w.u64(hits);
+    for (const auto& modes : acc) {
+      modes[kModeNominal].write(w);
+      modes[kModeWithPv].write(w);
+    }
+    return w.take();
+  }
+
+  static McPartial decode(const std::vector<std::uint8_t>& blob,
+                          std::size_t expected_nv) {
+    util::ByteReader r(blob);
+    const std::uint64_t nv = r.u64();
+    FINSER_REQUIRE(nv == expected_nv, "McPartial: vdd count mismatch in blob");
+    McPartial p(static_cast<std::size_t>(nv));
+    p.hits = static_cast<std::size_t>(r.u64());
+    for (auto& modes : p.acc) {
+      modes[kModeNominal] = PofAccumulator::read(r);
+      modes[kModeWithPv] = PofAccumulator::read(r);
+    }
+    FINSER_REQUIRE(r.exhausted(), "McPartial: trailing bytes in blob");
+    return p;
+  }
 };
 
 }  // namespace finser::core

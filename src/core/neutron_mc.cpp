@@ -9,6 +9,7 @@
 #include "finser/phys/collection.hpp"
 #include "finser/stats/direction.hpp"
 #include "finser/util/error.hpp"
+#include "finser/util/fingerprint.hpp"
 #include "finser/util/units.hpp"
 #include "mc_partial.hpp"
 
@@ -35,6 +36,33 @@ struct WorkerState {
         cell_charges(layout.cell_count(), sram::StrikeCharges{}) {}
 };
 
+/// Checkpoint fingerprint — see array_mc.cpp for the inclusion policy.
+std::uint64_t run_fingerprint(const NeutronMcConfig& cfg,
+                              const sram::ArrayLayout& layout,
+                              const sram::CellSoftErrorModel& model,
+                              double e_n_mev, std::uint64_t seed) {
+  util::Fnv1a h;
+  h.str("finser.neutron_mc.ckpt.v1");
+  h.u64(model.config_fingerprint);
+  h.f64(e_n_mev);
+  h.u64(seed);
+  h.u64(cfg.histories);
+  h.u64(cfg.chunk);
+  h.u64(static_cast<std::uint64_t>(cfg.angular));
+  h.u64(static_cast<std::uint64_t>(cfg.straggling));
+  h.f64(cfg.interaction_depth_um);
+  h.f64(cfg.source_margin_nm);
+  h.u64(layout.rows());
+  h.u64(layout.cols());
+  h.f64(layout.width_nm()).f64(layout.height_nm());
+  for (std::size_t row = 0; row < layout.rows(); ++row) {
+    for (std::size_t col = 0; col < layout.cols(); ++col) {
+      h.u64(layout.bit(row, col) ? 1 : 0);
+    }
+  }
+  return h.hash();
+}
+
 }  // namespace
 
 NeutronArrayMc::NeutronArrayMc(const sram::ArrayLayout& layout,
@@ -54,7 +82,8 @@ double NeutronArrayMc::sampled_area_nm2() const {
 }
 
 ArrayMcResult NeutronArrayMc::run(double e_n_mev, std::uint64_t seed,
-                                  const exec::ProgressSink& progress) const {
+                                  const exec::ProgressSink& progress,
+                                  const ckpt::RunOptions& run_opts) const {
   FINSER_REQUIRE(e_n_mev > 0.0, "NeutronArrayMc::run: non-positive energy");
 
   const std::vector<double> vdds = model_->vdds();
@@ -76,9 +105,7 @@ ArrayMcResult NeutronArrayMc::run(double e_n_mev, std::uint64_t seed,
   std::vector<std::unique_ptr<WorkerState>> workers(pool.thread_count());
   progress.start_phase("histories", config_.histories);
 
-  McPartial total = exec::parallel_reduce<McPartial>(
-      pool, config_.histories, config_.chunk,
-      [&](const exec::ChunkRange& r) {
+  const auto process_chunk = [&](const exec::ChunkRange& r) -> McPartial {
         std::unique_ptr<WorkerState>& slot = workers[r.worker];
         if (!slot) slot = std::make_unique<WorkerState>(*layout_, tc);
         WorkerState& ws = *slot;
@@ -172,8 +199,33 @@ ArrayMcResult NeutronArrayMc::run(double e_n_mev, std::uint64_t seed,
 
         progress.tick(r.end - r.begin);
         return part;
-      },
-      McPartial::merge);
+  };
+
+  McPartial total;
+  if (!run_opts.active()) {
+    total = exec::parallel_reduce<McPartial>(pool, config_.histories,
+                                             config_.chunk, process_chunk,
+                                             McPartial::merge);
+  } else {
+    const std::size_t n_chunks =
+        (config_.histories + config_.chunk - 1) / config_.chunk;
+    const std::uint64_t fp =
+        run_fingerprint(config_, *layout_, *model_, e_n_mev, seed);
+    const ckpt::UnitRunResult units = ckpt::run_units(
+        pool, n_chunks, fp, run_opts, [&](const exec::ChunkRange& u) {
+          const exec::ChunkRange r{
+              u.index, u.index * config_.chunk,
+              std::min(config_.histories, (u.index + 1) * config_.chunk),
+              u.worker};
+          return process_chunk(r).encode();
+        });
+    std::vector<McPartial> parts;
+    parts.reserve(units.blobs.size());
+    for (const auto& blob : units.blobs) {
+      parts.push_back(McPartial::decode(blob, nv));
+    }
+    total = exec::reduce_pairwise(std::move(parts), McPartial::merge);
+  }
 
   ArrayMcResult result;
   result.vdds = vdds;

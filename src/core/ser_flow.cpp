@@ -9,7 +9,9 @@
 
 #include "finser/exec/exec.hpp"
 #include "finser/exec/thread_pool.hpp"
+#include "finser/util/bytes.hpp"
 #include "finser/util/error.hpp"
+#include "finser/util/fingerprint.hpp"
 
 namespace finser::core {
 
@@ -20,7 +22,7 @@ SerFlow::SerFlow(const SerFlowConfig& config)
       mc_seed_cursor_(config.seed) {}
 
 const sram::CellSoftErrorModel& SerFlow::cell_model(
-    const exec::ProgressSink& progress) {
+    const exec::ProgressSink& progress, const ckpt::RunOptions& run) {
   if (model_.has_value()) return *model_;
 
   sram::CharacterizerConfig ccfg = config_.characterization;
@@ -38,11 +40,23 @@ const sram::CellSoftErrorModel& SerFlow::cell_model(
     }
   }
 
+  // The characterization checkpoint is a sibling of the caller's: same
+  // cancel token and interval, its own file (unit = supply voltage).
+  ckpt::RunOptions crun = run;
+  if (run.checkpointing()) crun.checkpoint_path = run.checkpoint_path + ".cell";
+
   progress.message("characterizing SRAM cell (POF LUTs)...");
-  model_ = characterizer.characterize(progress);
+  model_ = characterizer.characterize(progress, crun);
   if (!config_.lut_cache_path.empty()) {
-    model_->save(config_.lut_cache_path);
-    progress.message("POF LUTs cached to " + config_.lut_cache_path);
+    try {
+      model_->save(config_.lut_cache_path);
+      progress.message("POF LUTs cached to " + config_.lut_cache_path);
+    } catch (const util::Error& e) {
+      // The model is already in memory — a failed cache write costs the
+      // *next* run a re-characterization, never this one.
+      progress.message(std::string("warning: POF LUT cache not written: ") +
+                       e.what());
+    }
   }
   return *model_;
 }
@@ -56,9 +70,58 @@ ArrayMcResult SerFlow::run_at_energy(phys::Species species, double e_mev,
   return mc.run(species, e_mev, mc_seed_cursor_++, progress);
 }
 
+namespace {
+
+/// Identity of one sweep for checkpoint validation: everything that decides
+/// the per-bin results. Thread budget and checkpoint cadence are excluded —
+/// they never change the numbers.
+std::uint64_t sweep_fingerprint(const SerFlowConfig& cfg,
+                                const sram::ArrayLayout& layout,
+                                std::uint64_t model_fp, phys::Species species,
+                                const std::vector<env::EnergyBin>& bins,
+                                const std::vector<std::uint64_t>& bin_seeds,
+                                bool neutron) {
+  util::Fnv1a h;
+  h.str("finser.ser_flow.sweep.v1");
+  h.u64(model_fp);
+  h.u64(static_cast<std::uint64_t>(species));
+  h.u64(bins.size());
+  for (const env::EnergyBin& b : bins) {
+    h.f64(b.e_rep_mev).f64(b.e_lo_mev).f64(b.e_hi_mev);
+  }
+  // Seeds encode cfg.seed plus the flow's cursor position at sweep entry.
+  for (std::uint64_t s : bin_seeds) h.u64(s);
+  if (neutron) {
+    const NeutronMcConfig& n = cfg.neutron_mc;
+    h.u64(n.histories).u64(n.chunk);
+    h.u64(static_cast<std::uint64_t>(n.angular));
+    h.u64(static_cast<std::uint64_t>(n.straggling));
+    h.f64(n.interaction_depth_um).f64(n.source_margin_nm);
+  } else {
+    const ArrayMcConfig& a = cfg.array_mc;
+    h.u64(a.strikes).u64(a.chunk);
+    h.u64(static_cast<std::uint64_t>(a.angular));
+    h.u64(static_cast<std::uint64_t>(a.position));
+    h.u64(static_cast<std::uint64_t>(a.straggling));
+    h.f64(a.beam_direction.x).f64(a.beam_direction.y).f64(a.beam_direction.z);
+    h.f64(a.source_margin_nm).f64(a.source_height_nm);
+  }
+  h.u64(layout.rows()).u64(layout.cols());
+  h.f64(layout.width_nm()).f64(layout.height_nm());
+  for (std::size_t r = 0; r < layout.rows(); ++r) {
+    for (std::size_t c = 0; c < layout.cols(); ++c) {
+      h.u64(layout.bit(r, c) ? 1 : 0);
+    }
+  }
+  return h.hash();
+}
+
+}  // namespace
+
 EnergySweepResult SerFlow::sweep(const env::Spectrum& spectrum,
-                                 const exec::ProgressSink& progress) {
-  const sram::CellSoftErrorModel& model = cell_model(progress);
+                                 const exec::ProgressSink& progress,
+                                 const ckpt::RunOptions& run) {
+  const sram::CellSoftErrorModel& model = cell_model(progress, run);
 
   std::size_t bins = config_.alpha_bins;
   double e_lo = config_.alpha_e_lo_mev;
@@ -109,24 +172,56 @@ EnergySweepResult SerFlow::sweep(const env::Spectrum& spectrum,
 
   result.per_bin.resize(n_bins);
   exec::ThreadPool outer_pool(outer);
-  outer_pool.parallel_for_chunks(n_bins, 1, [&](const exec::ChunkRange& r) {
-    for (std::size_t i = r.begin; i < r.end; ++i) {
-      const env::EnergyBin& bin = result.bins[i];
-      if (neutron) {
-        NeutronArrayMc mc(layout_, model, neutron_cfg);
-        result.per_bin[i] = mc.run(bin.e_rep_mev, bin_seeds[i]);
-      } else {
-        ArrayMc mc(layout_, model, charged_cfg);
-        result.per_bin[i] =
-            mc.run(spectrum.species(), bin.e_rep_mev, bin_seeds[i]);
-      }
-      if (progress) {
-        std::ostringstream os;
-        os << spectrum.name() << ": E=" << bin.e_rep_mev << " MeV done";
-        progress.message(os.str());
-      }
+  const auto run_bin = [&](std::size_t i) {
+    const env::EnergyBin& bin = result.bins[i];
+    ArrayMcResult r;
+    // Inner engines see the cancel token only: checkpointing happens at
+    // bin granularity out here, cancellation at chunk granularity inside.
+    const ckpt::RunOptions inner_run = run.cancel_only();
+    if (neutron) {
+      NeutronArrayMc mc(layout_, model, neutron_cfg);
+      r = mc.run(bin.e_rep_mev, bin_seeds[i], {}, inner_run);
+    } else {
+      ArrayMc mc(layout_, model, charged_cfg);
+      r = mc.run(spectrum.species(), bin.e_rep_mev, bin_seeds[i], {}, inner_run);
     }
-  });
+    if (progress) {
+      std::ostringstream os;
+      os << spectrum.name() << ": E=" << bin.e_rep_mev << " MeV done";
+      progress.message(os.str());
+    }
+    return r;
+  };
+
+  if (!run.active()) {
+    outer_pool.parallel_for_chunks(n_bins, 1, [&](const exec::ChunkRange& r) {
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        result.per_bin[i] = run_bin(i);
+      }
+    });
+  } else {
+    // Checkpointable sweep: one unit per energy bin, blob = the bin's
+    // serialized ArrayMcResult. Restored bins are skipped; everything else
+    // runs exactly as in the plain path, so resume is bit-identical.
+    const std::uint64_t fp =
+        sweep_fingerprint(config_, layout_, model.config_fingerprint,
+                          spectrum.species(), result.bins, bin_seeds, neutron);
+    const ckpt::UnitRunResult units = ckpt::run_units(
+        outer_pool, n_bins, fp, run, [&](const exec::ChunkRange& u) {
+          return encode_result(run_bin(u.index));
+        });
+    if (progress && units.reused > 0) {
+      progress.message("sweep: resumed, " + std::to_string(units.reused) + "/" +
+                       std::to_string(n_bins) +
+                       " energy bin(s) restored from checkpoint");
+    }
+    for (std::size_t i = 0; i < n_bins; ++i) {
+      util::ByteReader r(units.blobs[i]);
+      result.per_bin[i] = decode_result(r);
+      FINSER_REQUIRE(r.exhausted(),
+                     "sweep: trailing bytes in checkpointed bin result");
+    }
+  }
 
   // Eq. 8 per (vdd, mode). The normalization area is the source-sampling
   // plane (equals the array footprint when the margin is zero).

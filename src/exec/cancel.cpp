@@ -1,0 +1,34 @@
+#include "finser/exec/cancel.hpp"
+
+#include <csignal>
+
+namespace finser::exec {
+
+namespace {
+
+std::atomic<CancelToken*> g_signal_token{nullptr};
+
+void on_signal(int /*signum*/) {
+  CancelToken* token = g_signal_token.load(std::memory_order_acquire);
+  if (token != nullptr) token->cancel();
+}
+
+}  // namespace
+
+void install_signal_cancel(CancelToken* token) {
+  g_signal_token.store(token, std::memory_order_release);
+  struct sigaction sa = {};
+  if (token != nullptr) {
+    sa.sa_handler = on_signal;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: a blocked read should fail with EINTR so the main loop
+    // reaches its next cancellation check promptly.
+    sa.sa_flags = 0;
+  } else {
+    sa.sa_handler = SIG_DFL;
+  }
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace finser::exec

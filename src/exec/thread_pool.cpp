@@ -23,21 +23,30 @@ struct ThreadPool::Impl {
 
   // Current region (valid between the epoch bump and busy == 0).
   const std::function<void(const ChunkRange&)>* fn = nullptr;
+  const CancelToken* cancel = nullptr;
   std::size_t n_items = 0;
   std::size_t chunk = 0;
   std::size_t n_chunks = 0;
   std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> executed{0};
   std::exception_ptr error;
 
   /// Claim and execute chunks until the region is drained. Any schedule is
-  /// fine: chunk indices, not threads, key the deterministic state.
+  /// fine: chunk indices, not threads, key the deterministic state. The
+  /// cancel token is polled only here, between chunks, so a chunk either
+  /// runs to completion or never starts.
   void run_chunks(std::size_t slot) {
     for (;;) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        next_chunk.store(n_chunks, std::memory_order_relaxed);
+        return;
+      }
       const std::size_t i = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (i >= n_chunks) return;
       const ChunkRange r{i, i * chunk, std::min(n_items, (i + 1) * chunk), slot};
       try {
         (*fn)(r);
+        executed.fetch_add(1, std::memory_order_relaxed);
       } catch (...) {
         std::lock_guard<std::mutex> lk(m);
         if (!error) error = std::current_exception();
@@ -85,28 +94,33 @@ ThreadPool::~ThreadPool() {
   delete impl_;
 }
 
-void ThreadPool::parallel_for_chunks(
+bool ThreadPool::parallel_for_chunks(
     std::size_t n_items, std::size_t chunk,
-    const std::function<void(const ChunkRange&)>& fn) {
+    const std::function<void(const ChunkRange&)>& fn,
+    const CancelToken* cancel) {
   FINSER_REQUIRE(chunk > 0, "ThreadPool: chunk size must be positive");
-  if (n_items == 0) return;
+  if (n_items == 0) return true;
   const std::size_t n_chunks = (n_items + chunk - 1) / chunk;
 
   if (workers_count_ == 0) {
-    // Inline fast path: no synchronization, identical chunk decomposition.
+    // Inline fast path: no synchronization, identical chunk decomposition
+    // and identical cancellation points.
     for (std::size_t i = 0; i < n_chunks; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return false;
       fn({i, i * chunk, std::min(n_items, (i + 1) * chunk), 0});
     }
-    return;
+    return true;
   }
 
   {
     std::lock_guard<std::mutex> lk(impl_->m);
     impl_->fn = &fn;
+    impl_->cancel = cancel;
     impl_->n_items = n_items;
     impl_->chunk = chunk;
     impl_->n_chunks = n_chunks;
     impl_->next_chunk.store(0, std::memory_order_relaxed);
+    impl_->executed.store(0, std::memory_order_relaxed);
     impl_->error = nullptr;
     impl_->busy = workers_count_;
     ++impl_->epoch;
@@ -116,13 +130,17 @@ void ThreadPool::parallel_for_chunks(
   impl_->run_chunks(0);  // The caller is worker slot 0.
 
   std::exception_ptr error;
+  std::size_t executed = 0;
   {
     std::unique_lock<std::mutex> lk(impl_->m);
     impl_->done_cv.wait(lk, [&] { return impl_->busy == 0; });
     impl_->fn = nullptr;
+    impl_->cancel = nullptr;
     error = impl_->error;
+    executed = impl_->executed.load(std::memory_order_relaxed);
   }
   if (error) std::rethrow_exception(error);
+  return executed == n_chunks;
 }
 
 }  // namespace finser::exec

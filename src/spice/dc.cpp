@@ -79,11 +79,49 @@ std::vector<double> solve_dc(const Circuit& circuit,
                                                 : initial_guess;
   const std::vector<double> anchor = x;
 
-  for (double gmin : options.gmin_steps) {
-    if (!newton_stage(circuit, x, anchor, gmin, options)) {
-      throw util::NumericalError(
-          "solve_dc: Newton failed to converge at gmin = " + std::to_string(gmin));
+  // gmin continuation with a bounded retry ladder: a failed stage is retried
+  // from the last converged iterate with the geometric midpoint between the
+  // previous (converged) gmin and the failed one inserted first. Halving the
+  // continuation step this way rescues solves where a single gmin decade is
+  // too aggressive a homotopy jump, without loosening any tolerance.
+  std::vector<double> schedule(options.gmin_steps.begin(),
+                               options.gmin_steps.end());
+  int extensions = 0;
+  double prev_gmin = 0.0;       // gmin of the last converged stage.
+  bool any_converged = false;   // Whether prev_gmin is meaningful.
+  std::vector<double> x_good = x;
+
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const double gmin = schedule[i];
+    if (newton_stage(circuit, x, anchor, gmin, options)) {
+      prev_gmin = gmin;
+      any_converged = true;
+      x_good = x;
+      continue;
     }
+
+    if (extensions >= options.max_gmin_extensions) {
+      throw util::NumericalError(
+          "solve_dc: Newton failed to converge at gmin = " +
+          std::to_string(gmin) + " after " + std::to_string(extensions) +
+          " schedule extension(s)");
+    }
+
+    // Restore the last converged iterate: the failed stage may have walked x
+    // somewhere useless.
+    x = x_good;
+    double inserted;
+    if (any_converged) {
+      inserted = std::sqrt(prev_gmin * gmin);
+      FINSER_REQUIRE(inserted > gmin && inserted < prev_gmin,
+                     "solve_dc: gmin schedule is not strictly decreasing");
+    } else {
+      // The very first stage failed: retry from a much stiffer shunt.
+      inserted = std::min(gmin * 100.0, 1.0);
+    }
+    ++extensions;
+    schedule.insert(schedule.begin() + static_cast<std::ptrdiff_t>(i), inserted);
+    --i;  // Re-enter the loop at the inserted stage.
   }
   return x;
 }

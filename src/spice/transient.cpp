@@ -171,6 +171,12 @@ Waveform run_transient(const Circuit& circuit, const std::vector<double>& x0,
   double dt = opt.dt_initial;
   std::size_t next_break = 0;
 
+  // Retry ladder (see TransientOptions::max_restarts): the effective Newton
+  // settings escalate deterministically each time the step size underflows,
+  // instead of aborting on the first hard spot.
+  TransientOptions eff = opt;
+  int restart_level = 0;
+
   while (t < opt.t_end - 1e-24) {
     // Clamp the step to land exactly on the next breakpoint.
     while (next_break < breaks.size() && breaks[next_break] <= t + 1e-24) {
@@ -186,7 +192,7 @@ Waveform run_transient(const Circuit& circuit, const std::vector<double>& x0,
     ctx.time = t + step;
     ctx.dt = step;
     std::vector<double> x_try = x;  // Start Newton from the previous solution.
-    if (newton_step(circuit, mna, ctx, x_try, opt)) {
+    if (newton_step(circuit, mna, ctx, x_try, eff)) {
       // Accept.
       x = std::move(x_try);
       ctx.x = &x;
@@ -206,8 +212,22 @@ Waveform run_transient(const Circuit& circuit, const std::vector<double>& x0,
         // Can't reach the breakpoint in one step anymore; approach it.
       }
       if (dt < opt.dt_min) {
-        throw util::NumericalError(
-            "run_transient: Newton failed to converge at t = " + std::to_string(t));
+        if (restart_level < opt.max_restarts) {
+          // Escalate: more Newton iterations, stronger damping, and a fresh
+          // (smaller) starting step for the same failing instant. The state
+          // is the last *committed* step, so nothing is replayed.
+          ++restart_level;
+          eff.max_newton *= 2;
+          eff.damping_vmax *= 0.5;
+          dt = std::max(opt.dt_min,
+                        opt.dt_initial * std::pow(0.1, restart_level));
+        } else {
+          throw util::NumericalError(
+              "run_transient: Newton failed to converge at t = " +
+              std::to_string(t) + " after " + std::to_string(restart_level) +
+              " escalation(s) (max_newton " + std::to_string(eff.max_newton) +
+              ", damping_vmax " + std::to_string(eff.damping_vmax) + ")");
+        }
       }
     }
   }

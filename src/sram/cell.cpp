@@ -2,6 +2,7 @@
 
 #include "finser/spice/dc.hpp"
 #include "finser/util/error.hpp"
+#include "finser/util/fault.hpp"
 #include "finser/util/units.hpp"
 
 namespace finser::sram {
@@ -123,6 +124,15 @@ std::array<double, 2> StrikeSimulator::hold_state(const DeltaVt& delta_vt) {
 StrikeOutcome StrikeSimulator::simulate(const StrikeCharges& charges,
                                         const DeltaVt& delta_vt,
                                         PulseShape::Kind kind) {
+  // Fault-injection hook: the Nth strike simulation "diverges" exactly like
+  // a real Newton failure would, exercising the characterizer's
+  // count-and-exclude path (util/fault.hpp).
+  if (util::fault_fire(util::FaultSite::kNewtonDiverge)) {
+    throw util::NumericalError(
+        "StrikeSimulator::simulate: injected Newton divergence "
+        "(FINSER_FAULT newton_diverge)");
+  }
+
   const auto x0 = solve_hold(delta_vt);
 
   // All three currents share the drift-collection width τ and start together

@@ -1,12 +1,14 @@
 #include "finser/sram/characterize.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <memory>
 #include <sstream>
 
 #include "finser/exec/thread_pool.hpp"
+#include "finser/util/bytes.hpp"
 #include "finser/util/error.hpp"
 
 namespace finser::sram {
@@ -44,6 +46,17 @@ constexpr std::uint64_t kSchemeVersion = 2;
 constexpr std::uint64_t kStreamSingleBase = 1;  // which = 0..2 -> 1..3.
 constexpr std::uint64_t kStreamPairBase = 4;    // pair p = 0..2 -> 4..6.
 constexpr std::uint64_t kStreamTriple = 7;
+
+/// A parallel stage that stopped early (cancel token fired) holds a
+/// partially written table — the only safe continuation is to abandon it.
+/// Finished voltages survive in the checkpoint; this one restarts on resume.
+void require_complete(bool completed) {
+  if (!completed) {
+    throw util::Cancelled(
+        "characterization cancelled at a chunk boundary; the in-progress "
+        "voltage is discarded (finished voltages persist in the checkpoint)");
+  }
+}
 
 StrikeCharges scale_direction(const StrikeCharges& dir, double s) {
   return StrikeCharges{dir.i1_fc * s, dir.i2_fc * s, dir.i3_fc * s};
@@ -145,34 +158,50 @@ DeltaVt CellCharacterizer::sample_delta_vt(stats::Rng& rng) const {
   return dvt;
 }
 
-SingleCdf CellCharacterizer::characterize_single(exec::ThreadPool& pool,
-                                                 detail::SimSlots& sims,
-                                                 int which,
-                                                 std::uint64_t seed) const {
+SingleCdf CellCharacterizer::characterize_single(
+    exec::ThreadPool& pool, detail::SimSlots& sims, int which,
+    std::uint64_t seed, const exec::CancelToken* cancel,
+    std::size_t& attempted, std::size_t& failed) const {
   const StrikeCharges dir = unit_direction(which);
   SingleCdf cdf;
+  // The nominal bisection anchors the whole table (axis placement, binary
+  // POF); if *it* cannot converge, the voltage is unrecoverable — propagate.
   cdf.nominal_qcrit_fc = bisect_critical_scale(
       sims.at(0), dir, DeltaVt{}, config_.q_max_fc, config_.bisect_tol_fc,
       config_.pulse_kind);
 
   // PV samples are independent: sample k always draws from stream k of this
-  // stage's seed (~a dozen SPICE transients each, so chunk = 1).
-  cdf.total_samples = config_.pv_samples_single;
+  // stage's seed (~a dozen SPICE transients each, so chunk = 1). A sample
+  // whose solve diverges is marked with a negative sentinel and excluded
+  // from the CDF — never guessed as flip or no-flip.
+  constexpr double kFailedSample = -1.0;
   std::vector<double> qcrit(config_.pv_samples_single);
-  pool.parallel_for_chunks(
-      config_.pv_samples_single, 1, [&](const exec::ChunkRange& r) {
+  std::atomic<std::size_t> n_failed{0};
+  require_complete(pool.parallel_for_chunks(
+      config_.pv_samples_single, 1,
+      [&](const exec::ChunkRange& r) {
         StrikeSimulator& sim = sims.at(r.worker);
         for (std::size_t k = r.begin; k < r.end; ++k) {
           stats::Rng rng = stats::Rng::stream(seed, k);
           const DeltaVt dvt = sample_delta_vt(rng);
-          qcrit[k] = bisect_critical_scale(sim, dir, dvt, config_.q_max_fc,
-                                           config_.bisect_tol_fc,
-                                           config_.pulse_kind);
+          try {
+            qcrit[k] = bisect_critical_scale(sim, dir, dvt, config_.q_max_fc,
+                                             config_.bisect_tol_fc,
+                                             config_.pulse_kind);
+          } catch (const util::NumericalError&) {
+            qcrit[k] = kFailedSample;
+            n_failed.fetch_add(1, std::memory_order_relaxed);
+          }
         }
-      });
-  cdf.qcrit_samples_fc.reserve(config_.pv_samples_single);
+      },
+      cancel));
+  cdf.failed_samples = n_failed.load();
+  cdf.total_samples = config_.pv_samples_single - cdf.failed_samples;
+  attempted += config_.pv_samples_single;
+  failed += cdf.failed_samples;
+  cdf.qcrit_samples_fc.reserve(cdf.total_samples);
   for (double q : qcrit) {
-    if (q < SingleCdf::kNeverFlips) cdf.qcrit_samples_fc.push_back(q);
+    if (q >= 0.0 && q < SingleCdf::kNeverFlips) cdf.qcrit_samples_fc.push_back(q);
   }
   std::sort(cdf.qcrit_samples_fc.begin(), cdf.qcrit_samples_fc.end());
   return cdf;
@@ -231,21 +260,23 @@ util::Axis make_charge_axis(double qc_lo_fc, double qc_hi_fc, std::size_t points
   return util::Axis(std::move(pts));
 }
 
-void CellCharacterizer::characterize_pair(exec::ThreadPool& pool,
-                                          detail::SimSlots& sims, int a, int b,
-                                          const util::Axis& axis,
-                                          double sigma_q_fc, std::uint64_t seed,
-                                          util::Grid2& pv,
-                                          util::Grid2& nominal) const {
+void CellCharacterizer::characterize_pair(
+    exec::ThreadPool& pool, detail::SimSlots& sims, int a, int b,
+    const util::Axis& axis, double sigma_q_fc, std::uint64_t seed,
+    util::Grid2& pv, util::Grid2& nominal, const exec::CancelToken* cancel,
+    std::size_t& attempted, std::size_t& failed) const {
   const std::size_t np = axis.size();
   const double dq = min_spacing(axis);
   const auto radius =
       static_cast<std::ptrdiff_t>(std::ceil(4.0 * sigma_q_fc / dq)) + 1;
 
   // Nominal boundary per row by binary search (flip region is monotone).
-  // Rows are independent and RNG-free — straight parallel rows.
+  // Rows are independent and RNG-free — straight parallel rows. Failures
+  // propagate: a wrong boundary would misplace the whole MC band.
   std::vector<std::size_t> boundary(np, np);  // First flipping column, np = none.
-  pool.parallel_for_chunks(np, 1, [&](const exec::ChunkRange& r) {
+  require_complete(pool.parallel_for_chunks(
+      np, 1,
+      [&](const exec::ChunkRange& r) {
     StrikeSimulator& sim = sims.at(r.worker);
     for (std::size_t i = r.begin; i < r.end; ++i) {
       std::size_t lo = 0, hi = np;  // Search smallest j with flip in [lo, hi).
@@ -262,7 +293,8 @@ void CellCharacterizer::characterize_pair(exec::ThreadPool& pool,
       }
       boundary[i] = lo;
     }
-  });
+      },
+      cancel));
 
   std::vector<double> nom_values(np * np);
   for (std::size_t i = 0; i < np; ++i) {
@@ -299,7 +331,10 @@ void CellCharacterizer::characterize_pair(exec::ThreadPool& pool,
       if (near_boundary) mc_cells.push_back(i * np + j);
     }
   }
-  pool.parallel_for_chunks(mc_cells.size(), 1, [&](const exec::ChunkRange& r) {
+  std::atomic<std::size_t> n_failed{0};
+  require_complete(pool.parallel_for_chunks(
+      mc_cells.size(), 1,
+      [&](const exec::ChunkRange& r) {
     StrikeSimulator& sim = sims.at(r.worker);
     for (std::size_t c = r.begin; c < r.end; ++c) {
       const std::size_t cell = mc_cells[c];
@@ -307,29 +342,42 @@ void CellCharacterizer::characterize_pair(exec::ThreadPool& pool,
       const std::size_t j = cell % np;
       stats::Rng rng = stats::Rng::stream(seed, cell);
       std::size_t flips = 0;
+      std::size_t ok = 0;
       for (std::size_t k = 0; k < config_.pv_samples_grid; ++k) {
+        // Draw the PV sample before the solve: a failed sample consumes the
+        // same RNG stream, so later samples are unshifted.
         const DeltaVt dvt = sample_delta_vt(rng);
-        if (sim.simulate(pair_charges(a, b, axis[i], axis[j]), dvt,
-                         config_.pulse_kind)
-                .flipped) {
-          ++flips;
+        try {
+          if (sim.simulate(pair_charges(a, b, axis[i], axis[j]), dvt,
+                           config_.pulse_kind)
+                  .flipped) {
+            ++flips;
+          }
+          ++ok;
+        } catch (const util::NumericalError&) {
+          n_failed.fetch_add(1, std::memory_order_relaxed);
         }
       }
-      pv_values[cell] = static_cast<double>(flips) /
-                        static_cast<double>(config_.pv_samples_grid);
+      // Failures shrink the denominator; if every sample failed, fall back
+      // to the nominal value rather than invent a probability.
+      pv_values[cell] = ok > 0 ? static_cast<double>(flips) /
+                                     static_cast<double>(ok)
+                               : nom_values[cell];
     }
-  });
+      },
+      cancel));
+  attempted += mc_cells.size() * config_.pv_samples_grid;
+  failed += n_failed.load();
 
   nominal = util::Grid2(axis, axis, std::move(nom_values));
   pv = util::Grid2(axis, axis, std::move(pv_values));
 }
 
-void CellCharacterizer::characterize_triple(exec::ThreadPool& pool,
-                                            detail::SimSlots& sims,
-                                            const util::Axis& axis,
-                                            double sigma_q_fc,
-                                            std::uint64_t seed, util::Grid3& pv,
-                                            util::Grid3& nominal) const {
+void CellCharacterizer::characterize_triple(
+    exec::ThreadPool& pool, detail::SimSlots& sims, const util::Axis& axis,
+    double sigma_q_fc, std::uint64_t seed, util::Grid3& pv,
+    util::Grid3& nominal, const exec::CancelToken* cancel,
+    std::size_t& attempted, std::size_t& failed) const {
   const std::size_t np = axis.size();
   const double dq = min_spacing(axis);
   const auto radius =
@@ -342,7 +390,9 @@ void CellCharacterizer::characterize_triple(exec::ThreadPool& pool,
   // Nominal: binary search the first flipping k for each (i, j) — RNG-free,
   // one parallel item per (i, j) column.
   std::vector<double> nom_values(np * np * np);
-  pool.parallel_for_chunks(np * np, 1, [&](const exec::ChunkRange& r) {
+  require_complete(pool.parallel_for_chunks(
+      np * np, 1,
+      [&](const exec::ChunkRange& r) {
     StrikeSimulator& sim = sims.at(r.worker);
     for (std::size_t ij = r.begin; ij < r.end; ++ij) {
       const std::size_t i = ij / np;
@@ -364,7 +414,8 @@ void CellCharacterizer::characterize_triple(exec::ThreadPool& pool,
         nom_values[idx(i, j, k)] = k >= lo ? 1.0 : 0.0;
       }
     }
-  });
+      },
+      cancel));
 
   std::vector<double> pv_values = nom_values;
   std::vector<std::size_t> mc_cells;
@@ -397,7 +448,10 @@ void CellCharacterizer::characterize_triple(exec::ThreadPool& pool,
       }
     }
   }
-  pool.parallel_for_chunks(mc_cells.size(), 1, [&](const exec::ChunkRange& r) {
+  std::atomic<std::size_t> n_failed{0};
+  require_complete(pool.parallel_for_chunks(
+      mc_cells.size(), 1,
+      [&](const exec::ChunkRange& r) {
     StrikeSimulator& sim = sims.at(r.worker);
     for (std::size_t c = r.begin; c < r.end; ++c) {
       const std::size_t cell = mc_cells[c];
@@ -406,25 +460,36 @@ void CellCharacterizer::characterize_triple(exec::ThreadPool& pool,
       const std::size_t i = cell / (np * np);
       stats::Rng rng = stats::Rng::stream(seed, cell);
       std::size_t flips = 0;
+      std::size_t ok = 0;
       for (std::size_t s = 0; s < config_.pv_samples_grid; ++s) {
-        const DeltaVt dvt = sample_delta_vt(rng);
-        if (sim.simulate(StrikeCharges{axis[i], axis[j], axis[k]}, dvt,
-                         config_.pulse_kind)
-                .flipped) {
-          ++flips;
+        const DeltaVt dvt = sample_delta_vt(rng);  // Drawn even if the solve fails.
+        try {
+          if (sim.simulate(StrikeCharges{axis[i], axis[j], axis[k]}, dvt,
+                           config_.pulse_kind)
+                  .flipped) {
+            ++flips;
+          }
+          ++ok;
+        } catch (const util::NumericalError&) {
+          n_failed.fetch_add(1, std::memory_order_relaxed);
         }
       }
-      pv_values[cell] = static_cast<double>(flips) /
-                        static_cast<double>(config_.pv_samples_grid);
+      pv_values[cell] = ok > 0 ? static_cast<double>(flips) /
+                                     static_cast<double>(ok)
+                               : nom_values[cell];
     }
-  });
+      },
+      cancel));
+  attempted += mc_cells.size() * config_.pv_samples_grid;
+  failed += n_failed.load();
 
   nominal = util::Grid3(axis, axis, axis, std::move(nom_values));
   pv = util::Grid3(axis, axis, axis, std::move(pv_values));
 }
 
 PofTable CellCharacterizer::characterize_at(double vdd_v, std::uint64_t seed,
-                                            const exec::ProgressSink& progress) const {
+                                            const exec::ProgressSink& progress,
+                                            const exec::CancelToken* cancel) const {
   exec::ThreadPool pool(config_.threads);
   detail::SimSlots sims(design_, vdd_v, pool.thread_count());
 
@@ -436,7 +501,8 @@ PofTable CellCharacterizer::characterize_at(double vdd_v, std::uint64_t seed,
     table.singles[static_cast<std::size_t>(which)] = characterize_single(
         pool, sims, which,
         stats::Rng::derive_seed(seed,
-                                kStreamSingleBase + static_cast<std::uint64_t>(which)));
+                                kStreamSingleBase + static_cast<std::uint64_t>(which)),
+        cancel, table.attempted_samples, table.failed_samples);
     if (progress) {
       std::ostringstream os;
       const auto& s = table.singles[static_cast<std::size_t>(which)];
@@ -475,26 +541,79 @@ PofTable CellCharacterizer::characterize_at(double vdd_v, std::uint64_t seed,
         stats::Rng::derive_seed(seed,
                                 kStreamPairBase + static_cast<std::uint64_t>(p)),
         table.pairs_pv[static_cast<std::size_t>(p)],
-        table.pairs_nominal[static_cast<std::size_t>(p)]);
+        table.pairs_nominal[static_cast<std::size_t>(p)], cancel,
+        table.attempted_samples, table.failed_samples);
   }
   if (progress) progress.message("vdd=" + std::to_string(vdd_v) + ": pair grids done");
 
   characterize_triple(pool, sims, triple_axis, sigma_q,
                       stats::Rng::derive_seed(seed, kStreamTriple),
-                      table.triple_pv, table.triple_nominal);
+                      table.triple_pv, table.triple_nominal, cancel,
+                      table.attempted_samples, table.failed_samples);
   if (progress) progress.message("vdd=" + std::to_string(vdd_v) + ": triple grid done");
+
+  if (table.failed_samples > 0) {
+    const double frac = static_cast<double>(table.failed_samples) /
+                        static_cast<double>(table.attempted_samples);
+    if (progress) {
+      std::ostringstream os;
+      os << "vdd=" << vdd_v << ": " << table.failed_samples << "/"
+         << table.attempted_samples
+         << " strike samples failed numerically (excluded from the LUTs)";
+      progress.message(os.str());
+    }
+    if (frac > config_.max_failure_fraction) {
+      std::ostringstream os;
+      os << "characterize_at(vdd=" << vdd_v << "): failure fraction " << frac
+         << " exceeds max_failure_fraction " << config_.max_failure_fraction
+         << " (" << table.failed_samples << "/" << table.attempted_samples
+         << " samples) — the solver is too sick for the model to be trusted";
+      throw util::NumericalError(os.str());
+    }
+  }
   return table;
 }
 
 CellSoftErrorModel CellCharacterizer::characterize(
-    const exec::ProgressSink& progress) const {
+    const exec::ProgressSink& progress, const ckpt::RunOptions& run) const {
   CellSoftErrorModel model;
   model.config_fingerprint = config_.fingerprint(design_);
   std::vector<double> vdds = config_.vdds;
   std::sort(vdds.begin(), vdds.end());
-  for (std::size_t v = 0; v < vdds.size(); ++v) {
-    model.tables.push_back(characterize_at(
-        vdds[v], stats::Rng::derive_seed(config_.seed, v), progress));
+
+  if (!run.active()) {
+    for (std::size_t v = 0; v < vdds.size(); ++v) {
+      model.tables.push_back(characterize_at(
+          vdds[v], stats::Rng::derive_seed(config_.seed, v), progress));
+    }
+    return model;
+  }
+
+  // Checkpointable campaign: the unit of work is one (sorted) supply
+  // voltage; its blob is the serialized PofTable. The outer pool is serial —
+  // characterize_at parallelizes internally — so run_units only sequences
+  // the voltages, skips restored ones, and flushes after finished ones.
+  exec::ThreadPool outer(1);
+  const ckpt::UnitRunResult units = ckpt::run_units(
+      outer, vdds.size(), model.config_fingerprint, run,
+      [&](const exec::ChunkRange& u) {
+        const PofTable t = characterize_at(
+            vdds[u.index], stats::Rng::derive_seed(config_.seed, u.index),
+            progress, run.cancel);
+        util::ByteWriter w;
+        t.write(w);
+        return w.take();
+      });
+  if (progress && units.reused > 0) {
+    progress.message("characterize: resumed, " + std::to_string(units.reused) +
+                     "/" + std::to_string(vdds.size()) +
+                     " voltage(s) restored from checkpoint");
+  }
+  for (const std::vector<std::uint8_t>& blob : units.blobs) {
+    util::ByteReader r(blob);
+    model.tables.push_back(PofTable::read(r));
+    FINSER_REQUIRE(r.exhausted(),
+                   "characterize: trailing bytes in checkpointed PofTable");
   }
   return model;
 }

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 
+#include "finser/util/bytes.hpp"
+#include "finser/util/checksum.hpp"
 #include "finser/util/error.hpp"
+#include "finser/util/fault.hpp"
+#include "finser/util/io.hpp"
 
 namespace finser::sram {
 
@@ -116,69 +120,33 @@ std::vector<double> CellSoftErrorModel::vdds() const {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', 'N', 'S', 'R', 'P', 'O', 'F', '2'};
+// Format v3: 'FNSRPOF2' files (no CRC, no failure counters) fail the magic
+// check and are silently re-characterized — the cache is a cache.
+constexpr char kMagic[8] = {'F', 'N', 'S', 'R', 'P', 'O', 'F', '3'};
 
-void write_u64(std::ostream& os, std::uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void write_f64(std::ostream& os, double v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void write_vec(std::ostream& os, const std::vector<double>& v) {
-  write_u64(os, v.size());
-  os.write(reinterpret_cast<const char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(double)));
-}
-
-std::uint64_t read_u64(std::istream& is) {
-  std::uint64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  FINSER_REQUIRE(is.good(), "PofTable: truncated file (u64)");
-  return v;
-}
-
-double read_f64(std::istream& is) {
-  double v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  FINSER_REQUIRE(is.good(), "PofTable: truncated file (f64)");
-  return v;
-}
-
-std::vector<double> read_vec(std::istream& is) {
-  const std::uint64_t n = read_u64(is);
-  FINSER_REQUIRE(n < (1ull << 32), "PofTable: implausible vector length");
-  std::vector<double> v(n);
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(double)));
-  FINSER_REQUIRE(is.good(), "PofTable: truncated file (vector)");
-  return v;
-}
-
-void write_grid2(std::ostream& os, const util::Grid2& g) {
-  write_vec(os, g.x_axis().points());
-  write_vec(os, g.y_axis().points());
+void write_grid2(util::ByteWriter& w, const util::Grid2& g) {
+  w.f64_vec(g.x_axis().points());
+  w.f64_vec(g.y_axis().points());
   std::vector<double> vals;
   vals.reserve(g.x_axis().size() * g.y_axis().size());
   for (std::size_t i = 0; i < g.x_axis().size(); ++i) {
     for (std::size_t j = 0; j < g.y_axis().size(); ++j) vals.push_back(g.at(i, j));
   }
-  write_vec(os, vals);
+  w.f64_vec(vals);
 }
 
-util::Grid2 read_grid2(std::istream& is) {
-  auto xs = read_vec(is);
-  auto ys = read_vec(is);
-  auto vals = read_vec(is);
+util::Grid2 read_grid2(util::ByteReader& r) {
+  auto xs = r.f64_vec();
+  auto ys = r.f64_vec();
+  auto vals = r.f64_vec();
   return util::Grid2(util::Axis(std::move(xs)), util::Axis(std::move(ys)),
                      std::move(vals));
 }
 
-void write_grid3(std::ostream& os, const util::Grid3& g) {
-  write_vec(os, g.x_axis().points());
-  write_vec(os, g.y_axis().points());
-  write_vec(os, g.z_axis().points());
+void write_grid3(util::ByteWriter& w, const util::Grid3& g) {
+  w.f64_vec(g.x_axis().points());
+  w.f64_vec(g.y_axis().points());
+  w.f64_vec(g.z_axis().points());
   std::vector<double> vals;
   vals.reserve(g.x_axis().size() * g.y_axis().size() * g.z_axis().size());
   for (std::size_t i = 0; i < g.x_axis().size(); ++i) {
@@ -188,95 +156,171 @@ void write_grid3(std::ostream& os, const util::Grid3& g) {
       }
     }
   }
-  write_vec(os, vals);
+  w.f64_vec(vals);
 }
 
-util::Grid3 read_grid3(std::istream& is) {
-  auto xs = read_vec(is);
-  auto ys = read_vec(is);
-  auto zs = read_vec(is);
-  auto vals = read_vec(is);
+util::Grid3 read_grid3(util::ByteReader& r) {
+  auto xs = r.f64_vec();
+  auto ys = r.f64_vec();
+  auto zs = r.f64_vec();
+  auto vals = r.f64_vec();
   return util::Grid3(util::Axis(std::move(xs)), util::Axis(std::move(ys)),
                      util::Axis(std::move(zs)), std::move(vals));
 }
 
-void write_single(std::ostream& os, const SingleCdf& s) {
-  write_f64(os, s.nominal_qcrit_fc);
-  write_u64(os, s.total_samples);
-  write_vec(os, s.qcrit_samples_fc);
+void write_single(util::ByteWriter& w, const SingleCdf& s) {
+  w.f64(s.nominal_qcrit_fc);
+  w.u64(s.total_samples);
+  w.u64(s.failed_samples);
+  w.f64_vec(s.qcrit_samples_fc);
 }
 
-SingleCdf read_single(std::istream& is) {
+SingleCdf read_single(util::ByteReader& r) {
   SingleCdf s;
-  s.nominal_qcrit_fc = read_f64(is);
-  s.total_samples = read_u64(is);
-  s.qcrit_samples_fc = read_vec(is);
+  s.nominal_qcrit_fc = r.f64();
+  s.total_samples = static_cast<std::size_t>(r.u64());
+  s.failed_samples = static_cast<std::size_t>(r.u64());
+  s.qcrit_samples_fc = r.f64_vec();
   return s;
 }
 
 }  // namespace
 
+void PofTable::write(util::ByteWriter& w) const {
+  w.f64(vdd_v);
+  w.f64(q_max_fc);
+  w.u64(attempted_samples);
+  w.u64(failed_samples);
+  for (const auto& s : singles) write_single(w, s);
+  for (const auto& g : pairs_pv) write_grid2(w, g);
+  for (const auto& g : pairs_nominal) write_grid2(w, g);
+  write_grid3(w, triple_pv);
+  write_grid3(w, triple_nominal);
+}
+
+PofTable PofTable::read(util::ByteReader& r) {
+  PofTable t;
+  t.vdd_v = r.f64();
+  t.q_max_fc = r.f64();
+  t.attempted_samples = static_cast<std::size_t>(r.u64());
+  t.failed_samples = static_cast<std::size_t>(r.u64());
+  for (auto& s : t.singles) s = read_single(r);
+  for (auto& g : t.pairs_pv) g = read_grid2(r);
+  for (auto& g : t.pairs_nominal) g = read_grid2(r);
+  t.triple_pv = read_grid3(r);
+  t.triple_nominal = read_grid3(r);
+  return t;
+}
+
+std::size_t CellSoftErrorModel::attempted_samples() const {
+  std::size_t n = 0;
+  for (const PofTable& t : tables) n += t.attempted_samples;
+  return n;
+}
+
+std::size_t CellSoftErrorModel::failed_samples() const {
+  std::size_t n = 0;
+  for (const PofTable& t : tables) n += t.failed_samples;
+  return n;
+}
+
 void CellSoftErrorModel::save(const std::string& path) const {
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(p.parent_path(), ec);
+  util::ByteWriter payload;
+  payload.u64(config_fingerprint);
+  payload.u64(tables.size());
+  for (const PofTable& t : tables) t.write(payload);
+
+  util::ByteWriter file;
+  file.bytes(kMagic, sizeof(kMagic));
+  file.bytes(payload.data().data(), payload.size());
+  file.u32(util::crc32(payload.data().data(), payload.size()));
+
+  // Fault-injection hook: corrupt one byte of the first save (cache_flip's
+  // argument is the offset) so tests can prove a flipped cache is rejected
+  // by CRC and regenerated, never loaded.
+  std::vector<std::uint8_t> bytes = file.take();
+  if (util::fault_fire(util::FaultSite::kCacheFlip)) {
+    const std::size_t off = static_cast<std::size_t>(util::fault_arg(
+                                util::FaultSite::kCacheFlip)) %
+                            bytes.size();
+    bytes[off] ^= 0x01;
   }
-  std::ofstream os(path, std::ios::binary);
-  FINSER_REQUIRE(os.good(), "CellSoftErrorModel::save: cannot open " + path);
-  os.write(kMagic, sizeof(kMagic));
-  write_u64(os, config_fingerprint);
-  write_u64(os, tables.size());
-  for (const PofTable& t : tables) {
-    write_f64(os, t.vdd_v);
-    write_f64(os, t.q_max_fc);
-    for (const auto& s : t.singles) write_single(os, s);
-    for (const auto& g : t.pairs_pv) write_grid2(os, g);
-    for (const auto& g : t.pairs_nominal) write_grid2(os, g);
-    write_grid3(os, t.triple_pv);
-    write_grid3(os, t.triple_nominal);
+
+  std::string error;
+  if (!util::atomic_write_file(path, bytes.data(), bytes.size(), &error)) {
+    throw util::Error("CellSoftErrorModel::save: " + error);
   }
-  FINSER_REQUIRE(os.good(), "CellSoftErrorModel::save: write failure to " + path);
 }
 
 CellSoftErrorModel CellSoftErrorModel::load(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is.good()) {
-    throw util::Error("CellSoftErrorModel::load: cannot open " + path);
+  std::vector<std::uint8_t> raw;
+  std::string io_error;
+  if (!util::read_file(path, raw, &io_error)) {
+    throw util::Error("CellSoftErrorModel::load: " + io_error);
   }
-  char magic[8];
-  is.read(magic, sizeof(magic));
-  FINSER_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-                 "CellSoftErrorModel::load: bad magic in " + path);
+  if (raw.size() < sizeof(kMagic) + sizeof(std::uint32_t)) {
+    throw util::Error("CellSoftErrorModel::load: " + path +
+                      " too short to be a POF cache (" +
+                      std::to_string(raw.size()) + " bytes)");
+  }
+  if (std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw util::Error("CellSoftErrorModel::load: bad magic in " + path +
+                      " (not a format-v3 POF cache)");
+  }
+
+  // Integrity first, parsing second: the CRC over the whole payload rejects
+  // truncation and bit flips before any length field is trusted.
+  const std::size_t payload_size =
+      raw.size() - sizeof(kMagic) - sizeof(std::uint32_t);
+  const std::uint8_t* payload = raw.data() + sizeof(kMagic);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, payload + payload_size, sizeof(stored_crc));
+  if (stored_crc != util::crc32(payload, payload_size)) {
+    throw util::Error("CellSoftErrorModel::load: CRC mismatch in " + path +
+                      " (torn or corrupted cache)");
+  }
+
+  util::ByteReader r(payload, payload_size);
   CellSoftErrorModel model;
-  model.config_fingerprint = read_u64(is);
-  const std::uint64_t count = read_u64(is);
+  model.config_fingerprint = r.u64();
+  const std::uint64_t count = r.u64();
   FINSER_REQUIRE(count < 1024, "CellSoftErrorModel::load: implausible table count");
   model.tables.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    PofTable t;
-    t.vdd_v = read_f64(is);
-    t.q_max_fc = read_f64(is);
-    for (auto& s : t.singles) s = read_single(is);
-    for (auto& g : t.pairs_pv) g = read_grid2(is);
-    for (auto& g : t.pairs_nominal) g = read_grid2(is);
-    t.triple_pv = read_grid3(is);
-    t.triple_nominal = read_grid3(is);
-    model.tables.push_back(std::move(t));
+    model.tables.push_back(PofTable::read(r));
   }
+  FINSER_REQUIRE(r.exhausted(),
+                 "CellSoftErrorModel::load: trailing bytes after last table");
   return model;
 }
 
 bool CellSoftErrorModel::try_load(const std::string& path,
                                   std::uint64_t expected_fingerprint,
-                                  CellSoftErrorModel& out) {
+                                  CellSoftErrorModel& out, std::string* reason) {
+  const auto reject = [&](const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    std::fprintf(stderr,
+                 "[finser:sram] POF cache %s not used: %s; re-characterizing\n",
+                 path.c_str(), why.c_str());
+    return false;
+  };
+  // A missing cache is the normal first-run case — no log, no warning.
+  if (!std::filesystem::exists(path)) {
+    if (reason != nullptr) *reason = "no cache file";
+    return false;
+  }
   try {
     CellSoftErrorModel model = load(path);
-    if (model.config_fingerprint != expected_fingerprint) return false;
+    if (model.config_fingerprint != expected_fingerprint) {
+      return reject("config fingerprint mismatch (stale cache)");
+    }
     out = std::move(model);
     return true;
-  } catch (const util::Error&) {
-    return false;
+  } catch (const std::exception& e) {
+    // std::exception, not just util::Error: a corrupt length field that
+    // slipped past the CRC (or a bad_alloc from one) must also degrade to
+    // re-characterization, never crash the run.
+    return reject(e.what());
   }
 }
 

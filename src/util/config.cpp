@@ -43,9 +43,13 @@ KeyValueConfig KeyValueConfig::parse(const std::string& text) {
     const std::string value = trim(body.substr(eq + 1));
     FINSER_REQUIRE(!key.empty(), "config line " + std::to_string(line_no) +
                                      " has an empty key");
-    FINSER_REQUIRE(cfg.values_.find(key) == cfg.values_.end(),
-                   "config key duplicated: " + key);
-    cfg.values_[key] = value;
+    const auto prev = cfg.values_.find(key);
+    if (prev != cfg.values_.end()) {
+      throw InvalidArgument("config key duplicated: " + key + " (line " +
+                            std::to_string(line_no) + " repeats line " +
+                            std::to_string(prev->second.line) + ")");
+    }
+    cfg.values_[key] = Entry{value, line_no};
   }
   return cfg;
 }
@@ -62,19 +66,36 @@ bool KeyValueConfig::has(const std::string& key) const {
   return values_.find(key) != values_.end();
 }
 
+namespace {
+
+/// "key (line N)" — every getter error names the key *and* the source line,
+/// so a bad value in a long campaign config is a one-glance fix.
+std::string where(const std::string& key, int line) {
+  return key + " (line " + std::to_string(line) + ")";
+}
+
+}  // namespace
+
+int KeyValueConfig::line_of(const std::string& key) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? 0 : it->second.line;
+}
+
 double KeyValueConfig::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   accessed_[key] = true;
+  const Entry& e = it->second;
   try {
     std::size_t consumed = 0;
-    const double v = std::stod(it->second, &consumed);
-    FINSER_REQUIRE(consumed == it->second.size(),
-                   "config value for " + key + " is not a number: " + it->second);
+    const double v = std::stod(e.value, &consumed);
+    FINSER_REQUIRE(consumed == e.value.size(),
+                   "config value for " + where(key, e.line) +
+                       " is not a number: " + e.value);
     return v;
   } catch (const std::logic_error&) {
-    throw InvalidArgument("config value for " + key +
-                          " is not a number: " + it->second);
+    throw InvalidArgument("config value for " + where(key, e.line) +
+                          " is not a number: " + e.value);
   }
 }
 
@@ -82,15 +103,17 @@ long long KeyValueConfig::get_int(const std::string& key, long long fallback) co
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   accessed_[key] = true;
+  const Entry& e = it->second;
   try {
     std::size_t consumed = 0;
-    const long long v = std::stoll(it->second, &consumed);
-    FINSER_REQUIRE(consumed == it->second.size(),
-                   "config value for " + key + " is not an integer: " + it->second);
+    const long long v = std::stoll(e.value, &consumed);
+    FINSER_REQUIRE(consumed == e.value.size(),
+                   "config value for " + where(key, e.line) +
+                       " is not an integer: " + e.value);
     return v;
   } catch (const std::logic_error&) {
-    throw InvalidArgument("config value for " + key +
-                          " is not an integer: " + it->second);
+    throw InvalidArgument("config value for " + where(key, e.line) +
+                          " is not an integer: " + e.value);
   }
 }
 
@@ -98,12 +121,14 @@ bool KeyValueConfig::get_bool(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   accessed_[key] = true;
-  std::string v = it->second;
+  const Entry& e = it->second;
+  std::string v = e.value;
   std::transform(v.begin(), v.end(), v.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
-  throw InvalidArgument("config value for " + key + " is not a bool: " + it->second);
+  throw InvalidArgument("config value for " + where(key, e.line) +
+                        " is not a bool: " + e.value);
 }
 
 std::string KeyValueConfig::get_string(const std::string& key,
@@ -111,7 +136,7 @@ std::string KeyValueConfig::get_string(const std::string& key,
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   accessed_[key] = true;
-  return it->second;
+  return it->second.value;
 }
 
 std::vector<double> KeyValueConfig::get_double_list(
@@ -119,23 +144,27 @@ std::vector<double> KeyValueConfig::get_double_list(
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   accessed_[key] = true;
+  const Entry& e = it->second;
   std::vector<double> out;
-  std::istringstream is(it->second);
+  std::istringstream is(e.value);
   std::string item;
   while (std::getline(is, item, ',')) {
     const std::string t = trim(item);
-    FINSER_REQUIRE(!t.empty(), "config list for " + key + " has an empty element");
+    FINSER_REQUIRE(!t.empty(), "config list for " + where(key, e.line) +
+                                   " has an empty element");
     try {
       std::size_t consumed = 0;
       out.push_back(std::stod(t, &consumed));
       FINSER_REQUIRE(consumed == t.size(),
-                     "config list element for " + key + " is not a number: " + t);
+                     "config list element for " + where(key, e.line) +
+                         " is not a number: " + t);
     } catch (const std::logic_error&) {
-      throw InvalidArgument("config list element for " + key +
+      throw InvalidArgument("config list element for " + where(key, e.line) +
                             " is not a number: " + t);
     }
   }
-  FINSER_REQUIRE(!out.empty(), "config list for " + key + " is empty");
+  FINSER_REQUIRE(!out.empty(),
+                 "config list for " + where(key, e.line) + " is empty");
   return out;
 }
 

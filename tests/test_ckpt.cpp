@@ -1,0 +1,269 @@
+/// \file test_ckpt.cpp
+/// \brief Checkpoint file format + run_units resume/cancel semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "finser/ckpt/checkpoint.hpp"
+#include "finser/exec/cancel.hpp"
+#include "finser/exec/thread_pool.hpp"
+#include "finser/util/error.hpp"
+#include "finser/util/io.hpp"
+
+namespace finser::ckpt {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Removes the checkpoint file (and its temp sibling) on scope exit.
+struct FileGuard {
+  std::string path;
+  ~FileGuard() {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+};
+
+std::vector<std::uint8_t> blob_of(std::initializer_list<int> bytes) {
+  std::vector<std::uint8_t> out;
+  for (int b : bytes) out.push_back(static_cast<std::uint8_t>(b));
+  return out;
+}
+
+Checkpoint sample_checkpoint() {
+  Checkpoint ckpt;
+  ckpt.fingerprint = 0xFEEDFACEDEADBEEFull;
+  ckpt.blobs.resize(5);
+  ckpt.blobs[1] = blob_of({10, 11, 12});
+  ckpt.blobs[3] = blob_of({42});
+  return ckpt;
+}
+
+TEST(Checkpoint, RoundTripPreservesBlobsAndGaps) {
+  const FileGuard file{temp_path("finser_ckpt_roundtrip.bin")};
+  const Checkpoint ckpt = sample_checkpoint();
+  EXPECT_EQ(ckpt.done_count(), 2u);
+
+  std::string error;
+  ASSERT_TRUE(ckpt.save(file.path, &error)) << error;
+
+  Checkpoint loaded;
+  std::string reason;
+  ASSERT_TRUE(Checkpoint::try_load(file.path, ckpt.fingerprint, 5, loaded,
+                                   &reason))
+      << reason;
+  EXPECT_EQ(loaded.fingerprint, ckpt.fingerprint);
+  ASSERT_EQ(loaded.blobs.size(), 5u);
+  EXPECT_EQ(loaded.blobs, ckpt.blobs);
+  EXPECT_EQ(loaded.done_count(), 2u);
+}
+
+TEST(Checkpoint, TryLoadRejectsWrongFingerprint) {
+  const FileGuard file{temp_path("finser_ckpt_fp.bin")};
+  const Checkpoint ckpt = sample_checkpoint();
+  ASSERT_TRUE(ckpt.save(file.path));
+
+  Checkpoint loaded;
+  std::string reason;
+  EXPECT_FALSE(Checkpoint::try_load(file.path, ckpt.fingerprint + 1, 5, loaded,
+                                    &reason));
+  EXPECT_NE(reason.find("fingerprint"), std::string::npos) << reason;
+}
+
+TEST(Checkpoint, TryLoadRejectsWrongUnitCount) {
+  const FileGuard file{temp_path("finser_ckpt_units.bin")};
+  const Checkpoint ckpt = sample_checkpoint();
+  ASSERT_TRUE(ckpt.save(file.path));
+
+  Checkpoint loaded;
+  std::string reason;
+  EXPECT_FALSE(
+      Checkpoint::try_load(file.path, ckpt.fingerprint, 7, loaded, &reason));
+  EXPECT_FALSE(reason.empty());
+}
+
+TEST(Checkpoint, TryLoadRejectsBitFlip) {
+  const FileGuard file{temp_path("finser_ckpt_flip.bin")};
+  const Checkpoint ckpt = sample_checkpoint();
+  ASSERT_TRUE(ckpt.save(file.path));
+
+  std::vector<std::uint8_t> raw;
+  ASSERT_TRUE(util::read_file(file.path, raw, nullptr));
+  raw[raw.size() / 2] ^= 0x01;
+  ASSERT_TRUE(util::atomic_write_file(file.path, raw.data(), raw.size()));
+
+  Checkpoint loaded;
+  std::string reason;
+  EXPECT_FALSE(
+      Checkpoint::try_load(file.path, ckpt.fingerprint, 5, loaded, &reason));
+  EXPECT_NE(reason.find("CRC"), std::string::npos) << reason;
+}
+
+TEST(Checkpoint, TryLoadRejectsTruncation) {
+  const FileGuard file{temp_path("finser_ckpt_trunc.bin")};
+  const Checkpoint ckpt = sample_checkpoint();
+  ASSERT_TRUE(ckpt.save(file.path));
+
+  std::vector<std::uint8_t> raw;
+  ASSERT_TRUE(util::read_file(file.path, raw, nullptr));
+  raw.resize(raw.size() - 5);
+  ASSERT_TRUE(util::atomic_write_file(file.path, raw.data(), raw.size()));
+
+  Checkpoint loaded;
+  EXPECT_FALSE(
+      Checkpoint::try_load(file.path, ckpt.fingerprint, 5, loaded, nullptr));
+}
+
+TEST(Checkpoint, TryLoadRejectsBadMagic) {
+  const FileGuard file{temp_path("finser_ckpt_magic.bin")};
+  const std::string junk = "definitely not a checkpoint file";
+  ASSERT_TRUE(util::atomic_write_file(file.path, junk.data(), junk.size()));
+
+  Checkpoint loaded;
+  std::string reason;
+  EXPECT_FALSE(Checkpoint::try_load(file.path, 1, 5, loaded, &reason));
+  EXPECT_FALSE(reason.empty());
+}
+
+TEST(Checkpoint, TryLoadMissingFileIsClean) {
+  Checkpoint loaded;
+  std::string reason;
+  EXPECT_FALSE(Checkpoint::try_load(temp_path("finser_ckpt_missing.bin"), 1, 5,
+                                    loaded, &reason));
+  EXPECT_FALSE(reason.empty());
+}
+
+std::vector<std::uint8_t> unit_blob(std::size_t index) {
+  return blob_of({static_cast<int>(index) + 1, 7});
+}
+
+TEST(RunUnits, ComputesEverythingWhenInactive) {
+  exec::ThreadPool pool(2);
+  std::atomic<std::size_t> computed{0};
+  const UnitRunResult out =
+      run_units(pool, 8, /*fingerprint=*/123, RunOptions{},
+                [&](const exec::ChunkRange& u) {
+                  ++computed;
+                  return unit_blob(u.index);
+                });
+  EXPECT_EQ(computed.load(), 8u);
+  EXPECT_EQ(out.reused, 0u);
+  ASSERT_EQ(out.blobs.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(out.blobs[i], unit_blob(i));
+}
+
+TEST(RunUnits, ResumesFromExistingCheckpoint) {
+  const FileGuard file{temp_path("finser_ckpt_resume.bin")};
+  constexpr std::uint64_t kFp = 9001;
+
+  Checkpoint seed;
+  seed.fingerprint = kFp;
+  seed.blobs.resize(5);
+  seed.blobs[0] = unit_blob(0);
+  seed.blobs[3] = unit_blob(3);
+  ASSERT_TRUE(seed.save(file.path));
+
+  RunOptions run;
+  run.checkpoint_path = file.path;
+  run.checkpoint_interval_sec = 0.0;
+
+  exec::ThreadPool pool(1);
+  std::vector<std::size_t> computed;
+  const UnitRunResult out =
+      run_units(pool, 5, kFp, run, [&](const exec::ChunkRange& u) {
+        computed.push_back(u.index);
+        return unit_blob(u.index);
+      });
+
+  EXPECT_EQ(out.reused, 2u);
+  EXPECT_EQ(computed, (std::vector<std::size_t>{1, 2, 4}));
+  ASSERT_EQ(out.blobs.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(out.blobs[i], unit_blob(i));
+  // A finished run leaves no checkpoint behind.
+  EXPECT_FALSE(std::filesystem::exists(file.path));
+}
+
+TEST(RunUnits, DiscardsMismatchedCheckpoint) {
+  const FileGuard file{temp_path("finser_ckpt_stale.bin")};
+
+  Checkpoint stale;
+  stale.fingerprint = 111;  // Saved under a different config.
+  stale.blobs.resize(4);
+  stale.blobs[0] = blob_of({99});
+  ASSERT_TRUE(stale.save(file.path));
+
+  RunOptions run;
+  run.checkpoint_path = file.path;
+  run.checkpoint_interval_sec = 0.0;
+
+  exec::ThreadPool pool(1);
+  std::atomic<std::size_t> computed{0};
+  const UnitRunResult out =
+      run_units(pool, 4, /*fingerprint=*/222, run,
+                [&](const exec::ChunkRange& u) {
+                  ++computed;
+                  return unit_blob(u.index);
+                });
+  EXPECT_EQ(out.reused, 0u);
+  EXPECT_EQ(computed.load(), 4u);
+  EXPECT_EQ(out.blobs[0], unit_blob(0));
+}
+
+TEST(RunUnits, CancelFlushesCheckpointAndResumeCompletes) {
+  const FileGuard file{temp_path("finser_ckpt_cancel.bin")};
+  constexpr std::uint64_t kFp = 4242;
+  constexpr std::size_t kUnits = 6;
+
+  RunOptions run;
+  run.checkpoint_path = file.path;
+  run.checkpoint_interval_sec = 0.0;
+  exec::CancelToken token;
+  run.cancel = &token;
+
+  exec::ThreadPool pool(1);
+  std::size_t before_cancel = 0;
+  try {
+    run_units(pool, kUnits, kFp, run, [&](const exec::ChunkRange& u) {
+      ++before_cancel;
+      if (u.index == 1) token.cancel();  // Fire mid-run, at a unit boundary.
+      return unit_blob(u.index);
+    });
+    FAIL() << "cancelled run_units must throw util::Cancelled";
+  } catch (const util::Cancelled&) {
+  }
+  // With one thread, units 0 and 1 ran; the cancel stopped the rest, and the
+  // final flush persisted exactly the finished units.
+  EXPECT_EQ(before_cancel, 2u);
+  Checkpoint persisted;
+  std::string reason;
+  ASSERT_TRUE(
+      Checkpoint::try_load(file.path, kFp, kUnits, persisted, &reason))
+      << reason;
+  EXPECT_EQ(persisted.done_count(), 2u);
+
+  // Resume without the cancel: only the missing units are recomputed and the
+  // assembled blob set is identical to an uninterrupted run.
+  run.cancel = nullptr;
+  std::atomic<std::size_t> resumed{0};
+  const UnitRunResult out =
+      run_units(pool, kUnits, kFp, run, [&](const exec::ChunkRange& u) {
+        ++resumed;
+        return unit_blob(u.index);
+      });
+  EXPECT_EQ(out.reused, 2u);
+  EXPECT_EQ(resumed.load(), kUnits - 2);
+  for (std::size_t i = 0; i < kUnits; ++i) EXPECT_EQ(out.blobs[i], unit_blob(i));
+  EXPECT_FALSE(std::filesystem::exists(file.path));
+}
+
+}  // namespace
+}  // namespace finser::ckpt

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <mutex>
 #include <numeric>
@@ -130,6 +131,70 @@ TEST(ThreadPool, ReusableAcrossRegions) {
     });
   }
   EXPECT_EQ(sum.load(), 20L * (99L * 100L / 2L));
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation
+// ---------------------------------------------------------------------------
+
+TEST(CancelToken, SetResetHandshake) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.cancel();  // Idempotent.
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(ThreadPool, NullCancelTokenRunsEverything) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> ran{0};
+  const bool completed = pool.parallel_for_chunks(
+      100, 4, [&](const ChunkRange&) { ++ran; }, nullptr);
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(ran.load(), 25u);
+}
+
+TEST(ThreadPool, CancelStopsAtChunkBoundary) {
+  ThreadPool pool(4);
+  CancelToken token;
+  std::atomic<std::size_t> ran{0};
+  const bool completed = pool.parallel_for_chunks(
+      1000, 1,
+      [&](const ChunkRange&) {
+        ++ran;
+        token.cancel();  // Fired from inside the first executing chunks.
+      },
+      &token);
+  EXPECT_FALSE(completed);
+  // Chunks already claimed still finish (no mid-chunk interruption), but the
+  // region stops well short of the full 1000.
+  EXPECT_GE(ran.load(), 1u);
+  EXPECT_LT(ran.load(), 1000u);
+
+  // An already-cancelled token stops the region before any chunk runs.
+  std::atomic<std::size_t> ran2{0};
+  EXPECT_FALSE(pool.parallel_for_chunks(
+      100, 1, [&](const ChunkRange&) { ++ran2; }, &token));
+  EXPECT_EQ(ran2.load(), 0u);
+
+  // After a reset the same pool and token run a full region again.
+  token.reset();
+  std::atomic<std::size_t> ran3{0};
+  EXPECT_TRUE(pool.parallel_for_chunks(
+      100, 1, [&](const ChunkRange&) { ++ran3; }, &token));
+  EXPECT_EQ(ran3.load(), 100u);
+}
+
+TEST(CancelToken, SignalHandlerRoutesSigintToToken) {
+  CancelToken token;
+  install_signal_cancel(&token);
+  std::raise(SIGINT);
+  EXPECT_TRUE(token.cancelled());
+  // Restore the default disposition before the token leaves scope.
+  install_signal_cancel(nullptr);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,208 @@
+/// \file test_fault_injection.cpp
+/// \brief FINSER_FAULT machinery + the failure paths it is built to exercise:
+/// graceful I/O failure, and solver divergence counted/excluded/gated during
+/// cell characterization.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "finser/sram/characterize.hpp"
+#include "finser/util/error.hpp"
+#include "finser/util/fault.hpp"
+#include "finser/util/io.hpp"
+
+namespace finser::util {
+namespace {
+
+/// Every test disarms injection on exit, pass or fail — a leaked fault spec
+/// would poison unrelated tests in this process.
+struct FaultGuard {
+  ~FaultGuard() { fault_configure(""); }
+};
+
+// ---------------------------------------------------------------------------
+// Spec parsing and counter semantics
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, WindowSemantics) {
+  const FaultGuard guard;
+  // Fires on hits 3 and 4 of a [3, 3+2) window; all six hits are counted.
+  fault_configure("newton_diverge:3:2");
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(fault_fire(FaultSite::kNewtonDiverge));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, false, false}));
+  EXPECT_EQ(fault_count(FaultSite::kNewtonDiverge), 6u);
+  EXPECT_EQ(fault_arg(FaultSite::kNewtonDiverge), 3u);
+}
+
+TEST(FaultInjection, UnconfiguredSiteNeitherFiresNorCounts) {
+  const FaultGuard guard;
+  fault_configure("newton_diverge:1");
+  EXPECT_FALSE(fault_fire(FaultSite::kIoWriteFail));
+  EXPECT_EQ(fault_count(FaultSite::kIoWriteFail), 0u);
+}
+
+TEST(FaultInjection, ReconfigureResetsCounters) {
+  const FaultGuard guard;
+  fault_configure("io_write_fail:1");
+  EXPECT_TRUE(fault_fire(FaultSite::kIoWriteFail));
+  fault_configure("io_write_fail:1");
+  EXPECT_EQ(fault_count(FaultSite::kIoWriteFail), 0u);
+  EXPECT_TRUE(fault_fire(FaultSite::kIoWriteFail));
+  fault_configure("");
+  EXPECT_FALSE(fault_fire(FaultSite::kIoWriteFail));
+}
+
+TEST(FaultInjection, MalformedSpecsRejected) {
+  const FaultGuard guard;
+  const char* bad_specs[] = {
+      "nonsense_site:1",      // Unknown site.
+      "newton_diverge",       // Missing the hit index.
+      "newton_diverge:abc",   // Non-numeric hit index.
+      "io_write_fail:0",      // Hit indices are 1-based.
+      "newton_diverge:2:0",   // Window width must be >= 1.
+  };
+  for (const char* spec : bad_specs) {
+    EXPECT_THROW(fault_configure(spec), InvalidArgument) << spec;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// io_write_fail: the write reports failure, leaves no file, then recovers
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, InjectedIoFailureIsGraceful) {
+  const FaultGuard guard;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "finser_fault_io.bin").string();
+  std::remove(path.c_str());
+
+  fault_configure("io_write_fail:1");
+  const char data[] = "payload";
+  std::string error;
+  EXPECT_FALSE(atomic_write_file(path, data, sizeof(data), &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(std::filesystem::exists(path));
+
+  // The window has passed: the retry succeeds.
+  EXPECT_TRUE(atomic_write_file(path, data, sizeof(data), &error));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// newton_diverge during characterization
+// ---------------------------------------------------------------------------
+
+sram::CharacterizerConfig small_config() {
+  sram::CharacterizerConfig cfg;
+  cfg.vdds = {0.8};
+  cfg.pv_samples_single = 8;
+  cfg.pair_grid_points = 6;
+  cfg.triple_grid_points = 6;
+  cfg.pv_samples_grid = 4;
+  cfg.seed = 7;
+  cfg.threads = 1;  // The strike-call order must be deterministic here.
+  return cfg;
+}
+
+struct CleanReference {
+  sram::PofTable table;
+  std::uint64_t n_sims = 0;  ///< Total strike simulations of one run.
+};
+
+/// Characterize once with an unreachable trigger: the fault never fires, but
+/// its counter reveals the exact number of strike simulations, so tests can
+/// deterministically target e.g. the very last one. Cached — the reference
+/// run is the expensive part of this file.
+const CleanReference& clean_reference() {
+  static const CleanReference ref = [] {
+    const sram::CellCharacterizer ch(sram::CellDesign{}, small_config());
+    fault_configure("newton_diverge:1000000000");
+    CleanReference r;
+    r.table = ch.characterize_at(0.8, 123);
+    r.n_sims = fault_count(FaultSite::kNewtonDiverge);
+    fault_configure("");
+    return r;
+  }();
+  return ref;
+}
+
+TEST(FaultInjection, DivergentSampleIsCountedAndExcluded) {
+  const FaultGuard guard;
+  const CleanReference& ref = clean_reference();
+  ASSERT_GT(ref.n_sims, 50u);
+  EXPECT_EQ(ref.table.failed_samples, 0u);
+  EXPECT_GT(ref.table.attempted_samples, 0u);
+
+  // Make the very last strike simulation diverge. The final stage is the
+  // triple-grid Monte Carlo, so the singles and pair grids must come out
+  // bit-identical and exactly one PV sample drops out of one grid cell.
+  const sram::CellCharacterizer ch(sram::CellDesign{}, small_config());
+  fault_configure("newton_diverge:" + std::to_string(ref.n_sims));
+  const sram::PofTable faulted = ch.characterize_at(0.8, 123);
+  fault_configure("");
+
+  EXPECT_EQ(faulted.failed_samples, 1u);
+  EXPECT_EQ(faulted.attempted_samples, ref.table.attempted_samples);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(faulted.singles[i].qcrit_samples_fc,
+              ref.table.singles[i].qcrit_samples_fc);
+    EXPECT_EQ(faulted.singles[i].failed_samples, 0u);
+    const auto& pv = faulted.pairs_pv[i];
+    const auto& pv_ref = ref.table.pairs_pv[i];
+    for (std::size_t x = 0; x < pv.x_axis().size(); ++x) {
+      for (std::size_t y = 0; y < pv.y_axis().size(); ++y) {
+        EXPECT_EQ(pv.at(x, y), pv_ref.at(x, y));
+      }
+    }
+  }
+
+  // Excluding one of pv_samples_grid samples from one cell moves that cell's
+  // POF estimate by at most 1/(n-1); every other cell is untouched.
+  const sram::CharacterizerConfig cfg = small_config();
+  const double tol =
+      1.0 / static_cast<double>(cfg.pv_samples_grid - 1) + 1e-12;
+  double max_diff = 0.0;
+  const auto& t = faulted.triple_pv;
+  const auto& t_ref = ref.table.triple_pv;
+  for (std::size_t x = 0; x < t.x_axis().size(); ++x) {
+    for (std::size_t y = 0; y < t.y_axis().size(); ++y) {
+      for (std::size_t z = 0; z < t.z_axis().size(); ++z) {
+        max_diff =
+            std::max(max_diff, std::abs(t.at(x, y, z) - t_ref.at(x, y, z)));
+      }
+    }
+  }
+  EXPECT_LE(max_diff, tol);
+}
+
+TEST(FaultInjection, FailureFractionThresholdAborts) {
+  const FaultGuard guard;
+  const CleanReference& ref = clean_reference();
+
+  sram::CharacterizerConfig cfg = small_config();
+  cfg.max_failure_fraction = 0.0;  // Zero tolerance: one failure must abort.
+  const sram::CellCharacterizer strict(sram::CellDesign{}, cfg);
+  fault_configure("newton_diverge:" + std::to_string(ref.n_sims));
+  try {
+    strict.characterize_at(0.8, 123);
+    FAIL() << "expected NumericalError from the failure-fraction gate";
+  } catch (const NumericalError& e) {
+    EXPECT_NE(std::string(e.what()).find("failure fraction"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace finser::util

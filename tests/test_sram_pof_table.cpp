@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "finser/sram/pof_table.hpp"
 #include "finser/util/error.hpp"
+#include "finser/util/fault.hpp"
+#include "finser/util/io.hpp"
 
 namespace finser::sram {
 namespace {
@@ -209,6 +214,53 @@ TEST(Model, LoadRejectsTruncatedFile) {
   }
   std::filesystem::remove(full);
   std::filesystem::remove(cut);
+}
+
+TEST(Model, TryLoadRejectsBitFlipWithCrcReason) {
+  CellSoftErrorModel m;
+  m.config_fingerprint = 13;
+  m.tables.push_back(synthetic_table(0.8));
+  const auto path =
+      (std::filesystem::temp_directory_path() / "finser_pof_flip.bin").string();
+  m.save(path);
+
+  // Flip one payload byte: try_load must reject by CRC, never throw, and
+  // report why.
+  std::vector<std::uint8_t> raw;
+  ASSERT_TRUE(util::read_file(path, raw, nullptr));
+  raw[raw.size() / 2] ^= 0x01;
+  ASSERT_TRUE(util::atomic_write_file(path, raw.data(), raw.size()));
+
+  CellSoftErrorModel out;
+  std::string reason;
+  EXPECT_FALSE(CellSoftErrorModel::try_load(path, 13, out, &reason));
+  EXPECT_NE(reason.find("CRC"), std::string::npos) << reason;
+  std::filesystem::remove(path);
+}
+
+TEST(Model, CacheFlipFaultForcesRegeneration) {
+  CellSoftErrorModel m;
+  m.config_fingerprint = 42;
+  m.tables.push_back(synthetic_table(0.8));
+  const auto path =
+      (std::filesystem::temp_directory_path() / "finser_pof_fault.bin").string();
+
+  // First save lands corrupted (byte 25 of the file XOR-flipped by the
+  // injected fault): the cache must be rejected, not loaded.
+  util::fault_configure("cache_flip:25");
+  m.save(path);
+  CellSoftErrorModel out;
+  std::string reason;
+  EXPECT_FALSE(CellSoftErrorModel::try_load(path, 42, out, &reason));
+  EXPECT_FALSE(reason.empty());
+
+  // The re-characterized model saves again; the fault window has passed, so
+  // the regenerated cache is intact and loads.
+  m.save(path);
+  util::fault_configure("");
+  EXPECT_TRUE(CellSoftErrorModel::try_load(path, 42, out, &reason)) << reason;
+  EXPECT_EQ(out.config_fingerprint, 42u);
+  std::filesystem::remove(path);
 }
 
 TEST(Model, SaveCreatesParentDirectories) {

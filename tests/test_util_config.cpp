@@ -67,6 +67,36 @@ TEST(Config, MalformedLinesRejected) {
   EXPECT_THROW(KeyValueConfig::parse("a = 1\na = 2\n"), InvalidArgument);
 }
 
+TEST(Config, ErrorsNameKeyAndSourceLine) {
+  const auto cfg = KeyValueConfig::parse(
+      "# campaign\n"
+      "alpha = 1\n"
+      "beta = oops\n");
+  EXPECT_EQ(cfg.line_of("alpha"), 2);
+  EXPECT_EQ(cfg.line_of("beta"), 3);
+  EXPECT_EQ(cfg.line_of("missing"), 0);
+  try {
+    cfg.get_double("beta", 0.0);
+    FAIL() << "expected InvalidArgument for a non-numeric value";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("beta"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  }
+}
+
+TEST(Config, DuplicateKeyErrorNamesBothLines) {
+  try {
+    KeyValueConfig::parse("alpha = 1\n# comment\nalpha = 2\n");
+    FAIL() << "expected InvalidArgument for a duplicated key";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("alpha"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  }
+}
+
 TEST(Config, UnknownKeyTracking) {
   const auto cfg = KeyValueConfig::parse("used = 1\ntypo.key = 2\n");
   EXPECT_EQ(cfg.get_int("used", 0), 1);

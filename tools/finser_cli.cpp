@@ -31,11 +31,14 @@
 #include <string>
 #include <vector>
 
+#include "finser/ckpt/checkpoint.hpp"
 #include "finser/core/ser_flow.hpp"
+#include "finser/exec/cancel.hpp"
 #include "finser/exec/progress.hpp"
 #include "finser/sram/snm.hpp"
 #include "finser/util/config.hpp"
 #include "finser/util/csv.hpp"
+#include "finser/util/error.hpp"
 
 namespace {
 
@@ -48,8 +51,20 @@ void print_help() {
       "  finser_cli cell [vdd]         single-voltage cell summary\n"
       "  finser_cli --help             this text\n\n"
       "Options:\n"
-      "  --threads N   worker threads (default: FINSER_THREADS, else all\n"
-      "                hardware threads); never changes the results\n\n"
+      "  --threads N    worker threads (default: FINSER_THREADS, else all\n"
+      "                 hardware threads); never changes the results\n"
+      "  --resume PATH  checkpoint file stem for `run`: progress is saved\n"
+      "                 there periodically and on SIGINT/SIGTERM, and a\n"
+      "                 matching checkpoint found at start is resumed —\n"
+      "                 results are bit-identical to an uninterrupted run\n"
+      "  --checkpoint-interval SEC  seconds between periodic checkpoint\n"
+      "                 flushes (default 30; 0 = after every work unit)\n\n"
+      "Exit codes:\n"
+      "  0  success\n"
+      "  1  unexpected error\n"
+      "  2  invalid configuration or command line\n"
+      "  3  numerical failure (solver gave up after its retry ladder)\n"
+      "  4  interrupted, progress checkpointed (rerun to resume)\n\n"
       "See the header of tools/finser_cli.cpp for the config-file keys.\n");
 }
 
@@ -88,7 +103,9 @@ core::SerFlowConfig flow_config_from(const util::KeyValueConfig& cfg,
   return flow;
 }
 
-int cmd_run(const std::string& config_path, std::size_t cli_threads) {
+int cmd_run(const std::string& config_path, std::size_t cli_threads,
+            const std::string& ckpt_path, double ckpt_interval,
+            const exec::CancelToken& cancel) {
   util::KeyValueConfig cfg;
   if (!config_path.empty()) {
     cfg = util::KeyValueConfig::parse_file(config_path);
@@ -115,7 +132,22 @@ int cmd_run(const std::string& config_path, std::size_t cli_threads) {
   const exec::ProgressSink progress(
       [](const std::string& m) { std::printf("  [%s]\n", m.c_str()); },
       std::chrono::milliseconds(250));
-  flow.cell_model(progress);
+
+  // One RunOptions per sweep: the checkpoint stem gets a per-species suffix
+  // so consecutive sweeps never clobber each other's progress. The cancel
+  // token is always armed — Ctrl-C stops cleanly even without --resume.
+  const auto run_opts_for = [&](const std::string& suffix) {
+    ckpt::RunOptions run;
+    if (!ckpt_path.empty()) {
+      run.checkpoint_path = suffix.empty() ? ckpt_path : ckpt_path + "." + suffix;
+      run.checkpoint_interval_sec = ckpt_interval;
+    }
+    run.cancel = &cancel;
+    return run;
+  };
+  // Characterization checkpoints at "<stem>.cell" (cell_model adds the
+  // suffix); by the time the sweeps run, the model is already in memory.
+  flow.cell_model(progress, run_opts_for(""));
 
   util::CsvTable fit_table({"species", "vdd_v", "fit_tot", "fit_seu", "fit_mbu",
                             "fit_tot_no_pv"});
@@ -129,7 +161,7 @@ int cmd_run(const std::string& config_path, std::size_t cli_threads) {
       return 2;
     }
     std::printf("sweeping %s...\n", spectrum.name().c_str());
-    const auto result = flow.sweep(spectrum, progress);
+    const auto result = flow.sweep(spectrum, progress, run_opts_for(name));
 
     util::CsvTable pof_table({"energy_mev", "vdd_v", "pof_tot", "pof_seu",
                               "pof_mbu", "pof_tot_se"});
@@ -182,28 +214,51 @@ int cmd_cell(double vdd) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Armed for the whole process lifetime: SIGINT/SIGTERM request a
+  // cooperative stop at the next chunk boundary instead of killing the run.
+  static exec::CancelToken cancel;
+  exec::install_signal_cancel(&cancel);
+
   try {
-    // Extract the global --threads flag, keep the rest positional.
+    // Extract the global flags, keep the rest positional.
     std::vector<std::string> args;
     std::size_t threads = 0;
+    std::string ckpt_path;
+    double ckpt_interval = 30.0;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
-      if (a == "--threads") {
+      if (a == "--threads" || a == "--resume" || a == "--checkpoint-interval") {
         if (i + 1 >= argc) {
-          std::fprintf(stderr, "error: --threads needs a value\n");
+          std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
           return 2;
         }
         const char* raw = argv[++i];
-        char* end = nullptr;
-        const long v = std::strtol(raw, &end, 10);
-        if (end == raw || *end != '\0' || v <= 0) {
-          std::fprintf(stderr,
-                       "error: --threads expects a positive integer, got "
-                       "\"%s\"\n",
-                       raw);
-          return 2;
+        if (a == "--resume") {
+          ckpt_path = raw;
+          continue;
         }
-        threads = static_cast<std::size_t>(v);
+        char* end = nullptr;
+        if (a == "--threads") {
+          const long v = std::strtol(raw, &end, 10);
+          if (end == raw || *end != '\0' || v <= 0) {
+            std::fprintf(stderr,
+                         "error: --threads expects a positive integer, got "
+                         "\"%s\"\n",
+                         raw);
+            return 2;
+          }
+          threads = static_cast<std::size_t>(v);
+        } else {
+          const double v = std::strtod(raw, &end);
+          if (end == raw || *end != '\0' || v < 0.0) {
+            std::fprintf(stderr,
+                         "error: --checkpoint-interval expects seconds >= 0, "
+                         "got \"%s\"\n",
+                         raw);
+            return 2;
+          }
+          ckpt_interval = v;
+        }
       } else {
         args.push_back(a);
       }
@@ -211,13 +266,23 @@ int main(int argc, char** argv) {
 
     const std::string cmd = !args.empty() ? args[0] : "--help";
     if (cmd == "run") {
-      return cmd_run(args.size() > 1 ? args[1] : "", threads);
+      return cmd_run(args.size() > 1 ? args[1] : "", threads, ckpt_path,
+                     ckpt_interval, cancel);
     }
     if (cmd == "cell") {
       return cmd_cell(args.size() > 1 ? std::stod(args[1]) : 0.8);
     }
     print_help();
     return cmd == "--help" || cmd == "-h" ? 0 : 2;
+  } catch (const util::Cancelled& e) {
+    std::fprintf(stderr, "interrupted: %s\n", e.what());
+    return 4;
+  } catch (const util::NumericalError& e) {
+    std::fprintf(stderr, "numerical failure: %s\n", e.what());
+    return 3;
+  } catch (const util::InvalidArgument& e) {
+    std::fprintf(stderr, "invalid configuration: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

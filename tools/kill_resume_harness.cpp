@@ -1,0 +1,225 @@
+/// \file kill_resume_harness.cpp
+/// \brief End-to-end crash test: SIGKILL a checkpointed sweep mid-run, resume
+/// it, and require the result bytes to match an uninterrupted reference.
+///
+/// Registered as a ctest (KillResumeHarness). The driver process forks three
+/// children per thread count (1 and 4):
+///
+///   1. reference — plain sweep, no checkpointing; writes ref<t>.bin and, on
+///      the first run, the shared POF-LUT cache (so later children skip the
+///      expensive characterization).
+///   2. victim    — checkpointed sweep with FINSER_FAULT=kill_after_flush:2:
+///      the process raises SIGKILL right after the 2nd checkpoint flush
+///      lands on disk. The driver asserts it died by exactly that signal.
+///   3. resume    — same command, no fault: restores the checkpoint,
+///      computes the remaining bins, writes out<t>.bin.
+///
+/// Pass criterion: out<t>.bin is byte-identical to ref<t>.bin for both
+/// thread counts — the checkpoint/restore path changes nothing about the
+/// numbers, only about who computed them when.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "finser/ckpt/checkpoint.hpp"
+#include "finser/core/ser_flow.hpp"
+#include "finser/env/spectrum.hpp"
+#include "finser/util/bytes.hpp"
+#include "finser/util/io.hpp"
+
+namespace {
+
+using namespace finser;
+
+core::SerFlowConfig harness_config(std::size_t threads,
+                                   const std::string& cache) {
+  core::SerFlowConfig cfg;
+  cfg.array_rows = 2;
+  cfg.array_cols = 2;
+  cfg.characterization.vdds = {0.8};
+  cfg.characterization.pv_samples_single = 10;
+  cfg.characterization.pair_grid_points = 6;
+  cfg.characterization.triple_grid_points = 6;
+  cfg.characterization.pv_samples_grid = 6;
+  cfg.array_mc.strikes = 1200;
+  cfg.alpha_bins = 3;
+  cfg.seed = 77;
+  cfg.threads = threads;
+  cfg.lut_cache_path = cache;
+  return cfg;
+}
+
+/// Child body: run the alpha sweep and write its exact result bytes.
+int run_sweep(const std::string& workdir, std::size_t threads,
+              const std::string& result_file, const std::string& cache,
+              bool checkpointed) {
+  core::SerFlow flow(harness_config(threads, cache));
+
+  ckpt::RunOptions run;
+  if (checkpointed) {
+    run.checkpoint_path = workdir + "/ckpt";
+    run.checkpoint_interval_sec = 0.0;  // Flush after every finished bin.
+  }
+
+  const auto result = flow.sweep(env::package_alphas(), {}, run);
+
+  util::ByteWriter w;
+  w.u64(result.per_bin.size());
+  for (const auto& bin : result.per_bin) {
+    const std::vector<std::uint8_t> blob = core::encode_result(bin);
+    w.u64(blob.size());
+    w.bytes(blob.data(), blob.size());
+  }
+  for (const auto& modes : result.fit) {
+    for (const auto& fit : modes) {
+      w.f64(fit.fit_tot);
+      w.f64(fit.fit_seu);
+      w.f64(fit.fit_mbu);
+    }
+  }
+  std::string error;
+  if (!util::atomic_write_file(result_file, w.data().data(), w.size(), &error)) {
+    std::fprintf(stderr, "harness child: cannot write %s: %s\n",
+                 result_file.c_str(), error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// Fork + execv this binary in child mode; returns the raw waitpid status.
+int spawn_child(const char* self, const std::string& workdir,
+                std::size_t threads, const std::string& result_file,
+                const std::string& cache, bool checkpointed,
+                const char* fault_spec) {
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    if (fault_spec != nullptr) {
+      setenv("FINSER_FAULT", fault_spec, 1);
+    } else {
+      unsetenv("FINSER_FAULT");
+    }
+    const std::string t = std::to_string(threads);
+    std::vector<char*> argv;
+    const char* args[] = {self,           "child",       workdir.c_str(),
+                          t.c_str(),      result_file.c_str(), cache.c_str(),
+                          checkpointed ? "ckpt" : "plain"};
+    for (const char* a : args) argv.push_back(const_cast<char*>(a));
+    argv.push_back(nullptr);
+    execv(self, argv.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) {
+    std::perror("waitpid");
+    std::exit(1);
+  }
+  return status;
+}
+
+bool files_identical(const std::string& a, const std::string& b) {
+  std::vector<std::uint8_t> da;
+  std::vector<std::uint8_t> db;
+  return util::read_file(a, da, nullptr) && util::read_file(b, db, nullptr) &&
+         da == db;
+}
+
+int fail(const std::string& msg) {
+  std::fprintf(stderr, "kill-resume harness FAILED: %s\n", msg.c_str());
+  return 1;
+}
+
+int run_driver(const char* self) {
+  // The harness owns its determinism: scrub every env knob that could make
+  // children disagree with each other.
+  unsetenv("FINSER_MC_SCALE");
+  unsetenv("FINSER_THREADS");
+  unsetenv("FINSER_FAULT");
+
+  char root_template[] = "/tmp/finser_krh_XXXXXX";
+  const char* root_c = mkdtemp(root_template);
+  if (root_c == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::string root = root_c;
+  const std::string cache = root + "/luts.bin";
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const std::string tag = std::to_string(threads);
+    const std::string workdir = root + "/v" + tag;
+    std::filesystem::create_directories(workdir);
+    const std::string ref_file = root + "/ref" + tag + ".bin";
+    const std::string out_file = root + "/out" + tag + ".bin";
+
+    // 1. Uninterrupted reference (also populates the shared LUT cache).
+    int status = spawn_child(self, workdir, threads, ref_file, cache,
+                             /*checkpointed=*/false, nullptr);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      return fail("reference run (threads=" + tag + ") did not exit cleanly");
+    }
+
+    // 2. Victim: dies by SIGKILL right after its 2nd checkpoint flush.
+    status = spawn_child(self, workdir, threads, out_file, cache,
+                         /*checkpointed=*/true, "kill_after_flush:2");
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+      return fail("victim (threads=" + tag +
+                  ") was expected to die by SIGKILL, status=" +
+                  std::to_string(status));
+    }
+    if (!std::filesystem::exists(workdir + "/ckpt")) {
+      return fail("victim (threads=" + tag + ") left no checkpoint behind");
+    }
+
+    // 3. Resume: restores the checkpoint and finishes the sweep.
+    status = spawn_child(self, workdir, threads, out_file, cache,
+                         /*checkpointed=*/true, nullptr);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      return fail("resume run (threads=" + tag + ") did not exit cleanly");
+    }
+    if (std::filesystem::exists(workdir + "/ckpt")) {
+      return fail("completed resume (threads=" + tag +
+                  ") did not remove its checkpoint");
+    }
+    if (!files_identical(out_file, ref_file)) {
+      return fail("resumed result differs from uninterrupted reference "
+                  "(threads=" + tag + ")");
+    }
+    std::printf("kill-resume OK at %s thread(s): bit-identical after "
+                "SIGKILL + resume\n",
+                tag.c_str());
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);  // Best-effort cleanup.
+  std::printf("kill-resume harness PASSED\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "child") == 0) {
+    if (argc != 7) {
+      std::fprintf(stderr, "harness child: bad argument count\n");
+      return 2;
+    }
+    return run_sweep(argv[2], static_cast<std::size_t>(std::atol(argv[3])),
+                     argv[4], argv[5], std::strcmp(argv[6], "ckpt") == 0);
+  }
+  return run_driver(argv[0]);
+}
