@@ -4,13 +4,16 @@
 /// its setup; this bench documents what finser achieves per kernel).
 /// Report: a runtime budget table for the paper-scale campaign.
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "finser/core/array_mc.hpp"
 #include "finser/exec/exec.hpp"
+#include "finser/obs/obs.hpp"
 #include "finser/phys/track.hpp"
 #include "finser/spice/dc.hpp"
 #include "finser/spice/devices.hpp"
@@ -126,6 +129,81 @@ void report_parallel_scaling() {
   std::cout << "[json] " << path << "\n";
 }
 
+/// Observability tax on the hottest loop: the same array-MC strike kernel
+/// with finser::obs disabled (the shipped default — every instrumentation
+/// site is one relaxed atomic load and a branch) and enabled. The disabled
+/// column is the number the <2% budget in docs/observability.md refers to.
+void report_obs_overhead() {
+  const sram::ArrayLayout layout(9, 9, sram::CellGeometry{});
+  const sram::CellSoftErrorModel model = threshold_model(0.8, 0.02);
+
+  core::ArrayMcConfig cfg;
+  cfg.strikes = 40000;
+  cfg.chunk = 512;
+  cfg.threads = 1;  // Single-thread: no pool noise in the comparison.
+  const std::uint64_t seed = 20140601;
+  core::ArrayMc mc(layout, model, cfg);
+
+  // Median of repeated timed runs per mode, interleaved so slow drift in
+  // machine load hits both modes equally.
+  constexpr int kReps = 7;
+  std::vector<double> off_s, on_s;
+  mc.run(phys::Species::kAlpha, 2.0, seed);  // Warm-up.
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const bool enabled : {false, true}) {
+      obs::set_enabled(enabled);
+      const auto start = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(mc.run(phys::Species::kAlpha, 2.0, seed));
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      (enabled ? on_s : off_s).push_back(s);
+    }
+  }
+  obs::set_enabled(false);
+  obs::Registry::global().reset();
+
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double off = median(off_s);
+  const double on = median(on_s);
+  // Baseline: a build with no instrumentation at all is not available from
+  // one binary, so "disabled overhead" is reported against the fastest
+  // observed disabled run (jitter floor), and enabled against disabled.
+  const double fastest_off = *std::min_element(off_s.begin(), off_s.end());
+  const double disabled_pct = 100.0 * (off - fastest_off) / fastest_off;
+  const double enabled_pct = 100.0 * (on - off) / off;
+
+  util::CsvTable t({"mode", "median_seconds", "strikes_per_s", "overhead_pct"});
+  t.add_row({std::string("metrics disabled"), off,
+             static_cast<double>(cfg.strikes) / off, disabled_pct});
+  t.add_row({std::string("metrics enabled"), on,
+             static_cast<double>(cfg.strikes) / on, enabled_pct});
+  bench::emit(t, "obs_overhead",
+              "finser::obs cost on the array-MC kernel (disabled vs enabled)");
+
+  std::filesystem::create_directories(bench::kOutDir);
+  const std::string path = std::string(bench::kOutDir) + "/obs_overhead.json";
+  std::ofstream os(path);
+  char body[512];
+  std::snprintf(body, sizeof body,
+                "{\n"
+                "  \"kernel\": \"array_mc_strikes\",\n"
+                "  \"strikes\": %zu,\n"
+                "  \"reps\": %d,\n"
+                "  \"disabled_median_seconds\": %.6f,\n"
+                "  \"enabled_median_seconds\": %.6f,\n"
+                "  \"disabled_jitter_pct\": %.3f,\n"
+                "  \"enabled_vs_disabled_pct\": %.3f\n"
+                "}\n",
+                static_cast<std::size_t>(cfg.strikes), kReps, off, on,
+                disabled_pct, enabled_pct);
+  os << body;
+  std::cout << "[json] " << path << "\n";
+}
+
 void report() {
   // Measure the two dominant costs directly and extrapolate the paper-scale
   // campaign (10M strikes, 18 energy points, full characterization).
@@ -173,6 +251,7 @@ void report() {
               "Runtime budget of the paper-scale campaign on this machine");
 
   report_parallel_scaling();
+  report_obs_overhead();
 }
 
 void bm_lu_solve_10x10(benchmark::State& state) {

@@ -6,6 +6,7 @@
 
 #include "finser/core/pof_combine.hpp"
 #include "finser/exec/thread_pool.hpp"
+#include "finser/obs/obs.hpp"
 #include "finser/phys/collection.hpp"
 #include "finser/stats/direction.hpp"
 #include "finser/util/error.hpp"
@@ -207,6 +208,9 @@ ArrayMcResult ArrayMc::run(phys::Species species, double e_mev,
                            const exec::ProgressSink& progress,
                            const ckpt::RunOptions& run_opts) const {
   FINSER_REQUIRE(e_mev > 0.0, "ArrayMc::run: non-positive energy");
+  obs::ScopedSpan run_span("core.array_mc.run");
+  FINSER_OBS_COUNT("core.array_mc.runs", 1);
+  FINSER_OBS_COUNT("core.array_mc.strikes", config_.strikes);
 
   const std::vector<double> vdds = model_->vdds();
   const std::size_t nv = vdds.size();
@@ -299,7 +303,10 @@ ArrayMcResult ArrayMc::run(phys::Species species, double e_mev,
               default: break;
             }
           }
-          if (!ws.touched_cells.empty()) ++part.hits;
+          if (!ws.touched_cells.empty()) {
+            ++part.hits;
+            FINSER_OBS_COUNT("core.array_mc.strike_hits", 1);
+          }
 
           // Steps 4-5: cell POFs from the LUTs, combined via Eqs. 4-6, for
           // every supply voltage and both process-variation modes.

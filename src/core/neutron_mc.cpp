@@ -6,6 +6,7 @@
 
 #include "finser/core/pof_combine.hpp"
 #include "finser/exec/thread_pool.hpp"
+#include "finser/obs/obs.hpp"
 #include "finser/phys/collection.hpp"
 #include "finser/stats/direction.hpp"
 #include "finser/util/error.hpp"
@@ -85,6 +86,9 @@ ArrayMcResult NeutronArrayMc::run(double e_n_mev, std::uint64_t seed,
                                   const exec::ProgressSink& progress,
                                   const ckpt::RunOptions& run_opts) const {
   FINSER_REQUIRE(e_n_mev > 0.0, "NeutronArrayMc::run: non-positive energy");
+  obs::ScopedSpan run_span("core.neutron_mc.run");
+  FINSER_OBS_COUNT("core.neutron_mc.runs", 1);
+  FINSER_OBS_COUNT("core.neutron_mc.histories", config_.histories);
 
   const std::vector<double> vdds = model_->vdds();
   const std::size_t nv = vdds.size();

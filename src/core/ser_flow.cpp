@@ -9,6 +9,7 @@
 
 #include "finser/exec/exec.hpp"
 #include "finser/exec/thread_pool.hpp"
+#include "finser/obs/obs.hpp"
 #include "finser/util/bytes.hpp"
 #include "finser/util/error.hpp"
 #include "finser/util/fingerprint.hpp"
@@ -34,10 +35,12 @@ const sram::CellSoftErrorModel& SerFlow::cell_model(
   if (!config_.lut_cache_path.empty()) {
     sram::CellSoftErrorModel cached;
     if (sram::CellSoftErrorModel::try_load(config_.lut_cache_path, fp, cached)) {
+      FINSER_OBS_COUNT("core.lut_cache_hits", 1);
       progress.message("POF LUTs loaded from " + config_.lut_cache_path);
       model_ = std::move(cached);
       return *model_;
     }
+    FINSER_OBS_COUNT("core.lut_cache_misses", 1);
   }
 
   // The characterization checkpoint is a sibling of the caller's: same
@@ -174,6 +177,11 @@ EnergySweepResult SerFlow::sweep(const env::Spectrum& spectrum,
   exec::ThreadPool outer_pool(outer);
   const auto run_bin = [&](std::size_t i) {
     const env::EnergyBin& bin = result.bins[i];
+    std::ostringstream label;
+    label << "core.energy_bin " << spectrum.name() << " E=" << bin.e_rep_mev
+          << "MeV";
+    obs::ScopedSpan bin_span("core.energy_bin", label.str());
+    FINSER_OBS_COUNT("core.energy_bins", 1);
     ArrayMcResult r;
     // Inner engines see the cancel token only: checkpointing happens at
     // bin granularity out here, cancellation at chunk granularity inside.

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "finser/exec/exec.hpp"
+#include "finser/obs/obs.hpp"
 
 namespace finser::exec {
 
@@ -29,6 +30,7 @@ struct ThreadPool::Impl {
   std::size_t n_chunks = 0;
   std::atomic<std::size_t> next_chunk{0};
   std::atomic<std::size_t> executed{0};
+  std::atomic<std::uint64_t> cancel_seen_ns{0};  // now_ns() at first detection.
   std::exception_ptr error;
 
   /// Claim and execute chunks until the region is drained. Any schedule is
@@ -38,6 +40,11 @@ struct ThreadPool::Impl {
   void run_chunks(std::size_t slot) {
     for (;;) {
       if (cancel != nullptr && cancel->cancelled()) {
+        if (obs::enabled()) {
+          std::uint64_t expect = 0;
+          cancel_seen_ns.compare_exchange_strong(expect, obs::now_ns(),
+                                                 std::memory_order_relaxed);
+        }
         next_chunk.store(n_chunks, std::memory_order_relaxed);
         return;
       }
@@ -45,8 +52,10 @@ struct ThreadPool::Impl {
       if (i >= n_chunks) return;
       const ChunkRange r{i, i * chunk, std::min(n_items, (i + 1) * chunk), slot};
       try {
+        obs::ScopedSpan span("exec.chunk");
         (*fn)(r);
         executed.fetch_add(1, std::memory_order_relaxed);
+        FINSER_OBS_COUNT("exec.chunks", 1);
       } catch (...) {
         std::lock_guard<std::mutex> lk(m);
         if (!error) error = std::current_exception();
@@ -101,13 +110,22 @@ bool ThreadPool::parallel_for_chunks(
   FINSER_REQUIRE(chunk > 0, "ThreadPool: chunk size must be positive");
   if (n_items == 0) return true;
   const std::size_t n_chunks = (n_items + chunk - 1) / chunk;
+  obs::ScopedSpan region_span("exec.region");
+  FINSER_OBS_COUNT("exec.regions", 1);
+  FINSER_OBS_COUNT("exec.items", n_items);
+  FINSER_OBS_GAUGE("exec.region_chunks", n_chunks);
 
   if (workers_count_ == 0) {
     // Inline fast path: no synchronization, identical chunk decomposition
     // and identical cancellation points.
     for (std::size_t i = 0; i < n_chunks; ++i) {
-      if (cancel != nullptr && cancel->cancelled()) return false;
+      if (cancel != nullptr && cancel->cancelled()) {
+        FINSER_OBS_COUNT("exec.cancelled_regions", 1);
+        return false;
+      }
+      obs::ScopedSpan span("exec.chunk");
       fn({i, i * chunk, std::min(n_items, (i + 1) * chunk), 0});
+      FINSER_OBS_COUNT("exec.chunks", 1);
     }
     return true;
   }
@@ -121,6 +139,7 @@ bool ThreadPool::parallel_for_chunks(
     impl_->n_chunks = n_chunks;
     impl_->next_chunk.store(0, std::memory_order_relaxed);
     impl_->executed.store(0, std::memory_order_relaxed);
+    impl_->cancel_seen_ns.store(0, std::memory_order_relaxed);
     impl_->error = nullptr;
     impl_->busy = workers_count_;
     ++impl_->epoch;
@@ -140,6 +159,21 @@ bool ThreadPool::parallel_for_chunks(
     executed = impl_->executed.load(std::memory_order_relaxed);
   }
   if (error) std::rethrow_exception(error);
+  if (executed != n_chunks && !error) {
+    FINSER_OBS_COUNT("exec.cancelled_regions", 1);
+    if (obs::enabled()) {
+      // Latency from the first worker noticing the cancel to the region
+      // fully draining (workers parked, caller unblocked).
+      const std::uint64_t seen =
+          impl_->cancel_seen_ns.load(std::memory_order_relaxed);
+      if (seen != 0) {
+        const std::uint64_t end = obs::now_ns();
+        static obs::DurationStat& latency =
+            obs::Registry::global().duration("exec.cancel_latency");
+        latency.record_ns(end > seen ? end - seen : 0);
+      }
+    }
+  }
   return executed == n_chunks;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "finser/obs/obs.hpp"
 #include "finser/util/error.hpp"
 
 namespace finser::geom {
@@ -22,6 +23,7 @@ Aabb BoxSet::bounds() const {
 }
 
 void BoxSet::query(const Ray& ray, std::vector<BoxHit>& out) const {
+  FINSER_OBS_COUNT("geom.box_queries", 1);
   out.clear();
   for (std::uint32_t id = 0; id < boxes_.size(); ++id) {
     if (auto iv = boxes_[id].intersect(ray)) {
@@ -80,6 +82,7 @@ UniformGrid::UniformGrid(const BoxSet& set, double target_boxes_per_cell)
 }
 
 void UniformGrid::query(const Ray& ray, std::vector<BoxHit>& out) {
+  FINSER_OBS_COUNT("geom.grid_queries", 1);
   out.clear();
   const auto entry = bounds_.intersect(ray);
   if (!entry) return;

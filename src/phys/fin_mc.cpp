@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "finser/geom/box_set.hpp"
+#include "finser/obs/obs.hpp"
 #include "finser/phys/collection.hpp"
 #include "finser/phys/material.hpp"
 #include "finser/phys/stopping.hpp"
@@ -38,6 +39,8 @@ FinStrikeMc::FinStrikeMc(const geom::Aabb& fin_box, const Config& config)
 
 FinStrikeStats FinStrikeMc::run(Species s, double e_mev, stats::Rng& rng) const {
   FINSER_REQUIRE(e_mev > 0.0, "FinStrikeMc::run: non-positive energy");
+  obs::ScopedSpan span("phys.fin_mc.run");
+  FINSER_OBS_COUNT("phys.fin_mc.samples", config_.samples);
   const Vec3 center = fin_.center();
   const Material& si = silicon();
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "finser/obs/obs.hpp"
 #include "finser/util/error.hpp"
 
 namespace finser::spice {
@@ -27,6 +28,7 @@ bool newton_stage(const Circuit& circuit, std::vector<double>& x,
   ctx.branch_offset = circuit.node_count();
 
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    FINSER_OBS_COUNT("spice.dc.newton_iters", 1);
     mna.clear();
     ctx.x = &x;
     for (const auto& dev : circuit.devices()) dev->stamp(mna, ctx);
@@ -59,7 +61,10 @@ bool newton_stage(const Circuit& circuit, std::vector<double>& x,
       x[i] += step;
       max_delta = std::max(max_delta, std::abs(step));
     }
-    if (alpha == 1.0 && max_delta < opt.v_tol) return true;
+    if (alpha == 1.0 && max_delta < opt.v_tol) {
+      FINSER_OBS_RECORD("spice.dc.iters_per_stage", iter + 1);
+      return true;
+    }
   }
   return false;
 }
@@ -75,6 +80,8 @@ std::vector<double> solve_dc(const Circuit& circuit,
   FINSER_REQUIRE(initial_guess.empty() || initial_guess.size() == n,
                  "solve_dc: initial guess size mismatch");
 
+  obs::ScopedSpan span("spice.dc.solve");
+  FINSER_OBS_COUNT("spice.dc.solves", 1);
   std::vector<double> x = initial_guess.empty() ? std::vector<double>(n, 0.0)
                                                 : initial_guess;
   const std::vector<double> anchor = x;
@@ -93,6 +100,7 @@ std::vector<double> solve_dc(const Circuit& circuit,
 
   for (std::size_t i = 0; i < schedule.size(); ++i) {
     const double gmin = schedule[i];
+    FINSER_OBS_COUNT("spice.dc.gmin_stages", 1);
     if (newton_stage(circuit, x, anchor, gmin, options)) {
       prev_gmin = gmin;
       any_converged = true;
@@ -101,6 +109,7 @@ std::vector<double> solve_dc(const Circuit& circuit,
     }
 
     if (extensions >= options.max_gmin_extensions) {
+      FINSER_OBS_COUNT("spice.dc.failures", 1);
       throw util::NumericalError(
           "solve_dc: Newton failed to converge at gmin = " +
           std::to_string(gmin) + " after " + std::to_string(extensions) +
@@ -120,6 +129,7 @@ std::vector<double> solve_dc(const Circuit& circuit,
       inserted = std::min(gmin * 100.0, 1.0);
     }
     ++extensions;
+    FINSER_OBS_COUNT("spice.dc.gmin_extensions", 1);
     schedule.insert(schedule.begin() + static_cast<std::ptrdiff_t>(i), inserted);
     --i;  // Re-enter the loop at the inserted stage.
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "finser/obs/obs.hpp"
 #include "finser/util/error.hpp"
 
 namespace finser::spice {
@@ -34,6 +35,17 @@ void Mna::add_gmin(double gmin, std::size_t n_nodes) {
 }
 
 std::vector<double> Mna::solve() {
+  FINSER_OBS_COUNT("spice.mna.solves", 1);
+  // A NaN/Inf on the right-hand side poisons every unknown during back
+  // substitution; reject it up front with a precise diagnostic instead of
+  // reporting a misleading "non-finite solution component" later.
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!std::isfinite(b_[i])) {
+      throw util::NumericalError("Mna::solve: non-finite rhs entry at row " +
+                                 std::to_string(i));
+    }
+  }
+
   // In-place LU with partial pivoting on the row-major matrix.
   for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
 

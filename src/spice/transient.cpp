@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <ostream>
 
+#include "finser/obs/obs.hpp"
 #include "finser/util/error.hpp"
 
 namespace finser::spice {
@@ -90,6 +91,7 @@ namespace {
 bool newton_step(const Circuit& circuit, Mna& mna, StampContext& ctx,
                  std::vector<double>& x, const TransientOptions& opt) {
   for (int iter = 0; iter < opt.max_newton; ++iter) {
+    FINSER_OBS_COUNT("spice.tran.newton_iters", 1);
     mna.clear();
     ctx.x = &x;
     for (const auto& dev : circuit.devices()) dev->stamp(mna, ctx);
@@ -129,6 +131,9 @@ Waveform run_transient(const Circuit& circuit, const std::vector<double>& x0,
   FINSER_REQUIRE(opt.dt_initial > 0.0 && opt.dt_min > 0.0 &&
                      opt.dt_max >= opt.dt_initial,
                  "run_transient: inconsistent step-size options");
+
+  obs::ScopedSpan run_span("spice.tran.run");
+  FINSER_OBS_COUNT("spice.tran.runs", 1);
 
   // Resolve probes.
   std::vector<std::string> names;
@@ -176,6 +181,7 @@ Waveform run_transient(const Circuit& circuit, const std::vector<double>& x0,
   // instead of aborting on the first hard spot.
   TransientOptions eff = opt;
   int restart_level = 0;
+  std::uint64_t accepted_steps = 0;
 
   while (t < opt.t_end - 1e-24) {
     // Clamp the step to land exactly on the next breakpoint.
@@ -194,6 +200,8 @@ Waveform run_transient(const Circuit& circuit, const std::vector<double>& x0,
     std::vector<double> x_try = x;  // Start Newton from the previous solution.
     if (newton_step(circuit, mna, ctx, x_try, eff)) {
       // Accept.
+      FINSER_OBS_COUNT("spice.tran.steps", 1);
+      ++accepted_steps;
       x = std::move(x_try);
       ctx.x = &x;
       for (const auto& dev : circuit.devices()) dev->commit(ctx);
@@ -207,6 +215,7 @@ Waveform run_transient(const Circuit& circuit, const std::vector<double>& x0,
       }
     } else {
       // Reject: shrink and retry from the committed state.
+      FINSER_OBS_COUNT("spice.tran.rejects", 1);
       dt *= opt.shrink_factor;
       if (hit_break) {
         // Can't reach the breakpoint in one step anymore; approach it.
@@ -217,11 +226,13 @@ Waveform run_transient(const Circuit& circuit, const std::vector<double>& x0,
           // (smaller) starting step for the same failing instant. The state
           // is the last *committed* step, so nothing is replayed.
           ++restart_level;
+          FINSER_OBS_COUNT("spice.tran.escalations", 1);
           eff.max_newton *= 2;
           eff.damping_vmax *= 0.5;
           dt = std::max(opt.dt_min,
                         opt.dt_initial * std::pow(0.1, restart_level));
         } else {
+          FINSER_OBS_COUNT("spice.tran.failures", 1);
           throw util::NumericalError(
               "run_transient: Newton failed to converge at t = " +
               std::to_string(t) + " after " + std::to_string(restart_level) +
@@ -231,6 +242,7 @@ Waveform run_transient(const Circuit& circuit, const std::vector<double>& x0,
       }
     }
   }
+  FINSER_OBS_RECORD("spice.tran.steps_per_run", accepted_steps);
   return wave;
 }
 

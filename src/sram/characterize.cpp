@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "finser/exec/thread_pool.hpp"
+#include "finser/obs/obs.hpp"
 #include "finser/util/bytes.hpp"
 #include "finser/util/error.hpp"
 
@@ -490,6 +491,9 @@ void CellCharacterizer::characterize_triple(
 PofTable CellCharacterizer::characterize_at(double vdd_v, std::uint64_t seed,
                                             const exec::ProgressSink& progress,
                                             const exec::CancelToken* cancel) const {
+  obs::ScopedSpan span("sram.characterize_voltage",
+                       "sram.characterize_voltage vdd=" +
+                           std::to_string(vdd_v) + "V");
   exec::ThreadPool pool(config_.threads);
   detail::SimSlots sims(design_, vdd_v, pool.thread_count());
 
@@ -571,6 +575,8 @@ PofTable CellCharacterizer::characterize_at(double vdd_v, std::uint64_t seed,
       throw util::NumericalError(os.str());
     }
   }
+  FINSER_OBS_COUNT("sram.strike_samples", table.attempted_samples);
+  FINSER_OBS_COUNT("sram.strike_sample_failures", table.failed_samples);
   return table;
 }
 

@@ -1,0 +1,11 @@
+# Included by ctest after gtest test discovery (TEST_INCLUDE_FILES, see
+# tests/CMakeLists.txt). Labels every finser_golden_tests case `golden`
+# (regression lock on the paper figures) and `slow` (so sanitizer CI jobs
+# can exclude them with `ctest -LE slow`). gtest_discover_tests cannot
+# forward a list-valued LABELS property itself — the semicolon is flattened
+# during argument forwarding — hence this ctest-time include.
+set_tests_properties(
+  GoldenFigures.Fig4EhPairsVsEnergy
+  GoldenFigures.Fig8PofVsEnergy
+  GoldenFigures.Fig9FitVsVdd
+  PROPERTIES LABELS "golden;slow")

@@ -1,0 +1,183 @@
+/// \file test_invariants.cpp
+/// \brief Property tests of the paper's probability algebra over randomized
+/// inputs: Eqs. 4–6 (POF combination), the Poisson-binomial multiplicity
+/// distribution, monotonicity of the POF tables, and Eqs. 7–8 (FIT
+/// integration: non-negative and linear in flux).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "finser/core/fit.hpp"
+#include "finser/core/pof_combine.hpp"
+#include "finser/sram/pof_table.hpp"
+#include "finser/stats/rng.hpp"
+
+namespace finser {
+namespace {
+
+TEST(PofCombineInvariants, RandomizedEqs4To6) {
+  stats::Rng rng(1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform() * 6.0);
+    std::vector<double> p(k);
+    for (double& v : p) {
+      // Mix interior values with the exact endpoints the O(k²) products
+      // must handle (p = 0, p = 1).
+      const double u = rng.uniform();
+      v = u < 0.1 ? 0.0 : u < 0.2 ? 1.0 : rng.uniform();
+    }
+    const core::CombinedPof c = core::combine_eqs_4_to_6(p);
+
+    // All three outputs are probabilities.
+    EXPECT_GE(c.tot, 0.0);
+    EXPECT_LE(c.tot, 1.0 + 1e-12);
+    EXPECT_GE(c.seu, -1e-12);
+    EXPECT_LE(c.seu, 1.0 + 1e-12);
+    EXPECT_GE(c.mbu, -1e-12);
+
+    // Eq. 6 exactly, and POF_tot dominates both components.
+    EXPECT_NEAR(c.tot, c.seu + c.mbu, 1e-12);
+    EXPECT_GE(c.tot + 1e-12, std::max(c.seu, c.mbu));
+
+    // Eq. 4 against a direct evaluation.
+    double surv = 1.0;
+    for (double v : p) surv *= 1.0 - v;
+    EXPECT_NEAR(c.tot, 1.0 - surv, 1e-12);
+
+    // The array fails at least as often as its single most fragile cell.
+    EXPECT_GE(c.tot + 1e-12, *std::max_element(p.begin(), p.end()));
+
+    // Monotone: adding one more vulnerable cell can only increase POF_tot.
+    std::vector<double> p_more = p;
+    p_more.push_back(rng.uniform());
+    EXPECT_GE(core::combine_eqs_4_to_6(p_more).tot + 1e-12, c.tot);
+  }
+}
+
+TEST(PofCombineInvariants, MultiplicityDistributionIdentities) {
+  stats::Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.uniform() * 7.0);
+    std::vector<double> p(k);
+    for (double& v : p) v = rng.uniform();
+    const auto dist = core::multiplicity_distribution(p);
+    const core::CombinedPof c = core::combine_eqs_4_to_6(p);
+
+    double sum = 0.0;
+    for (double d : dist) {
+      EXPECT_GE(d, -1e-12);
+      sum += d;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_NEAR(dist[0], 1.0 - c.tot, 1e-9);   // P(0 flips) = 1 - POF_tot.
+    EXPECT_NEAR(dist[1], c.seu, 1e-9);         // P(1 flip)  = POF_SEU.
+    double multi = 0.0;
+    for (std::size_t n = 2; n < core::kMaxMultiplicity; ++n) multi += dist[n];
+    EXPECT_NEAR(multi, c.mbu, 1e-9);           // P(≥2)      = POF_MBU.
+  }
+}
+
+TEST(PofTableInvariants, SingleCdfMonotoneNonDecreasingInCharge) {
+  stats::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    sram::SingleCdf cdf;
+    cdf.nominal_qcrit_fc = 0.05 + 0.1 * rng.uniform();
+    const std::size_t n = 5 + static_cast<std::size_t>(rng.uniform() * 40.0);
+    cdf.total_samples = n + 2;  // Two samples never flipped.
+    for (std::size_t i = 0; i < n; ++i) {
+      cdf.qcrit_samples_fc.push_back(0.01 + 0.2 * rng.uniform());
+    }
+    std::sort(cdf.qcrit_samples_fc.begin(), cdf.qcrit_samples_fc.end());
+
+    double prev = -1.0;
+    for (double q = 0.0; q <= 0.3; q += 0.003) {
+      const double p = cdf.pof(q);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      EXPECT_GE(p, prev) << "POF decreased at q = " << q;
+      prev = p;
+    }
+    // Depositing nothing never flips; far above every sample flips all
+    // flippable fractions.
+    EXPECT_EQ(cdf.pof(0.0), 0.0);
+    EXPECT_NEAR(cdf.pof(1e3),
+                static_cast<double>(n) / static_cast<double>(cdf.total_samples),
+                1e-12);
+  }
+}
+
+TEST(PofTableInvariants, SingleCdfMonotoneNonIncreasingInVdd) {
+  // A higher supply voltage strictly raises every sampled critical charge
+  // (more charge is needed to flip), so at any fixed deposited charge the
+  // POF must not increase with Vdd. Model the Qcrit(Vdd) dependence the
+  // characterizer observes: roughly linear growth.
+  stats::Rng rng(11);
+  const std::vector<double> vdds{0.7, 0.8, 0.9, 1.0, 1.1};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> base(40);
+    for (double& b : base) b = 0.02 + 0.08 * rng.uniform();
+
+    std::vector<sram::SingleCdf> cdfs;
+    for (const double vdd : vdds) {
+      sram::SingleCdf cdf;
+      cdf.total_samples = base.size();
+      for (const double b : base) cdf.qcrit_samples_fc.push_back(b * vdd);
+      std::sort(cdf.qcrit_samples_fc.begin(), cdf.qcrit_samples_fc.end());
+      cdfs.push_back(std::move(cdf));
+    }
+    for (double q = 0.005; q <= 0.15; q += 0.005) {
+      for (std::size_t v = 1; v < vdds.size(); ++v) {
+        EXPECT_LE(cdfs[v].pof(q), cdfs[v - 1].pof(q) + 1e-12)
+            << "POF increased from Vdd " << vdds[v - 1] << " to " << vdds[v]
+            << " at q = " << q;
+      }
+    }
+  }
+}
+
+TEST(FitInvariants, NonNegativeAndLinearInFlux) {
+  stats::Rng rng(2718);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n_bins = 1 + static_cast<std::size_t>(rng.uniform() * 12.0);
+    std::vector<env::EnergyBin> bins(n_bins);
+    std::vector<core::PofEstimate> pofs(n_bins);
+    double e_lo = 0.1;
+    for (std::size_t b = 0; b < n_bins; ++b) {
+      bins[b].e_lo_mev = e_lo;
+      bins[b].e_hi_mev = e_lo * (1.5 + rng.uniform());
+      bins[b].e_rep_mev = std::sqrt(bins[b].e_lo_mev * bins[b].e_hi_mev);
+      bins[b].integral_flux_per_cm2_s = rng.uniform() * 1e-3;
+      e_lo = bins[b].e_hi_mev;
+      pofs[b].tot = rng.uniform();
+      pofs[b].seu = pofs[b].tot * rng.uniform();
+      pofs[b].mbu = pofs[b].tot - pofs[b].seu;
+    }
+    const double lx = 500.0 + 5000.0 * rng.uniform();
+    const double ly = 500.0 + 5000.0 * rng.uniform();
+
+    const core::FitResult fit = core::integrate_fit(bins, pofs, lx, ly);
+    EXPECT_GE(fit.fit_tot, 0.0);
+    EXPECT_GE(fit.fit_seu, 0.0);
+    EXPECT_GE(fit.fit_mbu, 0.0);
+    EXPECT_NEAR(fit.fit_tot, fit.fit_seu + fit.fit_mbu,
+                1e-9 * std::max(1.0, fit.fit_tot));
+
+    // Eq. 8 is a weighted sum over bins: doubling every bin's flux must
+    // exactly double the FIT rate (linearity in flux).
+    std::vector<env::EnergyBin> doubled = bins;
+    for (auto& b : doubled) b.integral_flux_per_cm2_s *= 2.0;
+    const core::FitResult fit2 = core::integrate_fit(doubled, pofs, lx, ly);
+    EXPECT_NEAR(fit2.fit_tot, 2.0 * fit.fit_tot,
+                1e-9 * std::max(1.0, fit.fit_tot));
+
+    // And zero flux means zero failure rate, whatever the POFs.
+    std::vector<env::EnergyBin> dark = bins;
+    for (auto& b : dark) b.integral_flux_per_cm2_s = 0.0;
+    EXPECT_EQ(core::integrate_fit(dark, pofs, lx, ly).fit_tot, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace finser

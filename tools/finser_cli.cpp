@@ -34,7 +34,10 @@
 #include "finser/ckpt/checkpoint.hpp"
 #include "finser/core/ser_flow.hpp"
 #include "finser/exec/cancel.hpp"
+#include "finser/exec/exec.hpp"
 #include "finser/exec/progress.hpp"
+#include "finser/obs/obs.hpp"
+#include "finser/obs/report.hpp"
 #include "finser/sram/snm.hpp"
 #include "finser/util/config.hpp"
 #include "finser/util/csv.hpp"
@@ -58,7 +61,12 @@ void print_help() {
       "                 matching checkpoint found at start is resumed —\n"
       "                 results are bit-identical to an uninterrupted run\n"
       "  --checkpoint-interval SEC  seconds between periodic checkpoint\n"
-      "                 flushes (default 30; 0 = after every work unit)\n\n"
+      "                 flushes (default 30; 0 = after every work unit)\n"
+      "  --metrics-out PATH  enable metric collection and write a versioned\n"
+      "                 JSON RunReport there at exit (docs/observability.md);\n"
+      "                 FINSER_METRICS=<path> is an equivalent default\n"
+      "  --trace-out PATH  also buffer per-span trace events and write a\n"
+      "                 Chrome-tracing/Perfetto event file there at exit\n\n"
       "Exit codes:\n"
       "  0  success\n"
       "  1  unexpected error\n"
@@ -105,6 +113,7 @@ core::SerFlowConfig flow_config_from(const util::KeyValueConfig& cfg,
 
 int cmd_run(const std::string& config_path, std::size_t cli_threads,
             const std::string& ckpt_path, double ckpt_interval,
+            const std::string& metrics_out, const std::string& trace_out,
             const exec::CancelToken& cancel) {
   util::KeyValueConfig cfg;
   if (!config_path.empty()) {
@@ -185,6 +194,24 @@ int cmd_run(const std::string& config_path, std::size_t cli_threads,
   std::printf("\n");
   fit_table.write_pretty(std::cout);
   std::printf("\nresults written to %s/\n", out_dir.c_str());
+
+  if (!metrics_out.empty()) {
+    obs::RunInfo info;
+    info.tool = "finser_cli";
+    info.command = config_path.empty() ? std::string("run")
+                                       : "run " + config_path;
+    info.seed = flow_cfg.seed;
+    info.threads = exec::resolve_threads(flow_cfg.threads);
+    info.mc_scale = core::mc_scale_from_env();
+    info.config_fingerprint =
+        flow_cfg.characterization.fingerprint(flow_cfg.cell_design);
+    obs::write_run_report(metrics_out, info);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    obs::write_chrome_trace(trace_out);
+    std::printf("trace written to %s\n", trace_out.c_str());
+  }
   return 0;
 }
 
@@ -225,9 +252,15 @@ int main(int argc, char** argv) {
     std::size_t threads = 0;
     std::string ckpt_path;
     double ckpt_interval = 30.0;
+    // FINSER_METRICS turns collection on; a path-like value (anything but
+    // "0"/"1") doubles as the default --metrics-out destination.
+    std::string metrics_out = finser::obs::configure_from_env();
+    if (metrics_out == "0" || metrics_out == "1") metrics_out.clear();
+    std::string trace_out;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
-      if (a == "--threads" || a == "--resume" || a == "--checkpoint-interval") {
+      if (a == "--threads" || a == "--resume" || a == "--checkpoint-interval" ||
+          a == "--metrics-out" || a == "--trace-out") {
         if (i + 1 >= argc) {
           std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
           return 2;
@@ -235,6 +268,16 @@ int main(int argc, char** argv) {
         const char* raw = argv[++i];
         if (a == "--resume") {
           ckpt_path = raw;
+          continue;
+        }
+        if (a == "--metrics-out") {
+          metrics_out = raw;
+          finser::obs::set_enabled(true);
+          continue;
+        }
+        if (a == "--trace-out") {
+          trace_out = raw;
+          finser::obs::set_trace_enabled(true);
           continue;
         }
         char* end = nullptr;
@@ -267,7 +310,7 @@ int main(int argc, char** argv) {
     const std::string cmd = !args.empty() ? args[0] : "--help";
     if (cmd == "run") {
       return cmd_run(args.size() > 1 ? args[1] : "", threads, ckpt_path,
-                     ckpt_interval, cancel);
+                     ckpt_interval, metrics_out, trace_out, cancel);
     }
     if (cmd == "cell") {
       return cmd_cell(args.size() > 1 ? std::stod(args[1]) : 0.8);
