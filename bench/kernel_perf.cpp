@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "finser/ckpt/checkpoint.hpp"
 #include "finser/core/array_mc.hpp"
 #include "finser/exec/exec.hpp"
 #include "finser/obs/obs.hpp"
+#include "finser/pipeline/campaign.hpp"
 #include "finser/phys/track.hpp"
 #include "finser/spice/dc.hpp"
 #include "finser/spice/devices.hpp"
@@ -204,6 +206,108 @@ void report_obs_overhead() {
   std::cout << "[json] " << path << "\n";
 }
 
+/// Warm-vs-cold campaign through the content-addressed artifact store: the
+/// cold pass characterizes the cell and builds every LUT from scratch; the
+/// warm pass must load all of it back (0 characterizations) and only pay
+/// for I/O + decode. The ratio is the headline number for the caching layer
+/// (docs/architecture.md).
+void report_artifact_cache() {
+  pipeline::CampaignSpec spec;
+  spec.name = "bench_artifact_cache";
+  spec.artifact_dir = std::string(bench::kOutDir) + "/artifact_cache_store";
+  spec.output_dir = "";  // No CSVs: measure compute + cache only.
+
+  // Three scenarios sharing one cell model (same design, different data
+  // patterns) — the shape the store is built for.
+  core::SerFlowConfig base;
+  base.array_rows = 4;
+  base.array_cols = 4;
+  base.characterization.vdds = {0.8};
+  base.characterization.pv_samples_single = 40;
+  base.characterization.pair_grid_points = 8;
+  base.characterization.triple_grid_points = 6;
+  base.characterization.pv_samples_grid = 12;
+  base.array_mc.strikes = 4000;
+  base.neutron_mc.histories = 4000;
+  base.proton_bins = 4;
+  base.alpha_bins = 4;
+  base.seed = 20140601;
+  const sram::DataPattern patterns[] = {sram::DataPattern::kCheckerboard,
+                                        sram::DataPattern::kAllOnes,
+                                        sram::DataPattern::kAllZeros};
+  const char* names[] = {"checkerboard", "ones", "zeros"};
+  for (int i = 0; i < 3; ++i) {
+    pipeline::ScenarioSpec sc;
+    sc.name = names[i];
+    sc.species = {"alpha", "proton"};
+    sc.flow = base;
+    sc.flow.pattern = patterns[i];
+    spec.scenarios.push_back(sc);
+  }
+
+  std::filesystem::remove_all(spec.artifact_dir);
+  obs::Registry::global().reset();
+  obs::set_enabled(true);
+  const exec::ProgressSink quiet;
+  const ckpt::RunOptions run;
+
+  const auto timed_pass = [&](const char* label) {
+    const std::uint64_t chars_before =
+        obs::Registry::global().counter("pipeline.characterizations").total();
+    const auto start = std::chrono::steady_clock::now();
+    pipeline::CampaignRunner runner(spec);
+    const auto results = runner.run(quiet, run);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const std::uint64_t chars =
+        obs::Registry::global().counter("pipeline.characterizations").total() -
+        chars_before;
+    std::printf("  [%s pass: %.3f s, %llu characterization(s)]\n", label,
+                seconds, static_cast<unsigned long long>(chars));
+    return std::pair<double, std::uint64_t>{seconds, chars};
+  };
+
+  const auto [cold_s, cold_chars] = timed_pass("cold");
+  const auto [warm_s, warm_chars] = timed_pass("warm");
+  const std::uint64_t hits =
+      obs::Registry::global().counter("pipeline.artifact.hits").total();
+  obs::set_enabled(false);
+  obs::Registry::global().reset();
+
+  const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+  util::CsvTable t(
+      {"pass", "seconds", "characterizations", "speedup_vs_cold"});
+  t.add_row({std::string("cold"), cold_s, static_cast<double>(cold_chars),
+             1.0});
+  t.add_row({std::string("warm"), warm_s, static_cast<double>(warm_chars),
+             speedup});
+  bench::emit(t, "artifact_cache",
+              "3-scenario campaign, cold vs warm artifact store");
+
+  std::filesystem::create_directories(bench::kOutDir);
+  const std::string path = std::string(bench::kOutDir) + "/artifact_cache.json";
+  std::ofstream os(path);
+  char body[512];
+  std::snprintf(body, sizeof body,
+                "{\n"
+                "  \"kernel\": \"campaign_artifact_store\",\n"
+                "  \"scenarios\": 3,\n"
+                "  \"cold_seconds\": %.6f,\n"
+                "  \"warm_seconds\": %.6f,\n"
+                "  \"warm_speedup\": %.3f,\n"
+                "  \"cold_characterizations\": %llu,\n"
+                "  \"warm_characterizations\": %llu,\n"
+                "  \"warm_artifact_hits\": %llu\n"
+                "}\n",
+                cold_s, warm_s, speedup,
+                static_cast<unsigned long long>(cold_chars),
+                static_cast<unsigned long long>(warm_chars),
+                static_cast<unsigned long long>(hits));
+  os << body;
+  std::cout << "[json] " << path << "\n";
+}
+
 void report() {
   // Measure the two dominant costs directly and extrapolate the paper-scale
   // campaign (10M strikes, 18 energy points, full characterization).
@@ -252,6 +356,7 @@ void report() {
 
   report_parallel_scaling();
   report_obs_overhead();
+  report_artifact_cache();
 }
 
 void bm_lu_solve_10x10(benchmark::State& state) {

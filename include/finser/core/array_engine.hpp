@@ -1,0 +1,263 @@
+#pragma once
+/// \file array_engine.hpp
+/// \brief Common interface + chunked driver of the array-level Monte Carlos.
+///
+/// Both array engines — the charged-particle ArrayMc (direct ionization) and
+/// the forced-interaction NeutronArrayMc (indirect ionization) — reduce the
+/// same loop shape: N independent strike/history units, processed in
+/// fixed-size RNG chunks on the exec thread pool, accumulated into one
+/// PofAccumulator per (vdd, mode) and merged pairwise in chunk-index order.
+/// ArrayEngine hoists that entire driver — worker-scratch management, the
+/// plain vs checkpointed execution paths, partial decode/merge, and the
+/// final estimate — into one place; the engines supply only the per-chunk
+/// physics (simulate_chunk) and their checkpoint fingerprint.
+///
+/// The driver preserves the exec-layer determinism contract verbatim: chunk
+/// *i* consumes stats::Rng::stream(seed, i) and nothing else, partials merge
+/// in chunk-index order, so results are bit-identical at any thread count
+/// and across kill/resume (docs/parallelism.md, docs/robustness.md).
+///
+/// ArrayEngine is also the unit the pipeline layer schedules: a campaign
+/// stage node is "one engine × one energy point", keyed by the same
+/// fingerprint the checkpoint layer uses (docs/architecture.md).
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "finser/ckpt/checkpoint.hpp"
+#include "finser/core/pof_combine.hpp"
+#include "finser/exec/progress.hpp"
+#include "finser/phys/track.hpp"
+#include "finser/sram/layout.hpp"
+#include "finser/sram/pof_table.hpp"
+#include "finser/stats/rng.hpp"
+#include "finser/stats/summary.hpp"
+#include "finser/util/bytes.hpp"
+#include "finser/util/fingerprint.hpp"
+
+namespace finser::core {
+
+/// Monte-Carlo POF estimate for one (species, energy, Vdd, PV-mode).
+struct PofEstimate {
+  double tot = 0.0;
+  double seu = 0.0;
+  double mbu = 0.0;
+  double tot_se = 0.0;  ///< Standard errors of the means above.
+  double seu_se = 0.0;
+  double mbu_se = 0.0;
+  double hit_fraction = 0.0;  ///< Strikes with any sensitive deposit.
+  std::size_t strikes = 0;
+
+  /// Exact per-strike upset-multiplicity distribution, averaged over
+  /// strikes: multiplicity[n] = P(exactly n cells flip) for n <
+  /// kMaxMultiplicity-1; the last bin aggregates "that many or more".
+  /// Computed by Poisson-binomial dynamic programming over the touched
+  /// cells' POFs, so multiplicity[1] ≡ seu and Σ_{n≥2} ≡ mbu by
+  /// construction — the extra information ECC/interleaving sizing needs
+  /// beyond the paper's binary SEU/MBU split.
+  std::array<double, kMaxMultiplicity> multiplicity{};
+};
+
+/// Index pair (0 = nominal, 1 = with process variation).
+inline constexpr std::size_t kModeNominal = 0;
+inline constexpr std::size_t kModeWithPv = 1;
+
+/// Merge-friendly (count, mean, M2) Welford accumulator behind one
+/// PofEstimate: three RunningStats channels (tot/seu/mbu) plus the
+/// multiplicity mass. Chunked engines keep one accumulator per (vdd, mode)
+/// per chunk and merge the partials pairwise in chunk order — the merge is
+/// exact for the mean and numerically stable for the variance, so the
+/// parallel reduction reproduces the serial statistics.
+class PofAccumulator {
+ public:
+  /// Add one strike's combined POFs (pre-weighted for weighted estimators).
+  void add(const CombinedPof& pof);
+
+  /// Add \p mass to multiplicity bin \p n (bins are plain sums).
+  void add_multiplicity(std::size_t n, double mass);
+
+  /// Fold \p other in (Chan et al. parallel Welford merge).
+  void merge(const PofAccumulator& other);
+
+  /// Number of strikes accumulated (via add()).
+  std::size_t count() const { return tot_.count(); }
+
+  /// Final estimate. \p strikes normalizes the multiplicity mass and is
+  /// recorded verbatim; \p hit_fraction is campaign-level bookkeeping.
+  PofEstimate finalize(std::size_t strikes, double hit_fraction) const;
+
+  /// Bit-exact serialization for checkpoint blobs: the raw Welford state
+  /// round-trips as IEEE-754 doubles, so a deserialized accumulator merges
+  /// identically to the original.
+  void write(util::ByteWriter& w) const;
+  static PofAccumulator read(util::ByteReader& r);
+
+ private:
+  stats::RunningStats tot_;
+  stats::RunningStats seu_;
+  stats::RunningStats mbu_;
+  std::array<double, kMaxMultiplicity> mult_{};
+};
+
+/// Result of one energy point: estimates for every (Vdd, mode).
+struct ArrayMcResult {
+  std::vector<double> vdds;
+  /// est[vdd_index][mode].
+  std::vector<std::array<PofEstimate, 2>> est;
+};
+
+/// Bit-exact ArrayMcResult codec, used for SerFlow sweep checkpoint blobs
+/// and ArtifactStore per-bin artifacts (one blob per energy bin). Doubles
+/// round-trip as raw IEEE-754, so a restored bin is indistinguishable from a
+/// recomputed one.
+std::vector<std::uint8_t> encode_result(const ArrayMcResult& result);
+ArrayMcResult decode_result(util::ByteReader& r);
+
+/// One chunk's worth of accumulated statistics. Produced one per RNG chunk
+/// and merged pairwise in chunk-index order (exec::reduce_pairwise), which
+/// makes the reduction independent of the thread schedule.
+struct McPartial {
+  /// acc[vdd_index][mode] (mode: kModeNominal / kModeWithPv).
+  std::vector<std::array<PofAccumulator, 2>> acc;
+  /// Strikes (histories) with any sensitive deposit.
+  std::size_t hits = 0;
+
+  McPartial() = default;
+  explicit McPartial(std::size_t nv) : acc(nv) {}
+
+  /// Merge for exec::parallel_reduce (associative; a absorbs b).
+  static McPartial merge(McPartial a, McPartial b);
+
+  /// Checkpoint-blob codec. The raw Welford state round-trips bit-exactly,
+  /// so decode(encode(p)) merges identically to p itself — the property the
+  /// resume-bit-identity guarantee rests on.
+  std::vector<std::uint8_t> encode() const;
+  static McPartial decode(const std::vector<std::uint8_t>& blob,
+                          std::size_t expected_nv);
+};
+
+/// One (species, energy) evaluation point of an array engine. The unified
+/// currency of the pipeline layer: SerFlow bins, campaign stage nodes and
+/// per-bin artifacts are all keyed by it.
+struct EnergyPoint {
+  phys::Species species = phys::Species::kProton;
+  double e_mev = 0.0;
+};
+
+/// Common interface + shared chunked driver of ArrayMc / NeutronArrayMc.
+class ArrayEngine {
+ public:
+  /// \param layout and \param model must outlive the engine.
+  ArrayEngine(const sram::ArrayLayout& layout,
+              const sram::CellSoftErrorModel& model);
+  virtual ~ArrayEngine();
+
+  ArrayEngine(const ArrayEngine&) = delete;
+  ArrayEngine& operator=(const ArrayEngine&) = delete;
+
+  /// Unified entry point: run the Monte Carlo at one energy point. Units
+  /// (strikes or histories) are processed in fixed-size chunks on the exec
+  /// thread pool; chunk *i* draws from stats::Rng::stream(seed, i), so the
+  /// result is bit-identical for any thread count. Const and thread-safe:
+  /// concurrent calls on one engine (e.g. parallel energy bins) are fine.
+  ///
+  /// \p run_opts adds checkpoint/cancel behaviour (ckpt::RunOptions): with a
+  /// checkpoint path, each chunk's partial is persisted and a resumed run
+  /// recomputes only the missing chunks — the pairwise reduction over the
+  /// full chunk set makes the result bit-identical to an uninterrupted run.
+  /// Cancellation throws util::Cancelled at a chunk boundary.
+  ArrayMcResult run_point(const EnergyPoint& point, std::uint64_t seed,
+                          const exec::ProgressSink& progress = {},
+                          const ckpt::RunOptions& run_opts = {}) const;
+
+  /// Area of the source-sampling plane [nm²]: (W + 2·margin)(H + 2·margin).
+  /// This — not the bare array footprint — is the area POF estimates are
+  /// normalized to, and therefore the area that enters the FIT integral.
+  double sampled_area_nm2() const;
+
+  /// Identity of one run for checkpoint/artifact validation: everything
+  /// that decides the numbers (engine config, layout, model fingerprint,
+  /// point, seed) and nothing about the schedule (threads, cadence).
+  virtual std::uint64_t point_fingerprint(const EnergyPoint& point,
+                                          std::uint64_t seed) const = 0;
+
+  /// Units of Monte-Carlo work (strikes or histories) of one run.
+  virtual std::size_t units() const = 0;
+
+  const sram::ArrayLayout& layout() const { return *layout_; }
+  const sram::CellSoftErrorModel& model() const { return *model_; }
+
+ protected:
+  /// Per-worker mutable state: the Transporter keeps internal scratch and
+  /// the strike loop reuses per-cell charge slots, so each pool slot gets
+  /// its own copy (created lazily on first chunk, on the worker's thread).
+  struct WorkerScratch {
+    phys::Transporter transporter;
+    std::vector<sram::StrikeCharges> cell_charges;
+    std::vector<std::uint32_t> touched_cells;
+    std::vector<double> pofs;  ///< Per-touched-cell POFs of one strike.
+
+    WorkerScratch(const sram::ArrayLayout& layout,
+                  const phys::Transporter::Config& tc);
+  };
+
+  // --- engine-specific knobs the shared driver needs -----------------------
+
+  /// Units per deterministic RNG chunk.
+  virtual std::size_t chunk_size() const = 0;
+  /// Requested thread budget (0 = auto).
+  virtual std::size_t threads() const = 0;
+  /// Straggling model for the shared Transporter scratch.
+  virtual phys::StragglingModel straggling() const = 0;
+  /// Engine name for error messages ("ArrayMc" / "NeutronArrayMc").
+  virtual const char* kind() const = 0;
+  /// Progress-phase label ("strikes" / "histories").
+  virtual const char* unit_label() const = 0;
+  /// obs span/counter names (static storage — string literals).
+  virtual const char* span_name() const = 0;
+  virtual const char* runs_counter() const = 0;
+  virtual const char* units_counter() const = 0;
+  /// Lateral margin of the source-sampling plane [nm].
+  virtual double source_margin_nm() const = 0;
+
+  /// Simulate units [r.begin, r.end) of chunk r.index into \p part, drawing
+  /// only from \p rng (= stats::Rng::stream(seed, r.index)).
+  virtual void simulate_chunk(const exec::ChunkRange& r,
+                              const EnergyPoint& point, stats::Rng& rng,
+                              WorkerScratch& ws, McPartial& part) const = 0;
+
+  // --- shared per-strike helpers (identical in both engines) ---------------
+
+  /// Reset the per-cell charge slots touched by the previous strike.
+  void begin_strike(WorkerScratch& ws) const;
+
+  /// Fold a transported track's fin deposits into the per-cell sensitive
+  /// charges (paper steps 2-3), tracking touched cells.
+  void add_deposits(const phys::TrackResult& track, WorkerScratch& ws) const;
+
+  /// Steps 4-5, unweighted (charged particles): cell POFs from the LUTs,
+  /// combined via Eqs. 4-6, for every supply voltage and both PV modes.
+  void score_strike(WorkerScratch& ws, McPartial& part) const;
+
+  /// Weighted per-incident-neutron estimator: POFs scaled by \p weight, the
+  /// n >= 1 multiplicity bins carry the interaction weight and the no-flip
+  /// bin absorbs the rest so each history still contributes unit mass.
+  void score_weighted_history(WorkerScratch& ws, McPartial& part,
+                              double weight) const;
+
+  /// Supply voltages of the model (cached at construction).
+  const std::vector<double>& vdds() const { return vdds_; }
+
+ private:
+  const sram::ArrayLayout* layout_;
+  const sram::CellSoftErrorModel* model_;
+  std::vector<double> vdds_;
+};
+
+/// Hash an array layout's result-relevant identity (dimensions, footprint,
+/// stored bit pattern) — the shared tail of every engine/sweep fingerprint.
+void hash_layout(util::Fnv1a& h, const sram::ArrayLayout& layout);
+
+}  // namespace finser::core

@@ -18,20 +18,12 @@
 /// process-variation modes simultaneously (the deposits are electrical-
 /// state-independent) — the hierarchical trick that keeps the cross-layer
 /// analysis tractable (paper Sec. 2).
+///
+/// The chunked strike driver, accumulation and checkpoint plumbing live in
+/// the common base (core/array_engine.hpp); this engine supplies only the
+/// charged-particle source sampling and per-strike physics.
 
-#include <array>
-#include <cstdint>
-#include <vector>
-
-#include "finser/ckpt/checkpoint.hpp"
-#include "finser/core/pof_combine.hpp"
-#include "finser/exec/progress.hpp"
-#include "finser/phys/track.hpp"
-#include "finser/sram/layout.hpp"
-#include "finser/sram/pof_table.hpp"
-#include "finser/stats/rng.hpp"
-#include "finser/stats/summary.hpp"
-#include "finser/util/bytes.hpp"
+#include "finser/core/array_engine.hpp"
 
 namespace finser::core {
 
@@ -77,116 +69,45 @@ struct ArrayMcConfig {
   std::size_t chunk = 1024;
 };
 
-/// Monte-Carlo POF estimate for one (species, energy, Vdd, PV-mode).
-struct PofEstimate {
-  double tot = 0.0;
-  double seu = 0.0;
-  double mbu = 0.0;
-  double tot_se = 0.0;  ///< Standard errors of the means above.
-  double seu_se = 0.0;
-  double mbu_se = 0.0;
-  double hit_fraction = 0.0;  ///< Strikes with any sensitive deposit.
-  std::size_t strikes = 0;
-
-  /// Exact per-strike upset-multiplicity distribution, averaged over
-  /// strikes: multiplicity[n] = P(exactly n cells flip) for n <
-  /// kMaxMultiplicity-1; the last bin aggregates "that many or more".
-  /// Computed by Poisson-binomial dynamic programming over the touched
-  /// cells' POFs, so multiplicity[1] ≡ seu and Σ_{n≥2} ≡ mbu by
-  /// construction — the extra information ECC/interleaving sizing needs
-  /// beyond the paper's binary SEU/MBU split.
-  std::array<double, kMaxMultiplicity> multiplicity{};
-};
-
-/// Index pair (0 = nominal, 1 = with process variation).
-inline constexpr std::size_t kModeNominal = 0;
-inline constexpr std::size_t kModeWithPv = 1;
-
-/// Merge-friendly (count, mean, M2) Welford accumulator behind one
-/// PofEstimate: three RunningStats channels (tot/seu/mbu) plus the
-/// multiplicity mass. Chunked engines keep one accumulator per (vdd, mode)
-/// per chunk and merge the partials pairwise in chunk order — the merge is
-/// exact for the mean and numerically stable for the variance, so the
-/// parallel reduction reproduces the serial statistics.
-class PofAccumulator {
- public:
-  /// Add one strike's combined POFs (pre-weighted for weighted estimators).
-  void add(const CombinedPof& pof);
-
-  /// Add \p mass to multiplicity bin \p n (bins are plain sums).
-  void add_multiplicity(std::size_t n, double mass);
-
-  /// Fold \p other in (Chan et al. parallel Welford merge).
-  void merge(const PofAccumulator& other);
-
-  /// Number of strikes accumulated (via add()).
-  std::size_t count() const { return tot_.count(); }
-
-  /// Final estimate. \p strikes normalizes the multiplicity mass and is
-  /// recorded verbatim; \p hit_fraction is campaign-level bookkeeping.
-  PofEstimate finalize(std::size_t strikes, double hit_fraction) const;
-
-  /// Bit-exact serialization for checkpoint blobs: the raw Welford state
-  /// round-trips as IEEE-754 doubles, so a deserialized accumulator merges
-  /// identically to the original.
-  void write(util::ByteWriter& w) const;
-  static PofAccumulator read(util::ByteReader& r);
-
- private:
-  stats::RunningStats tot_;
-  stats::RunningStats seu_;
-  stats::RunningStats mbu_;
-  std::array<double, kMaxMultiplicity> mult_{};
-};
-
-/// Result of one energy point: estimates for every (Vdd, mode).
-struct ArrayMcResult {
-  std::vector<double> vdds;
-  /// est[vdd_index][mode].
-  std::vector<std::array<PofEstimate, 2>> est;
-};
-
-/// Bit-exact ArrayMcResult codec, used for SerFlow sweep checkpoint blobs
-/// (one blob per energy bin). Doubles round-trip as raw IEEE-754, so a
-/// restored bin is indistinguishable from a recomputed one.
-std::vector<std::uint8_t> encode_result(const ArrayMcResult& result);
-ArrayMcResult decode_result(util::ByteReader& r);
-
-/// The array-level Monte-Carlo engine.
-class ArrayMc {
+/// The charged-particle array Monte-Carlo engine.
+class ArrayMc final : public ArrayEngine {
  public:
   /// \param layout and \param model must outlive the engine.
   ArrayMc(const sram::ArrayLayout& layout, const sram::CellSoftErrorModel& model,
           const ArrayMcConfig& config);
 
-  ArrayMc(const ArrayMc&) = delete;
-  ArrayMc& operator=(const ArrayMc&) = delete;
-
-  /// Run the MC at a fixed particle energy. Strikes are processed in
-  /// fixed-size chunks on the exec thread pool; chunk *i* draws from
-  /// stats::Rng::stream(seed, i), so the result is bit-identical for any
-  /// thread count. run() is const and thread-safe: concurrent calls on one
-  /// engine (e.g. parallel energy bins) are fine.
-  ///
-  /// \p run adds checkpoint/cancel behaviour (ckpt::RunOptions): with a
-  /// checkpoint path, each chunk's partial is persisted and a resumed run
-  /// recomputes only the missing chunks — the pairwise reduction over the
-  /// full chunk set makes the result bit-identical to an uninterrupted run.
-  /// Cancellation throws util::Cancelled at a chunk boundary.
+  /// Run the MC at a fixed particle energy (legacy spelling of
+  /// ArrayEngine::run_point; same determinism and checkpoint contract).
   ArrayMcResult run(phys::Species species, double e_mev, std::uint64_t seed,
                     const exec::ProgressSink& progress = {},
-                    const ckpt::RunOptions& run_opts = {}) const;
+                    const ckpt::RunOptions& run_opts = {}) const {
+    return run_point(EnergyPoint{species, e_mev}, seed, progress, run_opts);
+  }
 
   const ArrayMcConfig& config() const { return config_; }
 
-  /// Area of the source-sampling plane [nm²]: (W + 2·margin)(H + 2·margin).
-  /// This — not the bare array footprint — is the area POF estimates are
-  /// normalized to, and therefore the area that enters the FIT integral.
-  double sampled_area_nm2() const;
+  std::uint64_t point_fingerprint(const EnergyPoint& point,
+                                  std::uint64_t seed) const override;
+  std::size_t units() const override { return config_.strikes; }
+
+ protected:
+  std::size_t chunk_size() const override { return config_.chunk; }
+  std::size_t threads() const override { return config_.threads; }
+  phys::StragglingModel straggling() const override {
+    return config_.straggling;
+  }
+  const char* kind() const override { return "ArrayMc"; }
+  const char* unit_label() const override { return "strikes"; }
+  const char* span_name() const override { return "core.array_mc.run"; }
+  const char* runs_counter() const override { return "core.array_mc.runs"; }
+  const char* units_counter() const override { return "core.array_mc.strikes"; }
+  double source_margin_nm() const override { return config_.source_margin_nm; }
+
+  void simulate_chunk(const exec::ChunkRange& r, const EnergyPoint& point,
+                      stats::Rng& rng, WorkerScratch& ws,
+                      McPartial& part) const override;
 
  private:
-  const sram::ArrayLayout* layout_;
-  const sram::CellSoftErrorModel* model_;
   ArrayMcConfig config_;
   geom::Vec3 beam_dir_;  ///< Normalized beam direction (kBeam law).
 };

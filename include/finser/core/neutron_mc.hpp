@@ -17,6 +17,10 @@
 /// pluggable into the Eq.-8 FIT integral. Secondaries (Si/Mg recoils,
 /// alphas, protons) are transported with the ordinary charged-particle
 /// machinery; recoils deposit locally, (n,α) alphas range over many cells.
+///
+/// The chunked history driver, accumulation and checkpoint plumbing live in
+/// the common base (core/array_engine.hpp); this engine supplies the forced
+/// interaction, secondary transport and the weighted estimator.
 
 #include "finser/core/array_mc.hpp"
 #include "finser/phys/neutron.hpp"
@@ -43,35 +47,50 @@ struct NeutronMcConfig {
 };
 
 /// Forced-interaction neutron array Monte Carlo.
-class NeutronArrayMc {
+class NeutronArrayMc final : public ArrayEngine {
  public:
   NeutronArrayMc(const sram::ArrayLayout& layout,
                  const sram::CellSoftErrorModel& model,
                  const NeutronMcConfig& config);
 
-  NeutronArrayMc(const NeutronArrayMc&) = delete;
-  NeutronArrayMc& operator=(const NeutronArrayMc&) = delete;
-
-  /// Run at one neutron energy. The estimates are per *incident neutron*
-  /// on the sampled plane (weights applied), so the result feeds
-  /// integrate_fit() with the neutron spectrum exactly like the
-  /// charged-particle results do. Histories run in deterministic RNG chunks
-  /// on the exec thread pool (chunk i ⇒ stats::Rng::stream(seed, i)), so
-  /// the result is bit-identical for any thread count; run() is const and
-  /// thread-safe. \p run_opts adds checkpoint/cancel behaviour with the
-  /// same resume-bit-identity contract as ArrayMc::run.
+  /// Run at one neutron energy (legacy spelling of ArrayEngine::run_point;
+  /// the point's species is ignored — every history is a neutron). The
+  /// estimates are per *incident neutron* on the sampled plane (weights
+  /// applied), so the result feeds integrate_fit() with the neutron
+  /// spectrum exactly like the charged-particle results do.
   ArrayMcResult run(double e_n_mev, std::uint64_t seed,
                     const exec::ProgressSink& progress = {},
-                    const ckpt::RunOptions& run_opts = {}) const;
-
-  /// Area of the source-sampling plane [nm²] (FIT normalization area).
-  double sampled_area_nm2() const;
+                    const ckpt::RunOptions& run_opts = {}) const {
+    return run_point(EnergyPoint{phys::Species::kProton, e_n_mev}, seed,
+                     progress, run_opts);
+  }
 
   const NeutronMcConfig& config() const { return config_; }
 
+  std::uint64_t point_fingerprint(const EnergyPoint& point,
+                                  std::uint64_t seed) const override;
+  std::size_t units() const override { return config_.histories; }
+
+ protected:
+  std::size_t chunk_size() const override { return config_.chunk; }
+  std::size_t threads() const override { return config_.threads; }
+  phys::StragglingModel straggling() const override {
+    return config_.straggling;
+  }
+  const char* kind() const override { return "NeutronArrayMc"; }
+  const char* unit_label() const override { return "histories"; }
+  const char* span_name() const override { return "core.neutron_mc.run"; }
+  const char* runs_counter() const override { return "core.neutron_mc.runs"; }
+  const char* units_counter() const override {
+    return "core.neutron_mc.histories";
+  }
+  double source_margin_nm() const override { return config_.source_margin_nm; }
+
+  void simulate_chunk(const exec::ChunkRange& r, const EnergyPoint& point,
+                      stats::Rng& rng, WorkerScratch& ws,
+                      McPartial& part) const override;
+
  private:
-  const sram::ArrayLayout* layout_;
-  const sram::CellSoftErrorModel* model_;
   NeutronMcConfig config_;
   phys::NeutronInteractionModel interactions_;
 };

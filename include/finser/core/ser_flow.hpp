@@ -28,6 +28,24 @@
 
 namespace finser::core {
 
+/// Cache hook for per-(species, energy-bin) array-MC results, keyed by the
+/// engine's point fingerprint (ArrayEngine::point_fingerprint — everything
+/// that decides the numbers, nothing about the schedule). The pipeline layer
+/// adapts its content-addressed ArtifactStore to this interface; core stays
+/// independent of the store. Implementations must be thread-safe (bins run
+/// in parallel) and never throw: a failed load is a miss (recompute), a
+/// failed store is a lost cache entry (the result is already in memory).
+/// Blobs round-trip through encode_result/decode_result bit-exactly, so a
+/// cached bin is indistinguishable from a recomputed one.
+class BinCache {
+ public:
+  virtual ~BinCache() = default;
+  virtual bool load(std::uint64_t fingerprint,
+                    std::vector<std::uint8_t>& out) = 0;
+  virtual void store(std::uint64_t fingerprint,
+                     const std::vector<std::uint8_t>& blob) = 0;
+};
+
 /// Full flow configuration.
 struct SerFlowConfig {
   std::size_t array_rows = 9;  ///< Paper Sec. 6: a 9×9 array suffices.
@@ -56,6 +74,11 @@ struct SerFlowConfig {
   std::string lut_cache_path;
 
   std::uint64_t seed = 2024;
+
+  /// Optional per-energy-bin result cache (non-owning; must outlive the
+  /// flow). Campaigns plug the shared ArtifactStore in here so re-runs and
+  /// sibling scenarios skip already-priced bins.
+  BinCache* bin_cache = nullptr;
 
   /// Total thread budget of the flow; 0 = auto (FINSER_THREADS, else
   /// hardware concurrency). sweep() splits it into an outer level over
@@ -88,6 +111,18 @@ class SerFlow {
   const sram::CellSoftErrorModel& cell_model(
       const exec::ProgressSink& progress = {},
       const ckpt::RunOptions& run = {});
+
+  /// Inject a pre-built cell model (campaigns share one characterization
+  /// across scenarios). The model must carry the fingerprint this flow's
+  /// configuration expects (model_fingerprint()) — an injected model is
+  /// indistinguishable from one the flow would have characterized itself.
+  void set_cell_model(sram::CellSoftErrorModel model);
+
+  /// FNV-1a digest of the characterization inputs — the identity of the
+  /// cell model this flow needs (cache/artifact key).
+  std::uint64_t model_fingerprint() const {
+    return config_.characterization.fingerprint(config_.cell_design);
+  }
 
   const sram::ArrayLayout& layout() const { return layout_; }
   const SerFlowConfig& config() const { return config_; }

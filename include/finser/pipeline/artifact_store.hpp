@@ -1,0 +1,78 @@
+#pragma once
+/// \file artifact_store.hpp
+/// \brief Content-addressed store for expensive pipeline artifacts.
+///
+/// The paper's Fig.-6 flow is a pipeline of cacheable stages: device e–h-pair
+/// LUTs → cell POF LUTs → per-(species, energy) array-MC results → FIT. Each
+/// stage's output is a pure function of a configuration subset, so it can be
+/// addressed by a 64-bit FNV-1a fingerprint of exactly those knobs
+/// (util::Fnv1a — the same digests the checkpoint layer uses) and reused by
+/// every later run or campaign scenario that shares them.
+///
+/// The store generalizes the bespoke FNSRPOF3 POF-LUT cache into one
+/// discipline for all artifact kinds:
+///  * **Addressing** — key = (kind slug, fingerprint); the blob's path is a
+///    pure function of the key, so two processes computing the same artifact
+///    converge on the same file.
+///  * **Integrity first** — every blob carries a magic, the key echo and a
+///    CRC-32 over the payload; load verifies all three *before* any payload
+///    byte is parsed (pof_table.cpp discipline).
+///  * **Crash safety** — writes go through util::atomic_write_file (temp +
+///    fsync + rename), so readers only ever see an old or a complete new
+///    blob; concurrent writers of one key race benignly (identical content).
+///  * **Never-throw loads** — a missing, torn, corrupted or stale blob is a
+///    cache miss, not an error: try_get returns false with a reason and the
+///    caller recomputes (docs/robustness.md).
+///
+/// Cache traffic is counted on the obs registry ("pipeline.artifact.hits" /
+/// ".misses" / ".rejects" / ".writes") — the campaign tests and the
+/// warm-vs-cold benchmark assert stage reuse through these counters.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace finser::pipeline {
+
+/// Address of one artifact: a short path-safe kind slug ("cell_model",
+/// "device_lut", "mc_bin", ...) plus the FNV-1a fingerprint of everything
+/// the content depends on. Equal keys ⇒ interchangeable content.
+struct ArtifactKey {
+  std::string kind;
+  std::uint64_t fingerprint = 0;
+};
+
+/// Content-addressed blob store rooted at one directory.
+///
+/// Thread-safe: the store keeps no mutable state; concurrent put/try_get on
+/// any keys (including the same key) are safe through the atomic-write /
+/// whole-file-read primitives.
+class ArtifactStore {
+ public:
+  /// \param root directory for the blobs (created lazily on first put).
+  explicit ArtifactStore(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// Blob path of \p key: `<root>/<kind>-<fingerprint hex>.art`.
+  std::string path_for(const ArtifactKey& key) const;
+
+  /// Atomically persist \p payload under \p key. Returns false (with the
+  /// cause in \p error if non-null) on I/O failure — the store is a cache,
+  /// so callers typically log and continue. Honors the io_write_fail and
+  /// cache_flip fault-injection sites like the POF-LUT cache does.
+  bool put(const ArtifactKey& key, const std::vector<std::uint8_t>& payload,
+           std::string* error = nullptr) const;
+
+  /// Load the blob of \p key into \p out. Returns false on miss; a torn,
+  /// corrupted, mis-keyed or truncated blob is a miss with a diagnostic in
+  /// \p reason, never an exception. A plain missing file (the normal cold
+  /// path) reports "no artifact".
+  bool try_get(const ArtifactKey& key, std::vector<std::uint8_t>& out,
+               std::string* reason = nullptr) const;
+
+ private:
+  std::string root_;
+};
+
+}  // namespace finser::pipeline

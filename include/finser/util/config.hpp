@@ -15,6 +15,17 @@
 
 namespace finser::util {
 
+/// Levenshtein edit distance (insert / delete / substitute, unit costs).
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
+/// Nearest candidate within edit distance ≤ 2 of \p unknown, or "" when no
+/// candidate is that close. Ties break toward the smaller distance, then the
+/// lexicographically first candidate — deterministic, so error messages are
+/// stable across runs. Shared by the INI parser and the campaign parser for
+/// "unknown key, did you mean ...?" diagnostics.
+std::string nearest_key(const std::string& unknown,
+                        const std::vector<std::string>& candidates);
+
 /// Parsed key=value configuration with typed, tracked access.
 class KeyValueConfig {
  public:
@@ -42,6 +53,14 @@ class KeyValueConfig {
   /// Keys present in the file but never accessed through a getter.
   std::vector<std::string> unknown_keys() const;
 
+  /// Nearest key the program actually asked a getter for (present in the
+  /// file or not) within edit distance ≤ 2 of \p unknown; "" when nothing is
+  /// that close. Callers turn unknown_keys() into "unknown config key
+  /// `mc.strikse` (did you mean `mc.strikes`?)" — the missed-getter lookups
+  /// are exactly the knobs the program supports, so they are the suggestion
+  /// vocabulary.
+  std::string suggestion_for(const std::string& unknown) const;
+
   /// 1-based source line of \p key (0 when absent). Getter errors embed it —
   /// "config value for array.rows (line 12) is not an integer" points the
   /// user at the offending line, not just the offending key.
@@ -58,6 +77,9 @@ class KeyValueConfig {
 
   std::map<std::string, Entry> values_;
   mutable std::map<std::string, bool> accessed_;
+  /// Every key a getter was asked for, present or not — the vocabulary of
+  /// knobs the program supports, used by suggestion_for().
+  mutable std::map<std::string, bool> requested_;
 };
 
 }  // namespace finser::util

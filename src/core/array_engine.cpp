@@ -1,0 +1,360 @@
+#include "finser/core/array_engine.hpp"
+
+#include <algorithm>
+
+#include "finser/exec/thread_pool.hpp"
+#include "finser/obs/obs.hpp"
+#include "finser/phys/collection.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::core {
+
+// --- PofAccumulator ---------------------------------------------------------
+
+void PofAccumulator::add(const CombinedPof& pof) {
+  tot_.add(pof.tot);
+  seu_.add(pof.seu);
+  mbu_.add(pof.mbu);
+}
+
+void PofAccumulator::add_multiplicity(std::size_t n, double mass) {
+  mult_[std::min(n, kMaxMultiplicity - 1)] += mass;
+}
+
+void PofAccumulator::merge(const PofAccumulator& other) {
+  tot_.merge(other.tot_);
+  seu_.merge(other.seu_);
+  mbu_.merge(other.mbu_);
+  for (std::size_t n = 0; n < kMaxMultiplicity; ++n) mult_[n] += other.mult_[n];
+}
+
+PofEstimate PofAccumulator::finalize(std::size_t strikes,
+                                     double hit_fraction) const {
+  PofEstimate e;
+  e.tot = tot_.mean();
+  e.seu = seu_.mean();
+  e.mbu = mbu_.mean();
+  e.tot_se = tot_.stderr_of_mean();
+  e.seu_se = seu_.stderr_of_mean();
+  e.mbu_se = mbu_.stderr_of_mean();
+  e.hit_fraction = hit_fraction;
+  e.strikes = strikes;
+  if (strikes > 0) {
+    for (std::size_t n = 0; n < kMaxMultiplicity; ++n) {
+      e.multiplicity[n] = mult_[n] / static_cast<double>(strikes);
+    }
+  }
+  return e;
+}
+
+void PofAccumulator::write(util::ByteWriter& w) const {
+  const auto write_stats = [&w](const stats::RunningStats& s) {
+    const stats::RunningStats::Raw raw = s.raw();
+    w.u64(raw.n);
+    w.f64(raw.mean);
+    w.f64(raw.m2);
+    w.f64(raw.min);
+    w.f64(raw.max);
+  };
+  write_stats(tot_);
+  write_stats(seu_);
+  write_stats(mbu_);
+  for (const double m : mult_) w.f64(m);
+}
+
+PofAccumulator PofAccumulator::read(util::ByteReader& r) {
+  const auto read_stats = [&r]() {
+    stats::RunningStats::Raw raw;
+    raw.n = r.u64();
+    raw.mean = r.f64();
+    raw.m2 = r.f64();
+    raw.min = r.f64();
+    raw.max = r.f64();
+    return stats::RunningStats::from_raw(raw);
+  };
+  PofAccumulator a;
+  a.tot_ = read_stats();
+  a.seu_ = read_stats();
+  a.mbu_ = read_stats();
+  for (double& m : a.mult_) m = r.f64();
+  return a;
+}
+
+// --- ArrayMcResult codec ----------------------------------------------------
+
+std::vector<std::uint8_t> encode_result(const ArrayMcResult& result) {
+  util::ByteWriter w;
+  w.f64_vec(result.vdds);
+  w.u64(result.est.size());
+  for (const auto& modes : result.est) {
+    for (const PofEstimate& e : modes) {
+      w.f64(e.tot);
+      w.f64(e.seu);
+      w.f64(e.mbu);
+      w.f64(e.tot_se);
+      w.f64(e.seu_se);
+      w.f64(e.mbu_se);
+      w.f64(e.hit_fraction);
+      w.u64(e.strikes);
+      for (const double m : e.multiplicity) w.f64(m);
+    }
+  }
+  return w.take();
+}
+
+ArrayMcResult decode_result(util::ByteReader& r) {
+  ArrayMcResult result;
+  result.vdds = r.f64_vec();
+  const std::uint64_t nv = r.u64();
+  FINSER_REQUIRE(nv == result.vdds.size(),
+                 "decode_result: estimate/vdd count mismatch");
+  result.est.resize(nv);
+  for (auto& modes : result.est) {
+    for (PofEstimate& e : modes) {
+      e.tot = r.f64();
+      e.seu = r.f64();
+      e.mbu = r.f64();
+      e.tot_se = r.f64();
+      e.seu_se = r.f64();
+      e.mbu_se = r.f64();
+      e.hit_fraction = r.f64();
+      e.strikes = static_cast<std::size_t>(r.u64());
+      for (double& m : e.multiplicity) m = r.f64();
+    }
+  }
+  return result;
+}
+
+// --- McPartial --------------------------------------------------------------
+
+McPartial McPartial::merge(McPartial a, McPartial b) {
+  if (a.acc.empty()) return b;
+  for (std::size_t v = 0; v < a.acc.size(); ++v) {
+    for (std::size_t m = 0; m < 2; ++m) a.acc[v][m].merge(b.acc[v][m]);
+  }
+  a.hits += b.hits;
+  return a;
+}
+
+std::vector<std::uint8_t> McPartial::encode() const {
+  util::ByteWriter w;
+  w.u64(acc.size());
+  w.u64(hits);
+  for (const auto& modes : acc) {
+    modes[kModeNominal].write(w);
+    modes[kModeWithPv].write(w);
+  }
+  return w.take();
+}
+
+McPartial McPartial::decode(const std::vector<std::uint8_t>& blob,
+                            std::size_t expected_nv) {
+  util::ByteReader r(blob);
+  const std::uint64_t nv = r.u64();
+  FINSER_REQUIRE(nv == expected_nv, "McPartial: vdd count mismatch in blob");
+  McPartial p(static_cast<std::size_t>(nv));
+  p.hits = static_cast<std::size_t>(r.u64());
+  for (auto& modes : p.acc) {
+    modes[kModeNominal] = PofAccumulator::read(r);
+    modes[kModeWithPv] = PofAccumulator::read(r);
+  }
+  FINSER_REQUIRE(r.exhausted(), "McPartial: trailing bytes in blob");
+  return p;
+}
+
+// --- ArrayEngine ------------------------------------------------------------
+
+ArrayEngine::WorkerScratch::WorkerScratch(const sram::ArrayLayout& layout,
+                                          const phys::Transporter::Config& tc)
+    : transporter(layout.fins(), tc),
+      cell_charges(layout.cell_count(), sram::StrikeCharges{}) {}
+
+ArrayEngine::ArrayEngine(const sram::ArrayLayout& layout,
+                         const sram::CellSoftErrorModel& model)
+    : layout_(&layout), model_(&model), vdds_(model.vdds()) {}
+
+ArrayEngine::~ArrayEngine() = default;
+
+double ArrayEngine::sampled_area_nm2() const {
+  return (layout_->width_nm() + 2.0 * source_margin_nm()) *
+         (layout_->height_nm() + 2.0 * source_margin_nm());
+}
+
+void ArrayEngine::begin_strike(WorkerScratch& ws) const {
+  for (const std::uint32_t c : ws.touched_cells) {
+    ws.cell_charges[c] = sram::StrikeCharges{};
+  }
+  ws.touched_cells.clear();
+}
+
+void ArrayEngine::add_deposits(const phys::TrackResult& track,
+                               WorkerScratch& ws) const {
+  for (const phys::FinDeposit& dep : track.deposits) {
+    const sram::FinSite& site = layout_->site(dep.fin_id);
+    const bool bit = layout_->bit(site.cell_row, site.cell_col);
+    const auto idx = sram::ArrayLayout::strike_index(site.role, bit);
+    if (!idx) continue;  // Transistor not sensitive in this data state.
+    const std::uint32_t cell =
+        site.cell_row * static_cast<std::uint32_t>(layout_->cols()) +
+        site.cell_col;
+    sram::StrikeCharges& ch = ws.cell_charges[cell];
+    if (!ch.any()) ws.touched_cells.push_back(cell);
+    const double q_fc = phys::charge_fc_from_pairs(dep.eh_pairs) *
+                        layout_->collection_efficiency(dep.fin_id);
+    switch (*idx) {
+      case 0: ch.i1_fc += q_fc; break;
+      case 1: ch.i2_fc += q_fc; break;
+      case 2: ch.i3_fc += q_fc; break;
+      default: break;
+    }
+  }
+}
+
+void ArrayEngine::score_strike(WorkerScratch& ws, McPartial& part) const {
+  const std::size_t nv = vdds_.size();
+  for (std::size_t v = 0; v < nv; ++v) {
+    const sram::PofTable& table = model_->at_vdd(vdds_[v]);
+    for (std::size_t mode = 0; mode < 2; ++mode) {
+      const bool with_pv = (mode == kModeWithPv);
+      ws.pofs.clear();
+      for (const std::uint32_t c : ws.touched_cells) {
+        const double p = table.pof(ws.cell_charges[c], with_pv);
+        if (p > 0.0) ws.pofs.push_back(p);
+      }
+      const CombinedPof combined = ws.pofs.empty()
+                                       ? CombinedPof{0.0, 0.0, 0.0}
+                                       : combine_eqs_4_to_6(ws.pofs);
+      PofAccumulator& a = part.acc[v][mode];
+      a.add(combined);
+      if (!ws.pofs.empty()) {
+        const auto dist = multiplicity_distribution(ws.pofs);
+        for (std::size_t n = 0; n < kMaxMultiplicity; ++n) {
+          a.add_multiplicity(n, dist[n]);
+        }
+      } else {
+        a.add_multiplicity(0, 1.0);
+      }
+    }
+  }
+}
+
+void ArrayEngine::score_weighted_history(WorkerScratch& ws, McPartial& part,
+                                         double weight) const {
+  const std::size_t nv = vdds_.size();
+  for (std::size_t v = 0; v < nv; ++v) {
+    const sram::PofTable& table = model_->at_vdd(vdds_[v]);
+    for (std::size_t mode = 0; mode < 2; ++mode) {
+      const bool with_pv = (mode == kModeWithPv);
+      ws.pofs.clear();
+      for (const std::uint32_t c : ws.touched_cells) {
+        const double p = table.pof(ws.cell_charges[c], with_pv);
+        if (p > 0.0) ws.pofs.push_back(p);
+      }
+      const CombinedPof combined = ws.pofs.empty()
+                                       ? CombinedPof{}
+                                       : combine_eqs_4_to_6(ws.pofs);
+      PofAccumulator& a = part.acc[v][mode];
+      // Weighted per-incident-neutron estimator.
+      a.add(CombinedPof{weight * combined.tot, weight * combined.seu,
+                        weight * combined.mbu});
+      if (!ws.pofs.empty()) {
+        const auto dist = multiplicity_distribution(ws.pofs);
+        // The n >= 1 bins carry the interaction weight; the no-flip bin
+        // absorbs the rest so each history still contributes unit mass.
+        double flipped_mass = 0.0;
+        for (std::size_t n = 1; n < kMaxMultiplicity; ++n) {
+          a.add_multiplicity(n, weight * dist[n]);
+          flipped_mass += weight * dist[n];
+        }
+        a.add_multiplicity(0, 1.0 - flipped_mass);
+      } else {
+        a.add_multiplicity(0, 1.0);
+      }
+    }
+  }
+}
+
+ArrayMcResult ArrayEngine::run_point(const EnergyPoint& point,
+                                     std::uint64_t seed,
+                                     const exec::ProgressSink& progress,
+                                     const ckpt::RunOptions& run_opts) const {
+  FINSER_REQUIRE(point.e_mev > 0.0,
+                 std::string(kind()) + "::run: non-positive energy");
+  obs::ScopedSpan run_span(span_name());
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter(runs_counter()).add(1);
+    reg.counter(units_counter()).add(units());
+  }
+
+  const std::size_t nv = vdds_.size();
+  phys::Transporter::Config tc;
+  tc.straggling = straggling();
+
+  exec::ThreadPool pool(threads());
+  std::vector<std::unique_ptr<WorkerScratch>> workers(pool.thread_count());
+  progress.start_phase(unit_label(), units());
+
+  // Chunk i consumes stats::Rng::stream(seed, i) and nothing else, and the
+  // partials merge in chunk-index order — so the result is bit-identical
+  // for any thread count, and a resumed run (which replays only the missing
+  // chunks and re-reduces the full set) for any interruption pattern.
+  const auto process_chunk = [&](const exec::ChunkRange& r) -> McPartial {
+    std::unique_ptr<WorkerScratch>& slot = workers[r.worker];
+    if (!slot) slot = std::make_unique<WorkerScratch>(*layout_, tc);
+    WorkerScratch& ws = *slot;
+    stats::Rng rng = stats::Rng::stream(seed, r.index);
+    McPartial part(nv);
+    simulate_chunk(r, point, rng, ws, part);
+    progress.tick(r.end - r.begin);
+    return part;
+  };
+
+  McPartial total;
+  if (!run_opts.active()) {
+    total = exec::parallel_reduce<McPartial>(pool, units(), chunk_size(),
+                                             process_chunk, McPartial::merge);
+  } else {
+    const std::size_t n_chunks = (units() + chunk_size() - 1) / chunk_size();
+    const std::uint64_t fp = point_fingerprint(point, seed);
+    const ckpt::UnitRunResult unit_result = ckpt::run_units(
+        pool, n_chunks, fp, run_opts, [&](const exec::ChunkRange& u) {
+          const exec::ChunkRange r{
+              u.index, u.index * chunk_size(),
+              std::min(units(), (u.index + 1) * chunk_size()), u.worker};
+          return process_chunk(r).encode();
+        });
+    std::vector<McPartial> parts;
+    parts.reserve(unit_result.blobs.size());
+    for (const auto& blob : unit_result.blobs) {
+      parts.push_back(McPartial::decode(blob, nv));
+    }
+    total = exec::reduce_pairwise(std::move(parts), McPartial::merge);
+  }
+
+  ArrayMcResult result;
+  result.vdds = vdds_;
+  result.est.resize(nv);
+  const double hit_fraction =
+      static_cast<double>(total.hits) / static_cast<double>(units());
+  for (std::size_t v = 0; v < nv; ++v) {
+    for (std::size_t mode = 0; mode < 2; ++mode) {
+      result.est[v][mode] = total.acc[v][mode].finalize(units(), hit_fraction);
+    }
+  }
+  return result;
+}
+
+void hash_layout(util::Fnv1a& h, const sram::ArrayLayout& layout) {
+  h.u64(layout.rows());
+  h.u64(layout.cols());
+  h.f64(layout.width_nm()).f64(layout.height_nm());
+  for (std::size_t row = 0; row < layout.rows(); ++row) {
+    for (std::size_t col = 0; col < layout.cols(); ++col) {
+      h.u64(layout.bit(row, col) ? 1 : 0);
+    }
+  }
+  return;
+}
+
+}  // namespace finser::core

@@ -1,193 +1,16 @@
 #include "finser/core/array_mc.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <memory>
 
-#include "finser/core/pof_combine.hpp"
-#include "finser/exec/thread_pool.hpp"
 #include "finser/obs/obs.hpp"
-#include "finser/phys/collection.hpp"
 #include "finser/stats/direction.hpp"
 #include "finser/util/error.hpp"
-#include "finser/util/fingerprint.hpp"
-#include "mc_partial.hpp"
 
 namespace finser::core {
 
-namespace {
-
-phys::Transporter::Config transporter_config(const ArrayMcConfig& cfg) {
-  phys::Transporter::Config tc;
-  tc.straggling = cfg.straggling;
-  return tc;
-}
-
-/// Per-worker mutable state: the Transporter keeps internal scratch and the
-/// strike loop reuses per-cell charge slots, so each pool slot gets its own
-/// copy (created lazily on first chunk, on the worker's own thread).
-struct WorkerState {
-  phys::Transporter transporter;
-  std::vector<sram::StrikeCharges> cell_charges;
-  std::vector<std::uint32_t> touched_cells;
-  std::vector<double> pofs;  // Per-touched-cell POFs of the current strike.
-
-  WorkerState(const sram::ArrayLayout& layout,
-              const phys::Transporter::Config& tc)
-      : transporter(layout.fins(), tc),
-        cell_charges(layout.cell_count(), sram::StrikeCharges{}) {}
-};
-
-/// Fingerprint of everything an ArrayMc checkpoint's content depends on.
-/// Thread count and chunk *schedule* are excluded by construction; the chunk
-/// *size* is included because it defines the unit decomposition.
-std::uint64_t run_fingerprint(const ArrayMcConfig& cfg,
-                              const sram::ArrayLayout& layout,
-                              const sram::CellSoftErrorModel& model,
-                              phys::Species species, double e_mev,
-                              std::uint64_t seed) {
-  util::Fnv1a h;
-  h.str("finser.array_mc.ckpt.v1");
-  h.u64(model.config_fingerprint);
-  h.u64(static_cast<std::uint64_t>(species));
-  h.f64(e_mev);
-  h.u64(seed);
-  h.u64(cfg.strikes);
-  h.u64(cfg.chunk);
-  h.u64(static_cast<std::uint64_t>(cfg.angular));
-  h.u64(static_cast<std::uint64_t>(cfg.position));
-  h.f64(cfg.beam_direction.x).f64(cfg.beam_direction.y).f64(cfg.beam_direction.z);
-  h.u64(static_cast<std::uint64_t>(cfg.straggling));
-  h.f64(cfg.source_margin_nm);
-  h.f64(cfg.source_height_nm);
-  h.u64(layout.rows());
-  h.u64(layout.cols());
-  h.f64(layout.width_nm()).f64(layout.height_nm());
-  for (std::size_t row = 0; row < layout.rows(); ++row) {
-    for (std::size_t col = 0; col < layout.cols(); ++col) {
-      h.u64(layout.bit(row, col) ? 1 : 0);
-    }
-  }
-  return h.hash();
-}
-
-}  // namespace
-
-void PofAccumulator::write(util::ByteWriter& w) const {
-  const auto write_stats = [&w](const stats::RunningStats& s) {
-    const stats::RunningStats::Raw raw = s.raw();
-    w.u64(raw.n);
-    w.f64(raw.mean);
-    w.f64(raw.m2);
-    w.f64(raw.min);
-    w.f64(raw.max);
-  };
-  write_stats(tot_);
-  write_stats(seu_);
-  write_stats(mbu_);
-  for (const double m : mult_) w.f64(m);
-}
-
-PofAccumulator PofAccumulator::read(util::ByteReader& r) {
-  const auto read_stats = [&r]() {
-    stats::RunningStats::Raw raw;
-    raw.n = r.u64();
-    raw.mean = r.f64();
-    raw.m2 = r.f64();
-    raw.min = r.f64();
-    raw.max = r.f64();
-    return stats::RunningStats::from_raw(raw);
-  };
-  PofAccumulator a;
-  a.tot_ = read_stats();
-  a.seu_ = read_stats();
-  a.mbu_ = read_stats();
-  for (double& m : a.mult_) m = r.f64();
-  return a;
-}
-
-std::vector<std::uint8_t> encode_result(const ArrayMcResult& result) {
-  util::ByteWriter w;
-  w.f64_vec(result.vdds);
-  w.u64(result.est.size());
-  for (const auto& modes : result.est) {
-    for (const PofEstimate& e : modes) {
-      w.f64(e.tot);
-      w.f64(e.seu);
-      w.f64(e.mbu);
-      w.f64(e.tot_se);
-      w.f64(e.seu_se);
-      w.f64(e.mbu_se);
-      w.f64(e.hit_fraction);
-      w.u64(e.strikes);
-      for (const double m : e.multiplicity) w.f64(m);
-    }
-  }
-  return w.take();
-}
-
-ArrayMcResult decode_result(util::ByteReader& r) {
-  ArrayMcResult result;
-  result.vdds = r.f64_vec();
-  const std::uint64_t nv = r.u64();
-  FINSER_REQUIRE(nv == result.vdds.size(),
-                 "decode_result: estimate/vdd count mismatch");
-  result.est.resize(nv);
-  for (auto& modes : result.est) {
-    for (PofEstimate& e : modes) {
-      e.tot = r.f64();
-      e.seu = r.f64();
-      e.mbu = r.f64();
-      e.tot_se = r.f64();
-      e.seu_se = r.f64();
-      e.mbu_se = r.f64();
-      e.hit_fraction = r.f64();
-      e.strikes = static_cast<std::size_t>(r.u64());
-      for (double& m : e.multiplicity) m = r.f64();
-    }
-  }
-  return result;
-}
-
-void PofAccumulator::add(const CombinedPof& pof) {
-  tot_.add(pof.tot);
-  seu_.add(pof.seu);
-  mbu_.add(pof.mbu);
-}
-
-void PofAccumulator::add_multiplicity(std::size_t n, double mass) {
-  mult_[std::min(n, kMaxMultiplicity - 1)] += mass;
-}
-
-void PofAccumulator::merge(const PofAccumulator& other) {
-  tot_.merge(other.tot_);
-  seu_.merge(other.seu_);
-  mbu_.merge(other.mbu_);
-  for (std::size_t n = 0; n < kMaxMultiplicity; ++n) mult_[n] += other.mult_[n];
-}
-
-PofEstimate PofAccumulator::finalize(std::size_t strikes,
-                                     double hit_fraction) const {
-  PofEstimate e;
-  e.tot = tot_.mean();
-  e.seu = seu_.mean();
-  e.mbu = mbu_.mean();
-  e.tot_se = tot_.stderr_of_mean();
-  e.seu_se = seu_.stderr_of_mean();
-  e.mbu_se = mbu_.stderr_of_mean();
-  e.hit_fraction = hit_fraction;
-  e.strikes = strikes;
-  if (strikes > 0) {
-    for (std::size_t n = 0; n < kMaxMultiplicity; ++n) {
-      e.multiplicity[n] = mult_[n] / static_cast<double>(strikes);
-    }
-  }
-  return e;
-}
-
 ArrayMc::ArrayMc(const sram::ArrayLayout& layout,
                  const sram::CellSoftErrorModel& model, const ArrayMcConfig& config)
-    : layout_(&layout), model_(&model), config_(config) {
+    : ArrayEngine(layout, model), config_(config) {
   FINSER_REQUIRE(config_.strikes > 0, "ArrayMc: need at least one strike");
   FINSER_REQUIRE(config_.chunk > 0, "ArrayMc: chunk must be positive");
   FINSER_REQUIRE(!model.tables.empty(), "ArrayMc: empty cell model");
@@ -198,29 +21,42 @@ ArrayMc::ArrayMc(const sram::ArrayLayout& layout,
   }
 }
 
-double ArrayMc::sampled_area_nm2() const {
-  return (layout_->width_nm() + 2.0 * config_.source_margin_nm) *
-         (layout_->height_nm() + 2.0 * config_.source_margin_nm);
+/// Fingerprint of everything an ArrayMc checkpoint's content depends on.
+/// Thread count and chunk *schedule* are excluded by construction; the chunk
+/// *size* is included because it defines the unit decomposition.
+std::uint64_t ArrayMc::point_fingerprint(const EnergyPoint& point,
+                                         std::uint64_t seed) const {
+  util::Fnv1a h;
+  h.str("finser.array_mc.ckpt.v1");
+  h.u64(model().config_fingerprint);
+  h.u64(static_cast<std::uint64_t>(point.species));
+  h.f64(point.e_mev);
+  h.u64(seed);
+  h.u64(config_.strikes);
+  h.u64(config_.chunk);
+  h.u64(static_cast<std::uint64_t>(config_.angular));
+  h.u64(static_cast<std::uint64_t>(config_.position));
+  h.f64(config_.beam_direction.x)
+      .f64(config_.beam_direction.y)
+      .f64(config_.beam_direction.z);
+  h.u64(static_cast<std::uint64_t>(config_.straggling));
+  h.f64(config_.source_margin_nm);
+  h.f64(config_.source_height_nm);
+  hash_layout(h, layout());
+  return h.hash();
 }
 
-ArrayMcResult ArrayMc::run(phys::Species species, double e_mev,
-                           std::uint64_t seed,
-                           const exec::ProgressSink& progress,
-                           const ckpt::RunOptions& run_opts) const {
-  FINSER_REQUIRE(e_mev > 0.0, "ArrayMc::run: non-positive energy");
-  obs::ScopedSpan run_span("core.array_mc.run");
-  FINSER_OBS_COUNT("core.array_mc.runs", 1);
-  FINSER_OBS_COUNT("core.array_mc.strikes", config_.strikes);
-
-  const std::vector<double> vdds = model_->vdds();
-  const std::size_t nv = vdds.size();
-
-  const geom::Aabb fin_bounds = layout_->bounds();
+void ArrayMc::simulate_chunk(const exec::ChunkRange& r,
+                             const EnergyPoint& point, stats::Rng& rng,
+                             WorkerScratch& ws, McPartial& part) const {
+  // Pure functions of (config, layout) — recomputing them per chunk instead
+  // of per run is bit-exact and keeps the chunk self-contained.
+  const geom::Aabb fin_bounds = layout().bounds();
   const double z_source = fin_bounds.hi.z + config_.source_height_nm;
   const double x_lo = -config_.source_margin_nm;
-  const double x_hi = layout_->width_nm() + config_.source_margin_nm;
+  const double x_hi = layout().width_nm() + config_.source_margin_nm;
   const double y_lo = -config_.source_margin_nm;
-  const double y_hi = layout_->height_nm() + config_.source_margin_nm;
+  const double y_hi = layout().height_nm() + config_.source_margin_nm;
 
   // Stratification grid (jittered-grid sampling over the source plane). The
   // stratum is a function of the *global* strike index, so the pattern is
@@ -228,156 +64,50 @@ ArrayMcResult ArrayMc::run(phys::Species species, double e_mev,
   const auto strata = static_cast<std::size_t>(
       std::ceil(std::sqrt(static_cast<double>(config_.strikes))));
 
-  const phys::Transporter::Config tc = transporter_config(config_);
-
-  exec::ThreadPool pool(config_.threads);
-  std::vector<std::unique_ptr<WorkerState>> workers(pool.thread_count());
-  progress.start_phase("strikes", config_.strikes);
-
-  // Chunk i consumes stats::Rng::stream(seed, i) and nothing else, and the
-  // partials merge in chunk-index order — so the result is bit-identical
-  // for any thread count, and a resumed run (which replays only the missing
-  // chunks and re-reduces the full set) for any interruption pattern.
-  const auto process_chunk = [&](const exec::ChunkRange& r) -> McPartial {
-        std::unique_ptr<WorkerState>& slot = workers[r.worker];
-        if (!slot) slot = std::make_unique<WorkerState>(*layout_, tc);
-        WorkerState& ws = *slot;
-        stats::Rng rng = stats::Rng::stream(seed, r.index);
-        McPartial part(nv);
-
-        for (std::size_t s = r.begin; s < r.end; ++s) {
-          // Step 1 (paper Sec. 5.1): random particle position and direction.
-          geom::Ray ray;
-          if (config_.position == SourcePositionSampling::kStratified) {
-            const std::size_t ix = s % strata;
-            const std::size_t iy = (s / strata) % strata;
-            const double fx = (static_cast<double>(ix) + rng.uniform()) /
-                              static_cast<double>(strata);
-            const double fy = (static_cast<double>(iy) + rng.uniform()) /
-                              static_cast<double>(strata);
-            ray.origin = {x_lo + (x_hi - x_lo) * fx, y_lo + (y_hi - y_lo) * fy,
-                          z_source};
-          } else {
-            ray.origin = {rng.uniform(x_lo, x_hi), rng.uniform(y_lo, y_hi),
-                          z_source};
-          }
-          switch (config_.angular) {
-            case SourceAngularLaw::kIsotropic:
-              ray.dir = stats::isotropic_hemisphere_down(rng);
-              break;
-            case SourceAngularLaw::kCosine:
-              ray.dir = stats::cosine_hemisphere_down(rng);
-              break;
-            case SourceAngularLaw::kBeam:
-              ray.dir = beam_dir_;
-              break;
-          }
-          if (ray.dir.z == 0.0) ray.dir.z = -1e-12;  // Guard true horizontals.
-
-          // Step 2-3: transport, accumulate sensitive-transistor charges per
-          // cell.
-          const phys::TrackResult track =
-              ws.transporter.transport(ray, species, e_mev, rng);
-
-          for (const std::uint32_t c : ws.touched_cells) {
-            ws.cell_charges[c] = sram::StrikeCharges{};
-          }
-          ws.touched_cells.clear();
-
-          for (const phys::FinDeposit& dep : track.deposits) {
-            const sram::FinSite& site = layout_->site(dep.fin_id);
-            const bool bit = layout_->bit(site.cell_row, site.cell_col);
-            const auto idx = sram::ArrayLayout::strike_index(site.role, bit);
-            if (!idx) continue;  // Transistor not sensitive in this data state.
-            const std::uint32_t cell =
-                site.cell_row * static_cast<std::uint32_t>(layout_->cols()) +
-                site.cell_col;
-            sram::StrikeCharges& ch = ws.cell_charges[cell];
-            if (!ch.any()) ws.touched_cells.push_back(cell);
-            const double q_fc = phys::charge_fc_from_pairs(dep.eh_pairs) *
-                                layout_->collection_efficiency(dep.fin_id);
-            switch (*idx) {
-              case 0: ch.i1_fc += q_fc; break;
-              case 1: ch.i2_fc += q_fc; break;
-              case 2: ch.i3_fc += q_fc; break;
-              default: break;
-            }
-          }
-          if (!ws.touched_cells.empty()) {
-            ++part.hits;
-            FINSER_OBS_COUNT("core.array_mc.strike_hits", 1);
-          }
-
-          // Steps 4-5: cell POFs from the LUTs, combined via Eqs. 4-6, for
-          // every supply voltage and both process-variation modes.
-          for (std::size_t v = 0; v < nv; ++v) {
-            const sram::PofTable& table = model_->at_vdd(vdds[v]);
-            for (std::size_t mode = 0; mode < 2; ++mode) {
-              const bool with_pv = (mode == kModeWithPv);
-              ws.pofs.clear();
-              for (const std::uint32_t c : ws.touched_cells) {
-                const double p = table.pof(ws.cell_charges[c], with_pv);
-                if (p > 0.0) ws.pofs.push_back(p);
-              }
-              const CombinedPof combined = ws.pofs.empty()
-                                               ? CombinedPof{0.0, 0.0, 0.0}
-                                               : combine_eqs_4_to_6(ws.pofs);
-              PofAccumulator& a = part.acc[v][mode];
-              a.add(combined);
-              if (!ws.pofs.empty()) {
-                const auto dist = multiplicity_distribution(ws.pofs);
-                for (std::size_t n = 0; n < kMaxMultiplicity; ++n) {
-                  a.add_multiplicity(n, dist[n]);
-                }
-              } else {
-                a.add_multiplicity(0, 1.0);
-              }
-            }
-          }
-        }
-
-        progress.tick(r.end - r.begin);
-        return part;
-  };
-
-  McPartial total;
-  if (!run_opts.active()) {
-    total = exec::parallel_reduce<McPartial>(pool, config_.strikes,
-                                             config_.chunk, process_chunk,
-                                             McPartial::merge);
-  } else {
-    const std::size_t n_chunks =
-        (config_.strikes + config_.chunk - 1) / config_.chunk;
-    const std::uint64_t fp =
-        run_fingerprint(config_, *layout_, *model_, species, e_mev, seed);
-    const ckpt::UnitRunResult units = ckpt::run_units(
-        pool, n_chunks, fp, run_opts, [&](const exec::ChunkRange& u) {
-          const exec::ChunkRange r{
-              u.index, u.index * config_.chunk,
-              std::min(config_.strikes, (u.index + 1) * config_.chunk),
-              u.worker};
-          return process_chunk(r).encode();
-        });
-    std::vector<McPartial> parts;
-    parts.reserve(units.blobs.size());
-    for (const auto& blob : units.blobs) {
-      parts.push_back(McPartial::decode(blob, nv));
+  for (std::size_t s = r.begin; s < r.end; ++s) {
+    // Step 1 (paper Sec. 5.1): random particle position and direction.
+    geom::Ray ray;
+    if (config_.position == SourcePositionSampling::kStratified) {
+      const std::size_t ix = s % strata;
+      const std::size_t iy = (s / strata) % strata;
+      const double fx = (static_cast<double>(ix) + rng.uniform()) /
+                        static_cast<double>(strata);
+      const double fy = (static_cast<double>(iy) + rng.uniform()) /
+                        static_cast<double>(strata);
+      ray.origin = {x_lo + (x_hi - x_lo) * fx, y_lo + (y_hi - y_lo) * fy,
+                    z_source};
+    } else {
+      ray.origin = {rng.uniform(x_lo, x_hi), rng.uniform(y_lo, y_hi),
+                    z_source};
     }
-    total = exec::reduce_pairwise(std::move(parts), McPartial::merge);
-  }
-
-  ArrayMcResult result;
-  result.vdds = vdds;
-  result.est.resize(nv);
-  const double hit_fraction =
-      static_cast<double>(total.hits) / static_cast<double>(config_.strikes);
-  for (std::size_t v = 0; v < nv; ++v) {
-    for (std::size_t mode = 0; mode < 2; ++mode) {
-      result.est[v][mode] =
-          total.acc[v][mode].finalize(config_.strikes, hit_fraction);
+    switch (config_.angular) {
+      case SourceAngularLaw::kIsotropic:
+        ray.dir = stats::isotropic_hemisphere_down(rng);
+        break;
+      case SourceAngularLaw::kCosine:
+        ray.dir = stats::cosine_hemisphere_down(rng);
+        break;
+      case SourceAngularLaw::kBeam:
+        ray.dir = beam_dir_;
+        break;
     }
+    if (ray.dir.z == 0.0) ray.dir.z = -1e-12;  // Guard true horizontals.
+
+    // Step 2-3: transport, accumulate sensitive-transistor charges per cell.
+    const phys::TrackResult track =
+        ws.transporter.transport(ray, point.species, point.e_mev, rng);
+
+    begin_strike(ws);
+    add_deposits(track, ws);
+    if (!ws.touched_cells.empty()) {
+      ++part.hits;
+      FINSER_OBS_COUNT("core.array_mc.strike_hits", 1);
+    }
+
+    // Steps 4-5: cell POFs from the LUTs, combined via Eqs. 4-6, for every
+    // supply voltage and both process-variation modes.
+    score_strike(ws, part);
   }
-  return result;
 }
 
 }  // namespace finser::core

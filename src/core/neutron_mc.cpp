@@ -1,75 +1,15 @@
 #include "finser/core/neutron_mc.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <memory>
-
-#include "finser/core/pof_combine.hpp"
-#include "finser/exec/thread_pool.hpp"
-#include "finser/obs/obs.hpp"
-#include "finser/phys/collection.hpp"
 #include "finser/stats/direction.hpp"
 #include "finser/util/error.hpp"
-#include "finser/util/fingerprint.hpp"
 #include "finser/util/units.hpp"
-#include "mc_partial.hpp"
 
 namespace finser::core {
-
-namespace {
-
-phys::Transporter::Config transporter_config(const NeutronMcConfig& cfg) {
-  phys::Transporter::Config tc;
-  tc.straggling = cfg.straggling;
-  return tc;
-}
-
-/// Per-worker mutable state (see array_mc.cpp — same rationale).
-struct WorkerState {
-  phys::Transporter transporter;
-  std::vector<sram::StrikeCharges> cell_charges;
-  std::vector<std::uint32_t> touched_cells;
-  std::vector<double> pofs;
-
-  WorkerState(const sram::ArrayLayout& layout,
-              const phys::Transporter::Config& tc)
-      : transporter(layout.fins(), tc),
-        cell_charges(layout.cell_count(), sram::StrikeCharges{}) {}
-};
-
-/// Checkpoint fingerprint — see array_mc.cpp for the inclusion policy.
-std::uint64_t run_fingerprint(const NeutronMcConfig& cfg,
-                              const sram::ArrayLayout& layout,
-                              const sram::CellSoftErrorModel& model,
-                              double e_n_mev, std::uint64_t seed) {
-  util::Fnv1a h;
-  h.str("finser.neutron_mc.ckpt.v1");
-  h.u64(model.config_fingerprint);
-  h.f64(e_n_mev);
-  h.u64(seed);
-  h.u64(cfg.histories);
-  h.u64(cfg.chunk);
-  h.u64(static_cast<std::uint64_t>(cfg.angular));
-  h.u64(static_cast<std::uint64_t>(cfg.straggling));
-  h.f64(cfg.interaction_depth_um);
-  h.f64(cfg.source_margin_nm);
-  h.u64(layout.rows());
-  h.u64(layout.cols());
-  h.f64(layout.width_nm()).f64(layout.height_nm());
-  for (std::size_t row = 0; row < layout.rows(); ++row) {
-    for (std::size_t col = 0; col < layout.cols(); ++col) {
-      h.u64(layout.bit(row, col) ? 1 : 0);
-    }
-  }
-  return h.hash();
-}
-
-}  // namespace
 
 NeutronArrayMc::NeutronArrayMc(const sram::ArrayLayout& layout,
                                const sram::CellSoftErrorModel& model,
                                const NeutronMcConfig& config)
-    : layout_(&layout), model_(&model), config_(config) {
+    : ArrayEngine(layout, model), config_(config) {
   FINSER_REQUIRE(config_.histories > 0, "NeutronArrayMc: need >= 1 history");
   FINSER_REQUIRE(config_.chunk > 0, "NeutronArrayMc: chunk must be positive");
   FINSER_REQUIRE(config_.interaction_depth_um > 0.0,
@@ -77,172 +17,73 @@ NeutronArrayMc::NeutronArrayMc(const sram::ArrayLayout& layout,
   FINSER_REQUIRE(!model.tables.empty(), "NeutronArrayMc: empty cell model");
 }
 
-double NeutronArrayMc::sampled_area_nm2() const {
-  return (layout_->width_nm() + 2.0 * config_.source_margin_nm) *
-         (layout_->height_nm() + 2.0 * config_.source_margin_nm);
+/// Checkpoint fingerprint — see ArrayMc::point_fingerprint for the inclusion
+/// policy. The point's species is not hashed: every history is a neutron.
+std::uint64_t NeutronArrayMc::point_fingerprint(const EnergyPoint& point,
+                                                std::uint64_t seed) const {
+  util::Fnv1a h;
+  h.str("finser.neutron_mc.ckpt.v1");
+  h.u64(model().config_fingerprint);
+  h.f64(point.e_mev);
+  h.u64(seed);
+  h.u64(config_.histories);
+  h.u64(config_.chunk);
+  h.u64(static_cast<std::uint64_t>(config_.angular));
+  h.u64(static_cast<std::uint64_t>(config_.straggling));
+  h.f64(config_.interaction_depth_um);
+  h.f64(config_.source_margin_nm);
+  hash_layout(h, layout());
+  return h.hash();
 }
 
-ArrayMcResult NeutronArrayMc::run(double e_n_mev, std::uint64_t seed,
-                                  const exec::ProgressSink& progress,
-                                  const ckpt::RunOptions& run_opts) const {
-  FINSER_REQUIRE(e_n_mev > 0.0, "NeutronArrayMc::run: non-positive energy");
-  obs::ScopedSpan run_span("core.neutron_mc.run");
-  FINSER_OBS_COUNT("core.neutron_mc.runs", 1);
-  FINSER_OBS_COUNT("core.neutron_mc.histories", config_.histories);
+void NeutronArrayMc::simulate_chunk(const exec::ChunkRange& r,
+                                    const EnergyPoint& point, stats::Rng& rng,
+                                    WorkerScratch& ws, McPartial& part) const {
+  const double e_n_mev = point.e_mev;
 
-  const std::vector<double> vdds = model_->vdds();
-  const std::size_t nv = vdds.size();
-
-  const geom::Aabb fin_bounds = layout_->bounds();
+  // Pure functions of (config, layout, energy) — recomputing them per chunk
+  // instead of per run is bit-exact and keeps the chunk self-contained.
+  const geom::Aabb fin_bounds = layout().bounds();
   const double z_top = fin_bounds.hi.z;
   const double z_bottom = z_top - util::um_to_nm(config_.interaction_depth_um);
   const double x_lo = -config_.source_margin_nm;
-  const double x_hi = layout_->width_nm() + config_.source_margin_nm;
+  const double x_hi = layout().width_nm() + config_.source_margin_nm;
   const double y_lo = -config_.source_margin_nm;
-  const double y_hi = layout_->height_nm() + config_.source_margin_nm;
+  const double y_hi = layout().height_nm() + config_.source_margin_nm;
 
   const double sigma_per_cm = interactions_.macroscopic_per_cm(e_n_mev);
 
-  const phys::Transporter::Config tc = transporter_config(config_);
+  for (std::size_t h = r.begin; h < r.end; ++h) {
+    // Incident neutron on the source plane just above the fins.
+    geom::Vec3 dir = config_.angular == SourceAngularLaw::kIsotropic
+                         ? stats::isotropic_hemisphere_down(rng)
+                         : stats::cosine_hemisphere_down(rng);
+    if (dir.z >= -1e-6) dir.z = -1e-6;
+    dir = dir.normalized();
+    const geom::Vec3 entry{rng.uniform(x_lo, x_hi), rng.uniform(y_lo, y_hi),
+                           z_top};
 
-  exec::ThreadPool pool(config_.threads);
-  std::vector<std::unique_ptr<WorkerState>> workers(pool.thread_count());
-  progress.start_phase("histories", config_.histories);
+    // Forced interaction along the chord through the slab.
+    const double chord_nm = (z_top - z_bottom) / (-dir.z);
+    const double weight = sigma_per_cm * util::nm_to_cm(chord_nm);
+    const geom::Vec3 interaction_point = entry + dir * (rng.uniform() * chord_nm);
 
-  const auto process_chunk = [&](const exec::ChunkRange& r) -> McPartial {
-        std::unique_ptr<WorkerState>& slot = workers[r.worker];
-        if (!slot) slot = std::make_unique<WorkerState>(*layout_, tc);
-        WorkerState& ws = *slot;
-        stats::Rng rng = stats::Rng::stream(seed, r.index);
-        McPartial part(nv);
+    const phys::NeutronInteraction interaction =
+        interactions_.sample(e_n_mev, dir, rng);
 
-        for (std::size_t h = r.begin; h < r.end; ++h) {
-          // Incident neutron on the source plane just above the fins.
-          geom::Vec3 dir = config_.angular == SourceAngularLaw::kIsotropic
-                               ? stats::isotropic_hemisphere_down(rng)
-                               : stats::cosine_hemisphere_down(rng);
-          if (dir.z >= -1e-6) dir.z = -1e-6;
-          dir = dir.normalized();
-          const geom::Vec3 entry{rng.uniform(x_lo, x_hi),
-                                 rng.uniform(y_lo, y_hi), z_top};
-
-          // Forced interaction along the chord through the slab.
-          const double chord_nm = (z_top - z_bottom) / (-dir.z);
-          const double weight = sigma_per_cm * util::nm_to_cm(chord_nm);
-          const geom::Vec3 point = entry + dir * (rng.uniform() * chord_nm);
-
-          const phys::NeutronInteraction interaction =
-              interactions_.sample(e_n_mev, dir, rng);
-
-          // Transport every charged secondary, accumulating per-cell charges.
-          for (const std::uint32_t c : ws.touched_cells) {
-            ws.cell_charges[c] = sram::StrikeCharges{};
-          }
-          ws.touched_cells.clear();
-
-          for (const phys::NeutronSecondary& sec : interaction.secondaries) {
-            if (sec.energy_mev <= 1e-5) continue;
-            const geom::Ray ray{point, sec.direction};
-            const phys::TrackResult track =
-                ws.transporter.transport(ray, sec.species, sec.energy_mev, rng);
-            for (const phys::FinDeposit& dep : track.deposits) {
-              const sram::FinSite& site = layout_->site(dep.fin_id);
-              const bool bit = layout_->bit(site.cell_row, site.cell_col);
-              const auto idx = sram::ArrayLayout::strike_index(site.role, bit);
-              if (!idx) continue;
-              const std::uint32_t cell =
-                  site.cell_row * static_cast<std::uint32_t>(layout_->cols()) +
-                  site.cell_col;
-              sram::StrikeCharges& ch = ws.cell_charges[cell];
-              if (!ch.any()) ws.touched_cells.push_back(cell);
-              const double q_fc = phys::charge_fc_from_pairs(dep.eh_pairs) *
-                                  layout_->collection_efficiency(dep.fin_id);
-              switch (*idx) {
-                case 0: ch.i1_fc += q_fc; break;
-                case 1: ch.i2_fc += q_fc; break;
-                case 2: ch.i3_fc += q_fc; break;
-                default: break;
-              }
-            }
-          }
-          if (!ws.touched_cells.empty()) ++part.hits;
-
-          for (std::size_t v = 0; v < nv; ++v) {
-            const sram::PofTable& table = model_->at_vdd(vdds[v]);
-            for (std::size_t mode = 0; mode < 2; ++mode) {
-              const bool with_pv = (mode == kModeWithPv);
-              ws.pofs.clear();
-              for (const std::uint32_t c : ws.touched_cells) {
-                const double p = table.pof(ws.cell_charges[c], with_pv);
-                if (p > 0.0) ws.pofs.push_back(p);
-              }
-              const CombinedPof combined = ws.pofs.empty()
-                                               ? CombinedPof{}
-                                               : combine_eqs_4_to_6(ws.pofs);
-              PofAccumulator& a = part.acc[v][mode];
-              // Weighted per-incident-neutron estimator.
-              a.add(CombinedPof{weight * combined.tot, weight * combined.seu,
-                                weight * combined.mbu});
-              if (!ws.pofs.empty()) {
-                const auto dist = multiplicity_distribution(ws.pofs);
-                // The n >= 1 bins carry the interaction weight; the no-flip
-                // bin absorbs the rest so each history still contributes unit
-                // mass.
-                double flipped_mass = 0.0;
-                for (std::size_t n = 1; n < kMaxMultiplicity; ++n) {
-                  a.add_multiplicity(n, weight * dist[n]);
-                  flipped_mass += weight * dist[n];
-                }
-                a.add_multiplicity(0, 1.0 - flipped_mass);
-              } else {
-                a.add_multiplicity(0, 1.0);
-              }
-            }
-          }
-        }
-
-        progress.tick(r.end - r.begin);
-        return part;
-  };
-
-  McPartial total;
-  if (!run_opts.active()) {
-    total = exec::parallel_reduce<McPartial>(pool, config_.histories,
-                                             config_.chunk, process_chunk,
-                                             McPartial::merge);
-  } else {
-    const std::size_t n_chunks =
-        (config_.histories + config_.chunk - 1) / config_.chunk;
-    const std::uint64_t fp =
-        run_fingerprint(config_, *layout_, *model_, e_n_mev, seed);
-    const ckpt::UnitRunResult units = ckpt::run_units(
-        pool, n_chunks, fp, run_opts, [&](const exec::ChunkRange& u) {
-          const exec::ChunkRange r{
-              u.index, u.index * config_.chunk,
-              std::min(config_.histories, (u.index + 1) * config_.chunk),
-              u.worker};
-          return process_chunk(r).encode();
-        });
-    std::vector<McPartial> parts;
-    parts.reserve(units.blobs.size());
-    for (const auto& blob : units.blobs) {
-      parts.push_back(McPartial::decode(blob, nv));
+    // Transport every charged secondary, accumulating per-cell charges.
+    begin_strike(ws);
+    for (const phys::NeutronSecondary& sec : interaction.secondaries) {
+      if (sec.energy_mev <= 1e-5) continue;
+      const geom::Ray ray{interaction_point, sec.direction};
+      const phys::TrackResult track =
+          ws.transporter.transport(ray, sec.species, sec.energy_mev, rng);
+      add_deposits(track, ws);
     }
-    total = exec::reduce_pairwise(std::move(parts), McPartial::merge);
-  }
+    if (!ws.touched_cells.empty()) ++part.hits;
 
-  ArrayMcResult result;
-  result.vdds = vdds;
-  result.est.resize(nv);
-  const double hit_fraction =
-      static_cast<double>(total.hits) / static_cast<double>(config_.histories);
-  for (std::size_t v = 0; v < nv; ++v) {
-    for (std::size_t mode = 0; mode < 2; ++mode) {
-      result.est[v][mode] =
-          total.acc[v][mode].finalize(config_.histories, hit_fraction);
-    }
+    score_weighted_history(ws, part, weight);
   }
-  return result;
 }
 
 }  // namespace finser::core

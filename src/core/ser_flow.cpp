@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 
 #include "finser/exec/exec.hpp"
@@ -64,6 +65,13 @@ const sram::CellSoftErrorModel& SerFlow::cell_model(
   return *model_;
 }
 
+void SerFlow::set_cell_model(sram::CellSoftErrorModel model) {
+  FINSER_REQUIRE(model.config_fingerprint == model_fingerprint(),
+                 "SerFlow::set_cell_model: model fingerprint does not match "
+                 "this flow's characterization config");
+  model_ = std::move(model);
+}
+
 ArrayMcResult SerFlow::run_at_energy(phys::Species species, double e_mev,
                                      const exec::ProgressSink& progress) {
   const sram::CellSoftErrorModel& model = cell_model(progress);
@@ -109,13 +117,7 @@ std::uint64_t sweep_fingerprint(const SerFlowConfig& cfg,
     h.f64(a.beam_direction.x).f64(a.beam_direction.y).f64(a.beam_direction.z);
     h.f64(a.source_margin_nm).f64(a.source_height_nm);
   }
-  h.u64(layout.rows()).u64(layout.cols());
-  h.f64(layout.width_nm()).f64(layout.height_nm());
-  for (std::size_t r = 0; r < layout.rows(); ++r) {
-    for (std::size_t c = 0; c < layout.cols(); ++c) {
-      h.u64(layout.bit(r, c) ? 1 : 0);
-    }
-  }
+  hash_layout(h, layout);
   return h.hash();
 }
 
@@ -182,16 +184,47 @@ EnergySweepResult SerFlow::sweep(const env::Spectrum& spectrum,
           << "MeV";
     obs::ScopedSpan bin_span("core.energy_bin", label.str());
     FINSER_OBS_COUNT("core.energy_bins", 1);
-    ArrayMcResult r;
     // Inner engines see the cancel token only: checkpointing happens at
     // bin granularity out here, cancellation at chunk granularity inside.
     const ckpt::RunOptions inner_run = run.cancel_only();
+    std::unique_ptr<ArrayEngine> engine;
     if (neutron) {
-      NeutronArrayMc mc(layout_, model, neutron_cfg);
-      r = mc.run(bin.e_rep_mev, bin_seeds[i], {}, inner_run);
+      engine = std::make_unique<NeutronArrayMc>(layout_, model, neutron_cfg);
     } else {
-      ArrayMc mc(layout_, model, charged_cfg);
-      r = mc.run(spectrum.species(), bin.e_rep_mev, bin_seeds[i], {}, inner_run);
+      engine = std::make_unique<ArrayMc>(layout_, model, charged_cfg);
+    }
+    const EnergyPoint point{spectrum.species(), bin.e_rep_mev};
+
+    // Bin-level artifact cache (campaigns): a cached blob decodes to the
+    // exact result a fresh run would produce (bit-exact codec), so a hit
+    // skips the Monte Carlo entirely and is bit-identical to running it.
+    ArrayMcResult r;
+    bool have_result = false;
+    const std::uint64_t bin_fp =
+        config_.bin_cache != nullptr
+            ? engine->point_fingerprint(point, bin_seeds[i])
+            : 0;
+    if (config_.bin_cache != nullptr) {
+      std::vector<std::uint8_t> blob;
+      if (config_.bin_cache->load(bin_fp, blob)) {
+        try {
+          util::ByteReader reader(blob);
+          r = decode_result(reader);
+          FINSER_REQUIRE(reader.exhausted(),
+                         "bin cache: trailing bytes in cached result");
+          FINSER_OBS_COUNT("core.bin_cache_hits", 1);
+          have_result = true;
+        } catch (const std::exception&) {
+          // A malformed blob degrades to recompute, never a failed sweep.
+        }
+      }
+      if (!have_result) FINSER_OBS_COUNT("core.bin_cache_misses", 1);
+    }
+    if (!have_result) {
+      r = engine->run_point(point, bin_seeds[i], {}, inner_run);
+      if (config_.bin_cache != nullptr) {
+        config_.bin_cache->store(bin_fp, encode_result(r));
+      }
     }
     if (progress) {
       std::ostringstream os;

@@ -1,0 +1,783 @@
+#include "finser/pipeline/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "finser/exec/exec.hpp"
+#include "finser/exec/thread_pool.hpp"
+#include "finser/obs/obs.hpp"
+#include "finser/stats/rng.hpp"
+#include "finser/util/bytes.hpp"
+#include "finser/util/config.hpp"
+#include "finser/util/error.hpp"
+#include "finser/util/fingerprint.hpp"
+#include "finser/util/io.hpp"
+
+namespace finser::pipeline {
+
+namespace {
+
+// --- schema vocabulary ------------------------------------------------------
+
+const std::vector<std::string>& top_level_keys() {
+  static const std::vector<std::string> keys = {
+      "campaign", "seed",     "threads",  "artifact_dir",
+      "output_dir", "defaults", "scenarios"};
+  return keys;
+}
+
+const std::vector<std::string>& scenario_keys() {
+  static const std::vector<std::string> keys = {
+      "name",      "rows",       "cols",      "pattern",   "pattern_seed",
+      "vdds",      "sigma_vt",   "cnode_f",   "pv_samples", "strikes",
+      "histories", "seed",       "species",   "cell_w_nm", "cell_h_nm",
+      "fin_w_nm",  "fin_h_nm"};
+  return keys;
+}
+
+[[noreturn]] void bad(const std::string& message) {
+  throw util::InvalidArgument("campaign: " + message);
+}
+
+/// Reject keys outside \p allowed, suggesting the nearest known key — same
+/// contract as util::KeyValueConfig::suggestion_for, so a typo in a campaign
+/// file reads exactly like a typo in an INI file.
+void check_keys(const util::JsonValue& obj, const std::string& where,
+                const std::vector<std::string>& allowed) {
+  for (const auto& [key, value] : obj.items()) {
+    (void)value;
+    if (std::find(allowed.begin(), allowed.end(), key) != allowed.end()) {
+      continue;
+    }
+    std::string message = "unknown key `" + key + "` at " + where;
+    const std::string suggestion = util::nearest_key(key, allowed);
+    if (!suggestion.empty()) {
+      message += " (did you mean `" + suggestion + "`?)";
+    }
+    bad(message);
+  }
+}
+
+/// Scenario-key lookup with the defaults block folded under the scenario.
+const util::JsonValue* find_key(const util::JsonValue& scenario,
+                                const util::JsonValue* defaults,
+                                const std::string& key) {
+  if (scenario.contains(key)) return &scenario.at(key);
+  if (defaults != nullptr && defaults->contains(key)) {
+    return &defaults->at(key);
+  }
+  return nullptr;
+}
+
+double get_num(const util::JsonValue* v, double fallback,
+               const std::string& where, const char* key) {
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    bad("value for `" + std::string(key) + "` at " + where +
+        " must be a number");
+  }
+  return v->as_double();
+}
+
+std::uint64_t get_uint(const util::JsonValue* v, std::uint64_t fallback,
+                       const std::string& where, const char* key) {
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    bad("value for `" + std::string(key) + "` at " + where +
+        " must be a non-negative integer");
+  }
+  try {
+    return v->as_uint();
+  } catch (const util::Error&) {
+    bad("value for `" + std::string(key) + "` at " + where +
+        " must be a non-negative integer");
+  }
+}
+
+std::size_t get_size(const util::JsonValue* v, std::size_t fallback,
+                     const std::string& where, const char* key) {
+  const std::uint64_t raw = get_uint(v, fallback, where, key);
+  if (raw == 0) {
+    bad("value for `" + std::string(key) + "` at " + where +
+        " must be positive");
+  }
+  return static_cast<std::size_t>(raw);
+}
+
+std::string get_str(const util::JsonValue* v, std::string fallback,
+                    const std::string& where, const char* key) {
+  if (v == nullptr) return fallback;
+  if (!v->is_string()) {
+    bad("value for `" + std::string(key) + "` at " + where +
+        " must be a string");
+  }
+  return v->as_string();
+}
+
+std::vector<double> get_num_list(const util::JsonValue* v,
+                                 std::vector<double> fallback,
+                                 const std::string& where, const char* key) {
+  if (v == nullptr) return fallback;
+  if (!v->is_array() || v->size() == 0) {
+    bad("value for `" + std::string(key) + "` at " + where +
+        " must be a non-empty array of numbers");
+  }
+  std::vector<double> out;
+  out.reserve(v->size());
+  for (std::size_t i = 0; i < v->size(); ++i) {
+    if (!v->at(i).is_number()) {
+      bad("value for `" + std::string(key) + "` at " + where +
+          " must be a non-empty array of numbers");
+    }
+    out.push_back(v->at(i).as_double());
+  }
+  return out;
+}
+
+std::vector<std::string> get_str_list(const util::JsonValue* v,
+                                      std::vector<std::string> fallback,
+                                      const std::string& where,
+                                      const char* key) {
+  if (v == nullptr) return fallback;
+  if (!v->is_array() || v->size() == 0) {
+    bad("value for `" + std::string(key) + "` at " + where +
+        " must be a non-empty array of strings");
+  }
+  std::vector<std::string> out;
+  out.reserve(v->size());
+  for (std::size_t i = 0; i < v->size(); ++i) {
+    if (!v->at(i).is_string()) {
+      bad("value for `" + std::string(key) + "` at " + where +
+          " must be a non-empty array of strings");
+    }
+    out.push_back(v->at(i).as_string());
+  }
+  return out;
+}
+
+// --- enums ↔ names ----------------------------------------------------------
+
+const std::vector<std::string>& pattern_names() {
+  static const std::vector<std::string> names = {"ones", "zeros",
+                                                 "checkerboard", "random"};
+  return names;
+}
+
+const std::vector<std::string>& species_names() {
+  static const std::vector<std::string> names = {"alpha", "proton", "neutron"};
+  return names;
+}
+
+sram::DataPattern pattern_from(const std::string& name,
+                               const std::string& where) {
+  if (name == "ones") return sram::DataPattern::kAllOnes;
+  if (name == "zeros") return sram::DataPattern::kAllZeros;
+  if (name == "checkerboard") return sram::DataPattern::kCheckerboard;
+  if (name == "random") return sram::DataPattern::kRandom;
+  std::string message = "unknown pattern `" + name + "` at " + where;
+  const std::string suggestion = util::nearest_key(name, pattern_names());
+  if (!suggestion.empty()) message += " (did you mean `" + suggestion + "`?)";
+  bad(message);
+}
+
+std::string pattern_name(sram::DataPattern pattern) {
+  switch (pattern) {
+    case sram::DataPattern::kAllOnes:
+      return "ones";
+    case sram::DataPattern::kAllZeros:
+      return "zeros";
+    case sram::DataPattern::kCheckerboard:
+      return "checkerboard";
+    case sram::DataPattern::kRandom:
+      return "random";
+  }
+  return "checkerboard";
+}
+
+void check_species_name(const std::string& name, const std::string& where) {
+  const auto& known = species_names();
+  if (std::find(known.begin(), known.end(), name) != known.end()) return;
+  std::string message = "unknown species `" + name + "` at " + where;
+  const std::string suggestion = util::nearest_key(name, known);
+  if (!suggestion.empty()) message += " (did you mean `" + suggestion + "`?)";
+  bad(message);
+}
+
+// --- scenario parsing -------------------------------------------------------
+
+ScenarioSpec parse_scenario(const util::JsonValue& obj,
+                            const util::JsonValue* defaults,
+                            std::uint64_t campaign_seed,
+                            const std::string& where) {
+  if (!obj.is_object()) bad(where + " must be an object");
+  check_keys(obj, where, scenario_keys());
+
+  const auto key = [&](const char* k) { return find_key(obj, defaults, k); };
+
+  ScenarioSpec s;
+  // `name` must come from the scenario itself — a shared default name would
+  // guarantee a duplicate.
+  if (!obj.contains("name")) bad(where + " is missing required key `name`");
+  s.name = get_str(&obj.at("name"), "", where, "name");
+  if (s.name.empty()) bad("`name` at " + where + " must be non-empty");
+
+  core::SerFlowConfig& f = s.flow;
+  const core::SerFlowConfig reference;  // schema fallbacks = struct defaults
+  f.array_rows = get_size(key("rows"), reference.array_rows, where, "rows");
+  f.array_cols = get_size(key("cols"), reference.array_cols, where, "cols");
+  f.pattern =
+      pattern_from(get_str(key("pattern"), pattern_name(reference.pattern),
+                           where, "pattern"),
+                   where);
+  f.pattern_seed =
+      get_uint(key("pattern_seed"), reference.pattern_seed, where,
+               "pattern_seed");
+  f.characterization.vdds = get_num_list(
+      key("vdds"), reference.characterization.vdds, where, "vdds");
+  f.cell_design.sigma_vt =
+      get_num(key("sigma_vt"), reference.cell_design.sigma_vt, where,
+              "sigma_vt");
+  f.cell_design.cnode_f = get_num(key("cnode_f"), reference.cell_design.cnode_f,
+                                  where, "cnode_f");
+  f.characterization.pv_samples_single =
+      get_size(key("pv_samples"), reference.characterization.pv_samples_single,
+               where, "pv_samples");
+  f.array_mc.strikes =
+      get_size(key("strikes"), reference.array_mc.strikes, where, "strikes");
+  // Neutron histories follow strikes unless set — the CLI's convention.
+  f.neutron_mc.histories =
+      get_size(key("histories"), f.array_mc.strikes, where, "histories");
+  f.seed = get_uint(key("seed"), campaign_seed, where, "seed");
+  f.cell_geometry.cell_w_nm =
+      get_num(key("cell_w_nm"), reference.cell_geometry.cell_w_nm, where,
+              "cell_w_nm");
+  f.cell_geometry.cell_h_nm =
+      get_num(key("cell_h_nm"), reference.cell_geometry.cell_h_nm, where,
+              "cell_h_nm");
+  f.cell_geometry.fin_w_nm = get_num(
+      key("fin_w_nm"), reference.cell_geometry.fin_w_nm, where, "fin_w_nm");
+  f.cell_geometry.fin_h_nm = get_num(
+      key("fin_h_nm"), reference.cell_geometry.fin_h_nm, where, "fin_h_nm");
+  if (f.cell_geometry.cell_w_nm <= 0.0 || f.cell_geometry.cell_h_nm <= 0.0 ||
+      f.cell_geometry.fin_w_nm <= 0.0 || f.cell_geometry.fin_h_nm <= 0.0) {
+    bad("geometry at " + where + " must be positive");
+  }
+
+  s.species = get_str_list(key("species"), {"alpha", "proton"}, where,
+                           "species");
+  for (const std::string& name : s.species) check_species_name(name, where);
+  return s;
+}
+
+}  // namespace
+
+CampaignSpec parse_campaign(const util::JsonValue& doc) {
+  if (!doc.is_object()) bad("document must be a JSON object");
+  check_keys(doc, "top level", top_level_keys());
+
+  CampaignSpec spec;
+  const auto top = [&](const char* k) {
+    return doc.contains(k) ? &doc.at(k) : nullptr;
+  };
+  spec.name = get_str(top("campaign"), spec.name, "top level", "campaign");
+  spec.artifact_dir =
+      get_str(top("artifact_dir"), spec.artifact_dir, "top level",
+              "artifact_dir");
+  spec.output_dir =
+      get_str(top("output_dir"), spec.output_dir, "top level", "output_dir");
+  spec.threads = static_cast<std::size_t>(
+      get_uint(top("threads"), 0, "top level", "threads"));
+  const std::uint64_t campaign_seed =
+      get_uint(top("seed"), 20140601, "top level", "seed");
+
+  const util::JsonValue* defaults = top("defaults");
+  if (defaults != nullptr) {
+    if (!defaults->is_object()) bad("`defaults` must be an object");
+    std::vector<std::string> allowed = scenario_keys();
+    allowed.erase(std::remove(allowed.begin(), allowed.end(), "name"),
+                  allowed.end());
+    check_keys(*defaults, "defaults", allowed);
+  }
+
+  const util::JsonValue* scenarios = top("scenarios");
+  if (scenarios == nullptr || !scenarios->is_array() || scenarios->size() == 0) {
+    bad("`scenarios` must be a non-empty array");
+  }
+  for (std::size_t i = 0; i < scenarios->size(); ++i) {
+    const std::string where = "scenarios[" + std::to_string(i) + "]";
+    spec.scenarios.push_back(
+        parse_scenario(scenarios->at(i), defaults, campaign_seed, where));
+  }
+  for (std::size_t i = 0; i < spec.scenarios.size(); ++i) {
+    for (std::size_t j = i + 1; j < spec.scenarios.size(); ++j) {
+      if (spec.scenarios[i].name == spec.scenarios[j].name) {
+        bad("duplicate scenario name `" + spec.scenarios[i].name +
+            "` (scenarios[" + std::to_string(i) + "] and scenarios[" +
+            std::to_string(j) + "])");
+      }
+    }
+  }
+  return spec;
+}
+
+CampaignSpec parse_campaign_text(const std::string& text) {
+  return parse_campaign(util::JsonValue::parse(text));
+}
+
+CampaignSpec parse_campaign_file(const std::string& path) {
+  std::vector<std::uint8_t> raw;
+  std::string error;
+  if (!util::read_file(path, raw, &error)) {
+    throw util::Error("cannot read campaign file: " + error);
+  }
+  return parse_campaign_text(
+      std::string(reinterpret_cast<const char*>(raw.data()), raw.size()));
+}
+
+util::JsonValue campaign_to_json(const CampaignSpec& spec) {
+  util::JsonValue doc = util::JsonValue::object();
+  doc["campaign"] = spec.name;
+  doc["threads"] = static_cast<std::uint64_t>(spec.threads);
+  doc["artifact_dir"] = spec.artifact_dir;
+  doc["output_dir"] = spec.output_dir;
+  util::JsonValue scenarios = util::JsonValue::array();
+  for (const ScenarioSpec& s : spec.scenarios) {
+    const core::SerFlowConfig& f = s.flow;
+    util::JsonValue o = util::JsonValue::object();
+    o["name"] = s.name;
+    o["rows"] = static_cast<std::uint64_t>(f.array_rows);
+    o["cols"] = static_cast<std::uint64_t>(f.array_cols);
+    o["pattern"] = pattern_name(f.pattern);
+    o["pattern_seed"] = f.pattern_seed;
+    util::JsonValue vdds = util::JsonValue::array();
+    for (double v : f.characterization.vdds) vdds.push_back(v);
+    o["vdds"] = std::move(vdds);
+    o["sigma_vt"] = f.cell_design.sigma_vt;
+    o["cnode_f"] = f.cell_design.cnode_f;
+    o["pv_samples"] =
+        static_cast<std::uint64_t>(f.characterization.pv_samples_single);
+    o["strikes"] = static_cast<std::uint64_t>(f.array_mc.strikes);
+    o["histories"] = static_cast<std::uint64_t>(f.neutron_mc.histories);
+    o["seed"] = f.seed;
+    util::JsonValue species = util::JsonValue::array();
+    for (const std::string& name : s.species) species.push_back(name);
+    o["species"] = std::move(species);
+    o["cell_w_nm"] = f.cell_geometry.cell_w_nm;
+    o["cell_h_nm"] = f.cell_geometry.cell_h_nm;
+    o["fin_w_nm"] = f.cell_geometry.fin_w_nm;
+    o["fin_h_nm"] = f.cell_geometry.fin_h_nm;
+    scenarios.push_back(std::move(o));
+  }
+  doc["scenarios"] = std::move(scenarios);
+  return doc;
+}
+
+CampaignSpec single_scenario_campaign(const core::SerFlowConfig& flow,
+                                      std::vector<std::string> species,
+                                      std::string output_dir,
+                                      std::string name) {
+  for (const std::string& s : species) check_species_name(s, "species list");
+  CampaignSpec spec;
+  spec.name = name;
+  spec.output_dir = std::move(output_dir);
+  spec.threads = flow.threads;
+  ScenarioSpec scenario;
+  scenario.name = std::move(name);
+  scenario.species = std::move(species);
+  scenario.flow = flow;
+  spec.scenarios.push_back(std::move(scenario));
+  return spec;
+}
+
+env::Spectrum spectrum_for_species(const std::string& name) {
+  if (name == "alpha") return env::package_alphas();
+  if (name == "proton") return env::sea_level_protons();
+  if (name == "neutron") return env::sea_level_neutrons();
+  check_species_name(name, "species list");  // throws
+  throw util::InvalidArgument("campaign: unknown species `" + name + "`");
+}
+
+// --- CSV emitters -----------------------------------------------------------
+
+util::CsvTable pof_csv(const core::EnergySweepResult& sweep) {
+  util::CsvTable table({"energy_mev", "vdd_v", "pof_tot", "pof_seu", "pof_mbu",
+                        "pof_tot_se"});
+  for (std::size_t b = 0; b < sweep.bins.size(); ++b) {
+    for (std::size_t v = 0; v < sweep.vdds.size(); ++v) {
+      const auto& e = sweep.per_bin[b].est[v][core::kModeWithPv];
+      table.add_row({sweep.bins[b].e_rep_mev, sweep.vdds[v], e.tot, e.seu,
+                     e.mbu, e.tot_se});
+    }
+  }
+  return table;
+}
+
+util::CsvTable make_fit_table() {
+  return util::CsvTable({"species", "vdd_v", "fit_tot", "fit_seu", "fit_mbu",
+                         "fit_tot_no_pv"});
+}
+
+void append_fit_rows(util::CsvTable& table, const std::string& species,
+                     const core::EnergySweepResult& sweep) {
+  for (std::size_t v = 0; v < sweep.vdds.size(); ++v) {
+    const auto& pv = sweep.fit[v][core::kModeWithPv];
+    const auto& nom = sweep.fit[v][core::kModeNominal];
+    table.add_row({species, sweep.vdds[v], pv.fit_tot, pv.fit_seu, pv.fit_mbu,
+                   nom.fit_tot});
+  }
+}
+
+// --- stage graph ------------------------------------------------------------
+
+std::size_t StageGraph::add(std::string label, std::vector<std::size_t> deps,
+                            std::function<void(std::size_t)> fn) {
+  for (std::size_t d : deps) {
+    FINSER_REQUIRE(d < stages_.size(),
+                   "StageGraph::add: dependency on a stage not yet added");
+  }
+  stages_.push_back(Stage{std::move(label), std::move(deps), std::move(fn)});
+  return stages_.size() - 1;
+}
+
+void StageGraph::run(std::size_t thread_budget,
+                     const exec::ProgressSink& progress) const {
+  const std::size_t budget = exec::resolve_threads(thread_budget);
+
+  // Level = longest dependency chain; stages of one level form a wave.
+  std::vector<std::size_t> level(stages_.size(), 0);
+  std::size_t max_level = 0;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    for (std::size_t d : stages_[i].deps) {
+      level[i] = std::max(level[i], level[d] + 1);
+    }
+    max_level = std::max(max_level, level[i]);
+  }
+
+  for (std::size_t wave = 0; wave <= max_level; ++wave) {
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      if (level[i] == wave) ready.push_back(i);
+    }
+    if (ready.empty()) continue;
+
+    const std::size_t share = std::max<std::size_t>(1, budget / ready.size());
+    const auto run_stage = [&](std::size_t id, std::size_t threads) {
+      const Stage& stage = stages_[id];
+      obs::ScopedSpan span("pipeline.stage", stage.label);
+      if (progress) progress.message("stage: " + stage.label);
+      stage.fn(threads);
+    };
+    if (ready.size() == 1) {
+      run_stage(ready[0], budget);  // a lone stage keeps the whole budget
+    } else {
+      exec::ThreadPool pool(std::min(ready.size(), budget));
+      pool.parallel_for_chunks(ready.size(), 1,
+                               [&](const exec::ChunkRange& r) {
+                                 for (std::size_t i = r.begin; i < r.end; ++i) {
+                                   run_stage(ready[i], share);
+                                 }
+                               });
+    }
+  }
+}
+
+// --- artifact adapters ------------------------------------------------------
+
+bool ArtifactBinCache::load(std::uint64_t fingerprint,
+                            std::vector<std::uint8_t>& out) {
+  return store_.try_get(ArtifactKey{kind_, fingerprint}, out);
+}
+
+void ArtifactBinCache::store(std::uint64_t fingerprint,
+                             const std::vector<std::uint8_t>& blob) {
+  store_.put(ArtifactKey{kind_, fingerprint}, blob);
+}
+
+namespace {
+
+std::uint64_t device_lut_fingerprint(const geom::Aabb& fin_box,
+                                     const phys::FinStrikeMc::Config& config,
+                                     phys::Species species, double e_lo_mev,
+                                     double e_hi_mev, std::size_t points,
+                                     std::uint64_t seed) {
+  util::Fnv1a h;
+  h.str("finser.device_lut.v1");
+  h.u64(static_cast<std::uint64_t>(species));
+  h.f64(fin_box.lo.x).f64(fin_box.lo.y).f64(fin_box.lo.z);
+  h.f64(fin_box.hi.x).f64(fin_box.hi.y).f64(fin_box.hi.z);
+  h.u64(static_cast<std::uint64_t>(config.straggling)).u64(config.samples);
+  h.f64(e_lo_mev).f64(e_hi_mev).u64(points).u64(seed);
+  return h.hash();
+}
+
+std::vector<std::uint8_t> encode_grid1(const util::Grid1& grid) {
+  util::ByteWriter w;
+  w.u64(static_cast<std::uint64_t>(grid.x_axis().scale()));
+  w.f64_vec(grid.x_axis().points());
+  w.f64_vec(grid.values());
+  return w.take();
+}
+
+util::Grid1 decode_grid1(const std::vector<std::uint8_t>& blob) {
+  util::ByteReader r(blob);
+  const std::uint64_t scale = r.u64();
+  FINSER_REQUIRE(scale <= static_cast<std::uint64_t>(util::Scale::kLog),
+                 "device LUT artifact: unknown axis scale");
+  std::vector<double> points = r.f64_vec();
+  std::vector<double> values = r.f64_vec();
+  FINSER_REQUIRE(r.exhausted(), "device LUT artifact: trailing bytes");
+  return util::Grid1(util::Axis(std::move(points),
+                                static_cast<util::Scale>(scale)),
+                     std::move(values));
+}
+
+}  // namespace
+
+util::Grid1 cached_device_lut(const ArtifactStore* store,
+                              const geom::Aabb& fin_box,
+                              const phys::FinStrikeMc::Config& config,
+                              phys::Species species, double e_lo_mev,
+                              double e_hi_mev, std::size_t points,
+                              std::uint64_t seed) {
+  const ArtifactKey key{
+      "device_lut", device_lut_fingerprint(fin_box, config, species, e_lo_mev,
+                                           e_hi_mev, points, seed)};
+  if (store != nullptr) {
+    std::vector<std::uint8_t> blob;
+    if (store->try_get(key, blob)) {
+      try {
+        return decode_grid1(blob);
+      } catch (const std::exception&) {
+        // A malformed payload behind a valid envelope degrades to rebuild.
+      }
+    }
+  }
+  const phys::FinStrikeMc mc(fin_box, config);
+  stats::Rng rng(seed);
+  util::Grid1 grid = mc.build_lut(species, e_lo_mev, e_hi_mev, points, rng);
+  FINSER_OBS_COUNT("pipeline.device_lut_builds", 1);
+  if (store != nullptr) store->put(key, encode_grid1(grid));
+  return grid;
+}
+
+// --- runner -----------------------------------------------------------------
+
+namespace {
+
+/// Cell-model artifact payload: u64 table count, then each PofTable through
+/// its own codec. The model fingerprint is already the artifact key, so it
+/// is restored from the key on load.
+std::vector<std::uint8_t> encode_model(const sram::CellSoftErrorModel& model) {
+  util::ByteWriter w;
+  w.u64(model.tables.size());
+  for (const sram::PofTable& t : model.tables) t.write(w);
+  return w.take();
+}
+
+sram::CellSoftErrorModel decode_model(const std::vector<std::uint8_t>& blob,
+                                      std::uint64_t fingerprint) {
+  util::ByteReader r(blob);
+  sram::CellSoftErrorModel model;
+  const std::uint64_t count = r.u64();
+  model.tables.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    model.tables.push_back(sram::PofTable::read(r));
+  }
+  FINSER_REQUIRE(r.exhausted(), "cell model artifact: trailing bytes");
+  model.config_fingerprint = fingerprint;
+  return model;
+}
+
+std::uint64_t geometry_fingerprint(const sram::CellGeometry& g) {
+  util::Fnv1a h;
+  h.str("finser.campaign.geometry.v1");
+  h.f64(g.fin_w_nm).f64(g.fin_h_nm).f64(g.gate_len_nm);
+  return h.hash();
+}
+
+std::string hex8(std::uint64_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08llx",
+                static_cast<unsigned long long>(v & 0xffffffffull));
+  return std::string(buf);
+}
+
+/// Deterministic seed of the campaign's device-LUT stages. Fixed (not a
+/// scenario seed) so every scenario sharing a geometry shares the LUT.
+constexpr std::uint64_t kDeviceLutSeed = 0xF16D4EULL;  // "Fig. 4"
+constexpr std::size_t kDeviceLutPoints = 25;
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {
+  FINSER_REQUIRE(!spec_.scenarios.empty(),
+                 "CampaignRunner: campaign has no scenarios");
+}
+
+std::vector<ScenarioResult> CampaignRunner::run(
+    const exec::ProgressSink& progress, const ckpt::RunOptions& run) {
+  const double scale = core::mc_scale_from_env();
+  const std::size_t n = spec_.scenarios.size();
+
+  // Resolved per-scenario flow configs: MC sizes scaled here (not in the
+  // spec, which must round-trip through JSON unscaled), thread budget and
+  // caches owned by the runner.
+  std::vector<core::SerFlowConfig> flows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    flows[i] = spec_.scenarios[i].flow;
+    core::apply_mc_scale(flows[i], scale);
+    flows[i].lut_cache_path.clear();  // the artifact store supersedes it
+  }
+
+  std::optional<ArtifactStore> store;
+  std::optional<ArtifactBinCache> bin_cache;
+  if (!spec_.artifact_dir.empty()) {
+    store.emplace(spec_.artifact_dir);
+    bin_cache.emplace(*store);
+  }
+
+  // Stage-graph state. Keys are pre-inserted serially; stages then only
+  // assign to their own slot, so concurrent stages never mutate the maps'
+  // structure.
+  std::map<std::uint64_t, sram::CellSoftErrorModel> models;
+  std::map<std::uint64_t, std::size_t> model_stage;
+  std::vector<ScenarioResult> results(n);
+
+  StageGraph graph;
+  const ckpt::RunOptions stage_run = run.cancel_only();
+
+  // One characterization stage per unique model fingerprint.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t fp =
+        flows[i].characterization.fingerprint(flows[i].cell_design);
+    if (models.count(fp) != 0) continue;
+    models[fp];  // reserve the slot
+    const sram::CellDesign design = flows[i].cell_design;
+    const sram::CharacterizerConfig ccfg = flows[i].characterization;
+    model_stage[fp] = graph.add(
+        "characterize " + hex8(fp), {},
+        [this, fp, design, ccfg, &models, &store, &progress,
+         stage_run](std::size_t threads) {
+          const ArtifactKey key{"cell_model", fp};
+          if (store.has_value()) {
+            std::vector<std::uint8_t> blob;
+            if (store->try_get(key, blob)) {
+              try {
+                models[fp] = decode_model(blob, fp);
+                progress.message("cell model " + hex8(fp) +
+                                 " loaded from artifact store");
+                return;
+              } catch (const std::exception&) {
+                // Malformed payload: fall through to characterize.
+              }
+            }
+          }
+          sram::CharacterizerConfig cfg = ccfg;
+          if (cfg.threads == 0) cfg.threads = threads;
+          const sram::CellCharacterizer characterizer(design, cfg);
+          models[fp] = characterizer.characterize(progress, stage_run);
+          FINSER_OBS_COUNT("pipeline.characterizations", 1);
+          if (store.has_value()) store->put(key, encode_model(models[fp]));
+        });
+  }
+
+  // One device e–h-pair LUT stage per unique (fin geometry, charged
+  // species) — the paper's Fig. 4 device level, shared campaign-wide.
+  if (!spec_.output_dir.empty() || store.has_value()) {
+    std::map<std::pair<std::uint64_t, int>, bool> lut_jobs;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const std::string& name : spec_.scenarios[i].species) {
+        if (name == "neutron") continue;  // no direct-ionization LUT
+        const phys::Species species =
+            name == "alpha" ? phys::Species::kAlpha : phys::Species::kProton;
+        const std::uint64_t gfp = geometry_fingerprint(flows[i].cell_geometry);
+        if (!lut_jobs.emplace(std::make_pair(gfp, static_cast<int>(species)),
+                              true)
+                 .second) {
+          continue;
+        }
+        const bool suffix_geometry = [&] {
+          for (std::size_t j = 0; j < n; ++j) {
+            if (geometry_fingerprint(flows[j].cell_geometry) != gfp) {
+              return true;
+            }
+          }
+          return false;
+        }();
+        const sram::CellGeometry g = flows[i].cell_geometry;
+        const double e_lo = name == "alpha" ? flows[i].alpha_e_lo_mev
+                                            : flows[i].proton_e_lo_mev;
+        const double e_hi = name == "alpha" ? flows[i].alpha_e_hi_mev
+                                            : flows[i].proton_e_hi_mev;
+        graph.add(
+            "device_lut " + name + " " + hex8(gfp), {},
+            [this, name, species, g, e_lo, e_hi, scale, suffix_geometry, gfp,
+             &store](std::size_t) {
+              const geom::Aabb fin_box{
+                  {0.0, 0.0, 0.0}, {g.fin_w_nm, g.gate_len_nm, g.fin_h_nm}};
+              phys::FinStrikeMc::Config cfg;
+              cfg.samples = std::max<std::size_t>(
+                  1, static_cast<std::size_t>(
+                         static_cast<double>(cfg.samples) * scale));
+              const util::Grid1 lut = cached_device_lut(
+                  store.has_value() ? &*store : nullptr, fin_box, cfg, species,
+                  e_lo, e_hi, kDeviceLutPoints, kDeviceLutSeed);
+              if (spec_.output_dir.empty()) return;
+              util::CsvTable table({"energy_mev", "mean_eh_pairs"});
+              for (std::size_t p = 0; p < lut.x_axis().size(); ++p) {
+                table.add_row({lut.x_axis()[p], lut.values()[p]});
+              }
+              const std::string stem =
+                  suffix_geometry ? "eh_pairs_" + name + "_" + hex8(gfp)
+                                  : "eh_pairs_" + name;
+              table.write_csv_file(spec_.output_dir + "/" + stem + ".csv");
+            });
+      }
+    }
+  }
+
+  // One sweep stage per scenario, dependent on its model stage.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t fp =
+        flows[i].characterization.fingerprint(flows[i].cell_design);
+    graph.add(
+        "sweep " + spec_.scenarios[i].name, {model_stage.at(fp)},
+        [this, i, fp, &flows, &models, &bin_cache, &results, &progress,
+         stage_run](std::size_t threads) {
+          const ScenarioSpec& scenario = spec_.scenarios[i];
+          core::SerFlowConfig cfg = flows[i];
+          cfg.threads = threads;
+          cfg.bin_cache = bin_cache.has_value() ? &*bin_cache : nullptr;
+          core::SerFlow flow(cfg);
+          flow.set_cell_model(models.at(fp));
+
+          ScenarioResult& out = results[i];
+          out.name = scenario.name;
+          util::CsvTable fit_table = make_fit_table();
+          for (const std::string& name : scenario.species) {
+            const env::Spectrum spectrum = spectrum_for_species(name);
+            progress.message(scenario.name + ": sweeping " + spectrum.name());
+            core::EnergySweepResult sweep =
+                flow.sweep(spectrum, progress, stage_run);
+            if (!spec_.output_dir.empty()) {
+              pof_csv(sweep).write_csv_file(spec_.output_dir + "/" +
+                                            scenario.name + "/pof_" + name +
+                                            ".csv");
+            }
+            append_fit_rows(fit_table, name, sweep);
+            out.sweeps.push_back(std::move(sweep));
+          }
+          if (!spec_.output_dir.empty()) {
+            fit_table.write_csv_file(spec_.output_dir + "/" + scenario.name +
+                                     "/fit_summary.csv");
+          }
+        });
+  }
+
+  graph.run(spec_.threads, progress);
+  return results;
+}
+
+}  // namespace finser::pipeline

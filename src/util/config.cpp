@@ -26,6 +26,38 @@ std::string strip_comment(const std::string& line) {
 
 }  // namespace
 
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  // Two-row Wagner-Fischer; row[j] = distance(a[0..i), b[0..j)).
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+std::string nearest_key(const std::string& unknown,
+                        const std::vector<std::string>& candidates) {
+  constexpr std::size_t kMaxDistance = 2;
+  std::string best;
+  std::size_t best_d = kMaxDistance + 1;
+  for (const std::string& c : candidates) {
+    if (c == unknown) continue;
+    const std::size_t d = edit_distance(unknown, c);
+    if (d < best_d) {
+      best = c;
+      best_d = d;
+    }
+  }
+  return best_d <= kMaxDistance ? best : std::string();
+}
+
 KeyValueConfig KeyValueConfig::parse(const std::string& text) {
   KeyValueConfig cfg;
   std::istringstream is(text);
@@ -82,6 +114,7 @@ int KeyValueConfig::line_of(const std::string& key) const {
 }
 
 double KeyValueConfig::get_double(const std::string& key, double fallback) const {
+  requested_[key] = true;
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   accessed_[key] = true;
@@ -100,6 +133,7 @@ double KeyValueConfig::get_double(const std::string& key, double fallback) const
 }
 
 long long KeyValueConfig::get_int(const std::string& key, long long fallback) const {
+  requested_[key] = true;
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   accessed_[key] = true;
@@ -118,6 +152,7 @@ long long KeyValueConfig::get_int(const std::string& key, long long fallback) co
 }
 
 bool KeyValueConfig::get_bool(const std::string& key, bool fallback) const {
+  requested_[key] = true;
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   accessed_[key] = true;
@@ -133,6 +168,7 @@ bool KeyValueConfig::get_bool(const std::string& key, bool fallback) const {
 
 std::string KeyValueConfig::get_string(const std::string& key,
                                        std::string fallback) const {
+  requested_[key] = true;
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   accessed_[key] = true;
@@ -141,6 +177,7 @@ std::string KeyValueConfig::get_string(const std::string& key,
 
 std::vector<double> KeyValueConfig::get_double_list(
     const std::string& key, std::vector<double> fallback) const {
+  requested_[key] = true;
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   accessed_[key] = true;
@@ -175,6 +212,16 @@ std::vector<std::string> KeyValueConfig::unknown_keys() const {
     if (accessed_.find(key) == accessed_.end()) out.push_back(key);
   }
   return out;
+}
+
+std::string KeyValueConfig::suggestion_for(const std::string& unknown) const {
+  std::vector<std::string> candidates;
+  candidates.reserve(requested_.size());
+  for (const auto& [key, value] : requested_) {
+    (void)value;
+    candidates.push_back(key);
+  }
+  return nearest_key(unknown, candidates);
 }
 
 }  // namespace finser::util

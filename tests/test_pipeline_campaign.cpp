@@ -1,0 +1,369 @@
+/// \file test_pipeline_campaign.cpp
+/// \brief Declarative campaigns: schema parsing with typo suggestions,
+/// JSON round-trip, stage-graph scheduling, single-scenario byte-identity
+/// with the legacy SerFlow path, and characterize-once artifact sharing.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "finser/obs/obs.hpp"
+#include "finser/pipeline/campaign.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::pipeline {
+namespace {
+
+/// Minimal-cost flow configuration (mirrors test_core_ser_flow.cpp).
+core::SerFlowConfig tiny_flow() {
+  core::SerFlowConfig cfg;
+  cfg.array_rows = 2;
+  cfg.array_cols = 2;
+  cfg.characterization.vdds = {0.8};
+  cfg.characterization.pv_samples_single = 10;
+  cfg.characterization.pair_grid_points = 6;
+  cfg.characterization.triple_grid_points = 6;
+  cfg.characterization.pv_samples_grid = 6;
+  cfg.array_mc.strikes = 600;
+  cfg.neutron_mc.histories = 600;
+  cfg.proton_bins = 3;
+  cfg.alpha_bins = 3;
+  cfg.seed = 5;
+  return cfg;
+}
+
+std::string temp_dir(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- parsing ----------------------------------------------------------------
+
+TEST(CampaignParse, MinimalDocument) {
+  const CampaignSpec spec = parse_campaign_text(
+      R"({"scenarios": [{"name": "a"}]})");
+  ASSERT_EQ(spec.scenarios.size(), 1u);
+  EXPECT_EQ(spec.scenarios[0].name, "a");
+  // Schema fallbacks are the SerFlowConfig struct defaults.
+  const core::SerFlowConfig reference;
+  EXPECT_EQ(spec.scenarios[0].flow.array_rows, reference.array_rows);
+  EXPECT_EQ(spec.scenarios[0].flow.array_mc.strikes,
+            reference.array_mc.strikes);
+  EXPECT_EQ(spec.scenarios[0].species,
+            (std::vector<std::string>{"alpha", "proton"}));
+}
+
+TEST(CampaignParse, UnknownScenarioKeySuggestsNearest) {
+  try {
+    parse_campaign_text(
+        R"({"scenarios": [{"name": "a", "strikse": 100}]})");
+    FAIL() << "expected InvalidArgument";
+  } catch (const util::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown key `strikse`"), std::string::npos) << what;
+    EXPECT_NE(what.find("scenarios[0]"), std::string::npos) << what;
+    EXPECT_NE(what.find("did you mean `strikes`"), std::string::npos) << what;
+  }
+}
+
+TEST(CampaignParse, UnknownTopLevelKeySuggestsNearest) {
+  try {
+    parse_campaign_text(
+        R"({"outptu_dir": "x", "scenarios": [{"name": "a"}]})");
+    FAIL() << "expected InvalidArgument";
+  } catch (const util::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did you mean `output_dir`"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(CampaignParse, FarFetchedKeyGetsNoSuggestion) {
+  try {
+    parse_campaign_text(
+        R"({"scenarios": [{"name": "a", "zzzzzz": 1}]})");
+    FAIL() << "expected InvalidArgument";
+  } catch (const util::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown key `zzzzzz`"), std::string::npos) << what;
+    EXPECT_EQ(what.find("did you mean"), std::string::npos) << what;
+  }
+}
+
+TEST(CampaignParse, UnknownPatternAndSpeciesSuggestNearest) {
+  try {
+    parse_campaign_text(
+        R"({"scenarios": [{"name": "a", "pattern": "checkerbord"}]})");
+    FAIL() << "expected InvalidArgument";
+  } catch (const util::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean `checkerboard`"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    parse_campaign_text(
+        R"({"scenarios": [{"name": "a", "species": ["protn"]}]})");
+    FAIL() << "expected InvalidArgument";
+  } catch (const util::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean `proton`"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CampaignParse, DefaultsMergeUnderScenarios) {
+  const CampaignSpec spec = parse_campaign_text(R"({
+    "defaults": {"strikes": 1234, "rows": 3},
+    "scenarios": [
+      {"name": "inherits"},
+      {"name": "overrides", "strikes": 99}
+    ]
+  })");
+  EXPECT_EQ(spec.scenarios[0].flow.array_mc.strikes, 1234u);
+  EXPECT_EQ(spec.scenarios[0].flow.array_rows, 3u);
+  EXPECT_EQ(spec.scenarios[1].flow.array_mc.strikes, 99u);
+  EXPECT_EQ(spec.scenarios[1].flow.array_rows, 3u);
+}
+
+TEST(CampaignParse, RejectsDuplicateNamesAndBadValues) {
+  EXPECT_THROW(parse_campaign_text(
+                   R"({"scenarios": [{"name": "a"}, {"name": "a"}]})"),
+               util::InvalidArgument);
+  EXPECT_THROW(parse_campaign_text(R"({"scenarios": []})"),
+               util::InvalidArgument);
+  EXPECT_THROW(parse_campaign_text(R"({"scenarios": [{"name": ""}]})"),
+               util::InvalidArgument);
+  EXPECT_THROW(parse_campaign_text(
+                   R"({"scenarios": [{"name": "a", "rows": 0}]})"),
+               util::InvalidArgument);
+  EXPECT_THROW(parse_campaign_text(
+                   R"({"scenarios": [{"name": "a", "rows": "many"}]})"),
+               util::InvalidArgument);
+  EXPECT_THROW(parse_campaign_text(
+                   R"({"scenarios": [{"name": "a", "vdds": []}]})"),
+               util::InvalidArgument);
+  EXPECT_THROW(parse_campaign_text(R"({"scenarios": [{}]})"),
+               util::InvalidArgument);
+}
+
+TEST(CampaignParse, JsonRoundTripIsExact) {
+  CampaignSpec spec;
+  spec.name = "round-trip";
+  spec.artifact_dir = "out/artifacts";
+  spec.output_dir = "out";
+  spec.threads = 4;
+  ScenarioSpec a;
+  a.name = "nominal";
+  a.species = {"alpha", "proton"};
+  a.flow = tiny_flow();
+  ScenarioSpec b = a;
+  b.name = "low-vdd";
+  b.species = {"neutron"};
+  b.flow.characterization.vdds = {0.7, 0.75};
+  b.flow.pattern = sram::DataPattern::kRandom;
+  b.flow.pattern_seed = 9;
+  b.flow.cell_design.cnode_f = 0.21e-15;
+  b.flow.cell_geometry.fin_w_nm = 12.0;
+  spec.scenarios = {a, b};
+
+  const std::string dump1 = campaign_to_json(spec).dump(2);
+  const CampaignSpec reparsed = parse_campaign_text(dump1);
+  const std::string dump2 = campaign_to_json(reparsed).dump(2);
+  EXPECT_EQ(dump1, dump2);
+
+  // Spot-check the schema-covered fields survived exactly (doubles too:
+  // %.17g serialization round-trips IEEE-754 bit patterns).
+  ASSERT_EQ(reparsed.scenarios.size(), 2u);
+  EXPECT_EQ(reparsed.scenarios[1].flow.cell_design.cnode_f,
+            b.flow.cell_design.cnode_f);
+  EXPECT_EQ(reparsed.scenarios[1].flow.characterization.vdds,
+            b.flow.characterization.vdds);
+  EXPECT_EQ(reparsed.scenarios[1].flow.pattern, sram::DataPattern::kRandom);
+  EXPECT_EQ(reparsed.scenarios[1].species,
+            (std::vector<std::string>{"neutron"}));
+  EXPECT_EQ(reparsed.threads, 4u);
+}
+
+// --- stage graph ------------------------------------------------------------
+
+TEST(StageGraph, DependenciesRunBeforeDependents) {
+  StageGraph graph;
+  std::mutex mu;
+  std::vector<int> order;
+  const auto record = [&](int id) {
+    const std::lock_guard<std::mutex> lock(mu);
+    order.push_back(id);
+  };
+  const std::size_t a = graph.add("a", {}, [&](std::size_t) { record(0); });
+  const std::size_t b = graph.add("b", {}, [&](std::size_t) { record(1); });
+  graph.add("c", {a, b}, [&](std::size_t) { record(2); });
+  graph.run(4);
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.back(), 2);  // c strictly after both roots
+}
+
+TEST(StageGraph, StageThreadShareIsPositiveAndBounded) {
+  StageGraph graph;
+  std::mutex mu;
+  std::vector<std::size_t> shares;
+  for (int i = 0; i < 5; ++i) {
+    graph.add("s", {}, [&](std::size_t threads) {
+      const std::lock_guard<std::mutex> lock(mu);
+      shares.push_back(threads);
+    });
+  }
+  graph.run(2);
+  ASSERT_EQ(shares.size(), 5u);
+  for (std::size_t s : shares) EXPECT_GE(s, 1u);
+}
+
+TEST(StageGraph, ExceptionsPropagate) {
+  StageGraph graph;
+  graph.add("boom", {}, [](std::size_t) {
+    throw util::InvalidArgument("stage failure");
+  });
+  EXPECT_THROW(graph.run(2), util::InvalidArgument);
+}
+
+TEST(StageGraph, RejectsForwardDependencies) {
+  StageGraph graph;
+  EXPECT_THROW(graph.add("bad", {0}, [](std::size_t) {}),
+               util::InvalidArgument);
+}
+
+// --- runner -----------------------------------------------------------------
+
+void expect_sweeps_equal(const core::EnergySweepResult& a,
+                         const core::EnergySweepResult& b) {
+  ASSERT_EQ(a.bins.size(), b.bins.size());
+  ASSERT_EQ(a.per_bin.size(), b.per_bin.size());
+  ASSERT_EQ(a.vdds, b.vdds);
+  for (std::size_t i = 0; i < a.per_bin.size(); ++i) {
+    ASSERT_EQ(a.per_bin[i].est.size(), b.per_bin[i].est.size());
+    for (std::size_t v = 0; v < a.per_bin[i].est.size(); ++v) {
+      for (std::size_t mode = 0; mode < 2; ++mode) {
+        const core::PofEstimate& x = a.per_bin[i].est[v][mode];
+        const core::PofEstimate& y = b.per_bin[i].est[v][mode];
+        EXPECT_EQ(x.tot, y.tot);
+        EXPECT_EQ(x.seu, y.seu);
+        EXPECT_EQ(x.mbu, y.mbu);
+        EXPECT_EQ(x.tot_se, y.tot_se);
+        EXPECT_EQ(x.hit_fraction, y.hit_fraction);
+        EXPECT_EQ(x.multiplicity, y.multiplicity);
+      }
+    }
+  }
+  ASSERT_EQ(a.fit.size(), b.fit.size());
+  for (std::size_t v = 0; v < a.fit.size(); ++v) {
+    for (std::size_t mode = 0; mode < 2; ++mode) {
+      EXPECT_EQ(a.fit[v][mode].fit_tot, b.fit[v][mode].fit_tot);
+      EXPECT_EQ(a.fit[v][mode].fit_seu, b.fit[v][mode].fit_seu);
+      EXPECT_EQ(a.fit[v][mode].fit_mbu, b.fit[v][mode].fit_mbu);
+    }
+  }
+}
+
+/// The tentpole contract: a single-scenario campaign is bit-identical to
+/// driving core::SerFlow directly, at any thread count.
+TEST(CampaignRunner, SingleScenarioMatchesLegacyFlowBitExactly) {
+  const core::SerFlowConfig cfg = tiny_flow();
+  const std::vector<std::string> species = {"alpha", "proton"};
+
+  // Legacy path: one flow, sweeps in species order (the CLI `run` loop).
+  core::SerFlow legacy(cfg);
+  std::vector<core::EnergySweepResult> expected;
+  for (const std::string& name : species) {
+    expected.push_back(legacy.sweep(spectrum_for_species(name)));
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    CampaignSpec spec = single_scenario_campaign(cfg, species, "");
+    spec.threads = threads;
+    CampaignRunner runner(std::move(spec));
+    const std::vector<ScenarioResult> results = runner.run();
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_EQ(results[0].sweeps.size(), species.size());
+    for (std::size_t s = 0; s < species.size(); ++s) {
+      expect_sweeps_equal(expected[s], results[0].sweeps[s]);
+    }
+  }
+}
+
+/// Three scenarios sharing one cell-model fingerprint characterize exactly
+/// once; with an artifact store, a warm re-run characterizes zero times and
+/// serves every energy bin from cache.
+TEST(CampaignRunner, SharedModelCharacterizesOnceAndWarmRunsFromArtifacts) {
+  const std::string artifacts = temp_dir("finser_campaign_artifacts");
+  std::filesystem::remove_all(artifacts);
+
+  CampaignSpec spec;
+  spec.name = "share-test";
+  spec.artifact_dir = artifacts;
+  spec.output_dir = "";  // no CSVs from this test
+  const sram::DataPattern patterns[3] = {sram::DataPattern::kCheckerboard,
+                                         sram::DataPattern::kAllOnes,
+                                         sram::DataPattern::kAllZeros};
+  for (int i = 0; i < 3; ++i) {
+    ScenarioSpec s;
+    s.name = "s" + std::to_string(i);
+    s.species = {"alpha"};
+    s.flow = tiny_flow();
+    s.flow.pattern = patterns[i];  // same cell model, different layout
+    spec.scenarios.push_back(std::move(s));
+  }
+
+  obs::Registry::global().reset();
+  obs::set_enabled(true);
+
+  CampaignRunner cold(spec);
+  const auto cold_results = cold.run();
+  ASSERT_EQ(cold_results.size(), 3u);
+  auto& reg = obs::Registry::global();
+  EXPECT_EQ(reg.counter("pipeline.characterizations").total(), 1u);
+  EXPECT_EQ(reg.counter("pipeline.device_lut_builds").total(), 1u);
+  EXPECT_EQ(reg.counter("core.bin_cache_hits").total(), 0u);
+  // 3 scenarios × 3 alpha bins, all computed on the cold run.
+  EXPECT_EQ(reg.counter("core.bin_cache_misses").total(), 9u);
+
+  CampaignRunner warm(spec);
+  const auto warm_results = warm.run();
+  EXPECT_EQ(reg.counter("pipeline.characterizations").total(), 1u)
+      << "warm run must reuse the characterization artifact";
+  EXPECT_EQ(reg.counter("pipeline.device_lut_builds").total(), 1u)
+      << "warm run must reuse the device LUT artifact";
+  EXPECT_EQ(reg.counter("core.bin_cache_hits").total(), 9u)
+      << "warm run must serve every energy bin from the artifact store";
+
+  obs::set_enabled(false);
+  obs::Registry::global().reset();
+
+  // Cached bins are bit-identical to computed ones.
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(warm_results[i].sweeps.size(), 1u);
+    expect_sweeps_equal(cold_results[i].sweeps[0], warm_results[i].sweeps[0]);
+  }
+  std::filesystem::remove_all(artifacts);
+}
+
+/// Scenario outputs land in per-scenario directories with the CLI's CSV
+/// formats.
+TEST(CampaignRunner, WritesPerScenarioCsvOutputs) {
+  const std::string out = temp_dir("finser_campaign_out");
+  std::filesystem::remove_all(out);
+
+  CampaignSpec spec = single_scenario_campaign(tiny_flow(), {"alpha"}, out,
+                                               "only");
+  CampaignRunner runner(std::move(spec));
+  runner.run();
+
+  EXPECT_TRUE(std::filesystem::exists(out + "/only/pof_alpha.csv"));
+  EXPECT_TRUE(std::filesystem::exists(out + "/only/fit_summary.csv"));
+  EXPECT_TRUE(std::filesystem::exists(out + "/eh_pairs_alpha.csv"));
+  std::filesystem::remove_all(out);
+}
+
+}  // namespace
+}  // namespace finser::pipeline

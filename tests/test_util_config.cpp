@@ -105,6 +105,41 @@ TEST(Config, UnknownKeyTracking) {
   EXPECT_EQ(unknown[0], "typo.key");
 }
 
+TEST(Config, EditDistanceIsLevenshtein) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("strikes", "strikse"), 2u);  // transpose = 2 edits
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("mc.seed", "mc.sed"), 1u);
+}
+
+TEST(Config, NearestKeyCapsDistanceAtTwo) {
+  const std::vector<std::string> keys = {"mc.strikes", "mc.seed", "array.rows"};
+  EXPECT_EQ(nearest_key("mc.strikse", keys), "mc.strikes");
+  EXPECT_EQ(nearest_key("mc.sed", keys), "mc.seed");
+  EXPECT_EQ(nearest_key("completely.different", keys), "");
+  // An exact match is not a suggestion.
+  EXPECT_EQ(nearest_key("mc.seed", {"mc.seed"}), "");
+  // Deterministic tie-break: smaller distance first, then map/list order.
+  EXPECT_EQ(nearest_key("ac", std::vector<std::string>{"ab", "ac1", "ad"}),
+            "ab");
+}
+
+TEST(Config, SuggestionForUsesRequestedKeysAsVocabulary) {
+  const auto cfg = KeyValueConfig::parse("mc.strikse = 100\n");
+  // The program asks for its supported knobs (present in the file or not)...
+  EXPECT_EQ(cfg.get_int("mc.strikes", 60000), 60000);
+  EXPECT_EQ(cfg.get_int("array.rows", 9), 9);
+  // ...which makes the typo diagnosable.
+  const auto unknown = cfg.unknown_keys();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "mc.strikse");
+  EXPECT_EQ(cfg.suggestion_for("mc.strikse"), "mc.strikes");
+  EXPECT_EQ(cfg.suggestion_for("nothing.like.it"), "");
+}
+
 TEST(Config, ParseFileRoundTrip) {
   const auto path =
       (std::filesystem::temp_directory_path() / "finser_cfg_test.ini").string();

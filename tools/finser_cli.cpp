@@ -2,9 +2,11 @@
 /// \brief Command-line driver of the finser cross-layer SER flow.
 ///
 /// Usage:
-///   finser_cli run <config.ini>   full flow from a config file (see below)
-///   finser_cli run                ... with built-in paper defaults
-///   finser_cli cell [vdd]         one-voltage cell summary (Qcrit, SNM)
+///   finser_cli run <config.ini>       full flow from a config file (below)
+///   finser_cli run                    ... with built-in paper defaults
+///   finser_cli campaign <file.json>   multi-scenario campaign
+///                                     (schema: docs/architecture.md)
+///   finser_cli cell [vdd]             one-voltage cell summary (Qcrit, SNM)
 ///   finser_cli --help
 ///
 /// The global `--threads N` flag caps the worker-thread count (default:
@@ -38,6 +40,7 @@
 #include "finser/exec/progress.hpp"
 #include "finser/obs/obs.hpp"
 #include "finser/obs/report.hpp"
+#include "finser/pipeline/campaign.hpp"
 #include "finser/sram/snm.hpp"
 #include "finser/util/config.hpp"
 #include "finser/util/csv.hpp"
@@ -50,10 +53,17 @@ using namespace finser;
 void print_help() {
   std::printf(
       "finser_cli — cross-layer SOI FinFET SRAM soft-error analysis\n\n"
-      "  finser_cli run [config.ini]   full characterization + spectrum sweeps\n"
-      "  finser_cli cell [vdd]         single-voltage cell summary\n"
-      "  finser_cli --help             this text\n\n"
+      "  finser_cli run [config.ini]       full characterization + sweeps\n"
+      "  finser_cli campaign <file.json>   multi-scenario campaign; shared\n"
+      "                                    characterization and artifact cache\n"
+      "                                    (schema: docs/architecture.md)\n"
+      "  finser_cli cell [vdd]             single-voltage cell summary\n"
+      "  finser_cli --help                 this text\n\n"
       "Options:\n"
+      "  --print-config for `run` and `campaign`: print the fully resolved\n"
+      "                 effective configuration as campaign JSON (round-trips\n"
+      "                 through the campaign parser) and exit without\n"
+      "                 simulating\n"
       "  --threads N    worker threads (default: FINSER_THREADS, else all\n"
       "                 hardware threads); never changes the results\n"
       "  --resume PATH  checkpoint file stem for `run`: progress is saved\n"
@@ -114,7 +124,7 @@ core::SerFlowConfig flow_config_from(const util::KeyValueConfig& cfg,
 int cmd_run(const std::string& config_path, std::size_t cli_threads,
             const std::string& ckpt_path, double ckpt_interval,
             const std::string& metrics_out, const std::string& trace_out,
-            const exec::CancelToken& cancel) {
+            bool print_config, const exec::CancelToken& cancel) {
   util::KeyValueConfig cfg;
   if (!config_path.empty()) {
     cfg = util::KeyValueConfig::parse_file(config_path);
@@ -128,13 +138,29 @@ int cmd_run(const std::string& config_path, std::size_t cli_threads,
     flow_cfg.lut_cache_path = out_dir + "/pof_luts.bin";
   }
 
-  // Fail loudly on config typos before hours of Monte Carlo.
+  // Fail loudly on config typos before hours of Monte Carlo. The getters
+  // above recorded every supported knob, so misspellings get a suggestion.
   const auto unknown = cfg.unknown_keys();
   if (!unknown.empty()) {
-    std::fprintf(stderr, "error: unknown config keys:");
-    for (const auto& k : unknown) std::fprintf(stderr, " %s", k.c_str());
-    std::fprintf(stderr, "\n");
+    for (const auto& k : unknown) {
+      std::fprintf(stderr, "error: unknown config key `%s`", k.c_str());
+      const std::string suggestion = cfg.suggestion_for(k);
+      if (!suggestion.empty()) {
+        std::fprintf(stderr, " (did you mean `%s`?)", suggestion.c_str());
+      }
+      std::fprintf(stderr, "\n");
+    }
     return 2;
+  }
+
+  if (print_config) {
+    // The fully resolved effective configuration, as a single-scenario
+    // campaign document — pasteable into `finser_cli campaign` and exact:
+    // it round-trips through the campaign parser unchanged.
+    const pipeline::CampaignSpec spec =
+        pipeline::single_scenario_campaign(flow_cfg, species, out_dir, "run");
+    std::printf("%s\n", pipeline::campaign_to_json(spec).dump(2).c_str());
+    return 0;
   }
 
   core::SerFlow flow(flow_cfg);
@@ -158,37 +184,14 @@ int cmd_run(const std::string& config_path, std::size_t cli_threads,
   // suffix); by the time the sweeps run, the model is already in memory.
   flow.cell_model(progress, run_opts_for(""));
 
-  util::CsvTable fit_table({"species", "vdd_v", "fit_tot", "fit_seu", "fit_mbu",
-                            "fit_tot_no_pv"});
+  util::CsvTable fit_table = pipeline::make_fit_table();
   for (const std::string& name : species) {
-    env::Spectrum spectrum = name == "proton"    ? env::sea_level_protons()
-                             : name == "neutron" ? env::sea_level_neutrons()
-                             : name == "alpha"   ? env::package_alphas()
-                                                 : env::package_alphas();
-    if (name != "proton" && name != "neutron" && name != "alpha") {
-      std::fprintf(stderr, "error: unknown species `%s`\n", name.c_str());
-      return 2;
-    }
+    const env::Spectrum spectrum = pipeline::spectrum_for_species(name);
     std::printf("sweeping %s...\n", spectrum.name().c_str());
     const auto result = flow.sweep(spectrum, progress, run_opts_for(name));
-
-    util::CsvTable pof_table({"energy_mev", "vdd_v", "pof_tot", "pof_seu",
-                              "pof_mbu", "pof_tot_se"});
-    for (std::size_t b = 0; b < result.bins.size(); ++b) {
-      for (std::size_t v = 0; v < result.vdds.size(); ++v) {
-        const auto& e = result.per_bin[b].est[v][core::kModeWithPv];
-        pof_table.add_row({result.bins[b].e_rep_mev, result.vdds[v], e.tot,
-                           e.seu, e.mbu, e.tot_se});
-      }
-    }
-    pof_table.write_csv_file(out_dir + "/pof_" + name + ".csv");
-
-    for (std::size_t v = 0; v < result.vdds.size(); ++v) {
-      const auto& pv = result.fit[v][core::kModeWithPv];
-      const auto& nom = result.fit[v][core::kModeNominal];
-      fit_table.add_row({name, result.vdds[v], pv.fit_tot, pv.fit_seu,
-                         pv.fit_mbu, nom.fit_tot});
-    }
+    pipeline::pof_csv(result).write_csv_file(out_dir + "/pof_" + name +
+                                             ".csv");
+    pipeline::append_fit_rows(fit_table, name, result);
   }
   fit_table.write_csv_file(out_dir + "/fit_summary.csv");
   std::printf("\n");
@@ -205,6 +208,58 @@ int cmd_run(const std::string& config_path, std::size_t cli_threads,
     info.mc_scale = core::mc_scale_from_env();
     info.config_fingerprint =
         flow_cfg.characterization.fingerprint(flow_cfg.cell_design);
+    obs::write_run_report(metrics_out, info);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    obs::write_chrome_trace(trace_out);
+    std::printf("trace written to %s\n", trace_out.c_str());
+  }
+  return 0;
+}
+
+int cmd_campaign(const std::string& campaign_path, std::size_t cli_threads,
+                 const std::string& metrics_out, const std::string& trace_out,
+                 bool print_config, const exec::CancelToken& cancel) {
+  pipeline::CampaignSpec spec = pipeline::parse_campaign_file(campaign_path);
+  if (cli_threads > 0) spec.threads = cli_threads;
+
+  if (print_config) {
+    std::printf("%s\n", pipeline::campaign_to_json(spec).dump(2).c_str());
+    return 0;
+  }
+
+  const exec::ProgressSink progress(
+      [](const std::string& m) { std::printf("  [%s]\n", m.c_str()); },
+      std::chrono::milliseconds(250));
+  // Campaign resumability lives in the artifact store (every finished
+  // product is cached content-addressed), so only the cancel token rides in.
+  ckpt::RunOptions run;
+  run.cancel = &cancel;
+
+  pipeline::CampaignRunner runner(spec);
+  const auto results = runner.run(progress, run);
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& scenario = results[i];
+    const auto& species = runner.spec().scenarios[i].species;
+    util::CsvTable fit_table = pipeline::make_fit_table();
+    for (std::size_t s = 0; s < scenario.sweeps.size(); ++s) {
+      pipeline::append_fit_rows(fit_table, species[s], scenario.sweeps[s]);
+    }
+    std::printf("\nscenario %s:\n", scenario.name.c_str());
+    fit_table.write_pretty(std::cout);
+  }
+  if (!spec.output_dir.empty()) {
+    std::printf("\nresults written to %s/\n", spec.output_dir.c_str());
+  }
+
+  if (!metrics_out.empty()) {
+    obs::RunInfo info;
+    info.tool = "finser_cli";
+    info.command = "campaign " + campaign_path;
+    info.threads = exec::resolve_threads(spec.threads);
+    info.mc_scale = core::mc_scale_from_env();
     obs::write_run_report(metrics_out, info);
     std::printf("metrics written to %s\n", metrics_out.c_str());
   }
@@ -257,8 +312,13 @@ int main(int argc, char** argv) {
     std::string metrics_out = finser::obs::configure_from_env();
     if (metrics_out == "0" || metrics_out == "1") metrics_out.clear();
     std::string trace_out;
+    bool print_config = false;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
+      if (a == "--print-config") {
+        print_config = true;
+        continue;
+      }
       if (a == "--threads" || a == "--resume" || a == "--checkpoint-interval" ||
           a == "--metrics-out" || a == "--trace-out") {
         if (i + 1 >= argc) {
@@ -310,7 +370,16 @@ int main(int argc, char** argv) {
     const std::string cmd = !args.empty() ? args[0] : "--help";
     if (cmd == "run") {
       return cmd_run(args.size() > 1 ? args[1] : "", threads, ckpt_path,
-                     ckpt_interval, metrics_out, trace_out, cancel);
+                     ckpt_interval, metrics_out, trace_out, print_config,
+                     cancel);
+    }
+    if (cmd == "campaign") {
+      if (args.size() < 2) {
+        std::fprintf(stderr, "error: campaign needs a JSON file argument\n");
+        return 2;
+      }
+      return cmd_campaign(args[1], threads, metrics_out, trace_out,
+                          print_config, cancel);
     }
     if (cmd == "cell") {
       return cmd_cell(args.size() > 1 ? std::stod(args[1]) : 0.8);

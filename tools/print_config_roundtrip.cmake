@@ -1,0 +1,37 @@
+# CTest script: `finser_cli run --print-config` emits campaign JSON that must
+# round-trip through the campaign parser byte-for-byte. We dump the resolved
+# default config, feed the dump back through `campaign --print-config`, and
+# require identical output — any normalization drift (key order, number
+# formatting, defaulting) fails the diff.
+#
+# Inputs: -DFINSER_CLI=<path to binary> -DWORK_DIR=<scratch dir>
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${FINSER_CLI}" run --print-config
+  OUTPUT_FILE "${WORK_DIR}/first.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run --print-config failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND "${FINSER_CLI}" campaign "${WORK_DIR}/first.json" --print-config
+  OUTPUT_FILE "${WORK_DIR}/second.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "campaign --print-config failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/first.json" "${WORK_DIR}/second.json"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  file(READ "${WORK_DIR}/first.json" first)
+  file(READ "${WORK_DIR}/second.json" second)
+  message(FATAL_ERROR "print-config does not round-trip through the campaign "
+                      "parser.\n--- first ---\n${first}\n--- second ---\n"
+                      "${second}")
+endif()
