@@ -5,9 +5,11 @@
 /// Report: a runtime budget table for the paper-scale campaign.
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -308,6 +310,135 @@ void report_artifact_cache() {
   std::cout << "[json] " << path << "\n";
 }
 
+/// Compile-once/evaluate-many SPICE kernel: the characterization hot path
+/// runs thousands of strike transients per supply voltage, each differing
+/// only in rebindable parameters (ΔVt sample, strike charges). This bench
+/// compares the historical shape — a fresh reference-engine simulator per
+/// PV sample (rebuild netlist + solver scratch every time) — against the
+/// compiled engine's rebind-per-sample path, on identical work, and
+/// cross-checks that both produce bit-identical outcomes.
+void report_spice_kernel() {
+  const sram::CellDesign design;
+  const double vdd = 0.8;
+  constexpr int kSamples = 120;     // PV (ΔVt) samples.
+  constexpr int kSimsPerSample = 8; // Charge ladder per sample (~a bisection).
+
+  // Deterministic workload, generated once and replayed by both engines.
+  std::vector<sram::DeltaVt> dvts(kSamples);
+  std::vector<std::array<double, kSimsPerSample>> charges(kSamples);
+  {
+    stats::Rng rng(20140602);
+    for (int i = 0; i < kSamples; ++i) {
+      for (double& v : dvts[static_cast<std::size_t>(i)]) {
+        v = rng.normal(0.0, design.sigma_vt);
+      }
+      for (double& q : charges[static_cast<std::size_t>(i)]) {
+        q = rng.uniform(0.02, 0.3);
+      }
+    }
+  }
+
+  const auto run_pass = [&](sram::SpiceEngine engine, bool fresh_per_sample,
+                            std::vector<sram::StrikeOutcome>& out) {
+    out.clear();
+    out.reserve(kSamples * kSimsPerSample);
+    sram::StrikeSimulator shared(design, vdd, sram::AccessMode::kRetention,
+                                 engine);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSamples; ++i) {
+      std::optional<sram::StrikeSimulator> local;
+      if (fresh_per_sample) {
+        local.emplace(design, vdd, sram::AccessMode::kRetention, engine);
+      }
+      sram::StrikeSimulator& sim = fresh_per_sample ? *local : shared;
+      for (int s = 0; s < kSimsPerSample; ++s) {
+        const double q = charges[static_cast<std::size_t>(i)]
+                                [static_cast<std::size_t>(s)];
+        out.push_back(sim.simulate(sram::StrikeCharges{q, 0.0, 0.0},
+                                   dvts[static_cast<std::size_t>(i)]));
+      }
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  std::vector<sram::StrikeOutcome> ref_out, hot_out;
+  // Warm-up (page in the models, spin up allocators), then timed passes.
+  // Both timed passes run with observability disabled so neither side pays
+  // the counter overhead; the counters come from a separate untimed pass.
+  run_pass(sram::SpiceEngine::kReference, true, ref_out);
+  run_pass(sram::SpiceEngine::kCompiled, false, hot_out);
+  const double rebuild_s =
+      run_pass(sram::SpiceEngine::kReference, true, ref_out);
+  const double rebind_s =
+      run_pass(sram::SpiceEngine::kCompiled, false, hot_out);
+
+  // Count what the compiled path actually does: solver steps skipped by the
+  // steady-state fast-forward and DC hold solves saved by the ΔVt cache.
+  obs::Registry::global().reset();
+  obs::set_enabled(true);
+  run_pass(sram::SpiceEngine::kCompiled, false, hot_out);
+  const auto count = [](const char* name) {
+    return static_cast<unsigned long long>(
+        obs::Registry::global().counter(name).total());
+  };
+  const unsigned long long tran_steps = count("spice.tran.steps");
+  const unsigned long long ff_steps = count("spice.tran.ff_steps");
+  const unsigned long long newton_iters = count("spice.tran.newton_iters");
+  const unsigned long long dc_reuse = count("sram.strike.dc_reuse");
+  obs::set_enabled(false);
+  obs::Registry::global().reset();
+
+  bool identical = ref_out.size() == hot_out.size();
+  for (std::size_t i = 0; identical && i < ref_out.size(); ++i) {
+    identical = ref_out[i].flipped == hot_out[i].flipped &&
+                ref_out[i].final_q_v == hot_out[i].final_q_v &&
+                ref_out[i].final_qb_v == hot_out[i].final_qb_v;
+  }
+
+  const double n = static_cast<double>(kSamples * kSimsPerSample);
+  const double rebuild_rate = rebuild_s > 0.0 ? n / rebuild_s : 0.0;
+  const double rebind_rate = rebind_s > 0.0 ? n / rebind_s : 0.0;
+  const double speedup = rebind_s > 0.0 ? rebuild_s / rebind_s : 0.0;
+
+  util::CsvTable t({"path", "seconds", "transients_per_s", "speedup",
+                    "identical"});
+  t.add_row({std::string("rebuild-per-sample (reference)"), rebuild_s,
+             rebuild_rate, 1.0, 1.0});
+  t.add_row({std::string("rebind-per-sample (compiled)"), rebind_s,
+             rebind_rate, speedup, identical ? 1.0 : 0.0});
+  bench::emit(t, "spice_kernel",
+              "SPICE strike kernel: rebuild vs compiled rebind "
+              "(identical must be 1)");
+
+  std::filesystem::create_directories(bench::kOutDir);
+  const std::string path = std::string(bench::kOutDir) + "/spice_kernel.json";
+  std::ofstream os(path);
+  char body[640];
+  std::snprintf(body, sizeof body,
+                "{\n"
+                "  \"kernel\": \"spice_strike_transient\",\n"
+                "  \"pv_samples\": %d,\n"
+                "  \"transients_per_sample\": %d,\n"
+                "  \"rebuild_seconds\": %.6f,\n"
+                "  \"rebind_seconds\": %.6f,\n"
+                "  \"rebuild_transients_per_s\": %.1f,\n"
+                "  \"rebind_transients_per_s\": %.1f,\n"
+                "  \"rebind_speedup\": %.3f,\n"
+                "  \"bit_identical_outcomes\": %s,\n"
+                "  \"rebind_tran_steps\": %llu,\n"
+                "  \"rebind_ff_steps\": %llu,\n"
+                "  \"rebind_newton_iters\": %llu,\n"
+                "  \"rebind_dc_hold_reuses\": %llu\n"
+                "}\n",
+                kSamples, kSimsPerSample, rebuild_s, rebind_s, rebuild_rate,
+                rebind_rate, speedup, identical ? "true" : "false", tran_steps,
+                ff_steps, newton_iters, dc_reuse);
+  os << body;
+  std::cout << "[json] " << path << "\n";
+}
+
 void report() {
   // Measure the two dominant costs directly and extrapolate the paper-scale
   // campaign (10M strikes, 18 energy points, full characterization).
@@ -354,6 +485,7 @@ void report() {
   bench::emit(t, "kernel_perf",
               "Runtime budget of the paper-scale campaign on this machine");
 
+  report_spice_kernel();
   report_parallel_scaling();
   report_obs_overhead();
   report_artifact_cache();

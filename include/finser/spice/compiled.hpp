@@ -1,0 +1,224 @@
+#pragma once
+/// \file compiled.hpp
+/// \brief Compile-once/evaluate-many lowering of a Circuit.
+///
+/// Characterization solves millions of tiny transients on a handful of
+/// fixed topologies: the netlist never changes between samples, only a few
+/// parameters do (per-transistor ΔVt, strike pulse shapes, source
+/// voltages). CompiledCircuit lowers a Circuit into that shape once:
+///
+///   * **Devirtualized stamp plan** — one flat array of tagged device
+///     records, walked with a switch instead of virtual Device::stamp()
+///     calls, in the *original netlist order* so the floating-point
+///     accumulation into each MNA entry is byte-identical to the
+///     polymorphic reference path (both share the kernels in
+///     src/spice/stamp_kernels.hpp).
+///   * **Per-kind SoA parameter arrays** — precomputed unknown indices and
+///     parameters, contiguous per device kind; reactive state (capacitor
+///     histories) lives here too, so evaluating a compiled circuit never
+///     touches the polymorphic devices.
+///   * **rebind()** — refreshes every *mutable* parameter (Mosfet ΔVt and
+///     temperature, VSource voltage, PulseISource shape) from the source
+///     circuit without reallocating devices, nodes or plans. A Vt-variation
+///     MC sample or an injected-charge step is a rebind, not a rebuild.
+///
+/// Together with SolveWorkspace (preallocated Mna + Newton scratch + pivot
+/// cache) the compiled entry points of solve_dc()/run_transient() run the
+/// characterization hot path without per-sample allocation. The polymorphic
+/// path remains the reference implementation; equivalence is pinned
+/// bit-exact by tests/test_spice_compiled.cpp. Lifecycle details and the
+/// when-to-recompile table: docs/spice.md.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "finser/spice/circuit.hpp"
+#include "finser/spice/devices.hpp"
+#include "finser/spice/finfet.hpp"
+#include "finser/spice/mna.hpp"
+
+namespace finser::spice {
+
+/// Devirtualized, rebindable lowering of one Circuit (see file comment).
+/// The source Circuit must outlive the compiled form and must not gain
+/// nodes, branches or devices afterwards — parameter *values* may change
+/// freely through the device setters followed by rebind().
+class CompiledCircuit {
+ public:
+  explicit CompiledCircuit(const Circuit& circuit);
+
+  /// Refresh every mutable device parameter from the source circuit.
+  void rebind();
+
+  const Circuit& source() const { return *src_; }
+  std::size_t node_count() const { return node_count_; }
+  std::size_t unknown_count() const { return unknown_count_; }
+  std::size_t device_count() const { return ops_.size(); }
+
+  // --- Engine hooks (mirror the Device interface, devirtualized) ----------
+
+  /// Contribute every device's linearized companion model at ctx's iterate.
+  void stamp_all(Mna& mna, const StampContext& ctx) const;
+
+  /// Fused-path stamp: identical contributions in identical order to
+  /// stamp_all(), written through precomputed flat slot indices into raw
+  /// dense arrays instead of Mna::add() calls. \p a must have
+  /// unknown_count()² + 1 zeroed entries and \p b unknown_count() + 1 —
+  /// the final entry of each is a scratch slot absorbing ground stamps
+  /// (branch-free equivalent of Mna's kGround drop). Used by the engine's
+  /// compiled Newton kernel (engine_detail.hpp); bit-identity with
+  /// stamp_all() is pinned by tests/test_spice_compiled.cpp.
+  void stamp_fused(double* a, double* b, const StampContext& ctx) const;
+
+  /// Reset reactive state from the DC operating point \p x.
+  void initialize_state(const std::vector<double>& x);
+
+  /// Advance reactive state after an accepted time step.
+  void commit(const StampContext& ctx);
+
+  /// Append hard time points (source edges) within [0, t_end].
+  void add_breakpoints(double t_end, std::vector<double>& out) const;
+
+  /// True when every time-dependent source (PWL tables, strike pulses) has
+  /// reached its final constant value by time \p t — i.e. stamping at any
+  /// time >= \p t is a pure function of the iterate and the reactive state.
+  /// This is the license for the transient engine's steady-state
+  /// fast-forward (see engine_detail.hpp).
+  bool sources_constant_after(double t) const;
+
+  /// Snapshot / restore the reactive state (capacitor histories), used by
+  /// the steady-state fast-forward to replay a proven cycle.
+  void save_reactive_state(std::vector<double>& out) const;
+  void load_reactive_state(const std::vector<double>& in);
+
+ private:
+  enum class Kind : std::uint8_t {
+    kResistor,
+    kCapacitor,
+    kVSource,
+    kPwlVSource,
+    kPulseISource,
+    kMosfet,
+  };
+
+  /// One stamp-plan step: device kind + index into that kind's SoA array.
+  struct Op {
+    Kind kind;
+    std::uint32_t idx;
+  };
+
+  /// Flat index into the fused stamp arrays (see stamp_fused): matrix slots
+  /// are i·n + j, rhs slots are i, and ground-touching stamps are redirected
+  /// to the trailing scratch slot (n² resp. n) at compile time.
+  using Slot = std::uint32_t;
+
+  struct ResistorRec {
+    std::size_t a, b;
+    double g;
+    Slot s_aa, s_bb, s_ab, s_ba;
+  };
+  struct CapacitorRec {
+    std::size_t a, b;
+    double c;
+    double v_prev = 0.0;
+    double i_prev = 0.0;
+    Slot s_aa, s_bb, s_ab, s_ba, r_a, r_b;
+  };
+  struct VSourceRec {
+    const VSource* src;
+    std::size_t a, b, branch;
+    double v;
+    Slot s_ak, s_bk, s_ka, s_kb, r_k;
+  };
+  struct PwlRec {
+    // The waveform table is immutable, so it is read through the source
+    // device instead of being copied into the plan.
+    const PwlVSource* src;
+    std::size_t a, b, branch;
+    Slot s_ak, s_bk, s_ka, s_kb, r_k;
+  };
+  struct ISourceRec {
+    const PulseISource* src;
+    std::size_t from, to;
+    PulseShape shape;
+    Slot r_from, r_to;
+  };
+  struct MosRec {
+    const Mosfet* src;
+    std::size_t d, g, s;
+    const FinFetModel* model;
+    double nfin;
+    double delta_vt;
+    double temp_k;
+    FinFetPlan plan;  ///< Baked at compile/rebind (see finfet.hpp).
+    Slot s_dd, s_dg, s_ds, s_sd, s_sg, s_ss, r_d, r_s;
+  };
+
+  const Circuit* src_;
+  std::size_t node_count_;
+  std::size_t unknown_count_;
+  std::vector<Op> ops_;  ///< Original netlist order.
+  std::vector<ResistorRec> resistors_;
+  std::vector<CapacitorRec> capacitors_;
+  std::vector<VSourceRec> vsources_;
+  std::vector<PwlRec> pwls_;
+  std::vector<ISourceRec> isources_;
+  std::vector<MosRec> mosfets_;
+};
+
+/// Preallocated scratch of the compiled solve paths: the MNA system, the
+/// pivot-order cache and every Newton/transient work vector. One workspace
+/// per (thread, compiled circuit); reusing it across solves is what removes
+/// the per-sample allocations of the reference path. A workspace adapts
+/// automatically when handed a system of a different size (and drops the
+/// pivot cache, which is topology-specific).
+struct SolveWorkspace {
+  Mna::PivotCache pivot;
+  std::vector<double> x_new;     ///< Newton candidate iterate.
+  std::vector<double> x_try;     ///< Transient trial state.
+  std::vector<double> x_good;    ///< DC: last converged iterate.
+  std::vector<double> anchor;    ///< DC: gmin anchor (initial guess copy).
+  std::vector<double> gmin_schedule;  ///< DC: extensible continuation schedule.
+  std::vector<double> breaks;    ///< Transient: hard breakpoint times.
+
+  /// Snapshot of one accepted uniform transient step: the solution vector
+  /// plus the reactive (capacitor) state. The transient engine keeps a short
+  /// ring of these to detect exact steady-state cycles (see
+  /// engine_detail.hpp run_transient_impl).
+  struct StateSnap {
+    std::vector<double> x;
+    std::vector<double> state;
+  };
+  std::array<StateSnap, 8> ff_ring;
+
+  // --- Fused solve-kernel scratch (compiled path only) ---------------------
+  // Raw dense system written by CompiledCircuit::stamp_fused(): fa holds the
+  // n×n matrix row-major plus one trailing ground-scratch slot, fb the rhs
+  // plus one, fperm the pivot permutation of the in-place factorization.
+  std::vector<double> fa;
+  std::vector<double> fb;
+  std::vector<std::size_t> fperm;
+
+  /// Size the fused-kernel scratch for \p n unknowns (idempotent).
+  void fused_for(std::size_t n) {
+    fa.resize(n * n + 1);
+    fb.resize(n + 1);
+    fperm.resize(n);
+  }
+
+  /// The workspace MNA system, (re)constructed to \p n unknowns on demand.
+  Mna& mna_for(std::size_t n) {
+    if (!mna_ || mna_->size() != n) {
+      mna_.emplace(n);
+      pivot.invalidate();
+    }
+    return *mna_;
+  }
+
+ private:
+  std::optional<Mna> mna_;
+};
+
+}  // namespace finser::spice

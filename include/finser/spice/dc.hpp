@@ -14,6 +14,9 @@
 
 namespace finser::spice {
 
+class CompiledCircuit;
+struct SolveWorkspace;
+
 /// Options for the operating-point solve.
 struct DcOptions {
   int max_iterations = 200;       ///< Newton iterations per gmin stage.
@@ -38,6 +41,14 @@ struct DcOptions {
 /// \returns the solution vector (node voltages then branch currents).
 /// \throws util::NumericalError if any gmin stage fails to converge.
 std::vector<double> solve_dc(const Circuit& circuit,
+                             const std::vector<double>& initial_guess = {},
+                             const DcOptions& options = {});
+
+/// Compiled hot-path overload: same algorithm and bit-identical results, but
+/// stamps through the devirtualized plan and keeps all solver scratch (MNA
+/// system, pivot cache, Newton vectors) in the caller-owned \p ws so repeated
+/// solves allocate nothing. See spice/compiled.hpp and docs/spice.md.
+std::vector<double> solve_dc(CompiledCircuit& circuit, SolveWorkspace& ws,
                              const std::vector<double>& initial_guess = {},
                              const DcOptions& options = {});
 

@@ -17,6 +17,10 @@ class Resistor : public Device {
   void stamp(Mna& mna, const StampContext& ctx) const override;
   const char* kind() const override { return "resistor"; }
 
+  std::size_t node_a() const { return a_; }
+  std::size_t node_b() const { return b_; }
+  double conductance() const { return g_; }
+
  private:
   std::size_t a_, b_;
   double g_;
@@ -32,6 +36,8 @@ class Capacitor : public Device {
   const char* kind() const override { return "capacitor"; }
 
   double capacitance() const { return c_; }
+  std::size_t node_a() const { return a_; }
+  std::size_t node_b() const { return b_; }
 
  private:
   double companion_geq(const StampContext& ctx) const;
@@ -58,6 +64,9 @@ class VSource : public Device {
   /// Branch current unknown of this source in solution vectors.
   std::size_t branch_id() const { return branch_; }
 
+  std::size_t node_a() const { return a_; }
+  std::size_t node_b() const { return b_; }
+
  private:
   std::size_t a_, b_;
   std::size_t branch_;
@@ -80,7 +89,12 @@ class PwlVSource : public Device {
   /// Waveform value at time \p t.
   double value(double t) const;
 
+  /// Time of the last table point; value(t) is constant for t beyond it.
+  double last_point_time() const { return points_.back().first; }
+
   std::size_t branch_id() const { return branch_; }
+  std::size_t node_a() const { return a_; }
+  std::size_t node_b() const { return b_; }
 
  private:
   std::size_t a_, b_;
@@ -103,6 +117,10 @@ struct PulseShape {
   /// Total charge delivered [C].
   double charge_c() const;
 
+  /// Time past which value(t) is identically zero (trailing edge plus the
+  /// same edge tolerance value() applies).
+  double end_time() const;
+
   /// Rectangular pulse delivering \p charge_c over \p width_s.
   static PulseShape rectangular_for_charge(double charge_c, double width_s,
                                            double delay_s = 0.0);
@@ -123,6 +141,9 @@ class PulseISource : public Device {
 
   void set_shape(const PulseShape& shape) { shape_ = shape; }
   const PulseShape& shape() const { return shape_; }
+
+  std::size_t node_from() const { return from_; }
+  std::size_t node_to() const { return to_; }
 
  private:
   std::size_t from_, to_;

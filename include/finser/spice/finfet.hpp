@@ -20,6 +20,8 @@
 /// Process variation enters as a per-device threshold shift Δv_t, sampled
 /// N(0, σ_Vt) with σ_Vt = 40 mV by default (Wang et al., 14 nm SOI FinFET).
 
+#include <cmath>
+
 namespace finser::spice {
 
 /// Device polarity.
@@ -67,5 +69,107 @@ const FinFetModel& default_nfet();
 
 /// Default PFET card of the 14 nm node (lower kp: hole mobility deficit).
 const FinFetModel& default_pfet();
+
+namespace detail {
+
+/// Softplus-squared EKV interpolation function F(u) = ln²(1 + e^{u/2}) and
+/// its derivative F'(u) = ln(1 + e^{u/2}) · sigmoid(u/2). Shared (inline, one
+/// definition) by evaluate_finfet() and the baked plan evaluation below so
+/// the two paths cannot drift numerically.
+struct FEval {
+  double f;
+  double df;
+};
+
+inline FEval ekv_f(double u) {
+  const double half = 0.5 * u;
+  double l;    // ln(1 + e^{u/2})
+  double sig;  // logistic(u/2)
+  if (half > 40.0) {
+    l = half;
+    sig = 1.0;
+  } else if (half < -40.0) {
+    // Deep subthreshold: l ~ e^{u/2} -> underflows harmlessly.
+    l = std::exp(half);
+    sig = l;
+  } else {
+    l = std::log1p(std::exp(half));
+    sig = 1.0 / (1.0 + std::exp(-half));
+  }
+  return {l * l, l * sig};
+}
+
+}  // namespace detail
+
+/// Baked form of one Mosfet instance for the compile-once/evaluate-many hot
+/// path: every sample-invariant subexpression of evaluate_finfet() — the
+/// thermal voltage, the temperature-scaled transconductance (the only
+/// std::pow in the model), the ΔVt-shifted threshold base and the derivative
+/// prefactors — is evaluated once per rebind instead of once per Newton
+/// iteration. Each field is computed by the *same expression, in the same
+/// association order,* as the corresponding subexpression in
+/// evaluate_finfet(), so evaluate_finfet_planned() is bit-identical to the
+/// reference evaluation (pinned by tests/test_spice_compiled.cpp).
+struct FinFetPlan {
+  bool p_type = false;  ///< PMOS: evaluate reflected, flip the current sign.
+  double n = 1.25;      ///< Subthreshold slope factor (copied from the card).
+  double dibl = 0.0;
+  double lambda = 0.0;
+  double phi_t = 0.0;      ///< kThermalVoltage300K · T / 300.
+  double vt_base = 0.0;    ///< vt0 + vt_tc·(T − 300) + Δvt.
+  double is = 0.0;         ///< 2·n·φ_t²·kp(T)·nfin.
+  double is_lambda = 0.0;  ///< is · λ.
+  double duf_dvgs = 0.0;   ///< 1 / (n·φ_t).
+  double duf_dvds = 0.0;   ///< σ_DIBL / (n·φ_t).
+  double dur_dvds = 0.0;   ///< duf_dvds − 1/φ_t.
+};
+
+/// Bake a plan for one device instance (see FinFetPlan). Preconditions match
+/// evaluate_finfet(): nfin > 0, temp_k > 0 — checked by the caller
+/// (CompiledCircuit) once per rebind rather than once per evaluation.
+FinFetPlan bake_finfet(const FinFetModel& m, double delta_vt, double nfin,
+                       double temp_k);
+
+/// Evaluate a baked plan at terminal voltages. Bit-identical to
+/// evaluate_finfet(m, vd, vg, vs, delta_vt, nfin, temp_k) for the plan baked
+/// from those parameters.
+inline MosOp evaluate_finfet_planned(const FinFetPlan& p, double vd, double vg,
+                                     double vs) {
+  // Mirrors evaluate_finfet(): PMOS reflection first, then the
+  // source-drain-swap frame translation around the vds >= 0 core.
+  if (p.p_type) {
+    vd = -vd;
+    vg = -vg;
+    vs = -vs;
+  }
+  const double vgs = vg - vs;
+  const double vds = vd - vs;
+
+  const auto core = [&p](double c_vgs, double c_vds) {
+    const double vt_eff = p.vt_base - p.dibl * c_vds;
+    const double vp = (c_vgs - vt_eff) / p.n;
+    const detail::FEval ff = detail::ekv_f(vp / p.phi_t);
+    const detail::FEval fr = detail::ekv_f((vp - c_vds) / p.phi_t);
+    const double clm = 1.0 + p.lambda * c_vds;
+    MosOp op;
+    op.ids = p.is * (ff.f - fr.f) * clm;
+    op.gm = p.is * clm * (ff.df * p.duf_dvgs - fr.df * p.duf_dvgs);
+    op.gds = p.is * clm * (ff.df * p.duf_dvds - fr.df * p.dur_dvds) +
+             p.is_lambda * (ff.f - fr.f);
+    return op;
+  };
+
+  MosOp op;
+  if (vds >= 0.0) {
+    op = core(vgs, vds);
+  } else {
+    const MosOp sw = core(vg - vd, -vds);
+    op.ids = -sw.ids;
+    op.gm = -sw.gm;
+    op.gds = sw.gm + sw.gds;
+  }
+  if (p.p_type) op.ids = -op.ids;
+  return op;
+}
 
 }  // namespace finser::spice

@@ -8,6 +8,26 @@
 /// currents. The sentinel kGround marks the eliminated reference node;
 /// stamps touching it are silently dropped, which keeps device stamping
 /// branch-free at call sites.
+///
+/// **Lifecycle contract.** The factorization destroys the assembled system
+/// in place, so a consumed Mna must be clear()ed and restamped before the
+/// next solve. Stamping into (or re-solving) a consumed system throws
+/// util::LogicError — the check is a single branch per stamp, cheap enough
+/// to stay on in release builds so the contract is enforced everywhere, not
+/// just under NDEBUG-less CI.
+///
+/// **Pivot reuse.** Fixed-topology resolves (Newton iterations, transient
+/// steps) factor near-identical matrices over and over; solve_with_cache()
+/// carries the pivot sequence of the previous factorization across calls.
+/// The cached order is *verified* during the same column scan partial
+/// pivoting performs anyway: whenever the cached pivot still wins the
+/// column (the overwhelmingly common case — counted as
+/// `spice.mna.pivot_reuse`), the elimination is bit-for-bit the one fresh
+/// pivoting would have produced; the moment a cached pivot falls below the
+/// column winner, the factorization falls back to fresh partial pivoting
+/// from that column on (`spice.mna.pivot_refactor`). Numerics are therefore
+/// always identical to solve() — the cached path trades the allocation and
+/// permutation bookkeeping of the fresh path, not accuracy.
 
 #include <cstddef>
 #include <vector>
@@ -22,9 +42,20 @@ class Mna {
  public:
   explicit Mna(std::size_t size);
 
+  /// Pivot-order memory for fixed-topology resolves (see file comment).
+  /// One cache belongs to one matrix topology; invalidate() (or simply a
+  /// size mismatch) forces the next factorization to run fully fresh.
+  struct PivotCache {
+    std::vector<std::size_t> perm;
+    bool valid = false;
+
+    void invalidate() { valid = false; }
+  };
+
   std::size_t size() const { return n_; }
 
-  /// Zero the matrix and right-hand side (reused across Newton iterations).
+  /// Zero the matrix and right-hand side (reused across Newton iterations)
+  /// and re-arm a consumed system for restamping.
   void clear();
 
   /// A[i][j] += g  (no-op when either index is kGround).
@@ -42,14 +73,24 @@ class Mna {
 
   /// Solve in place; throws util::NumericalError on a (near-)singular matrix.
   /// The system is destroyed by the factorization; call clear() + restamp
-  /// before the next solve.
+  /// before the next solve (enforced: see the lifecycle contract above).
   std::vector<double> solve();
 
+  /// Solve in place into \p x_out (resized to size()), reusing \p cache as
+  /// the predicted pivot sequence and updating it with the realized one.
+  /// Bit-identical to solve() by construction; avoids the per-call result
+  /// allocation and counts pivot reuse vs refactorization in finser::obs.
+  void solve_with_cache(PivotCache& cache, std::vector<double>& x_out);
+
  private:
+  /// Shared factorization + back substitution (see solve/solve_with_cache).
+  void factor_and_solve(PivotCache* cache, std::vector<double>& x_out);
+
   std::size_t n_;
   std::vector<double> a_;  ///< Row-major n×n.
   std::vector<double> b_;
   std::vector<std::size_t> perm_;  ///< Pivot scratch.
+  bool consumed_ = false;  ///< Set by the factorization, reset by clear().
 };
 
 }  // namespace finser::spice

@@ -18,6 +18,9 @@
 
 namespace finser::spice {
 
+class CompiledCircuit;
+struct SolveWorkspace;
+
 /// Recorded node waveforms of one transient run.
 class Waveform {
  public:
@@ -82,6 +85,16 @@ struct TransientOptions {
 /// the final time (re-run requires re-solving DC first).
 /// \param probe_nodes node names to record; empty records every node.
 Waveform run_transient(const Circuit& circuit, const std::vector<double>& x0,
+                       const TransientOptions& options,
+                       const std::vector<std::string>& probe_nodes = {});
+
+/// Compiled hot-path overload: same algorithm and bit-identical waveforms,
+/// but stamps through the devirtualized plan and keeps all solver scratch in
+/// the caller-owned \p ws so repeated runs allocate only the waveform. The
+/// compiled circuit's reactive state is initialized from \p x0 and left at
+/// the final time, mirroring the reference path's device-state contract.
+Waveform run_transient(CompiledCircuit& circuit, SolveWorkspace& ws,
+                       const std::vector<double>& x0,
                        const TransientOptions& options,
                        const std::vector<std::string>& probe_nodes = {});
 

@@ -18,9 +18,11 @@
 
 #include <array>
 #include <cstddef>
+#include <optional>
 
 #include "finser/phys/collection.hpp"
 #include "finser/spice/circuit.hpp"
+#include "finser/spice/compiled.hpp"
 #include "finser/spice/devices.hpp"
 #include "finser/spice/transient.hpp"
 
@@ -95,11 +97,26 @@ enum class AccessMode {
                ///< read-disturb condition — the cell's weakest moment.
 };
 
+/// Which SPICE evaluation path a StrikeSimulator drives.
+enum class SpiceEngine {
+  /// Compile-once/evaluate-many: the cell circuit is lowered to a
+  /// spice::CompiledCircuit at construction; every sample is a parameter
+  /// rebind plus a solve against a persistent SolveWorkspace, and the DC
+  /// hold state is cached per ΔVt vector (it is independent of the strike
+  /// charges, so a whole Qcrit bisection shares one DC solve). Results are
+  /// bit-identical to the reference engine.
+  kCompiled,
+  /// Polymorphic reference path: rebuilds solver scratch per solve, exactly
+  /// the historical behavior. Kept as the equivalence baseline.
+  kReference,
+};
+
 /// Reusable single-cell strike simulator at a fixed supply voltage.
 class StrikeSimulator {
  public:
   StrikeSimulator(const CellDesign& design, double vdd_v,
-                  AccessMode mode = AccessMode::kRetention);
+                  AccessMode mode = AccessMode::kRetention,
+                  SpiceEngine engine = SpiceEngine::kCompiled);
 
   StrikeSimulator(const StrikeSimulator&) = delete;
   StrikeSimulator& operator=(const StrikeSimulator&) = delete;
@@ -118,6 +135,7 @@ class StrikeSimulator {
   double vdd() const { return vdd_v_; }
   const CellDesign& design() const { return design_; }
   AccessMode mode() const { return mode_; }
+  SpiceEngine engine() const { return engine_; }
 
   /// Scale the strike pulse width relative to the transit time τ (default
   /// 1.0). The delivered charge is held constant, so this directly tests
@@ -129,10 +147,15 @@ class StrikeSimulator {
  private:
   void apply_delta_vt(const DeltaVt& delta_vt);
   std::vector<double> solve_hold(const DeltaVt& delta_vt);
+  void set_strike_shapes(const StrikeCharges& charges,
+                         spice::PulseShape::Kind kind);
+  /// Compiled engine only; expects apply_delta_vt() + rebind() done.
+  const std::vector<double>& hold_cached(const DeltaVt& delta_vt);
 
   CellDesign design_;
   double vdd_v_;
   AccessMode mode_ = AccessMode::kRetention;
+  SpiceEngine engine_ = SpiceEngine::kCompiled;
   double tau_s_;  ///< Drift-collection pulse width [s].
   double pulse_width_scale_ = 1.0;
 
@@ -143,6 +166,14 @@ class StrikeSimulator {
   spice::PulseISource* src_i2_ = nullptr;
   spice::PulseISource* src_i3_ = nullptr;
   spice::TransientOptions topt_;
+
+  // Compiled-engine state: the lowered circuit, the per-simulator solver
+  // workspace, and the ΔVt-keyed DC hold-state cache.
+  std::optional<spice::CompiledCircuit> compiled_;
+  spice::SolveWorkspace ws_;
+  bool hold_valid_ = false;
+  DeltaVt hold_dvt_{};
+  std::vector<double> hold_x_;
 };
 
 }  // namespace finser::sram

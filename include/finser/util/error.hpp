@@ -36,6 +36,15 @@ class DomainError : public Error {
   explicit DomainError(const std::string& what) : Error(what) {}
 };
 
+/// Violated internal usage contract (e.g. stamping into an Mna system whose
+/// factorization already consumed it). Unlike InvalidArgument this flags a
+/// bug in the *caller's sequencing*, not in the values it passed; tests
+/// assert on it to pin the contract down.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
 /// Cooperative cancellation (SIGINT/SIGTERM or an exec::CancelToken). A run
 /// that throws this after flushing a checkpoint is resumable; the CLI maps
 /// it to exit code 4.

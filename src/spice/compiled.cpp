@@ -1,0 +1,306 @@
+#include "finser/spice/compiled.hpp"
+
+#include <string>
+
+#include "finser/obs/obs.hpp"
+#include "finser/util/error.hpp"
+#include "stamp_kernels.hpp"
+
+namespace finser::spice {
+
+CompiledCircuit::CompiledCircuit(const Circuit& circuit)
+    : src_(&circuit),
+      node_count_(circuit.node_count()),
+      unknown_count_(circuit.unknown_count()) {
+  ops_.reserve(circuit.devices().size());
+  for (const auto& dev : circuit.devices()) {
+    const Device* d = dev.get();
+    if (const auto* r = dynamic_cast<const Resistor*>(d)) {
+      ops_.push_back({Kind::kResistor,
+                      static_cast<std::uint32_t>(resistors_.size())});
+      resistors_.push_back({r->node_a(), r->node_b(), r->conductance()});
+    } else if (const auto* c = dynamic_cast<const Capacitor*>(d)) {
+      ops_.push_back({Kind::kCapacitor,
+                      static_cast<std::uint32_t>(capacitors_.size())});
+      capacitors_.push_back(
+          {c->node_a(), c->node_b(), c->capacitance(), 0.0, 0.0});
+    } else if (const auto* p = dynamic_cast<const PwlVSource*>(d)) {
+      ops_.push_back({Kind::kPwlVSource,
+                      static_cast<std::uint32_t>(pwls_.size())});
+      pwls_.push_back({p, p->node_a(), p->node_b(), p->branch_id()});
+    } else if (const auto* v = dynamic_cast<const VSource*>(d)) {
+      ops_.push_back({Kind::kVSource,
+                      static_cast<std::uint32_t>(vsources_.size())});
+      vsources_.push_back(
+          {v, v->node_a(), v->node_b(), v->branch_id(), v->voltage()});
+    } else if (const auto* s = dynamic_cast<const PulseISource*>(d)) {
+      ops_.push_back({Kind::kPulseISource,
+                      static_cast<std::uint32_t>(isources_.size())});
+      isources_.push_back({s, s->node_from(), s->node_to(), s->shape()});
+    } else if (const auto* m = dynamic_cast<const Mosfet*>(d)) {
+      ops_.push_back({Kind::kMosfet,
+                      static_cast<std::uint32_t>(mosfets_.size())});
+      mosfets_.push_back({m, m->drain(), m->gate(), m->source(), &m->model(),
+                          m->nfin(), m->delta_vt(), m->temperature()});
+    } else {
+      throw util::InvalidArgument(
+          std::string("CompiledCircuit: unsupported device kind '") +
+          d->kind() + "'");
+    }
+  }
+
+  // Precompute the fused-path flat slot indices (see stamp_fused): matrix
+  // entry (i,j) lives at i·n + j, rhs entry i at i, and any ground-touching
+  // stamp is redirected to the trailing scratch slot (n² resp. n) so the
+  // inner loop needs no kGround branches — the scratch values are written
+  // and never read, exactly mirroring Mna::add's silent drop.
+  const std::size_t n = unknown_count_;
+  const auto ms = [n](std::size_t i, std::size_t j) {
+    return static_cast<Slot>((i == kGround || j == kGround) ? n * n
+                                                            : i * n + j);
+  };
+  const auto rs = [n](std::size_t i) {
+    return static_cast<Slot>(i == kGround ? n : i);
+  };
+  for (ResistorRec& r : resistors_) {
+    r.s_aa = ms(r.a, r.a);
+    r.s_bb = ms(r.b, r.b);
+    r.s_ab = ms(r.a, r.b);
+    r.s_ba = ms(r.b, r.a);
+  }
+  for (CapacitorRec& c : capacitors_) {
+    c.s_aa = ms(c.a, c.a);
+    c.s_bb = ms(c.b, c.b);
+    c.s_ab = ms(c.a, c.b);
+    c.s_ba = ms(c.b, c.a);
+    c.r_a = rs(c.a);
+    c.r_b = rs(c.b);
+  }
+  for (VSourceRec& v : vsources_) {
+    // The branch unknown index is fixed per circuit: branch_offset is always
+    // node_count() in both engine paths (StampContext::branch_index).
+    const std::size_t k = node_count_ + v.branch;
+    v.s_ak = ms(v.a, k);
+    v.s_bk = ms(v.b, k);
+    v.s_ka = ms(k, v.a);
+    v.s_kb = ms(k, v.b);
+    v.r_k = rs(k);
+  }
+  for (PwlRec& p : pwls_) {
+    const std::size_t k = node_count_ + p.branch;
+    p.s_ak = ms(p.a, k);
+    p.s_bk = ms(p.b, k);
+    p.s_ka = ms(k, p.a);
+    p.s_kb = ms(k, p.b);
+    p.r_k = rs(k);
+  }
+  for (ISourceRec& s : isources_) {
+    s.r_from = rs(s.from);
+    s.r_to = rs(s.to);
+  }
+  for (MosRec& m : mosfets_) {
+    m.s_dd = ms(m.d, m.d);
+    m.s_dg = ms(m.d, m.g);
+    m.s_ds = ms(m.d, m.s);
+    m.s_sd = ms(m.s, m.d);
+    m.s_sg = ms(m.s, m.g);
+    m.s_ss = ms(m.s, m.s);
+    m.r_d = rs(m.d);
+    m.r_s = rs(m.s);
+    m.plan = bake_finfet(*m.model, m.delta_vt, m.nfin, m.temp_k);
+  }
+  FINSER_OBS_COUNT("spice.compiled.compiles", 1);
+}
+
+void CompiledCircuit::rebind() {
+  // Only parameters with device setters can have moved; topology, resistor
+  // and capacitor values and PWL tables are immutable by construction.
+  for (VSourceRec& rec : vsources_) rec.v = rec.src->voltage();
+  for (ISourceRec& rec : isources_) rec.shape = rec.src->shape();
+  for (MosRec& rec : mosfets_) {
+    rec.delta_vt = rec.src->delta_vt();
+    rec.temp_k = rec.src->temperature();
+    rec.plan = bake_finfet(*rec.model, rec.delta_vt, rec.nfin, rec.temp_k);
+  }
+  FINSER_OBS_COUNT("spice.compiled.rebinds", 1);
+}
+
+void CompiledCircuit::stamp_all(Mna& mna, const StampContext& ctx) const {
+  // Walk the plan in original netlist order: FP accumulation into shared MNA
+  // entries is order-sensitive, and bit-identity with the reference path
+  // requires the exact same Mna::add sequence.
+  for (const Op op : ops_) {
+    switch (op.kind) {
+      case Kind::kResistor: {
+        const ResistorRec& r = resistors_[op.idx];
+        detail::stamp_conductance(mna, r.a, r.b, r.g);
+        break;
+      }
+      case Kind::kCapacitor: {
+        const CapacitorRec& c = capacitors_[op.idx];
+        detail::stamp_capacitor(mna, ctx, c.a, c.b, c.c, c.v_prev, c.i_prev);
+        break;
+      }
+      case Kind::kVSource: {
+        const VSourceRec& v = vsources_[op.idx];
+        detail::stamp_vsource(mna, ctx, v.a, v.b, v.branch, v.v);
+        break;
+      }
+      case Kind::kPwlVSource: {
+        const PwlRec& p = pwls_[op.idx];
+        detail::stamp_vsource(mna, ctx, p.a, p.b, p.branch,
+                              p.src->value(ctx.transient ? ctx.time : 0.0));
+        break;
+      }
+      case Kind::kPulseISource: {
+        const ISourceRec& s = isources_[op.idx];
+        detail::stamp_isource(mna, ctx, s.from, s.to, s.shape);
+        break;
+      }
+      case Kind::kMosfet: {
+        const MosRec& m = mosfets_[op.idx];
+        detail::stamp_mosfet(mna, ctx, m.d, m.g, m.s, *m.model, m.nfin,
+                             m.delta_vt, m.temp_k);
+        break;
+      }
+    }
+  }
+}
+
+void CompiledCircuit::stamp_fused(double* a, double* b,
+                                  const StampContext& ctx) const {
+  // Same netlist-order walk and the same arithmetic as stamp_all(), with
+  // Mna::add replaced by precomputed-slot accumulation (ground writes land in
+  // the trailing scratch slot). Every expression below mirrors the matching
+  // kernel in stamp_kernels.hpp term for term — the fused system must be
+  // byte-identical to the Mna the reference path assembles.
+  for (const Op op : ops_) {
+    switch (op.kind) {
+      case Kind::kResistor: {
+        const ResistorRec& r = resistors_[op.idx];
+        a[r.s_aa] += r.g;
+        a[r.s_bb] += r.g;
+        a[r.s_ab] += -r.g;
+        a[r.s_ba] += -r.g;
+        break;
+      }
+      case Kind::kCapacitor: {
+        if (!ctx.transient) break;  // Open circuit in DC.
+        FINSER_REQUIRE(ctx.dt > 0.0, "Capacitor::stamp: non-positive dt");
+        const CapacitorRec& c = capacitors_[op.idx];
+        const double geq = detail::cap_geq(ctx, c.c);
+        const double ieq = detail::cap_ieq(ctx, c.c, c.v_prev, c.i_prev);
+        a[c.s_aa] += geq;
+        a[c.s_bb] += geq;
+        a[c.s_ab] += -geq;
+        a[c.s_ba] += -geq;
+        b[c.r_a] += ieq;
+        b[c.r_b] += -ieq;
+        break;
+      }
+      case Kind::kVSource: {
+        const VSourceRec& v = vsources_[op.idx];
+        a[v.s_ak] += 1.0;
+        a[v.s_bk] += -1.0;
+        a[v.s_ka] += 1.0;
+        a[v.s_kb] += -1.0;
+        b[v.r_k] += v.v;
+        break;
+      }
+      case Kind::kPwlVSource: {
+        const PwlRec& p = pwls_[op.idx];
+        a[p.s_ak] += 1.0;
+        a[p.s_bk] += -1.0;
+        a[p.s_ka] += 1.0;
+        a[p.s_kb] += -1.0;
+        b[p.r_k] += p.src->value(ctx.transient ? ctx.time : 0.0);
+        break;
+      }
+      case Kind::kPulseISource: {
+        if (!ctx.transient) break;
+        const ISourceRec& s = isources_[op.idx];
+        const double i = s.shape.value(ctx.time);
+        if (i == 0.0) break;
+        b[s.r_from] += -i;
+        b[s.r_to] += i;
+        break;
+      }
+      case Kind::kMosfet: {
+        const MosRec& m = mosfets_[op.idx];
+        const double vd = ctx.v(m.d);
+        const double vg = ctx.v(m.g);
+        const double vs = ctx.v(m.s);
+        const MosOp mop = evaluate_finfet_planned(m.plan, vd, vg, vs);
+        const double ieq =
+            mop.ids - mop.gm * (vg - vs) - mop.gds * (vd - vs);
+        const double gsum = mop.gds + mop.gm;
+        a[m.s_dd] += mop.gds;
+        a[m.s_dg] += mop.gm;
+        a[m.s_ds] += -gsum;
+        b[m.r_d] += -ieq;
+        a[m.s_sd] += -mop.gds;
+        a[m.s_sg] += -mop.gm;
+        a[m.s_ss] += gsum;
+        b[m.r_s] += ieq;
+        break;
+      }
+    }
+  }
+}
+
+void CompiledCircuit::initialize_state(const std::vector<double>& x) {
+  for (CapacitorRec& c : capacitors_) {
+    const double va = c.a == kGround ? 0.0 : x[c.a];
+    const double vb = c.b == kGround ? 0.0 : x[c.b];
+    c.v_prev = va - vb;
+    c.i_prev = 0.0;  // DC steady state: no capacitor current.
+  }
+}
+
+void CompiledCircuit::commit(const StampContext& ctx) {
+  for (CapacitorRec& c : capacitors_) {
+    detail::commit_capacitor(ctx, c.c, c.a, c.b, c.v_prev, c.i_prev);
+  }
+}
+
+void CompiledCircuit::add_breakpoints(double t_end,
+                                      std::vector<double>& out) const {
+  // Breakpoints are sorted and deduplicated by the transient engine, so the
+  // per-kind (rather than netlist-order) walk here is observationally
+  // identical to the reference path.
+  for (const PwlRec& p : pwls_) p.src->add_breakpoints(t_end, out);
+  for (const ISourceRec& s : isources_) {
+    detail::pulse_breakpoints(s.shape, t_end, out);
+  }
+}
+
+bool CompiledCircuit::sources_constant_after(double t) const {
+  for (const PwlRec& p : pwls_) {
+    if (p.src->last_point_time() > t) return false;
+  }
+  for (const ISourceRec& s : isources_) {
+    if (s.shape.end_time() > t) return false;
+  }
+  return true;
+}
+
+void CompiledCircuit::save_reactive_state(std::vector<double>& out) const {
+  out.clear();
+  out.reserve(2 * capacitors_.size());
+  for (const CapacitorRec& c : capacitors_) {
+    out.push_back(c.v_prev);
+    out.push_back(c.i_prev);
+  }
+}
+
+void CompiledCircuit::load_reactive_state(const std::vector<double>& in) {
+  FINSER_REQUIRE(in.size() == 2 * capacitors_.size(),
+                 "CompiledCircuit: reactive-state snapshot size mismatch");
+  std::size_t k = 0;
+  for (CapacitorRec& c : capacitors_) {
+    c.v_prev = in[k++];
+    c.i_prev = in[k++];
+  }
+}
+
+}  // namespace finser::spice

@@ -1,139 +1,25 @@
 #include "finser/spice/dc.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <string>
-
-#include "finser/obs/obs.hpp"
-#include "finser/util/error.hpp"
+#include "finser/spice/compiled.hpp"
+#include "engine_detail.hpp"
 
 namespace finser::spice {
-
-namespace {
-
-/// One damped-Newton stage at fixed gmin. Returns true on convergence;
-/// \p x is updated in place with the best iterate either way.
-///
-/// The gmin shunt pulls node voltages toward \p anchor (the caller's initial
-/// guess) rather than toward ground: for bistable circuits such as SRAM
-/// cells this keeps the continuation inside the basin the caller selected
-/// instead of collapsing onto the symmetric metastable point.
-bool newton_stage(const Circuit& circuit, std::vector<double>& x,
-                  const std::vector<double>& anchor, double gmin,
-                  const DcOptions& opt) {
-  const std::size_t n = circuit.unknown_count();
-  Mna mna(n);
-  StampContext ctx;
-  ctx.transient = false;
-  ctx.branch_offset = circuit.node_count();
-
-  for (int iter = 0; iter < opt.max_iterations; ++iter) {
-    FINSER_OBS_COUNT("spice.dc.newton_iters", 1);
-    mna.clear();
-    ctx.x = &x;
-    for (const auto& dev : circuit.devices()) dev->stamp(mna, ctx);
-    if (gmin > 0.0) {
-      mna.add_gmin(gmin, circuit.node_count());
-      for (std::size_t i = 0; i < circuit.node_count(); ++i) {
-        mna.add_rhs(i, gmin * anchor[i]);
-      }
-    }
-
-    std::vector<double> x_new;
-    try {
-      x_new = mna.solve();
-    } catch (const util::NumericalError&) {
-      return false;  // Singular at this iterate: report stage failure so the
-                     // caller sees "failed to converge", not a raw LU error.
-    }
-
-    // Damping: limit the largest voltage move per iteration.
-    double max_dv = 0.0;
-    for (std::size_t i = 0; i < circuit.node_count(); ++i) {
-      max_dv = std::max(max_dv, std::abs(x_new[i] - x[i]));
-    }
-    double alpha = 1.0;
-    if (max_dv > opt.damping_vmax) alpha = opt.damping_vmax / max_dv;
-
-    double max_delta = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double step = alpha * (x_new[i] - x[i]);
-      x[i] += step;
-      max_delta = std::max(max_delta, std::abs(step));
-    }
-    if (alpha == 1.0 && max_delta < opt.v_tol) {
-      FINSER_OBS_RECORD("spice.dc.iters_per_stage", iter + 1);
-      return true;
-    }
-  }
-  return false;
-}
-
-}  // namespace
 
 std::vector<double> solve_dc(const Circuit& circuit,
                              const std::vector<double>& initial_guess,
                              const DcOptions& options) {
-  const std::size_t n = circuit.unknown_count();
-  FINSER_REQUIRE(n > 0, "solve_dc: circuit has no unknowns");
-  FINSER_REQUIRE(!options.gmin_steps.empty(), "solve_dc: empty gmin schedule");
-  FINSER_REQUIRE(initial_guess.empty() || initial_guess.size() == n,
-                 "solve_dc: initial guess size mismatch");
+  // Reference path: a throwaway workspace per call, exactly the historical
+  // allocation behavior. The hot path below shares one across solves.
+  SolveWorkspace ws;
+  return detail::solve_dc_impl(detail::InterpretedStamper{circuit}, ws,
+                               initial_guess, options);
+}
 
-  obs::ScopedSpan span("spice.dc.solve");
-  FINSER_OBS_COUNT("spice.dc.solves", 1);
-  std::vector<double> x = initial_guess.empty() ? std::vector<double>(n, 0.0)
-                                                : initial_guess;
-  const std::vector<double> anchor = x;
-
-  // gmin continuation with a bounded retry ladder: a failed stage is retried
-  // from the last converged iterate with the geometric midpoint between the
-  // previous (converged) gmin and the failed one inserted first. Halving the
-  // continuation step this way rescues solves where a single gmin decade is
-  // too aggressive a homotopy jump, without loosening any tolerance.
-  std::vector<double> schedule(options.gmin_steps.begin(),
-                               options.gmin_steps.end());
-  int extensions = 0;
-  double prev_gmin = 0.0;       // gmin of the last converged stage.
-  bool any_converged = false;   // Whether prev_gmin is meaningful.
-  std::vector<double> x_good = x;
-
-  for (std::size_t i = 0; i < schedule.size(); ++i) {
-    const double gmin = schedule[i];
-    FINSER_OBS_COUNT("spice.dc.gmin_stages", 1);
-    if (newton_stage(circuit, x, anchor, gmin, options)) {
-      prev_gmin = gmin;
-      any_converged = true;
-      x_good = x;
-      continue;
-    }
-
-    if (extensions >= options.max_gmin_extensions) {
-      FINSER_OBS_COUNT("spice.dc.failures", 1);
-      throw util::NumericalError(
-          "solve_dc: Newton failed to converge at gmin = " +
-          std::to_string(gmin) + " after " + std::to_string(extensions) +
-          " schedule extension(s)");
-    }
-
-    // Restore the last converged iterate: the failed stage may have walked x
-    // somewhere useless.
-    x = x_good;
-    double inserted;
-    if (any_converged) {
-      inserted = std::sqrt(prev_gmin * gmin);
-      FINSER_REQUIRE(inserted > gmin && inserted < prev_gmin,
-                     "solve_dc: gmin schedule is not strictly decreasing");
-    } else {
-      // The very first stage failed: retry from a much stiffer shunt.
-      inserted = std::min(gmin * 100.0, 1.0);
-    }
-    ++extensions;
-    FINSER_OBS_COUNT("spice.dc.gmin_extensions", 1);
-    schedule.insert(schedule.begin() + static_cast<std::ptrdiff_t>(i), inserted);
-    --i;  // Re-enter the loop at the inserted stage.
-  }
-  return x;
+std::vector<double> solve_dc(CompiledCircuit& circuit, SolveWorkspace& ws,
+                             const std::vector<double>& initial_guess,
+                             const DcOptions& options) {
+  return detail::solve_dc_impl(detail::CompiledStamper{circuit}, ws,
+                               initial_guess, options);
 }
 
 }  // namespace finser::spice

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "finser/util/error.hpp"
+#include "stamp_kernels.hpp"
 
 namespace finser::spice {
 
@@ -17,10 +18,7 @@ Resistor::Resistor(std::size_t a, std::size_t b, double ohms) : a_(a), b_(b) {
 }
 
 void Resistor::stamp(Mna& mna, const StampContext& /*ctx*/) const {
-  mna.add(a_, a_, g_);
-  mna.add(b_, b_, g_);
-  mna.add(a_, b_, -g_);
-  mna.add(b_, a_, -g_);
+  detail::stamp_conductance(mna, a_, b_, g_);
 }
 
 // ---------------------------------------------------------------------------
@@ -33,31 +31,15 @@ Capacitor::Capacitor(std::size_t a, std::size_t b, double farads)
 }
 
 double Capacitor::companion_geq(const StampContext& ctx) const {
-  const double factor = ctx.method == Integrator::kTrapezoidal ? 2.0 : 1.0;
-  return factor * c_ / ctx.dt;
+  return detail::cap_geq(ctx, c_);
 }
 
 double Capacitor::companion_ieq(const StampContext& ctx) const {
-  // BE:   i_n = (C/dt)(v_n − v_{n-1})            => ieq = geq·v_prev
-  // TRAP: i_n = (2C/dt)(v_n − v_{n-1}) − i_{n-1} => ieq = geq·v_prev + i_prev
-  const double geq = companion_geq(ctx);
-  double ieq = geq * v_prev_;
-  if (ctx.method == Integrator::kTrapezoidal) ieq += i_prev_;
-  return ieq;
+  return detail::cap_ieq(ctx, c_, v_prev_, i_prev_);
 }
 
 void Capacitor::stamp(Mna& mna, const StampContext& ctx) const {
-  if (!ctx.transient) return;  // Open circuit in DC.
-  FINSER_REQUIRE(ctx.dt > 0.0, "Capacitor::stamp: non-positive dt");
-  const double geq = companion_geq(ctx);
-  const double ieq = companion_ieq(ctx);
-  mna.add(a_, a_, geq);
-  mna.add(b_, b_, geq);
-  mna.add(a_, b_, -geq);
-  mna.add(b_, a_, -geq);
-  // Branch current a->b: i = geq·v_ab − ieq; the −ieq part moves to the RHS.
-  mna.add_rhs(a_, ieq);
-  mna.add_rhs(b_, -ieq);
+  detail::stamp_capacitor(mna, ctx, a_, b_, c_, v_prev_, i_prev_);
 }
 
 void Capacitor::initialize_state(const std::vector<double>& x) {
@@ -68,13 +50,7 @@ void Capacitor::initialize_state(const std::vector<double>& x) {
 }
 
 void Capacitor::commit(const StampContext& ctx) {
-  if (!ctx.transient) return;
-  const double v_now = ctx.v(a_) - ctx.v(b_);
-  const double geq = companion_geq(ctx);
-  double i_now = geq * (v_now - v_prev_);
-  if (ctx.method == Integrator::kTrapezoidal) i_now -= i_prev_;
-  v_prev_ = v_now;
-  i_prev_ = i_now;
+  detail::commit_capacitor(ctx, c_, a_, b_, v_prev_, i_prev_);
 }
 
 // ---------------------------------------------------------------------------
@@ -85,13 +61,7 @@ VSource::VSource(Circuit& circuit, std::size_t a, std::size_t b, double volts)
     : a_(a), b_(b), branch_(circuit.alloc_branch()), v_(volts) {}
 
 void VSource::stamp(Mna& mna, const StampContext& ctx) const {
-  const std::size_t k = ctx.branch_index(branch_);
-  // Branch current flows from + (a) through the source to − (b).
-  mna.add(a_, k, 1.0);
-  mna.add(b_, k, -1.0);
-  mna.add(k, a_, 1.0);
-  mna.add(k, b_, -1.0);
-  mna.add_rhs(k, v_);
+  detail::stamp_vsource(mna, ctx, a_, b_, branch_, v_);
 }
 
 // ---------------------------------------------------------------------------
@@ -122,12 +92,8 @@ double PwlVSource::value(double t) const {
 }
 
 void PwlVSource::stamp(Mna& mna, const StampContext& ctx) const {
-  const std::size_t k = ctx.branch_index(branch_);
-  mna.add(a_, k, 1.0);
-  mna.add(b_, k, -1.0);
-  mna.add(k, a_, 1.0);
-  mna.add(k, b_, -1.0);
-  mna.add_rhs(k, value(ctx.transient ? ctx.time : 0.0));
+  detail::stamp_vsource(mna, ctx, a_, b_, branch_,
+                        value(ctx.transient ? ctx.time : 0.0));
 }
 
 void PwlVSource::add_breakpoints(double t_end, std::vector<double>& out) const {
@@ -163,6 +129,12 @@ double PulseShape::value(double t) const {
   return 0.0;
 }
 
+double PulseShape::end_time() const {
+  // Mirrors value(): current is zero once rel > width + edge_tol.
+  const double edge_tol = 1e-9 * (std::abs(delay_s) + width_s);
+  return delay_s + width_s + edge_tol;
+}
+
 double PulseShape::charge_c() const {
   switch (kind) {
     case Kind::kRectangular:
@@ -189,23 +161,11 @@ PulseISource::PulseISource(std::size_t from, std::size_t to, const PulseShape& s
     : from_(from), to_(to), shape_(shape) {}
 
 void PulseISource::stamp(Mna& mna, const StampContext& ctx) const {
-  if (!ctx.transient) return;
-  const double i = shape_.value(ctx.time);
-  if (i == 0.0) return;
-  // Current leaves `from` and enters `to`.
-  mna.add_rhs(from_, -i);
-  mna.add_rhs(to_, i);
+  detail::stamp_isource(mna, ctx, from_, to_, shape_);
 }
 
 void PulseISource::add_breakpoints(double t_end, std::vector<double>& out) const {
-  const double t0 = shape_.delay_s;
-  const double t1 = shape_.delay_s + shape_.width_s;
-  if (t0 > 0.0 && t0 < t_end) out.push_back(t0);
-  if (t1 > 0.0 && t1 < t_end) out.push_back(t1);
-  if (shape_.kind == PulseShape::Kind::kTriangular) {
-    const double tm = shape_.delay_s + 0.5 * shape_.width_s;
-    if (tm > 0.0 && tm < t_end) out.push_back(tm);
-  }
+  detail::pulse_breakpoints(shape_, t_end, out);
 }
 
 // ---------------------------------------------------------------------------
@@ -224,24 +184,7 @@ MosOp Mosfet::op_at(const std::vector<double>& x) const {
 }
 
 void Mosfet::stamp(Mna& mna, const StampContext& ctx) const {
-  const double vd = ctx.v(d_);
-  const double vg = ctx.v(g_);
-  const double vs = ctx.v(s_);
-  const MosOp op =
-      evaluate_finfet(*model_, vd, vg, vs, delta_vt_, nfin_, temp_k_);
-
-  // Linearized drain current: i_d ≈ gds·vds + gm·vgs + ieq.
-  const double ieq = op.ids - op.gm * (vg - vs) - op.gds * (vd - vs);
-
-  mna.add(d_, d_, op.gds);
-  mna.add(d_, g_, op.gm);
-  mna.add(d_, s_, -(op.gds + op.gm));
-  mna.add_rhs(d_, -ieq);
-
-  mna.add(s_, d_, -op.gds);
-  mna.add(s_, g_, -op.gm);
-  mna.add(s_, s_, op.gds + op.gm);
-  mna.add_rhs(s_, ieq);
+  detail::stamp_mosfet(mna, ctx, d_, g_, s_, *model_, nfin_, delta_vt_, temp_k_);
 }
 
 }  // namespace finser::spice

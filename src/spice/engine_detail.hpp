@@ -1,0 +1,634 @@
+#pragma once
+/// \file engine_detail.hpp
+/// \brief Shared DC/transient solver engine (internal to finser::spice).
+///
+/// The Newton/continuation/time-stepping algorithms exist exactly once,
+/// templated over a *Stamper* policy that supplies circuit topology and the
+/// four device hooks (stamp_all / initialize_state / commit /
+/// add_breakpoints):
+///
+///   * InterpretedStamper — walks the polymorphic Device list of a Circuit.
+///     This is the reference path; behavior of the classic
+///     solve_dc(Circuit&)/run_transient(Circuit&) entry points.
+///   * CompiledStamper — walks a CompiledCircuit's devirtualized stamp plan.
+///     This is the characterization hot path; callers keep a SolveWorkspace
+///     alive across solves so Newton scratch, the MNA system and the pivot
+///     cache are allocated once per (thread, topology).
+///
+/// Because both stampers emit stamps through the kernels in
+/// stamp_kernels.hpp in the same device order, and both paths run this very
+/// engine, the two entry-point families produce byte-identical results
+/// (pinned by tests/test_spice_compiled.cpp).
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "finser/obs/obs.hpp"
+#include "finser/spice/circuit.hpp"
+#include "finser/spice/compiled.hpp"
+#include "finser/spice/dc.hpp"
+#include "finser/spice/mna.hpp"
+#include "finser/spice/transient.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::spice::detail {
+
+/// Stamper policy over the polymorphic reference path.
+struct InterpretedStamper {
+  const Circuit& c;
+
+  /// The reference path never fast-forwards: it is the ground truth the
+  /// compiled path's steady-state replay is checked against.
+  static constexpr bool kSteadyForward = false;
+
+  /// The reference path solves through Mna: it is the legacy baseline the
+  /// fused compiled kernel is benchmarked (and bit-compared) against.
+  static constexpr bool kFusedSolve = false;
+
+  std::size_t node_count() const { return c.node_count(); }
+  std::size_t unknown_count() const { return c.unknown_count(); }
+  const std::string& node_name(std::size_t i) const { return c.node_name(i); }
+  std::size_t find_node(const std::string& name) const { return c.find_node(name); }
+
+  void stamp_all(Mna& mna, const StampContext& ctx) const {
+    for (const auto& dev : c.devices()) dev->stamp(mna, ctx);
+  }
+  void initialize_state(const std::vector<double>& x) const {
+    for (const auto& dev : c.devices()) dev->initialize_state(x);
+  }
+  void commit(const StampContext& ctx) const {
+    for (const auto& dev : c.devices()) dev->commit(ctx);
+  }
+  void add_breakpoints(double t_end, std::vector<double>& out) const {
+    for (const auto& dev : c.devices()) dev->add_breakpoints(t_end, out);
+  }
+};
+
+/// Stamper policy over a compiled circuit's devirtualized plan.
+struct CompiledStamper {
+  CompiledCircuit& cc;
+
+  static constexpr bool kSteadyForward = true;
+  static constexpr bool kFusedSolve = true;
+
+  std::size_t node_count() const { return cc.node_count(); }
+  std::size_t unknown_count() const { return cc.unknown_count(); }
+  const std::string& node_name(std::size_t i) const {
+    return cc.source().node_name(i);
+  }
+  std::size_t find_node(const std::string& name) const {
+    return cc.source().find_node(name);
+  }
+
+  void stamp_all(Mna& mna, const StampContext& ctx) const {
+    cc.stamp_all(mna, ctx);
+  }
+  void stamp_fused(double* a, double* b, const StampContext& ctx) const {
+    cc.stamp_fused(a, b, ctx);
+  }
+  void initialize_state(const std::vector<double>& x) const {
+    cc.initialize_state(x);
+  }
+  void commit(const StampContext& ctx) const { cc.commit(ctx); }
+  void add_breakpoints(double t_end, std::vector<double>& out) const {
+    cc.add_breakpoints(t_end, out);
+  }
+  bool sources_constant_after(double t) const {
+    return cc.sources_constant_after(t);
+  }
+  void save_state(std::vector<double>& out) const {
+    cc.save_reactive_state(out);
+  }
+  void load_state(const std::vector<double>& in) const {
+    cc.load_reactive_state(in);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Fused solve kernel (compiled path)
+// ---------------------------------------------------------------------------
+
+/// LU solve on the raw fused workspace arrays (ws.fa / ws.fb / ws.fperm, as
+/// filled by CompiledCircuit::stamp_fused). This is Mna::factor_and_solve
+/// transplanted line for line — same pivot scan, same elimination and back
+/// substitution arithmetic, same pivot-cache verification, same
+/// spice.mna.* observability counters, same error surface — so the compiled
+/// Newton kernels that call it stay byte-identical to the reference path
+/// while skipping the per-stamp virtual dispatch and Mna bookkeeping. The
+/// trailing ground-scratch slots (index n² resp. n) are never read.
+///
+/// \tparam N compile-time system size (0 = runtime \p n_rt). Fixing the size
+/// lets the compiler fully unroll the tiny elimination loops; unrolling
+/// never reassociates floating-point operations, so every instantiation
+/// computes the same bits (fused_lu_solve() below picks one by size).
+template <std::size_t N = 0>
+inline void fused_lu_solve_sized(SolveWorkspace& ws, std::size_t n_rt,
+                                 std::vector<double>& x) {
+  const std::size_t n = N == 0 ? n_rt : N;
+  double* a = ws.fa.data();
+  double* b = ws.fb.data();
+  std::vector<std::size_t>& perm = ws.fperm;
+  Mna::PivotCache& cache = ws.pivot;
+
+  FINSER_OBS_COUNT("spice.mna.solves", 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(b[i])) {
+      throw util::NumericalError("Mna::solve: non-finite rhs entry at row " +
+                                 std::to_string(i));
+    }
+  }
+
+  const bool predicted = cache.valid && cache.perm.size() == n;
+  bool prediction_held = predicted;
+
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    double best = std::abs(a[perm[col] * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a[perm[r] * n + col]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (!(best > 1e-300)) {
+      cache.invalidate();
+      throw util::NumericalError("Mna::solve: singular matrix at column " +
+                                 std::to_string(col));
+    }
+    if (prediction_held && perm[piv] != cache.perm[col]) {
+      prediction_held = false;
+    }
+    std::swap(perm[col], perm[piv]);
+
+    const std::size_t prow = perm[col];
+    const double diag = a[prow * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const std::size_t row = perm[r];
+      const double factor = a[row * n + col] / diag;
+      if (factor == 0.0) continue;
+      a[row * n + col] = factor;  // Store L in place.
+      for (std::size_t c = col + 1; c < n; ++c) {
+        a[row * n + c] -= factor * a[prow * n + c];
+      }
+      b[row] -= factor * b[prow];
+    }
+  }
+
+  cache.perm = perm;
+  cache.valid = true;
+  if (prediction_held) {
+    FINSER_OBS_COUNT("spice.mna.pivot_reuse", 1);
+  } else {
+    FINSER_OBS_COUNT("spice.mna.pivot_refactor", 1);
+  }
+
+  x.assign(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    const std::size_t row = perm[ri];
+    double acc = b[row];
+    for (std::size_t c = ri + 1; c < n; ++c) {
+      acc -= a[row * n + c] * x[c];
+    }
+    x[ri] = acc / a[row * n + ri];
+    if (!std::isfinite(x[ri])) {
+      throw util::NumericalError("Mna::solve: non-finite solution component");
+    }
+  }
+}
+
+/// Size-dispatching front end: routes the characterization-relevant system
+/// sizes (a 6T cell solves 10 unknowns, an 8T cell a few more) to fully
+/// unrolled instantiations and everything else to the generic one.
+inline void fused_lu_solve(SolveWorkspace& ws, std::size_t n,
+                           std::vector<double>& x) {
+  switch (n) {
+    case 6: return fused_lu_solve_sized<6>(ws, n, x);
+    case 8: return fused_lu_solve_sized<8>(ws, n, x);
+    case 10: return fused_lu_solve_sized<10>(ws, n, x);
+    case 11: return fused_lu_solve_sized<11>(ws, n, x);
+    case 12: return fused_lu_solve_sized<12>(ws, n, x);
+    case 13: return fused_lu_solve_sized<13>(ws, n, x);
+    case 14: return fused_lu_solve_sized<14>(ws, n, x);
+    default: return fused_lu_solve_sized<0>(ws, n, x);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DC operating point
+// ---------------------------------------------------------------------------
+
+/// One damped-Newton stage at fixed gmin. Returns true on convergence;
+/// \p x is updated in place with the best iterate either way.
+///
+/// The gmin shunt pulls node voltages toward \p anchor (the caller's initial
+/// guess) rather than toward ground: for bistable circuits such as SRAM
+/// cells this keeps the continuation inside the basin the caller selected
+/// instead of collapsing onto the symmetric metastable point.
+template <class Stamper>
+bool newton_stage(const Stamper& st, SolveWorkspace& ws, Mna& mna,
+                  std::vector<double>& x, const std::vector<double>& anchor,
+                  double gmin, const DcOptions& opt) {
+  const std::size_t n = st.unknown_count();
+  StampContext ctx;
+  ctx.transient = false;
+  ctx.branch_offset = st.node_count();
+  if constexpr (Stamper::kFusedSolve) ws.fused_for(n);
+
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    FINSER_OBS_COUNT("spice.dc.newton_iters", 1);
+    if constexpr (Stamper::kFusedSolve) {
+      std::fill(ws.fa.begin(), ws.fa.end(), 0.0);
+      std::fill(ws.fb.begin(), ws.fb.end(), 0.0);
+      ctx.x = &x;
+      st.stamp_fused(ws.fa.data(), ws.fb.data(), ctx);
+      if (gmin > 0.0) {
+        // Same accumulation order as the Mna branch: every diagonal shunt
+        // first (Mna::add_gmin), then the rhs anchor loop.
+        for (std::size_t i = 0; i < st.node_count() && i < n; ++i) {
+          ws.fa[i * n + i] += gmin;
+        }
+        for (std::size_t i = 0; i < st.node_count(); ++i) {
+          ws.fb[i] += gmin * anchor[i];
+        }
+      }
+      try {
+        fused_lu_solve(ws, n, ws.x_new);
+      } catch (const util::NumericalError&) {
+        return false;  // Singular at this iterate: report stage failure so
+                       // the caller sees "failed to converge".
+      }
+    } else {
+      mna.clear();
+      ctx.x = &x;
+      st.stamp_all(mna, ctx);
+      if (gmin > 0.0) {
+        mna.add_gmin(gmin, st.node_count());
+        for (std::size_t i = 0; i < st.node_count(); ++i) {
+          mna.add_rhs(i, gmin * anchor[i]);
+        }
+      }
+
+      try {
+        mna.solve_with_cache(ws.pivot, ws.x_new);
+      } catch (const util::NumericalError&) {
+        return false;  // Singular at this iterate: report stage failure so
+                       // the caller sees "failed to converge", not a raw LU
+                       // error.
+      }
+    }
+    const std::vector<double>& x_new = ws.x_new;
+
+    // Damping: limit the largest voltage move per iteration.
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < st.node_count(); ++i) {
+      max_dv = std::max(max_dv, std::abs(x_new[i] - x[i]));
+    }
+    double alpha = 1.0;
+    if (max_dv > opt.damping_vmax) alpha = opt.damping_vmax / max_dv;
+
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double step = alpha * (x_new[i] - x[i]);
+      x[i] += step;
+      max_delta = std::max(max_delta, std::abs(step));
+    }
+    if (alpha == 1.0 && max_delta < opt.v_tol) {
+      FINSER_OBS_RECORD("spice.dc.iters_per_stage", iter + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+template <class Stamper>
+std::vector<double> solve_dc_impl(const Stamper& st, SolveWorkspace& ws,
+                                  const std::vector<double>& initial_guess,
+                                  const DcOptions& options) {
+  const std::size_t n = st.unknown_count();
+  FINSER_REQUIRE(n > 0, "solve_dc: circuit has no unknowns");
+  FINSER_REQUIRE(!options.gmin_steps.empty(), "solve_dc: empty gmin schedule");
+  FINSER_REQUIRE(initial_guess.empty() || initial_guess.size() == n,
+                 "solve_dc: initial guess size mismatch");
+
+  obs::ScopedSpan span("spice.dc.solve");
+  FINSER_OBS_COUNT("spice.dc.solves", 1);
+  Mna& mna = ws.mna_for(n);
+  std::vector<double> x = initial_guess.empty() ? std::vector<double>(n, 0.0)
+                                                : initial_guess;
+  ws.anchor = x;
+  const std::vector<double>& anchor = ws.anchor;
+
+  // gmin continuation with a bounded retry ladder: a failed stage is retried
+  // from the last converged iterate with the geometric midpoint between the
+  // previous (converged) gmin and the failed one inserted first. Halving the
+  // continuation step this way rescues solves where a single gmin decade is
+  // too aggressive a homotopy jump, without loosening any tolerance.
+  std::vector<double>& schedule = ws.gmin_schedule;
+  schedule.assign(options.gmin_steps.begin(), options.gmin_steps.end());
+  int extensions = 0;
+  double prev_gmin = 0.0;       // gmin of the last converged stage.
+  bool any_converged = false;   // Whether prev_gmin is meaningful.
+  ws.x_good = x;
+
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const double gmin = schedule[i];
+    FINSER_OBS_COUNT("spice.dc.gmin_stages", 1);
+    if (newton_stage(st, ws, mna, x, anchor, gmin, options)) {
+      prev_gmin = gmin;
+      any_converged = true;
+      ws.x_good = x;
+      continue;
+    }
+
+    if (extensions >= options.max_gmin_extensions) {
+      FINSER_OBS_COUNT("spice.dc.failures", 1);
+      throw util::NumericalError(
+          "solve_dc: Newton failed to converge at gmin = " +
+          std::to_string(gmin) + " after " + std::to_string(extensions) +
+          " schedule extension(s)");
+    }
+
+    // Restore the last converged iterate: the failed stage may have walked x
+    // somewhere useless.
+    x = ws.x_good;
+    double inserted;
+    if (any_converged) {
+      inserted = std::sqrt(prev_gmin * gmin);
+      FINSER_REQUIRE(inserted > gmin && inserted < prev_gmin,
+                     "solve_dc: gmin schedule is not strictly decreasing");
+    } else {
+      // The very first stage failed: retry from a much stiffer shunt.
+      inserted = std::min(gmin * 100.0, 1.0);
+    }
+    ++extensions;
+    FINSER_OBS_COUNT("spice.dc.gmin_extensions", 1);
+    schedule.insert(schedule.begin() + static_cast<std::ptrdiff_t>(i), inserted);
+    --i;  // Re-enter the loop at the inserted stage.
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// Transient
+// ---------------------------------------------------------------------------
+
+/// Newton solve of one implicit step; returns true on convergence and leaves
+/// the converged iterate in \p x.
+template <class Stamper>
+bool newton_step(const Stamper& st, SolveWorkspace& ws, Mna& mna,
+                 StampContext& ctx, std::vector<double>& x,
+                 const TransientOptions& opt) {
+  [[maybe_unused]] const std::size_t n = st.unknown_count();
+  if constexpr (Stamper::kFusedSolve) ws.fused_for(n);
+  for (int iter = 0; iter < opt.max_newton; ++iter) {
+    FINSER_OBS_COUNT("spice.tran.newton_iters", 1);
+    if constexpr (Stamper::kFusedSolve) {
+      std::fill(ws.fa.begin(), ws.fa.end(), 0.0);
+      std::fill(ws.fb.begin(), ws.fb.end(), 0.0);
+      ctx.x = &x;
+      st.stamp_fused(ws.fa.data(), ws.fb.data(), ctx);
+      try {
+        fused_lu_solve(ws, n, ws.x_new);
+      } catch (const util::NumericalError&) {
+        return false;  // Singular at this iterate: convergence failure.
+      }
+    } else {
+      mna.clear();
+      ctx.x = &x;
+      st.stamp_all(mna, ctx);
+
+      try {
+        mna.solve_with_cache(ws.pivot, ws.x_new);
+      } catch (const util::NumericalError&) {
+        return false;  // Singular at this iterate: treat as convergence
+                       // failure.
+      }
+    }
+    const std::vector<double>& x_new = ws.x_new;
+
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < st.node_count(); ++i) {
+      max_dv = std::max(max_dv, std::abs(x_new[i] - x[i]));
+    }
+    const double alpha = max_dv > opt.damping_vmax ? opt.damping_vmax / max_dv : 1.0;
+
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double step = alpha * (x_new[i] - x[i]);
+      x[i] += step;
+      max_delta = std::max(max_delta, std::abs(step));
+    }
+    if (alpha == 1.0 && max_delta < opt.v_tol) return true;
+  }
+  return false;
+}
+
+template <class Stamper>
+Waveform run_transient_impl(const Stamper& st, SolveWorkspace& ws,
+                            const std::vector<double>& x0,
+                            const TransientOptions& opt,
+                            const std::vector<std::string>& probe_nodes) {
+  FINSER_REQUIRE(opt.t_end > 0.0, "run_transient: t_end must be positive");
+  FINSER_REQUIRE(x0.size() == st.unknown_count(),
+                 "run_transient: x0 size mismatch");
+  FINSER_REQUIRE(opt.dt_initial > 0.0 && opt.dt_min > 0.0 &&
+                     opt.dt_max >= opt.dt_initial,
+                 "run_transient: inconsistent step-size options");
+
+  obs::ScopedSpan run_span("spice.tran.run");
+  FINSER_OBS_COUNT("spice.tran.runs", 1);
+
+  // Resolve probes.
+  std::vector<std::string> names;
+  std::vector<std::size_t> nodes;
+  if (probe_nodes.empty()) {
+    for (std::size_t i = 0; i < st.node_count(); ++i) {
+      names.push_back(st.node_name(i));
+      nodes.push_back(i);
+    }
+  } else {
+    for (const std::string& p : probe_nodes) {
+      names.push_back(p);
+      nodes.push_back(st.find_node(p));
+    }
+  }
+  Waveform wave(std::move(names), std::move(nodes));
+
+  // Collect and sort hard breakpoints.
+  std::vector<double>& breaks = ws.breaks;
+  breaks.clear();
+  st.add_breakpoints(opt.t_end, breaks);
+  breaks.push_back(opt.t_end);
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end(),
+                           [](double a, double b) { return std::abs(a - b) < 1e-24; }),
+               breaks.end());
+
+  // Initialize device state from the operating point.
+  st.initialize_state(x0);
+
+  std::vector<double> x = x0;
+  Mna& mna = ws.mna_for(st.unknown_count());
+  StampContext ctx;
+  ctx.transient = true;
+  ctx.method = opt.method;
+  ctx.branch_offset = st.node_count();
+
+  wave.append(0.0, x);
+
+  double t = 0.0;
+  double dt = opt.dt_initial;
+  std::size_t next_break = 0;
+
+  // Retry ladder (see TransientOptions::max_restarts): the effective Newton
+  // settings escalate deterministically each time the step size underflows,
+  // instead of aborting on the first hard spot.
+  TransientOptions eff = opt;
+  int restart_level = 0;
+  std::uint64_t accepted_steps = 0;
+
+  // Steady-state fast-forward (compiled stamper only). In the settling tail
+  // of a strike transient the step map becomes a pure function of
+  // (x, reactive state): the step size is pinned at dt_max, every source is
+  // past its last edge, and each accepted step reproduces the previous
+  // solution *exactly* once the floating-point contraction bottoms out
+  // (trapezoidal capacitor histories may alternate sign, giving a period-2
+  // cycle). The engine snapshots (x, state) after each uniform accepted
+  // step; once the last 2p snapshots repeat with period p, every further
+  // uniform step provably replays that cycle, so the remaining steps up to
+  // the final breakpoint clamp are emitted without stamping or solving —
+  // value-identical by induction, not by approximation.
+  [[maybe_unused]] constexpr std::size_t kFfMaxPeriod = 4;
+  std::uint64_t ff_count = 0;  // Uniform-step snapshots since last reset.
+  [[maybe_unused]] const auto ff_snap =
+      [&ws](std::uint64_t i) -> SolveWorkspace::StateSnap& {
+    return ws.ff_ring[i % ws.ff_ring.size()];
+  };
+  [[maybe_unused]] const auto ff_same = [](const SolveWorkspace::StateSnap& a,
+                                           const SolveWorkspace::StateSnap& b) {
+    return a.x == b.x && a.state == b.state;
+  };
+
+  while (t < opt.t_end - 1e-24) {
+    // Clamp the step to land exactly on the next breakpoint.
+    while (next_break < breaks.size() && breaks[next_break] <= t + 1e-24) {
+      ++next_break;
+    }
+
+    if constexpr (Stamper::kSteadyForward) {
+      if (ff_count >= 2 && dt == opt.dt_max && next_break < breaks.size() &&
+          st.sources_constant_after(t)) {
+        std::size_t period = 0;
+        for (std::size_t p = 1; p <= kFfMaxPeriod && period == 0; ++p) {
+          if (ff_count < 2 * p) break;
+          bool cyclic = true;
+          for (std::size_t j = 0; j < p && cyclic; ++j) {
+            cyclic = ff_same(ff_snap(ff_count - 1 - j),
+                             ff_snap(ff_count - 1 - j - p));
+          }
+          if (cyclic) period = p;
+        }
+        if (period > 0) {
+          // Replay the cycle over every remaining full-dt step before the
+          // breakpoint clamp (mirrors the clamp condition below). Step k
+          // ahead of the newest snapshot s_last reproduces
+          // s_{last - period + 1 + ((k-1) mod period)}.
+          const double bound = breaks[next_break];
+          std::uint64_t replayed = 0;
+          while (t + dt < bound - 1e-24) {
+            ++replayed;
+            const SolveWorkspace::StateSnap& s = ff_snap(
+                ff_count - 1 - period + 1 + ((replayed - 1) % period));
+            t += dt;
+            wave.append(t, s.x);
+            FINSER_OBS_COUNT("spice.tran.steps", 1);
+            FINSER_OBS_COUNT("spice.tran.ff_steps", 1);
+            ++accepted_steps;
+          }
+          if (replayed > 0) {
+            const SolveWorkspace::StateSnap& s = ff_snap(
+                ff_count - 1 - period + 1 + ((replayed - 1) % period));
+            x = s.x;
+            st.load_state(s.state);
+            ff_count = 0;
+          }
+        }
+      }
+    }
+
+    bool hit_break = false;
+    double step = dt;
+    if (next_break < breaks.size() && t + step >= breaks[next_break] - 1e-24) {
+      step = breaks[next_break] - t;
+      hit_break = true;
+    }
+
+    ctx.time = t + step;
+    ctx.dt = step;
+    ws.x_try = x;  // Start Newton from the previous solution.
+    if (newton_step(st, ws, mna, ctx, ws.x_try, eff)) {
+      // Accept.
+      FINSER_OBS_COUNT("spice.tran.steps", 1);
+      ++accepted_steps;
+      std::swap(x, ws.x_try);
+      ctx.x = &x;
+      st.commit(ctx);
+      t = ctx.time;
+      wave.append(t, x);
+      if constexpr (Stamper::kSteadyForward) {
+        // Only a run of *uniform* full-size steps with time-constant
+        // sources can certify a cycle; anything else restarts detection.
+        if (!hit_break && step == opt.dt_max &&
+            st.sources_constant_after(t - step)) {
+          SolveWorkspace::StateSnap& slot =
+              ws.ff_ring[ff_count % ws.ff_ring.size()];
+          slot.x = x;
+          st.save_state(slot.state);
+          ++ff_count;
+        } else {
+          ff_count = 0;
+        }
+      }
+      if (hit_break) {
+        dt = opt.dt_initial;  // Restart small after a source edge.
+        ++next_break;
+      } else {
+        dt = std::min(dt * opt.grow_factor, opt.dt_max);
+      }
+    } else {
+      // Reject: shrink and retry from the committed state.
+      FINSER_OBS_COUNT("spice.tran.rejects", 1);
+      ff_count = 0;
+      dt *= opt.shrink_factor;
+      if (dt < opt.dt_min) {
+        if (restart_level < opt.max_restarts) {
+          // Escalate: more Newton iterations, stronger damping, and a fresh
+          // (smaller) starting step for the same failing instant. The state
+          // is the last *committed* step, so nothing is replayed.
+          ++restart_level;
+          FINSER_OBS_COUNT("spice.tran.escalations", 1);
+          eff.max_newton *= 2;
+          eff.damping_vmax *= 0.5;
+          dt = std::max(opt.dt_min,
+                        opt.dt_initial * std::pow(0.1, restart_level));
+        } else {
+          FINSER_OBS_COUNT("spice.tran.failures", 1);
+          throw util::NumericalError(
+              "run_transient: Newton failed to converge at t = " +
+              std::to_string(t) + " after " + std::to_string(restart_level) +
+              " escalation(s) (max_newton " + std::to_string(eff.max_newton) +
+              ", damping_vmax " + std::to_string(eff.damping_vmax) + ")");
+        }
+      }
+    }
+  }
+  FINSER_OBS_RECORD("spice.tran.steps_per_run", accepted_steps);
+  return wave;
+}
+
+}  // namespace finser::spice::detail

@@ -11,30 +11,8 @@ namespace {
 
 constexpr double kPhiT = util::kThermalVoltage300K;
 
-/// Softplus-squared EKV interpolation function F(u) = ln²(1 + e^{u/2}) and
-/// its derivative F'(u) = ln(1 + e^{u/2}) · sigmoid(u/2).
-struct FEval {
-  double f;
-  double df;
-};
-
-FEval ekv_f(double u) {
-  const double half = 0.5 * u;
-  double l;    // ln(1 + e^{u/2})
-  double sig;  // logistic(u/2)
-  if (half > 40.0) {
-    l = half;
-    sig = 1.0;
-  } else if (half < -40.0) {
-    // Deep subthreshold: l ~ e^{u/2} -> underflows harmlessly.
-    l = std::exp(half);
-    sig = l;
-  } else {
-    l = std::log1p(std::exp(half));
-    sig = 1.0 / (1.0 + std::exp(-half));
-  }
-  return {l * l, l * sig};
-}
+using detail::ekv_f;
+using detail::FEval;
 
 /// Core NMOS-convention evaluation for vds >= 0.
 MosOp evaluate_core(const FinFetModel& m, double vgs, double vds, double delta_vt,
@@ -102,6 +80,30 @@ MosOp evaluate_finfet(const FinFetModel& m, double vd, double vg, double vs,
   op.gm = -sw.gm;
   op.gds = sw.gm + sw.gds;
   return op;
+}
+
+FinFetPlan bake_finfet(const FinFetModel& m, double delta_vt, double nfin,
+                       double temp_k) {
+  FINSER_REQUIRE(nfin > 0.0, "bake_finfet: nfin must be positive");
+  FINSER_REQUIRE(temp_k > 0.0, "bake_finfet: temperature must be positive");
+  // Every expression below matches the corresponding evaluate_core()
+  // subexpression verbatim (same terms, same association order) — the baked
+  // values must be the exact doubles the reference evaluation recomputes
+  // per call, or evaluate_finfet_planned() loses bit-identity.
+  FinFetPlan p;
+  p.p_type = m.type == MosType::kP;
+  p.n = m.n;
+  p.dibl = m.dibl;
+  p.lambda = m.lambda;
+  p.phi_t = kPhiT * temp_k / 300.0;
+  const double kp_t = m.kp * std::pow(300.0 / temp_k, m.mobility_exponent);
+  p.vt_base = m.vt0 + m.vt_tc_v_per_k * (temp_k - 300.0) + delta_vt;
+  p.is = 2.0 * m.n * p.phi_t * p.phi_t * kp_t * nfin;
+  p.is_lambda = p.is * m.lambda;
+  p.duf_dvgs = 1.0 / (m.n * p.phi_t);
+  p.duf_dvds = m.dibl / (m.n * p.phi_t);
+  p.dur_dvds = p.duf_dvds - 1.0 / p.phi_t;
+  return p;
 }
 
 const FinFetModel& default_nfet() {

@@ -1,12 +1,12 @@
 #include "finser/spice/transient.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <ostream>
 
-#include "finser/obs/obs.hpp"
+#include "finser/spice/compiled.hpp"
 #include "finser/util/error.hpp"
+#include "engine_detail.hpp"
 
 namespace finser::spice {
 
@@ -81,169 +81,25 @@ void Waveform::write_csv(std::ostream& os) const {
 }
 
 // ---------------------------------------------------------------------------
-// Transient engine
+// Transient entry points (engine: engine_detail.hpp)
 // ---------------------------------------------------------------------------
-
-namespace {
-
-/// Newton solve of one implicit step; returns true on convergence and leaves
-/// the converged iterate in \p x.
-bool newton_step(const Circuit& circuit, Mna& mna, StampContext& ctx,
-                 std::vector<double>& x, const TransientOptions& opt) {
-  for (int iter = 0; iter < opt.max_newton; ++iter) {
-    FINSER_OBS_COUNT("spice.tran.newton_iters", 1);
-    mna.clear();
-    ctx.x = &x;
-    for (const auto& dev : circuit.devices()) dev->stamp(mna, ctx);
-
-    std::vector<double> x_new;
-    try {
-      x_new = mna.solve();
-    } catch (const util::NumericalError&) {
-      return false;  // Singular at this iterate: treat as convergence failure.
-    }
-
-    double max_dv = 0.0;
-    for (std::size_t i = 0; i < circuit.node_count(); ++i) {
-      max_dv = std::max(max_dv, std::abs(x_new[i] - x[i]));
-    }
-    const double alpha = max_dv > opt.damping_vmax ? opt.damping_vmax / max_dv : 1.0;
-
-    double max_delta = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      const double step = alpha * (x_new[i] - x[i]);
-      x[i] += step;
-      max_delta = std::max(max_delta, std::abs(step));
-    }
-    if (alpha == 1.0 && max_delta < opt.v_tol) return true;
-  }
-  return false;
-}
-
-}  // namespace
 
 Waveform run_transient(const Circuit& circuit, const std::vector<double>& x0,
                        const TransientOptions& opt,
                        const std::vector<std::string>& probe_nodes) {
-  FINSER_REQUIRE(opt.t_end > 0.0, "run_transient: t_end must be positive");
-  FINSER_REQUIRE(x0.size() == circuit.unknown_count(),
-                 "run_transient: x0 size mismatch");
-  FINSER_REQUIRE(opt.dt_initial > 0.0 && opt.dt_min > 0.0 &&
-                     opt.dt_max >= opt.dt_initial,
-                 "run_transient: inconsistent step-size options");
+  // Reference path: a throwaway workspace per run, exactly the historical
+  // allocation behavior. The hot path below shares one across runs.
+  SolveWorkspace ws;
+  return detail::run_transient_impl(detail::InterpretedStamper{circuit}, ws, x0,
+                                    opt, probe_nodes);
+}
 
-  obs::ScopedSpan run_span("spice.tran.run");
-  FINSER_OBS_COUNT("spice.tran.runs", 1);
-
-  // Resolve probes.
-  std::vector<std::string> names;
-  std::vector<std::size_t> nodes;
-  if (probe_nodes.empty()) {
-    for (std::size_t i = 0; i < circuit.node_count(); ++i) {
-      names.push_back(circuit.node_name(i));
-      nodes.push_back(i);
-    }
-  } else {
-    for (const std::string& p : probe_nodes) {
-      names.push_back(p);
-      nodes.push_back(circuit.find_node(p));
-    }
-  }
-  Waveform wave(std::move(names), std::move(nodes));
-
-  // Collect and sort hard breakpoints.
-  std::vector<double> breaks;
-  for (const auto& dev : circuit.devices()) dev->add_breakpoints(opt.t_end, breaks);
-  breaks.push_back(opt.t_end);
-  std::sort(breaks.begin(), breaks.end());
-  breaks.erase(std::unique(breaks.begin(), breaks.end(),
-                           [](double a, double b) { return std::abs(a - b) < 1e-24; }),
-               breaks.end());
-
-  // Initialize device state from the operating point.
-  for (const auto& dev : circuit.devices()) dev->initialize_state(x0);
-
-  std::vector<double> x = x0;
-  Mna mna(circuit.unknown_count());
-  StampContext ctx;
-  ctx.transient = true;
-  ctx.method = opt.method;
-  ctx.branch_offset = circuit.node_count();
-
-  wave.append(0.0, x);
-
-  double t = 0.0;
-  double dt = opt.dt_initial;
-  std::size_t next_break = 0;
-
-  // Retry ladder (see TransientOptions::max_restarts): the effective Newton
-  // settings escalate deterministically each time the step size underflows,
-  // instead of aborting on the first hard spot.
-  TransientOptions eff = opt;
-  int restart_level = 0;
-  std::uint64_t accepted_steps = 0;
-
-  while (t < opt.t_end - 1e-24) {
-    // Clamp the step to land exactly on the next breakpoint.
-    while (next_break < breaks.size() && breaks[next_break] <= t + 1e-24) {
-      ++next_break;
-    }
-    bool hit_break = false;
-    double step = dt;
-    if (next_break < breaks.size() && t + step >= breaks[next_break] - 1e-24) {
-      step = breaks[next_break] - t;
-      hit_break = true;
-    }
-
-    ctx.time = t + step;
-    ctx.dt = step;
-    std::vector<double> x_try = x;  // Start Newton from the previous solution.
-    if (newton_step(circuit, mna, ctx, x_try, eff)) {
-      // Accept.
-      FINSER_OBS_COUNT("spice.tran.steps", 1);
-      ++accepted_steps;
-      x = std::move(x_try);
-      ctx.x = &x;
-      for (const auto& dev : circuit.devices()) dev->commit(ctx);
-      t = ctx.time;
-      wave.append(t, x);
-      if (hit_break) {
-        dt = opt.dt_initial;  // Restart small after a source edge.
-        ++next_break;
-      } else {
-        dt = std::min(dt * opt.grow_factor, opt.dt_max);
-      }
-    } else {
-      // Reject: shrink and retry from the committed state.
-      FINSER_OBS_COUNT("spice.tran.rejects", 1);
-      dt *= opt.shrink_factor;
-      if (hit_break) {
-        // Can't reach the breakpoint in one step anymore; approach it.
-      }
-      if (dt < opt.dt_min) {
-        if (restart_level < opt.max_restarts) {
-          // Escalate: more Newton iterations, stronger damping, and a fresh
-          // (smaller) starting step for the same failing instant. The state
-          // is the last *committed* step, so nothing is replayed.
-          ++restart_level;
-          FINSER_OBS_COUNT("spice.tran.escalations", 1);
-          eff.max_newton *= 2;
-          eff.damping_vmax *= 0.5;
-          dt = std::max(opt.dt_min,
-                        opt.dt_initial * std::pow(0.1, restart_level));
-        } else {
-          FINSER_OBS_COUNT("spice.tran.failures", 1);
-          throw util::NumericalError(
-              "run_transient: Newton failed to converge at t = " +
-              std::to_string(t) + " after " + std::to_string(restart_level) +
-              " escalation(s) (max_newton " + std::to_string(eff.max_newton) +
-              ", damping_vmax " + std::to_string(eff.damping_vmax) + ")");
-        }
-      }
-    }
-  }
-  FINSER_OBS_RECORD("spice.tran.steps_per_run", accepted_steps);
-  return wave;
+Waveform run_transient(CompiledCircuit& circuit, SolveWorkspace& ws,
+                       const std::vector<double>& x0,
+                       const TransientOptions& opt,
+                       const std::vector<std::string>& probe_nodes) {
+  return detail::run_transient_impl(detail::CompiledStamper{circuit}, ws, x0,
+                                    opt, probe_nodes);
 }
 
 }  // namespace finser::spice

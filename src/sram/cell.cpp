@@ -1,5 +1,6 @@
 #include "finser/sram/cell.hpp"
 
+#include "finser/obs/obs.hpp"
 #include "finser/spice/dc.hpp"
 #include "finser/util/error.hpp"
 #include "finser/util/fault.hpp"
@@ -13,8 +14,8 @@ using spice::PulseISource;
 using spice::PulseShape;
 
 StrikeSimulator::StrikeSimulator(const CellDesign& design, double vdd_v,
-                                 AccessMode mode)
-    : design_(design), vdd_v_(vdd_v), mode_(mode) {
+                                 AccessMode mode, SpiceEngine engine)
+    : design_(design), vdd_v_(vdd_v), mode_(mode), engine_(engine) {
   FINSER_REQUIRE(vdd_v > 0.0, "StrikeSimulator: Vdd must be positive");
   if (design_.nfet == nullptr) design_.nfet = &spice::default_nfet();
   if (design_.pfet == nullptr) design_.pfet = &spice::default_pfet();
@@ -92,6 +93,10 @@ StrikeSimulator::StrikeSimulator(const CellDesign& design, double vdd_v,
   topt_.t_end = 50e-12;
   topt_.dt_initial = 1e-15;
   topt_.dt_max = 1e-12;
+
+  // The netlist is final: lower it once. Every simulate() from here on is a
+  // rebind, never a rebuild.
+  if (engine_ == SpiceEngine::kCompiled) compiled_.emplace(circuit_);
 }
 
 void StrikeSimulator::set_pulse_width_scale(double scale) {
@@ -116,9 +121,55 @@ std::vector<double> StrikeSimulator::solve_hold(const DeltaVt& delta_vt) {
   return spice::solve_dc(circuit_, guess);
 }
 
+const std::vector<double>& StrikeSimulator::hold_cached(const DeltaVt& delta_vt) {
+  // The DC hold state depends only on the threshold shifts (strike sources
+  // are open in DC, supplies are fixed), so one solve serves every charge
+  // probed against the same ΔVt vector — in a Qcrit bisection that is the
+  // whole bisection. Exact-equality keying is deliberate: a cache hit
+  // returns what a fresh deterministic solve of identical inputs would, so
+  // results are independent of hit patterns (and of thread/chunk layout).
+  if (hold_valid_ && hold_dvt_ == delta_vt) {
+    FINSER_OBS_COUNT("sram.strike.dc_reuse", 1);
+    return hold_x_;
+  }
+  std::vector<double> guess(circuit_.unknown_count(), 0.0);
+  guess[n_q_] = vdd_v_;
+  guess[n_qb_] = 0.0;
+  guess[n_vdd_] = vdd_v_;
+  guess[n_bl_] = vdd_v_;
+  guess[n_blb_] = vdd_v_;
+  hold_x_ = spice::solve_dc(*compiled_, ws_, guess);
+  hold_dvt_ = delta_vt;
+  hold_valid_ = true;
+  return hold_x_;
+}
+
 std::array<double, 2> StrikeSimulator::hold_state(const DeltaVt& delta_vt) {
-  const auto x = solve_hold(delta_vt);
+  if (engine_ == SpiceEngine::kReference) {
+    const auto x = solve_hold(delta_vt);
+    return {x[n_q_], x[n_qb_]};
+  }
+  apply_delta_vt(delta_vt);
+  compiled_->rebind();
+  const auto& x = hold_cached(delta_vt);
   return {x[n_q_], x[n_qb_]};
+}
+
+void StrikeSimulator::set_strike_shapes(const StrikeCharges& charges,
+                                        PulseShape::Kind kind) {
+  // All three currents share the drift-collection width τ and start together
+  // 1 ps into the run (so the waveform shows the undisturbed hold level).
+  constexpr double kDelayS = 1e-12;
+  const double width_s = tau_s_ * pulse_width_scale_;
+  auto shape = [&](double q_fc) {
+    const double q_c = util::fc_to_c(q_fc);
+    return kind == PulseShape::Kind::kRectangular
+               ? PulseShape::rectangular_for_charge(q_c, width_s, kDelayS)
+               : PulseShape::triangular_for_charge(q_c, width_s, kDelayS);
+  };
+  src_i1_->set_shape(shape(charges.i1_fc));
+  src_i2_->set_shape(shape(charges.i2_fc));
+  src_i3_->set_shape(shape(charges.i3_fc));
 }
 
 StrikeOutcome StrikeSimulator::simulate(const StrikeCharges& charges,
@@ -133,31 +184,30 @@ StrikeOutcome StrikeSimulator::simulate(const StrikeCharges& charges,
         "(FINSER_FAULT newton_diverge)");
   }
 
-  const auto x0 = solve_hold(delta_vt);
-
-  // All three currents share the drift-collection width τ and start together
-  // 1 ps into the run (so the waveform shows the undisturbed hold level).
-  constexpr double kDelayS = 1e-12;
-  const double width_s = tau_s_ * pulse_width_scale_;
-  auto shape = [&](double q_fc) {
-    const double q_c = util::fc_to_c(q_fc);
-    return kind == PulseShape::Kind::kRectangular
-               ? PulseShape::rectangular_for_charge(q_c, width_s, kDelayS)
-               : PulseShape::triangular_for_charge(q_c, width_s, kDelayS);
+  const auto finish = [this](const spice::Waveform& wave) {
+    StrikeOutcome out;
+    out.final_q_v = wave.final_value(0);
+    out.final_qb_v = wave.final_value(1);
+    // Flip detection: the '1' node fell below mid-rail and the '0' node rose
+    // above it (a regenerated cell returns to its rails within the window).
+    out.flipped = out.final_q_v < 0.5 * vdd_v_ && out.final_qb_v > 0.5 * vdd_v_;
+    return out;
   };
-  src_i1_->set_shape(shape(charges.i1_fc));
-  src_i2_->set_shape(shape(charges.i2_fc));
-  src_i3_->set_shape(shape(charges.i3_fc));
 
-  const auto wave = spice::run_transient(circuit_, x0, topt_, {"q", "qb"});
+  if (engine_ == SpiceEngine::kReference) {
+    const auto x0 = solve_hold(delta_vt);
+    set_strike_shapes(charges, kind);
+    return finish(spice::run_transient(circuit_, x0, topt_, {"q", "qb"}));
+  }
 
-  StrikeOutcome out;
-  out.final_q_v = wave.final_value(0);
-  out.final_qb_v = wave.final_value(1);
-  // Flip detection: the '1' node fell below mid-rail and the '0' node rose
-  // above it (a regenerated cell returns to its rails within the window).
-  out.flipped = out.final_q_v < 0.5 * vdd_v_ && out.final_qb_v > 0.5 * vdd_v_;
-  return out;
+  // Compiled hot path: mutate the source devices exactly as the reference
+  // engine would, then rebind the plan once. The strike shapes are open in
+  // DC, so setting them before the hold solve changes nothing there.
+  apply_delta_vt(delta_vt);
+  set_strike_shapes(charges, kind);
+  compiled_->rebind();
+  const auto& x0 = hold_cached(delta_vt);
+  return finish(spice::run_transient(*compiled_, ws_, x0, topt_, {"q", "qb"}));
 }
 
 }  // namespace finser::sram

@@ -18,7 +18,11 @@ namespace detail {
 
 /// One StrikeSimulator per pool worker slot, created lazily on the worker's
 /// own thread (the simulator keeps transient-analysis scratch and is not
-/// shareable across threads).
+/// shareable across threads). Each slot lives for the whole per-voltage
+/// characterization, so with the default compiled engine every worker
+/// compiles its cell circuit exactly once and then rebinds parameters per
+/// sample — across the Qcrit bisections, the PV-sample loops and the grid
+/// stages alike (see spice/compiled.hpp).
 struct SimSlots {
   const CellDesign* design;
   double vdd_v;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "finser/spice/compiled.hpp"
 #include "finser/spice/dc.hpp"
 #include "finser/util/error.hpp"
 
@@ -46,13 +47,19 @@ std::vector<double> sweep_vtc(const CellDesign& design, double vdd_v,
   m_pu.set_temperature(design.temp_k);
   m_pg.set_temperature(design.temp_k);
 
+  // Compile once for the whole sweep; each sample point is a one-parameter
+  // rebind (vin) against the same workspace, with the previous solution as
+  // the continuation guess.
+  spice::CompiledCircuit cc(c);
+  spice::SolveWorkspace ws;
   std::vector<double> vtc(samples);
   std::vector<double> x;
   for (std::size_t i = 0; i < samples; ++i) {
     const double v = vdd_v * static_cast<double>(i) /
                      static_cast<double>(samples - 1);
     vin.set_voltage(v);
-    x = spice::solve_dc(c, x);  // Continuation from the previous point.
+    cc.rebind();
+    x = spice::solve_dc(cc, ws, x);  // Continuation from the previous point.
     vtc[i] = x[n_out];
   }
   return vtc;

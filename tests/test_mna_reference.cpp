@@ -126,6 +126,97 @@ TEST(MnaReference, NonFiniteRhsThrows) {
   }
 }
 
+TEST(MnaReference, StampingIntoConsumedSystemThrows) {
+  // The factorization destroys A and b in place; silently stamping on top of
+  // the LU factors used to produce garbage on the next solve. Every mutation
+  // of a consumed system must throw the lifecycle LogicError instead.
+  stats::Rng rng(99);
+  Mna mna(4);
+  stamp_random_system(mna, 4, rng);
+  (void)mna.solve();
+
+  EXPECT_THROW(mna.add(0, 0, 1.0), util::LogicError);
+  EXPECT_THROW(mna.add_rhs(0, 1.0), util::LogicError);
+  EXPECT_THROW(mna.add_gmin(1e-9, 4), util::LogicError);
+  EXPECT_THROW((void)mna.solve(), util::LogicError);
+
+  // Ground-index stamps are still state-checked: the contract violation is
+  // the call itself, not whether the stamp would have landed.
+  EXPECT_THROW(mna.add(kGround, 0, 1.0), util::LogicError);
+
+  // clear() re-arms the system for a fresh stamp/solve cycle.
+  mna.clear();
+  const DenseSystem sys = stamp_random_system(mna, 4, rng);
+  const std::vector<double> x = mna.solve();
+  EXPECT_LT(residual_inf_norm(sys, x), 1e-9);
+}
+
+TEST(MnaReference, CachedPivotSolveIsBitIdenticalToFresh) {
+  // solve_with_cache must be byte-for-byte solve(): the cached pivot order
+  // is verified against the same column scan fresh pivoting performs, so
+  // the elimination arithmetic never depends on the prediction.
+  stats::Rng rng_fresh(2718);
+  stats::Rng rng_cached(2718);
+  Mna fresh(7);
+  Mna cached(7);
+  Mna::PivotCache cache;
+  std::vector<double> x_cached;
+  for (int trial = 0; trial < 50; ++trial) {
+    stamp_random_system(fresh, 7, rng_fresh);
+    stamp_random_system(cached, 7, rng_cached);
+    const std::vector<double> x_fresh = fresh.solve();
+    cached.solve_with_cache(cache, x_cached);
+    ASSERT_EQ(x_cached.size(), x_fresh.size());
+    for (std::size_t i = 0; i < x_fresh.size(); ++i) {
+      EXPECT_EQ(x_fresh[i], x_cached[i]) << "trial " << trial << ", i = " << i;
+    }
+  }
+}
+
+TEST(MnaReference, PivotCacheSurvivesNearIdenticalResolves) {
+  // The Newton-resolve pattern: the same topology refactored with slightly
+  // perturbed values. Whether the cached order holds or falls back, the
+  // solution must match a fresh solve exactly.
+  Mna cached(5);
+  Mna fresh(5);
+  Mna::PivotCache cache;
+  std::vector<double> x_cached;
+  for (int iter = 0; iter < 20; ++iter) {
+    const double eps = 1e-6 * iter;
+    for (Mna* m : {&cached, &fresh}) {
+      m->clear();
+      for (std::size_t i = 0; i < 5; ++i) {
+        m->add(i, i, 4.0 + eps * static_cast<double>(i));
+        if (i + 1 < 5) {
+          m->add(i, i + 1, -1.0 - eps);
+          m->add(i + 1, i, -1.0 + eps);
+        }
+        m->add_rhs(i, 1.0 + eps);
+      }
+    }
+    cached.solve_with_cache(cache, x_cached);
+    const std::vector<double> x_fresh = fresh.solve();
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(x_fresh[i], x_cached[i]);
+    EXPECT_TRUE(cache.valid);
+  }
+}
+
+TEST(MnaReference, SingularSolveInvalidatesPivotCache) {
+  Mna mna(3);
+  Mna::PivotCache cache;
+  std::vector<double> x;
+  for (std::size_t i = 0; i < 3; ++i) {
+    mna.add(i, i, 1.0);
+    mna.add_rhs(i, 1.0);
+  }
+  mna.solve_with_cache(cache, x);
+  EXPECT_TRUE(cache.valid);
+
+  mna.clear();  // All-zero matrix: singular at column 0.
+  EXPECT_THROW(mna.solve_with_cache(cache, x), util::NumericalError);
+  EXPECT_FALSE(cache.valid);
+}
+
 TEST(MnaReference, GroundStampsAreIgnored) {
   // Stamps against kGround are dropped by contract; the solve must behave
   // as if they were never added.

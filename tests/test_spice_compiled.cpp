@@ -1,0 +1,468 @@
+/// \file test_spice_compiled.cpp
+/// \brief Equivalence contract of the compiled SPICE path.
+///
+/// The compiled (devirtualized, rebindable) evaluation path must be
+/// *byte-identical* to the polymorphic reference path — same MNA matrices,
+/// same solutions, same waveforms, same strike outcomes — on randomized
+/// device soups as well as on the real SRAM cell, including across
+/// parameter rebinds, warm solver workspaces and a kill-and-resume
+/// characterization run. These tests are the license for the compiled path
+/// to be the default engine everywhere.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "finser/ckpt/checkpoint.hpp"
+#include "finser/exec/cancel.hpp"
+#include "finser/spice/compiled.hpp"
+#include "finser/spice/dc.hpp"
+#include "finser/spice/devices.hpp"
+#include "finser/spice/finfet.hpp"
+#include "finser/spice/transient.hpp"
+#include "finser/sram/cell.hpp"
+#include "finser/sram/characterize.hpp"
+#include "finser/stats/rng.hpp"
+#include "finser/util/bytes.hpp"
+#include "finser/util/error.hpp"
+
+namespace finser::spice {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random device soups
+// ---------------------------------------------------------------------------
+
+/// A random mixed-kind netlist. Electrical sanity is irrelevant here — the
+/// stamping contract must hold for any topology the Circuit API accepts.
+Circuit make_soup(stats::Rng& rng) {
+  Circuit c;
+  const std::size_t n_nodes = 3 + rng.uniform_index(6);
+  std::vector<std::size_t> nodes{kGround};
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    nodes.push_back(c.node("n" + std::to_string(i)));
+  }
+  const auto pick = [&] { return nodes[rng.uniform_index(nodes.size())]; };
+  const auto pick_pair = [&] {
+    std::size_t a = pick();
+    std::size_t b = pick();
+    while (b == a) b = pick();
+    return std::pair<std::size_t, std::size_t>{a, b};
+  };
+
+  const std::size_t n_devices = 8 + rng.uniform_index(13);
+  for (std::size_t d = 0; d < n_devices; ++d) {
+    switch (rng.uniform_index(6)) {
+      case 0: {
+        const auto [a, b] = pick_pair();
+        c.add<Resistor>(a, b, rng.uniform(10.0, 1e6));
+        break;
+      }
+      case 1: {
+        const auto [a, b] = pick_pair();
+        c.add<Capacitor>(a, b, rng.uniform(1e-16, 1e-14));
+        break;
+      }
+      case 2: {
+        const auto [a, b] = pick_pair();
+        c.add<VSource>(c, a, b, rng.uniform(-1.0, 1.0));
+        break;
+      }
+      case 3: {
+        const auto [a, b] = pick_pair();
+        const double t0 = rng.uniform(0.0, 4e-12);
+        c.add<PwlVSource>(
+            c, a, b,
+            std::vector<std::pair<double, double>>{
+                {t0, rng.uniform(-1.0, 1.0)},
+                {t0 + rng.uniform(1e-13, 5e-12), rng.uniform(-1.0, 1.0)}});
+        break;
+      }
+      case 4: {
+        const auto [a, b] = pick_pair();
+        const double q = rng.uniform(0.01e-15, 0.5e-15);
+        const double w = rng.uniform(1e-15, 1e-13);
+        const double delay = rng.uniform(0.0, 5e-12);
+        c.add<PulseISource>(
+            a, b,
+            rng.uniform() < 0.5
+                ? PulseShape::rectangular_for_charge(q, w, delay)
+                : PulseShape::triangular_for_charge(q, w, delay));
+        break;
+      }
+      default: {
+        const FinFetModel& model =
+            rng.uniform() < 0.5 ? default_nfet() : default_pfet();
+        auto& m = c.add<Mosfet>(pick(), pick(), pick(), model,
+                                1.0 + static_cast<double>(rng.uniform_index(3)));
+        m.set_delta_vt(rng.normal(0.0, 0.05));
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<double> random_iterate(stats::Rng& rng, std::size_t n) {
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+void expect_same_system(const Mna& a, const Mna& b, std::size_t n,
+                        const char* where) {
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(a.rhs_at(i), b.rhs_at(i)) << where << ": rhs row " << i;
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(a.matrix_at(i, j), b.matrix_at(i, j))
+          << where << ": entry (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(SpiceCompiled, RandomSoupStampsAreByteIdentical) {
+  stats::Rng rng(20140604);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Circuit c = make_soup(rng);
+    CompiledCircuit cc(c);
+    ASSERT_EQ(cc.device_count(), c.devices().size());
+    const std::size_t n = c.unknown_count();
+    Mna ref(n);
+    Mna cmp(n);
+
+    // DC stamp at a random iterate.
+    StampContext ctx;
+    ctx.branch_offset = c.node_count();
+    const std::vector<double> x_dc = random_iterate(rng, n);
+    ctx.x = &x_dc;
+    ref.clear();
+    cmp.clear();
+    for (const auto& dev : c.devices()) dev->stamp(ref, ctx);
+    cc.stamp_all(cmp, ctx);
+    expect_same_system(ref, cmp, n, "dc");
+
+    // Transient stamp: fresh state from a random operating point, then two
+    // accepted steps so the capacitor histories (kept separately by each
+    // path) must evolve in lockstep.
+    const std::vector<double> x0 = random_iterate(rng, n);
+    for (const auto& dev : c.devices()) dev->initialize_state(x0);
+    cc.initialize_state(x0);
+    ctx.transient = true;
+    ctx.method = rng.uniform() < 0.5 ? Integrator::kBackwardEuler
+                                     : Integrator::kTrapezoidal;
+    std::vector<double> x_step = x0;
+    double t = 0.0;
+    for (int step = 0; step < 2; ++step) {
+      ctx.dt = rng.uniform(1e-15, 1e-12);
+      t += ctx.dt;
+      ctx.time = t;
+      x_step = random_iterate(rng, n);
+      ctx.x = &x_step;
+      ref.clear();
+      cmp.clear();
+      for (const auto& dev : c.devices()) dev->stamp(ref, ctx);
+      cc.stamp_all(cmp, ctx);
+      expect_same_system(ref, cmp, n, step == 0 ? "tran step 0" : "tran step 1");
+      for (const auto& dev : c.devices()) dev->commit(ctx);
+      cc.commit(ctx);
+    }
+
+    // Breakpoints (order-insensitive by contract: the engine sorts them).
+    std::vector<double> b_ref;
+    std::vector<double> b_cmp;
+    for (const auto& dev : c.devices()) dev->add_breakpoints(1e-11, b_ref);
+    cc.add_breakpoints(1e-11, b_cmp);
+    std::sort(b_ref.begin(), b_ref.end());
+    std::sort(b_cmp.begin(), b_cmp.end());
+    ASSERT_EQ(b_ref, b_cmp);
+  }
+}
+
+// The fused stamp path (raw flat arrays + precomputed slot indices, used by
+// the compiled Newton kernel) must produce the same dense system as the
+// Mna-based stamp, entry for entry, with every ground contribution absorbed
+// by the trailing scratch slots.
+TEST(SpiceCompiled, FusedStampMatchesMnaOnSoups) {
+  stats::Rng rng(19830426);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Circuit c = make_soup(rng);
+    CompiledCircuit cc(c);
+    const std::size_t n = c.unknown_count();
+    Mna ref(n);
+    SolveWorkspace ws;
+    ws.fused_for(n);
+
+    StampContext ctx;
+    ctx.branch_offset = c.node_count();
+    std::vector<double> x = random_iterate(rng, n);
+    ctx.x = &x;
+
+    const auto check = [&](const char* where) {
+      ref.clear();
+      cc.stamp_all(ref, ctx);
+      std::fill(ws.fa.begin(), ws.fa.end(), 0.0);
+      std::fill(ws.fb.begin(), ws.fb.end(), 0.0);
+      cc.stamp_fused(ws.fa.data(), ws.fb.data(), ctx);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(ws.fb[i], ref.rhs_at(i)) << where << ": rhs row " << i;
+        for (std::size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(ws.fa[i * n + j], ref.matrix_at(i, j))
+              << where << ": entry (" << i << ", " << j << ")";
+        }
+      }
+    };
+
+    check("dc");
+
+    cc.initialize_state(x);
+    ctx.transient = true;
+    ctx.method = rng.uniform() < 0.5 ? Integrator::kBackwardEuler
+                                     : Integrator::kTrapezoidal;
+    double t = 0.0;
+    for (int step = 0; step < 2; ++step) {
+      ctx.dt = rng.uniform(1e-15, 1e-12);
+      t += ctx.dt;
+      ctx.time = t;
+      x = random_iterate(rng, n);
+      check(step == 0 ? "tran step 0" : "tran step 1");
+      cc.commit(ctx);
+    }
+  }
+}
+
+// The baked per-device plan (bake_finfet + evaluate_finfet_planned) must
+// reproduce the reference model evaluation bit for bit over the whole bias
+// space, for both polarities and off-nominal ΔVt / fin count / temperature.
+TEST(SpiceCompiled, PlannedFinfetEvalIsByteIdentical) {
+  stats::Rng rng(65537);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const bool pmos = rng.uniform() < 0.5;
+    const FinFetModel& m = pmos ? default_pfet() : default_nfet();
+    const double delta_vt = rng.normal(0.0, 0.06);
+    const double nfin = 1.0 + static_cast<double>(rng.uniform_index(3));
+    const double temp_k = rng.uniform(250.0, 400.0);
+    const FinFetPlan plan = bake_finfet(m, delta_vt, nfin, temp_k);
+
+    const double vd = rng.uniform(-1.2, 1.2);
+    const double vg = rng.uniform(-1.2, 1.2);
+    const double vs = rng.uniform(-1.2, 1.2);
+    const MosOp ref = evaluate_finfet(m, vd, vg, vs, delta_vt, nfin, temp_k);
+    const MosOp got = evaluate_finfet_planned(plan, vd, vg, vs);
+    ASSERT_EQ(ref.ids, got.ids) << (pmos ? "pfet" : "nfet") << " trial "
+                                << trial;
+    ASSERT_EQ(ref.gm, got.gm);
+    ASSERT_EQ(ref.gds, got.gds);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solution-level equivalence on a solvable circuit, across rebinds
+// ---------------------------------------------------------------------------
+
+/// A randomized but well-posed circuit: a supply-driven FinFET inverter
+/// chain with storage caps and a strike-style current pulse — every node has
+/// a DC path, so both DC and transient solves converge.
+struct SolvableCircuit {
+  Circuit c;
+  VSource* supply = nullptr;
+  Mosfet* nfet = nullptr;
+  PulseISource* pulse = nullptr;
+};
+
+SolvableCircuit make_solvable(stats::Rng& rng) {
+  SolvableCircuit s;
+  const auto vdd = s.c.node("vdd");
+  const auto in = s.c.node("in");
+  const auto out = s.c.node("out");
+  const auto out2 = s.c.node("out2");
+  const double vdd_v = rng.uniform(0.6, 1.0);
+  s.supply = &s.c.add<VSource>(s.c, vdd, kGround, vdd_v);
+  s.c.add<VSource>(s.c, in, kGround, rng.uniform(0.0, 0.2));
+  s.nfet = &s.c.add<Mosfet>(out, in, kGround, default_nfet(), 1.0);
+  s.c.add<Mosfet>(out, in, vdd, default_pfet(), 1.0);
+  s.c.add<Mosfet>(out2, out, kGround, default_nfet(), 1.0);
+  s.c.add<Mosfet>(out2, out, vdd, default_pfet(), 1.0);
+  s.c.add<Resistor>(out, out2, rng.uniform(1e4, 1e6));
+  s.c.add<Capacitor>(out, kGround, rng.uniform(0.05e-15, 0.3e-15));
+  s.c.add<Capacitor>(out2, kGround, rng.uniform(0.05e-15, 0.3e-15));
+  s.pulse = &s.c.add<PulseISource>(
+      out, kGround,
+      PulseShape::rectangular_for_charge(rng.uniform(0.01e-15, 0.2e-15),
+                                         rng.uniform(5e-15, 5e-14), 1e-12));
+  return s;
+}
+
+void expect_same_vector(const std::vector<double>& a,
+                        const std::vector<double>& b, const char* where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << where << ": component " << i;
+  }
+}
+
+void expect_same_waveform(const Waveform& a, const Waveform& b,
+                          const char* where) {
+  ASSERT_EQ(a.sample_count(), b.sample_count()) << where;
+  ASSERT_EQ(a.probe_count(), b.probe_count()) << where;
+  for (std::size_t i = 0; i < a.sample_count(); ++i) {
+    ASSERT_EQ(a.times()[i], b.times()[i]) << where << ": time " << i;
+    for (std::size_t p = 0; p < a.probe_count(); ++p) {
+      ASSERT_EQ(a.value(p, i), b.value(p, i))
+          << where << ": probe " << p << ", sample " << i;
+    }
+  }
+}
+
+TEST(SpiceCompiled, SolutionsMatchAcrossRebindsAndWarmWorkspace) {
+  stats::Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    SolvableCircuit s = make_solvable(rng);
+    CompiledCircuit cc(s.c);
+    SolveWorkspace ws;  // Deliberately reused across every solve below.
+
+    TransientOptions topt;
+    topt.t_end = 20e-12;
+
+    for (int pass = 0; pass < 3; ++pass) {
+      // Mutate every rebindable parameter, then rebind the plan.
+      s.supply->set_voltage(rng.uniform(0.6, 1.0));
+      s.nfet->set_delta_vt(rng.normal(0.0, 0.05));
+      s.pulse->set_shape(PulseShape::triangular_for_charge(
+          rng.uniform(0.01e-15, 0.3e-15), rng.uniform(5e-15, 5e-14), 1e-12));
+      cc.rebind();
+
+      const std::vector<double> x_ref = solve_dc(s.c);
+      const std::vector<double> x_cmp = solve_dc(cc, ws);
+      expect_same_vector(x_ref, x_cmp, "dc");
+
+      const Waveform w_ref = run_transient(s.c, x_ref, topt, {"out", "out2"});
+      const Waveform w_cmp = run_transient(cc, ws, x_cmp, topt, {"out", "out2"});
+      expect_same_waveform(w_ref, w_cmp, "transient");
+    }
+  }
+}
+
+TEST(SpiceCompiled, UnsupportedDeviceKindThrows) {
+  class Ghost : public Device {
+   public:
+    void stamp(Mna&, const StampContext&) const override {}
+    const char* kind() const override { return "ghost"; }
+  };
+  Circuit c;
+  c.node("n");
+  c.add<Ghost>();
+  EXPECT_THROW(CompiledCircuit{c}, util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace finser::spice
+
+namespace finser::sram {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StrikeSimulator: reference vs compiled engine
+// ---------------------------------------------------------------------------
+
+TEST(SpiceCompiled, StrikeSimulatorEnginesAgreeExactly) {
+  const CellDesign design;
+  stats::Rng rng(4242);
+  for (double vdd : {0.7, 1.0}) {
+    StrikeSimulator ref(design, vdd, AccessMode::kRetention,
+                        SpiceEngine::kReference);
+    StrikeSimulator fast(design, vdd, AccessMode::kRetention,
+                         SpiceEngine::kCompiled);
+    EXPECT_EQ(fast.engine(), SpiceEngine::kCompiled);
+
+    DeltaVt dvt{};
+    for (int trial = 0; trial < 6; ++trial) {
+      // Re-use each ΔVt twice to exercise the compiled DC hold cache: the
+      // cached-hold simulate must still match the reference bit-for-bit.
+      if (trial % 2 == 0) {
+        for (double& v : dvt) v = rng.normal(0.0, design.sigma_vt);
+      }
+      const StrikeCharges q{rng.uniform(0.0, 0.3), rng.uniform(0.0, 0.3),
+                            rng.uniform(0.0, 0.3)};
+      const auto kind = trial % 2 == 0 ? spice::PulseShape::Kind::kRectangular
+                                       : spice::PulseShape::Kind::kTriangular;
+      const StrikeOutcome a = ref.simulate(q, dvt, kind);
+      const StrikeOutcome b = fast.simulate(q, dvt, kind);
+      EXPECT_EQ(a.flipped, b.flipped) << "vdd " << vdd << ", trial " << trial;
+      EXPECT_EQ(a.final_q_v, b.final_q_v);
+      EXPECT_EQ(a.final_qb_v, b.final_qb_v);
+
+      const auto h_ref = ref.hold_state(dvt);
+      const auto h_cmp = fast.hold_state(dvt);
+      EXPECT_EQ(h_ref[0], h_cmp[0]);
+      EXPECT_EQ(h_ref[1], h_cmp[1]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume through the compiled characterizer path
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> model_bytes(const CellSoftErrorModel& model) {
+  util::ByteWriter w;
+  for (const PofTable& t : model.tables) t.write(w);
+  return w.take();
+}
+
+TEST(SpiceCompiled, CharacterizerResumesThroughCompiledPath) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "finser_compiled_resume.bin")
+          .string();
+  std::remove(path.c_str());
+
+  CharacterizerConfig cfg;
+  cfg.vdds = {0.7, 0.9};
+  cfg.pv_samples_single = 6;
+  cfg.pair_grid_points = 6;
+  cfg.triple_grid_points = 6;
+  cfg.pv_samples_grid = 4;
+  cfg.seed = 13;
+  cfg.threads = 2;
+  const CellDesign design;
+  const CellCharacterizer ch(design, cfg);
+
+  // Uninterrupted baseline (no checkpointing at all).
+  const CellSoftErrorModel want = ch.characterize();
+
+  // Killed run: cancel as soon as the second voltage reports progress; the
+  // first voltage's table is already flushed to the checkpoint.
+  ckpt::RunOptions run;
+  run.checkpoint_path = path;
+  run.checkpoint_interval_sec = 0.0;
+  exec::CancelToken token;
+  run.cancel = &token;
+  bool saw_second = false;
+  const exec::ProgressSink canceller([&](const std::string& msg) {
+    if (msg.find("vdd=0.9") != std::string::npos && !saw_second) {
+      saw_second = true;
+      token.cancel();
+    }
+  });
+  EXPECT_THROW(ch.characterize(canceller, run), util::Cancelled);
+  EXPECT_TRUE(saw_second);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Resume without the token: the restored voltage is reused and the final
+  // model is byte-identical to the uninterrupted run.
+  run.cancel = nullptr;
+  const CellSoftErrorModel got = ch.characterize({}, run);
+  EXPECT_EQ(model_bytes(want), model_bytes(got));
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+}  // namespace
+}  // namespace finser::sram

@@ -370,5 +370,79 @@ TEST(Transient, BreakpointsAreHitExactly) {
   EXPECT_NEAR(w.at(0, 5.2e-12), 0.1, 2e-3);
 }
 
+
+// ---------------------------------------------------------------------------
+// Integrator convergence order
+// ---------------------------------------------------------------------------
+
+/// Max |simulated - analytic| of an R-C low-pass driven by a voltage ramp,
+/// integrated with uniform steps of size \p h. The ramp response has the
+/// closed form  v_c(t) = m*(t - RC*(1 - e^{-t/RC})), and the circuit is
+/// linear, so Newton solves every step exactly in one iteration and the
+/// measured error is purely the integrator's truncation error.
+double ramp_rc_error(Integrator method, double h) {
+  constexpr double kR = 1e3;     // [ohm]
+  constexpr double kC = 1e-15;   // [F] -> RC = 1 ps.
+  constexpr double kSlope = 1.0 / 1e-9;  // 1 V over 1 ns.
+  Circuit c;
+  const auto n_in = c.node("in");
+  const auto n_out = c.node("out");
+  c.add<PwlVSource>(c, n_in, kGround,
+                    std::vector<std::pair<double, double>>{{0.0, 0.0},
+                                                           {1e-9, 1.0}});
+  c.add<Resistor>(n_in, n_out, kR);
+  c.add<Capacitor>(n_out, kGround, kC);
+  const auto x0 = solve_dc(c);
+
+  TransientOptions opt;
+  opt.t_end = 4e-12;  // 4 RC: the exponential transient dominates throughout.
+  opt.dt_initial = h;
+  opt.dt_max = h;
+  opt.grow_factor = 1.0;  // Uniform steps: error halving is attributable to h.
+  opt.method = method;
+  const Waveform w = run_transient(c, x0, opt, {"out"});
+
+  constexpr double kRc = kR * kC;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < w.sample_count(); ++i) {
+    const double t = w.times()[i];
+    const double exact = kSlope * (t - kRc * (1.0 - std::exp(-t / kRc)));
+    worst = std::max(worst, std::abs(w.value(0, i) - exact));
+  }
+  return worst;
+}
+
+TEST(Transient, BackwardEulerConvergesFirstOrder) {
+  const double e0 = ramp_rc_error(Integrator::kBackwardEuler, 4e-13);
+  const double e1 = ramp_rc_error(Integrator::kBackwardEuler, 2e-13);
+  const double e2 = ramp_rc_error(Integrator::kBackwardEuler, 1e-13);
+  ASSERT_GT(e0, e1);
+  ASSERT_GT(e1, e2);
+  const double p01 = std::log2(e0 / e1);
+  const double p12 = std::log2(e1 / e2);
+  // Global error ~ O(h): halving h should halve the error.
+  EXPECT_GT(p01, 0.7) << "e0 = " << e0 << ", e1 = " << e1;
+  EXPECT_LT(p01, 1.35);
+  EXPECT_GT(p12, 0.7) << "e1 = " << e1 << ", e2 = " << e2;
+  EXPECT_LT(p12, 1.35);
+}
+
+TEST(Transient, TrapezoidalConvergesSecondOrder) {
+  const double e0 = ramp_rc_error(Integrator::kTrapezoidal, 4e-13);
+  const double e1 = ramp_rc_error(Integrator::kTrapezoidal, 2e-13);
+  const double e2 = ramp_rc_error(Integrator::kTrapezoidal, 1e-13);
+  ASSERT_GT(e0, e1);
+  ASSERT_GT(e1, e2);
+  const double p01 = std::log2(e0 / e1);
+  const double p12 = std::log2(e1 / e2);
+  // Global error ~ O(h^2): halving h should quarter the error.
+  EXPECT_GT(p01, 1.6) << "e0 = " << e0 << ", e1 = " << e1;
+  EXPECT_LT(p01, 2.4);
+  EXPECT_GT(p12, 1.6) << "e1 = " << e1 << ", e2 = " << e2;
+  EXPECT_LT(p12, 2.4);
+  // And the 2nd-order method must actually beat backward Euler at equal h.
+  EXPECT_LT(e2, ramp_rc_error(Integrator::kBackwardEuler, 1e-13));
+}
+
 }  // namespace
 }  // namespace finser::spice
