@@ -363,16 +363,64 @@ void report_spice_kernel() {
         .count();
   };
 
-  std::vector<sram::StrikeOutcome> ref_out, hot_out;
+  // Lane-batched pass: the same workload, rebound lane_width() samples at a
+  // time and every charge step of the ladder advanced for the whole lane
+  // group in one batched transient — exactly the shape the characterizer
+  // drives. The scalar passes are forced to lane width 1 so the comparison
+  // is batched-vs-scalar-compiled, not batched-vs-itself.
+  const std::size_t lanes = spice::lane_width();
+  const auto run_batched = [&](std::vector<sram::StrikeOutcome>& out) {
+    out.assign(static_cast<std::size_t>(kSamples * kSimsPerSample),
+               sram::StrikeOutcome{});
+    sram::StrikeSimulator sim(design, vdd);
+    std::vector<sram::StrikeCharges> qs;
+    std::vector<sram::DeltaVt> ds;
+    std::vector<std::uint8_t> active;
+    std::vector<sram::StrikeSimulator::LaneOutcome> res;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSamples; i += static_cast<int>(lanes)) {
+      const std::size_t group =
+          std::min(lanes, static_cast<std::size_t>(kSamples - i));
+      ds.assign(dvts.begin() + i, dvts.begin() + i + static_cast<int>(group));
+      active.assign(group, 1);
+      for (int s = 0; s < kSimsPerSample; ++s) {
+        qs.clear();
+        for (std::size_t g = 0; g < group; ++g) {
+          qs.push_back(sram::StrikeCharges{
+              charges[static_cast<std::size_t>(i) + g]
+                     [static_cast<std::size_t>(s)],
+              0.0, 0.0});
+        }
+        sim.simulate_batch(qs, ds, spice::PulseShape::Kind::kRectangular,
+                           active, res);
+        for (std::size_t g = 0; g < group; ++g) {
+          out[(static_cast<std::size_t>(i) + g) *
+                  static_cast<std::size_t>(kSimsPerSample) +
+              static_cast<std::size_t>(s)] = res[g].outcome;
+        }
+      }
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  std::vector<sram::StrikeOutcome> ref_out, hot_out, batch_out;
   // Warm-up (page in the models, spin up allocators), then timed passes.
   // Both timed passes run with observability disabled so neither side pays
   // the counter overhead; the counters come from a separate untimed pass.
-  run_pass(sram::SpiceEngine::kReference, true, ref_out);
-  run_pass(sram::SpiceEngine::kCompiled, false, hot_out);
-  const double rebuild_s =
-      run_pass(sram::SpiceEngine::kReference, true, ref_out);
-  const double rebind_s =
-      run_pass(sram::SpiceEngine::kCompiled, false, hot_out);
+  double rebuild_s = 0.0, rebind_s = 0.0;
+  {
+    // Scalar reference + compiled-rebind baselines at lane width 1.
+    spice::set_lane_width(1);
+    run_pass(sram::SpiceEngine::kReference, true, ref_out);
+    run_pass(sram::SpiceEngine::kCompiled, false, hot_out);
+    rebuild_s = run_pass(sram::SpiceEngine::kReference, true, ref_out);
+    rebind_s = run_pass(sram::SpiceEngine::kCompiled, false, hot_out);
+    spice::set_lane_width(0);
+  }
+  run_batched(batch_out);  // Warm-up.
+  const double batched_s = run_batched(batch_out);
 
   // Count what the compiled path actually does: solver steps skipped by the
   // steady-state fast-forward and DC hold solves saved by the ΔVt cache.
@@ -387,20 +435,41 @@ void report_spice_kernel() {
   const unsigned long long ff_steps = count("spice.tran.ff_steps");
   const unsigned long long newton_iters = count("spice.tran.newton_iters");
   const unsigned long long dc_reuse = count("sram.strike.dc_reuse");
+  // Lane-utilization counters of the batched engine: how full the SIMD lanes
+  // ran and how many lane-iterations were masked-off (converged/ragged).
+  obs::Registry::global().reset();
+  run_batched(batch_out);
+  const unsigned long long batch_ticks = count("spice.batch.newton_ticks");
+  const unsigned long long lane_active = count("spice.batch.lane_iters_active");
+  const unsigned long long lane_masked = count("spice.batch.lane_iters_masked");
   obs::set_enabled(false);
   obs::Registry::global().reset();
 
-  bool identical = ref_out.size() == hot_out.size();
-  for (std::size_t i = 0; identical && i < ref_out.size(); ++i) {
-    identical = ref_out[i].flipped == hot_out[i].flipped &&
-                ref_out[i].final_q_v == hot_out[i].final_q_v &&
-                ref_out[i].final_qb_v == hot_out[i].final_qb_v;
-  }
+  const auto outcomes_equal = [](const std::vector<sram::StrikeOutcome>& a,
+                                 const std::vector<sram::StrikeOutcome>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].flipped != b[i].flipped || a[i].final_q_v != b[i].final_q_v ||
+          a[i].final_qb_v != b[i].final_qb_v) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const bool identical = outcomes_equal(ref_out, hot_out);
+  const bool identical_batched = outcomes_equal(ref_out, batch_out);
 
   const double n = static_cast<double>(kSamples * kSimsPerSample);
   const double rebuild_rate = rebuild_s > 0.0 ? n / rebuild_s : 0.0;
   const double rebind_rate = rebind_s > 0.0 ? n / rebind_s : 0.0;
+  const double batched_rate = batched_s > 0.0 ? n / batched_s : 0.0;
   const double speedup = rebind_s > 0.0 ? rebuild_s / rebind_s : 0.0;
+  const double batched_speedup = batched_s > 0.0 ? rebind_s / batched_s : 0.0;
+  const double lane_fraction =
+      batch_ticks > 0 ? static_cast<double>(lane_active) /
+                            (static_cast<double>(batch_ticks) *
+                             static_cast<double>(lanes))
+                      : 0.0;
 
   util::CsvTable t({"path", "seconds", "transients_per_s", "speedup",
                     "identical"});
@@ -408,14 +477,18 @@ void report_spice_kernel() {
              rebuild_rate, 1.0, 1.0});
   t.add_row({std::string("rebind-per-sample (compiled)"), rebind_s,
              rebind_rate, speedup, identical ? 1.0 : 0.0});
+  t.add_row({std::string("lane-batched W=") + std::to_string(lanes),
+             batched_s, batched_rate,
+             batched_s > 0.0 ? rebuild_s / batched_s : 0.0,
+             identical_batched ? 1.0 : 0.0});
   bench::emit(t, "spice_kernel",
-              "SPICE strike kernel: rebuild vs compiled rebind "
-              "(identical must be 1)");
+              "SPICE strike kernel: rebuild vs compiled rebind vs "
+              "lane-batched (identical must be 1)");
 
   std::filesystem::create_directories(bench::kOutDir);
   const std::string path = std::string(bench::kOutDir) + "/spice_kernel.json";
   std::ofstream os(path);
-  char body[640];
+  char body[1280];
   std::snprintf(body, sizeof body,
                 "{\n"
                 "  \"kernel\": \"spice_strike_transient\",\n"
@@ -423,18 +496,30 @@ void report_spice_kernel() {
                 "  \"transients_per_sample\": %d,\n"
                 "  \"rebuild_seconds\": %.6f,\n"
                 "  \"rebind_seconds\": %.6f,\n"
+                "  \"batched_seconds\": %.6f,\n"
                 "  \"rebuild_transients_per_s\": %.1f,\n"
                 "  \"rebind_transients_per_s\": %.1f,\n"
+                "  \"batched_transients_per_s\": %.1f,\n"
                 "  \"rebind_speedup\": %.3f,\n"
+                "  \"batched_speedup_vs_rebind\": %.3f,\n"
+                "  \"lane_width\": %zu,\n"
                 "  \"bit_identical_outcomes\": %s,\n"
+                "  \"bit_identical_batched\": %s,\n"
                 "  \"rebind_tran_steps\": %llu,\n"
                 "  \"rebind_ff_steps\": %llu,\n"
                 "  \"rebind_newton_iters\": %llu,\n"
-                "  \"rebind_dc_hold_reuses\": %llu\n"
+                "  \"rebind_dc_hold_reuses\": %llu,\n"
+                "  \"batch_newton_ticks\": %llu,\n"
+                "  \"batch_lane_iters_active\": %llu,\n"
+                "  \"batch_lane_iters_masked\": %llu,\n"
+                "  \"batch_active_lane_fraction\": %.4f\n"
                 "}\n",
-                kSamples, kSimsPerSample, rebuild_s, rebind_s, rebuild_rate,
-                rebind_rate, speedup, identical ? "true" : "false", tran_steps,
-                ff_steps, newton_iters, dc_reuse);
+                kSamples, kSimsPerSample, rebuild_s, rebind_s, batched_s,
+                rebuild_rate, rebind_rate, batched_rate, speedup,
+                batched_speedup, lanes, identical ? "true" : "false",
+                identical_batched ? "true" : "false", tran_steps, ff_steps,
+                newton_iters, dc_reuse, batch_ticks, lane_active, lane_masked,
+                lane_fraction);
   os << body;
   std::cout << "[json] " << path << "\n";
 }

@@ -29,6 +29,7 @@ struct RunInfo {
   std::string command;      ///< e.g. "run paper.ini".
   std::uint64_t seed = 0;
   std::size_t threads = 0;  ///< Resolved worker-thread count (0 = unknown).
+  std::size_t lanes = 0;    ///< Resolved SPICE lane width (0 = unknown).
   double mc_scale = 1.0;
   /// Configuration fingerprint (util::Fnv1a); serialized as a hex string
   /// because JSON doubles cannot carry 64 bits.

@@ -34,6 +34,7 @@
 ///   "campaign": "vdd-corners",
 ///   "seed": 20140601,                // default scenario seed
 ///   "threads": 0,                    // 0 = auto (FINSER_THREADS, else HW)
+///   "lanes": 0,                      // SPICE lane width: 0 = auto, 1, 4, 8
 ///   "artifact_dir": "out/artifacts", // "" disables the artifact store
 ///   "output_dir": "out",             // "" disables CSV emission
 ///   "defaults": { "strikes": 60000 },// merged under every scenario
@@ -98,6 +99,9 @@ struct CampaignSpec {
   std::string artifact_dir;             ///< "" = no artifact store.
   std::string output_dir = "finser_out";  ///< "" = no CSV outputs.
   std::size_t threads = 0;              ///< Whole-campaign budget; 0 = auto.
+  /// SPICE engine lane width for every scenario: 0 = leave the process-wide
+  /// resolution (--lanes / FINSER_LANES / widest compiled unit) alone.
+  std::size_t lanes = 0;
   std::vector<ScenarioSpec> scenarios;
 };
 

@@ -1,0 +1,140 @@
+#pragma once
+/// \file batch.hpp
+/// \brief Lane-batched compiled transient engine (public surface).
+///
+/// Characterization solves millions of *independent* strike transients on the
+/// same topology: PV samples never interact, so W of them can advance in
+/// lockstep with every per-lane quantity held in AoSoA blocks of width W —
+/// slot s of lane w lives at `array[s * W + w]`, the unit-stride inner
+/// dimension the compiler auto-vectorizes. The lane loops are plain C++ (no
+/// intrinsics): the arithmetic is elementwise IEEE-754 with no reductions
+/// across lanes, so vectorizing it cannot change any lane's bits, and every
+/// transcendental goes through the deterministic kernels of vecmath.hpp.
+/// That is the bit-pinned contract (docs/spice.md): the batched engine is
+/// **byte-identical** to the scalar compiled engine per lane, for every lane
+/// width, at any thread count — W is a pure throughput knob.
+///
+/// Lanes are *masked, not branched around*: a converged, finished or failed
+/// lane keeps riding the vector tick (its stamps and LU are computed and
+/// discarded) until the whole group drains. Per-lane Newton bookkeeping —
+/// damping, convergence, step control, the escalation ladder, steady-state
+/// fast-forward — stays scalar per lane and mirrors engine_detail.hpp's
+/// scalar transient loop statement for statement.
+///
+/// Width selection: the compiled default (`kDefaultLaneWidth`) picks the
+/// widest vector unit the build targets; `set_lane_width()` / the
+/// `FINSER_LANES` env var / the `--lanes` CLI flag override it at runtime
+/// (0 = auto, 1 = the scalar reference). All widths {1, 4, 8} are always
+/// compiled, so a vectorized build can be pinned to the scalar reference
+/// without recompiling.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "finser/spice/compiled.hpp"
+#include "finser/spice/transient.hpp"
+
+namespace finser::spice {
+
+/// Hard ceiling on the lane count (sizes the per-lane cold-state arrays).
+inline constexpr std::size_t kMaxLaneWidth = 8;
+
+/// Compile-time auto width: the widest SIMD unit the build targets.
+/// FINSER_SCALAR_LANES (CMake option) forces the portable scalar default.
+#if defined(FINSER_SCALAR_LANES)
+inline constexpr std::size_t kDefaultLaneWidth = 1;
+#elif defined(__AVX512F__)
+inline constexpr std::size_t kDefaultLaneWidth = 8;
+#else
+inline constexpr std::size_t kDefaultLaneWidth = 4;
+#endif
+
+/// True for the widths the engine is instantiated at (0 = auto is accepted
+/// by set_lane_width()).
+inline constexpr bool lane_width_valid(std::size_t w) {
+  return w == 0 || w == 1 || w == 4 || w == 8;
+}
+
+/// Resolved lane width of this process: the last set_lane_width() value if
+/// any, else FINSER_LANES (invalid values are diagnosed on stderr and
+/// ignored, mirroring FINSER_MC_SCALE), else kDefaultLaneWidth.
+std::size_t lane_width();
+
+/// Override the lane width (0 = back to auto). Throws util::InvalidArgument
+/// unless lane_width_valid(w).
+void set_lane_width(std::size_t w);
+
+/// Preallocated AoSoA scratch of one lane-batched circuit: the per-lane
+/// rebound parameters, reactive state, dense MNA blocks and solver vectors,
+/// plus the per-lane cold state (pivot caches, breakpoints, fast-forward
+/// rings). One workspace per (thread, compiled circuit); sized by
+/// CompiledCircuit::batch_configure(). Hot arrays index as [slot * lanes + w].
+struct BatchWorkspace {
+  std::size_t lanes = 0;     ///< AoSoA width W (1, 4 or 8).
+  std::size_t unknowns = 0;  ///< System size n (sans ground scratch).
+
+  // --- Per-lane rebound parameters (see batch_rebind_lane) -----------------
+  std::vector<double> vsrc_v;       ///< [vsource * W + w].
+  std::vector<PulseShape> is_shape; ///< [isource * W + w].
+  /// FinFetPlan split per field (p_type stays on the shared MosRec — device
+  /// polarity is lane-invariant, which keeps it a uniform branch).
+  struct MosLanes {
+    std::vector<double> n, dibl, lambda, phi_t, vt_base, is, is_lambda,
+        duf_dvgs, duf_dvds, dur_dvds;
+  } mos;
+
+  // --- Per-lane reactive state ---------------------------------------------
+  std::vector<double> cap_v_prev;  ///< [capacitor * W + w].
+  std::vector<double> cap_i_prev;
+
+  // --- Dense MNA blocks (written by batch_stamp_fused) ---------------------
+  std::vector<double> fa;  ///< (n² + 1) × W, ground scratch slot included.
+  std::vector<double> fb;  ///< (n + 1) × W.
+
+  // --- Solver vectors ------------------------------------------------------
+  std::vector<double> x;      ///< n × W: committed state per lane.
+  std::vector<double> x_try;  ///< n × W: Newton iterate per lane.
+  std::vector<double> x_new;  ///< n × W: LU solution per lane.
+
+  // --- Lane-blocked LU scratch ---------------------------------------------
+  /// Physical-position → original-row map per lane, [pos * W + w]. The
+  /// batched LU swaps rows *physically* (per lane) instead of indirecting
+  /// through a permutation, so the elimination inner loops use uniform
+  /// indices across lanes and vectorize regardless of per-lane pivot
+  /// divergence; this map only feeds the pivot-order cache bookkeeping.
+  std::vector<std::size_t> perm;
+  std::array<Mna::PivotCache, kMaxLaneWidth> pivot;  ///< Per-lane caches.
+
+  // --- Per-lane transient cold state (scalar access only) ------------------
+  std::array<std::vector<double>, kMaxLaneWidth> breaks;
+  std::array<std::array<SolveWorkspace::StateSnap, 8>, kMaxLaneWidth> ff_ring;
+};
+
+/// Per-lane results of one batched transient group. Lane w of the input maps
+/// to index w here; lanes the caller left inactive (empty x0) come back with
+/// an empty waveform and failed[w] == 0.
+struct BatchTransientResult {
+  std::vector<Waveform> waves;        ///< Size = lane count.
+  std::vector<std::uint8_t> failed;   ///< 1 where the lane's run failed.
+  /// The failure text per failed lane — the same message the scalar engine
+  /// would have thrown as util::NumericalError for that transient.
+  std::vector<std::string> errors;
+};
+
+/// Advance up to bw.lanes independent transients in lockstep. \p x0 supplies
+/// one operating point per lane (size ≤ bw.lanes; an empty entry — or a
+/// missing trailing one — marks the lane inactive, i.e. a masked-off ragged
+/// tail). Per lane this computes byte-identical waveforms, device state and
+/// failure text to scalar run_transient(cc, ws, x0[w], opt, probe_nodes);
+/// a failed lane is reported in the result instead of thrown, and never
+/// perturbs its neighbors. The circuit's per-lane parameters must have been
+/// loaded with batch_rebind_lane() beforehand.
+BatchTransientResult run_transient_batch(
+    CompiledCircuit& cc, BatchWorkspace& bw,
+    const std::vector<std::vector<double>>& x0, const TransientOptions& opt,
+    const std::vector<std::string>& probe_nodes = {});
+
+}  // namespace finser::spice

@@ -41,6 +41,8 @@
 
 namespace finser::spice {
 
+struct BatchWorkspace;
+
 /// Devirtualized, rebindable lowering of one Circuit (see file comment).
 /// The source Circuit must outlive the compiled form and must not gain
 /// nodes, branches or devices afterwards — parameter *values* may change
@@ -92,6 +94,45 @@ class CompiledCircuit {
   /// the steady-state fast-forward to replay a proven cycle.
   void save_reactive_state(std::vector<double>& out) const;
   void load_reactive_state(const std::vector<double>& in);
+
+  // --- Lane-batched engine hooks (batch.hpp; see docs/spice.md) -----------
+  // The batched transient engine (engine_detail.hpp) advances W independent
+  // parameter bindings of *this one compiled plan* in lockstep. Per-lane
+  // parameters and state live in the caller's BatchWorkspace as AoSoA
+  // blocks; the hooks below mirror the scalar hooks above one lane at a
+  // time (scalar bookkeeping) or all lanes at once (the hot stamp).
+
+  /// Size \p bw for \p lanes lanes of this circuit and seed every lane from
+  /// the current scalar binding. Invalidates the per-lane pivot caches.
+  void batch_configure(BatchWorkspace& bw, std::size_t lanes) const;
+
+  /// Load lane \p lane of \p bw from the current scalar binding — i.e. from
+  /// the values the last rebind() captured. The per-sample sequence is:
+  /// device setters → rebind() → batch_rebind_lane(bw, lane).
+  void batch_rebind_lane(BatchWorkspace& bw, std::size_t lane) const;
+
+  /// Fused transient stamp of every lane at once: per lane w this computes
+  /// byte-identically what stamp_fused() computes at time[w] / dt[w] from
+  /// bw.x_try's lane-w iterate, accumulating into bw.fa / bw.fb (which must
+  /// be zeroed). Every lane is stamped unconditionally — masked lanes are
+  /// compute-and-discard riders, which is what keeps the loop vector-shaped.
+  template <std::size_t W>
+  void batch_stamp_fused(BatchWorkspace& bw, const double* time,
+                         const double* dt, Integrator method) const;
+
+  /// Per-lane mirrors of the scalar state hooks above.
+  void batch_initialize_state(BatchWorkspace& bw, std::size_t lane,
+                              const std::vector<double>& x) const;
+  void batch_commit(BatchWorkspace& bw, std::size_t lane, double time,
+                    double dt, Integrator method) const;
+  void batch_add_breakpoints(const BatchWorkspace& bw, std::size_t lane,
+                             double t_end, std::vector<double>& out) const;
+  bool batch_sources_constant_after(const BatchWorkspace& bw,
+                                    std::size_t lane, double t) const;
+  void batch_save_reactive_state(const BatchWorkspace& bw, std::size_t lane,
+                                 std::vector<double>& out) const;
+  void batch_load_reactive_state(BatchWorkspace& bw, std::size_t lane,
+                                 const std::vector<double>& in) const;
 
  private:
   enum class Kind : std::uint8_t {

@@ -22,6 +22,8 @@
 
 #include <cmath>
 
+#include "finser/spice/vecmath.hpp"
+
 namespace finser::spice {
 
 /// Device polarity.
@@ -81,21 +83,22 @@ struct FEval {
   double df;
 };
 
+/// Select-based (branch-free) on the deterministic fexp/flog1p kernels of
+/// vecmath.hpp: every regime's value is computed and the asymptotic ones
+/// selected per the same thresholds the historical branchy form used
+/// (half > 40: l = half exactly; half < -40: l ~ e^{u/2}, harmless
+/// underflow). Selects instead of branches keep the function vectorizable
+/// when the lane-batched engine inlines it into a loop over lanes, and the
+/// shared kernels keep every engine path — reference, compiled scalar,
+/// every batch width — bit-identical by construction (the bit-pinned
+/// contract, docs/spice.md).
 inline FEval ekv_f(double u) {
   const double half = 0.5 * u;
-  double l;    // ln(1 + e^{u/2})
-  double sig;  // logistic(u/2)
-  if (half > 40.0) {
-    l = half;
-    sig = 1.0;
-  } else if (half < -40.0) {
-    // Deep subthreshold: l ~ e^{u/2} -> underflows harmlessly.
-    l = std::exp(half);
-    sig = l;
-  } else {
-    l = std::log1p(std::exp(half));
-    sig = 1.0 / (1.0 + std::exp(-half));
-  }
+  const double e = fexp(half);
+  const double l_mid = flog1p(e);                   // ln(1 + e^{u/2})
+  const double sig_mid = 1.0 / (1.0 + fexp(-half));  // logistic(u/2)
+  const double l = half > 40.0 ? half : (half < -40.0 ? e : l_mid);
+  const double sig = half > 40.0 ? 1.0 : (half < -40.0 ? e : sig_mid);
   return {l * l, l * sig};
 }
 

@@ -18,9 +18,13 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "finser/phys/collection.hpp"
+#include "finser/spice/batch.hpp"
 #include "finser/spice/circuit.hpp"
 #include "finser/spice/compiled.hpp"
 #include "finser/spice/devices.hpp"
@@ -128,6 +132,31 @@ class StrikeSimulator {
       const StrikeCharges& charges, const DeltaVt& delta_vt = {},
       spice::PulseShape::Kind kind = spice::PulseShape::Kind::kRectangular);
 
+  /// Per-lane result of simulate_batch(). A failed lane carries the text the
+  /// scalar simulate() would have thrown as util::NumericalError.
+  struct LaneOutcome {
+    StrikeOutcome outcome;
+    bool failed = false;
+    std::string error;
+  };
+
+  /// Lane-batched simulate(): run \p charges[k] with \p dvts[k] for every k
+  /// with \p active[k] != 0, advancing up to lane_width() of them in SIMD
+  /// lockstep (larger groups are split internally; inactive lanes are masked
+  /// off, and their \p out entries are left untouched). Each active lane's
+  /// outcome — flip decision, final node voltages, failure text — is
+  /// byte-identical to a scalar simulate() call with the same inputs; a
+  /// failing lane is reported in \p out instead of thrown. Lane k keeps a
+  /// ΔVt-keyed DC hold cache of its own (slot k % lane_width()), so a caller
+  /// that keeps each sample in a stable lane across repeated calls — the
+  /// characterizer's charge ladders do — pays one DC solve per sample.
+  /// With the reference engine or lane_width() == 1 this degrades to the
+  /// scalar loop (the byte-identity reference).
+  void simulate_batch(
+      const std::vector<StrikeCharges>& charges,
+      const std::vector<DeltaVt>& dvts, spice::PulseShape::Kind kind,
+      const std::vector<std::uint8_t>& active, std::vector<LaneOutcome>& out);
+
   /// Static-noise-margin style diagnostic: the hold-state solution.
   /// Returns {V(Q), V(QB)} of the DC operating point with no strike.
   std::array<double, 2> hold_state(const DeltaVt& delta_vt = {});
@@ -174,6 +203,13 @@ class StrikeSimulator {
   bool hold_valid_ = false;
   DeltaVt hold_dvt_{};
   std::vector<double> hold_x_;
+
+  // Lane-batched state: the AoSoA workspace (configured lazily to the
+  // current lane width) and one ΔVt-keyed DC hold cache per lane slot.
+  spice::BatchWorkspace bw_;
+  std::array<bool, spice::kMaxLaneWidth> hold_lane_valid_{};
+  std::array<DeltaVt, spice::kMaxLaneWidth> hold_lane_dvt_{};
+  std::array<std::vector<double>, spice::kMaxLaneWidth> hold_lane_x_{};
 };
 
 }  // namespace finser::sram

@@ -85,6 +85,7 @@ util::JsonValue build_run_report(const Snapshot& snapshot, const RunInfo& info) 
   run["command"] = info.command;
   run["seed"] = info.seed;
   run["threads"] = static_cast<std::uint64_t>(info.threads);
+  run["lanes"] = static_cast<std::uint64_t>(info.lanes);
   run["mc_scale"] = info.mc_scale;
   run["config_fingerprint"] = hex_u64(info.config_fingerprint);
   doc["run"] = std::move(run);

@@ -8,6 +8,7 @@
 #include "finser/exec/exec.hpp"
 #include "finser/exec/thread_pool.hpp"
 #include "finser/obs/obs.hpp"
+#include "finser/spice/batch.hpp"
 #include "finser/stats/rng.hpp"
 #include "finser/util/bytes.hpp"
 #include "finser/util/config.hpp"
@@ -23,7 +24,7 @@ namespace {
 
 const std::vector<std::string>& top_level_keys() {
   static const std::vector<std::string> keys = {
-      "campaign", "seed",     "threads",  "artifact_dir",
+      "campaign", "seed",     "threads",  "lanes", "artifact_dir",
       "output_dir", "defaults", "scenarios"};
   return keys;
 }
@@ -289,6 +290,12 @@ CampaignSpec parse_campaign(const util::JsonValue& doc) {
       get_str(top("output_dir"), spec.output_dir, "top level", "output_dir");
   spec.threads = static_cast<std::size_t>(
       get_uint(top("threads"), 0, "top level", "threads"));
+  spec.lanes = static_cast<std::size_t>(
+      get_uint(top("lanes"), 0, "top level", "lanes"));
+  if (!spice::lane_width_valid(spec.lanes)) {
+    bad("top level: `lanes` must be 0 (auto), 1, 4 or 8, got " +
+        std::to_string(spec.lanes));
+  }
   const std::uint64_t campaign_seed =
       get_uint(top("seed"), 20140601, "top level", "seed");
 
@@ -340,6 +347,7 @@ util::JsonValue campaign_to_json(const CampaignSpec& spec) {
   util::JsonValue doc = util::JsonValue::object();
   doc["campaign"] = spec.name;
   doc["threads"] = static_cast<std::uint64_t>(spec.threads);
+  doc["lanes"] = static_cast<std::uint64_t>(spec.lanes);
   doc["artifact_dir"] = spec.artifact_dir;
   doc["output_dir"] = spec.output_dir;
   util::JsonValue scenarios = util::JsonValue::array();
@@ -383,6 +391,9 @@ CampaignSpec single_scenario_campaign(const core::SerFlowConfig& flow,
   spec.name = name;
   spec.output_dir = std::move(output_dir);
   spec.threads = flow.threads;
+  // Resolved lane width, so --print-config surfaces the engine the run
+  // would actually use (and round-trips to an identical run).
+  spec.lanes = spice::lane_width();
   ScenarioSpec scenario;
   scenario.name = std::move(name);
   scenario.species = std::move(species);
@@ -618,6 +629,9 @@ CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {
 
 std::vector<ScenarioResult> CampaignRunner::run(
     const exec::ProgressSink& progress, const ckpt::RunOptions& run) {
+  // A non-zero spec pins the SPICE lane width for the whole campaign
+  // (results are identical for every width; this is a performance knob).
+  if (spec_.lanes != 0) spice::set_lane_width(spec_.lanes);
   const double scale = core::mc_scale_from_env();
   const std::size_t n = spec_.scenarios.size();
 

@@ -21,11 +21,15 @@
 /// (pinned by tests/test_spice_compiled.cpp).
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "finser/obs/obs.hpp"
+#include "finser/spice/batch.hpp"
 #include "finser/spice/circuit.hpp"
 #include "finser/spice/compiled.hpp"
 #include "finser/spice/dc.hpp"
@@ -629,6 +633,545 @@ Waveform run_transient_impl(const Stamper& st, SolveWorkspace& ws,
   }
   FINSER_OBS_RECORD("spice.tran.steps_per_run", accepted_steps);
   return wave;
+}
+
+// ---------------------------------------------------------------------------
+// Lane-batched transient (compiled path; see batch.hpp)
+// ---------------------------------------------------------------------------
+
+/// Per-lane LU failure classification of one batched solve. Each value maps
+/// to the util::NumericalError the scalar fused_lu_solve_sized() would have
+/// thrown for that lane; the batched Newton turns any of them into a
+/// per-lane convergence failure exactly like the scalar catch does.
+enum class LaneLu : std::uint8_t {
+  kOk = 0,
+  kNonFiniteRhs,
+  kSingular,
+  kNonFiniteSolution,
+};
+
+/// Lane-blocked LU on the AoSoA fused arrays: Mna::factor_and_solve /
+/// fused_lu_solve_sized() arithmetic per lane — same pivot scan order and
+/// tie-breaks, same factor==0 skip semantics (as selects), same counters and
+/// per-lane pivot-cache bookkeeping — with one structural change: pivot rows
+/// are swapped *physically* per lane instead of indirected through the
+/// permutation. Physically position r then always holds what the scalar
+/// reads as perm[r], so every elimination and back-substitution inner loop
+/// uses indices uniform across lanes and vectorizes no matter how the
+/// per-lane pivot choices diverge. Row swaps only move columns >= col: the
+/// in-place L entries to the left are never read again (same property the
+/// scalar kernel relies on). Errors are flagged per lane, never thrown —
+/// a failed lane keeps computing (garbage stays confined to its stride).
+template <std::size_t W>
+inline void batch_lu_solve(BatchWorkspace& bw, std::size_t n,
+                           const std::array<std::uint8_t, W>& active,
+                           std::array<LaneLu, W>& status) {
+  double* __restrict__ a = bw.fa.data();
+  double* __restrict__ b = bw.fb.data();
+  double* __restrict__ x = bw.x_new.data();
+  std::size_t* __restrict__ perm = bw.perm.data();
+
+  std::size_t n_active = 0;
+  for (std::size_t w = 0; w < W; ++w) n_active += active[w] ? 1u : 0u;
+  FINSER_OBS_COUNT("spice.mna.solves", static_cast<std::int64_t>(n_active));
+
+  status.fill(LaneLu::kOk);
+  // RHS pre-check in select form so the lane loop vectorizes: abs(v) < inf
+  // is exactly isfinite(v) for doubles (NaN compares false). Status here is
+  // uniformly kOk, so "first error wins" reduces to "any entry bad".
+  {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::array<double, W> bad{};
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t w = 0; w < W; ++w) {
+        bad[w] = std::abs(b[i * W + w]) < kInf ? bad[w] : 1.0;
+      }
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      if (bad[w] != 0.0) status[w] = LaneLu::kNonFiniteRhs;
+    }
+  }
+
+  std::array<bool, W> predicted;
+  std::array<bool, W> held;
+  for (std::size_t w = 0; w < W; ++w) {
+    predicted[w] =
+        bw.pivot[w].valid && bw.pivot[w].perm.size() == n;
+    held[w] = predicted[w];
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t w = 0; w < W; ++w) perm[r * W + w] = r;
+  }
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot scan vectorized across lanes: same strictly-greater comparison
+    // as the scalar kernel, so ties keep the first maximum and NaN entries
+    // (compare false) never displace an earlier pivot — the chosen row is
+    // identical per lane, just found with lane-uniform indices.
+    std::array<double, W> best;
+    std::array<std::size_t, W> piv;
+    for (std::size_t w = 0; w < W; ++w) {
+      best[w] = std::abs(a[(col * n + col) * W + w]);
+      piv[w] = col;
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      for (std::size_t w = 0; w < W; ++w) {
+        const double v = std::abs(a[(r * n + col) * W + w]);
+        const bool gt = v > best[w];
+        piv[w] = gt ? r : piv[w];
+        best[w] = gt ? v : best[w];
+      }
+    }
+    // Per-lane swap + pivot-cache bookkeeping (scalar, O(n) only on an
+    // actual row swap).
+    for (std::size_t w = 0; w < W; ++w) {
+      if (!(best[w] > 1e-300)) {
+        if (status[w] == LaneLu::kOk) {
+          status[w] = LaneLu::kSingular;
+          bw.pivot[w].invalidate();
+        }
+        // Keep going with the (near-)zero pivot: the lane's values turn to
+        // inf/NaN but stay inside its stride, and the flag above already
+        // voids them.
+      }
+      if (held[w] && perm[piv[w] * W + w] != bw.pivot[w].perm[col]) {
+        held[w] = false;
+      }
+      std::swap(perm[col * W + w], perm[piv[w] * W + w]);
+      if (piv[w] != col) {
+        for (std::size_t c = col; c < n; ++c) {
+          std::swap(a[(col * n + c) * W + w], a[(piv[w] * n + c) * W + w]);
+        }
+        std::swap(b[col * W + w], b[piv[w] * W + w]);
+      }
+    }
+
+    // Elimination: uniform indices across lanes (vectorizes). The
+    // factor==0 early-out of the scalar kernel becomes per-entry selects
+    // with identical results (including signed zeros and inf rows).
+    for (std::size_t r = col + 1; r < n; ++r) {
+      std::array<double, W> factor;
+      for (std::size_t w = 0; w < W; ++w) {
+        factor[w] = a[(r * n + col) * W + w] / a[(col * n + col) * W + w];
+      }
+      // All-lane structural zero: every select below would keep its old
+      // value, so skipping the row update outright computes the same bits.
+      // This recovers the scalar kernel's factor==0 early-out for the common
+      // case where the sparsity pattern agrees across lanes (same topology).
+      bool any_nonzero = false;
+      for (std::size_t w = 0; w < W; ++w) {
+        any_nonzero |= factor[w] != 0.0;
+      }
+      if (!any_nonzero) continue;
+      // Distinct rows (r > col), so the update and pivot row never overlap:
+      // restrict row pointers spare the vectorizer its runtime overlap
+      // checks on every (col, r) pair.
+      double* __restrict__ arow = a + r * n * W;
+      const double* __restrict__ apiv = a + col * n * W;
+      for (std::size_t w = 0; w < W; ++w) {
+        const double old = arow[col * W + w];
+        arow[col * W + w] = factor[w] == 0.0 ? old : factor[w];
+      }
+      for (std::size_t c = col + 1; c < n; ++c) {
+        for (std::size_t w = 0; w < W; ++w) {
+          const double v = arow[c * W + w];
+          const double upd = v - factor[w] * apiv[c * W + w];
+          arow[c * W + w] = factor[w] == 0.0 ? v : upd;
+        }
+      }
+      double* __restrict__ brow = b + r * W;
+      const double* __restrict__ bpiv = b + col * W;
+      for (std::size_t w = 0; w < W; ++w) {
+        const double v = brow[w];
+        const double upd = v - factor[w] * bpiv[w];
+        brow[w] = factor[w] == 0.0 ? v : upd;
+      }
+    }
+  }
+
+  std::int64_t reused = 0;
+  std::int64_t refactored = 0;
+  for (std::size_t w = 0; w < W; ++w) {
+    if (!active[w]) continue;
+    if (status[w] != LaneLu::kOk) continue;
+    Mna::PivotCache& cache = bw.pivot[w];
+    if (held[w]) {
+      // held[w] means every column's pivot matched cache.perm, so the
+      // writeback below would copy the cache onto itself — skip it.
+      ++reused;
+    } else {
+      cache.perm.resize(n);
+      for (std::size_t r = 0; r < n; ++r) cache.perm[r] = perm[r * W + w];
+      cache.valid = true;
+      ++refactored;
+    }
+  }
+  if (reused > 0) FINSER_OBS_COUNT("spice.mna.pivot_reuse", reused);
+  if (refactored > 0) FINSER_OBS_COUNT("spice.mna.pivot_refactor", refactored);
+
+  // Back substitution (uniform indices, vectorizes). The non-finite check
+  // accumulates in select form so the division loop stays branch-free:
+  // flagging once at the end is equivalent to flagging at the first bad row
+  // (same enum value, nothing later overwrites a kOk lane's status).
+  {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::array<double, W> badsol{};
+    for (std::size_t ri = n; ri-- > 0;) {
+      // x[ri] is only written after every x[c], c > ri, has been read:
+      // restrict row pointers make the non-overlap explicit.
+      const double* __restrict__ arow = a + ri * n * W;
+      const double* __restrict__ xtail = x + (ri + 1) * W;
+      std::array<double, W> acc;
+      for (std::size_t w = 0; w < W; ++w) acc[w] = b[ri * W + w];
+      for (std::size_t c = ri + 1; c < n; ++c) {
+        for (std::size_t w = 0; w < W; ++w) {
+          acc[w] -= arow[c * W + w] * xtail[(c - ri - 1) * W + w];
+        }
+      }
+      for (std::size_t w = 0; w < W; ++w) {
+        const double xv = acc[w] / arow[ri * W + w];
+        x[ri * W + w] = xv;
+        badsol[w] = std::abs(xv) < kInf ? badsol[w] : 1.0;
+      }
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      if (badsol[w] != 0.0 && status[w] == LaneLu::kOk) {
+        status[w] = LaneLu::kNonFiniteSolution;
+      }
+    }
+  }
+}
+
+/// Lane-batched mirror of run_transient_impl(): W independent transients
+/// advance through one vectorized Newton tick at a time. All per-lane step
+/// control (breakpoint clamping, accept/reject, the escalation ladder,
+/// steady-state fast-forward) is the scalar loop's code ported statement for
+/// statement and run per lane; only the per-iteration stamp+solve+update is
+/// batched. Lanes that are done, failed or inactive stay in the vector as
+/// masked compute-and-discard riders until the group drains — freezing, not
+/// branching, is what keeps the hot loop uniform.
+template <std::size_t W>
+BatchTransientResult run_transient_batch_impl(
+    CompiledCircuit& cc, BatchWorkspace& bw,
+    const std::vector<std::vector<double>>& x0, const TransientOptions& opt,
+    const std::vector<std::string>& probe_nodes) {
+  FINSER_REQUIRE(bw.lanes == W, "run_transient_batch: workspace lane mismatch");
+  FINSER_REQUIRE(x0.size() <= W, "run_transient_batch: more lanes than width");
+  FINSER_REQUIRE(opt.t_end > 0.0, "run_transient: t_end must be positive");
+  FINSER_REQUIRE(opt.dt_initial > 0.0 && opt.dt_min > 0.0 &&
+                     opt.dt_max >= opt.dt_initial,
+                 "run_transient: inconsistent step-size options");
+  const std::size_t n = cc.unknown_count();
+  FINSER_REQUIRE(bw.unknowns == n, "run_transient_batch: workspace size mismatch");
+
+  obs::ScopedSpan run_span("spice.tran.run_batch");
+
+  // Resolve probes once (identical resolution to the scalar engine).
+  std::vector<std::string> names;
+  std::vector<std::size_t> nodes;
+  if (probe_nodes.empty()) {
+    for (std::size_t i = 0; i < cc.node_count(); ++i) {
+      names.push_back(cc.source().node_name(i));
+      nodes.push_back(i);
+    }
+  } else {
+    for (const std::string& p : probe_nodes) {
+      names.push_back(p);
+      nodes.push_back(cc.source().find_node(p));
+    }
+  }
+
+  BatchTransientResult res;
+  res.failed.assign(W, 0);
+  res.errors.assign(W, std::string());
+  res.waves.reserve(W);
+  for (std::size_t w = 0; w < W; ++w) res.waves.emplace_back(names, nodes);
+
+  enum class Phase : std::uint8_t {
+    kInactive,  ///< Masked-off ragged-tail lane: rides, never reported.
+    kStepping,  ///< Between steps: scalar bookkeeping will arm a Newton.
+    kNewton,    ///< Mid-Newton: participates in the vectorized tick.
+    kDone,
+    kFailed,
+  };
+  std::array<Phase, W> phase;
+  phase.fill(Phase::kInactive);
+  std::array<double, W> t{};
+  std::array<double, W> dt{};
+  std::array<double, W> bt{};   ///< Per-lane stamp time (ctx.time).
+  std::array<double, W> bdt{};  ///< Per-lane stamp step (ctx.dt).
+  std::array<double, W> step{};
+  std::array<bool, W> hit_break{};
+  std::array<std::size_t, W> next_break{};
+  std::array<int, W> newton_iter{};
+  std::array<int, W> restart_level{};
+  std::array<int, W> eff_max_newton{};
+  std::array<double, W> eff_damping{};
+  std::array<std::uint64_t, W> accepted{};
+  std::array<std::uint64_t, W> ff_count{};
+  // Keep masked lanes' dt positive: they are stamped unconditionally and the
+  // capacitor companion divides by it.
+  dt.fill(opt.dt_initial);
+  bdt.fill(opt.dt_initial);
+
+  std::vector<double> xscratch(n, 0.0);
+  const auto extract_lane = [&](const std::vector<double>& src, std::size_t w,
+                                std::vector<double>& out) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = src[i * W + w];
+  };
+  const auto inject_lane = [&](const std::vector<double>& in, std::size_t w,
+                               std::vector<double>& dst) {
+    for (std::size_t i = 0; i < n; ++i) dst[i * W + w] = in[i];
+  };
+
+  constexpr std::size_t kFfMaxPeriod = 4;
+  const auto ff_snap = [&bw](std::size_t w,
+                             std::uint64_t i) -> SolveWorkspace::StateSnap& {
+    return bw.ff_ring[w][i % bw.ff_ring[w].size()];
+  };
+  const auto ff_same = [](const SolveWorkspace::StateSnap& sa,
+                          const SolveWorkspace::StateSnap& sb) {
+    return sa.x == sb.x && sa.state == sb.state;
+  };
+
+  // Initialize active lanes; masked lanes inherit the first active lane's
+  // operating point so their ride-along arithmetic stays finite.
+  std::size_t first_active = W;
+  for (std::size_t w = 0; w < x0.size(); ++w) {
+    if (x0[w].empty()) continue;
+    FINSER_REQUIRE(x0[w].size() == n, "run_transient: x0 size mismatch");
+    if (first_active == W) first_active = w;
+    FINSER_OBS_COUNT("spice.tran.runs", 1);
+    std::vector<double>& breaks = bw.breaks[w];
+    breaks.clear();
+    cc.batch_add_breakpoints(bw, w, opt.t_end, breaks);
+    breaks.push_back(opt.t_end);
+    std::sort(breaks.begin(), breaks.end());
+    breaks.erase(
+        std::unique(breaks.begin(), breaks.end(),
+                    [](double p, double q) { return std::abs(p - q) < 1e-24; }),
+        breaks.end());
+    cc.batch_initialize_state(bw, w, x0[w]);
+    inject_lane(x0[w], w, bw.x);
+    res.waves[w].append(0.0, x0[w]);
+    phase[w] = Phase::kStepping;
+    eff_max_newton[w] = opt.max_newton;
+    eff_damping[w] = opt.damping_vmax;
+  }
+  if (first_active == W) return res;  // Nothing to do.
+  for (std::size_t w = 0; w < W; ++w) {
+    if (phase[w] == Phase::kInactive) {
+      inject_lane(x0[first_active], w, bw.x);
+      cc.batch_initialize_state(bw, w, x0[first_active]);
+    }
+  }
+
+  // Scalar accept-path bookkeeping for lane w (run_transient_impl's accept
+  // branch, minus the shared counter handled by the caller).
+  const auto accept = [&](std::size_t w) {
+    FINSER_OBS_COUNT("spice.tran.steps", 1);
+    ++accepted[w];
+    for (std::size_t i = 0; i < n; ++i) {
+      bw.x[i * W + w] = bw.x_try[i * W + w];
+    }
+    cc.batch_commit(bw, w, bt[w], bdt[w], opt.method);
+    t[w] = bt[w];
+    extract_lane(bw.x, w, xscratch);
+    res.waves[w].append(t[w], xscratch);
+    if (!hit_break[w] && step[w] == opt.dt_max &&
+        cc.batch_sources_constant_after(bw, w, t[w] - step[w])) {
+      SolveWorkspace::StateSnap& slot = ff_snap(w, ff_count[w]);
+      slot.x = xscratch;
+      cc.batch_save_reactive_state(bw, w, slot.state);
+      ++ff_count[w];
+    } else {
+      ff_count[w] = 0;
+    }
+    if (hit_break[w]) {
+      dt[w] = opt.dt_initial;  // Restart small after a source edge.
+      ++next_break[w];
+    } else {
+      dt[w] = std::min(dt[w] * opt.grow_factor, opt.dt_max);
+    }
+    phase[w] = Phase::kStepping;
+  };
+
+  // Scalar reject path for lane w; a drained escalation ladder marks the
+  // lane failed with the text the scalar engine would have thrown.
+  const auto reject = [&](std::size_t w) {
+    FINSER_OBS_COUNT("spice.tran.rejects", 1);
+    ff_count[w] = 0;
+    dt[w] *= opt.shrink_factor;
+    phase[w] = Phase::kStepping;
+    if (dt[w] < opt.dt_min) {
+      if (restart_level[w] < opt.max_restarts) {
+        ++restart_level[w];
+        FINSER_OBS_COUNT("spice.tran.escalations", 1);
+        eff_max_newton[w] *= 2;
+        eff_damping[w] *= 0.5;
+        dt[w] = std::max(opt.dt_min,
+                         opt.dt_initial * std::pow(0.1, restart_level[w]));
+      } else {
+        FINSER_OBS_COUNT("spice.tran.failures", 1);
+        res.failed[w] = 1;
+        res.errors[w] =
+            "run_transient: Newton failed to converge at t = " +
+            std::to_string(t[w]) + " after " +
+            std::to_string(restart_level[w]) + " escalation(s) (max_newton " +
+            std::to_string(eff_max_newton[w]) + ", damping_vmax " +
+            std::to_string(eff_damping[w]) + ")";
+        phase[w] = Phase::kFailed;
+      }
+    }
+  };
+
+  std::array<std::uint8_t, W> newton_mask{};
+  std::array<LaneLu, W> lu_status{};
+
+  for (;;) {
+    // --- Per-lane scalar bookkeeping: arm the next Newton attempt ---------
+    for (std::size_t w = 0; w < W; ++w) {
+      if (phase[w] != Phase::kStepping) continue;
+      if (t[w] >= opt.t_end - 1e-24) {
+        FINSER_OBS_RECORD("spice.tran.steps_per_run", accepted[w]);
+        phase[w] = Phase::kDone;
+        continue;
+      }
+      std::vector<double>& breaks = bw.breaks[w];
+      while (next_break[w] < breaks.size() &&
+             breaks[next_break[w]] <= t[w] + 1e-24) {
+        ++next_break[w];
+      }
+
+      // Steady-state fast-forward (scalar port, per lane).
+      if (ff_count[w] >= 2 && dt[w] == opt.dt_max &&
+          next_break[w] < breaks.size() &&
+          cc.batch_sources_constant_after(bw, w, t[w])) {
+        std::size_t period = 0;
+        for (std::size_t p = 1; p <= kFfMaxPeriod && period == 0; ++p) {
+          if (ff_count[w] < 2 * p) break;
+          bool cyclic = true;
+          for (std::size_t j = 0; j < p && cyclic; ++j) {
+            cyclic = ff_same(ff_snap(w, ff_count[w] - 1 - j),
+                             ff_snap(w, ff_count[w] - 1 - j - p));
+          }
+          if (cyclic) period = p;
+        }
+        if (period > 0) {
+          const double bound = breaks[next_break[w]];
+          std::uint64_t replayed = 0;
+          while (t[w] + dt[w] < bound - 1e-24) {
+            ++replayed;
+            const SolveWorkspace::StateSnap& s = ff_snap(
+                w, ff_count[w] - 1 - period + 1 + ((replayed - 1) % period));
+            t[w] += dt[w];
+            res.waves[w].append(t[w], s.x);
+            FINSER_OBS_COUNT("spice.tran.steps", 1);
+            FINSER_OBS_COUNT("spice.tran.ff_steps", 1);
+            ++accepted[w];
+          }
+          if (replayed > 0) {
+            const SolveWorkspace::StateSnap& s = ff_snap(
+                w, ff_count[w] - 1 - period + 1 + ((replayed - 1) % period));
+            inject_lane(s.x, w, bw.x);
+            cc.batch_load_reactive_state(bw, w, s.state);
+            ff_count[w] = 0;
+          }
+        }
+      }
+
+      hit_break[w] = false;
+      step[w] = dt[w];
+      if (next_break[w] < breaks.size() &&
+          t[w] + step[w] >= breaks[next_break[w]] - 1e-24) {
+        step[w] = breaks[next_break[w]] - t[w];
+        hit_break[w] = true;
+      }
+      bt[w] = t[w] + step[w];
+      bdt[w] = step[w];
+      for (std::size_t i = 0; i < n; ++i) {
+        bw.x_try[i * W + w] = bw.x[i * W + w];
+      }
+      newton_iter[w] = 0;
+      phase[w] = Phase::kNewton;
+    }
+
+    std::size_t n_active = 0;
+    for (std::size_t w = 0; w < W; ++w) {
+      newton_mask[w] = phase[w] == Phase::kNewton ? 1 : 0;
+      n_active += newton_mask[w];
+    }
+    if (n_active == 0) break;  // Every lane done, failed or inactive.
+
+    // --- One masked vectorized Newton iteration over all lanes -------------
+    FINSER_OBS_COUNT("spice.tran.newton_iters",
+                     static_cast<std::int64_t>(n_active));
+    FINSER_OBS_COUNT("spice.batch.newton_ticks", 1);
+    FINSER_OBS_COUNT("spice.batch.lane_iters_active",
+                     static_cast<std::int64_t>(n_active));
+    FINSER_OBS_COUNT("spice.batch.lane_iters_masked",
+                     static_cast<std::int64_t>(W - n_active));
+    std::fill(bw.fa.begin(), bw.fa.end(), 0.0);
+    std::fill(bw.fb.begin(), bw.fb.end(), 0.0);
+    cc.batch_stamp_fused<W>(bw, bt.data(), bdt.data(), opt.method);
+    batch_lu_solve<W>(bw, n, newton_mask, lu_status);
+
+    // Damping and convergence, lane-vectorized: the max reductions and the
+    // damped iterate update run for every lane (i outer, w inner, identical
+    // per-lane operation order as the scalar loop), with a masked store so
+    // lanes that are not mid-Newton (or whose solve failed) keep their
+    // iterate untouched — their max_dv/alpha/max_delta values are computed
+    // from garbage and discarded below, never stored.
+    {
+      std::array<double, W> upd_ok;
+      for (std::size_t w = 0; w < W; ++w) {
+        upd_ok[w] = phase[w] == Phase::kNewton && lu_status[w] == LaneLu::kOk
+                        ? 1.0
+                        : 0.0;
+      }
+      double* __restrict__ xtry = bw.x_try.data();
+      const double* __restrict__ xnew = bw.x_new.data();
+      std::array<double, W> max_dv{};
+      const std::size_t n_nodes = cc.node_count();
+      for (std::size_t i = 0; i < n_nodes; ++i) {
+        for (std::size_t w = 0; w < W; ++w) {
+          const double dv = std::abs(xnew[i * W + w] - xtry[i * W + w]);
+          max_dv[w] = dv > max_dv[w] ? dv : max_dv[w];
+        }
+      }
+      std::array<double, W> alpha;
+      for (std::size_t w = 0; w < W; ++w) {
+        alpha[w] =
+            max_dv[w] > eff_damping[w] ? eff_damping[w] / max_dv[w] : 1.0;
+      }
+      std::array<double, W> max_delta{};
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t w = 0; w < W; ++w) {
+          const double d = alpha[w] * (xnew[i * W + w] - xtry[i * W + w]);
+          const double nv = xtry[i * W + w] + d;
+          xtry[i * W + w] = upd_ok[w] != 0.0 ? nv : xtry[i * W + w];
+          const double ad = std::abs(d);
+          max_delta[w] = ad > max_delta[w] ? ad : max_delta[w];
+        }
+      }
+      for (std::size_t w = 0; w < W; ++w) {
+        if (phase[w] != Phase::kNewton) continue;
+        if (lu_status[w] != LaneLu::kOk) {
+          // Scalar newton_step catches the LU throw and reports convergence
+          // failure without touching the iterate.
+          reject(w);
+          continue;
+        }
+        if (alpha[w] == 1.0 && max_delta[w] < opt.v_tol) {
+          accept(w);
+        } else if (++newton_iter[w] >= eff_max_newton[w]) {
+          reject(w);
+        }
+      }
+    }
+  }
+  return res;
 }
 
 }  // namespace finser::spice::detail

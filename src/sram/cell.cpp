@@ -210,4 +210,107 @@ StrikeOutcome StrikeSimulator::simulate(const StrikeCharges& charges,
   return finish(spice::run_transient(*compiled_, ws_, x0, topt_, {"q", "qb"}));
 }
 
+void StrikeSimulator::simulate_batch(const std::vector<StrikeCharges>& charges,
+                                     const std::vector<DeltaVt>& dvts,
+                                     PulseShape::Kind kind,
+                                     const std::vector<std::uint8_t>& active,
+                                     std::vector<LaneOutcome>& out) {
+  const std::size_t count = charges.size();
+  FINSER_REQUIRE(dvts.size() == count && active.size() == count,
+                 "simulate_batch: input size mismatch");
+  if (out.size() < count) out.resize(count);
+
+  const std::size_t width = spice::lane_width();
+  if (engine_ == SpiceEngine::kReference || width == 1) {
+    // Scalar reference loop: same per-sample arithmetic by definition.
+    for (std::size_t k = 0; k < count; ++k) {
+      if (!active[k]) continue;
+      out[k] = LaneOutcome{};
+      try {
+        out[k].outcome = simulate(charges[k], dvts[k], kind);
+      } catch (const util::NumericalError& e) {
+        out[k].failed = true;
+        out[k].error = e.what();
+      }
+    }
+    return;
+  }
+
+  if (bw_.lanes != width) {
+    compiled_->batch_configure(bw_, width);
+    hold_lane_valid_.fill(false);
+  }
+
+  std::vector<std::vector<double>> x0s;
+  for (std::size_t offset = 0; offset < count; offset += width) {
+    const std::size_t group = std::min(width, count - offset);
+    x0s.assign(group, {});
+    bool any = false;
+    for (std::size_t g = 0; g < group; ++g) {
+      const std::size_t k = offset + g;
+      if (!active[k]) continue;
+      out[k] = LaneOutcome{};
+      // Fault-injection hook, fired in lane order (mirrors simulate()).
+      if (util::fault_fire(util::FaultSite::kNewtonDiverge)) {
+        out[k].failed = true;
+        out[k].error =
+            "StrikeSimulator::simulate: injected Newton divergence "
+            "(FINSER_FAULT newton_diverge)";
+        continue;
+      }
+      // Bind lane g: same setter+rebind sequence as the scalar path, then
+      // captured into the lane's AoSoA slices.
+      apply_delta_vt(dvts[k]);
+      set_strike_shapes(charges[k], kind);
+      compiled_->rebind();
+      compiled_->batch_rebind_lane(bw_, g);
+      // Per-lane ΔVt-keyed DC hold cache (see hold_cached for why exact
+      // keying keeps results independent of hit patterns). The DC solve
+      // itself stays scalar: it is ~2% of a sample's cost and amortized to
+      // one per sample by this cache.
+      if (hold_lane_valid_[g] && hold_lane_dvt_[g] == dvts[k]) {
+        FINSER_OBS_COUNT("sram.strike.dc_reuse", 1);
+        x0s[g] = hold_lane_x_[g];
+        any = true;
+        continue;
+      }
+      std::vector<double> guess(circuit_.unknown_count(), 0.0);
+      guess[n_q_] = vdd_v_;
+      guess[n_qb_] = 0.0;
+      guess[n_vdd_] = vdd_v_;
+      guess[n_bl_] = vdd_v_;
+      guess[n_blb_] = vdd_v_;
+      try {
+        hold_lane_x_[g] = spice::solve_dc(*compiled_, ws_, guess);
+        hold_lane_dvt_[g] = dvts[k];
+        hold_lane_valid_[g] = true;
+        x0s[g] = hold_lane_x_[g];
+        any = true;
+      } catch (const util::NumericalError& e) {
+        hold_lane_valid_[g] = false;
+        out[k].failed = true;
+        out[k].error = e.what();
+      }
+    }
+    if (!any) continue;
+
+    const spice::BatchTransientResult res =
+        spice::run_transient_batch(*compiled_, bw_, x0s, topt_, {"q", "qb"});
+    for (std::size_t g = 0; g < group; ++g) {
+      const std::size_t k = offset + g;
+      if (x0s[g].empty()) continue;
+      if (res.failed[g]) {
+        out[k].failed = true;
+        out[k].error = res.errors[g];
+        continue;
+      }
+      StrikeOutcome& o = out[k].outcome;
+      o.final_q_v = res.waves[g].final_value(0);
+      o.final_qb_v = res.waves[g].final_value(1);
+      o.flipped =
+          o.final_q_v < 0.5 * vdd_v_ && o.final_qb_v > 0.5 * vdd_v_;
+    }
+  }
+}
+
 }  // namespace finser::sram

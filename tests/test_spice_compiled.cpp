@@ -16,17 +16,20 @@
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "finser/ckpt/checkpoint.hpp"
 #include "finser/exec/cancel.hpp"
+#include "finser/spice/batch.hpp"
 #include "finser/spice/compiled.hpp"
 #include "finser/spice/dc.hpp"
 #include "finser/spice/devices.hpp"
 #include "finser/spice/finfet.hpp"
 #include "finser/spice/transient.hpp"
+#include "finser/spice/vecmath.hpp"
 #include "finser/sram/cell.hpp"
 #include "finser/sram/characterize.hpp"
 #include "finser/stats/rng.hpp"
@@ -349,6 +352,147 @@ TEST(SpiceCompiled, SolutionsMatchAcrossRebindsAndWarmWorkspace) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Lane-batched engine: byte-equality against the scalar compiled path
+// ---------------------------------------------------------------------------
+
+/// Restores the auto lane-width resolution no matter how a test exits.
+struct LaneWidthGuard {
+  explicit LaneWidthGuard(std::size_t w) { set_lane_width(w); }
+  ~LaneWidthGuard() { set_lane_width(0); }
+  LaneWidthGuard(const LaneWidthGuard&) = delete;
+  LaneWidthGuard& operator=(const LaneWidthGuard&) = delete;
+};
+
+TEST(SpiceBatch, LaneWidthSelection) {
+  EXPECT_TRUE(lane_width_valid(0));
+  EXPECT_TRUE(lane_width_valid(1));
+  EXPECT_TRUE(lane_width_valid(4));
+  EXPECT_TRUE(lane_width_valid(8));
+  EXPECT_FALSE(lane_width_valid(2));
+  EXPECT_FALSE(lane_width_valid(16));
+  EXPECT_THROW(set_lane_width(3), util::InvalidArgument);
+  {
+    LaneWidthGuard g(4);
+    EXPECT_EQ(lane_width(), 4u);
+  }
+  EXPECT_EQ(lane_width(), kDefaultLaneWidth);
+}
+
+// The deterministic exp/log1p kernels are pinned by golden tests at the
+// waveform level; this is the direct accuracy contract against libm — a few
+// ulp over the biased ranges the FinFET model actually exercises.
+TEST(SpiceBatch, VecmathTracksLibm) {
+  stats::Rng rng(360360);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const double x = rng.uniform(-60.0, 60.0);
+    const double want = std::exp(x);
+    const double got = detail::fexp(x);
+    EXPECT_NEAR(got, want, 4.0 * std::abs(want) * 2.2e-16) << "fexp(" << x << ")";
+    const double u = rng.uniform(0.0, 1e6);
+    const double wl = std::log1p(u);
+    const double gl = detail::flog1p(u);
+    EXPECT_NEAR(gl, wl, 4.0 * std::abs(wl) * 2.2e-16 + 1e-300)
+        << "flog1p(" << u << ")";
+  }
+  EXPECT_EQ(detail::fexp(1000.0),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(detail::fexp(-1000.0), 0.0);
+  EXPECT_EQ(detail::flog1p(0.0), 0.0);
+}
+
+/// Per-lane parameter set for a SolvableCircuit rebind.
+struct LaneParams {
+  double vdd;
+  double dvt;
+  double q;
+  double w;
+};
+
+LaneParams random_params(stats::Rng& rng) {
+  return LaneParams{rng.uniform(0.6, 1.0), rng.normal(0.0, 0.05),
+                    rng.uniform(0.01e-15, 0.3e-15), rng.uniform(5e-15, 5e-14)};
+}
+
+void bind_params(SolvableCircuit& s, CompiledCircuit& cc, const LaneParams& p) {
+  s.supply->set_voltage(p.vdd);
+  s.nfet->set_delta_vt(p.dvt);
+  s.pulse->set_shape(PulseShape::triangular_for_charge(p.q, p.w, 1e-12));
+  cc.rebind();
+}
+
+// The batched transient must reproduce the scalar compiled engine byte for
+// byte, per lane, for every compiled width — including lanes carrying
+// different supply voltages, ΔVt and pulse shapes, and ragged tails where
+// only some lanes are occupied.
+TEST(SpiceBatch, BatchTransientMatchesScalarPerLane) {
+  stats::Rng rng(271828);
+  TransientOptions topt;
+  topt.t_end = 20e-12;
+
+  for (int trial = 0; trial < 3; ++trial) {
+    SolvableCircuit s = make_solvable(rng);
+    CompiledCircuit cc(s.c);
+    SolveWorkspace ws;
+
+    // Eight parameter sets; each width consumes a prefix, so the same lane
+    // is checked under every width.
+    std::vector<LaneParams> params;
+    for (int k = 0; k < 8; ++k) params.push_back(random_params(rng));
+
+    // Scalar references.
+    std::vector<std::vector<double>> x0(params.size());
+    std::vector<Waveform> ref;
+    for (std::size_t k = 0; k < params.size(); ++k) {
+      bind_params(s, cc, params[k]);
+      x0[k] = solve_dc(cc, ws);
+      ref.push_back(run_transient(cc, ws, x0[k], topt, {"out", "out2"}));
+    }
+
+    for (std::size_t width : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+      BatchWorkspace bw;
+      cc.batch_configure(bw, width);
+      std::vector<std::vector<double>> lanes_x0(width);
+      for (std::size_t k = 0; k < width; ++k) {
+        bind_params(s, cc, params[k]);
+        cc.batch_rebind_lane(bw, k);
+        lanes_x0[k] = x0[k];
+      }
+      const BatchTransientResult res =
+          run_transient_batch(cc, bw, lanes_x0, topt, {"out", "out2"});
+      for (std::size_t k = 0; k < width; ++k) {
+        ASSERT_FALSE(res.failed[k]) << res.errors[k];
+        expect_same_waveform(
+            ref[k], res.waves[k],
+            ("width " + std::to_string(width) + " lane " + std::to_string(k))
+                .c_str());
+      }
+
+      // Ragged tail: only the first two lanes occupied; the occupied lanes
+      // must not feel the masked ones.
+      if (width > 2) {
+        cc.batch_configure(bw, width);
+        std::vector<std::vector<double>> tail_x0(2);
+        for (std::size_t k = 0; k < 2; ++k) {
+          bind_params(s, cc, params[k]);
+          cc.batch_rebind_lane(bw, k);
+          tail_x0[k] = x0[k];
+        }
+        const BatchTransientResult tail =
+            run_transient_batch(cc, bw, tail_x0, topt, {"out", "out2"});
+        for (std::size_t k = 0; k < 2; ++k) {
+          ASSERT_FALSE(tail.failed[k]) << tail.errors[k];
+          expect_same_waveform(
+              ref[k], tail.waves[k],
+              ("ragged width " + std::to_string(width) + " lane " +
+               std::to_string(k))
+                  .c_str());
+        }
+      }
+    }
+  }
+}
+
 TEST(SpiceCompiled, UnsupportedDeviceKindThrows) {
   class Ghost : public Device {
    public:
@@ -407,6 +551,133 @@ TEST(SpiceCompiled, StrikeSimulatorEnginesAgreeExactly) {
 }
 
 // ---------------------------------------------------------------------------
+// Lane-batched StrikeSimulator and characterizer
+// ---------------------------------------------------------------------------
+
+struct LaneWidthGuard {
+  explicit LaneWidthGuard(std::size_t w) { spice::set_lane_width(w); }
+  ~LaneWidthGuard() { spice::set_lane_width(0); }
+  LaneWidthGuard(const LaneWidthGuard&) = delete;
+  LaneWidthGuard& operator=(const LaneWidthGuard&) = delete;
+};
+
+// simulate_batch must reproduce scalar simulate() byte for byte at every
+// lane width, for group sizes that exercise full groups, internal splitting
+// (count > width) and ragged tails — and the per-sample results must not
+// depend on the width or on where the batch boundaries fall.
+TEST(SpiceBatch, StrikeOutcomesMatchScalarAcrossWidths) {
+  const CellDesign design;
+  stats::Rng rng(991199);
+
+  // A sample set that reuses some ΔVt vectors (hold-cache hits) and spans
+  // both pulse kinds.
+  constexpr std::size_t kCount = 11;
+  std::vector<StrikeCharges> charges;
+  std::vector<DeltaVt> dvts;
+  for (std::size_t k = 0; k < kCount; ++k) {
+    charges.push_back(StrikeCharges{rng.uniform(0.0, 0.3),
+                                    rng.uniform(0.0, 0.3),
+                                    rng.uniform(0.0, 0.3)});
+    DeltaVt dvt{};
+    if (k % 3 != 0) {
+      for (double& v : dvt) v = rng.normal(0.0, design.sigma_vt);
+    }
+    dvts.push_back(dvt);
+  }
+  const std::vector<std::uint8_t> all(kCount, 1);
+
+  for (double vdd : {0.7, 1.0}) {
+    // Scalar references from a fresh simulator.
+    StrikeSimulator ref_sim(design, vdd);
+    std::vector<StrikeOutcome> ref;
+    for (std::size_t k = 0; k < kCount; ++k) {
+      ref.push_back(ref_sim.simulate(charges[k], dvts[k],
+                                     spice::PulseShape::Kind::kRectangular));
+    }
+
+    for (std::size_t width : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+      LaneWidthGuard guard(width);
+      StrikeSimulator sim(design, vdd);
+      std::vector<StrikeSimulator::LaneOutcome> out;
+      sim.simulate_batch(charges, dvts, spice::PulseShape::Kind::kRectangular,
+                         all, out);
+      ASSERT_EQ(out.size(), kCount);
+      for (std::size_t k = 0; k < kCount; ++k) {
+        ASSERT_FALSE(out[k].failed) << out[k].error;
+        EXPECT_EQ(out[k].outcome.flipped, ref[k].flipped)
+            << "vdd " << vdd << " width " << width << " sample " << k;
+        EXPECT_EQ(out[k].outcome.final_q_v, ref[k].final_q_v);
+        EXPECT_EQ(out[k].outcome.final_qb_v, ref[k].final_qb_v);
+      }
+
+      // Batch-boundary independence: the same samples fed one at a time
+      // (every call a ragged tail of one) give the same answers.
+      StrikeSimulator one_by_one(design, vdd);
+      for (std::size_t k = 0; k < kCount; ++k) {
+        std::vector<StrikeSimulator::LaneOutcome> single;
+        one_by_one.simulate_batch({charges[k]}, {dvts[k]},
+                                  spice::PulseShape::Kind::kRectangular, {1},
+                                  single);
+        ASSERT_FALSE(single[0].failed) << single[0].error;
+        EXPECT_EQ(single[0].outcome.final_q_v, ref[k].final_q_v)
+            << "width " << width << " sample " << k;
+        EXPECT_EQ(single[0].outcome.final_qb_v, ref[k].final_qb_v);
+      }
+    }
+  }
+}
+
+// Inactive lanes must be left untouched and active lanes must not feel them.
+TEST(SpiceBatch, MaskedLanesAreUntouched) {
+  LaneWidthGuard guard(4);
+  const CellDesign design;
+  StrikeSimulator sim(design, 0.8);
+  const std::vector<StrikeCharges> charges(5, StrikeCharges{0.15, 0.0, 0.1});
+  const std::vector<DeltaVt> dvts(5);
+  const std::vector<std::uint8_t> active{1, 0, 1, 0, 1};
+  std::vector<StrikeSimulator::LaneOutcome> out(5);
+  out[1].error = "sentinel";
+  out[3].error = "sentinel";
+  sim.simulate_batch(charges, dvts, spice::PulseShape::Kind::kRectangular,
+                     active, out);
+  EXPECT_EQ(out[1].error, "sentinel");
+  EXPECT_EQ(out[3].error, "sentinel");
+  const StrikeOutcome want = StrikeSimulator(design, 0.8).simulate(
+      charges[0], dvts[0], spice::PulseShape::Kind::kRectangular);
+  for (std::size_t k : {std::size_t{0}, std::size_t{2}, std::size_t{4}}) {
+    ASSERT_FALSE(out[k].failed) << out[k].error;
+    EXPECT_EQ(out[k].outcome.final_q_v, want.final_q_v) << "lane " << k;
+    EXPECT_EQ(out[k].outcome.final_qb_v, want.final_qb_v);
+  }
+}
+
+// The full characterization table — CDFs, nominal boundaries, grid MC — must
+// be byte-identical for every lane width (the scalar width is the reference).
+TEST(SpiceBatch, CharacterizeAtAgreesAcrossLaneWidths) {
+  CharacterizerConfig cfg;
+  cfg.vdds = {0.8};
+  cfg.pv_samples_single = 5;
+  cfg.pair_grid_points = 6;
+  cfg.triple_grid_points = 6;
+  cfg.pv_samples_grid = 3;
+  cfg.seed = 99;
+  cfg.threads = 2;
+  const CellDesign design;
+  const CellCharacterizer ch(design, cfg);
+
+  auto table_bytes = [&](std::size_t width) {
+    LaneWidthGuard guard(width);
+    const PofTable t = ch.characterize_at(0.8, 5);
+    util::ByteWriter w;
+    t.write(w);
+    return w.take();
+  };
+  const std::vector<std::uint8_t> want = table_bytes(1);
+  EXPECT_EQ(want, table_bytes(4));
+  EXPECT_EQ(want, table_bytes(8));
+}
+
+// ---------------------------------------------------------------------------
 // Kill-and-resume through the compiled characterizer path
 // ---------------------------------------------------------------------------
 
@@ -459,6 +730,57 @@ TEST(SpiceCompiled, CharacterizerResumesThroughCompiledPath) {
   run.cancel = nullptr;
   const CellSoftErrorModel got = ch.characterize({}, run);
   EXPECT_EQ(model_bytes(want), model_bytes(got));
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+// Same contract with the lane-batched engine forced on: a killed batched run
+// resumes to the byte-identical model — and that model equals a scalar
+// (width 1) uninterrupted run, so a resume may even change lane width.
+TEST(SpiceBatch, CharacterizerResumesThroughBatchedPath) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "finser_batched_resume.bin")
+          .string();
+  std::remove(path.c_str());
+
+  CharacterizerConfig cfg;
+  cfg.vdds = {0.7, 0.9};
+  cfg.pv_samples_single = 6;
+  cfg.pair_grid_points = 6;
+  cfg.triple_grid_points = 6;
+  cfg.pv_samples_grid = 4;
+  cfg.seed = 13;
+  cfg.threads = 2;
+  const CellDesign design;
+  const CellCharacterizer ch(design, cfg);
+
+  std::vector<std::uint8_t> want;
+  {
+    LaneWidthGuard scalar(1);
+    want = model_bytes(ch.characterize());
+  }
+
+  LaneWidthGuard batched(4);
+  ckpt::RunOptions run;
+  run.checkpoint_path = path;
+  run.checkpoint_interval_sec = 0.0;
+  exec::CancelToken token;
+  run.cancel = &token;
+  bool saw_second = false;
+  const exec::ProgressSink canceller([&](const std::string& msg) {
+    if (msg.find("vdd=0.9") != std::string::npos && !saw_second) {
+      saw_second = true;
+      token.cancel();
+    }
+  });
+  EXPECT_THROW(ch.characterize(canceller, run), util::Cancelled);
+  EXPECT_TRUE(saw_second);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  run.cancel = nullptr;
+  const CellSoftErrorModel got = ch.characterize({}, run);
+  EXPECT_EQ(want, model_bytes(got));
   EXPECT_FALSE(std::filesystem::exists(path));
   std::remove(path.c_str());
   std::remove((path + ".tmp").c_str());

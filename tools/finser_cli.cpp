@@ -41,6 +41,7 @@
 #include "finser/obs/obs.hpp"
 #include "finser/obs/report.hpp"
 #include "finser/pipeline/campaign.hpp"
+#include "finser/spice/batch.hpp"
 #include "finser/sram/snm.hpp"
 #include "finser/util/config.hpp"
 #include "finser/util/csv.hpp"
@@ -66,6 +67,10 @@ void print_help() {
       "                 simulating\n"
       "  --threads N    worker threads (default: FINSER_THREADS, else all\n"
       "                 hardware threads); never changes the results\n"
+      "  --lanes N      SPICE engine lane width: 0 = auto (FINSER_LANES, else\n"
+      "                 the widest compiled vector unit), 1 = scalar\n"
+      "                 reference, 4 or 8 = batched; never changes the\n"
+      "                 results (docs/spice.md)\n"
       "  --resume PATH  checkpoint file stem for `run`: progress is saved\n"
       "                 there periodically and on SIGINT/SIGTERM, and a\n"
       "                 matching checkpoint found at start is resumed —\n"
@@ -205,6 +210,7 @@ int cmd_run(const std::string& config_path, std::size_t cli_threads,
                                        : "run " + config_path;
     info.seed = flow_cfg.seed;
     info.threads = exec::resolve_threads(flow_cfg.threads);
+    info.lanes = spice::lane_width();
     info.mc_scale = core::mc_scale_from_env();
     info.config_fingerprint =
         flow_cfg.characterization.fingerprint(flow_cfg.cell_design);
@@ -219,10 +225,13 @@ int cmd_run(const std::string& config_path, std::size_t cli_threads,
 }
 
 int cmd_campaign(const std::string& campaign_path, std::size_t cli_threads,
-                 const std::string& metrics_out, const std::string& trace_out,
-                 bool print_config, const exec::CancelToken& cancel) {
+                 bool cli_lanes, const std::string& metrics_out,
+                 const std::string& trace_out, bool print_config,
+                 const exec::CancelToken& cancel) {
   pipeline::CampaignSpec spec = pipeline::parse_campaign_file(campaign_path);
   if (cli_threads > 0) spec.threads = cli_threads;
+  // --lanes wins over the campaign file's `lanes` key (both over auto).
+  if (cli_lanes) spec.lanes = spice::lane_width();
 
   if (print_config) {
     std::printf("%s\n", pipeline::campaign_to_json(spec).dump(2).c_str());
@@ -259,6 +268,7 @@ int cmd_campaign(const std::string& campaign_path, std::size_t cli_threads,
     info.tool = "finser_cli";
     info.command = "campaign " + campaign_path;
     info.threads = exec::resolve_threads(spec.threads);
+    info.lanes = spice::lane_width();
     info.mc_scale = core::mc_scale_from_env();
     obs::write_run_report(metrics_out, info);
     std::printf("metrics written to %s\n", metrics_out.c_str());
@@ -305,6 +315,7 @@ int main(int argc, char** argv) {
     // Extract the global flags, keep the rest positional.
     std::vector<std::string> args;
     std::size_t threads = 0;
+    bool lanes_given = false;
     std::string ckpt_path;
     double ckpt_interval = 30.0;
     // FINSER_METRICS turns collection on; a path-like value (anything but
@@ -319,8 +330,9 @@ int main(int argc, char** argv) {
         print_config = true;
         continue;
       }
-      if (a == "--threads" || a == "--resume" || a == "--checkpoint-interval" ||
-          a == "--metrics-out" || a == "--trace-out") {
+      if (a == "--threads" || a == "--lanes" || a == "--resume" ||
+          a == "--checkpoint-interval" || a == "--metrics-out" ||
+          a == "--trace-out") {
         if (i + 1 >= argc) {
           std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
           return 2;
@@ -351,6 +363,19 @@ int main(int argc, char** argv) {
             return 2;
           }
           threads = static_cast<std::size_t>(v);
+        } else if (a == "--lanes") {
+          const long v = std::strtol(raw, &end, 10);
+          if (end == raw || *end != '\0' || v < 0 ||
+              !spice::lane_width_valid(static_cast<std::size_t>(v))) {
+            std::fprintf(stderr,
+                         "error: --lanes expects 0 (auto), 1, 4 or 8, got "
+                         "\"%s\"\n",
+                         raw);
+            return 2;
+          }
+          // Applies process-wide immediately: every engine below sees it.
+          spice::set_lane_width(static_cast<std::size_t>(v));
+          lanes_given = true;
         } else {
           const double v = std::strtod(raw, &end);
           if (end == raw || *end != '\0' || v < 0.0) {
@@ -378,8 +403,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: campaign needs a JSON file argument\n");
         return 2;
       }
-      return cmd_campaign(args[1], threads, metrics_out, trace_out,
-                          print_config, cancel);
+      return cmd_campaign(args[1], threads, lanes_given, metrics_out,
+                          trace_out, print_config, cancel);
     }
     if (cmd == "cell") {
       return cmd_cell(args.size() > 1 ? std::stod(args[1]) : 0.8);
