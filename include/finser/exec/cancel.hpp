@@ -28,9 +28,21 @@ class CancelToken {
 };
 
 /// Route SIGINT and SIGTERM to \p token->cancel(). The handler performs one
-/// atomic store — nothing else — so it is async-signal-safe. \p token must
-/// outlive the installation. Passing nullptr restores the default
+/// atomic store plus the child fan-out below — both async-signal-safe. \p
+/// token must outlive the installation. Passing nullptr restores the default
 /// disposition for both signals.
 void install_signal_cancel(CancelToken* token);
+
+/// Register a child process for signal fan-out: while registered, a SIGINT
+/// or SIGTERM handled by install_signal_cancel is also forwarded to the
+/// child as SIGTERM (kill() is async-signal-safe), so a supervisor's
+/// cooperative shutdown reaches its whole worker tree in one keystroke.
+/// The table is a fixed array of atomics (no allocation in the handler
+/// path); returns false when it is full. Idempotent per pid.
+bool signal_fanout_add(int pid);
+
+/// Remove \p pid from the fan-out table (e.g. after waitpid reaped it).
+/// Unknown pids are ignored.
+void signal_fanout_remove(int pid);
 
 }  // namespace finser::exec

@@ -47,8 +47,11 @@ util::JsonValue metrics_json(const Snapshot& snapshot);
 util::JsonValue build_run_report(const Snapshot& snapshot, const RunInfo& info);
 
 /// snapshot() + build + atomically write pretty-printed JSON to \p path.
-/// Throws util::Error on I/O failure.
-void write_run_report(const std::string& path, const RunInfo& info);
+/// With \p shard non-null, the document gains a top-level "shard" section
+/// (sharded-campaign outcome; see shard::shard_report_json and
+/// docs/sharding.md). Throws util::Error on I/O failure.
+void write_run_report(const std::string& path, const RunInfo& info,
+                      const util::JsonValue* shard = nullptr);
 
 /// Build the Chrome Trace Event document from the registry's buffered spans.
 util::JsonValue build_chrome_trace(const Registry& registry);

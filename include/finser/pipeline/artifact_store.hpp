@@ -50,9 +50,18 @@ struct ArtifactKey {
 class ArtifactStore {
  public:
   /// \param root directory for the blobs (created lazily on first put).
+  /// Opening sweeps orphaned `*.tmp` files left in \p root by writers that
+  /// crashed between temp-write and rename (see sweep_orphans).
   explicit ArtifactStore(std::string root);
 
   const std::string& root() const { return root_; }
+
+  /// Delete every `*.tmp` file directly inside \p dir. These are the debris
+  /// of util::atomic_write_file calls that died before their rename; they
+  /// are invisible to readers but accumulate across crashes. Counted as
+  /// "pipeline.artifact.orphans_swept". A missing or unreadable \p dir is a
+  /// no-op. Returns the number of files removed.
+  static std::size_t sweep_orphans(const std::string& dir);
 
   /// Blob path of \p key: `<root>/<kind>-<fingerprint hex>.art`.
   std::string path_for(const ArtifactKey& key) const;

@@ -68,6 +68,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -217,16 +218,65 @@ struct ScenarioResult {
   std::vector<core::EnergySweepResult> sweeps;
 };
 
+/// One node of a campaign's exported stage plan (see CampaignRunner::plan).
+/// `id` is a stable, path-safe slug — "<index>-<kind>-<qualifier>", e.g.
+/// "0-characterize-1a2b3c4d" or "3-sweep-nominal" — identical in every
+/// process that parses the same campaign, which is what lets a shard
+/// supervisor assign stages to worker processes by id alone and lets lease
+/// and done-marker filenames embed it directly.
+struct StageInfo {
+  std::string id;
+  std::string label;                ///< Human-readable (StageGraph label).
+  std::vector<std::size_t> deps;    ///< Indices into the plan vector.
+};
+
+/// FNV-1a fingerprint of a campaign's *result-relevant* content: the fully
+/// resolved campaign_to_json document with the execution knobs (threads,
+/// lanes) zeroed, since they never change numbers. Two processes agree on
+/// this iff they would compute identical results — shard leases and done
+/// markers embed it so records from a different campaign (or an edited
+/// spec) are rejected as stale, never trusted.
+std::uint64_t campaign_fingerprint(const CampaignSpec& spec);
+
 /// Executes a campaign as a stage graph. Characterization runs once per
 /// unique cell-model fingerprint ("pipeline.characterizations" counts real
 /// characterizations, not artifact hits or model shares); device LUTs once
 /// per unique (geometry, species); scenario sweeps run as dependent stages.
 /// Deterministic at any thread budget.
+///
+/// Two execution surfaces share one stage table:
+///  * run() — the in-process path: every stage on one StageGraph.
+///  * plan() + run_stage() — the sharded path: a supervisor process walks
+///    plan() and assigns stage ids to `finser_cli worker` subprocesses,
+///    which call run_stage(). Stage products flow through the artifact
+///    store, so a worker that runs a sweep without having run its
+///    characterize dependency in-process reloads (or, failing that,
+///    recomputes) the cell model — bit-identical either way, because every
+///    stage is a pure function of its fingerprint.
 class CampaignRunner {
  public:
   explicit CampaignRunner(CampaignSpec spec);
 
   const CampaignSpec& spec() const { return spec_; }
+
+  /// The deterministic stage plan: same spec ⇒ same plan, in every process,
+  /// at any thread count. Stage ids are unique (index-prefixed) and
+  /// path-safe. Valid until the runner is destroyed.
+  const std::vector<StageInfo>& plan();
+
+  /// Run one stage by plan index. Dependencies need NOT have run in this
+  /// process — missing inputs are reloaded from the artifact store or
+  /// recomputed (see class comment). \p threads 0 = auto. Honors
+  /// \p run.cancel (throws util::Cancelled); numerical failures propagate
+  /// as the flow's usual exceptions.
+  void run_stage(std::size_t index, std::size_t threads,
+                 const exec::ProgressSink& progress = {},
+                 const ckpt::RunOptions& run = {});
+
+  /// Scenario results accumulated by run() / run_stage() sweep stages, in
+  /// scenario order; entries of scenarios whose sweep has not run in this
+  /// process have empty `sweeps`.
+  const std::vector<ScenarioResult>& results();
 
   /// Run every scenario; returns results in scenario order. With
   /// output_dir set, writes per-scenario CSVs to
@@ -240,7 +290,12 @@ class CampaignRunner {
                                   const ckpt::RunOptions& run = {});
 
  private:
+  struct Exec;  // persistent stage state (flows, store, models, results)
+  void ensure_exec();
+
   CampaignSpec spec_;
+  std::shared_ptr<Exec> exec_;
+  std::vector<StageInfo> plan_;
 };
 
 }  // namespace finser::pipeline

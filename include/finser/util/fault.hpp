@@ -25,9 +25,23 @@
 ///                        characterization must count/exclude the sample
 ///   kill_after_flush:N   raise(SIGKILL) right after the Nth successful
 ///                        checkpoint flush — drives the kill-and-resume test
+///   worker_kill_after_claim:N  a shard worker raises SIGKILL right after
+///                        acknowledging its Nth stage assignment — the
+///                        supervisor must reclaim the lease and reassign
+///   lease_torn:N         the Nth lease-record write lands torn (only a
+///                        prefix reaches disk, no atomic rename) — every
+///                        reader must reject it by CRC and treat the record
+///                        as absent/reclaimable
+///   heartbeat_stall:N    from the Nth heartbeat tick on, a shard worker
+///                        stops heartbeating and wedges at its next stage
+///                        boundary — the supervisor must time it out, kill
+///                        it and reassign its stage
 ///
 /// All counters are process-global atomics: for a fixed thread count and
-/// seed the firing point is deterministic.
+/// seed the firing point is deterministic. Shard workers are separate
+/// processes, so their counters are per-worker; the supervisor does not
+/// re-arm FINSER_FAULT for replacement workers it spawns after a death
+/// (docs/sharding.md), which is what lets a one-shot fault prove recovery.
 
 #include <cstdint>
 #include <string>
@@ -40,6 +54,9 @@ enum class FaultSite : std::size_t {
   kCacheFlip,
   kNewtonDiverge,
   kKillAfterFlush,
+  kWorkerKillAfterClaim,
+  kLeaseTorn,
+  kHeartbeatStall,
   kCount,
 };
 

@@ -90,6 +90,50 @@ status=$?
 grep -qi "numerical failure" "$WORK/stderr.log" ||
   fail "saturated newton_diverge did not report a numerical failure"
 
+# --- sharded campaign sites (docs/sharding.md) ------------------------------
+# A tiny two-scenario campaign driven through `campaign --workers`; the
+# supervisor must absorb each documented shard failure and still exit 0 with
+# complete outputs. (FINSER_FAULT reaches the initial workers through the
+# environment; replacement workers are spawned with it stripped.)
+CAMPAIGN="$WORK/tiny_campaign.json"
+cat > "$CAMPAIGN" <<EOF
+{
+  "campaign": "fault-matrix",
+  "seed": 5,
+  "output_dir": "$WORK/shard_out",
+  "defaults": {
+    "rows": 2, "cols": 2, "vdds": [0.8], "pv_samples": 10,
+    "strikes": 600, "histories": 600, "species": ["alpha"]
+  },
+  "scenarios": [{"name": "a"}, {"name": "b", "pattern": "zeros"}]
+}
+EOF
+
+# worker_kill_after_claim: every initial worker SIGKILLs itself right after
+# acking its first stage; replacements must finish the campaign.
+rm -rf "$WORK/shard_out"
+run_cli "worker_kill_after_claim:1" campaign "$CAMPAIGN" --workers 2
+[[ $? -eq 0 ]] || fail "worker_kill_after_claim campaign exited non-zero"
+[[ -s "$WORK/shard_out/a/fit_summary.csv" && -s "$WORK/shard_out/b/fit_summary.csv" ]] ||
+  fail "worker_kill_after_claim campaign left outputs incomplete"
+
+# lease_torn: the supervisor's first lease write is torn mid-file; the
+# half-written record must read as reclaimable, not crash the run.
+rm -rf "$WORK/shard_out"
+run_cli "lease_torn:1" campaign "$CAMPAIGN" --workers 1
+[[ $? -eq 0 ]] || fail "lease_torn campaign exited non-zero"
+[[ -s "$WORK/shard_out/a/fit_summary.csv" ]] ||
+  fail "lease_torn campaign left outputs incomplete"
+
+# heartbeat_stall: the initial worker stops heartbeating and wedges; with a
+# 1 s heartbeat timeout the supervisor must kill + replace it and finish.
+rm -rf "$WORK/shard_out"
+run_cli "heartbeat_stall:1" campaign "$CAMPAIGN" --workers 1 \
+  --heartbeat-timeout-s 1
+[[ $? -eq 0 ]] || fail "heartbeat_stall campaign exited non-zero"
+[[ -s "$WORK/shard_out/a/fit_summary.csv" && -s "$WORK/shard_out/b/fit_summary.csv" ]] ||
+  fail "heartbeat_stall campaign left outputs incomplete"
+
 if [[ $FAILURES -gt 0 ]]; then
   echo "fault matrix: $FAILURES check(s) failed" >&2
   exit 1

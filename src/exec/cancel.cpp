@@ -8,12 +8,46 @@ namespace {
 
 std::atomic<CancelToken*> g_signal_token{nullptr};
 
+// Child pids registered for signal fan-out. Fixed-size so the signal
+// handler never allocates; slot 0 means "empty".
+constexpr std::size_t kFanoutSlots = 64;
+std::atomic<int> g_fanout[kFanoutSlots]{};
+
 void on_signal(int /*signum*/) {
   CancelToken* token = g_signal_token.load(std::memory_order_acquire);
   if (token != nullptr) token->cancel();
+  // Forward a cooperative stop to every registered child. kill() is
+  // async-signal-safe; a stale pid (already reaped) is at worst an ESRCH.
+  for (std::size_t i = 0; i < kFanoutSlots; ++i) {
+    const int pid = g_fanout[i].load(std::memory_order_acquire);
+    if (pid > 0) ::kill(pid, SIGTERM);
+  }
 }
 
 }  // namespace
+
+bool signal_fanout_add(int pid) {
+  if (pid <= 0) return false;
+  for (std::size_t i = 0; i < kFanoutSlots; ++i) {
+    if (g_fanout[i].load(std::memory_order_acquire) == pid) return true;
+  }
+  for (std::size_t i = 0; i < kFanoutSlots; ++i) {
+    int expected = 0;
+    if (g_fanout[i].compare_exchange_strong(expected, pid,
+                                            std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void signal_fanout_remove(int pid) {
+  for (std::size_t i = 0; i < kFanoutSlots; ++i) {
+    int expected = pid;
+    g_fanout[i].compare_exchange_strong(expected, 0,
+                                        std::memory_order_acq_rel);
+  }
+}
 
 void install_signal_cancel(CancelToken* token) {
   g_signal_token.store(token, std::memory_order_release);

@@ -152,9 +152,14 @@ util::JsonValue build_run_report(const Snapshot& snapshot, const RunInfo& info) 
   return doc;
 }
 
-void write_run_report(const std::string& path, const RunInfo& info) {
-  const util::JsonValue doc =
+void write_run_report(const std::string& path, const RunInfo& info,
+                      const util::JsonValue* shard) {
+  util::JsonValue doc =
       build_run_report(Registry::global().snapshot(), info);
+  // Optional "shard" section (sharded campaigns: outcome + per-stage
+  // failure records). The validator tolerates extra top-level keys, so
+  // non-sharded consumers are unaffected.
+  if (shard != nullptr) doc["shard"] = *shard;
   const std::string text = doc.dump(2);
   std::string error;
   if (!util::atomic_write_file(path, text.data(), text.size(), &error)) {

@@ -29,7 +29,28 @@ std::string hex16(std::uint64_t v) {
 
 }  // namespace
 
-ArtifactStore::ArtifactStore(std::string root) : root_(std::move(root)) {}
+ArtifactStore::ArtifactStore(std::string root) : root_(std::move(root)) {
+  sweep_orphans(root_);
+}
+
+std::size_t ArtifactStore::sweep_orphans(const std::string& dir) {
+  std::size_t swept = 0;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;  // Missing dir: nothing to sweep (normal cold start).
+  for (const auto& entry : it) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+    const std::filesystem::path& p = entry.path();
+    if (p.extension() != ".tmp") continue;
+    if (std::filesystem::remove(p, entry_ec) && !entry_ec) ++swept;
+  }
+  if (swept > 0) {
+    FINSER_OBS_COUNT("pipeline.artifact.orphans_swept",
+                     static_cast<std::uint64_t>(swept));
+  }
+  return swept;
+}
 
 std::string ArtifactStore::path_for(const ArtifactKey& key) const {
   return root_ + "/" + key.kind + "-" + hex16(key.fingerprint) + ".art";

@@ -620,93 +620,170 @@ std::string hex8(std::uint64_t v) {
 constexpr std::uint64_t kDeviceLutSeed = 0xF16D4EULL;  // "Fig. 4"
 constexpr std::size_t kDeviceLutPoints = 25;
 
+/// Path-safe stage-id slug: runs of anything outside [A-Za-z0-9_.] collapse
+/// to a single '-'. The numeric plan-index prefix added by the caller makes
+/// ids unique even if two labels sanitize identically.
+std::string sanitize_slug(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '.';
+    if (safe) {
+      out.push_back(c);
+    } else if (!out.empty() && out.back() != '-') {
+      out.push_back('-');
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
 }  // namespace
+
+std::uint64_t campaign_fingerprint(const CampaignSpec& spec) {
+  // threads/lanes are pure execution knobs — every stage is thread-count-
+  // and lane-width-invariant — so they are zeroed before hashing: a re-run
+  // with a different worker or thread budget must resume, not recompute.
+  CampaignSpec norm = spec;
+  norm.threads = 0;
+  norm.lanes = 0;
+  util::Fnv1a h;
+  h.str("finser.campaign.fingerprint.v1");
+  h.str(campaign_to_json(norm).dump(0));
+  return h.hash();
+}
+
+/// Persistent execution state shared by every stage of one runner: resolved
+/// flow configs, the artifact store, the cell-model map and accumulated
+/// results. Living on the runner (not on run()'s stack) is what lets a
+/// worker process execute stages one at a time across separate run_stage()
+/// calls while reusing models it already materialized.
+struct CampaignRunner::Exec {
+  double scale = 1.0;
+  std::vector<core::SerFlowConfig> flows;
+  std::optional<ArtifactStore> store;
+  std::optional<ArtifactBinCache> bin_cache;
+  // Keys pre-inserted serially at plan time; stages then only assign to
+  // their own slot, so concurrent stages never mutate the map's structure.
+  std::map<std::uint64_t, sram::CellSoftErrorModel> models;
+  std::vector<ScenarioResult> results;
+  std::vector<std::function<void(std::size_t, const exec::ProgressSink&,
+                                 const ckpt::RunOptions&)>>
+      fns;
+
+  /// Ensure models[fp] is populated: already-materialized → no-op; else
+  /// artifact-store load; else characterize here (counts
+  /// "pipeline.characterizations" exactly like the characterize stage —
+  /// this is the sweep-stage fallback when the dependency ran in another
+  /// process and the artifact got lost, and it is bit-identical to the
+  /// stage by purity).
+  void materialize_model(std::uint64_t fp, const sram::CellDesign& design,
+                         const sram::CharacterizerConfig& ccfg,
+                         std::size_t threads,
+                         const exec::ProgressSink& progress,
+                         const ckpt::RunOptions& run) {
+    sram::CellSoftErrorModel& slot = models.at(fp);
+    if (!slot.tables.empty()) return;
+    const ArtifactKey key{"cell_model", fp};
+    if (store.has_value()) {
+      std::vector<std::uint8_t> blob;
+      if (store->try_get(key, blob)) {
+        try {
+          slot = decode_model(blob, fp);
+          progress.message("cell model " + hex8(fp) +
+                           " loaded from artifact store");
+          return;
+        } catch (const std::exception&) {
+          // Malformed payload: fall through to characterize.
+        }
+      }
+    }
+    sram::CharacterizerConfig cfg = ccfg;
+    if (cfg.threads == 0) cfg.threads = threads;
+    const sram::CellCharacterizer characterizer(design, cfg);
+    slot = characterizer.characterize(progress, run.cancel_only());
+    FINSER_OBS_COUNT("pipeline.characterizations", 1);
+    if (store.has_value()) store->put(key, encode_model(slot));
+  }
+};
 
 CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {
   FINSER_REQUIRE(!spec_.scenarios.empty(),
                  "CampaignRunner: campaign has no scenarios");
 }
 
-std::vector<ScenarioResult> CampaignRunner::run(
-    const exec::ProgressSink& progress, const ckpt::RunOptions& run) {
+void CampaignRunner::ensure_exec() {
+  if (exec_ != nullptr) return;
   // A non-zero spec pins the SPICE lane width for the whole campaign
   // (results are identical for every width; this is a performance knob).
   if (spec_.lanes != 0) spice::set_lane_width(spec_.lanes);
-  const double scale = core::mc_scale_from_env();
+
+  exec_ = std::make_shared<Exec>();
+  Exec* ex = exec_.get();  // stage lambdas share the runner's lifetime
+  ex->scale = core::mc_scale_from_env();
+  const double scale = ex->scale;
   const std::size_t n = spec_.scenarios.size();
 
   // Resolved per-scenario flow configs: MC sizes scaled here (not in the
   // spec, which must round-trip through JSON unscaled), thread budget and
   // caches owned by the runner.
-  std::vector<core::SerFlowConfig> flows(n);
+  ex->flows.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    flows[i] = spec_.scenarios[i].flow;
-    core::apply_mc_scale(flows[i], scale);
-    flows[i].lut_cache_path.clear();  // the artifact store supersedes it
+    ex->flows[i] = spec_.scenarios[i].flow;
+    core::apply_mc_scale(ex->flows[i], scale);
+    ex->flows[i].lut_cache_path.clear();  // the artifact store supersedes it
   }
 
-  std::optional<ArtifactStore> store;
-  std::optional<ArtifactBinCache> bin_cache;
   if (!spec_.artifact_dir.empty()) {
-    store.emplace(spec_.artifact_dir);
-    bin_cache.emplace(*store);
+    ex->store.emplace(spec_.artifact_dir);
+    ex->bin_cache.emplace(*ex->store);
   }
+  ex->results.resize(n);
 
-  // Stage-graph state. Keys are pre-inserted serially; stages then only
-  // assign to their own slot, so concurrent stages never mutate the maps'
-  // structure.
-  std::map<std::uint64_t, sram::CellSoftErrorModel> models;
-  std::map<std::uint64_t, std::size_t> model_stage;
-  std::vector<ScenarioResult> results(n);
-
-  StageGraph graph;
-  const ckpt::RunOptions stage_run = run.cancel_only();
+  const auto add_stage =
+      [&](std::string label, std::vector<std::size_t> deps,
+          std::function<void(std::size_t, const exec::ProgressSink&,
+                             const ckpt::RunOptions&)>
+              fn) {
+        StageInfo info;
+        info.id = std::to_string(plan_.size()) + "-" + sanitize_slug(label);
+        info.label = std::move(label);
+        info.deps = std::move(deps);
+        plan_.push_back(std::move(info));
+        ex->fns.push_back(std::move(fn));
+        return plan_.size() - 1;
+      };
 
   // One characterization stage per unique model fingerprint.
+  std::map<std::uint64_t, std::size_t> model_stage;
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t fp =
-        flows[i].characterization.fingerprint(flows[i].cell_design);
-    if (models.count(fp) != 0) continue;
-    models[fp];  // reserve the slot
-    const sram::CellDesign design = flows[i].cell_design;
-    const sram::CharacterizerConfig ccfg = flows[i].characterization;
-    model_stage[fp] = graph.add(
+        ex->flows[i].characterization.fingerprint(ex->flows[i].cell_design);
+    if (ex->models.count(fp) != 0) continue;
+    ex->models[fp];  // reserve the slot
+    const sram::CellDesign design = ex->flows[i].cell_design;
+    const sram::CharacterizerConfig ccfg = ex->flows[i].characterization;
+    model_stage[fp] = add_stage(
         "characterize " + hex8(fp), {},
-        [this, fp, design, ccfg, &models, &store, &progress,
-         stage_run](std::size_t threads) {
-          const ArtifactKey key{"cell_model", fp};
-          if (store.has_value()) {
-            std::vector<std::uint8_t> blob;
-            if (store->try_get(key, blob)) {
-              try {
-                models[fp] = decode_model(blob, fp);
-                progress.message("cell model " + hex8(fp) +
-                                 " loaded from artifact store");
-                return;
-              } catch (const std::exception&) {
-                // Malformed payload: fall through to characterize.
-              }
-            }
-          }
-          sram::CharacterizerConfig cfg = ccfg;
-          if (cfg.threads == 0) cfg.threads = threads;
-          const sram::CellCharacterizer characterizer(design, cfg);
-          models[fp] = characterizer.characterize(progress, stage_run);
-          FINSER_OBS_COUNT("pipeline.characterizations", 1);
-          if (store.has_value()) store->put(key, encode_model(models[fp]));
+        [ex, fp, design, ccfg](std::size_t threads,
+                               const exec::ProgressSink& progress,
+                               const ckpt::RunOptions& run) {
+          ex->materialize_model(fp, design, ccfg, threads, progress, run);
         });
   }
 
   // One device e–h-pair LUT stage per unique (fin geometry, charged
   // species) — the paper's Fig. 4 device level, shared campaign-wide.
-  if (!spec_.output_dir.empty() || store.has_value()) {
+  if (!spec_.output_dir.empty() || ex->store.has_value()) {
     std::map<std::pair<std::uint64_t, int>, bool> lut_jobs;
     for (std::size_t i = 0; i < n; ++i) {
       for (const std::string& name : spec_.scenarios[i].species) {
         if (name == "neutron") continue;  // no direct-ionization LUT
         const phys::Species species =
             name == "alpha" ? phys::Species::kAlpha : phys::Species::kProton;
-        const std::uint64_t gfp = geometry_fingerprint(flows[i].cell_geometry);
+        const std::uint64_t gfp =
+            geometry_fingerprint(ex->flows[i].cell_geometry);
         if (!lut_jobs.emplace(std::make_pair(gfp, static_cast<int>(species)),
                               true)
                  .second) {
@@ -714,21 +791,22 @@ std::vector<ScenarioResult> CampaignRunner::run(
         }
         const bool suffix_geometry = [&] {
           for (std::size_t j = 0; j < n; ++j) {
-            if (geometry_fingerprint(flows[j].cell_geometry) != gfp) {
+            if (geometry_fingerprint(ex->flows[j].cell_geometry) != gfp) {
               return true;
             }
           }
           return false;
         }();
-        const sram::CellGeometry g = flows[i].cell_geometry;
-        const double e_lo = name == "alpha" ? flows[i].alpha_e_lo_mev
-                                            : flows[i].proton_e_lo_mev;
-        const double e_hi = name == "alpha" ? flows[i].alpha_e_hi_mev
-                                            : flows[i].proton_e_hi_mev;
-        graph.add(
+        const sram::CellGeometry g = ex->flows[i].cell_geometry;
+        const double e_lo = name == "alpha" ? ex->flows[i].alpha_e_lo_mev
+                                            : ex->flows[i].proton_e_lo_mev;
+        const double e_hi = name == "alpha" ? ex->flows[i].alpha_e_hi_mev
+                                            : ex->flows[i].proton_e_hi_mev;
+        add_stage(
             "device_lut " + name + " " + hex8(gfp), {},
-            [this, name, species, g, e_lo, e_hi, scale, suffix_geometry, gfp,
-             &store](std::size_t) {
+            [this, ex, name, species, g, e_lo, e_hi, scale, suffix_geometry,
+             gfp](std::size_t, const exec::ProgressSink&,
+                  const ckpt::RunOptions&) {
               const geom::Aabb fin_box{
                   {0.0, 0.0, 0.0}, {g.fin_w_nm, g.gate_len_nm, g.fin_h_nm}};
               phys::FinStrikeMc::Config cfg;
@@ -736,8 +814,8 @@ std::vector<ScenarioResult> CampaignRunner::run(
                   1, static_cast<std::size_t>(
                          static_cast<double>(cfg.samples) * scale));
               const util::Grid1 lut = cached_device_lut(
-                  store.has_value() ? &*store : nullptr, fin_box, cfg, species,
-                  e_lo, e_hi, kDeviceLutPoints, kDeviceLutSeed);
+                  ex->store.has_value() ? &*ex->store : nullptr, fin_box, cfg,
+                  species, e_lo, e_hi, kDeviceLutPoints, kDeviceLutSeed);
               if (spec_.output_dir.empty()) return;
               util::CsvTable table({"energy_mev", "mean_eh_pairs"});
               for (std::size_t p = 0; p < lut.x_axis().size(); ++p) {
@@ -755,26 +833,35 @@ std::vector<ScenarioResult> CampaignRunner::run(
   // One sweep stage per scenario, dependent on its model stage.
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t fp =
-        flows[i].characterization.fingerprint(flows[i].cell_design);
-    graph.add(
+        ex->flows[i].characterization.fingerprint(ex->flows[i].cell_design);
+    add_stage(
         "sweep " + spec_.scenarios[i].name, {model_stage.at(fp)},
-        [this, i, fp, &flows, &models, &bin_cache, &results, &progress,
-         stage_run](std::size_t threads) {
+        [this, ex, i, fp](std::size_t threads,
+                          const exec::ProgressSink& progress,
+                          const ckpt::RunOptions& run) {
           const ScenarioSpec& scenario = spec_.scenarios[i];
-          core::SerFlowConfig cfg = flows[i];
+          // Sharded path: the characterize stage may have run in another
+          // process — materialize the model here (store load, else
+          // recompute). In-process runs find it already populated.
+          ex->materialize_model(fp, ex->flows[i].cell_design,
+                                ex->flows[i].characterization, threads,
+                                progress, run);
+          core::SerFlowConfig cfg = ex->flows[i];
           cfg.threads = threads;
-          cfg.bin_cache = bin_cache.has_value() ? &*bin_cache : nullptr;
+          cfg.bin_cache =
+              ex->bin_cache.has_value() ? &*ex->bin_cache : nullptr;
           core::SerFlow flow(cfg);
-          flow.set_cell_model(models.at(fp));
+          flow.set_cell_model(ex->models.at(fp));
 
-          ScenarioResult& out = results[i];
+          ScenarioResult& out = ex->results[i];
           out.name = scenario.name;
+          out.sweeps.clear();
           util::CsvTable fit_table = make_fit_table();
           for (const std::string& name : scenario.species) {
             const env::Spectrum spectrum = spectrum_for_species(name);
             progress.message(scenario.name + ": sweeping " + spectrum.name());
             core::EnergySweepResult sweep =
-                flow.sweep(spectrum, progress, stage_run);
+                flow.sweep(spectrum, progress, run.cancel_only());
             if (!spec_.output_dir.empty()) {
               pof_csv(sweep).write_csv_file(spec_.output_dir + "/" +
                                             scenario.name + "/pof_" + name +
@@ -789,9 +876,49 @@ std::vector<ScenarioResult> CampaignRunner::run(
           }
         });
   }
+}
 
+const std::vector<StageInfo>& CampaignRunner::plan() {
+  ensure_exec();
+  return plan_;
+}
+
+void CampaignRunner::run_stage(std::size_t index, std::size_t threads,
+                               const exec::ProgressSink& progress,
+                               const ckpt::RunOptions& run) {
+  ensure_exec();
+  FINSER_REQUIRE(index < plan_.size(),
+                 "CampaignRunner::run_stage: stage index " +
+                     std::to_string(index) + " out of range (plan has " +
+                     std::to_string(plan_.size()) + " stages)");
+  // Same wrapping as StageGraph's in-process dispatch: one span + one
+  // progress line per stage, then the stage body with a resolved budget.
+  const StageInfo& info = plan_[index];
+  obs::ScopedSpan span("pipeline.stage", info.label);
+  if (progress) progress.message("stage: " + info.label);
+  exec_->fns[index](exec::resolve_threads(threads), progress,
+                    run.cancel_only());
+}
+
+const std::vector<ScenarioResult>& CampaignRunner::results() {
+  ensure_exec();
+  return exec_->results;
+}
+
+std::vector<ScenarioResult> CampaignRunner::run(
+    const exec::ProgressSink& progress, const ckpt::RunOptions& run) {
+  ensure_exec();
+  Exec* ex = exec_.get();
+  StageGraph graph;
+  const ckpt::RunOptions stage_run = run.cancel_only();
+  for (std::size_t k = 0; k < plan_.size(); ++k) {
+    graph.add(plan_[k].label, plan_[k].deps,
+              [ex, k, &progress, stage_run](std::size_t threads) {
+                ex->fns[k](threads, progress, stage_run);
+              });
+  }
   graph.run(spec_.threads, progress);
-  return results;
+  return ex->results;
 }
 
 }  // namespace finser::pipeline

@@ -15,7 +15,9 @@ constexpr std::size_t kSiteCount = static_cast<std::size_t>(FaultSite::kCount);
 
 const char* site_name(std::size_t i) {
   constexpr const char* kNames[kSiteCount] = {
-      "io_write_fail", "cache_flip", "newton_diverge", "kill_after_flush"};
+      "io_write_fail",           "cache_flip", "newton_diverge",
+      "kill_after_flush",        "worker_kill_after_claim",
+      "lease_torn",              "heartbeat_stall"};
   return kNames[i];
 }
 

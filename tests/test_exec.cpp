@@ -14,6 +14,9 @@
 #include <thread>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "finser/core/array_mc.hpp"
 #include "finser/exec/exec.hpp"
 #include "finser/exec/progress.hpp"
@@ -194,6 +197,37 @@ TEST(CancelToken, SignalHandlerRoutesSigintToToken) {
   std::raise(SIGINT);
   EXPECT_TRUE(token.cancelled());
   // Restore the default disposition before the token leaves scope.
+  install_signal_cancel(nullptr);
+}
+
+TEST(CancelToken, SignalFanoutForwardsSigtermToRegisteredChildren) {
+  // The supervisor registers worker pids so one Ctrl-C stops the whole
+  // fleet. Fork a child with default SIGTERM disposition, register it, and
+  // check the forwarded signal kills it.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    for (;;) ::pause();  // Waits for the fan-out SIGTERM.
+  }
+
+  CancelToken token;
+  install_signal_cancel(&token);
+  ASSERT_TRUE(signal_fanout_add(static_cast<int>(child)));
+  EXPECT_TRUE(signal_fanout_add(static_cast<int>(child)));  // Idempotent.
+  EXPECT_FALSE(signal_fanout_add(0));  // Pid 0 would signal our own group.
+
+  std::raise(SIGTERM);
+  EXPECT_TRUE(token.cancelled());
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGTERM);
+
+  // Remove frees the slot; a later signal must not touch the stale pid.
+  signal_fanout_remove(static_cast<int>(child));
+  token.reset();
+  std::raise(SIGTERM);
+  EXPECT_TRUE(token.cancelled());
   install_signal_cancel(nullptr);
 }
 

@@ -208,5 +208,43 @@ TEST(ArtifactStore, ObsCountersClassifyOutcomes) {
   obs::Registry::global().reset();
 }
 
+/// A crash between temp-file creation and rename leaves a `*.tmp` orphan;
+/// opening a store over that directory must sweep it (and count the sweep)
+/// while leaving committed blobs untouched.
+TEST(ArtifactStore, OpeningSweepsOrphanedTmpFiles) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "finser_art_orphans").string();
+  std::filesystem::remove_all(root);
+  const ArtifactKey key{"unit_test", 5};
+  {
+    const ArtifactStore writer(root);
+    ASSERT_TRUE(writer.put(key, payload_bytes()));
+  }
+  // Plant what a mid-write kill would leave behind.
+  {
+    std::ofstream os(root + "/torn_blob.art.tmp", std::ios::binary);
+    os << "half-written";
+    std::ofstream os2(root + "/another.tmp", std::ios::binary);
+  }
+
+  obs::Registry::global().reset();
+  obs::set_enabled(true);
+  const ArtifactStore reopened(root);
+  auto& reg = obs::Registry::global();
+  EXPECT_EQ(reg.counter("pipeline.artifact.orphans_swept").total(), 2u);
+  obs::set_enabled(false);
+  obs::Registry::global().reset();
+
+  EXPECT_FALSE(std::filesystem::exists(root + "/torn_blob.art.tmp"));
+  EXPECT_FALSE(std::filesystem::exists(root + "/another.tmp"));
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(reopened.try_get(key, out)) << "sweep must keep real blobs";
+  EXPECT_EQ(out, payload_bytes());
+
+  // Sweeping a directory that does not exist is a quiet no-op.
+  EXPECT_EQ(ArtifactStore::sweep_orphans(root + "/nope"), 0u);
+  std::filesystem::remove_all(root);
+}
+
 }  // namespace
 }  // namespace finser::pipeline

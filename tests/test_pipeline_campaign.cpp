@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdint>
 #include <filesystem>
 #include <mutex>
 #include <string>
@@ -346,6 +348,79 @@ TEST(CampaignRunner, SharedModelCharacterizesOnceAndWarmRunsFromArtifacts) {
     expect_sweeps_equal(cold_results[i].sweeps[0], warm_results[i].sweeps[0]);
   }
   std::filesystem::remove_all(artifacts);
+}
+
+/// The stage plan is the sharding contract (docs/sharding.md): ids must be
+/// deterministic, path-safe (they name lease files) and dependency-closed,
+/// or supervisor and workers would disagree about what "stage 3" means.
+TEST(CampaignRunner, StagePlanIdsAreDeterministicAndPathSafe) {
+  CampaignSpec spec;
+  spec.name = "plan-test";
+  ScenarioSpec a;
+  a.name = "a";
+  a.species = {"alpha"};
+  a.flow = tiny_flow();
+  ScenarioSpec b = a;
+  b.name = "b";
+  b.flow.pattern = sram::DataPattern::kAllOnes;  // same model fingerprint
+  spec.scenarios = {a, b};
+
+  CampaignRunner r1(spec);
+  CampaignRunner r2(spec);
+  const std::vector<StageInfo>& plan = r1.plan();
+  // Shared cell model + shared (geometry, species): 1 characterize +
+  // 1 device LUT + 2 sweeps.
+  ASSERT_EQ(plan.size(), 4u);
+  ASSERT_EQ(r2.plan().size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].id, r2.plan()[i].id) << "plan must be deterministic";
+    // Ids are `<index>-<slug>` with a filesystem-safe slug.
+    EXPECT_EQ(plan[i].id.rfind(std::to_string(i) + "-", 0), 0u) << plan[i].id;
+    for (char c : plan[i].id) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                  c == '_' || c == '.')
+          << plan[i].id;
+    }
+    for (std::size_t dep : plan[i].deps) EXPECT_LT(dep, i);
+  }
+  EXPECT_NE(plan[0].label.find("characterize"), std::string::npos);
+  EXPECT_NE(plan.back().label.find("sweep"), std::string::npos);
+}
+
+/// Driving stages one at a time through run_stage() (the worker path) must
+/// reproduce run() (the in-process path) bit-exactly.
+TEST(CampaignRunner, RunStageByStageMatchesRun) {
+  CampaignSpec spec = single_scenario_campaign(tiny_flow(), {"alpha"}, "");
+
+  CampaignRunner whole(spec);
+  const std::vector<ScenarioResult> expected = whole.run();
+
+  CampaignRunner stepped(spec);
+  for (std::size_t i = 0; i < stepped.plan().size(); ++i) {
+    stepped.run_stage(i, 1);
+  }
+  const std::vector<ScenarioResult>& actual = stepped.results();
+  ASSERT_EQ(actual.size(), expected.size());
+  ASSERT_EQ(actual[0].sweeps.size(), expected[0].sweeps.size());
+  for (std::size_t s = 0; s < expected[0].sweeps.size(); ++s) {
+    expect_sweeps_equal(expected[0].sweeps[s], actual[0].sweeps[s]);
+  }
+}
+
+/// The fingerprint names lease/done files across processes, so it must not
+/// depend on execution knobs (threads, lanes) — only on the science.
+TEST(CampaignFingerprint, InvariantToExecutionKnobs) {
+  CampaignSpec spec = single_scenario_campaign(tiny_flow(), {"alpha"}, "");
+  const std::uint64_t base = campaign_fingerprint(spec);
+
+  CampaignSpec threaded = spec;
+  threaded.threads = 7;
+  threaded.lanes = 4;
+  EXPECT_EQ(campaign_fingerprint(threaded), base);
+
+  CampaignSpec edited = spec;
+  edited.scenarios[0].flow.array_mc.strikes += 1;
+  EXPECT_NE(campaign_fingerprint(edited), base);
 }
 
 /// Scenario outputs land in per-scenario directories with the CLI's CSV

@@ -41,6 +41,8 @@
 #include "finser/obs/obs.hpp"
 #include "finser/obs/report.hpp"
 #include "finser/pipeline/campaign.hpp"
+#include "finser/shard/supervisor.hpp"
+#include "finser/shard/worker.hpp"
 #include "finser/spice/batch.hpp"
 #include "finser/sram/snm.hpp"
 #include "finser/util/config.hpp"
@@ -59,6 +61,9 @@ void print_help() {
       "                                    characterization and artifact cache\n"
       "                                    (schema: docs/architecture.md)\n"
       "  finser_cli cell [vdd]             single-voltage cell summary\n"
+      "  finser_cli worker <file.json>     shard worker (spawned by a\n"
+      "                                    `campaign --workers N` supervisor;\n"
+      "                                    not for direct use — docs/sharding.md)\n"
       "  finser_cli --help                 this text\n\n"
       "Options:\n"
       "  --print-config for `run` and `campaign`: print the fully resolved\n"
@@ -81,13 +86,25 @@ void print_help() {
       "                 JSON RunReport there at exit (docs/observability.md);\n"
       "                 FINSER_METRICS=<path> is an equivalent default\n"
       "  --trace-out PATH  also buffer per-span trace events and write a\n"
-      "                 Chrome-tracing/Perfetto event file there at exit\n\n"
+      "                 Chrome-tracing/Perfetto event file there at exit\n"
+      "  --workers N    for `campaign`: run stages in N worker subprocesses\n"
+      "                 under a fault-tolerant supervisor (FINSER_WORKERS is\n"
+      "                 an equivalent default; 0 = in-process). Results are\n"
+      "                 byte-identical at any worker count (docs/sharding.md)\n"
+      "  --max-retries N  extra attempts before a crashing stage is\n"
+      "                 quarantined (default 2; sharded campaigns only)\n"
+      "  --stage-timeout-s SEC  per-stage wall-clock watchdog: a stage over\n"
+      "                 budget is killed and retried (default 0 = off)\n"
+      "  --heartbeat-timeout-s SEC  silence before a worker is presumed dead\n"
+      "                 and its stage reassigned (default 30)\n\n"
       "Exit codes:\n"
       "  0  success\n"
       "  1  unexpected error\n"
       "  2  invalid configuration or command line\n"
       "  3  numerical failure (solver gave up after its retry ladder)\n"
-      "  4  interrupted, progress checkpointed (rerun to resume)\n\n"
+      "  4  interrupted, progress checkpointed (rerun to resume)\n"
+      "  5  partial: sharded campaign completed with quarantined stages\n"
+      "     (details in the run report's \"shard\" section)\n\n"
       "See the header of tools/finser_cli.cpp for the config-file keys.\n");
 }
 
@@ -224,9 +241,40 @@ int cmd_run(const std::string& config_path, std::size_t cli_threads,
   return 0;
 }
 
+/// Sharding knobs extracted from the global flag pass (campaign supervisor
+/// + worker subcommand).
+struct ShardCliOptions {
+  std::size_t workers = 0;  ///< 0 = in-process (the PR-4 path).
+  bool workers_from_flag = false;
+  std::size_t max_retries = 2;
+  double stage_timeout_s = 0.0;
+  double heartbeat_timeout_s = 30.0;
+  std::uint64_t worker_id = 0;  ///< worker subcommand only.
+  std::string lease_dir;        ///< worker subcommand only.
+  std::string artifact_dir;     ///< worker subcommand only.
+};
+
+int cmd_worker(const std::string& campaign_path, std::size_t cli_threads,
+               const ShardCliOptions& opts) {
+  if (opts.lease_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: worker needs --lease-dir (spawned by a `campaign "
+                 "--workers N` supervisor; see docs/sharding.md)\n");
+    return 2;
+  }
+  shard::WorkerConfig cfg;
+  cfg.campaign_path = campaign_path;
+  cfg.artifact_dir = opts.artifact_dir;
+  cfg.lease_dir = opts.lease_dir;
+  cfg.worker_id = opts.worker_id;
+  cfg.threads = cli_threads;
+  return shard::run_worker(cfg);
+}
+
 int cmd_campaign(const std::string& campaign_path, std::size_t cli_threads,
                  bool cli_lanes, const std::string& metrics_out,
                  const std::string& trace_out, bool print_config,
+                 const ShardCliOptions& shard_opts,
                  const exec::CancelToken& cancel) {
   pipeline::CampaignSpec spec = pipeline::parse_campaign_file(campaign_path);
   if (cli_threads > 0) spec.threads = cli_threads;
@@ -236,6 +284,63 @@ int cmd_campaign(const std::string& campaign_path, std::size_t cli_threads,
   if (print_config) {
     std::printf("%s\n", pipeline::campaign_to_json(spec).dump(2).c_str());
     return 0;
+  }
+
+  if (shard_opts.workers > 0) {
+    // Sharded path: worker subprocesses, lease-based supervision. Byte-
+    // identical outputs to the in-process branch below (docs/sharding.md).
+    const exec::ProgressSink progress(
+        [](const std::string& m) { std::printf("  [%s]\n", m.c_str()); },
+        std::chrono::milliseconds(250));
+    shard::ShardConfig scfg;
+    scfg.workers = shard_opts.workers;
+    scfg.max_retries = shard_opts.max_retries;
+    scfg.stage_timeout_s = shard_opts.stage_timeout_s;
+    scfg.heartbeat_timeout_s = shard_opts.heartbeat_timeout_s;
+    scfg.campaign_path = campaign_path;
+    scfg.lanes = cli_lanes ? spice::lane_width() : 0;
+    const shard::ShardResult result =
+        shard::run_sharded_campaign(spec, scfg, &cancel, progress);
+
+    std::printf("\nsharded campaign: %zu/%zu stages completed",
+                result.stages_completed, result.stages_total);
+    if (result.stages_resumed > 0) {
+      std::printf(" (%zu resumed from a previous run)", result.stages_resumed);
+    }
+    std::printf("\n");
+    for (const auto& f : result.failures) {
+      std::printf("  %s stage %s after %zu attempts: %s\n", f.status.c_str(),
+                  f.id.c_str(), f.attempts, f.reason.c_str());
+    }
+    if (!spec.output_dir.empty()) {
+      std::printf("results written to %s/\n", spec.output_dir.c_str());
+    }
+
+    if (!metrics_out.empty()) {
+      obs::RunInfo info;
+      info.tool = "finser_cli";
+      info.command = "campaign " + campaign_path + " --workers " +
+                     std::to_string(shard_opts.workers);
+      info.threads = exec::resolve_threads(spec.threads);
+      info.lanes = spice::lane_width();
+      info.mc_scale = core::mc_scale_from_env();
+      const util::JsonValue shard_doc = shard::shard_report_json(result, scfg);
+      obs::write_run_report(metrics_out, info, &shard_doc);
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      obs::write_chrome_trace(trace_out);
+      std::printf("trace written to %s\n", trace_out.c_str());
+    }
+    switch (result.outcome) {
+      case shard::ShardOutcome::kComplete:
+        return 0;
+      case shard::ShardOutcome::kPartial:
+        return 5;
+      case shard::ShardOutcome::kFailed:
+        return 1;
+    }
+    return 1;
   }
 
   const exec::ProgressSink progress(
@@ -324,6 +429,16 @@ int main(int argc, char** argv) {
     if (metrics_out == "0" || metrics_out == "1") metrics_out.clear();
     std::string trace_out;
     bool print_config = false;
+    ShardCliOptions shard_opts;
+    // FINSER_WORKERS seeds the worker count for `campaign`; --workers wins.
+    if (const char* env = std::getenv("FINSER_WORKERS");
+        env != nullptr && env[0] != '\0') {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 0) {
+        shard_opts.workers = static_cast<std::size_t>(v);
+      }
+    }
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--print-config") {
@@ -332,7 +447,9 @@ int main(int argc, char** argv) {
       }
       if (a == "--threads" || a == "--lanes" || a == "--resume" ||
           a == "--checkpoint-interval" || a == "--metrics-out" ||
-          a == "--trace-out") {
+          a == "--trace-out" || a == "--workers" || a == "--max-retries" ||
+          a == "--stage-timeout-s" || a == "--heartbeat-timeout-s" ||
+          a == "--worker-id" || a == "--lease-dir" || a == "--artifact-dir") {
         if (i + 1 >= argc) {
           std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
           return 2;
@@ -352,7 +469,49 @@ int main(int argc, char** argv) {
           finser::obs::set_trace_enabled(true);
           continue;
         }
+        if (a == "--lease-dir") {
+          shard_opts.lease_dir = raw;
+          continue;
+        }
+        if (a == "--artifact-dir") {
+          shard_opts.artifact_dir = raw;
+          continue;
+        }
         char* end = nullptr;
+        if (a == "--workers" || a == "--max-retries" || a == "--worker-id") {
+          const long v = std::strtol(raw, &end, 10);
+          if (end == raw || *end != '\0' || v < 0) {
+            std::fprintf(stderr,
+                         "error: %s expects a non-negative integer, got "
+                         "\"%s\"\n",
+                         a.c_str(), raw);
+            return 2;
+          }
+          if (a == "--workers") {
+            shard_opts.workers = static_cast<std::size_t>(v);
+            shard_opts.workers_from_flag = true;
+          } else if (a == "--max-retries") {
+            shard_opts.max_retries = static_cast<std::size_t>(v);
+          } else {
+            shard_opts.worker_id = static_cast<std::uint64_t>(v);
+          }
+          continue;
+        }
+        if (a == "--stage-timeout-s" || a == "--heartbeat-timeout-s") {
+          const double v = std::strtod(raw, &end);
+          if (end == raw || *end != '\0' || v < 0.0) {
+            std::fprintf(stderr,
+                         "error: %s expects seconds >= 0, got \"%s\"\n",
+                         a.c_str(), raw);
+            return 2;
+          }
+          if (a == "--stage-timeout-s") {
+            shard_opts.stage_timeout_s = v;
+          } else {
+            shard_opts.heartbeat_timeout_s = v;
+          }
+          continue;
+        }
         if (a == "--threads") {
           const long v = std::strtol(raw, &end, 10);
           if (end == raw || *end != '\0' || v <= 0) {
@@ -394,6 +553,13 @@ int main(int argc, char** argv) {
 
     const std::string cmd = !args.empty() ? args[0] : "--help";
     if (cmd == "run") {
+      if (shard_opts.workers_from_flag) {
+        std::fprintf(stderr,
+                     "error: --workers applies to `campaign` only (wrap the "
+                     "run config in a single-scenario campaign, see "
+                     "--print-config)\n");
+        return 2;
+      }
       return cmd_run(args.size() > 1 ? args[1] : "", threads, ckpt_path,
                      ckpt_interval, metrics_out, trace_out, print_config,
                      cancel);
@@ -404,7 +570,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       return cmd_campaign(args[1], threads, lanes_given, metrics_out,
-                          trace_out, print_config, cancel);
+                          trace_out, print_config, shard_opts, cancel);
+    }
+    if (cmd == "worker") {
+      if (args.size() < 2) {
+        std::fprintf(stderr, "error: worker needs a campaign JSON argument\n");
+        return 2;
+      }
+      return cmd_worker(args[1], threads, shard_opts);
     }
     if (cmd == "cell") {
       return cmd_cell(args.size() > 1 ? std::stod(args[1]) : 0.8);

@@ -2,6 +2,16 @@
 /// \brief End-to-end crash test: SIGKILL a checkpointed sweep mid-run, resume
 /// it, and require the result bytes to match an uninterrupted reference.
 ///
+/// Two modes share this binary:
+///
+///   * default (ctest KillResumeHarness) — SIGKILL a checkpointed sweep in
+///     this process tree and resume it, per the plan below.
+///   * `campaign <finser_cli>` (ctest KillResumeCampaign) — SIGKILL the
+///     *supervisor* of a sharded campaign right after its first durable done
+///     marker lands, let the orphaned workers self-terminate, re-run the
+///     identical command, and require every CSV to match an uninterrupted
+///     in-process reference byte-for-byte (docs/sharding.md).
+///
 /// Registered as a ctest (KillResumeHarness). The driver process forks three
 /// children per thread count (1 and 4):
 ///
@@ -210,9 +220,167 @@ int run_driver(const char* self) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Campaign mode: SIGKILL the sharded-campaign supervisor, then resume.
+// ---------------------------------------------------------------------------
+
+/// Same tiny two-scenario campaign the shard harness uses.
+void write_campaign(const std::string& path, const std::string& outdir) {
+  const std::string doc = std::string("{\n")
+      + "  \"campaign\": \"kill-resume\",\n"
+      + "  \"seed\": 5,\n"
+      + "  \"output_dir\": \"" + outdir + "\",\n"
+      + "  \"defaults\": {\n"
+      + "    \"rows\": 2, \"cols\": 2, \"vdds\": [0.8], \"pv_samples\": 10,\n"
+      + "    \"strikes\": 600, \"histories\": 600, \"species\": [\"alpha\"]\n"
+      + "  },\n"
+      + "  \"scenarios\": [\n"
+      + "    {\"name\": \"a\"},\n"
+      + "    {\"name\": \"b\", \"pattern\": \"zeros\"}\n"
+      + "  ]\n"
+      + "}\n";
+  std::string error;
+  if (!util::atomic_write_file(path, doc.data(), doc.size(), &error)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(), error.c_str());
+    std::exit(1);
+  }
+}
+
+pid_t spawn_cli(const std::string& cli, const std::vector<std::string>& args) {
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(cli.c_str()));
+    for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    execv(cli.c_str(), argv.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  return pid;
+}
+
+/// True once the lease dir holds at least one durable `done-*` marker.
+bool has_done_marker(const std::string& lease_dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(lease_dir, ec);
+  if (ec) return false;
+  for (const auto& entry : it) {
+    if (entry.path().filename().string().rfind("done-", 0) == 0) return true;
+  }
+  return false;
+}
+
+int campaign_fail(const std::string& msg) {
+  std::fprintf(stderr, "kill-resume campaign FAILED: %s\n", msg.c_str());
+  return 1;
+}
+
+int run_campaign_driver(const std::string& cli) {
+  unsetenv("FINSER_MC_SCALE");
+  unsetenv("FINSER_THREADS");
+  unsetenv("FINSER_WORKERS");
+  unsetenv("FINSER_FAULT");
+  unsetenv("FINSER_SHARD_POISON");
+
+  char root_template[] = "/tmp/finser_krc_XXXXXX";
+  const char* root_c = mkdtemp(root_template);
+  if (root_c == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::string root = root_c;
+
+  // 1. Uninterrupted in-process reference.
+  const std::string ref_out = root + "/out_ref";
+  write_campaign(root + "/ref.json", ref_out);
+  {
+    int status = 0;
+    const pid_t pid = spawn_cli(cli, {"campaign", root + "/ref.json"});
+    if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      return campaign_fail("in-process reference run did not exit cleanly");
+    }
+  }
+
+  // 2. Victim: SIGKILL the supervisor once the first stage's durable done
+  //    marker lands — workers are orphaned mid-campaign and must
+  //    self-terminate when they notice the parent is gone.
+  const std::string out = root + "/out";
+  const std::string campaign = root + "/campaign.json";
+  const std::string leases = out + "/artifacts/leases";
+  write_campaign(campaign, out);
+  const std::vector<std::string> cmd = {"campaign", campaign, "--workers", "2"};
+  {
+    const pid_t pid = spawn_cli(cli, cmd);
+    bool killed = false;
+    for (int i = 0; i < 12000; ++i) {  // 120 s budget at 10 ms per poll.
+      int status = 0;
+      const pid_t done = waitpid(pid, &status, WNOHANG);
+      if (done == pid) {
+        return campaign_fail("campaign finished before the harness could "
+                             "SIGKILL the supervisor");
+      }
+      if (has_done_marker(leases)) {
+        kill(pid, SIGKILL);
+        killed = true;
+        break;
+      }
+      usleep(10 * 1000);
+    }
+    if (!killed) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+      return campaign_fail("no done marker appeared within 120 s");
+    }
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0 || !WIFSIGNALED(status) ||
+        WTERMSIG(status) != SIGKILL) {
+      return campaign_fail("supervisor did not die by SIGKILL");
+    }
+    // Orphaned workers poll getppid() and exit on their own; give them a
+    // moment so the resume run starts against a quiet directory.
+    usleep(1500 * 1000);
+  }
+
+  // 3. Resume: the identical command honors done markers + artifact store
+  //    and completes the remaining stages.
+  {
+    int status = 0;
+    const pid_t pid = spawn_cli(cli, cmd);
+    if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      return campaign_fail("resumed campaign run did not exit cleanly");
+    }
+  }
+
+  // 4. Every CSV must match the uninterrupted reference byte-for-byte.
+  for (const char* rel :
+       {"a/pof_alpha.csv", "a/fit_summary.csv", "b/pof_alpha.csv",
+        "b/fit_summary.csv", "eh_pairs_alpha.csv"}) {
+    if (!files_identical(out + "/" + rel, ref_out + "/" + rel)) {
+      return campaign_fail(std::string(rel) +
+                           " differs from reference (or is missing)");
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);  // Best-effort cleanup.
+  std::printf("kill-resume campaign PASSED: supervisor SIGKILL + resume is "
+              "bit-identical\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "campaign") == 0) {
+    return run_campaign_driver(argv[2]);
+  }
   if (argc >= 2 && std::strcmp(argv[1], "child") == 0) {
     if (argc != 7) {
       std::fprintf(stderr, "harness child: bad argument count\n");

@@ -1,0 +1,260 @@
+/// \file shard_harness.cpp
+/// \brief End-to-end equivalence and degradation test for sharded campaign
+/// execution (docs/sharding.md). Registered as ctest ShardCampaignEquivalence.
+///
+/// The driver receives the finser_cli path on argv[1] and runs one tiny
+/// two-scenario campaign through six legs, each in a fresh output dir:
+///
+///   1. reference      — in-process `campaign` run (no --workers).
+///   2. --workers 1/2/4 — sharded runs; every CSV must be byte-identical to
+///      the reference (determinism is the contract, not a best effort).
+///   3. kill           — --workers 4 with FINSER_FAULT=worker_kill_after_claim:1:
+///      every initial worker SIGKILLs itself right after acking its first
+///      task; replacements (spawned without the fault) must finish the
+///      campaign with exit 0 and identical CSVs.
+///   4. stall          — FINSER_FAULT=heartbeat_stall:1 wedges both initial
+///      workers; with --stage-timeout-s the wall-clock watchdog (not the
+///      heartbeat timeout, pushed out of reach) must reclaim and finish.
+///   5. quarantine     — FINSER_SHARD_POISON=sweep-b makes scenario b's sweep
+///      die on every attempt: exit code 5 (partial), scenario a identical to
+///      the reference, and the run report must carry the quarantined stage.
+///
+/// CSVs, not metrics, are compared: scheduling counters ("shard.reassigns",
+/// the heartbeat histogram) legitimately differ between runs.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "finser/util/io.hpp"
+
+namespace {
+
+using namespace finser;
+
+/// The five files a completed run of the harness campaign writes.
+const char* kCsvFiles[] = {
+    "a/pof_alpha.csv", "a/fit_summary.csv", "b/pof_alpha.csv",
+    "b/fit_summary.csv", "eh_pairs_alpha.csv",
+};
+
+/// Tiny but end-to-end campaign: shared cell model, two sweep stages.
+void write_campaign(const std::string& path, const std::string& outdir) {
+  const std::string doc = std::string("{\n")
+      + "  \"campaign\": \"shard-harness\",\n"
+      + "  \"seed\": 5,\n"
+      + "  \"output_dir\": \"" + outdir + "\",\n"
+      + "  \"defaults\": {\n"
+      + "    \"rows\": 2, \"cols\": 2, \"vdds\": [0.8], \"pv_samples\": 10,\n"
+      + "    \"strikes\": 600, \"histories\": 600, \"species\": [\"alpha\"]\n"
+      + "  },\n"
+      + "  \"scenarios\": [\n"
+      + "    {\"name\": \"a\"},\n"
+      + "    {\"name\": \"b\", \"pattern\": \"zeros\"}\n"
+      + "  ]\n"
+      + "}\n";
+  std::string error;
+  if (!util::atomic_write_file(path, doc.data(), doc.size(), &error)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(), error.c_str());
+    std::exit(1);
+  }
+}
+
+/// Fork + execv finser_cli; returns the child's exit code (or -signal).
+int run_cli(const std::string& cli, const std::vector<std::string>& args,
+            const char* fault, const char* poison) {
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    if (fault != nullptr) setenv("FINSER_FAULT", fault, 1);
+    else unsetenv("FINSER_FAULT");
+    if (poison != nullptr) setenv("FINSER_SHARD_POISON", poison, 1);
+    else unsetenv("FINSER_SHARD_POISON");
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(cli.c_str()));
+    for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    execv(cli.c_str(), argv.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) {
+    std::perror("waitpid");
+    std::exit(1);
+  }
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return -WTERMSIG(status);
+  return -999;
+}
+
+bool files_identical(const std::string& a, const std::string& b) {
+  std::vector<std::uint8_t> da;
+  std::vector<std::uint8_t> db;
+  return util::read_file(a, da, nullptr) && util::read_file(b, db, nullptr) &&
+         da == db;
+}
+
+bool file_contains(const std::string& path, const std::string& needle) {
+  std::vector<std::uint8_t> raw;
+  if (!util::read_file(path, raw, nullptr)) return false;
+  const std::string text(raw.begin(), raw.end());
+  return text.find(needle) != std::string::npos;
+}
+
+int fail(const std::string& msg) {
+  std::fprintf(stderr, "shard harness FAILED: %s\n", msg.c_str());
+  return 1;
+}
+
+/// Compare every campaign CSV under \p out against the reference outputs.
+bool outputs_match_reference(const std::string& out, const std::string& ref,
+                             std::string* why) {
+  for (const char* rel : kCsvFiles) {
+    if (!files_identical(out + "/" + rel, ref + "/" + rel)) {
+      *why = std::string(rel) + " differs from reference (or is missing)";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: shard_harness <finser_cli>\n");
+    return 2;
+  }
+  const std::string cli = argv[1];
+
+  // The harness owns its determinism: scrub env knobs children would read.
+  unsetenv("FINSER_MC_SCALE");
+  unsetenv("FINSER_THREADS");
+  unsetenv("FINSER_WORKERS");
+  unsetenv("FINSER_FAULT");
+  unsetenv("FINSER_SHARD_POISON");
+
+  char root_template[] = "/tmp/finser_shard_XXXXXX";
+  const char* root_c = mkdtemp(root_template);
+  if (root_c == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::string root = root_c;
+  std::string why;
+
+  // 1. In-process reference.
+  const std::string ref_out = root + "/out_ref";
+  write_campaign(root + "/ref.json", ref_out);
+  if (run_cli(cli, {"campaign", root + "/ref.json"}, nullptr, nullptr) != 0) {
+    return fail("in-process reference run failed");
+  }
+
+  // 2. Sharded runs at 1, 2 and 4 workers must be byte-identical.
+  for (const int workers : {1, 2, 4}) {
+    const std::string tag = std::to_string(workers);
+    const std::string out = root + "/out_w" + tag;
+    write_campaign(root + "/w" + tag + ".json", out);
+    const int rc = run_cli(
+        cli, {"campaign", root + "/w" + tag + ".json", "--workers", tag},
+        nullptr, nullptr);
+    if (rc != 0) {
+      return fail("--workers " + tag + " exited " + std::to_string(rc));
+    }
+    if (!outputs_match_reference(out, ref_out, &why)) {
+      return fail("--workers " + tag + ": " + why);
+    }
+    std::printf("shard OK: --workers %s bit-identical to in-process\n",
+                tag.c_str());
+  }
+
+  // 3. Every initial worker SIGKILLs itself right after its first claim;
+  //    replacements must still converge to the identical result.
+  {
+    const std::string out = root + "/out_kill";
+    write_campaign(root + "/kill.json", out);
+    const int rc = run_cli(
+        cli, {"campaign", root + "/kill.json", "--workers", "4"},
+        "worker_kill_after_claim:1", nullptr);
+    if (rc != 0) {
+      return fail("worker_kill_after_claim leg exited " + std::to_string(rc));
+    }
+    if (!outputs_match_reference(out, ref_out, &why)) {
+      return fail("worker_kill_after_claim leg: " + why);
+    }
+    std::printf("shard OK: bit-identical under worker_kill_after_claim\n");
+  }
+
+  // 4. Wedged workers (heartbeats stalled, stage never reports done) are
+  //    reclaimed by the per-stage wall-clock watchdog, not the heartbeat
+  //    timeout (pushed to 600 s so only --stage-timeout-s can fire).
+  {
+    const std::string out = root + "/out_stall";
+    const std::string report = root + "/stall_report.json";
+    write_campaign(root + "/stall.json", out);
+    const int rc = run_cli(
+        cli,
+        {"campaign", root + "/stall.json", "--workers", "2",
+         "--stage-timeout-s", "2", "--heartbeat-timeout-s", "600",
+         "--metrics-out", report},
+        "heartbeat_stall:1", nullptr);
+    if (rc != 0) {
+      return fail("stage-timeout leg exited " + std::to_string(rc));
+    }
+    if (!outputs_match_reference(out, ref_out, &why)) {
+      return fail("stage-timeout leg: " + why);
+    }
+    if (!file_contains(report, "shard.stage_timeouts")) {
+      return fail("stage-timeout leg: report lacks shard.stage_timeouts");
+    }
+    std::printf("shard OK: stage watchdog reclaimed wedged workers\n");
+  }
+
+  // 5. A stage that fails every attempt is quarantined: exit 5, the healthy
+  //    scenario still completes bit-identically, the report says why.
+  {
+    const std::string out = root + "/out_q";
+    const std::string report = root + "/q_report.json";
+    write_campaign(root + "/q.json", out);
+    const int rc = run_cli(
+        cli,
+        {"campaign", root + "/q.json", "--workers", "2", "--max-retries", "1",
+         "--metrics-out", report},
+        nullptr, "sweep-b");
+    if (rc != 5) {
+      return fail("quarantine leg: expected exit 5 (partial), got " +
+                  std::to_string(rc));
+    }
+    for (const char* rel : {"a/pof_alpha.csv", "a/fit_summary.csv"}) {
+      if (!files_identical(out + "/" + rel, ref_out + "/" + rel)) {
+        return fail(std::string("quarantine leg: healthy scenario file ") +
+                    rel + " differs from reference");
+      }
+    }
+    if (std::filesystem::exists(out + "/b/pof_alpha.csv")) {
+      return fail("quarantine leg: poisoned scenario b wrote outputs");
+    }
+    if (!file_contains(report, "\"quarantined\"") ||
+        !file_contains(report, "sweep-b")) {
+      return fail("quarantine leg: report does not record the quarantine");
+    }
+    std::printf("shard OK: quarantine degraded to partial (exit 5)\n");
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);  // Best-effort cleanup.
+  std::printf("shard harness PASSED\n");
+  return 0;
+}
