@@ -84,10 +84,15 @@ struct Checkpoint {
                        std::string* reason = nullptr);
 };
 
-/// Result of run_units(): every unit's blob, in index order.
+/// Result of run_units() / run_units_adaptive(): the completed units' blobs
+/// in index order. run_units always completes every unit; the adaptive
+/// variant may stop at a round boundary, in which case blobs holds exactly
+/// the completed prefix.
 struct UnitRunResult {
   std::vector<std::vector<std::uint8_t>> blobs;
-  std::size_t reused = 0;  ///< Units restored from the checkpoint.
+  std::size_t reused = 0;     ///< Units restored from the checkpoint.
+  std::size_t completed = 0;  ///< Units computed or restored (= blobs.size()).
+  bool stopped_early = false; ///< Adaptive runs only: converged before n_units.
 };
 
 /// Computes one work unit's serialized partial. The ChunkRange spans exactly
@@ -112,5 +117,42 @@ using UnitFn = std::function<std::vector<std::uint8_t>(const exec::ChunkRange&)>
 UnitRunResult run_units(exec::ThreadPool& pool, std::size_t n_units,
                         std::uint64_t fingerprint, const RunOptions& run,
                         const UnitFn& compute);
+
+/// Round schedule of run_units_adaptive(): units are computed in
+/// deterministic geometric rounds and the convergence predicate runs only at
+/// round boundaries — a pure function of (n_units, schedule), never of the
+/// thread/worker schedule that executes it.
+struct AdaptiveSchedule {
+  std::size_t min_units = 8;  ///< Units before the first decision.
+  double growth = 2.0;        ///< Round-size growth factor (>= 1).
+};
+
+/// Boundaries b_0 < b_1 < ... = n_units of the adaptive rounds:
+/// b_0 = min(n_units, max(1, min_units)), b_{k+1} = min(n_units,
+/// max(b_k + 1, ceil(b_k * growth))).
+std::vector<std::size_t> round_boundaries(std::size_t n_units,
+                                          const AdaptiveSchedule& schedule);
+
+/// Convergence predicate of run_units_adaptive(): called at a round boundary
+/// with the blobs of units [0, done) (in index order; later slots are
+/// empty). Must be a pure function of the blob contents so the stopping
+/// decision is identical at any thread count, worker count, and across
+/// kill/resume.
+using ConvergedFn = std::function<bool(
+    std::size_t done, const std::vector<std::vector<std::uint8_t>>& blobs)>;
+
+/// Adaptive variant of run_units(): computes units round by round and stops
+/// at the first boundary b < n_units where \p converged(b, blobs) is true
+/// (never before min_units, never mid-round). Checkpoint/resume and
+/// cancellation behave exactly as in run_units — the checkpoint keeps one
+/// slot per *potential* unit, so a resumed run replays the same rounds,
+/// re-evaluates the same prefix statistics, and reaches the same stopping
+/// boundary; the returned blobs are the completed prefix in index order.
+UnitRunResult run_units_adaptive(exec::ThreadPool& pool, std::size_t n_units,
+                                 std::uint64_t fingerprint,
+                                 const RunOptions& run,
+                                 const AdaptiveSchedule& schedule,
+                                 const UnitFn& compute,
+                                 const ConvergedFn& converged);
 
 }  // namespace finser::ckpt

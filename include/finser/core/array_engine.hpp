@@ -34,6 +34,7 @@
 #include "finser/sram/pof_table.hpp"
 #include "finser/stats/rng.hpp"
 #include "finser/stats/summary.hpp"
+#include "finser/stats/vr.hpp"
 #include "finser/util/bytes.hpp"
 #include "finser/util/fingerprint.hpp"
 
@@ -49,6 +50,10 @@ struct PofEstimate {
   double mbu_se = 0.0;
   double hit_fraction = 0.0;  ///< Strikes with any sensitive deposit.
   std::size_t strikes = 0;
+  /// Effective sample size of the weighted POF_tot estimator,
+  /// (Σw)² / Σw² — equals `strikes` for the uniform (unit-weight)
+  /// estimator, smaller when importance weights vary (docs/statistics.md).
+  double ess = 0.0;
 
   /// Exact per-strike upset-multiplicity distribution, averaged over
   /// strikes: multiplicity[n] = P(exactly n cells flip) for n <
@@ -72,8 +77,15 @@ inline constexpr std::size_t kModeWithPv = 1;
 /// parallel reduction reproduces the serial statistics.
 class PofAccumulator {
  public:
-  /// Add one strike's combined POFs (pre-weighted for weighted estimators).
+  /// Add one strike's combined POFs with unit weight.
   void add(const CombinedPof& pof);
+
+  /// Add one strike's combined POFs with a likelihood-ratio weight: the
+  /// plain channels receive weight·pof (the Horvitz–Thompson estimator the
+  /// SE machinery already understands), while the weighted-Welford channel
+  /// tracks (pof, weight) for ESS accounting. add(pof) ≡ add_weighted(pof, 1)
+  /// bit-for-bit.
+  void add_weighted(const CombinedPof& pof, double weight);
 
   /// Add \p mass to multiplicity bin \p n (bins are plain sums).
   void add_multiplicity(std::size_t n, double mass);
@@ -83,6 +95,15 @@ class PofAccumulator {
 
   /// Number of strikes accumulated (via add()).
   std::size_t count() const { return tot_.count(); }
+
+  /// Relative half-width of the 95% CI on the POF_tot channel — the
+  /// quantity the adaptive stopping rule drives to `--ci-target`.
+  double rel_halfwidth() const {
+    return stats::relative_halfwidth(tot_.mean(), tot_.stderr_of_mean());
+  }
+
+  /// Effective sample size of the weighted POF_tot channel.
+  double ess() const { return wtot_.ess(); }
 
   /// Final estimate. \p strikes normalizes the multiplicity mass and is
   /// recorded verbatim; \p hit_fraction is campaign-level bookkeeping.
@@ -98,6 +119,9 @@ class PofAccumulator {
   stats::RunningStats tot_;
   stats::RunningStats seu_;
   stats::RunningStats mbu_;
+  /// Weighted-Welford shadow of the tot channel: raw (pof, weight) pairs,
+  /// for effective-sample-size accounting of importance-sampled runs.
+  stats::WeightedRunningStats wtot_;
   std::array<double, kMaxMultiplicity> mult_{};
 };
 
@@ -106,6 +130,14 @@ struct ArrayMcResult {
   std::vector<double> vdds;
   /// est[vdd_index][mode].
   std::vector<std::array<PofEstimate, 2>> est;
+  /// Adaptive-stopping state of the run that produced this result: the
+  /// configured unit budget, the units actually consumed (== units_total
+  /// unless CI-driven stopping converged first), and whether it stopped
+  /// early. Serialized with the result so a resumed/cached bin restores the
+  /// exact stopping state (docs/statistics.md).
+  std::size_t units_total = 0;
+  std::size_t units_used = 0;
+  bool stopped_early = false;
 };
 
 /// Bit-exact ArrayMcResult codec, used for SerFlow sweep checkpoint blobs
@@ -123,6 +155,10 @@ struct McPartial {
   std::vector<std::array<PofAccumulator, 2>> acc;
   /// Strikes (histories) with any sensitive deposit.
   std::size_t hits = 0;
+  /// Likelihood-ratio-weighted hit mass: Σ w over hitting strikes — equals
+  /// `hits` exactly for the unit-weight estimator, and is the unbiased
+  /// hit-fraction numerator under importance sampling.
+  double weighted_hits = 0.0;
 
   McPartial() = default;
   explicit McPartial(std::size_t nv) : acc(nv) {}
@@ -144,6 +180,16 @@ struct McPartial {
 struct EnergyPoint {
   phys::Species species = phys::Species::kProton;
   double e_mev = 0.0;
+  /// Optional energy-bin bounds [MeV] for within-bin energy stratification
+  /// (stats::SamplingConfig::energy_strata). Both 0 = a point energy: every
+  /// unit runs at e_mev exactly, stratification (if configured) is a no-op.
+  double e_lo_mev = 0.0;
+  double e_hi_mev = 0.0;
+
+  /// Whether the bin bounds describe a usable energy range.
+  bool has_range() const {
+    return e_lo_mev > 0.0 && e_hi_mev > e_lo_mev;
+  }
 };
 
 /// Common interface + shared chunked driver of ArrayMc / NeutronArrayMc.
@@ -221,12 +267,23 @@ class ArrayEngine {
   virtual const char* units_counter() const = 0;
   /// Lateral margin of the source-sampling plane [nm].
   virtual double source_margin_nm() const = 0;
+  /// CI-driven early-stopping knobs (disabled by default). When enabled,
+  /// run_point() executes chunks in deterministic geometric rounds
+  /// (ckpt::round_boundaries) and stops at the first boundary where every
+  /// (vdd, mode) accumulator's POF_tot 95% CI is within ci_stop().target
+  /// relative half-width — a pure function of the merged chunk prefix, so
+  /// the decision is identical at any thread/worker count and on resume.
+  virtual const stats::CiStopConfig& ci_stop() const = 0;
 
   /// Simulate units [r.begin, r.end) of chunk r.index into \p part, drawing
-  /// only from \p rng (= stats::Rng::stream(seed, r.index)).
+  /// only from \p rng (= stats::Rng::stream(seed, r.index)) — plus, for QMC
+  /// configurations, from point sets derived from \p seed and the *global*
+  /// unit index (both invariant to chunking, preserving the determinism
+  /// contract).
   virtual void simulate_chunk(const exec::ChunkRange& r,
-                              const EnergyPoint& point, stats::Rng& rng,
-                              WorkerScratch& ws, McPartial& part) const = 0;
+                              const EnergyPoint& point, std::uint64_t seed,
+                              stats::Rng& rng, WorkerScratch& ws,
+                              McPartial& part) const = 0;
 
   // --- shared per-strike helpers (identical in both engines) ---------------
 

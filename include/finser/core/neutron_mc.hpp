@@ -44,6 +44,8 @@ struct NeutronMcConfig {
   std::size_t threads = 0;
   /// Histories per deterministic RNG chunk (see ArrayMcConfig::chunk).
   std::size_t chunk = 1024;
+  /// Per-energy-point CI-driven early stopping (default off).
+  stats::CiStopConfig ci;
 };
 
 /// Forced-interaction neutron array Monte Carlo.
@@ -85,9 +87,10 @@ class NeutronArrayMc final : public ArrayEngine {
     return "core.neutron_mc.histories";
   }
   double source_margin_nm() const override { return config_.source_margin_nm; }
+  const stats::CiStopConfig& ci_stop() const override { return config_.ci; }
 
   void simulate_chunk(const exec::ChunkRange& r, const EnergyPoint& point,
-                      stats::Rng& rng, WorkerScratch& ws,
+                      std::uint64_t seed, stats::Rng& rng, WorkerScratch& ws,
                       McPartial& part) const override;
 
  private:

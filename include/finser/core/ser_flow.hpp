@@ -161,4 +161,15 @@ double mc_scale_from_env();
 /// Multiply every Monte-Carlo size in \p config by \p scale (≥ minimum 1).
 void apply_mc_scale(SerFlowConfig& config, double scale);
 
+/// FINSER_CI_TARGET environment variable: target relative CI half-width for
+/// the adaptive stopping rule. Returns -1 when unset or malformed (meaning
+/// "no override"); 0 explicitly disables stopping; > 0 enables it.
+double ci_target_from_env();
+
+/// Apply a CI-target override to both Monte-Carlo engines. \p target < 0 is
+/// a no-op (environment unset); 0 disables adaptive stopping; > 0 sets the
+/// relative-half-width goal. The strike/history budgets stay as configured —
+/// they become *ceilings* the stopper may undercut.
+void apply_ci_target(SerFlowConfig& config, double target);
+
 }  // namespace finser::core

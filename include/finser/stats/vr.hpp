@@ -1,0 +1,235 @@
+#pragma once
+/// \file vr.hpp
+/// \brief Variance reduction for the array-level Monte Carlos.
+///
+/// Most strikes miss every sensitive fin, so the uniform source estimator
+/// spends the bulk of its budget on zero-POF samples. This header provides
+/// the three levers the engines use to spend that budget better
+/// (docs/statistics.md derives each estimator):
+///
+///  * FocusPlane — importance sampling of the strike position on the source
+///    plane: a mixture that throws `focus_fraction` of the samples uniformly
+///    into dilated sensitive-fin footprint boxes and the rest uniformly over
+///    the whole plane. The proposal density is exact even when boxes overlap
+///    (point-in-box cover counting), so the likelihood-ratio weight
+///    w = p_uniform / q is exact and bounded by 1/(1 - focus_fraction) —
+///    the estimator stays exactly unbiased, never merely approximately.
+///  * biased_hemisphere_down — a cosine/isotropic direction mixture under
+///    the isotropic angular law, again with the exact likelihood ratio.
+///  * SobolSequence — a scrambled Sobol (0,2)-sequence in base 2, indexed by
+///    the *global* strike index so the point set is independent of chunking,
+///    with a per-dimension digital shift derived from the run seed through
+///    the counter-based Rng::derive_seed interface.
+///
+/// CiStopConfig + stopping_rounds() define the deterministic chunk-granular
+/// early-stopping schedule shared by all engines: the decision after round k
+/// is a pure function of the merged statistics of chunks [0, b_k), so it is
+/// identical at any thread count, any worker count, and across kill/resume.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "finser/geom/vec3.hpp"
+#include "finser/stats/rng.hpp"
+
+namespace finser::stats {
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Quasi-Monte-Carlo point set for the source-position dimensions.
+enum class QmcMode {
+  kNone,   ///< Pseudo-random positions (default).
+  kSobol,  ///< Scrambled Sobol points indexed by global strike index.
+};
+
+/// Knobs of the charged-particle source variance reduction. All default to
+/// "off": a default-constructed config reproduces the uniform estimator
+/// bit-for-bit.
+struct SamplingConfig {
+  /// Mixture mass thrown at the focus boxes under importance position
+  /// sampling (SourcePositionSampling::kImportance). Must be in [0, 1);
+  /// the uniform mixture floor keeps every weight finite.
+  double focus_fraction = 0.9;
+  /// Base lateral dilation of each sensitive-fin footprint box [nm]. The
+  /// track-aware sampler adds the per-|z|-band lateral sweep (and the
+  /// within-sector azimuth slack) on top of this automatically, and energy
+  /// deposition happens strictly on the straight track, so the base margin
+  /// is pure safety slack and stays small.
+  double focus_margin_nm = 5.0;
+  /// Cosine-mixture mass for the isotropic angular law, in [0, 1).
+  /// 0 = pure isotropic (no direction bias, weight identically 1).
+  double direction_bias = 0.0;
+  /// Grazing-mixture mass of the track-aware importance sampler
+  /// (SourcePositionSampling::kImportance under the isotropic law), in
+  /// [0, 1). Near-horizontal tracks sweep across many cells and carry most
+  /// of the POF variance, so the joint source proposal oversamples small
+  /// |z| from the shifted-reciprocal density ~1/(|z| + kGrazingZ0) with the
+  /// exact likelihood-ratio weight (grazing_hemisphere_down). Ignored
+  /// outside kImportance; 0 = pure isotropic directions.
+  double grazing_bias = 0.9;
+  /// Within-bin log-uniform energy strata (paper Eq. 8 bins): stratum of a
+  /// strike is a pure function of its global index, each stratum tiles an
+  /// equal log-width slice of [e_lo, e_hi], so the strata partition the bin
+  /// exactly (unit weight). 0 = off: every strike runs at the bin's
+  /// representative energy (the estimand the golden figures pin).
+  std::size_t energy_strata = 0;
+  /// QMC point set for the position dimensions.
+  QmcMode qmc = QmcMode::kNone;
+};
+
+/// Per-energy-bin CI-driven early stopping.
+struct CiStopConfig {
+  /// Target relative half-width of the 95% CI on the POF_tot channel
+  /// (max over supply voltages and PV modes). 0 = disabled: the engine
+  /// runs its full strike budget, byte-identical to before this knob
+  /// existed.
+  double target = 0.0;
+  /// Chunks completed before the first stopping decision.
+  std::size_t min_chunks = 8;
+  /// Round-size growth factor (each round extends the computed prefix by
+  /// this factor before the next decision).
+  double growth = 2.0;
+
+  bool enabled() const { return target > 0.0; }
+};
+
+/// Two-sided 95% normal quantile used by every stopping rule and error bar.
+inline constexpr double kZ95 = 1.959963984540054;
+
+/// Relative half-width of the 95% CI: kZ95 * se / mean. Zero mean means the
+/// accumulator has seen no POF mass at all — treated as converged (returns
+/// 0); see docs/statistics.md for why that is safe under a min_chunks floor.
+/// (The round boundaries themselves live in ckpt::round_boundaries — the
+/// checkpoint layer owns the schedule so resume replays it exactly.)
+double relative_halfwidth(double mean, double se);
+
+// ---------------------------------------------------------------------------
+// Importance sampling of the source-plane position
+// ---------------------------------------------------------------------------
+
+/// Axis-aligned 2-D focus box on the source plane [nm].
+struct FocusBox {
+  double x_lo = 0.0;
+  double x_hi = 0.0;
+  double y_lo = 0.0;
+  double y_hi = 0.0;
+
+  double area() const { return (x_hi - x_lo) * (y_hi - y_lo); }
+  bool contains(double x, double y) const {
+    return x >= x_lo && x <= x_hi && y >= y_lo && y <= y_hi;
+  }
+};
+
+/// Mixture proposal over the rectangular source plane:
+///
+///   q(x) = alpha * cover(x) / sum_areas + (1 - alpha) / plane_area
+///
+/// where cover(x) counts the focus boxes containing x. Sampling draws a
+/// focus box with probability proportional to its area (double-covered
+/// regions are double-likely, which is exactly what the cover count in the
+/// density accounts for), so overlapping boxes need no union computation.
+/// The likelihood-ratio weight of a sample is (1/plane_area) / q(x).
+class FocusPlane {
+ public:
+  /// \param boxes are clipped to the plane; empty/degenerate boxes (and an
+  /// empty set) degrade alpha to 0 — pure uniform sampling, weight 1.
+  FocusPlane(double x_lo, double x_hi, double y_lo, double y_hi,
+             std::vector<FocusBox> boxes, double alpha);
+
+  struct Sample {
+    double x = 0.0;
+    double y = 0.0;
+    double weight = 1.0;  ///< Exact likelihood ratio p_uniform / q.
+    bool focused = false;  ///< Drawn from the focus component.
+  };
+
+  /// Map three uniforms in [0, 1) to a weighted position. \p u_select picks
+  /// the mixture branch and (rescaled) the focus box, \p u_x / \p u_y place
+  /// the point — so a QMC point set can drive the sampler directly.
+  Sample sample(double u_select, double u_x, double u_y) const;
+
+  /// Mixture density at (x, y) [nm^-2]; 0 outside the plane.
+  double pdf(double x, double y) const;
+
+  /// Likelihood-ratio weight p_uniform / q at (x, y).
+  double weight(double x, double y) const;
+
+  double alpha() const { return alpha_; }
+  double plane_area() const { return plane_area_; }
+  /// Total focus area counted with multiplicity (the mixture normalizer).
+  double focus_area() const { return focus_area_; }
+  std::size_t box_count() const { return boxes_.size(); }
+
+ private:
+  double x_lo_, x_hi_, y_lo_, y_hi_;
+  double plane_area_;
+  double alpha_;
+  double focus_area_ = 0.0;
+  std::vector<FocusBox> boxes_;
+  std::vector<double> cum_area_;  ///< Cumulative areas for box selection.
+};
+
+// ---------------------------------------------------------------------------
+// Direction-mixture importance sampling
+// ---------------------------------------------------------------------------
+
+struct DirectionSample {
+  geom::Vec3 dir;
+  double weight = 1.0;  ///< Exact likelihood ratio p_isotropic / q.
+};
+
+/// Downward direction from the mixture q = beta * cosine + (1 - beta) *
+/// isotropic, weighted back to the isotropic hemisphere law:
+/// w = (1/2pi) / q(dir) = 1 / (2 beta |dir.z| + (1 - beta)). beta = 0
+/// reproduces isotropic_hemisphere_down exactly (same draws, weight 1).
+DirectionSample biased_hemisphere_down(Rng& rng, double beta);
+
+/// Grazing-incidence floor of the shifted-reciprocal direction mixture: the
+/// grazing component's |z| density is proportional to 1 / (|z| + kGrazingZ0),
+/// i.e. ~1/|z| oversampling down to |z| ~ kGrazingZ0 and flat below (tracks
+/// more grazing than that out-range the array, so their POF second moment
+/// stops growing — see grazing_hemisphere_down).
+inline constexpr double kGrazingZ0 = 0.03;
+
+/// Downward direction from the grazing mixture
+/// q(|z|) = delta * C / (|z| + kGrazingZ0) + (1 - delta), C = 1 / ln(1 +
+/// 1/kGrazingZ0), weighted back to the isotropic hemisphere law (|z|
+/// uniform): w = 1 / q, bounded by 1 / (1 - delta). Oversamples
+/// near-horizontal tracks — the MBU-rich, high-variance tail of the POF
+/// estimator — matching the ~1/|z| growth of sqrt(E[X^2 | z]). delta = 0
+/// reproduces isotropic_hemisphere_down exactly (same draws, weight 1).
+DirectionSample grazing_hemisphere_down(Rng& rng, double delta);
+
+// ---------------------------------------------------------------------------
+// Scrambled Sobol sequence
+// ---------------------------------------------------------------------------
+
+/// First four dimensions of the Joe–Kuo Sobol sequence with a per-dimension
+/// random digital shift (XOR scrambling). Points are computed directly from
+/// the index (Gray-code formula), so point \p index is the same value no
+/// matter which chunk or worker asks — the QMC analogue of the counter-based
+/// Rng::stream contract. Dimension pairs keep the (0,2)-sequence dyadic
+/// stratification property; the digital shift randomizes the set per run
+/// seed while preserving it.
+class SobolSequence {
+ public:
+  static constexpr std::size_t kDims = 4;
+
+  /// \param scramble_seed keys the per-dimension digital shifts (derive one
+  /// from the run seed via Rng::derive_seed). The same seed always produces
+  /// the same point set.
+  explicit SobolSequence(std::uint64_t scramble_seed);
+
+  /// Coordinate \p dim (< kDims) of point \p index, in [0, 1).
+  double point(std::uint64_t index, std::size_t dim) const;
+
+ private:
+  static constexpr std::size_t kBits = 32;
+  std::uint32_t dirs_[kDims][kBits];
+  std::uint32_t shift_[kDims];
+};
+
+}  // namespace finser::stats

@@ -1,11 +1,35 @@
 #!/usr/bin/env bash
 # Regenerate every paper figure / ablation CSV (bench_out/) and print the
 # series. Usage: scripts/run_benches.sh [build-dir]   (default: build)
+#
+# Fails loudly: a bench that exits non-zero, a bench directory with no
+# executables, or a non-executable entry each abort the run with the
+# offending name — a silently skipped bench looks exactly like a green run
+# in CI, which is how missing figures slip through.
 set -u
 BUILD="${1:-build}"
+if [ ! -d "$BUILD/bench" ]; then
+  echo "run_benches: no such bench directory: $BUILD/bench" >&2
+  exit 1
+fi
+ran=0
 for b in "$BUILD"/bench/*; do
   case "$(basename "$b")" in CMakeFiles|*.cmake) continue ;; esac
-  [ -x "$b" ] && [ -f "$b" ] || continue
+  [ -f "$b" ] || continue
+  if [ ! -x "$b" ]; then
+    echo "run_benches: bench is not executable: $b" >&2
+    exit 1
+  fi
   echo "===== $b ====="
-  "$b" || exit 1
+  if ! "$b"; then
+    echo "run_benches: bench failed: $b" >&2
+    exit 1
+  fi
+  ran=$((ran + 1))
 done
+if [ "$ran" -eq 0 ]; then
+  echo "run_benches: no bench executables found in $BUILD/bench (build them" \
+       "with: cmake --build $BUILD)" >&2
+  exit 1
+fi
+echo "run_benches: $ran benches OK"

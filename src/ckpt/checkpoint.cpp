@@ -1,7 +1,9 @@
 #include "finser/ckpt/checkpoint.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -139,11 +141,41 @@ bool Checkpoint::try_load(const std::string& path,
   }
 }
 
-UnitRunResult run_units(exec::ThreadPool& pool, std::size_t n_units,
-                        std::uint64_t fingerprint, const RunOptions& run,
-                        const UnitFn& compute) {
-  FINSER_REQUIRE(n_units > 0, "ckpt::run_units: no work units");
+std::vector<std::size_t> round_boundaries(std::size_t n_units,
+                                          const AdaptiveSchedule& schedule) {
+  FINSER_REQUIRE(n_units > 0, "ckpt::round_boundaries: no work units");
+  FINSER_REQUIRE(schedule.growth >= 1.0,
+                 "ckpt::round_boundaries: growth must be >= 1");
+  std::vector<std::size_t> bounds;
+  std::size_t b =
+      std::min(n_units, std::max<std::size_t>(1, schedule.min_units));
+  bounds.push_back(b);
+  while (b < n_units) {
+    const double grown = std::ceil(static_cast<double>(b) * schedule.growth);
+    std::size_t next = b + 1;
+    if (grown >= static_cast<double>(n_units)) {
+      next = n_units;
+    } else if (grown > static_cast<double>(next)) {
+      next = static_cast<std::size_t>(grown);
+    }
+    b = next;
+    bounds.push_back(b);
+  }
+  return bounds;
+}
 
+namespace {
+
+/// Shared core of run_units / run_units_adaptive. Rounds execute in order;
+/// after each boundary short of n_units the (optional) predicate may stop
+/// the run. The checkpoint always has one slot per potential unit, so both
+/// entry points read and write the same file format and a checkpoint taken
+/// by one resumes under the other (the fingerprint is what distinguishes
+/// configurations, not the driver).
+UnitRunResult run_rounds(exec::ThreadPool& pool, std::size_t n_units,
+                         std::uint64_t fingerprint, const RunOptions& run,
+                         const std::vector<std::size_t>& bounds,
+                         const UnitFn& compute, const ConvergedFn& converged) {
   UnitRunResult out;
   out.blobs.assign(n_units, {});
 
@@ -198,34 +230,78 @@ UnitRunResult run_units(exec::ThreadPool& pool, std::size_t n_units,
     }
   };
 
-  bool completed = false;
-  try {
-    completed = pool.parallel_for_chunks(n_units, 1, body, run.cancel);
-  } catch (...) {
-    // Whatever finished before the failure is still valid, deterministic
-    // work — persist it so a retry does not repeat it.
-    if (run.checkpointing()) {
-      std::lock_guard<std::mutex> lk(flush_m);
-      flush_locked();
+  std::size_t lo = 0;
+  for (const std::size_t bound : bounds) {
+    bool completed = false;
+    try {
+      // The round region re-bases chunk indices at lo so unit r.index keeps
+      // its global identity (RNG stream, blob slot) regardless of rounds.
+      completed = pool.parallel_for_chunks(
+          bound - lo, 1,
+          [&](const exec::ChunkRange& r) {
+            body(exec::ChunkRange{r.index + lo, r.begin + lo, r.end + lo,
+                                  r.worker});
+          },
+          run.cancel);
+    } catch (...) {
+      // Whatever finished before the failure is still valid, deterministic
+      // work — persist it so a retry does not repeat it.
+      if (run.checkpointing()) {
+        std::lock_guard<std::mutex> lk(flush_m);
+        flush_locked();
+      }
+      throw;
     }
-    throw;
+
+    if (!completed) {
+      std::string msg = "run cancelled at a chunk boundary";
+      if (run.checkpointing()) {
+        std::lock_guard<std::mutex> lk(flush_m);
+        flush_locked();
+        msg += "; progress saved to " + run.checkpoint_path;
+      }
+      throw util::Cancelled(msg);
+    }
+
+    lo = bound;
+    if (bound < n_units && converged && converged(bound, out.blobs)) {
+      out.stopped_early = true;
+      break;
+    }
   }
 
-  if (!completed) {
-    std::string msg = "run cancelled at a chunk boundary";
-    if (run.checkpointing()) {
-      std::lock_guard<std::mutex> lk(flush_m);
-      flush_locked();
-      msg += "; progress saved to " + run.checkpoint_path;
-    }
-    throw util::Cancelled(msg);
-  }
+  out.completed = lo;
+  out.blobs.resize(lo);
 
   if (run.checkpointing()) {
     std::error_code ec;
     std::filesystem::remove(run.checkpoint_path, ec);  // Best-effort cleanup.
   }
   return out;
+}
+
+}  // namespace
+
+UnitRunResult run_units(exec::ThreadPool& pool, std::size_t n_units,
+                        std::uint64_t fingerprint, const RunOptions& run,
+                        const UnitFn& compute) {
+  FINSER_REQUIRE(n_units > 0, "ckpt::run_units: no work units");
+  // One round spanning everything, no predicate: completes every unit.
+  return run_rounds(pool, n_units, fingerprint, run, {n_units}, compute,
+                    ConvergedFn{});
+}
+
+UnitRunResult run_units_adaptive(exec::ThreadPool& pool, std::size_t n_units,
+                                 std::uint64_t fingerprint,
+                                 const RunOptions& run,
+                                 const AdaptiveSchedule& schedule,
+                                 const UnitFn& compute,
+                                 const ConvergedFn& converged) {
+  FINSER_REQUIRE(n_units > 0, "ckpt::run_units_adaptive: no work units");
+  FINSER_REQUIRE(static_cast<bool>(converged),
+                 "ckpt::run_units_adaptive: convergence predicate required");
+  return run_rounds(pool, n_units, fingerprint, run,
+                    round_boundaries(n_units, schedule), compute, converged);
 }
 
 }  // namespace finser::ckpt

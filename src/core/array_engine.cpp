@@ -15,6 +15,17 @@ void PofAccumulator::add(const CombinedPof& pof) {
   tot_.add(pof.tot);
   seu_.add(pof.seu);
   mbu_.add(pof.mbu);
+  wtot_.add(pof.tot, 1.0);
+}
+
+void PofAccumulator::add_weighted(const CombinedPof& pof, double weight) {
+  // Horvitz–Thompson: the plain channels see weight·pof, so their mean and
+  // stderr are exactly the unbiased estimator and its error bar; the
+  // weighted channel keeps the raw pair for ESS accounting.
+  tot_.add(weight * pof.tot);
+  seu_.add(weight * pof.seu);
+  mbu_.add(weight * pof.mbu);
+  wtot_.add(pof.tot, weight);
 }
 
 void PofAccumulator::add_multiplicity(std::size_t n, double mass) {
@@ -25,6 +36,7 @@ void PofAccumulator::merge(const PofAccumulator& other) {
   tot_.merge(other.tot_);
   seu_.merge(other.seu_);
   mbu_.merge(other.mbu_);
+  wtot_.merge(other.wtot_);
   for (std::size_t n = 0; n < kMaxMultiplicity; ++n) mult_[n] += other.mult_[n];
 }
 
@@ -39,6 +51,7 @@ PofEstimate PofAccumulator::finalize(std::size_t strikes,
   e.mbu_se = mbu_.stderr_of_mean();
   e.hit_fraction = hit_fraction;
   e.strikes = strikes;
+  e.ess = wtot_.ess();
   if (strikes > 0) {
     for (std::size_t n = 0; n < kMaxMultiplicity; ++n) {
       e.multiplicity[n] = mult_[n] / static_cast<double>(strikes);
@@ -59,6 +72,12 @@ void PofAccumulator::write(util::ByteWriter& w) const {
   write_stats(tot_);
   write_stats(seu_);
   write_stats(mbu_);
+  const stats::WeightedRunningStats::Raw wraw = wtot_.raw();
+  w.u64(wraw.n);
+  w.f64(wraw.sum_w);
+  w.f64(wraw.sum_w2);
+  w.f64(wraw.mean);
+  w.f64(wraw.m2);
   for (const double m : mult_) w.f64(m);
 }
 
@@ -76,6 +95,13 @@ PofAccumulator PofAccumulator::read(util::ByteReader& r) {
   a.tot_ = read_stats();
   a.seu_ = read_stats();
   a.mbu_ = read_stats();
+  stats::WeightedRunningStats::Raw wraw;
+  wraw.n = r.u64();
+  wraw.sum_w = r.f64();
+  wraw.sum_w2 = r.f64();
+  wraw.mean = r.f64();
+  wraw.m2 = r.f64();
+  a.wtot_ = stats::WeightedRunningStats::from_raw(wraw);
   for (double& m : a.mult_) m = r.f64();
   return a;
 }
@@ -96,9 +122,13 @@ std::vector<std::uint8_t> encode_result(const ArrayMcResult& result) {
       w.f64(e.mbu_se);
       w.f64(e.hit_fraction);
       w.u64(e.strikes);
+      w.f64(e.ess);
       for (const double m : e.multiplicity) w.f64(m);
     }
   }
+  w.u64(result.units_total);
+  w.u64(result.units_used);
+  w.u64(result.stopped_early ? 1 : 0);
   return w.take();
 }
 
@@ -119,9 +149,13 @@ ArrayMcResult decode_result(util::ByteReader& r) {
       e.mbu_se = r.f64();
       e.hit_fraction = r.f64();
       e.strikes = static_cast<std::size_t>(r.u64());
+      e.ess = r.f64();
       for (double& m : e.multiplicity) m = r.f64();
     }
   }
+  result.units_total = static_cast<std::size_t>(r.u64());
+  result.units_used = static_cast<std::size_t>(r.u64());
+  result.stopped_early = r.u64() != 0;
   return result;
 }
 
@@ -133,6 +167,7 @@ McPartial McPartial::merge(McPartial a, McPartial b) {
     for (std::size_t m = 0; m < 2; ++m) a.acc[v][m].merge(b.acc[v][m]);
   }
   a.hits += b.hits;
+  a.weighted_hits += b.weighted_hits;
   return a;
 }
 
@@ -140,6 +175,7 @@ std::vector<std::uint8_t> McPartial::encode() const {
   util::ByteWriter w;
   w.u64(acc.size());
   w.u64(hits);
+  w.f64(weighted_hits);
   for (const auto& modes : acc) {
     modes[kModeNominal].write(w);
     modes[kModeWithPv].write(w);
@@ -154,6 +190,7 @@ McPartial McPartial::decode(const std::vector<std::uint8_t>& blob,
   FINSER_REQUIRE(nv == expected_nv, "McPartial: vdd count mismatch in blob");
   McPartial p(static_cast<std::size_t>(nv));
   p.hits = static_cast<std::size_t>(r.u64());
+  p.weighted_hits = r.f64();
   for (auto& modes : p.acc) {
     modes[kModeNominal] = PofAccumulator::read(r);
     modes[kModeWithPv] = PofAccumulator::read(r);
@@ -254,9 +291,8 @@ void ArrayEngine::score_weighted_history(WorkerScratch& ws, McPartial& part,
                                        ? CombinedPof{}
                                        : combine_eqs_4_to_6(ws.pofs);
       PofAccumulator& a = part.acc[v][mode];
-      // Weighted per-incident-neutron estimator.
-      a.add(CombinedPof{weight * combined.tot, weight * combined.seu,
-                        weight * combined.mbu});
+      // Weighted (Horvitz–Thompson) estimator; also feeds the ESS channel.
+      a.add_weighted(combined, weight);
       if (!ws.pofs.empty()) {
         const auto dist = multiplicity_distribution(ws.pofs);
         // The n >= 1 bins carry the interaction weight; the no-flip bin
@@ -305,41 +341,109 @@ ArrayMcResult ArrayEngine::run_point(const EnergyPoint& point,
     WorkerScratch& ws = *slot;
     stats::Rng rng = stats::Rng::stream(seed, r.index);
     McPartial part(nv);
-    simulate_chunk(r, point, rng, ws, part);
+    simulate_chunk(r, point, seed, rng, ws, part);
     progress.tick(r.end - r.begin);
     return part;
   };
 
+  // Unit-space mapping of ckpt work units onto strike chunks (the last
+  // chunk may be ragged).
+  const auto chunk_for_unit = [&](const exec::ChunkRange& u) {
+    return exec::ChunkRange{u.index, u.index * chunk_size(),
+                            std::min(units(), (u.index + 1) * chunk_size()),
+                            u.worker};
+  };
+
+  const stats::CiStopConfig& ci = ci_stop();
   McPartial total;
-  if (!run_opts.active()) {
-    total = exec::parallel_reduce<McPartial>(pool, units(), chunk_size(),
-                                             process_chunk, McPartial::merge);
+  std::size_t used_units = units();
+  bool stopped_early = false;
+  if (!ci.enabled()) {
+    // Fixed-budget paths, untouched: with CI stopping disabled the driver is
+    // byte-identical to its pre-adaptive form.
+    if (!run_opts.active()) {
+      total = exec::parallel_reduce<McPartial>(pool, units(), chunk_size(),
+                                               process_chunk, McPartial::merge);
+    } else {
+      const std::size_t n_chunks = (units() + chunk_size() - 1) / chunk_size();
+      const std::uint64_t fp = point_fingerprint(point, seed);
+      const ckpt::UnitRunResult unit_result = ckpt::run_units(
+          pool, n_chunks, fp, run_opts, [&](const exec::ChunkRange& u) {
+            return process_chunk(chunk_for_unit(u)).encode();
+          });
+      std::vector<McPartial> parts;
+      parts.reserve(unit_result.blobs.size());
+      for (const auto& blob : unit_result.blobs) {
+        parts.push_back(McPartial::decode(blob, nv));
+      }
+      total = exec::reduce_pairwise(std::move(parts), McPartial::merge);
+    }
   } else {
+    // Adaptive path: chunks run in deterministic geometric rounds; after
+    // each boundary the merged prefix decides whether the remaining budget
+    // can be skipped. The decision depends only on the chunk blobs (merged
+    // pairwise in index order), so it is identical at any thread count, any
+    // worker count, and across kill/resume — the same invariance class as
+    // the estimates themselves.
     const std::size_t n_chunks = (units() + chunk_size() - 1) / chunk_size();
     const std::uint64_t fp = point_fingerprint(point, seed);
-    const ckpt::UnitRunResult unit_result = ckpt::run_units(
-        pool, n_chunks, fp, run_opts, [&](const exec::ChunkRange& u) {
-          const exec::ChunkRange r{
-              u.index, u.index * chunk_size(),
-              std::min(units(), (u.index + 1) * chunk_size()), u.worker};
-          return process_chunk(r).encode();
-        });
+    const ckpt::AdaptiveSchedule schedule{ci.min_chunks, ci.growth};
+    const auto converged = [&](std::size_t done,
+                               const std::vector<std::vector<std::uint8_t>>&
+                                   blobs) {
+      std::vector<McPartial> parts;
+      parts.reserve(done);
+      for (std::size_t i = 0; i < done; ++i) {
+        parts.push_back(McPartial::decode(blobs[i], nv));
+      }
+      const McPartial prefix =
+          exec::reduce_pairwise(std::move(parts), McPartial::merge);
+      double worst = 0.0;
+      for (const auto& modes : prefix.acc) {
+        for (const PofAccumulator& a : modes) {
+          worst = std::max(worst, a.rel_halfwidth());
+        }
+      }
+      return worst <= ci.target;
+    };
+    const ckpt::UnitRunResult unit_result = ckpt::run_units_adaptive(
+        pool, n_chunks, fp, run_opts, schedule,
+        [&](const exec::ChunkRange& u) {
+          return process_chunk(chunk_for_unit(u)).encode();
+        },
+        converged);
     std::vector<McPartial> parts;
     parts.reserve(unit_result.blobs.size());
     for (const auto& blob : unit_result.blobs) {
       parts.push_back(McPartial::decode(blob, nv));
     }
     total = exec::reduce_pairwise(std::move(parts), McPartial::merge);
+    used_units = std::min(units(), unit_result.completed * chunk_size());
+    stopped_early = unit_result.stopped_early;
+    if (obs::enabled()) {
+      obs::Registry& reg = obs::Registry::global();
+      if (stopped_early) reg.counter("core.mc.vr.stopped_early").add(1);
+      reg.counter("core.mc.vr.units_saved").add(units() - used_units);
+    }
   }
 
   ArrayMcResult result;
   result.vdds = vdds_;
   result.est.resize(nv);
+  result.units_total = units();
+  result.units_used = used_units;
+  result.stopped_early = stopped_early;
+  // The weighted hit mass is the unbiased numerator under importance
+  // sampling and sums to exactly `hits` for unit weights, so the uniform
+  // estimator's value is unchanged bit-for-bit.
   const double hit_fraction =
-      static_cast<double>(total.hits) / static_cast<double>(units());
+      total.weighted_hits / static_cast<double>(used_units);
   for (std::size_t v = 0; v < nv; ++v) {
     for (std::size_t mode = 0; mode < 2; ++mode) {
-      result.est[v][mode] = total.acc[v][mode].finalize(units(), hit_fraction);
+      result.est[v][mode] =
+          total.acc[v][mode].finalize(used_units, hit_fraction);
+      FINSER_OBS_RECORD("core.mc.vr.ess",
+                        static_cast<std::uint64_t>(result.est[v][mode].ess));
     }
   }
   return result;

@@ -1,12 +1,72 @@
 #include "finser/core/array_mc.hpp"
 
 #include <cmath>
+#include <numbers>
 
 #include "finser/obs/obs.hpp"
 #include "finser/stats/direction.hpp"
 #include "finser/util/error.hpp"
 
 namespace finser::core {
+
+namespace {
+
+/// |z| bands of the track-aware importance proposal, geometric between
+/// kFocusZMin and 1 so grazing bands (whose lateral sweep varies fastest)
+/// get the same relative sweep resolution as steep ones. Tracks below
+/// kFocusZMin fall back to plain uniform origins.
+constexpr std::size_t kFocusBands = 24;
+constexpr double kFocusZMin = 0.004;
+
+/// Azimuth sectors (modulo pi — the origin strip of a track is symmetric
+/// about its fin-layer crossing point, so opposite azimuths share a cover).
+/// Each sector's boxes are dilated along the sector's central azimuth only;
+/// without this the long grazing strips would be covered by quadratically
+/// wasteful isotropic dilations. The strip cross width carries a
+/// sweep * sin(pi / (2 * kFocusSectors)) azimuth-slack term, so more
+/// sectors means proportionally tighter (smaller-area, higher-gain) covers.
+constexpr std::size_t kFocusSectors = 32;
+
+/// Uniform-floor mass of the origin proposal: with probability kFocusFloor
+/// the origin is drawn uniformly over the source plane regardless of the
+/// focus boxes, so q >= kFocusFloor / plane_area everywhere the uniform
+/// density is positive and every likelihood-ratio weight is bounded by
+/// 1 / kFocusFloor. This is what keeps the back-projected proposal exact:
+/// crossing points whose back-projection leaves the source plane simply get
+/// weight 0 (they are outside the target density's support).
+constexpr double kFocusFloor = 0.1;
+
+/// Half of the lateral distance a track with vertical component |z| sweeps
+/// while descending through a fin layer of height \p layer_nm.
+double half_sweep_nm(double abs_z, double layer_nm) {
+  return 0.5 * layer_nm * std::sqrt(std::max(0.0, 1.0 - abs_z * abs_z)) /
+         abs_z;
+}
+
+/// Monte-Carlo estimate of the *union* area of a plane's focus boxes.
+/// focus_area() counts overlap with multiplicity, so under area-weighted
+/// box sampling union = focus_area * E[1 / cover]. A fixed literal seed
+/// keeps construction deterministic; 256 samples put the estimate within a
+/// few percent, far finer than the saturation threshold it feeds.
+double estimate_union_area(const stats::FocusPlane& plane) {
+  if (plane.box_count() == 0 || plane.alpha() <= 0.0) return 0.0;
+  stats::Rng rng(0x756e696f6eull);  // "union"
+  constexpr int kSamples = 256;
+  double inv_cover = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const stats::FocusPlane::Sample s =
+        plane.sample(rng.uniform() * plane.alpha(), rng.uniform(),
+                     rng.uniform());
+    // Invert the mixture density for the cover count at the sample.
+    const double cover =
+        (plane.pdf(s.x, s.y) - (1.0 - plane.alpha()) / plane.plane_area()) *
+        plane.focus_area() / plane.alpha();
+    inv_cover += 1.0 / std::max(1.0, cover);
+  }
+  return plane.focus_area() * inv_cover / static_cast<double>(kSamples);
+}
+
+}  // namespace
 
 ArrayMc::ArrayMc(const sram::ArrayLayout& layout,
                  const sram::CellSoftErrorModel& model, const ArrayMcConfig& config)
@@ -19,6 +79,142 @@ ArrayMc::ArrayMc(const sram::ArrayLayout& layout,
                    "ArrayMc: beam direction must point downward");
     beam_dir_ = config_.beam_direction.normalized();
   }
+  const stats::SamplingConfig& vr = config_.sampling;
+  FINSER_REQUIRE(vr.direction_bias >= 0.0 && vr.direction_bias < 1.0,
+                 "ArrayMc: direction_bias must be in [0, 1)");
+  FINSER_REQUIRE(vr.direction_bias == 0.0 ||
+                     config_.angular == SourceAngularLaw::kIsotropic,
+                 "ArrayMc: direction_bias applies to the isotropic law only");
+  FINSER_REQUIRE(vr.grazing_bias >= 0.0 && vr.grazing_bias < 1.0,
+                 "ArrayMc: grazing_bias must be in [0, 1)");
+  FINSER_REQUIRE(vr.qmc == stats::QmcMode::kNone ||
+                     config_.position != SourcePositionSampling::kStratified,
+                 "ArrayMc: QMC and stratified positions are alternative "
+                 "low-discrepancy schemes; pick one");
+  if (config_.position == SourcePositionSampling::kImportance) {
+    FINSER_REQUIRE(vr.focus_fraction >= 0.0 && vr.focus_fraction < 1.0,
+                   "ArrayMc: focus_fraction must be in [0, 1)");
+    FINSER_REQUIRE(vr.focus_margin_nm >= 0.0,
+                   "ArrayMc: focus_margin_nm must be non-negative");
+    // Focus boxes: lateral footprints of the fins that are sensitive in the
+    // stored data state. The proposal targets the track's *crossing point*
+    // of the fin layer (mid-depth), so each |z| band dilates the footprints
+    // by the base margin plus half the band's worst-case lateral sweep —
+    // grazing tracks cross fins far from where they pierce the layer, and
+    // the wider boxes keep that mass inside the focus component.
+    std::vector<stats::FocusBox> base;
+    const geom::BoxSet& fins = layout.fins();
+    for (std::uint32_t id = 0; id < fins.size(); ++id) {
+      const sram::FinSite& site = layout.site(id);
+      const bool bit = layout.bit(site.cell_row, site.cell_col);
+      if (!sram::ArrayLayout::strike_index(site.role, bit)) continue;
+      const geom::Aabb& b = fins.box(id);
+      base.push_back({b.lo.x, b.hi.x, b.lo.y, b.hi.y});
+    }
+    const geom::Aabb bounds = layout.bounds();
+    const double layer_nm = bounds.hi.z - bounds.lo.z;
+    focus_mid_depth_nm_ = config_.source_height_nm + 0.5 * layer_nm;
+    const double x_lo = -config_.source_margin_nm;
+    const double x_hi = layout.width_nm() + config_.source_margin_nm;
+    const double y_lo = -config_.source_margin_nm;
+    const double y_hi = layout.height_nm() + config_.source_margin_nm;
+    // Sweeps are capped at the plane half-diagonal: a longer strip leaves
+    // the plane anyway, and the band degrades gracefully toward uniform
+    // sampling (weights near 1).
+    const double sweep_cap =
+        0.5 * std::hypot(x_hi - x_lo, y_hi - y_lo);
+    const double m0 = vr.focus_margin_nm;
+    const double band_ratio =
+        std::pow(1.0 / kFocusZMin, 1.0 / static_cast<double>(kFocusBands));
+    // Worst within-sector azimuth deviation from the sector center.
+    const double sector_sin =
+        std::sin(std::numbers::pi / (2.0 * static_cast<double>(kFocusSectors)));
+    focus_bands_.reserve(kFocusBands * kFocusSectors);
+    const double plane_area = (x_hi - x_lo) * (y_hi - y_lo);
+    for (std::size_t k = 0; k < kFocusBands; ++k) {
+      const double z_lo = kFocusZMin * std::pow(band_ratio,
+                                                static_cast<double>(k));
+      const double sweep = std::min(half_sweep_nm(z_lo, layer_nm), sweep_cap);
+      // Crossing points of on-plane origins reach up to the back-projection
+      // offset beyond the source rectangle, so the proposal lives on an
+      // expanded rectangle — otherwise edge hits would be reachable only
+      // through the uniform floor, at the worst-case weight.
+      const double expand =
+          std::min(focus_mid_depth_nm_ *
+                       std::sqrt(std::max(0.0, 1.0 - z_lo * z_lo)) / z_lo,
+                   2.0 * sweep_cap);
+      const double ex_lo = x_lo - expand;
+      const double ex_hi = x_hi + expand;
+      const double ey_lo = y_lo - expand;
+      const double ey_hi = y_hi + expand;
+      for (std::size_t j = 0; j < kFocusSectors; ++j) {
+        std::vector<stats::FocusBox> boxes;
+        if (sweep <= m0) {
+          // Near-vertical band: the sweep is smaller than the base margin,
+          // so the azimuth decomposition buys nothing — an isotropic
+          // dilation by (margin + sweep) is the tighter cover and every
+          // sector shares it.
+          const double d = m0 + sweep;
+          boxes.reserve(base.size());
+          for (const stats::FocusBox& b : base) {
+            boxes.push_back({b.x_lo - d, b.x_hi + d, b.y_lo - d, b.y_hi + d});
+          }
+        } else {
+          const double phi = (static_cast<double>(j) + 0.5) *
+                             std::numbers::pi /
+                             static_cast<double>(kFocusSectors);
+          const double cx = std::abs(std::cos(phi));
+          const double cy = std::abs(std::sin(phi));
+          // Cover the +-(sweep + margin) strip along the sector azimuth with
+          // axis-aligned segment boxes: one long box would bound a diagonal
+          // strip by a near-square, wasting area quadratically. The segments
+          // tile the needed half-length *exactly* (no overshoot — inflated
+          // focus area is inflated weight everywhere), with segment length
+          // tracking the strip's cross width so the stair-step slop stays a
+          // small constant factor.
+          const double cross = m0 + sweep * sector_sin;
+          const double half_len = sweep + m0;
+          const auto n_seg = std::max<std::size_t>(
+              1, static_cast<std::size_t>(
+                     std::ceil(half_len / std::max(2.0 * cross, 30.0))));
+          const double seg_half = half_len / static_cast<double>(n_seg);
+          boxes.reserve(base.size() * n_seg);
+          for (const stats::FocusBox& b : base) {
+            for (std::size_t i = 0; i < n_seg; ++i) {
+              // Segment centers tile [-half_len, +half_len] with spacing
+              // 2*seg_half; half-extent seg_half along the azimuth, `cross`
+              // across (in the rotated frame), re-boxed axis-aligned.
+              const double t = -half_len +
+                               (2.0 * static_cast<double>(i) + 1.0) * seg_half;
+              const double hx = seg_half * cx + cross * cy;
+              const double hy = seg_half * cy + cross * cx;
+              boxes.push_back({b.x_lo + t * std::cos(phi) - hx,
+                               b.x_hi + t * std::cos(phi) + hx,
+                               b.y_lo + t * std::sin(phi) - hy,
+                               b.y_hi + t * std::sin(phi) + hy});
+            }
+          }
+        }
+        stats::FocusPlane plane(ex_lo, ex_hi, ey_lo, ey_hi, std::move(boxes),
+                                vr.focus_fraction);
+        if (estimate_union_area(plane) >= 0.8 * plane_area) {
+          // Saturated cover (deep-grazing bands): the strips blanket most
+          // of the source plane, so focusing cannot beat uniform and the
+          // cover-count fluctuations only add weight noise. Degrade this
+          // band/sector to the exact uniform origin proposal (alpha 0 —
+          // simulate_chunk samples the origin directly, weight 1). The
+          // criterion is the box *union* vs the source-plane area: grazing
+          // strips overlap heavily, and cover-proportional sampling of the
+          // overlap is exactly how the proposal tracks the track-count
+          // density, so multiplicity-counted area must not trip the guard.
+          focus_bands_.emplace_back(x_lo, x_hi, y_lo, y_hi,
+                                    std::vector<stats::FocusBox>{}, 0.0);
+        } else {
+          focus_bands_.push_back(std::move(plane));
+        }
+      }
+    }
+  }
 }
 
 /// Fingerprint of everything an ArrayMc checkpoint's content depends on.
@@ -27,10 +223,12 @@ ArrayMc::ArrayMc(const sram::ArrayLayout& layout,
 std::uint64_t ArrayMc::point_fingerprint(const EnergyPoint& point,
                                          std::uint64_t seed) const {
   util::Fnv1a h;
-  h.str("finser.array_mc.ckpt.v1");
+  h.str("finser.array_mc.ckpt.v2");
   h.u64(model().config_fingerprint);
   h.u64(static_cast<std::uint64_t>(point.species));
   h.f64(point.e_mev);
+  h.f64(point.e_lo_mev);
+  h.f64(point.e_hi_mev);
   h.u64(seed);
   h.u64(config_.strikes);
   h.u64(config_.chunk);
@@ -42,13 +240,23 @@ std::uint64_t ArrayMc::point_fingerprint(const EnergyPoint& point,
   h.u64(static_cast<std::uint64_t>(config_.straggling));
   h.f64(config_.source_margin_nm);
   h.f64(config_.source_height_nm);
+  h.f64(config_.sampling.focus_fraction);
+  h.f64(config_.sampling.focus_margin_nm);
+  h.f64(config_.sampling.direction_bias);
+  h.f64(config_.sampling.grazing_bias);
+  h.u64(config_.sampling.energy_strata);
+  h.u64(static_cast<std::uint64_t>(config_.sampling.qmc));
+  h.f64(config_.ci.target);
+  h.u64(config_.ci.min_chunks);
+  h.f64(config_.ci.growth);
   hash_layout(h, layout());
   return h.hash();
 }
 
 void ArrayMc::simulate_chunk(const exec::ChunkRange& r,
-                             const EnergyPoint& point, stats::Rng& rng,
-                             WorkerScratch& ws, McPartial& part) const {
+                             const EnergyPoint& point, std::uint64_t seed,
+                             stats::Rng& rng, WorkerScratch& ws,
+                             McPartial& part) const {
   // Pure functions of (config, layout) — recomputing them per chunk instead
   // of per run is bit-exact and keeps the chunk self-contained.
   const geom::Aabb fin_bounds = layout().bounds();
@@ -64,49 +272,193 @@ void ArrayMc::simulate_chunk(const exec::ChunkRange& r,
   const auto strata = static_cast<std::size_t>(
       std::ceil(std::sqrt(static_cast<double>(config_.strikes))));
 
+  // Scrambled Sobol point set, keyed by the run seed only: point s is the
+  // same value in every chunk, so QMC positions inherit the chunking
+  // independence of the RNG streams.
+  const bool use_sobol = config_.sampling.qmc == stats::QmcMode::kSobol;
+  std::optional<stats::SobolSequence> sobol;
+  if (use_sobol) {
+    sobol.emplace(stats::Rng::derive_seed(seed, 0x536f626f6cull));  // "Sobol"
+  }
+
+  // Within-bin energy stratification (only meaningful when the driver
+  // supplies bin bounds; single-energy runs fall back to e_rep).
+  const std::size_t e_strata =
+      point.has_range() ? config_.sampling.energy_strata : 0;
+  const double log_e_lo = e_strata > 0 ? std::log(point.e_lo_mev) : 0.0;
+  const double log_slice =
+      e_strata > 0 ? (std::log(point.e_hi_mev) - log_e_lo) /
+                         static_cast<double>(e_strata)
+                   : 0.0;
+
   for (std::size_t s = r.begin; s < r.end; ++s) {
+    double w = 1.0;  // Likelihood-ratio weight of this strike.
+
+    // Optional energy stratification: stratum = s mod K tiles the bin's
+    // log-range exactly (equal log-widths, equal probability under the
+    // log-uniform within-bin law), so the weight stays exactly 1 and the
+    // estimand becomes the bin-average POF.
+    double e_mev = point.e_mev;
+    if (e_strata > 0) {
+      const std::size_t k = s % e_strata;
+      const double u = use_sobol ? sobol->point(s, 3) : rng.uniform();
+      e_mev = std::exp(log_e_lo + log_slice * (static_cast<double>(k) + u));
+    }
+
     // Step 1 (paper Sec. 5.1): random particle position and direction.
+    // The angular law is shared by every position mode; the track-aware
+    // importance proposal needs the direction before the origin, every
+    // other mode draws position first (the legacy stream order).
+    const auto sample_direction = [&](geom::Ray& out, double& weight) {
+      switch (config_.angular) {
+        case SourceAngularLaw::kIsotropic:
+          if (config_.sampling.direction_bias > 0.0) {
+            const stats::DirectionSample ds = stats::biased_hemisphere_down(
+                rng, config_.sampling.direction_bias);
+            out.dir = ds.dir;
+            weight *= ds.weight;
+          } else if (config_.position == SourcePositionSampling::kImportance &&
+                     config_.sampling.grazing_bias > 0.0) {
+            // Track-aware importance oversamples the grazing tail: those
+            // tracks sweep across many cells and dominate the POF variance.
+            const stats::DirectionSample ds = stats::grazing_hemisphere_down(
+                rng, config_.sampling.grazing_bias);
+            out.dir = ds.dir;
+            weight *= ds.weight;
+          } else {
+            out.dir = stats::isotropic_hemisphere_down(rng);
+          }
+          break;
+        case SourceAngularLaw::kCosine:
+          out.dir = stats::cosine_hemisphere_down(rng);
+          break;
+        case SourceAngularLaw::kBeam:
+          out.dir = beam_dir_;
+          break;
+      }
+      if (out.dir.z == 0.0) out.dir.z = -1e-12;  // Guard true horizontals.
+    };
+
     geom::Ray ray;
-    if (config_.position == SourcePositionSampling::kStratified) {
-      const std::size_t ix = s % strata;
-      const std::size_t iy = (s / strata) % strata;
-      const double fx = (static_cast<double>(ix) + rng.uniform()) /
-                        static_cast<double>(strata);
-      const double fy = (static_cast<double>(iy) + rng.uniform()) /
-                        static_cast<double>(strata);
-      ray.origin = {x_lo + (x_hi - x_lo) * fx, y_lo + (y_hi - y_lo) * fy,
-                    z_source};
+    if (config_.position == SourcePositionSampling::kImportance) {
+      sample_direction(ray, w);
+      const double u_sel = use_sobol ? sobol->point(s, 0) : rng.uniform();
+      const double u_x = use_sobol ? sobol->point(s, 1) : rng.uniform();
+      const double u_y = use_sobol ? sobol->point(s, 2) : rng.uniform();
+      const double abs_z = -ray.dir.z;
+      if (abs_z < kFocusZMin) {
+        // Near-horizontal tracks sweep laterally without bound; their
+        // contributing origins are spread over the whole plane, so the
+        // proposal degrades to the exact uniform law (weight 1).
+        ray.origin = {x_lo + (x_hi - x_lo) * u_x, y_lo + (y_hi - y_lo) * u_y,
+                      z_source};
+      } else {
+        const double band_log_ratio =
+            std::log(1.0 / kFocusZMin) / static_cast<double>(kFocusBands);
+        const std::size_t band = std::min<std::size_t>(
+            kFocusBands - 1,
+            static_cast<std::size_t>(std::log(abs_z / kFocusZMin) /
+                                     band_log_ratio));
+        double phi = std::atan2(ray.dir.y, ray.dir.x);
+        if (phi < 0.0) phi += std::numbers::pi;
+        const std::size_t sector = std::min<std::size_t>(
+            kFocusSectors - 1,
+            static_cast<std::size_t>(phi / std::numbers::pi *
+                                     static_cast<double>(kFocusSectors)));
+        const stats::FocusPlane& plane =
+            focus_bands_[band * kFocusSectors + sector];
+        if (plane.alpha() == 0.0) {
+          // Saturated band/sector (see the constructor): the exact uniform
+          // origin law, sampled directly — no back-projection, weight 1.
+          ray.origin = {x_lo + (x_hi - x_lo) * u_x,
+                        y_lo + (y_hi - y_lo) * u_y, z_source};
+        } else {
+          // Lateral displacement from the origin to the track's fin-layer
+          // mid-depth crossing: the proposal samples the crossing point T
+          // and back-projects, origin = T - off. For a fixed direction that
+          // is a translation, so q_origin(x | dir) = q_T(x + off) exactly.
+          const double off_x = focus_mid_depth_nm_ * ray.dir.x / abs_z;
+          const double off_y = focus_mid_depth_nm_ * ray.dir.y / abs_z;
+          double ox, oy;
+          if (u_sel < kFocusFloor) {
+            ox = x_lo + (x_hi - x_lo) * u_x;
+            oy = y_lo + (y_hi - y_lo) * u_y;
+          } else {
+            const double u = (u_sel - kFocusFloor) / (1.0 - kFocusFloor);
+            const stats::FocusPlane::Sample ps = plane.sample(u, u_x, u_y);
+            ox = ps.x - off_x;
+            oy = ps.y - off_y;
+            if (ps.focused) {
+              FINSER_OBS_COUNT("core.array_mc.vr.focus_draws", 1);
+            }
+          }
+          if (ox < x_lo || ox > x_hi || oy < y_lo || oy > y_hi) {
+            // Back-projected origin left the source plane: the sample sits
+            // outside the target density's support, so its likelihood-ratio
+            // weight is 0. Record the strike (it is part of the sample
+            // count) and skip the physics.
+            begin_strike(ws);
+            score_weighted_history(ws, part, 0.0);
+            continue;
+          }
+          const double plane_area = (x_hi - x_lo) * (y_hi - y_lo);
+          const double q =
+              kFocusFloor / plane_area +
+              (1.0 - kFocusFloor) * plane.pdf(ox + off_x, oy + off_y);
+          w *= (1.0 / plane_area) / q;
+          ray.origin = {ox, oy, z_source};
+        }
+      }
     } else {
-      ray.origin = {rng.uniform(x_lo, x_hi), rng.uniform(y_lo, y_hi),
-                    z_source};
+      switch (config_.position) {
+        case SourcePositionSampling::kStratified: {
+          const std::size_t ix = s % strata;
+          const std::size_t iy = (s / strata) % strata;
+          const double fx = (static_cast<double>(ix) + rng.uniform()) /
+                            static_cast<double>(strata);
+          const double fy = (static_cast<double>(iy) + rng.uniform()) /
+                            static_cast<double>(strata);
+          ray.origin = {x_lo + (x_hi - x_lo) * fx, y_lo + (y_hi - y_lo) * fy,
+                        z_source};
+          break;
+        }
+        case SourcePositionSampling::kImportance:
+          break;  // Handled above.
+        case SourcePositionSampling::kUniform:
+          if (use_sobol) {
+            ray.origin = {x_lo + (x_hi - x_lo) * sobol->point(s, 1),
+                          y_lo + (y_hi - y_lo) * sobol->point(s, 2), z_source};
+          } else {
+            ray.origin = {rng.uniform(x_lo, x_hi), rng.uniform(y_lo, y_hi),
+                          z_source};
+          }
+          break;
+      }
+      sample_direction(ray, w);
     }
-    switch (config_.angular) {
-      case SourceAngularLaw::kIsotropic:
-        ray.dir = stats::isotropic_hemisphere_down(rng);
-        break;
-      case SourceAngularLaw::kCosine:
-        ray.dir = stats::cosine_hemisphere_down(rng);
-        break;
-      case SourceAngularLaw::kBeam:
-        ray.dir = beam_dir_;
-        break;
-    }
-    if (ray.dir.z == 0.0) ray.dir.z = -1e-12;  // Guard true horizontals.
 
     // Step 2-3: transport, accumulate sensitive-transistor charges per cell.
     const phys::TrackResult track =
-        ws.transporter.transport(ray, point.species, point.e_mev, rng);
+        ws.transporter.transport(ray, point.species, e_mev, rng);
 
     begin_strike(ws);
     add_deposits(track, ws);
     if (!ws.touched_cells.empty()) {
       ++part.hits;
+      part.weighted_hits += w;
       FINSER_OBS_COUNT("core.array_mc.strike_hits", 1);
     }
 
     // Steps 4-5: cell POFs from the LUTs, combined via Eqs. 4-6, for every
-    // supply voltage and both process-variation modes.
-    score_strike(ws, part);
+    // supply voltage and both process-variation modes. Unit-weight strikes
+    // take the plain scoring path — add(pof) and add_weighted(pof, 1.0)
+    // are bit-identical, so the w == 1.0 branch is an optimization, not a
+    // semantic fork.
+    if (w == 1.0) {
+      score_strike(ws, part);
+    } else {
+      score_weighted_history(ws, part, w);
+    }
   }
 }
 

@@ -22,7 +22,7 @@ NeutronArrayMc::NeutronArrayMc(const sram::ArrayLayout& layout,
 std::uint64_t NeutronArrayMc::point_fingerprint(const EnergyPoint& point,
                                                 std::uint64_t seed) const {
   util::Fnv1a h;
-  h.str("finser.neutron_mc.ckpt.v1");
+  h.str("finser.neutron_mc.ckpt.v2");
   h.u64(model().config_fingerprint);
   h.f64(point.e_mev);
   h.u64(seed);
@@ -32,12 +32,16 @@ std::uint64_t NeutronArrayMc::point_fingerprint(const EnergyPoint& point,
   h.u64(static_cast<std::uint64_t>(config_.straggling));
   h.f64(config_.interaction_depth_um);
   h.f64(config_.source_margin_nm);
+  h.f64(config_.ci.target);
+  h.u64(config_.ci.min_chunks);
+  h.f64(config_.ci.growth);
   hash_layout(h, layout());
   return h.hash();
 }
 
 void NeutronArrayMc::simulate_chunk(const exec::ChunkRange& r,
-                                    const EnergyPoint& point, stats::Rng& rng,
+                                    const EnergyPoint& point,
+                                    std::uint64_t /*seed*/, stats::Rng& rng,
                                     WorkerScratch& ws, McPartial& part) const {
   const double e_n_mev = point.e_mev;
 
@@ -80,7 +84,12 @@ void NeutronArrayMc::simulate_chunk(const exec::ChunkRange& r,
           ws.transporter.transport(ray, sec.species, sec.energy_mev, rng);
       add_deposits(track, ws);
     }
-    if (!ws.touched_cells.empty()) ++part.hits;
+    if (!ws.touched_cells.empty()) {
+      ++part.hits;
+      // Per-history hit mass for the diagnostic hit fraction: the history
+      // itself is analog (only the interaction is forced), so unit mass.
+      part.weighted_hits += 1.0;
+    }
 
     score_weighted_history(ws, part, weight);
   }

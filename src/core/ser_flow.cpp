@@ -93,7 +93,7 @@ std::uint64_t sweep_fingerprint(const SerFlowConfig& cfg,
                                 const std::vector<std::uint64_t>& bin_seeds,
                                 bool neutron) {
   util::Fnv1a h;
-  h.str("finser.ser_flow.sweep.v1");
+  h.str("finser.ser_flow.sweep.v2");
   h.u64(model_fp);
   h.u64(static_cast<std::uint64_t>(species));
   h.u64(bins.size());
@@ -108,6 +108,7 @@ std::uint64_t sweep_fingerprint(const SerFlowConfig& cfg,
     h.u64(static_cast<std::uint64_t>(n.angular));
     h.u64(static_cast<std::uint64_t>(n.straggling));
     h.f64(n.interaction_depth_um).f64(n.source_margin_nm);
+    h.f64(n.ci.target).u64(n.ci.min_chunks).f64(n.ci.growth);
   } else {
     const ArrayMcConfig& a = cfg.array_mc;
     h.u64(a.strikes).u64(a.chunk);
@@ -116,6 +117,11 @@ std::uint64_t sweep_fingerprint(const SerFlowConfig& cfg,
     h.u64(static_cast<std::uint64_t>(a.straggling));
     h.f64(a.beam_direction.x).f64(a.beam_direction.y).f64(a.beam_direction.z);
     h.f64(a.source_margin_nm).f64(a.source_height_nm);
+    h.f64(a.sampling.focus_fraction).f64(a.sampling.focus_margin_nm);
+    h.f64(a.sampling.direction_bias);
+    h.u64(a.sampling.energy_strata);
+    h.u64(static_cast<std::uint64_t>(a.sampling.qmc));
+    h.f64(a.ci.target).u64(a.ci.min_chunks).f64(a.ci.growth);
   }
   hash_layout(h, layout);
   return h.hash();
@@ -193,7 +199,8 @@ EnergySweepResult SerFlow::sweep(const env::Spectrum& spectrum,
     } else {
       engine = std::make_unique<ArrayMc>(layout_, model, charged_cfg);
     }
-    const EnergyPoint point{spectrum.species(), bin.e_rep_mev};
+    const EnergyPoint point{spectrum.species(), bin.e_rep_mev, bin.e_lo_mev,
+                            bin.e_hi_mev};
 
     // Bin-level artifact cache (campaigns): a cached blob decodes to the
     // exact result a fresh run would produce (bit-exact codec), so a hit
@@ -280,9 +287,13 @@ EnergySweepResult SerFlow::sweep(const env::Spectrum& spectrum,
   return result;
 }
 
-double mc_scale_from_env() {
-  const char* raw = std::getenv("FINSER_MC_SCALE");
-  if (raw == nullptr) return 1.0;
+namespace {
+
+/// Parse a finite double from \p name, with \p invalid_msg-driven fallback.
+/// Returns \p fallback when unset or malformed.
+double env_double(const char* name, double fallback, bool allow_zero) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
   char* end = nullptr;
   const double v = std::strtod(raw, &end);
   // Tolerate trailing whitespace, but nothing else.
@@ -291,15 +302,20 @@ double mc_scale_from_env() {
     ++end;
   }
   const bool parsed = end != nullptr && end != raw && *end == '\0';
-  if (!parsed || !std::isfinite(v) || v <= 0.0) {
+  const bool in_range = std::isfinite(v) && (allow_zero ? v >= 0.0 : v > 0.0);
+  if (!parsed || !in_range) {
     std::fprintf(stderr,
-                 "finser: ignoring invalid FINSER_MC_SCALE=\"%s\" "
-                 "(expected a finite value > 0); using 1.0\n",
-                 raw);
-    return 1.0;
+                 "finser: ignoring invalid %s=\"%s\" (expected a finite value "
+                 "%s 0); using %g\n",
+                 name, raw, allow_zero ? ">=" : ">", fallback);
+    return fallback;
   }
   return v;
 }
+
+}  // namespace
+
+double mc_scale_from_env() { return env_double("FINSER_MC_SCALE", 1.0, false); }
 
 void apply_mc_scale(SerFlowConfig& config, double scale) {
   FINSER_REQUIRE(scale > 0.0, "apply_mc_scale: scale must be positive");
@@ -313,6 +329,14 @@ void apply_mc_scale(SerFlowConfig& config, double scale) {
       scaled(config.characterization.pv_samples_single);
   config.characterization.pv_samples_grid =
       scaled(config.characterization.pv_samples_grid);
+}
+
+double ci_target_from_env() { return env_double("FINSER_CI_TARGET", -1.0, true); }
+
+void apply_ci_target(SerFlowConfig& config, double target) {
+  if (target < 0.0) return;  // Unset: keep the configured values.
+  config.array_mc.ci.target = target;
+  config.neutron_mc.ci.target = target;
 }
 
 }  // namespace finser::core

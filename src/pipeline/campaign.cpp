@@ -34,7 +34,16 @@ const std::vector<std::string>& scenario_keys() {
       "name",      "rows",       "cols",      "pattern",   "pattern_seed",
       "vdds",      "sigma_vt",   "cnode_f",   "pv_samples", "strikes",
       "histories", "seed",       "species",   "cell_w_nm", "cell_h_nm",
-      "fin_w_nm",  "fin_h_nm"};
+      "fin_w_nm",  "fin_h_nm",   "sampling"};
+  return keys;
+}
+
+const std::vector<std::string>& sampling_keys() {
+  static const std::vector<std::string> keys = {
+      "position",      "focus_fraction", "focus_margin_nm",
+      "direction_bias", "grazing_bias",   "energy_strata",
+      "qmc",            "ci_target",      "ci_min_chunks",
+      "ci_growth"};
   return keys;
 }
 
@@ -197,6 +206,59 @@ std::string pattern_name(sram::DataPattern pattern) {
   return "checkerboard";
 }
 
+const std::vector<std::string>& position_names() {
+  static const std::vector<std::string> names = {"uniform", "stratified",
+                                                 "importance"};
+  return names;
+}
+
+const std::vector<std::string>& qmc_names() {
+  static const std::vector<std::string> names = {"none", "sobol"};
+  return names;
+}
+
+core::SourcePositionSampling position_from(const std::string& name,
+                                           const std::string& where) {
+  if (name == "uniform") return core::SourcePositionSampling::kUniform;
+  if (name == "stratified") return core::SourcePositionSampling::kStratified;
+  if (name == "importance") return core::SourcePositionSampling::kImportance;
+  std::string message = "unknown position sampling `" + name + "` at " + where;
+  const std::string suggestion = util::nearest_key(name, position_names());
+  if (!suggestion.empty()) message += " (did you mean `" + suggestion + "`?)";
+  bad(message);
+}
+
+std::string position_name(core::SourcePositionSampling position) {
+  switch (position) {
+    case core::SourcePositionSampling::kUniform:
+      return "uniform";
+    case core::SourcePositionSampling::kStratified:
+      return "stratified";
+    case core::SourcePositionSampling::kImportance:
+      return "importance";
+  }
+  return "uniform";
+}
+
+stats::QmcMode qmc_from(const std::string& name, const std::string& where) {
+  if (name == "none") return stats::QmcMode::kNone;
+  if (name == "sobol") return stats::QmcMode::kSobol;
+  std::string message = "unknown qmc mode `" + name + "` at " + where;
+  const std::string suggestion = util::nearest_key(name, qmc_names());
+  if (!suggestion.empty()) message += " (did you mean `" + suggestion + "`?)";
+  bad(message);
+}
+
+std::string qmc_name(stats::QmcMode qmc) {
+  switch (qmc) {
+    case stats::QmcMode::kNone:
+      return "none";
+    case stats::QmcMode::kSobol:
+      return "sobol";
+  }
+  return "none";
+}
+
 void check_species_name(const std::string& name, const std::string& where) {
   const auto& known = species_names();
   if (std::find(known.begin(), known.end(), name) != known.end()) return;
@@ -264,6 +326,69 @@ ScenarioSpec parse_scenario(const util::JsonValue& obj,
   if (f.cell_geometry.cell_w_nm <= 0.0 || f.cell_geometry.cell_h_nm <= 0.0 ||
       f.cell_geometry.fin_w_nm <= 0.0 || f.cell_geometry.fin_h_nm <= 0.0) {
     bad("geometry at " + where + " must be positive");
+  }
+
+  // Variance-reduction / adaptive-stopping block (docs/statistics.md). The
+  // whole object folds through defaults like any other scenario key; keys
+  // omitted inside it keep the engine struct defaults (all "off").
+  const util::JsonValue* sampling = key("sampling");
+  if (sampling != nullptr) {
+    if (!sampling->is_object()) {
+      bad("`sampling` at " + where + " must be an object");
+    }
+    const std::string swhere = where + ".sampling";
+    check_keys(*sampling, swhere, sampling_keys());
+    const auto skey = [&](const char* k) {
+      return sampling->contains(k) ? &sampling->at(k) : nullptr;
+    };
+    f.array_mc.position = position_from(
+        get_str(skey("position"), position_name(f.array_mc.position), swhere,
+                "position"),
+        swhere);
+    stats::SamplingConfig& vr = f.array_mc.sampling;
+    vr.focus_fraction = get_num(skey("focus_fraction"), vr.focus_fraction,
+                                swhere, "focus_fraction");
+    if (vr.focus_fraction < 0.0 || vr.focus_fraction >= 1.0) {
+      bad("`focus_fraction` at " + swhere + " must be in [0, 1)");
+    }
+    vr.focus_margin_nm = get_num(skey("focus_margin_nm"), vr.focus_margin_nm,
+                                 swhere, "focus_margin_nm");
+    if (vr.focus_margin_nm < 0.0) {
+      bad("`focus_margin_nm` at " + swhere + " must be non-negative");
+    }
+    vr.direction_bias = get_num(skey("direction_bias"), vr.direction_bias,
+                                swhere, "direction_bias");
+    if (vr.direction_bias < 0.0 || vr.direction_bias >= 1.0) {
+      bad("`direction_bias` at " + swhere + " must be in [0, 1)");
+    }
+    vr.grazing_bias = get_num(skey("grazing_bias"), vr.grazing_bias, swhere,
+                              "grazing_bias");
+    if (vr.grazing_bias < 0.0 || vr.grazing_bias >= 1.0) {
+      bad("`grazing_bias` at " + swhere + " must be in [0, 1)");
+    }
+    vr.energy_strata = static_cast<std::size_t>(
+        get_uint(skey("energy_strata"), vr.energy_strata, swhere,
+                 "energy_strata"));
+    vr.qmc = qmc_from(get_str(skey("qmc"), qmc_name(vr.qmc), swhere, "qmc"),
+                      swhere);
+    const double ci_target =
+        get_num(skey("ci_target"), f.array_mc.ci.target, swhere, "ci_target");
+    if (ci_target < 0.0) {
+      bad("`ci_target` at " + swhere + " must be >= 0 (0 disables stopping)");
+    }
+    const std::size_t ci_min_chunks = get_size(
+        skey("ci_min_chunks"), f.array_mc.ci.min_chunks, swhere,
+        "ci_min_chunks");
+    const double ci_growth =
+        get_num(skey("ci_growth"), f.array_mc.ci.growth, swhere, "ci_growth");
+    if (ci_growth < 1.0) {
+      bad("`ci_growth` at " + swhere + " must be >= 1");
+    }
+    // The stopping rule is engine-agnostic: one knob drives both MCs.
+    f.array_mc.ci.target = ci_target;
+    f.array_mc.ci.min_chunks = ci_min_chunks;
+    f.array_mc.ci.growth = ci_growth;
+    f.neutron_mc.ci = f.array_mc.ci;
   }
 
   s.species = get_str_list(key("species"), {"alpha", "proton"}, where,
@@ -376,6 +501,20 @@ util::JsonValue campaign_to_json(const CampaignSpec& spec) {
     o["cell_h_nm"] = f.cell_geometry.cell_h_nm;
     o["fin_w_nm"] = f.cell_geometry.fin_w_nm;
     o["fin_h_nm"] = f.cell_geometry.fin_h_nm;
+    util::JsonValue sampling = util::JsonValue::object();
+    sampling["position"] = position_name(f.array_mc.position);
+    sampling["focus_fraction"] = f.array_mc.sampling.focus_fraction;
+    sampling["focus_margin_nm"] = f.array_mc.sampling.focus_margin_nm;
+    sampling["direction_bias"] = f.array_mc.sampling.direction_bias;
+    sampling["grazing_bias"] = f.array_mc.sampling.grazing_bias;
+    sampling["energy_strata"] =
+        static_cast<std::uint64_t>(f.array_mc.sampling.energy_strata);
+    sampling["qmc"] = qmc_name(f.array_mc.sampling.qmc);
+    sampling["ci_target"] = f.array_mc.ci.target;
+    sampling["ci_min_chunks"] =
+        static_cast<std::uint64_t>(f.array_mc.ci.min_chunks);
+    sampling["ci_growth"] = f.array_mc.ci.growth;
+    o["sampling"] = std::move(sampling);
     scenarios.push_back(std::move(o));
   }
   doc["scenarios"] = std::move(scenarios);
@@ -729,9 +868,14 @@ void CampaignRunner::ensure_exec() {
   // spec, which must round-trip through JSON unscaled), thread budget and
   // caches owned by the runner.
   ex->flows.resize(n);
+  const double ci_target = core::ci_target_from_env();
   for (std::size_t i = 0; i < n; ++i) {
     ex->flows[i] = spec_.scenarios[i].flow;
     core::apply_mc_scale(ex->flows[i], scale);
+    // FINSER_CI_TARGET overrides the campaign's adaptive-stopping target,
+    // mirroring FINSER_MC_SCALE: shard workers inherit the environment, so
+    // the CLI flag reaches every process identically.
+    core::apply_ci_target(ex->flows[i], ci_target);
     ex->flows[i].lut_cache_path.clear();  // the artifact store supersedes it
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "finser/util/error.hpp"
+
 namespace finser::stats {
 
 void RunningStats::add(double x) {
@@ -45,6 +47,56 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 double RunningStats::stderr_of_mean() const {
   if (n_ < 2) return 0.0;
   return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void WeightedRunningStats::add(double x, double w) {
+  FINSER_REQUIRE(w >= 0.0 && std::isfinite(w),
+                 "WeightedRunningStats: weight must be finite and >= 0");
+  ++n_;
+  if (w == 0.0) return;  // Counted, no moment mass.
+  sum_w_ += w;
+  sum_w2_ += w * w;
+  const double delta = x - mean_;
+  mean_ += (w / sum_w_) * delta;
+  m2_ += w * delta * (x - mean_);
+}
+
+void WeightedRunningStats::merge(const WeightedRunningStats& other) {
+  n_ += other.n_;
+  if (other.sum_w_ <= 0.0) return;
+  if (sum_w_ <= 0.0) {
+    sum_w_ = other.sum_w_;
+    sum_w2_ = other.sum_w2_;
+    mean_ = other.mean_;
+    m2_ = other.m2_;
+    return;
+  }
+  const double wa = sum_w_;
+  const double wb = other.sum_w_;
+  const double wt = wa + wb;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * wb / wt;
+  m2_ += other.m2_ + delta * delta * wa * wb / wt;
+  sum_w_ = wt;
+  sum_w2_ += other.sum_w2_;
+}
+
+double WeightedRunningStats::ess() const {
+  if (sum_w2_ <= 0.0) return 0.0;
+  return sum_w_ * sum_w_ / sum_w2_;
+}
+
+double WeightedRunningStats::variance() const {
+  // Reliability-weight form: unbiased denominator Σw − Σw²/Σw.
+  const double denom = sum_w_ - (sum_w_ > 0.0 ? sum_w2_ / sum_w_ : 0.0);
+  if (denom <= 0.0) return 0.0;
+  return m2_ / denom;
+}
+
+double WeightedRunningStats::stderr_of_mean() const {
+  const double e = ess();
+  if (e <= 1.0) return 0.0;
+  return std::sqrt(variance() / e);
 }
 
 }  // namespace finser::stats

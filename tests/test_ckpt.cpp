@@ -265,5 +265,152 @@ TEST(RunUnits, CancelFlushesCheckpointAndResumeCompletes) {
   EXPECT_FALSE(std::filesystem::exists(file.path));
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive (CI-stopped) unit runner
+// ---------------------------------------------------------------------------
+
+TEST(RoundBoundaries, GeometricScheduleEndsAtUnitCount) {
+  const AdaptiveSchedule sched{4, 2.0};
+  EXPECT_EQ(round_boundaries(100, sched),
+            (std::vector<std::size_t>{4, 8, 16, 32, 64, 100}));
+  // Boundaries always make progress, even with growth 1.
+  EXPECT_EQ(round_boundaries(4, AdaptiveSchedule{1, 1.0}),
+            (std::vector<std::size_t>{1, 2, 3, 4}));
+  // min_units above n collapses to a single round.
+  EXPECT_EQ(round_boundaries(5, AdaptiveSchedule{8, 2.0}),
+            (std::vector<std::size_t>{5}));
+  // min_units 0 still starts at one unit.
+  EXPECT_EQ(round_boundaries(3, AdaptiveSchedule{0, 3.0}),
+            (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(RunUnitsAdaptive, StopsAtFirstConvergedBoundary) {
+  exec::ThreadPool pool(2);
+  std::atomic<std::size_t> computed{0};
+  const AdaptiveSchedule sched{2, 2.0};  // Boundaries 2, 4, 8, 12.
+  const UnitRunResult out = run_units_adaptive(
+      pool, 12, /*fingerprint=*/5, RunOptions{}, sched,
+      [&](const exec::ChunkRange& u) {
+        ++computed;
+        return unit_blob(u.index);
+      },
+      [](std::size_t done, const std::vector<std::vector<std::uint8_t>>&) {
+        return done >= 4;  // Converged at the second boundary.
+      });
+  EXPECT_TRUE(out.stopped_early);
+  EXPECT_EQ(out.completed, 4u);
+  EXPECT_EQ(computed.load(), 4u);  // Later rounds never ran.
+  ASSERT_EQ(out.blobs.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(out.blobs[i], unit_blob(i));
+}
+
+TEST(RunUnitsAdaptive, NeverConvergedRunsEveryUnit) {
+  exec::ThreadPool pool(2);
+  const UnitRunResult out = run_units_adaptive(
+      pool, 10, /*fingerprint=*/6, RunOptions{}, AdaptiveSchedule{2, 2.0},
+      [](const exec::ChunkRange& u) { return unit_blob(u.index); },
+      [](std::size_t, const std::vector<std::vector<std::uint8_t>>&) {
+        return false;
+      });
+  EXPECT_FALSE(out.stopped_early);
+  EXPECT_EQ(out.completed, 10u);
+  ASSERT_EQ(out.blobs.size(), 10u);
+}
+
+TEST(RunUnitsAdaptive, PredicateSeesOnlyTheCompletedPrefixInOrder) {
+  exec::ThreadPool pool(4);
+  std::vector<std::size_t> decision_points;
+  run_units_adaptive(
+      pool, 20, /*fingerprint=*/7, RunOptions{}, AdaptiveSchedule{4, 2.0},
+      [](const exec::ChunkRange& u) { return unit_blob(u.index); },
+      [&](std::size_t done,
+          const std::vector<std::vector<std::uint8_t>>& blobs) {
+        decision_points.push_back(done);
+        // The prefix [0, done) is fully populated with the right blobs and
+        // everything beyond it is still empty — regardless of the thread
+        // schedule that computed the round.
+        for (std::size_t i = 0; i < done; ++i) {
+          EXPECT_EQ(blobs[i], unit_blob(i)) << "unit " << i;
+        }
+        for (std::size_t i = done; i < blobs.size(); ++i) {
+          EXPECT_TRUE(blobs[i].empty()) << "unit " << i;
+        }
+        return false;
+      });
+  // Final boundary (done == n_units) needs no decision.
+  EXPECT_EQ(decision_points, (std::vector<std::size_t>{4, 8, 16}));
+}
+
+TEST(RunUnitsAdaptive, ResumeReplaysTheSameStoppingDecision) {
+  // Kill-and-resume with early stopping enabled: a checkpoint taken
+  // mid-round must resume to the *same* stopping boundary with the same
+  // blobs — the stopping state is derived, not stored, so byte-identity of
+  // the prefix is the whole contract.
+  const FileGuard file{temp_path("finser_ckpt_adaptive_resume.bin")};
+  constexpr std::uint64_t kFp = 777;
+  constexpr std::size_t kUnits = 16;
+  const AdaptiveSchedule sched{2, 2.0};  // Boundaries 2, 4, 8, 16.
+  const auto converged =
+      [](std::size_t done, const std::vector<std::vector<std::uint8_t>>&) {
+        return done >= 8;
+      };
+
+  RunOptions run;
+  run.checkpoint_path = file.path;
+  run.checkpoint_interval_sec = 0.0;
+  exec::CancelToken token;
+  run.cancel = &token;
+
+  exec::ThreadPool pool(1);
+  try {
+    run_units_adaptive(pool, kUnits, kFp, run, sched,
+                       [&](const exec::ChunkRange& u) {
+                         if (u.index == 5) token.cancel();  // Mid round 3.
+                         return unit_blob(u.index);
+                       },
+                       converged);
+    FAIL() << "cancelled run_units_adaptive must throw util::Cancelled";
+  } catch (const util::Cancelled&) {
+  }
+  // The flushed checkpoint keeps one slot per *potential* unit, so a resumed
+  // run can still schedule every remaining round.
+  Checkpoint persisted;
+  std::string reason;
+  ASSERT_TRUE(Checkpoint::try_load(file.path, kFp, kUnits, persisted, &reason))
+      << reason;
+  EXPECT_GE(persisted.done_count(), 5u);
+  EXPECT_LT(persisted.done_count(), 8u);
+
+  run.cancel = nullptr;
+  std::vector<std::size_t> recomputed;
+  const UnitRunResult out = run_units_adaptive(
+      pool, kUnits, kFp, run,
+      sched,
+      [&](const exec::ChunkRange& u) {
+        recomputed.push_back(u.index);
+        return unit_blob(u.index);
+      },
+      converged);
+  EXPECT_TRUE(out.stopped_early);
+  EXPECT_EQ(out.completed, 8u);
+  ASSERT_EQ(out.blobs.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(out.blobs[i], unit_blob(i));
+  // Only the units the kill lost were recomputed, and none past the
+  // stopping boundary.
+  EXPECT_EQ(out.reused, persisted.done_count());
+  for (std::size_t i : recomputed) EXPECT_LT(i, 8u);
+  EXPECT_FALSE(std::filesystem::exists(file.path));
+}
+
+TEST(RunUnitsAdaptive, RequiresAPredicate) {
+  exec::ThreadPool pool(1);
+  EXPECT_THROW(
+      run_units_adaptive(
+          pool, 4, 1, RunOptions{}, AdaptiveSchedule{},
+          [](const exec::ChunkRange& u) { return unit_blob(u.index); },
+          ConvergedFn{}),
+      util::InvalidArgument);
+}
+
 }  // namespace
 }  // namespace finser::ckpt

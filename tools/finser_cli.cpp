@@ -21,6 +21,9 @@
 ///   mc.strikes = 60000        mc.pv_samples = 200
 ///   mc.seed = 20140601
 ///   mc.threads = 0            # 0 = auto; --threads overrides
+///   mc.ci_target = 0          # target relative 95% CI half-width per energy
+///                             # bin; 0 = fixed strike budget (--ci-target
+///                             # and FINSER_CI_TARGET override)
 ///   species = alpha, proton, neutron
 ///   output.dir = finser_out
 ///   lut_cache = finser_out/pof_luts.bin
@@ -72,6 +75,11 @@ void print_help() {
       "                 simulating\n"
       "  --threads N    worker threads (default: FINSER_THREADS, else all\n"
       "                 hardware threads); never changes the results\n"
+      "  --ci-target R  adaptive stopping: stop each energy bin's Monte Carlo\n"
+      "                 once the relative 95%% CI half-width of every POF\n"
+      "                 estimate is <= R, capped by the configured strike\n"
+      "                 budget (0 = fixed budget; sets FINSER_CI_TARGET so\n"
+      "                 shard workers inherit it; docs/statistics.md)\n"
       "  --lanes N      SPICE engine lane width: 0 = auto (FINSER_LANES, else\n"
       "                 the widest compiled vector unit), 1 = scalar\n"
       "                 reference, 4 or 8 = batched; never changes the\n"
@@ -139,7 +147,15 @@ core::SerFlowConfig flow_config_from(const util::KeyValueConfig& cfg,
                      ? cli_threads
                      : static_cast<std::size_t>(cfg.get_int("mc.threads", 0));
   flow.lut_cache_path = cfg.get_string("lut_cache", "");
+  const double ini_ci = cfg.get_double("mc.ci_target", 0.0);
+  if (ini_ci < 0.0) {
+    throw util::InvalidArgument("mc.ci_target must be >= 0 (0 disables "
+                                "adaptive stopping)");
+  }
+  flow.array_mc.ci.target = ini_ci;
+  flow.neutron_mc.ci.target = ini_ci;
   core::apply_mc_scale(flow, core::mc_scale_from_env());
+  core::apply_ci_target(flow, core::ci_target_from_env());
   return flow;
 }
 
@@ -449,7 +465,8 @@ int main(int argc, char** argv) {
           a == "--checkpoint-interval" || a == "--metrics-out" ||
           a == "--trace-out" || a == "--workers" || a == "--max-retries" ||
           a == "--stage-timeout-s" || a == "--heartbeat-timeout-s" ||
-          a == "--worker-id" || a == "--lease-dir" || a == "--artifact-dir") {
+          a == "--worker-id" || a == "--lease-dir" || a == "--artifact-dir" ||
+          a == "--ci-target") {
         if (i + 1 >= argc) {
           std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
           return 2;
@@ -478,6 +495,21 @@ int main(int argc, char** argv) {
           continue;
         }
         char* end = nullptr;
+        if (a == "--ci-target") {
+          const double v = std::strtod(raw, &end);
+          if (end == raw || *end != '\0' || v < 0.0) {
+            std::fprintf(stderr,
+                         "error: --ci-target expects a relative half-width "
+                         ">= 0 (0 disables stopping), got \"%s\"\n",
+                         raw);
+            return 2;
+          }
+          // Exported instead of stored: every consumer (run flow, campaign
+          // runner, shard worker subprocesses) reads FINSER_CI_TARGET, so
+          // the flag and the environment variable are exactly equivalent.
+          setenv("FINSER_CI_TARGET", raw, 1);
+          continue;
+        }
         if (a == "--workers" || a == "--max-retries" || a == "--worker-id") {
           const long v = std::strtol(raw, &end, 10);
           if (end == raw || *end != '\0' || v < 0) {

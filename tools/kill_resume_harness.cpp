@@ -52,7 +52,7 @@ namespace {
 using namespace finser;
 
 core::SerFlowConfig harness_config(std::size_t threads,
-                                   const std::string& cache) {
+                                   const std::string& cache, bool with_ci) {
   core::SerFlowConfig cfg;
   cfg.array_rows = 2;
   cfg.array_cols = 2;
@@ -66,14 +66,23 @@ core::SerFlowConfig harness_config(std::size_t threads,
   cfg.seed = 77;
   cfg.threads = threads;
   cfg.lut_cache_path = cache;
+  if (with_ci) {
+    // Adaptive leg: per-bin CI-driven early stopping must engage (small
+    // chunks so the round schedule has real decision points inside the
+    // budget) and its stopping state must survive kill + resume byte-for-
+    // byte — the per-bin blob serializes units_used / stopped_early.
+    cfg.array_mc.strikes = 2400;
+    cfg.array_mc.chunk = 64;
+    core::apply_ci_target(cfg, 0.35);
+  }
   return cfg;
 }
 
 /// Child body: run the alpha sweep and write its exact result bytes.
 int run_sweep(const std::string& workdir, std::size_t threads,
               const std::string& result_file, const std::string& cache,
-              bool checkpointed) {
-  core::SerFlow flow(harness_config(threads, cache));
+              bool checkpointed, bool with_ci) {
+  core::SerFlow flow(harness_config(threads, cache, with_ci));
 
   ckpt::RunOptions run;
   if (checkpointed) {
@@ -110,7 +119,7 @@ int run_sweep(const std::string& workdir, std::size_t threads,
 int spawn_child(const char* self, const std::string& workdir,
                 std::size_t threads, const std::string& result_file,
                 const std::string& cache, bool checkpointed,
-                const char* fault_spec) {
+                const char* fault_spec, bool with_ci = false) {
   const pid_t pid = fork();
   if (pid < 0) {
     std::perror("fork");
@@ -123,10 +132,12 @@ int spawn_child(const char* self, const std::string& workdir,
       unsetenv("FINSER_FAULT");
     }
     const std::string t = std::to_string(threads);
+    const char* mode = checkpointed ? (with_ci ? "ckpt-ci" : "ckpt")
+                                    : (with_ci ? "plain-ci" : "plain");
     std::vector<char*> argv;
     const char* args[] = {self,           "child",       workdir.c_str(),
                           t.c_str(),      result_file.c_str(), cache.c_str(),
-                          checkpointed ? "ckpt" : "plain"};
+                          mode};
     for (const char* a : args) argv.push_back(const_cast<char*>(a));
     argv.push_back(nullptr);
     execv(self, argv.data());
@@ -159,6 +170,7 @@ int run_driver(const char* self) {
   unsetenv("FINSER_MC_SCALE");
   unsetenv("FINSER_THREADS");
   unsetenv("FINSER_FAULT");
+  unsetenv("FINSER_CI_TARGET");
 
   char root_template[] = "/tmp/finser_krh_XXXXXX";
   const char* root_c = mkdtemp(root_template);
@@ -211,6 +223,54 @@ int run_driver(const char* self) {
     }
     std::printf("kill-resume OK at %s thread(s): bit-identical after "
                 "SIGKILL + resume\n",
+                tag.c_str());
+  }
+
+  // Adaptive leg: the same kill + resume discipline with CI-driven early
+  // stopping enabled. The per-bin blobs now carry stopping state
+  // (units_used / stopped_early), so byte-identity additionally proves a
+  // resumed run replays the *same stopping decisions* as an uninterrupted
+  // one — the decision is derived from the deterministic chunk prefix, not
+  // stored schedule state.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const std::string tag = std::to_string(threads);
+    const std::string workdir = root + "/ci" + tag;
+    std::filesystem::create_directories(workdir);
+    const std::string ref_file = root + "/ci_ref" + tag + ".bin";
+    const std::string out_file = root + "/ci_out" + tag + ".bin";
+
+    int status = spawn_child(self, workdir, threads, ref_file, cache,
+                             /*checkpointed=*/false, nullptr, /*with_ci=*/true);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      return fail("adaptive reference run (threads=" + tag +
+                  ") did not exit cleanly");
+    }
+
+    status = spawn_child(self, workdir, threads, out_file, cache,
+                         /*checkpointed=*/true, "kill_after_flush:2",
+                         /*with_ci=*/true);
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+      return fail("adaptive victim (threads=" + tag +
+                  ") was expected to die by SIGKILL, status=" +
+                  std::to_string(status));
+    }
+    if (!std::filesystem::exists(workdir + "/ckpt")) {
+      return fail("adaptive victim (threads=" + tag +
+                  ") left no checkpoint behind");
+    }
+
+    status = spawn_child(self, workdir, threads, out_file, cache,
+                         /*checkpointed=*/true, nullptr, /*with_ci=*/true);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      return fail("adaptive resume run (threads=" + tag +
+                  ") did not exit cleanly");
+    }
+    if (!files_identical(out_file, ref_file)) {
+      return fail("adaptive resumed result differs from uninterrupted "
+                  "reference (threads=" + tag + ")");
+    }
+    std::printf("kill-resume OK at %s thread(s) with --ci-target: stopping "
+                "state bit-identical after SIGKILL + resume\n",
                 tag.c_str());
   }
 
@@ -386,8 +446,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "harness child: bad argument count\n");
       return 2;
     }
+    const std::string mode = argv[6];
     return run_sweep(argv[2], static_cast<std::size_t>(std::atol(argv[3])),
-                     argv[4], argv[5], std::strcmp(argv[6], "ckpt") == 0);
+                     argv[4], argv[5], mode.rfind("ckpt", 0) == 0,
+                     mode.size() >= 3 && mode.rfind("-ci") == mode.size() - 3);
   }
   return run_driver(argv[0]);
 }

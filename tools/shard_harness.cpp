@@ -47,14 +47,20 @@ const char* kCsvFiles[] = {
 };
 
 /// Tiny but end-to-end campaign: shared cell model, two sweep stages.
-void write_campaign(const std::string& path, const std::string& outdir) {
+/// \p strikes and \p extra_defaults parameterize the adaptive-stopping leg
+/// (more strikes so the chunked stopping schedule has real decision points,
+/// plus a `sampling` defaults block).
+void write_campaign(const std::string& path, const std::string& outdir,
+                    std::size_t strikes = 600,
+                    const std::string& extra_defaults = "") {
   const std::string doc = std::string("{\n")
       + "  \"campaign\": \"shard-harness\",\n"
       + "  \"seed\": 5,\n"
       + "  \"output_dir\": \"" + outdir + "\",\n"
       + "  \"defaults\": {\n"
       + "    \"rows\": 2, \"cols\": 2, \"vdds\": [0.8], \"pv_samples\": 10,\n"
-      + "    \"strikes\": 600, \"histories\": 600, \"species\": [\"alpha\"]\n"
+      + "    \"strikes\": " + std::to_string(strikes) + ",\n"
+      + "    \"histories\": 600, \"species\": [\"alpha\"]" + extra_defaults + "\n"
       + "  },\n"
       + "  \"scenarios\": [\n"
       + "    {\"name\": \"a\"},\n"
@@ -178,6 +184,58 @@ int main(int argc, char** argv) {
     }
     std::printf("shard OK: --workers %s bit-identical to in-process\n",
                 tag.c_str());
+  }
+
+  // 2b. Adaptive stopping under the lease protocol: --ci-target makes every
+  //     energy bin stop at a deterministic chunk-granular round boundary, and
+  //     shard workers inherit the knob through the environment — so a
+  //     --workers 2 run must stay byte-identical to the in-process run with
+  //     the same flag. The campaign also turns on importance sampling, so the
+  //     weighted estimator state crosses the lease protocol too.
+  {
+    const std::string sampling =
+        ",\n    \"sampling\": {\"position\": \"importance\", "
+        "\"ci_min_chunks\": 2}";
+    constexpr std::size_t kCiStrikes = 6000;  // > 1 chunk: rounds are real.
+
+    // Engagement witness: the same campaign without the CI knob must land on
+    // different numbers (the stopper really cut the budget) — otherwise this
+    // leg would pass vacuously with stopping disabled.
+    const std::string full_out = root + "/out_ci_full";
+    write_campaign(root + "/ci_full.json", full_out, kCiStrikes, sampling);
+    if (run_cli(cli, {"campaign", root + "/ci_full.json"}, nullptr, nullptr) !=
+        0) {
+      return fail("full-budget importance reference run failed");
+    }
+
+    const std::string ci_ref = root + "/out_ci_ref";
+    write_campaign(root + "/ci_ref.json", ci_ref, kCiStrikes, sampling);
+    if (run_cli(cli,
+                {"campaign", root + "/ci_ref.json", "--ci-target", "0.35"},
+                nullptr, nullptr) != 0) {
+      return fail("in-process --ci-target reference run failed");
+    }
+    if (files_identical(ci_ref + "/a/pof_alpha.csv",
+                        full_out + "/a/pof_alpha.csv")) {
+      return fail("--ci-target leg: adaptive stopping never engaged (outputs "
+                  "match the full-budget run)");
+    }
+
+    const std::string out = root + "/out_ci_w2";
+    write_campaign(root + "/ci_w2.json", out, kCiStrikes, sampling);
+    const int rc = run_cli(
+        cli,
+        {"campaign", root + "/ci_w2.json", "--workers", "2", "--ci-target",
+         "0.35"},
+        nullptr, nullptr);
+    if (rc != 0) {
+      return fail("--workers 2 --ci-target exited " + std::to_string(rc));
+    }
+    if (!outputs_match_reference(out, ci_ref, &why)) {
+      return fail("--workers 2 --ci-target: " + why);
+    }
+    std::printf(
+        "shard OK: --workers 2 --ci-target bit-identical to in-process\n");
   }
 
   // 3. Every initial worker SIGKILLs itself right after its first claim;
