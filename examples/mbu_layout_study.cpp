@@ -10,9 +10,13 @@
 /// when qualifying ECC schemes (interleaving distance is chosen against the
 /// MBU multiplicity). This example quantifies them with the array engine.
 
+#include <array>
+#include <cmath>
 #include <cstdio>
+#include <numbers>
 
 #include "finser/core/ser_flow.hpp"
+#include "finser/util/csv.hpp"
 
 namespace {
 
@@ -63,6 +67,42 @@ int main() {
     run_case("isotropic hemisphere", cfg);
     cfg.array_mc.angular = core::SourceAngularLaw::kCosine;
     run_case("cosine-law (flux-weighted)", cfg);
+  }
+
+  std::printf("\n-- charge-collection model (88° grazing beam, 1 MeV) --\n");
+  {
+    // The independent model (cluster 1x1) multiplies per-cell POFs; the
+    // correlated 2x2 model re-prices every multi-cell tile with one joint
+    // circuit simulation including inter-cell charge sharing
+    // (docs/charge_sharing.md). The grazing beam maximizes same-tile
+    // multi-cell deposits, so the two multiplicity distributions separate.
+    std::array<std::array<double, core::kMaxMultiplicity>, 2> dist{};
+    const sram::ClusterMode modes[2] = {sram::ClusterMode::k1x1,
+                                        sram::ClusterMode::k2x2};
+    const char* labels[2] = {"independent (1x1)", "correlated (2x2)"};
+    for (int m = 0; m < 2; ++m) {
+      core::SerFlowConfig cfg = base_config();
+      cfg.array_mc.strikes = 20000;
+      cfg.array_mc.angular = core::SourceAngularLaw::kBeam;
+      const double tilt = 88.0 * std::numbers::pi / 180.0;
+      cfg.array_mc.beam_direction = {std::sin(tilt), 0.05, -std::cos(tilt)};
+      cfg.array_mc.cluster.mode = modes[m];
+      core::SerFlow flow(cfg);
+      const auto res = flow.run_at_energy(phys::Species::kAlpha, 1.0);
+      dist[m] = res.est[0][core::kModeWithPv].multiplicity;
+      double n2plus = 0.0;
+      for (std::size_t n = 2; n < core::kMaxMultiplicity; ++n) {
+        n2plus += dist[m][n];
+      }
+      std::printf("%-28s P(n=1)=%.4e  P(n>=2)=%.4e\n", labels[m],
+                  dist[m][1], n2plus);
+    }
+    util::CsvTable t({"n", "p_independent", "p_correlated"});
+    for (std::size_t n = 0; n < core::kMaxMultiplicity; ++n) {
+      t.add_row({static_cast<double>(n), dist[0][n], dist[1][n]});
+    }
+    t.write_csv_file("mbu_layout_study_cluster.csv");
+    std::printf("multiplicity distributions: mbu_layout_study_cluster.csv\n");
   }
 
   std::printf(

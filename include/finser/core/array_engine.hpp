@@ -30,6 +30,7 @@
 #include "finser/core/pof_combine.hpp"
 #include "finser/exec/progress.hpp"
 #include "finser/phys/track.hpp"
+#include "finser/sram/cluster.hpp"
 #include "finser/sram/layout.hpp"
 #include "finser/sram/pof_table.hpp"
 #include "finser/stats/rng.hpp"
@@ -244,6 +245,12 @@ class ArrayEngine {
     std::vector<sram::StrikeCharges> cell_charges;
     std::vector<std::uint32_t> touched_cells;
     std::vector<double> pofs;  ///< Per-touched-cell POFs of one strike.
+    /// Cluster-path scratch (unused when cluster_surface() is null):
+    /// touched cells keyed by (tile id, cell id), the per-tile surface query
+    /// and the returned flip-count distribution.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> tile_order;
+    std::vector<sram::ClusterPofSurface::CellCharge> cluster_query;
+    std::vector<double> cluster_dist;
 
     WorkerScratch(const sram::ArrayLayout& layout,
                   const phys::Transporter::Config& tc);
@@ -267,6 +274,14 @@ class ArrayEngine {
   virtual const char* units_counter() const = 0;
   /// Lateral margin of the source-sampling plane [nm].
   virtual double source_margin_nm() const = 0;
+  /// Cluster-level POF surface of the correlated multi-node charge
+  /// collection mode, or nullptr for the independent per-cell path. When
+  /// non-null, score_strike/score_weighted_history dispatch to
+  /// score_clustered() instead of the per-cell LUT loop; the null default
+  /// keeps every existing engine byte-identical. The surface may be shared
+  /// across engines/threads (it locks internally) and must stay alive for
+  /// the engine's lifetime.
+  virtual sram::ClusterPofSurface* cluster_surface() const { return nullptr; }
   /// CI-driven early-stopping knobs (disabled by default). When enabled,
   /// run_point() executes chunks in deterministic geometric rounds
   /// (ckpt::round_boundaries) and stops at the first boundary where every
@@ -303,6 +318,16 @@ class ArrayEngine {
   /// bin absorbs the rest so each history still contributes unit mass.
   void score_weighted_history(WorkerScratch& ws, McPartial& part,
                               double weight) const;
+
+  /// Correlated scoring path (cluster_surface() non-null): touched cells
+  /// group by layout tile; singleton tiles keep the per-cell LUT arithmetic
+  /// while multi-cell tiles are priced by one joint flip-count distribution
+  /// from the surface, convolved (saturating) into the multiplicity
+  /// histogram. \p weighted selects the Horvitz–Thompson accumulation of
+  /// score_weighted_history; unweighted calls pass weight = 1. Consumes no
+  /// strike RNG, so chunk determinism is untouched.
+  void score_clustered(sram::ClusterPofSurface& surface, WorkerScratch& ws,
+                       McPartial& part, double weight, bool weighted) const;
 
   /// Supply voltages of the model (cached at construction).
   const std::vector<double>& vdds() const { return vdds_; }

@@ -84,6 +84,19 @@ struct ArrayMcConfig {
   stats::SamplingConfig sampling;
   /// Per-energy-point CI-driven early stopping (default off).
   stats::CiStopConfig ci;
+  /// Correlated multi-node charge collection (docs/charge_sharing.md). The
+  /// default mode (1x1) keeps the independent per-cell path byte-for-byte;
+  /// 2x2/1x4 group touched cells into tiles and price each multi-cell tile
+  /// with one joint multi-cell circuit simulation.
+  sram::ClusterConfig cluster;
+  /// Cell design behind the cluster netlists; required when
+  /// cluster.enabled() (the soft-error model does not retain the design it
+  /// was characterized from). Must outlive the engine.
+  const sram::CellDesign* cluster_design = nullptr;
+  /// Optional shared cluster surface (e.g. SerFlow's, reused across energy
+  /// bins and persisted through the ArtifactStore). Null + cluster enabled
+  /// = the engine owns a private surface. Must outlive the engine.
+  sram::ClusterPofSurface* cluster_surface = nullptr;
 };
 
 /// The charged-particle array Monte-Carlo engine.
@@ -120,6 +133,9 @@ class ArrayMc final : public ArrayEngine {
   const char* units_counter() const override { return "core.array_mc.strikes"; }
   double source_margin_nm() const override { return config_.source_margin_nm; }
   const stats::CiStopConfig& ci_stop() const override { return config_.ci; }
+  sram::ClusterPofSurface* cluster_surface() const override {
+    return surface_;
+  }
 
   void simulate_chunk(const exec::ChunkRange& r, const EnergyPoint& point,
                       std::uint64_t seed, stats::Rng& rng, WorkerScratch& ws,
@@ -128,6 +144,10 @@ class ArrayMc final : public ArrayEngine {
  private:
   ArrayMcConfig config_;
   geom::Vec3 beam_dir_;  ///< Normalized beam direction (kBeam law).
+  /// Cluster surface in use: the shared one from the config, else the
+  /// engine-owned fallback, else null (1x1 — per-cell path).
+  std::unique_ptr<sram::ClusterPofSurface> owned_surface_;
+  sram::ClusterPofSurface* surface_ = nullptr;
   /// Importance-sampling proposals over the fin-layer mid-depth plane, one
   /// per (geometric |z| band, azimuth sector) pair: grazing bands dilate
   /// the sensitive-fin footprints along the sector azimuth into the strip

@@ -29,9 +29,22 @@ CombinedPof combine_eqs_4_to_6(const std::vector<double>& p);
 
 /// Exact distribution of the number of flipped cells given independent
 /// per-cell flip probabilities \p p (Poisson-binomial, O(k²) DP). The last
-/// bin aggregates counts >= kMaxMultiplicity-1. Identities (tested):
+/// bin aggregates counts >= kMaxMultiplicity-1; when that aggregation can
+/// occur (more cells than bins) the saturation is counter-tracked as
+/// `core.pof.multiplicity_saturated`, never silent. Identities (tested):
 /// out[0] = 1 - POF_tot, out[1] = POF_SEU, Σ_{n>=2} out[n] = POF_MBU.
 std::array<double, kMaxMultiplicity> multiplicity_distribution(
     const std::vector<double>& p);
+
+/// Convolve a multiplicity distribution with an arbitrary flip-count law
+/// \p q (q[k] = P(k flips), e.g. a cluster's joint flip-count distribution
+/// from sram::ClusterPofSurface), saturating mass at counts >=
+/// kMaxMultiplicity-1 into the last bin. Saturation with nonzero mass is
+/// counter-tracked as `core.pof.multiplicity_saturated`. Accumulation order
+/// is fixed (outer index ascending, then inner), so results are
+/// bit-reproducible.
+std::array<double, kMaxMultiplicity> convolve_multiplicity(
+    const std::array<double, kMaxMultiplicity>& dist,
+    const std::vector<double>& q);
 
 }  // namespace finser::core

@@ -13,6 +13,7 @@
 /// long high-fidelity campaigns.
 
 #include <array>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -79,6 +80,13 @@ struct SerFlowConfig {
   /// flow). Campaigns plug the shared ArtifactStore in here so re-runs and
   /// sibling scenarios skip already-priced bins.
   BinCache* bin_cache = nullptr;
+
+  /// Optional cache for the memoized cluster POF surface (non-owning; the
+  /// same never-throw contract as bin_cache, "cluster_surface" artifact
+  /// kind). Keyed by the surface fingerprint; entries are pure functions of
+  /// their keys, so a preloaded surface only *skips* joint simulations — it
+  /// can never change a result. Unused when array_mc.cluster is 1x1.
+  BinCache* cluster_cache = nullptr;
 
   /// Total thread budget of the flow; 0 = auto (FINSER_THREADS, else
   /// hardware concurrency). sweep() splits it into an outer level over
@@ -149,9 +157,15 @@ class SerFlow {
                           const ckpt::RunOptions& run = {});
 
  private:
+  /// The flow-owned cluster surface (nullptr when array_mc.cluster is 1x1),
+  /// shared by every engine the flow builds so memoized joint simulations
+  /// amortize across energy bins and scenarios.
+  sram::ClusterPofSurface* ensure_cluster_surface();
+
   SerFlowConfig config_;
   sram::ArrayLayout layout_;
   std::optional<sram::CellSoftErrorModel> model_;
+  std::unique_ptr<sram::ClusterPofSurface> cluster_surface_;
   std::uint64_t mc_seed_cursor_;
 };
 
@@ -171,5 +185,15 @@ double ci_target_from_env();
 /// relative-half-width goal. The strike/history budgets stay as configured —
 /// they become *ceilings* the stopper may undercut.
 void apply_ci_target(SerFlowConfig& config, double target);
+
+/// FINSER_CLUSTER environment variable: cluster-mode override ("1x1",
+/// "2x2", "1x4"). Returns nullopt when unset; a malformed value warns on
+/// stderr and returns nullopt (meaning "no override").
+std::optional<sram::ClusterMode> cluster_mode_from_env();
+
+/// Apply a cluster-mode override to the charged-particle engine config.
+/// nullopt is a no-op (environment unset).
+void apply_cluster(SerFlowConfig& config,
+                   std::optional<sram::ClusterMode> mode);
 
 }  // namespace finser::core

@@ -29,6 +29,11 @@ void PofAccumulator::add_weighted(const CombinedPof& pof, double weight) {
 }
 
 void PofAccumulator::add_multiplicity(std::size_t n, double mass) {
+  // Counts beyond the histogram depth saturate into the last bin — tracked,
+  // never silent (clusters make high multiplicities reachable).
+  if (n >= kMaxMultiplicity) {
+    FINSER_OBS_COUNT("core.pof.multiplicity_saturated", 1);
+  }
   mult_[std::min(n, kMaxMultiplicity - 1)] += mass;
 }
 
@@ -248,6 +253,10 @@ void ArrayEngine::add_deposits(const phys::TrackResult& track,
 }
 
 void ArrayEngine::score_strike(WorkerScratch& ws, McPartial& part) const {
+  if (sram::ClusterPofSurface* surface = cluster_surface()) {
+    score_clustered(*surface, ws, part, 1.0, /*weighted=*/false);
+    return;
+  }
   const std::size_t nv = vdds_.size();
   for (std::size_t v = 0; v < nv; ++v) {
     const sram::PofTable& table = model_->at_vdd(vdds_[v]);
@@ -277,6 +286,10 @@ void ArrayEngine::score_strike(WorkerScratch& ws, McPartial& part) const {
 
 void ArrayEngine::score_weighted_history(WorkerScratch& ws, McPartial& part,
                                          double weight) const {
+  if (sram::ClusterPofSurface* surface = cluster_surface()) {
+    score_clustered(*surface, ws, part, weight, /*weighted=*/true);
+    return;
+  }
   const std::size_t nv = vdds_.size();
   for (std::size_t v = 0; v < nv; ++v) {
     const sram::PofTable& table = model_->at_vdd(vdds_[v]);
@@ -305,6 +318,98 @@ void ArrayEngine::score_weighted_history(WorkerScratch& ws, McPartial& part,
         a.add_multiplicity(0, 1.0 - flipped_mass);
       } else {
         a.add_multiplicity(0, 1.0);
+      }
+    }
+  }
+}
+
+void ArrayEngine::score_clustered(sram::ClusterPofSurface& surface,
+                                  WorkerScratch& ws, McPartial& part,
+                                  double weight, bool weighted) const {
+  const std::size_t tr = surface.tile_rows();
+  const std::size_t tc = surface.tile_cols();
+  const auto cols = static_cast<std::uint32_t>(layout_->cols());
+
+  // Group the touched cells by layout tile, cells ascending within a tile —
+  // the canonical order the surface keys expect (cell-id order within a
+  // tile is local-index order). A single std::sort over (tile, cell) pairs
+  // does both; strikes touch a handful of cells, so this is cheap.
+  ws.tile_order.clear();
+  for (const std::uint32_t c : ws.touched_cells) {
+    const std::uint32_t row = c / cols;
+    const std::uint32_t col = c % cols;
+    ws.tile_order.emplace_back(
+        sram::cluster_tile_id(row, col, layout_->cols(), tr, tc), c);
+  }
+  std::sort(ws.tile_order.begin(), ws.tile_order.end());
+
+  const std::size_t nv = vdds_.size();
+  for (std::size_t v = 0; v < nv; ++v) {
+    const sram::PofTable& table = model_->at_vdd(vdds_[v]);
+    for (std::size_t mode = 0; mode < 2; ++mode) {
+      const bool with_pv = (mode == kModeWithPv);
+      // Singleton tiles keep the independent per-cell LUT arithmetic
+      // (identical to the 1x1 path for those cells); multi-cell tiles each
+      // contribute one joint flip-count distribution from the surface.
+      ws.pofs.clear();
+      std::array<double, kMaxMultiplicity> dist{};
+      dist[0] = 1.0;
+      bool any_joint = false;
+      for (std::size_t i = 0; i < ws.tile_order.size();) {
+        std::size_t j = i + 1;
+        while (j < ws.tile_order.size() &&
+               ws.tile_order[j].first == ws.tile_order[i].first) {
+          ++j;
+        }
+        if (j - i == 1) {
+          const double p =
+              table.pof(ws.cell_charges[ws.tile_order[i].second], with_pv);
+          if (p > 0.0) ws.pofs.push_back(p);
+        } else {
+          ws.cluster_query.clear();
+          for (std::size_t k = i; k < j; ++k) {
+            const std::uint32_t c = ws.tile_order[k].second;
+            ws.cluster_query.push_back(sram::ClusterPofSurface::CellCharge{
+                sram::cluster_local_index(c / cols, c % cols, tr, tc),
+                ws.cell_charges[c]});
+          }
+          surface.flip_count_distribution(vdds_[v], with_pv, ws.cluster_query,
+                                          ws.cluster_dist);
+          dist = convolve_multiplicity(dist, ws.cluster_dist);
+          any_joint = true;
+        }
+        i = j;
+      }
+      if (!ws.pofs.empty()) {
+        const auto singles = multiplicity_distribution(ws.pofs);
+        ws.cluster_dist.assign(singles.begin(), singles.end());
+        dist = convolve_multiplicity(dist, ws.cluster_dist);
+      }
+      const double tot = 1.0 - dist[0];
+      const double seu = dist[1];
+      const CombinedPof combined{tot, seu, std::max(tot - seu, 0.0)};
+      PofAccumulator& a = part.acc[v][mode];
+      if (!weighted) {
+        a.add(combined);
+        if (!ws.pofs.empty() || any_joint) {
+          for (std::size_t n = 0; n < kMaxMultiplicity; ++n) {
+            a.add_multiplicity(n, dist[n]);
+          }
+        } else {
+          a.add_multiplicity(0, 1.0);
+        }
+      } else {
+        a.add_weighted(combined, weight);
+        if (!ws.pofs.empty() || any_joint) {
+          double flipped_mass = 0.0;
+          for (std::size_t n = 1; n < kMaxMultiplicity; ++n) {
+            a.add_multiplicity(n, weight * dist[n]);
+            flipped_mass += weight * dist[n];
+          }
+          a.add_multiplicity(0, 1.0 - flipped_mass);
+        } else {
+          a.add_multiplicity(0, 1.0);
+        }
       }
     }
   }

@@ -79,6 +79,21 @@ ArrayMc::ArrayMc(const sram::ArrayLayout& layout,
                    "ArrayMc: beam direction must point downward");
     beam_dir_ = config_.beam_direction.normalized();
   }
+  if (config_.cluster.enabled()) {
+    FINSER_REQUIRE(config_.cluster_design != nullptr,
+                   "ArrayMc: cluster mode needs the cell design "
+                   "(ArrayMcConfig::cluster_design)");
+    if (config_.cluster_surface != nullptr) {
+      FINSER_REQUIRE(
+          config_.cluster_surface->config().mode == config_.cluster.mode,
+          "ArrayMc: shared cluster surface was built for a different mode");
+      surface_ = config_.cluster_surface;
+    } else {
+      owned_surface_ = std::make_unique<sram::ClusterPofSurface>(
+          *config_.cluster_design, config_.cluster);
+      surface_ = owned_surface_.get();
+    }
+  }
   const stats::SamplingConfig& vr = config_.sampling;
   FINSER_REQUIRE(vr.direction_bias >= 0.0 && vr.direction_bias < 1.0,
                  "ArrayMc: direction_bias must be in [0, 1)");
@@ -223,7 +238,7 @@ ArrayMc::ArrayMc(const sram::ArrayLayout& layout,
 std::uint64_t ArrayMc::point_fingerprint(const EnergyPoint& point,
                                          std::uint64_t seed) const {
   util::Fnv1a h;
-  h.str("finser.array_mc.ckpt.v2");
+  h.str("finser.array_mc.ckpt.v3");
   h.u64(model().config_fingerprint);
   h.u64(static_cast<std::uint64_t>(point.species));
   h.f64(point.e_mev);
@@ -249,6 +264,10 @@ std::uint64_t ArrayMc::point_fingerprint(const EnergyPoint& point,
   h.f64(config_.ci.target);
   h.u64(config_.ci.min_chunks);
   h.f64(config_.ci.growth);
+  h.u64(static_cast<std::uint64_t>(config_.cluster.mode));
+  h.f64(config_.cluster.share_fraction);
+  h.u64(config_.cluster.pv_samples);
+  h.f64(config_.cluster.quantum_fc);
   hash_layout(h, layout());
   return h.hash();
 }

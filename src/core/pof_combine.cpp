@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "finser/obs/obs.hpp"
+
 namespace finser::core {
 
 CombinedPof combine_eqs_4_to_6(const std::vector<double>& p) {
@@ -22,6 +24,12 @@ CombinedPof combine_eqs_4_to_6(const std::vector<double>& p) {
 
 std::array<double, kMaxMultiplicity> multiplicity_distribution(
     const std::vector<double>& p) {
+  // More cells than histogram bins: counts >= kMaxMultiplicity-1 will be
+  // aggregated into the last bin. Track it — clusters and grazing tracks
+  // make this reachable, and it must never be a silent truncation.
+  if (p.size() > kMaxMultiplicity - 1) {
+    FINSER_OBS_COUNT("core.pof.multiplicity_saturated", 1);
+  }
   std::array<double, kMaxMultiplicity> dist{};
   dist[0] = 1.0;
   for (double pi : p) {
@@ -34,6 +42,23 @@ std::array<double, kMaxMultiplicity> multiplicity_distribution(
     dist[0] *= (1.0 - pi);
   }
   return dist;
+}
+
+std::array<double, kMaxMultiplicity> convolve_multiplicity(
+    const std::array<double, kMaxMultiplicity>& dist,
+    const std::vector<double>& q) {
+  std::array<double, kMaxMultiplicity> out{};
+  bool saturated = false;
+  for (std::size_t a = 0; a < kMaxMultiplicity; ++a) {
+    for (std::size_t b = 0; b < q.size(); ++b) {
+      const double mass = dist[a] * q[b];
+      const std::size_t n = std::min(a + b, kMaxMultiplicity - 1);
+      out[n] += mass;
+      if (a + b > kMaxMultiplicity - 1 && mass != 0.0) saturated = true;
+    }
+  }
+  if (saturated) FINSER_OBS_COUNT("core.pof.multiplicity_saturated", 1);
+  return out;
 }
 
 }  // namespace finser::core

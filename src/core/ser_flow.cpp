@@ -72,11 +72,22 @@ void SerFlow::set_cell_model(sram::CellSoftErrorModel model) {
   model_ = std::move(model);
 }
 
+sram::ClusterPofSurface* SerFlow::ensure_cluster_surface() {
+  if (!config_.array_mc.cluster.enabled()) return nullptr;
+  if (!cluster_surface_) {
+    cluster_surface_ = std::make_unique<sram::ClusterPofSurface>(
+        config_.cell_design, config_.array_mc.cluster);
+  }
+  return cluster_surface_.get();
+}
+
 ArrayMcResult SerFlow::run_at_energy(phys::Species species, double e_mev,
                                      const exec::ProgressSink& progress) {
   const sram::CellSoftErrorModel& model = cell_model(progress);
   ArrayMcConfig cfg = config_.array_mc;
   if (cfg.threads == 0) cfg.threads = config_.threads;
+  cfg.cluster_design = &config_.cell_design;
+  cfg.cluster_surface = ensure_cluster_surface();
   ArrayMc mc(layout_, model, cfg);
   return mc.run(species, e_mev, mc_seed_cursor_++, progress);
 }
@@ -93,7 +104,7 @@ std::uint64_t sweep_fingerprint(const SerFlowConfig& cfg,
                                 const std::vector<std::uint64_t>& bin_seeds,
                                 bool neutron) {
   util::Fnv1a h;
-  h.str("finser.ser_flow.sweep.v2");
+  h.str("finser.ser_flow.sweep.v3");
   h.u64(model_fp);
   h.u64(static_cast<std::uint64_t>(species));
   h.u64(bins.size());
@@ -122,6 +133,10 @@ std::uint64_t sweep_fingerprint(const SerFlowConfig& cfg,
     h.u64(a.sampling.energy_strata);
     h.u64(static_cast<std::uint64_t>(a.sampling.qmc));
     h.f64(a.ci.target).u64(a.ci.min_chunks).f64(a.ci.growth);
+    h.u64(static_cast<std::uint64_t>(a.cluster.mode));
+    h.f64(a.cluster.share_fraction);
+    h.u64(a.cluster.pv_samples);
+    h.f64(a.cluster.quantum_fc);
   }
   hash_layout(h, layout);
   return h.hash();
@@ -180,6 +195,35 @@ EnergySweepResult SerFlow::sweep(const env::Spectrum& spectrum,
   if (charged_cfg.threads == 0) charged_cfg.threads = inner;
   NeutronMcConfig neutron_cfg = config_.neutron_mc;
   if (neutron_cfg.threads == 0) neutron_cfg.threads = inner;
+
+  // Correlated charge-collection mode (charged species only): every bin's
+  // engine shares the flow's cluster surface, so memoized joint simulations
+  // amortize across bins — and, through the optional cluster cache, across
+  // runs and workers. Preloading entries only skips simulations (values are
+  // pure functions of keys); it can never change a result.
+  sram::ClusterPofSurface* cluster_surface = nullptr;
+  std::uint64_t cluster_fp = 0;
+  if (!neutron) {
+    charged_cfg.cluster_design = &config_.cell_design;
+    cluster_surface = ensure_cluster_surface();
+    charged_cfg.cluster_surface = cluster_surface;
+    if (cluster_surface != nullptr && config_.cluster_cache != nullptr) {
+      cluster_fp = cluster_surface->fingerprint(model.config_fingerprint);
+      std::vector<std::uint8_t> blob;
+      if (config_.cluster_cache->load(cluster_fp, blob)) {
+        try {
+          const std::size_t n = cluster_surface->decode_merge(blob);
+          if (n > 0) {
+            progress.message("cluster surface: " + std::to_string(n) +
+                             " cached entr" + (n == 1 ? "y" : "ies") +
+                             " loaded");
+          }
+        } catch (const std::exception&) {
+          // A malformed blob degrades to recompute, never a failed sweep.
+        }
+      }
+    }
+  }
 
   result.per_bin.resize(n_bins);
   exec::ThreadPool outer_pool(outer);
@@ -271,6 +315,13 @@ EnergySweepResult SerFlow::sweep(const env::Spectrum& spectrum,
     }
   }
 
+  // Persist the (possibly grown) cluster surface for the next run/worker.
+  // Same never-throw contract as bin_cache stores.
+  if (cluster_surface != nullptr && config_.cluster_cache != nullptr &&
+      cluster_surface->size() > 0) {
+    config_.cluster_cache->store(cluster_fp, cluster_surface->encode());
+  }
+
   // Eq. 8 per (vdd, mode). The normalization area is the source-sampling
   // plane (equals the array footprint when the margin is zero).
   const double lx = layout_.width_nm() + 2.0 * margin;
@@ -337,6 +388,25 @@ void apply_ci_target(SerFlowConfig& config, double target) {
   if (target < 0.0) return;  // Unset: keep the configured values.
   config.array_mc.ci.target = target;
   config.neutron_mc.ci.target = target;
+}
+
+std::optional<sram::ClusterMode> cluster_mode_from_env() {
+  const char* raw = std::getenv("FINSER_CLUSTER");
+  if (raw == nullptr) return std::nullopt;
+  const auto mode = sram::cluster_mode_from(raw);
+  if (!mode) {
+    std::fprintf(stderr,
+                 "finser: ignoring invalid FINSER_CLUSTER=\"%s\" (expected "
+                 "1x1, 2x2 or 1x4)\n",
+                 raw);
+  }
+  return mode;
+}
+
+void apply_cluster(SerFlowConfig& config,
+                   std::optional<sram::ClusterMode> mode) {
+  if (!mode) return;  // Unset: keep the configured value.
+  config.array_mc.cluster.mode = *mode;
 }
 
 }  // namespace finser::core

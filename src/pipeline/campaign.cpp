@@ -34,7 +34,13 @@ const std::vector<std::string>& scenario_keys() {
       "name",      "rows",       "cols",      "pattern",   "pattern_seed",
       "vdds",      "sigma_vt",   "cnode_f",   "pv_samples", "strikes",
       "histories", "seed",       "species",   "cell_w_nm", "cell_h_nm",
-      "fin_w_nm",  "fin_h_nm",   "sampling"};
+      "fin_w_nm",  "fin_h_nm",   "sampling",  "cluster"};
+  return keys;
+}
+
+const std::vector<std::string>& cluster_keys() {
+  static const std::vector<std::string> keys = {
+      "mode", "share_fraction", "pv_samples", "quantum_fc"};
   return keys;
 }
 
@@ -259,6 +265,21 @@ std::string qmc_name(stats::QmcMode qmc) {
   return "none";
 }
 
+const std::vector<std::string>& cluster_mode_names() {
+  static const std::vector<std::string> names = {"1x1", "2x2", "1x4"};
+  return names;
+}
+
+sram::ClusterMode cluster_mode_from_name(const std::string& name,
+                                         const std::string& where) {
+  const std::optional<sram::ClusterMode> mode = sram::cluster_mode_from(name);
+  if (mode.has_value()) return *mode;
+  std::string message = "unknown cluster mode `" + name + "` at " + where;
+  const std::string suggestion = util::nearest_key(name, cluster_mode_names());
+  if (!suggestion.empty()) message += " (did you mean `" + suggestion + "`?)";
+  bad(message);
+}
+
 void check_species_name(const std::string& name, const std::string& where) {
   const auto& known = species_names();
   if (std::find(known.begin(), known.end(), name) != known.end()) return;
@@ -391,6 +412,38 @@ ScenarioSpec parse_scenario(const util::JsonValue& obj,
     f.neutron_mc.ci = f.array_mc.ci;
   }
 
+  // Correlated multi-node charge collection (docs/charge_sharing.md). Folds
+  // through defaults like `sampling`; omitted keys keep the engine struct
+  // defaults (mode 1x1 = the independent per-cell path, byte-for-byte).
+  const util::JsonValue* cluster = key("cluster");
+  if (cluster != nullptr) {
+    if (!cluster->is_object()) {
+      bad("`cluster` at " + where + " must be an object");
+    }
+    const std::string cwhere = where + ".cluster";
+    check_keys(*cluster, cwhere, cluster_keys());
+    const auto ckey = [&](const char* k) {
+      return cluster->contains(k) ? &cluster->at(k) : nullptr;
+    };
+    sram::ClusterConfig& cc = f.array_mc.cluster;
+    cc.mode = cluster_mode_from_name(
+        get_str(ckey("mode"), sram::cluster_mode_name(cc.mode), cwhere,
+                "mode"),
+        cwhere);
+    cc.share_fraction = get_num(ckey("share_fraction"), cc.share_fraction,
+                                cwhere, "share_fraction");
+    if (cc.share_fraction < 0.0 || cc.share_fraction >= 1.0) {
+      bad("`share_fraction` at " + cwhere + " must be in [0, 1)");
+    }
+    cc.pv_samples =
+        get_size(ckey("pv_samples"), cc.pv_samples, cwhere, "pv_samples");
+    cc.quantum_fc =
+        get_num(ckey("quantum_fc"), cc.quantum_fc, cwhere, "quantum_fc");
+    if (cc.quantum_fc <= 0.0) {
+      bad("`quantum_fc` at " + cwhere + " must be positive");
+    }
+  }
+
   s.species = get_str_list(key("species"), {"alpha", "proton"}, where,
                            "species");
   for (const std::string& name : s.species) check_species_name(name, where);
@@ -515,6 +568,14 @@ util::JsonValue campaign_to_json(const CampaignSpec& spec) {
         static_cast<std::uint64_t>(f.array_mc.ci.min_chunks);
     sampling["ci_growth"] = f.array_mc.ci.growth;
     o["sampling"] = std::move(sampling);
+    util::JsonValue cluster = util::JsonValue::object();
+    cluster["mode"] =
+        std::string(sram::cluster_mode_name(f.array_mc.cluster.mode));
+    cluster["share_fraction"] = f.array_mc.cluster.share_fraction;
+    cluster["pv_samples"] =
+        static_cast<std::uint64_t>(f.array_mc.cluster.pv_samples);
+    cluster["quantum_fc"] = f.array_mc.cluster.quantum_fc;
+    o["cluster"] = std::move(cluster);
     scenarios.push_back(std::move(o));
   }
   doc["scenarios"] = std::move(scenarios);
@@ -803,6 +864,10 @@ struct CampaignRunner::Exec {
   std::vector<core::SerFlowConfig> flows;
   std::optional<ArtifactStore> store;
   std::optional<ArtifactBinCache> bin_cache;
+  // Memoized cluster-surface entries ("cluster_surface" artifact kind):
+  // re-runs and sibling scenarios with the same surface fingerprint skip the
+  // joint multi-cell simulations already priced.
+  std::optional<ArtifactBinCache> cluster_cache;
   // Keys pre-inserted serially at plan time; stages then only assign to
   // their own slot, so concurrent stages never mutate the map's structure.
   std::map<std::uint64_t, sram::CellSoftErrorModel> models;
@@ -869,6 +934,8 @@ void CampaignRunner::ensure_exec() {
   // caches owned by the runner.
   ex->flows.resize(n);
   const double ci_target = core::ci_target_from_env();
+  const std::optional<sram::ClusterMode> cluster_mode =
+      core::cluster_mode_from_env();
   for (std::size_t i = 0; i < n; ++i) {
     ex->flows[i] = spec_.scenarios[i].flow;
     core::apply_mc_scale(ex->flows[i], scale);
@@ -876,12 +943,16 @@ void CampaignRunner::ensure_exec() {
     // mirroring FINSER_MC_SCALE: shard workers inherit the environment, so
     // the CLI flag reaches every process identically.
     core::apply_ci_target(ex->flows[i], ci_target);
+    // FINSER_CLUSTER overrides the cluster mode the same way (--cluster
+    // sets it in the environment before workers fork).
+    core::apply_cluster(ex->flows[i], cluster_mode);
     ex->flows[i].lut_cache_path.clear();  // the artifact store supersedes it
   }
 
   if (!spec_.artifact_dir.empty()) {
     ex->store.emplace(spec_.artifact_dir);
     ex->bin_cache.emplace(*ex->store);
+    ex->cluster_cache.emplace(*ex->store, "cluster_surface");
   }
   ex->results.resize(n);
 
@@ -994,6 +1065,8 @@ void CampaignRunner::ensure_exec() {
           cfg.threads = threads;
           cfg.bin_cache =
               ex->bin_cache.has_value() ? &*ex->bin_cache : nullptr;
+          cfg.cluster_cache =
+              ex->cluster_cache.has_value() ? &*ex->cluster_cache : nullptr;
           core::SerFlow flow(cfg);
           flow.set_cell_model(ex->models.at(fp));
 

@@ -80,6 +80,12 @@ void print_help() {
       "                 estimate is <= R, capped by the configured strike\n"
       "                 budget (0 = fixed budget; sets FINSER_CI_TARGET so\n"
       "                 shard workers inherit it; docs/statistics.md)\n"
+      "  --cluster MODE correlated multi-node charge collection: group cells\n"
+      "                 into MODE tiles (1x1 = independent per-cell path,\n"
+      "                 byte-identical to the default; 2x2 or 1x4 price each\n"
+      "                 multi-cell tile with one joint circuit simulation;\n"
+      "                 sets FINSER_CLUSTER so shard workers inherit it;\n"
+      "                 docs/charge_sharing.md)\n"
       "  --lanes N      SPICE engine lane width: 0 = auto (FINSER_LANES, else\n"
       "                 the widest compiled vector unit), 1 = scalar\n"
       "                 reference, 4 or 8 = batched; never changes the\n"
@@ -156,6 +162,7 @@ core::SerFlowConfig flow_config_from(const util::KeyValueConfig& cfg,
   flow.neutron_mc.ci.target = ini_ci;
   core::apply_mc_scale(flow, core::mc_scale_from_env());
   core::apply_ci_target(flow, core::ci_target_from_env());
+  core::apply_cluster(flow, core::cluster_mode_from_env());
   return flow;
 }
 
@@ -466,7 +473,7 @@ int main(int argc, char** argv) {
           a == "--trace-out" || a == "--workers" || a == "--max-retries" ||
           a == "--stage-timeout-s" || a == "--heartbeat-timeout-s" ||
           a == "--worker-id" || a == "--lease-dir" || a == "--artifact-dir" ||
-          a == "--ci-target") {
+          a == "--ci-target" || a == "--cluster") {
         if (i + 1 >= argc) {
           std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
           return 2;
@@ -508,6 +515,20 @@ int main(int argc, char** argv) {
           // runner, shard worker subprocesses) reads FINSER_CI_TARGET, so
           // the flag and the environment variable are exactly equivalent.
           setenv("FINSER_CI_TARGET", raw, 1);
+          continue;
+        }
+        if (a == "--cluster") {
+          if (!sram::cluster_mode_from(raw).has_value()) {
+            std::fprintf(stderr,
+                         "error: --cluster expects 1x1, 2x2 or 1x4, got "
+                         "\"%s\"\n",
+                         raw);
+            return 2;
+          }
+          // Exported like --ci-target: the run flow, campaign runner and
+          // shard worker subprocesses all read FINSER_CLUSTER, so the flag
+          // and the environment variable are exactly equivalent.
+          setenv("FINSER_CLUSTER", raw, 1);
           continue;
         }
         if (a == "--workers" || a == "--max-retries" || a == "--worker-id") {

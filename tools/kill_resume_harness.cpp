@@ -31,11 +31,13 @@
 #include <sys/types.h>
 #include <sys/wait.h>
 
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <numbers>
 #include <string>
 #include <vector>
 
@@ -52,7 +54,8 @@ namespace {
 using namespace finser;
 
 core::SerFlowConfig harness_config(std::size_t threads,
-                                   const std::string& cache, bool with_ci) {
+                                   const std::string& cache, bool with_ci,
+                                   bool with_cluster) {
   core::SerFlowConfig cfg;
   cfg.array_rows = 2;
   cfg.array_cols = 2;
@@ -75,14 +78,25 @@ core::SerFlowConfig harness_config(std::size_t threads,
     cfg.array_mc.chunk = 64;
     core::apply_ci_target(cfg, 0.35);
   }
+  if (with_cluster) {
+    // Cluster leg: correlated 2x2 charge collection under a near-grazing
+    // beam, so checkpointed bins carry real joint multi-cell simulations —
+    // the memoized cluster surface must not perturb kill + resume
+    // byte-identity (its entries are pure functions of quantized keys).
+    cfg.array_mc.angular = core::SourceAngularLaw::kBeam;
+    const double tilt = 88.0 * std::numbers::pi / 180.0;
+    cfg.array_mc.beam_direction = {std::sin(tilt), 0.05, -std::cos(tilt)};
+    cfg.array_mc.cluster.mode = sram::ClusterMode::k2x2;
+    cfg.array_mc.cluster.pv_samples = 4;
+  }
   return cfg;
 }
 
 /// Child body: run the alpha sweep and write its exact result bytes.
 int run_sweep(const std::string& workdir, std::size_t threads,
               const std::string& result_file, const std::string& cache,
-              bool checkpointed, bool with_ci) {
-  core::SerFlow flow(harness_config(threads, cache, with_ci));
+              bool checkpointed, bool with_ci, bool with_cluster) {
+  core::SerFlow flow(harness_config(threads, cache, with_ci, with_cluster));
 
   ckpt::RunOptions run;
   if (checkpointed) {
@@ -119,7 +133,8 @@ int run_sweep(const std::string& workdir, std::size_t threads,
 int spawn_child(const char* self, const std::string& workdir,
                 std::size_t threads, const std::string& result_file,
                 const std::string& cache, bool checkpointed,
-                const char* fault_spec, bool with_ci = false) {
+                const char* fault_spec, bool with_ci = false,
+                bool with_cluster = false) {
   const pid_t pid = fork();
   if (pid < 0) {
     std::perror("fork");
@@ -132,12 +147,13 @@ int spawn_child(const char* self, const std::string& workdir,
       unsetenv("FINSER_FAULT");
     }
     const std::string t = std::to_string(threads);
-    const char* mode = checkpointed ? (with_ci ? "ckpt-ci" : "ckpt")
-                                    : (with_ci ? "plain-ci" : "plain");
+    std::string mode = checkpointed ? "ckpt" : "plain";
+    if (with_ci) mode += "-ci";
+    if (with_cluster) mode += "-cl";
     std::vector<char*> argv;
     const char* args[] = {self,           "child",       workdir.c_str(),
                           t.c_str(),      result_file.c_str(), cache.c_str(),
-                          mode};
+                          mode.c_str()};
     for (const char* a : args) argv.push_back(const_cast<char*>(a));
     argv.push_back(nullptr);
     execv(self, argv.data());
@@ -171,6 +187,7 @@ int run_driver(const char* self) {
   unsetenv("FINSER_THREADS");
   unsetenv("FINSER_FAULT");
   unsetenv("FINSER_CI_TARGET");
+  unsetenv("FINSER_CLUSTER");
 
   char root_template[] = "/tmp/finser_krh_XXXXXX";
   const char* root_c = mkdtemp(root_template);
@@ -274,6 +291,54 @@ int run_driver(const char* self) {
                 tag.c_str());
   }
 
+  // Cluster leg: kill + resume with correlated 2x2 charge collection under a
+  // grazing beam (real joint multi-cell simulations in the checkpointed
+  // bins). Byte-identity proves the memoized cluster surface and the joint
+  // scoring replay deterministically across the restore.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const std::string tag = std::to_string(threads);
+    const std::string workdir = root + "/cl" + tag;
+    std::filesystem::create_directories(workdir);
+    const std::string ref_file = root + "/cl_ref" + tag + ".bin";
+    const std::string out_file = root + "/cl_out" + tag + ".bin";
+
+    int status = spawn_child(self, workdir, threads, ref_file, cache,
+                             /*checkpointed=*/false, nullptr, /*with_ci=*/false,
+                             /*with_cluster=*/true);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      return fail("cluster reference run (threads=" + tag +
+                  ") did not exit cleanly");
+    }
+
+    status = spawn_child(self, workdir, threads, out_file, cache,
+                         /*checkpointed=*/true, "kill_after_flush:2",
+                         /*with_ci=*/false, /*with_cluster=*/true);
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+      return fail("cluster victim (threads=" + tag +
+                  ") was expected to die by SIGKILL, status=" +
+                  std::to_string(status));
+    }
+    if (!std::filesystem::exists(workdir + "/ckpt")) {
+      return fail("cluster victim (threads=" + tag +
+                  ") left no checkpoint behind");
+    }
+
+    status = spawn_child(self, workdir, threads, out_file, cache,
+                         /*checkpointed=*/true, nullptr, /*with_ci=*/false,
+                         /*with_cluster=*/true);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      return fail("cluster resume run (threads=" + tag +
+                  ") did not exit cleanly");
+    }
+    if (!files_identical(out_file, ref_file)) {
+      return fail("cluster resumed result differs from uninterrupted "
+                  "reference (threads=" + tag + ")");
+    }
+    std::printf("kill-resume OK at %s thread(s) with cluster=2x2: "
+                "bit-identical after SIGKILL + resume\n",
+                tag.c_str());
+  }
+
   std::error_code ec;
   std::filesystem::remove_all(root, ec);  // Best-effort cleanup.
   std::printf("kill-resume harness PASSED\n");
@@ -346,6 +411,7 @@ int run_campaign_driver(const std::string& cli) {
   unsetenv("FINSER_WORKERS");
   unsetenv("FINSER_FAULT");
   unsetenv("FINSER_SHARD_POISON");
+  unsetenv("FINSER_CLUSTER");
 
   char root_template[] = "/tmp/finser_krc_XXXXXX";
   const char* root_c = mkdtemp(root_template);
@@ -449,7 +515,8 @@ int main(int argc, char** argv) {
     const std::string mode = argv[6];
     return run_sweep(argv[2], static_cast<std::size_t>(std::atol(argv[3])),
                      argv[4], argv[5], mode.rfind("ckpt", 0) == 0,
-                     mode.size() >= 3 && mode.rfind("-ci") == mode.size() - 3);
+                     mode.find("-ci") != std::string::npos,
+                     mode.find("-cl") != std::string::npos);
   }
   return run_driver(argv[0]);
 }

@@ -151,6 +151,7 @@ int main(int argc, char** argv) {
   unsetenv("FINSER_WORKERS");
   unsetenv("FINSER_FAULT");
   unsetenv("FINSER_SHARD_POISON");
+  unsetenv("FINSER_CLUSTER");
 
   char root_template[] = "/tmp/finser_shard_XXXXXX";
   const char* root_c = mkdtemp(root_template);
@@ -236,6 +237,43 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "shard OK: --workers 2 --ci-target bit-identical to in-process\n");
+  }
+
+  // 2c. Correlated charge collection under the lease protocol: a campaign
+  //     with a `cluster: 2x2` defaults block must stay byte-identical between
+  //     in-process and --workers 2 — the memoized cluster surface (and its
+  //     cluster_surface artifacts) must not leak scheduling into the numbers.
+  //     The metrics report is the engagement witness: the reference run must
+  //     actually have performed joint multi-cell simulations, otherwise this
+  //     leg passes vacuously with the cluster path never taken.
+  {
+    const std::string cluster =
+        ",\n    \"cluster\": {\"mode\": \"2x2\", \"pv_samples\": 4}";
+    const std::string cl_ref = root + "/out_cl_ref";
+    const std::string report = root + "/cl_report.json";
+    write_campaign(root + "/cl_ref.json", cl_ref, 600, cluster);
+    if (run_cli(cli,
+                {"campaign", root + "/cl_ref.json", "--metrics-out", report},
+                nullptr, nullptr) != 0) {
+      return fail("in-process cluster reference run failed");
+    }
+    if (!file_contains(report, "sram.cluster.sims")) {
+      return fail("cluster leg: no joint multi-cell simulations ran "
+                  "(report lacks sram.cluster.sims)");
+    }
+
+    const std::string out = root + "/out_cl_w2";
+    write_campaign(root + "/cl_w2.json", out, 600, cluster);
+    const int rc = run_cli(
+        cli, {"campaign", root + "/cl_w2.json", "--workers", "2"}, nullptr,
+        nullptr);
+    if (rc != 0) {
+      return fail("--workers 2 cluster leg exited " + std::to_string(rc));
+    }
+    if (!outputs_match_reference(out, cl_ref, &why)) {
+      return fail("--workers 2 cluster leg: " + why);
+    }
+    std::printf("shard OK: cluster=2x2 bit-identical to in-process\n");
   }
 
   // 3. Every initial worker SIGKILLs itself right after its first claim;
