@@ -15,8 +15,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "finser/core/ser_flow.hpp"
@@ -66,6 +68,27 @@ inline void emit(const util::CsvTable& table, const std::string& name,
   const std::string path = std::string(kOutDir) + "/" + name + ".csv";
   table.write_csv_file(path);
   std::cout << "[csv] " << path << "\n";
+}
+
+/// Machine-context fields for the bench_out/*.json reports. Benchmark
+/// numbers are only interpretable against the machine that produced them,
+/// so every report records the hardware thread count and the 1-minute load
+/// average at emission time (how contended the box already was). Each line
+/// is indented by \p indent and ends with ",\n" so the result splices
+/// directly after a report's opening "{\n". loadavg is -1 where the
+/// platform cannot report it.
+inline std::string machine_json_fields(const char* indent = "  ") {
+  double load1 = -1.0;
+#if defined(__unix__) || defined(__APPLE__)
+  double avg[1] = {0.0};
+  if (::getloadavg(avg, 1) == 1) load1 = avg[0];
+#endif
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%s\"hardware_concurrency\": %u,\n"
+                "%s\"loadavg_1min\": %.2f,\n",
+                indent, std::thread::hardware_concurrency(), indent, load1);
+  return buf;
 }
 
 /// Progress printer for long characterizations (rate-limited sink).

@@ -101,7 +101,7 @@ void report() {
   std::ofstream os(path);
   char body[768];
   std::snprintf(body, sizeof body,
-                "{\n"
+                "{\n%s"
                 "  \"kernel\": \"cluster_strike_pipeline\",\n"
                 "  \"fixture\": \"alpha 1 MeV beam, 88 deg tilt, 9x9\",\n"
                 "  \"strikes\": %zu,\n"
@@ -113,7 +113,8 @@ void report() {
                 "  \"n2plus_correlated\": %.9g,\n"
                 "  \"correlated_exceeds_independent\": %s\n"
                 "}\n",
-                cfg.array_mc.strikes, indep.seconds, corr.seconds, overhead,
+                bench::machine_json_fields().c_str(), cfg.array_mc.strikes,
+                indep.seconds, corr.seconds, overhead,
                 static_cast<unsigned long long>(corr.joint_sims),
                 indep.n2plus, corr.n2plus,
                 corr.n2plus > indep.n2plus ? "true" : "false");

@@ -121,6 +121,7 @@ void report_parallel_scaling() {
       std::string(bench::kOutDir) + "/parallel_scaling.json";
   std::ofstream os(path);
   os << "{\n"
+     << bench::machine_json_fields()
      << "  \"kernel\": \"array_mc_strikes\",\n"
      << "  \"strikes\": " << cfg.strikes << ",\n"
      << "  \"chunk\": " << cfg.chunk << ",\n"
@@ -193,7 +194,7 @@ void report_obs_overhead() {
   std::ofstream os(path);
   char body[512];
   std::snprintf(body, sizeof body,
-                "{\n"
+                "{\n%s"
                 "  \"kernel\": \"array_mc_strikes\",\n"
                 "  \"strikes\": %zu,\n"
                 "  \"reps\": %d,\n"
@@ -202,6 +203,7 @@ void report_obs_overhead() {
                 "  \"disabled_jitter_pct\": %.3f,\n"
                 "  \"enabled_vs_disabled_pct\": %.3f\n"
                 "}\n",
+                bench::machine_json_fields().c_str(),
                 static_cast<std::size_t>(cfg.strikes), kReps, off, on,
                 disabled_pct, enabled_pct);
   os << body;
@@ -292,7 +294,7 @@ void report_artifact_cache() {
   std::ofstream os(path);
   char body[512];
   std::snprintf(body, sizeof body,
-                "{\n"
+                "{\n%s"
                 "  \"kernel\": \"campaign_artifact_store\",\n"
                 "  \"scenarios\": 3,\n"
                 "  \"cold_seconds\": %.6f,\n"
@@ -302,7 +304,7 @@ void report_artifact_cache() {
                 "  \"warm_characterizations\": %llu,\n"
                 "  \"warm_artifact_hits\": %llu\n"
                 "}\n",
-                cold_s, warm_s, speedup,
+                bench::machine_json_fields().c_str(), cold_s, warm_s, speedup,
                 static_cast<unsigned long long>(cold_chars),
                 static_cast<unsigned long long>(warm_chars),
                 static_cast<unsigned long long>(hits));
@@ -490,7 +492,7 @@ void report_spice_kernel() {
   std::ofstream os(path);
   char body[1280];
   std::snprintf(body, sizeof body,
-                "{\n"
+                "{\n%s"
                 "  \"kernel\": \"spice_strike_transient\",\n"
                 "  \"pv_samples\": %d,\n"
                 "  \"transients_per_sample\": %d,\n"
@@ -514,7 +516,8 @@ void report_spice_kernel() {
                 "  \"batch_lane_iters_masked\": %llu,\n"
                 "  \"batch_active_lane_fraction\": %.4f\n"
                 "}\n",
-                kSamples, kSimsPerSample, rebuild_s, rebind_s, batched_s,
+                bench::machine_json_fields().c_str(), kSamples,
+                kSimsPerSample, rebuild_s, rebind_s, batched_s,
                 rebuild_rate, rebind_rate, batched_rate, speedup,
                 batched_speedup, lanes, identical ? "true" : "false",
                 identical_batched ? "true" : "false", tran_steps, ff_steps,

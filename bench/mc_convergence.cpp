@@ -155,6 +155,7 @@ void report() {
 
   std::ofstream json(std::string(bench::kOutDir) + "/mc_convergence.json");
   json << "{\n"
+       << bench::machine_json_fields()
        << "  \"budget_strikes\": " << budget << ",\n"
        << "  \"variance_ratio_importance_vs_uniform\": " << headline_ratio
        << ",\n"

@@ -51,8 +51,10 @@ class ArtifactStore {
  public:
   /// \param root directory for the blobs (created lazily on first put).
   /// Opening sweeps orphaned `*.tmp` files left in \p root by writers that
-  /// crashed between temp-write and rename (see sweep_orphans).
-  explicit ArtifactStore(std::string root);
+  /// crashed between temp-write and rename (see sweep_orphans), unless
+  /// \p sweep_on_open is false (read-only inspection, e.g. `artifacts ls`,
+  /// must not mutate the directory).
+  explicit ArtifactStore(std::string root, bool sweep_on_open = true);
 
   const std::string& root() const { return root_; }
 
@@ -79,6 +81,23 @@ class ArtifactStore {
   /// path) reports "no artifact".
   bool try_get(const ArtifactKey& key, std::vector<std::uint8_t>& out,
                std::string* reason = nullptr) const;
+
+  /// One store entry as reported by list().
+  struct Entry {
+    ArtifactKey key;            ///< Parsed from the filename; for an
+                                ///< unrecognized name, kind holds the
+                                ///< filename and fingerprint is 0.
+    std::uintmax_t bytes = 0;   ///< On-disk size.
+    bool ok = false;            ///< Full envelope check (magic, CRC, key
+                                ///< echo, payload length) passed.
+    std::string status;         ///< "ok" or the try_get reject reason.
+  };
+
+  /// Read-only inventory of every `*.art` blob directly under root():
+  /// filename-parsed key, size, and integrity status through the same
+  /// never-throw load path try_get uses. Deterministic order (kind, then
+  /// fingerprint). A missing or unreadable root yields an empty list.
+  std::vector<Entry> list() const;
 
  private:
   std::string root_;

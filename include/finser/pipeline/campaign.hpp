@@ -53,7 +53,8 @@
 ///       "seed": 20140601,
 ///       "species": ["alpha", "proton"],
 ///       "cell_w_nm": 380.0, "cell_h_nm": 160.0,
-///       "fin_w_nm": 10.0, "fin_h_nm": 26.0
+///       "fin_w_nm": 10.0, "fin_h_nm": 26.0,
+///       "temp_k": 300.0                  // device temperature [K]
 ///     }
 ///   ]
 /// }
@@ -81,6 +82,10 @@
 #include "finser/pipeline/artifact_store.hpp"
 #include "finser/util/csv.hpp"
 #include "finser/util/json.hpp"
+
+namespace finser::surface {
+class ResponseSurface;
+}
 
 namespace finser::pipeline {
 
@@ -130,12 +135,24 @@ CampaignSpec single_scenario_campaign(const core::SerFlowConfig& flow,
 /// util::InvalidArgument (with a nearest-name suggestion) otherwise.
 env::Spectrum spectrum_for_species(const std::string& name);
 
+/// Apply the execution-environment overrides to a scenario flow config:
+/// FINSER_MC_SCALE, FINSER_CI_TARGET, FINSER_CLUSTER, and clearing the
+/// legacy LUT cache path (the artifact store supersedes it). Both the
+/// campaign runner and the serve-mode refinement path resolve flows through
+/// this one helper, which is what keeps their response-surface fingerprints
+/// — and hence their cached answers — aligned.
+void resolve_flow_for_execution(core::SerFlowConfig& flow);
+
 // --- CSV emitters (shared by the CLI `run` command and the campaign
 // runner, which is what makes single-scenario output byte-identity hold by
-// construction rather than by parallel maintenance) -------------------------
+// construction rather than by parallel maintenance). All of them read from
+// a surface::ResponseSurface — the sweep overloads wrap the sweep into a
+// transient surface first, so every consumer-facing number flows through
+// the same query layer that `finser_cli serve` answers from. -----------------
 
 /// POF(E, Vdd) table: columns energy_mev, vdd_v, pof_tot, pof_seu, pof_mbu,
 /// pof_tot_se (with-PV estimates).
+util::CsvTable pof_csv(const surface::ResponseSurface& surface);
 util::CsvTable pof_csv(const core::EnergySweepResult& sweep);
 
 /// Empty FIT summary table: columns species, vdd_v, fit_tot, fit_seu,
@@ -143,6 +160,8 @@ util::CsvTable pof_csv(const core::EnergySweepResult& sweep);
 util::CsvTable make_fit_table();
 
 /// Append one sweep's per-voltage FIT rows to a make_fit_table() table.
+void append_fit_rows(util::CsvTable& table, const std::string& species,
+                     const surface::ResponseSurface& surface);
 void append_fit_rows(util::CsvTable& table, const std::string& species,
                      const core::EnergySweepResult& sweep);
 

@@ -1,0 +1,86 @@
+#pragma once
+/// \file serve.hpp
+/// \brief Long-lived NDJSON query loop over ResponseSurfaces
+/// (docs/serving.md).
+///
+/// The session reads line-delimited JSON requests, answers POF/FIT queries
+/// from cached surfaces where possible, and batches cache misses: requests
+/// are accumulated while more input is already buffered and resolved
+/// together at the blocking boundary, so one refinement run (which sweeps a
+/// whole scenario through the lane-batched characterizer) serves every
+/// queued request touching that scenario. A bounded pending queue provides
+/// backpressure — requests arriving while the queue is full receive an
+/// immediate `shed` response instead of unbounded buffering. SIGINT/SIGTERM
+/// (via exec::CancelToken) drains cleanly: pending requests still
+/// answerable from cache are answered, the rest are replied `cancelled`,
+/// and the loop exits without starting new simulations.
+///
+/// The session itself knows nothing about how surfaces are produced — cache
+/// lookup and refinement are injected callbacks (pipeline::SurfaceProvider
+/// in practice), which keeps `finser::surface` free of a pipeline
+/// dependency.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "finser/exec/cancel.hpp"
+#include "finser/surface/response_surface.hpp"
+
+namespace finser::surface {
+
+/// One scenario the server can answer for, with its species in sweep order
+/// (the order is part of the identity: SerFlow's Monte-Carlo seed cursor
+/// advances serially across the species of a scenario).
+struct ServeScenario {
+  std::string name;
+  std::vector<std::string> species;
+  double temp_k = 0.0;
+};
+
+struct ServeConfig {
+  /// Maximum unanswered requests held before shedding (backpressure bound).
+  std::size_t max_pending = 64;
+};
+
+class ServeSession {
+ public:
+  /// Cache-only lookup (memory or artifact) — must never simulate.
+  /// Returns nullptr on a miss. The pointer must stay valid for the
+  /// session's lifetime.
+  using LookupFn = std::function<const ResponseSurface*(
+      const std::string& scenario, const std::string& species)>;
+
+  /// Refinement: build (and cache) every surface of \p scenario, return the
+  /// one for \p species. May throw (util::Cancelled on cooperative
+  /// cancellation, util::Error on failure).
+  using RefineFn = LookupFn;
+
+  ServeSession(std::vector<ServeScenario> catalog, ServeConfig config,
+               LookupFn lookup, RefineFn refine, const exec::CancelToken* cancel);
+
+  /// Run the request loop until EOF, a `shutdown` request, or cancellation.
+  /// Responses go to \p out (one JSON object per line, flushed at batch
+  /// boundaries); \p out must carry protocol traffic only.
+  /// \returns the process exit code: 0 for a clean drain (every request
+  /// answered ok), 6 (degraded) when any request was shed, malformed, failed
+  /// or cancelled.
+  int run(std::istream& in, std::ostream& out);
+
+ private:
+  struct Request;  // parsed pending query
+  void flush(std::vector<Request>& pending, std::ostream& out,
+             bool cache_only);
+  void respond(std::ostream& out, const std::string& line);
+
+  std::vector<ServeScenario> catalog_;
+  ServeConfig config_;
+  LookupFn lookup_;
+  RefineFn refine_;
+  const exec::CancelToken* cancel_;
+  bool degraded_ = false;
+};
+
+}  // namespace finser::surface

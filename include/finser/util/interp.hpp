@@ -32,7 +32,8 @@ class Axis {
  public:
   Axis() = default;
 
-  /// \param points strictly increasing coordinates (size >= 2).
+  /// \param points strictly increasing *finite* coordinates (size >= 2);
+  ///               NaN/inf points throw InvalidArgument.
   /// \param scale  interpolation space for this axis.
   explicit Axis(std::vector<double> points, Scale scale = Scale::kLinear);
 
@@ -57,6 +58,9 @@ class Axis {
   };
 
   /// Locate \p x on the axis, applying \p policy for out-of-range queries.
+  /// A non-finite \p x throws DomainError under *every* policy — clamping
+  /// an inf (or binary-searching a NaN) would silently mask the upstream
+  /// bug that produced it.
   Location locate(double x, OutOfRange policy) const;
 
  private:

@@ -1,5 +1,6 @@
 #include "finser/pipeline/artifact_store.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -29,8 +30,9 @@ std::string hex16(std::uint64_t v) {
 
 }  // namespace
 
-ArtifactStore::ArtifactStore(std::string root) : root_(std::move(root)) {
-  sweep_orphans(root_);
+ArtifactStore::ArtifactStore(std::string root, bool sweep_on_open)
+    : root_(std::move(root)) {
+  if (sweep_on_open) sweep_orphans(root_);
 }
 
 std::size_t ArtifactStore::sweep_orphans(const std::string& dir) {
@@ -160,6 +162,57 @@ bool ArtifactStore::try_get(const ArtifactKey& key,
   }
   FINSER_OBS_COUNT("pipeline.artifact.hits", 1);
   return true;
+}
+
+std::vector<ArtifactStore::Entry> ArtifactStore::list() const {
+  std::vector<Entry> entries;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(root_, ec);
+  if (ec) return entries;  // Missing root: an empty store, not an error.
+  for (const auto& de : it) {
+    std::error_code fec;
+    if (!de.is_regular_file(fec) || fec) continue;
+    const std::filesystem::path& p = de.path();
+    if (p.extension() != ".art") continue;
+    Entry e;
+    e.bytes = de.file_size(fec);
+    if (fec) e.bytes = 0;
+
+    // Filename shape: `<kind>-<16 hex digits>.art` (path_for). Kind slugs
+    // may themselves contain '-', so split at the *last* dash.
+    const std::string stem = p.stem().string();
+    const std::size_t dash = stem.rfind('-');
+    bool parsed = dash != std::string::npos && stem.size() == dash + 17;
+    std::uint64_t fp = 0;
+    for (std::size_t i = dash + 1; parsed && i < stem.size(); ++i) {
+      const char c = stem[i];
+      if (c >= '0' && c <= '9') {
+        fp = (fp << 4) | static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        fp = (fp << 4) | static_cast<std::uint64_t>(c - 'a' + 10);
+      } else {
+        parsed = false;
+      }
+    }
+    if (!parsed || dash == 0) {
+      e.key.kind = p.filename().string();
+      e.status = "unrecognized artifact filename";
+      entries.push_back(std::move(e));
+      continue;
+    }
+    e.key.kind = stem.substr(0, dash);
+    e.key.fingerprint = fp;
+    std::vector<std::uint8_t> blob;
+    std::string reason;
+    e.ok = try_get(e.key, blob, &reason);
+    e.status = e.ok ? "ok" : reason;
+    entries.push_back(std::move(e));
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.key.kind != b.key.kind) return a.key.kind < b.key.kind;
+    return a.key.fingerprint < b.key.fingerprint;
+  });
+  return entries;
 }
 
 }  // namespace finser::pipeline

@@ -8,8 +8,10 @@
 #include "finser/exec/exec.hpp"
 #include "finser/exec/thread_pool.hpp"
 #include "finser/obs/obs.hpp"
+#include "finser/pipeline/surface_provider.hpp"
 #include "finser/spice/batch.hpp"
 #include "finser/stats/rng.hpp"
+#include "finser/surface/response_surface.hpp"
 #include "finser/util/bytes.hpp"
 #include "finser/util/config.hpp"
 #include "finser/util/error.hpp"
@@ -34,7 +36,7 @@ const std::vector<std::string>& scenario_keys() {
       "name",      "rows",       "cols",      "pattern",   "pattern_seed",
       "vdds",      "sigma_vt",   "cnode_f",   "pv_samples", "strikes",
       "histories", "seed",       "species",   "cell_w_nm", "cell_h_nm",
-      "fin_w_nm",  "fin_h_nm",   "sampling",  "cluster"};
+      "fin_w_nm",  "fin_h_nm",   "temp_k",    "sampling",  "cluster"};
   return keys;
 }
 
@@ -348,6 +350,13 @@ ScenarioSpec parse_scenario(const util::JsonValue& obj,
       f.cell_geometry.fin_w_nm <= 0.0 || f.cell_geometry.fin_h_nm <= 0.0) {
     bad("geometry at " + where + " must be positive");
   }
+  // The temperature axis of the response surface: flows into every device
+  // model via Mosfet::set_temperature.
+  f.cell_design.temp_k =
+      get_num(key("temp_k"), reference.cell_design.temp_k, where, "temp_k");
+  if (f.cell_design.temp_k <= 0.0) {
+    bad("`temp_k` at " + where + " must be positive");
+  }
 
   // Variance-reduction / adaptive-stopping block (docs/statistics.md). The
   // whole object folds through defaults like any other scenario key; keys
@@ -554,6 +563,7 @@ util::JsonValue campaign_to_json(const CampaignSpec& spec) {
     o["cell_h_nm"] = f.cell_geometry.cell_h_nm;
     o["fin_w_nm"] = f.cell_geometry.fin_w_nm;
     o["fin_h_nm"] = f.cell_geometry.fin_h_nm;
+    o["temp_k"] = f.cell_design.temp_k;
     util::JsonValue sampling = util::JsonValue::object();
     sampling["position"] = position_name(f.array_mc.position);
     sampling["focus_fraction"] = f.array_mc.sampling.focus_fraction;
@@ -610,19 +620,37 @@ env::Spectrum spectrum_for_species(const std::string& name) {
   throw util::InvalidArgument("campaign: unknown species `" + name + "`");
 }
 
+void resolve_flow_for_execution(core::SerFlowConfig& flow) {
+  core::apply_mc_scale(flow, core::mc_scale_from_env());
+  // FINSER_CI_TARGET overrides the adaptive-stopping target, mirroring
+  // FINSER_MC_SCALE: shard workers and the serve refinement path inherit
+  // the environment, so a CLI flag reaches every process identically.
+  core::apply_ci_target(flow, core::ci_target_from_env());
+  // FINSER_CLUSTER overrides the cluster mode the same way (--cluster sets
+  // it in the environment before workers fork).
+  core::apply_cluster(flow, core::cluster_mode_from_env());
+  flow.lut_cache_path.clear();  // the artifact store supersedes it
+}
+
 // --- CSV emitters -----------------------------------------------------------
 
-util::CsvTable pof_csv(const core::EnergySweepResult& sweep) {
+util::CsvTable pof_csv(const surface::ResponseSurface& s) {
   util::CsvTable table({"energy_mev", "vdd_v", "pof_tot", "pof_seu", "pof_mbu",
                         "pof_tot_se"});
-  for (std::size_t b = 0; b < sweep.bins.size(); ++b) {
-    for (std::size_t v = 0; v < sweep.vdds.size(); ++v) {
-      const auto& e = sweep.per_bin[b].est[v][core::kModeWithPv];
-      table.add_row({sweep.bins[b].e_rep_mev, sweep.vdds[v], e.tot, e.seu,
-                     e.mbu, e.tot_se});
+  const auto pv = static_cast<std::size_t>(core::kModeWithPv);
+  const std::size_t nv = s.n_vdd();
+  for (std::size_t b = 0; b < s.n_bins(); ++b) {
+    for (std::size_t v = 0; v < nv; ++v) {
+      const std::size_t k = b * nv + v;
+      table.add_row({s.bins[b].e_rep_mev, s.vdds[v], s.pof_tot[pv][k],
+                     s.pof_seu[pv][k], s.pof_mbu[pv][k], s.pof_tot_se[pv][k]});
     }
   }
   return table;
+}
+
+util::CsvTable pof_csv(const core::EnergySweepResult& sweep) {
+  return pof_csv(surface::ResponseSurface::from_sweep("", 0.0, 0, sweep));
 }
 
 util::CsvTable make_fit_table() {
@@ -631,13 +659,19 @@ util::CsvTable make_fit_table() {
 }
 
 void append_fit_rows(util::CsvTable& table, const std::string& species,
-                     const core::EnergySweepResult& sweep) {
-  for (std::size_t v = 0; v < sweep.vdds.size(); ++v) {
-    const auto& pv = sweep.fit[v][core::kModeWithPv];
-    const auto& nom = sweep.fit[v][core::kModeNominal];
-    table.add_row({species, sweep.vdds[v], pv.fit_tot, pv.fit_seu, pv.fit_mbu,
-                   nom.fit_tot});
+                     const surface::ResponseSurface& s) {
+  const auto pv = static_cast<std::size_t>(core::kModeWithPv);
+  const auto nom = static_cast<std::size_t>(core::kModeNominal);
+  for (std::size_t v = 0; v < s.n_vdd(); ++v) {
+    table.add_row({species, s.vdds[v], s.fit_tot[pv][v], s.fit_seu[pv][v],
+                   s.fit_mbu[pv][v], s.fit_tot[nom][v]});
   }
+}
+
+void append_fit_rows(util::CsvTable& table, const std::string& species,
+                     const core::EnergySweepResult& sweep) {
+  append_fit_rows(table, species,
+                  surface::ResponseSurface::from_sweep("", 0.0, 0, sweep));
 }
 
 // --- stage graph ------------------------------------------------------------
@@ -777,30 +811,6 @@ util::Grid1 cached_device_lut(const ArtifactStore* store,
 
 namespace {
 
-/// Cell-model artifact payload: u64 table count, then each PofTable through
-/// its own codec. The model fingerprint is already the artifact key, so it
-/// is restored from the key on load.
-std::vector<std::uint8_t> encode_model(const sram::CellSoftErrorModel& model) {
-  util::ByteWriter w;
-  w.u64(model.tables.size());
-  for (const sram::PofTable& t : model.tables) t.write(w);
-  return w.take();
-}
-
-sram::CellSoftErrorModel decode_model(const std::vector<std::uint8_t>& blob,
-                                      std::uint64_t fingerprint) {
-  util::ByteReader r(blob);
-  sram::CellSoftErrorModel model;
-  const std::uint64_t count = r.u64();
-  model.tables.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    model.tables.push_back(sram::PofTable::read(r));
-  }
-  FINSER_REQUIRE(r.exhausted(), "cell model artifact: trailing bytes");
-  model.config_fingerprint = fingerprint;
-  return model;
-}
-
 std::uint64_t geometry_fingerprint(const sram::CellGeometry& g) {
   util::Fnv1a h;
   h.str("finser.campaign.geometry.v1");
@@ -894,7 +904,7 @@ struct CampaignRunner::Exec {
       std::vector<std::uint8_t> blob;
       if (store->try_get(key, blob)) {
         try {
-          slot = decode_model(blob, fp);
+          slot = surface::decode_cell_model(blob, fp);
           progress.message("cell model " + hex8(fp) +
                            " loaded from artifact store");
           return;
@@ -908,7 +918,7 @@ struct CampaignRunner::Exec {
     const sram::CellCharacterizer characterizer(design, cfg);
     slot = characterizer.characterize(progress, run.cancel_only());
     FINSER_OBS_COUNT("pipeline.characterizations", 1);
-    if (store.has_value()) store->put(key, encode_model(slot));
+    if (store.has_value()) store->put(key, surface::encode_cell_model(slot));
   }
 };
 
@@ -933,20 +943,12 @@ void CampaignRunner::ensure_exec() {
   // spec, which must round-trip through JSON unscaled), thread budget and
   // caches owned by the runner.
   ex->flows.resize(n);
-  const double ci_target = core::ci_target_from_env();
-  const std::optional<sram::ClusterMode> cluster_mode =
-      core::cluster_mode_from_env();
   for (std::size_t i = 0; i < n; ++i) {
     ex->flows[i] = spec_.scenarios[i].flow;
-    core::apply_mc_scale(ex->flows[i], scale);
-    // FINSER_CI_TARGET overrides the campaign's adaptive-stopping target,
-    // mirroring FINSER_MC_SCALE: shard workers inherit the environment, so
-    // the CLI flag reaches every process identically.
-    core::apply_ci_target(ex->flows[i], ci_target);
-    // FINSER_CLUSTER overrides the cluster mode the same way (--cluster
-    // sets it in the environment before workers fork).
-    core::apply_cluster(ex->flows[i], cluster_mode);
-    ex->flows[i].lut_cache_path.clear();  // the artifact store supersedes it
+    // Shared with the serve refinement path (surface_provider.cpp): the
+    // env overrides and the resolved flow — and therefore the response-
+    // surface fingerprints — agree across both by construction.
+    resolve_flow_for_execution(ex->flows[i]);
   }
 
   if (!spec_.artifact_dir.empty()) {
@@ -1073,18 +1075,38 @@ void CampaignRunner::ensure_exec() {
           ScenarioResult& out = ex->results[i];
           out.name = scenario.name;
           out.sweeps.clear();
+          // The resolved scenario is the surface identity: the species
+          // *position* matters because the flow's MC seed cursor advances
+          // serially across the species sweeps below.
+          ScenarioSpec resolved;
+          resolved.name = scenario.name;
+          resolved.species = scenario.species;
+          resolved.flow = ex->flows[i];
           util::CsvTable fit_table = make_fit_table();
-          for (const std::string& name : scenario.species) {
+          for (std::size_t si = 0; si < scenario.species.size(); ++si) {
+            const std::string& name = scenario.species[si];
             const env::Spectrum spectrum = spectrum_for_species(name);
             progress.message(scenario.name + ": sweeping " + spectrum.name());
             core::EnergySweepResult sweep =
                 flow.sweep(spectrum, progress, run.cancel_only());
-            if (!spec_.output_dir.empty()) {
-              pof_csv(sweep).write_csv_file(spec_.output_dir + "/" +
-                                            scenario.name + "/pof_" + name +
-                                            ".csv");
+            // Every consumer-facing product below comes from the surface,
+            // not the raw sweep — batch CSVs and `serve` answers are the
+            // same bytes by construction (docs/serving.md).
+            const surface::ResponseSurface surf =
+                surface::ResponseSurface::from_sweep(
+                    scenario.name, ex->flows[i].cell_design.temp_k,
+                    response_surface_fingerprint(resolved, si), sweep);
+            if (ex->store.has_value()) {
+              ex->store->put(
+                  ArtifactKey{surface::kResponseSurfaceKind, surf.fingerprint},
+                  surf.encode());
             }
-            append_fit_rows(fit_table, name, sweep);
+            if (!spec_.output_dir.empty()) {
+              pof_csv(surf).write_csv_file(spec_.output_dir + "/" +
+                                           scenario.name + "/pof_" + name +
+                                           ".csv");
+            }
+            append_fit_rows(fit_table, name, surf);
             out.sweeps.push_back(std::move(sweep));
           }
           if (!spec_.output_dir.empty()) {

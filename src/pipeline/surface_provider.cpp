@@ -1,0 +1,159 @@
+/// \file surface_provider.cpp
+/// \brief Surface identity + the memory→artifact→build cache hierarchy.
+
+#include "finser/pipeline/surface_provider.hpp"
+
+#include <utility>
+
+#include "finser/obs/obs.hpp"
+#include "finser/util/error.hpp"
+#include "finser/util/fingerprint.hpp"
+
+namespace finser::pipeline {
+
+std::uint64_t response_surface_fingerprint(const ScenarioSpec& scenario,
+                                           std::size_t species_index) {
+  FINSER_REQUIRE(species_index < scenario.species.size(),
+                 "response_surface_fingerprint: species index out of range");
+  // A normalized single-scenario campaign is the identity document: the
+  // dirs and campaign name are presentation, threads/lanes are zeroed by
+  // campaign_fingerprint, and the full species list stays in (the seed
+  // cursor makes earlier species part of a later species' identity).
+  CampaignSpec one;
+  one.name = "response_surface";
+  one.artifact_dir.clear();
+  one.output_dir.clear();
+  one.scenarios.push_back(scenario);
+  util::Fnv1a h;
+  h.str("finser.surface.response_surface.v1");
+  h.u64(campaign_fingerprint(one));
+  h.u64(species_index);
+  return h.hash();
+}
+
+SurfaceProvider::SurfaceProvider(CampaignSpec spec, std::size_t threads,
+                                 exec::ProgressSink progress,
+                                 ckpt::RunOptions run)
+    : spec_(std::move(spec)),
+      threads_(threads),
+      progress_(std::move(progress)),
+      run_(std::move(run)) {
+  FINSER_REQUIRE(!spec_.scenarios.empty(),
+                 "SurfaceProvider: campaign has no scenarios");
+  if (!spec_.artifact_dir.empty()) store_.emplace(spec_.artifact_dir);
+}
+
+std::vector<surface::ServeScenario> SurfaceProvider::catalog() const {
+  std::vector<surface::ServeScenario> out;
+  out.reserve(spec_.scenarios.size());
+  for (const ScenarioSpec& s : spec_.scenarios) {
+    surface::ServeScenario entry;
+    entry.name = s.name;
+    entry.species = s.species;
+    entry.temp_k = s.flow.cell_design.temp_k;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+const ScenarioSpec& SurfaceProvider::find_scenario(
+    const std::string& name) const {
+  for (const ScenarioSpec& s : spec_.scenarios) {
+    if (s.name == name) return s;
+  }
+  throw util::InvalidArgument("surface provider: unknown scenario `" + name +
+                              "`");
+}
+
+const surface::ResponseSurface* SurfaceProvider::cache_put(
+    surface::ResponseSurface surf, const std::string& scenario,
+    const std::string& species) {
+  auto& slot = cache_[std::make_pair(scenario, species)];
+  slot = std::move(surf);
+  return &slot;
+}
+
+const surface::ResponseSurface* SurfaceProvider::lookup(
+    const std::string& scenario, const std::string& species) {
+  const auto it = cache_.find(std::make_pair(scenario, species));
+  if (it != cache_.end()) {
+    FINSER_OBS_COUNT("surface.memory_hits", 1);
+    return &it->second;
+  }
+  if (!store_.has_value()) return nullptr;
+
+  const ScenarioSpec& scen = find_scenario(scenario);
+  std::size_t index = scen.species.size();
+  for (std::size_t i = 0; i < scen.species.size(); ++i) {
+    if (scen.species[i] == species) index = i;
+  }
+  if (index == scen.species.size()) {
+    throw util::InvalidArgument("surface provider: scenario `" + scenario +
+                                "` has no species `" + species + "`");
+  }
+  // The fingerprint is computed on the *resolved* scenario — the identity
+  // the batch sweep stage persisted under (resolve_flow_for_execution is
+  // shared, so both sides agree as long as the environment does).
+  ScenarioSpec resolved = scen;
+  resolve_flow_for_execution(resolved.flow);
+  const std::uint64_t fp = response_surface_fingerprint(resolved, index);
+  std::vector<std::uint8_t> blob;
+  if (!store_->try_get(ArtifactKey{surface::kResponseSurfaceKind, fp},
+                       blob)) {
+    return nullptr;
+  }
+  try {
+    surface::ResponseSurface surf = surface::ResponseSurface::decode(blob);
+    FINSER_REQUIRE(surf.fingerprint == fp,
+                   "response surface artifact: fingerprint echo mismatch");
+    FINSER_OBS_COUNT("surface.artifact_hits", 1);
+    return cache_put(std::move(surf), scenario, species);
+  } catch (const std::exception&) {
+    // Malformed payload past the store's CRC: treat as a miss and rebuild.
+    return nullptr;
+  }
+}
+
+const surface::ResponseSurface* SurfaceProvider::refine(
+    const std::string& scenario, const std::string& species) {
+  const ScenarioSpec& scen = find_scenario(scenario);
+  bool species_known = false;
+  for (const std::string& sp : scen.species) {
+    species_known = species_known || sp == species;
+  }
+  FINSER_REQUIRE(species_known, "surface provider: scenario `" + scenario +
+                                    "` has no species `" + species + "`");
+
+  // Build the whole scenario — full species list, in order — through the
+  // identical code path batch campaigns use. The runner resolves the flow
+  // itself (same env helper), shares the artifact store, and persists the
+  // resulting `response_surface` artifacts from its sweep stage.
+  CampaignSpec sub;
+  sub.name = spec_.name;
+  sub.artifact_dir = spec_.artifact_dir;
+  sub.output_dir.clear();  // serve emits answers, not CSV files
+  sub.threads = threads_;
+  sub.lanes = spec_.lanes;
+  sub.scenarios.push_back(scen);
+  FINSER_OBS_COUNT("surface.builds", 1);
+  CampaignRunner runner(std::move(sub));
+  const std::vector<ScenarioResult> results = runner.run(progress_, run_);
+  FINSER_REQUIRE(results.size() == 1 &&
+                     results[0].sweeps.size() == scen.species.size(),
+                 "surface provider: refinement produced unexpected results");
+
+  ScenarioSpec resolved = scen;
+  resolve_flow_for_execution(resolved.flow);
+  const surface::ResponseSurface* wanted = nullptr;
+  for (std::size_t i = 0; i < scen.species.size(); ++i) {
+    surface::ResponseSurface surf = surface::ResponseSurface::from_sweep(
+        scen.name, resolved.flow.cell_design.temp_k,
+        response_surface_fingerprint(resolved, i), results[0].sweeps[i]);
+    const surface::ResponseSurface* cached =
+        cache_put(std::move(surf), scenario, scen.species[i]);
+    if (scen.species[i] == species) wanted = cached;
+  }
+  return wanted;
+}
+
+}  // namespace finser::pipeline

@@ -15,8 +15,21 @@ double from_space(double v, Scale s) { return s == Scale::kLog ? std::exp(v) : v
 
 void check_strictly_increasing(const std::vector<double>& pts) {
   FINSER_REQUIRE(pts.size() >= 2, "axis needs at least two points");
+  // Finiteness before ordering: NaN fails every comparison, so it would
+  // otherwise be reported as an ordering error, and ±inf would pass as
+  // "increasing" and then poison every interpolation weight.
+  for (const double p : pts) {
+    FINSER_REQUIRE(std::isfinite(p), "axis points must be finite");
+  }
   for (std::size_t i = 1; i < pts.size(); ++i) {
     FINSER_REQUIRE(pts[i] > pts[i - 1], "axis points must be strictly increasing");
+  }
+}
+
+void check_finite_values(const std::vector<double>& values, const char* what) {
+  for (const double v : values) {
+    if (!std::isfinite(v)) throw InvalidArgument(std::string(what) +
+                                                 ": values must be finite");
   }
 }
 
@@ -36,6 +49,12 @@ Axis::Axis(std::vector<double> points, Scale scale)
 
 Axis::Location Axis::locate(double x, OutOfRange policy) const {
   FINSER_REQUIRE(!points_.empty(), "locate() on an empty axis");
+  if (!std::isfinite(x)) {
+    // Rejected under every policy: a NaN fails both edge comparisons and
+    // would fall through to an ill-defined binary search, and an infinity
+    // clamped to an edge silently hides the upstream bug that produced it.
+    throw DomainError("non-finite axis query");
+  }
   if (scale_ == Scale::kLog && x <= 0.0) {
     if (policy == OutOfRange::kThrow) {
       throw DomainError("non-positive query on log-scaled axis");
@@ -72,6 +91,7 @@ Grid1::Grid1(Axis x, std::vector<double> values, Scale value_scale, OutOfRange p
     : x_(std::move(x)), raw_values_(std::move(values)), value_scale_(value_scale),
       policy_(policy) {
   FINSER_REQUIRE(raw_values_.size() == x_.size(), "Grid1: value count != axis size");
+  check_finite_values(raw_values_, "Grid1");
   values_.resize(raw_values_.size());
   for (std::size_t i = 0; i < raw_values_.size(); ++i) {
     if (value_scale_ == Scale::kLog) {
@@ -138,6 +158,7 @@ Grid2::Grid2(Axis x, Axis y, std::vector<double> values, OutOfRange policy)
     : x_(std::move(x)), y_(std::move(y)), values_(std::move(values)), policy_(policy) {
   FINSER_REQUIRE(values_.size() == x_.size() * y_.size(),
                  "Grid2: value count != |x|*|y|");
+  check_finite_values(values_, "Grid2");
 }
 
 double Grid2::operator()(double x, double y) const {
@@ -158,6 +179,7 @@ Grid3::Grid3(Axis x, Axis y, Axis z, std::vector<double> values, OutOfRange poli
       policy_(policy) {
   FINSER_REQUIRE(values_.size() == x_.size() * y_.size() * z_.size(),
                  "Grid3: value count != |x|*|y|*|z|");
+  check_finite_values(values_, "Grid3");
 }
 
 double Grid3::operator()(double x, double y, double z) const {

@@ -1,7 +1,11 @@
 #include "finser/util/interp.hpp"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <limits>
+#include <utility>
 
 #include "finser/util/error.hpp"
 
@@ -245,6 +249,95 @@ TEST_P(Grid1Property, MonotoneTableInterpolatesMonotonically) {
 INSTANTIATE_TEST_SUITE_P(QuerySweep, Grid1Property,
                          ::testing::Values(0.0, 0.1, 0.29, 0.3, 0.7, 1.0, 1.1,
                                            1.5, 1.9, 2.0));
+
+// ---------------------------------------------------------------------------
+// Non-finite rejection (the response-surface layer leans on these contracts:
+// a NaN poisoning a lerp weight would silently corrupt every served answer).
+// ---------------------------------------------------------------------------
+
+TEST(Axis, RejectsNonFinitePoints) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Axis({0.0, nan}), InvalidArgument);
+  EXPECT_THROW(Axis({nan, 1.0}), InvalidArgument);
+  EXPECT_THROW(Axis({0.0, inf}), InvalidArgument);
+  EXPECT_THROW(Axis({-inf, 1.0}), InvalidArgument);
+}
+
+TEST(Axis, LocateRejectsNonFiniteQueryUnderEveryPolicy) {
+  Axis a({0.0, 1.0, 3.0});
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const auto policy :
+       {OutOfRange::kClamp, OutOfRange::kThrow, OutOfRange::kZero}) {
+    EXPECT_THROW(a.locate(nan, policy), DomainError);
+    EXPECT_THROW(a.locate(inf, policy), DomainError);
+    EXPECT_THROW(a.locate(-inf, policy), DomainError);
+  }
+}
+
+TEST(Grid1, RejectsNonFiniteValues) {
+  EXPECT_THROW(Grid1(Axis({0.0, 1.0}), {1.0, std::nan("")}), InvalidArgument);
+  EXPECT_THROW(
+      Grid1(Axis({0.0, 1.0}), {std::numeric_limits<double>::infinity(), 1.0}),
+      InvalidArgument);
+}
+
+TEST(Grid2, RejectsNonFiniteValues) {
+  EXPECT_THROW(
+      Grid2(Axis({0.0, 1.0}), Axis({0.0, 1.0}), {1.0, 2.0, std::nan(""), 4.0}),
+      InvalidArgument);
+}
+
+TEST(Grid3, RejectsNonFiniteValues) {
+  std::vector<double> v(8, 1.0);
+  v[5] = -std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Grid3(Axis({0.0, 1.0}), Axis({0.0, 1.0}), Axis({0.0, 1.0}), v),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Query-order independence: evaluation is a pure function of (table, x), so
+// any permutation and repetition of queries must produce bit-identical
+// doubles. The serving layer's byte-stability contract rests on this.
+// ---------------------------------------------------------------------------
+
+TEST(Grid1, QueriesAreBitIdenticalAcrossOrder) {
+  Grid1 g(Axis({0.1, 1.0, 10.0, 100.0}, Scale::kLog),
+          {3.0, 1.5, 0.25, 0.75});
+  const std::vector<double> xs = {0.05, 0.1,  0.37, 1.0,  2.5,
+                                  10.0, 42.0, 99.0, 100.0, 250.0};
+  std::vector<double> forward, backward, interleaved;
+  for (const double x : xs) forward.push_back(g(x));
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) backward.push_back(g(*it));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t j = (i * 7) % xs.size();
+    (void)g(xs[j]);  // warm-up noise: must not perturb anything
+    interleaved.push_back(g(xs[j]));
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    // memcmp-grade equality, not EXPECT_DOUBLE_EQ: the contract is bitwise.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(forward[i]),
+              std::bit_cast<std::uint64_t>(backward[xs.size() - 1 - i]));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(interleaved[i]),
+              std::bit_cast<std::uint64_t>(forward[(i * 7) % xs.size()]));
+  }
+}
+
+TEST(Grid2, QueriesAreBitIdenticalAcrossOrder) {
+  Grid2 g(Axis({0.0, 1.0, 2.0}), Axis({0.0, 10.0}),
+          {1.0, 2.0, 0.5, 4.0, 8.0, 0.125});
+  std::vector<std::pair<double, double>> qs;
+  for (const double x : {-1.0, 0.0, 0.4, 1.0, 1.7, 2.0, 3.0}) {
+    for (const double y : {-5.0, 0.0, 3.3, 10.0, 20.0}) qs.emplace_back(x, y);
+  }
+  std::vector<double> forward;
+  for (const auto& [x, y] : qs) forward.push_back(g(x, y));
+  for (std::size_t i = qs.size(); i-- > 0;) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(g(qs[i].first, qs[i].second)),
+              std::bit_cast<std::uint64_t>(forward[i]));
+  }
+}
 
 }  // namespace
 }  // namespace finser::util

@@ -6,6 +6,10 @@
 ///   finser_cli run                    ... with built-in paper defaults
 ///   finser_cli campaign <file.json>   multi-scenario campaign
 ///                                     (schema: docs/architecture.md)
+///   finser_cli serve <file.json>      long-lived NDJSON POF/FIT query loop
+///                                     over the campaign's response surfaces
+///                                     (protocol: docs/serving.md)
+///   finser_cli artifacts ls <dir>     read-only artifact-store inventory
 ///   finser_cli cell [vdd]             one-voltage cell summary (Qcrit, SNM)
 ///   finser_cli --help
 ///
@@ -33,8 +37,11 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <streambuf>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "finser/ckpt/checkpoint.hpp"
 #include "finser/core/ser_flow.hpp"
@@ -43,8 +50,11 @@
 #include "finser/exec/progress.hpp"
 #include "finser/obs/obs.hpp"
 #include "finser/obs/report.hpp"
+#include "finser/pipeline/artifact_store.hpp"
 #include "finser/pipeline/campaign.hpp"
+#include "finser/pipeline/surface_provider.hpp"
 #include "finser/shard/supervisor.hpp"
+#include "finser/surface/serve.hpp"
 #include "finser/shard/worker.hpp"
 #include "finser/spice/batch.hpp"
 #include "finser/sram/snm.hpp"
@@ -63,6 +73,16 @@ void print_help() {
       "  finser_cli campaign <file.json>   multi-scenario campaign; shared\n"
       "                                    characterization and artifact cache\n"
       "                                    (schema: docs/architecture.md)\n"
+      "  finser_cli serve <file.json>      long-lived query loop: NDJSON\n"
+      "                                    POF/FIT requests on stdin, one\n"
+      "                                    JSON reply per line on stdout;\n"
+      "                                    cache hits answer without\n"
+      "                                    simulation, misses refine through\n"
+      "                                    the campaign runner\n"
+      "                                    (protocol: docs/serving.md)\n"
+      "  finser_cli artifacts ls <dir>     read-only inventory of an artifact\n"
+      "                                    store: kind, fingerprint, size and\n"
+      "                                    integrity status per entry\n"
       "  finser_cli cell [vdd]             single-voltage cell summary\n"
       "  finser_cli worker <file.json>     shard worker (spawned by a\n"
       "                                    `campaign --workers N` supervisor;\n"
@@ -110,7 +130,13 @@ void print_help() {
       "  --stage-timeout-s SEC  per-stage wall-clock watchdog: a stage over\n"
       "                 budget is killed and retried (default 0 = off)\n"
       "  --heartbeat-timeout-s SEC  silence before a worker is presumed dead\n"
-      "                 and its stage reassigned (default 30)\n\n"
+      "                 and its stage reassigned (default 30)\n"
+      "  --artifact-dir DIR  for `serve`: override the campaign file's\n"
+      "                 artifact_dir; for `artifacts ls`: default directory\n"
+      "                 when no positional one is given\n"
+      "  --max-pending N  for `serve`: bound on queued refinement requests;\n"
+      "                 requests over the bound get an immediate `shed`\n"
+      "                 reply instead of waiting (default 64)\n\n"
       "Exit codes:\n"
       "  0  success\n"
       "  1  unexpected error\n"
@@ -118,7 +144,9 @@ void print_help() {
       "  3  numerical failure (solver gave up after its retry ladder)\n"
       "  4  interrupted, progress checkpointed (rerun to resume)\n"
       "  5  partial: sharded campaign completed with quarantined stages\n"
-      "     (details in the run report's \"shard\" section)\n\n"
+      "     (details in the run report's \"shard\" section)\n"
+      "  6  degraded: `serve` drained, but at least one request was shed,\n"
+      "     malformed, failed or cancelled (docs/serving.md)\n\n"
       "See the header of tools/finser_cli.cpp for the config-file keys.\n");
 }
 
@@ -408,6 +436,109 @@ int cmd_campaign(const std::string& campaign_path, std::size_t cli_threads,
   return 0;
 }
 
+/// A streambuf reading raw bytes from a POSIX fd with local buffering.
+///
+/// `serve` cannot read requests through std::cin, for two reasons:
+///   - the stdio-synced streambuf reports in_avail() == 0 even when a burst
+///     of requests is already buffered, which defeats ServeSession's
+///     flush-at-blocking-boundary batching (one refinement per burst);
+///   - the unsynced filebuf retries read(2) after EINTR, so a SIGINT/SIGTERM
+///     arriving while blocked on input never surfaces and the drain hangs.
+/// Owning the fd read fixes both: in_avail() reports exactly the bytes a
+/// single read(2) pulled in, and an interrupted read returns eof, which ends
+/// the request loop and lets the session drain (docs/serving.md).
+class FdInBuf final : public std::streambuf {
+ public:
+  explicit FdInBuf(int fd) : fd_(fd) { setg(buf_, buf_, buf_); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::read(fd_, buf_, sizeof buf_);
+    if (n <= 0) return traits_type::eof();  // EOF, error, or EINTR (cancel)
+    setg(buf_, buf_, buf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+ private:
+  int fd_;
+  char buf_[1 << 16];
+};
+
+int cmd_serve(const std::string& campaign_path, std::size_t cli_threads,
+              bool cli_lanes, std::size_t max_pending,
+              const std::string& artifact_dir_override,
+              const exec::CancelToken& cancel) {
+  pipeline::CampaignSpec spec = pipeline::parse_campaign_file(campaign_path);
+  if (cli_threads > 0) spec.threads = cli_threads;
+  if (cli_lanes) spec.lanes = spice::lane_width();
+  if (!artifact_dir_override.empty()) spec.artifact_dir = artifact_dir_override;
+  spec.output_dir.clear();  // serve answers queries; it never emits CSV files
+
+  // Counters feed the `stats` op (and witness the warm-restart
+  // zero-characterization contract), so collection is always on here.
+  finser::obs::set_enabled(true);
+
+  // stdout carries protocol replies only; progress goes to stderr.
+  const exec::ProgressSink progress(
+      [](const std::string& m) { std::fprintf(stderr, "  [%s]\n", m.c_str()); },
+      std::chrono::milliseconds(250));
+  ckpt::RunOptions run;
+  run.cancel = &cancel;
+
+  pipeline::SurfaceProvider provider(std::move(spec), cli_threads, progress,
+                                     run);
+  surface::ServeConfig scfg;
+  scfg.max_pending = max_pending;
+  surface::ServeSession session(
+      provider.catalog(), scfg,
+      [&provider](const std::string& scenario, const std::string& species) {
+        return provider.lookup(scenario, species);
+      },
+      [&provider](const std::string& scenario, const std::string& species) {
+        return provider.refine(scenario, species);
+      },
+      &cancel);
+  FdInBuf inbuf(0 /* stdin */);
+  std::istream in(&inbuf);
+  return session.run(in, std::cout);
+}
+
+int cmd_artifacts(const std::vector<std::string>& args,
+                  const std::string& artifact_dir_flag) {
+  if (args.size() < 2 || args[1] != "ls") {
+    std::fprintf(stderr, "error: usage: finser_cli artifacts ls <dir>\n");
+    return 2;
+  }
+  const std::string dir = args.size() > 2 ? args[2] : artifact_dir_flag;
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "error: artifacts ls needs a store directory (positional "
+                 "argument or --artifact-dir)\n");
+    return 2;
+  }
+  // Read-only open: no orphan sweep, no writes — safe to point at a store a
+  // live campaign or serve process is using.
+  const pipeline::ArtifactStore store(dir, /*sweep_on_open=*/false);
+  const std::vector<pipeline::ArtifactStore::Entry> entries = store.list();
+  std::printf("%-20s %-16s %12s  %s\n", "KIND", "FINGERPRINT", "BYTES",
+              "STATUS");
+  std::size_t bad = 0;
+  for (const auto& e : entries) {
+    char fp[17];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(e.key.fingerprint));
+    std::printf("%-20s %-16s %12ju  %s\n", e.key.kind.c_str(), fp,
+                static_cast<std::uintmax_t>(e.bytes), e.status.c_str());
+    if (!e.ok) ++bad;
+  }
+  std::printf("%zu entries (%zu ok, %zu bad) in %s\n", entries.size(),
+              entries.size() - bad, bad, dir.c_str());
+  // An inventory is diagnostic output, not a health check: corrupt entries
+  // show in STATUS but the command itself still succeeded.
+  return 0;
+}
+
 int cmd_cell(double vdd) {
   const sram::CellDesign design;
   std::printf("14 nm SOI FinFET 6T cell @ Vdd = %.2f V\n", vdd);
@@ -452,6 +583,7 @@ int main(int argc, char** argv) {
     if (metrics_out == "0" || metrics_out == "1") metrics_out.clear();
     std::string trace_out;
     bool print_config = false;
+    std::size_t max_pending = 64;
     ShardCliOptions shard_opts;
     // FINSER_WORKERS seeds the worker count for `campaign`; --workers wins.
     if (const char* env = std::getenv("FINSER_WORKERS");
@@ -473,7 +605,7 @@ int main(int argc, char** argv) {
           a == "--trace-out" || a == "--workers" || a == "--max-retries" ||
           a == "--stage-timeout-s" || a == "--heartbeat-timeout-s" ||
           a == "--worker-id" || a == "--lease-dir" || a == "--artifact-dir" ||
-          a == "--ci-target" || a == "--cluster") {
+          a == "--ci-target" || a == "--cluster" || a == "--max-pending") {
         if (i + 1 >= argc) {
           std::fprintf(stderr, "error: %s needs a value\n", a.c_str());
           return 2;
@@ -529,6 +661,18 @@ int main(int argc, char** argv) {
           // shard worker subprocesses all read FINSER_CLUSTER, so the flag
           // and the environment variable are exactly equivalent.
           setenv("FINSER_CLUSTER", raw, 1);
+          continue;
+        }
+        if (a == "--max-pending") {
+          const long v = std::strtol(raw, &end, 10);
+          if (end == raw || *end != '\0' || v < 1) {
+            std::fprintf(stderr,
+                         "error: --max-pending expects a positive integer, "
+                         "got \"%s\"\n",
+                         raw);
+            return 2;
+          }
+          max_pending = static_cast<std::size_t>(v);
           continue;
         }
         if (a == "--workers" || a == "--max-retries" || a == "--worker-id") {
@@ -624,6 +768,17 @@ int main(int argc, char** argv) {
       }
       return cmd_campaign(args[1], threads, lanes_given, metrics_out,
                           trace_out, print_config, shard_opts, cancel);
+    }
+    if (cmd == "serve") {
+      if (args.size() < 2) {
+        std::fprintf(stderr, "error: serve needs a campaign JSON argument\n");
+        return 2;
+      }
+      return cmd_serve(args[1], threads, lanes_given, max_pending,
+                       shard_opts.artifact_dir, cancel);
+    }
+    if (cmd == "artifacts") {
+      return cmd_artifacts(args, shard_opts.artifact_dir);
     }
     if (cmd == "worker") {
       if (args.size() < 2) {
